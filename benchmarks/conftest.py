@@ -1,0 +1,91 @@
+"""Shared machinery for the per-figure benchmark files.
+
+The full suite sweep (23 matrices x 5 formats, functionally simulated)
+is expensive, so it runs at most once per precision per pytest session
+and is shared by every experiment file.  Each experiment writes its
+reproduced table/series to ``benchmarks/results/<name>.txt`` (the
+paper-vs-measured index in EXPERIMENTS.md is built from these) and
+registers a representative timed operation with pytest-benchmark.
+
+Scale: ``REPRO_BENCH_SCALE`` (default 0.02) with per-matrix row floors;
+the device's capacity, L2 and launch overhead scale along so ratios
+match the full-size machine balance (see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import (
+    CpuComparison,
+    GpuSuiteResult,
+    bench_scale,
+    run_cpu_matrix,
+    run_gpu_suite,
+)
+from repro.matrices.suite23 import SUITE
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class SuiteCache:
+    """Lazy, session-wide cache of the expensive sweeps."""
+
+    def __init__(self):
+        self._gpu: Dict[str, GpuSuiteResult] = {}
+        self._cpu: Dict[str, List[CpuComparison]] = {}
+
+    def gpu(self, precision: str) -> GpuSuiteResult:
+        if precision not in self._gpu:
+            self._gpu[precision] = run_gpu_suite(
+                scale=bench_scale(), precision=precision
+            )
+        return self._gpu[precision]
+
+    def cpu(self, precision: str) -> List[CpuComparison]:
+        if precision not in self._cpu:
+            self._cpu[precision] = [
+                run_cpu_matrix(spec, bench_scale(), precision) for spec in SUITE
+            ]
+        return self._cpu[precision]
+
+
+@pytest.fixture(scope="session")
+def cache() -> SuiteCache:
+    return SuiteCache()
+
+
+def save_table(name: str, text: str) -> None:
+    """Persist a reproduced table and echo it (visible with ``-s``)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}] -> {path}\n{text}")
+
+
+def representative_spmv(precision: str = "double"):
+    """A single simulated CRSD SpMV (matrix #18 at small scale) — the
+    operation pytest-benchmark times for the GPU experiments."""
+    from repro.bench.runner import effective_scale, scaled_device
+    from repro.core.crsd import CRSDMatrix
+    from repro.gpu_kernels import CrsdSpMV
+    from repro.matrices.suite23 import get_spec
+
+    spec = get_spec(18)
+    scale = effective_scale(spec, 0.005)
+    coo = spec.generate(scale=scale)
+    runner = CrsdSpMV(
+        CRSDMatrix.from_coo(coo, mrows=128),
+        device=scaled_device(scale),
+        precision=precision,
+    )
+    x = np.random.default_rng(0).standard_normal(coo.ncols)
+
+    def op():
+        return runner.run(x)
+
+    return op

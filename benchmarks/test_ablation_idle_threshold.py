@@ -1,0 +1,79 @@
+"""A3 — idle-section threshold: fill vs break (Section II-C).
+
+Sweeping ``idle_fill_max_rows`` on an astrophysics matrix (broken ±far
+diagonals, Fig. 1/3): a tiny threshold breaks every small gap into its
+own pattern region (more regions/codelets, per-section segment fill),
+a huge threshold zero-fills entire idle sections (DIA-like waste).
+The paper's position — "it all depends on the property of matrices" —
+is quantified here.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.bench.runner import effective_scale, bench_scale
+from repro.core.crsd import CRSDMatrix
+from repro.matrices.suite23 import get_spec
+
+SWEEP = [0, 8, 64, 128, 1024, 10**9]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    spec = get_spec("us100_100_62")
+    coo = spec.generate(scale=effective_scale(spec, bench_scale()))
+    out = {}
+    for thr in SWEEP:
+        m = CRSDMatrix.from_coo(coo, mrows=128, idle_fill_max_rows=thr)
+        out[thr] = m
+    return coo, out
+
+
+def test_threshold_table(sweep, benchmark):
+    coo, table = sweep
+    lines = [
+        "idle_fill_max_rows sweep on us100_100_62",
+        f"{'threshold':>10} {'regions':>8} {'patterns':>9} {'fill zeros':>11} "
+        f"{'fill %':>7} {'scatter':>8}",
+    ]
+    for thr, m in table.items():
+        fill_pct = 100 * m.fill_zeros / max(m.dia_val.size, 1)
+        lines.append(
+            f"{thr:>10} {len(m.regions):>8} {m.num_dia_patterns:>9} "
+            f"{m.fill_zeros:>11} {fill_pct:>6.1f}% {m.num_scatter_rows:>8}"
+        )
+    save_table("ablation_idle_threshold", "\n".join(lines))
+
+    benchmark.pedantic(
+        lambda: CRSDMatrix.from_coo(coo, mrows=128, idle_fill_max_rows=128),
+        rounds=1, iterations=1,
+    )
+
+
+def test_all_thresholds_correct(sweep):
+    import numpy as np
+
+    coo, table = sweep
+    x = np.random.default_rng(0).standard_normal(coo.ncols)
+    ref = coo.matvec(x)
+    for thr, m in table.items():
+        assert np.allclose(m.matvec(x), ref), thr
+
+
+def test_huge_threshold_fills_like_dia(sweep):
+    """Filling every gap stores (far) more explicit zeros."""
+    _, table = sweep
+    assert table[10**9].fill_zeros > 3 * table[64].fill_zeros
+
+
+def test_zero_threshold_fragments_regions(sweep):
+    _, table = sweep
+    assert len(table[0].regions) >= len(table[1024].regions)
+
+
+def test_moderate_threshold_minimises_slab(sweep):
+    """Some finite threshold beats the fill-everything extreme on
+    stored slots (the CRSD-vs-DIA argument itself)."""
+    _, table = sweep
+    best = min(m.dia_val.size for m in table.values())
+    assert table[10**9].dia_val.size > best

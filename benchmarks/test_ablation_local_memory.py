@@ -1,0 +1,81 @@
+"""A1 — local-memory staging of x on/off.
+
+The design trade-off behind the wang3/wang4 result (Section IV-A): the
+AD x-tile replaces the member diagonals' repeated x reads (which hit
+the L2 at finite bandwidth) with one cooperative load plus cheap local
+memory — but costs a barrier per AD group per work-group.  The paper:
+"the performance will improve significantly when the number of
+nonzeros in adjacent groups occupy a large proportion"; conversely a
+small AD share leaves only the barrier.
+
+nemeth21 (one 63-diagonal AD band) must gain; ecology1 (a 2-wide AD
+group over 3 diagonals) and wang3 (3 of ~7) must not.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.bench.runner import run_gpu_matrix
+from repro.matrices.suite23 import get_spec
+
+SCALE = 0.02
+
+
+def crsd_record(spec_name, use_local):
+    spec = get_spec(spec_name)
+    return run_gpu_matrix(spec, SCALE, "double", formats=["crsd"],
+                          use_local_memory=use_local)[0]
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = {}
+    for name in ("nemeth21", "kim2", "ecology1", "wang3"):
+        rows[name] = (crsd_record(name, True), crsd_record(name, False))
+    return rows
+
+
+def test_ablation_table(table, benchmark):
+    lines = ["CRSD local-memory staging ablation (seconds, lower is better)",
+             f"{'matrix':<12} {'with lmem':>12} {'without':>12} {'gain':>7} {'barriers':>9}"]
+    for name, (w, wo) in table.items():
+        lines.append(
+            f"{name:<12} {w.seconds:>12.3e} {wo.seconds:>12.3e} "
+            f"{wo.seconds / w.seconds:>6.2f}x {w.extra['barriers']:>9.0f}"
+        )
+    save_table("ablation_local_memory", "\n".join(lines))
+
+    spec = get_spec("nemeth21")
+    benchmark.pedantic(
+        lambda: run_gpu_matrix(spec, SCALE, "double", formats=["crsd"]),
+        rounds=1, iterations=1,
+    )
+
+
+def test_staging_helps_wide_ad_bands(table):
+    """nemeth21: one AD group of ~63 diagonals — the tile is reused 63
+    times, far outweighing its barrier."""
+    w, wo = table["nemeth21"]
+    assert w.seconds < wo.seconds
+
+
+def test_staging_costs_barriers_when_ad_narrow(table):
+    """ecology1's AD group is 2 diagonals wide: one reuse cannot pay
+    for a barrier per work-group — staging must lose there (this is
+    the wang3/wang4 mechanism)."""
+    w, wo = table["ecology1"]
+    assert wo.seconds < w.seconds
+    w, wo = table["wang3"]
+    assert wo.seconds <= w.seconds * 1.02
+
+
+def test_without_staging_no_barriers(table):
+    for name, (w, wo) in table.items():
+        assert wo.extra["barriers"] == 0
+        assert w.extra["barriers"] > 0, name
+
+
+def test_both_variants_verified(table):
+    for name, (w, wo) in table.items():
+        assert w.max_abs_err < 1e-8 and wo.max_abs_err < 1e-8, name

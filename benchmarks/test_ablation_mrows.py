@@ -1,0 +1,66 @@
+"""A2 — row-segment size (mrows) sweep.
+
+The paper prescribes ``mrows`` as a multiple of the wavefront size (32)
+— that keeps every slab load of a wavefront inside one diagonal, i.e.
+fully coalesced.  The sweep also exposes the two pressures on the
+choice: small segments multiply work-groups (and barriers), large
+segments inflate section fill at region boundaries.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.bench.runner import run_gpu_matrix
+from repro.matrices.suite23 import get_spec
+
+SCALE = 0.02
+SWEEP = [32, 48, 64, 128, 256]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    spec = get_spec("s80_80_50")
+    out = {}
+    for mrows in SWEEP:
+        rec = run_gpu_matrix(spec, SCALE, "double", formats=["crsd"],
+                             mrows=mrows)[0]
+        out[mrows] = rec
+    return out
+
+
+def test_mrows_table(sweep, benchmark):
+    lines = ["mrows sweep on s80_80_50 (double)",
+             f"{'mrows':>6} {'GFLOPS':>8} {'barriers':>9} {'aligned':>8}"]
+    for mrows, rec in sweep.items():
+        lines.append(
+            f"{mrows:>6} {rec.gflops:>8.2f} {rec.extra['barriers']:>9.0f} "
+            f"{'yes' if mrows % 32 == 0 else 'no':>8}"
+        )
+    save_table("ablation_mrows", "\n".join(lines))
+
+    spec = get_spec("s80_80_50")
+    benchmark.pedantic(
+        lambda: run_gpu_matrix(spec, SCALE, "double", formats=["crsd"],
+                               mrows=128),
+        rounds=1, iterations=1,
+    )
+
+
+def test_all_mrows_correct(sweep):
+    for mrows, rec in sweep.items():
+        assert rec.max_abs_err < 1e-8, mrows
+
+
+def test_wavefront_multiple_wins(sweep):
+    """48 (1.5 wavefronts) must not beat the best aligned choice."""
+    best_aligned = max(r.gflops for m, r in sweep.items() if m % 32 == 0)
+    assert sweep[48].gflops <= best_aligned * 1.02
+
+
+def test_smaller_segments_more_barriers(sweep):
+    assert sweep[32].extra["barriers"] > sweep[256].extra["barriers"]
+
+
+def test_default_is_near_optimal(sweep):
+    best = max(r.gflops for r in sweep.values())
+    assert sweep[128].gflops >= 0.85 * best

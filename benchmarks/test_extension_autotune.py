@@ -1,0 +1,74 @@
+"""E13 (extension) — OSKI-style autotuning of CRSD parameters.
+
+Section V credits OSKI with runtime parameter selection; this bench
+applies the same idea to CRSD's knobs and measures what tuning buys
+over the fixed defaults across structurally different matrices.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.bench.runner import bench_scale, effective_scale, scaled_device
+from repro.core.autotune import tune
+from repro.matrices.suite23 import get_spec
+
+MATRICES = ("ecology1", "nemeth21", "us80_80_50")
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    out = {}
+    for name in MATRICES:
+        spec = get_spec(name)
+        scale = effective_scale(spec, bench_scale())
+        coo = spec.generate(scale=scale)
+        dev = scaled_device(scale)
+        res = tune(coo, mrows_grid=(64, 128, 256),
+                   threshold_grid=(0, None),
+                   device=dev, size_scale=scale)
+        default = next(
+            c for c in res.candidates
+            if c.mrows == 128 and c.idle_fill_max_rows is None
+            and c.use_local_memory
+        )
+        out[name] = (res, default)
+    return out
+
+
+def test_autotune_table(tuned, benchmark):
+    lines = ["CRSD autotuning vs fixed defaults",
+             f"{'matrix':<12} {'default(s)':>11} {'tuned(s)':>11} {'gain':>6} "
+             f"{'mrows':>6} {'thr':>6} {'lmem':>5}"]
+    for name, (res, default) in tuned.items():
+        b = res.best
+        thr = "auto" if b.idle_fill_max_rows is None else str(b.idle_fill_max_rows)
+        lines.append(
+            f"{name:<12} {default.seconds:>11.3e} {b.seconds:>11.3e} "
+            f"{default.seconds / b.seconds:>5.2f}x {b.mrows:>6} {thr:>6} "
+            f"{'on' if b.use_local_memory else 'off':>5}"
+        )
+    save_table("extension_autotune", "\n".join(lines))
+
+    spec = get_spec("ecology1")
+    scale = effective_scale(spec, bench_scale())
+    coo = spec.generate(scale=scale)
+    benchmark.pedantic(
+        lambda: tune(coo, mrows_grid=(64, 128), threshold_grid=(None,),
+                     fast=True),
+        rounds=1, iterations=1,
+    )
+
+
+def test_tuned_never_worse_than_default(tuned):
+    for name, (res, default) in tuned.items():
+        assert res.best.seconds <= default.seconds, name
+
+
+def test_tuning_finds_different_optima(tuned):
+    """The structural point: no single configuration wins everywhere
+    (ecology wants staging off, nemeth wants it on)."""
+    configs = {
+        (res.best.use_local_memory,)
+        for res in (r for r, _ in tuned.values())
+    }
+    assert len(configs) > 1

@@ -1,0 +1,112 @@
+"""E17 (extension) — mapping the design space: where does CRSD win?
+
+The paper evaluates 23 fixed matrices; this bench sweeps the two
+structural axes that decide the format contest and locates the
+crossovers:
+
+1. **band width** (pure dense band, fill = 1): DIA's home turf — as
+   the AD group widens, CRSD's tile reuse closes on DIA while ELL's
+   index stream falls behind;
+2. **fill ratio** (fixed 9 diagonals, shrinking occupancy in long
+   sections): DIA's cost grows linearly with fill while CRSD breaks
+   the idle sections — the crossover where the paper's contribution
+   starts paying.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.bench.runner import _build_runners, scaled_device
+from repro.matrices.generators import banded, multi_diagonal
+from repro.perf.costmodel import predict_gpu_time
+
+SCALE = 0.05
+N = 8192
+
+
+def times_for(coo, formats=("dia", "ell", "crsd")):
+    dev = scaled_device(SCALE)
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(coo.ncols)
+    ref = coo.matvec(x)
+    out = {}
+    for fmt in formats:
+        runner = _build_runners(coo, dev, "double", [fmt], 128)[fmt]
+        run = runner.run(x)
+        assert np.allclose(run.y, ref, atol=1e-8 * max(1, np.abs(ref).max()))
+        out[fmt] = predict_gpu_time(run.trace, dev, size_scale=SCALE).total
+    return out
+
+
+@pytest.fixture(scope="module")
+def band_sweep():
+    rng = np.random.default_rng(0)
+    out = {}
+    for hw in (1, 2, 4, 8, 16):
+        out[2 * hw + 1] = times_for(banded(N, hw, rng))
+    return out
+
+
+@pytest.fixture(scope="module")
+def fill_sweep():
+    rng = np.random.default_rng(0)
+    out = {}
+    for occupancy in (1.0, 0.5, 0.25, 0.125):
+        spec = [(off, 1.0, 1) for off in (-1, 0, 1)]
+        spec += [(off, occupancy, 3) for off in (-900, -300, 300, 900, 1800)]
+        coo = multi_diagonal(N, spec, rng)
+        out[occupancy] = (coo, times_for(coo))
+    return out
+
+
+def test_crossover_tables(band_sweep, fill_sweep, benchmark):
+    lines = ["band-width sweep (dense band, fill=1): time ratios vs CRSD",
+             f"{'diags':>6} {'DIA/CRSD':>9} {'ELL/CRSD':>9}"]
+    for nd, t in band_sweep.items():
+        lines.append(f"{nd:>6} {t['dia'] / t['crsd']:>9.2f} "
+                     f"{t['ell'] / t['crsd']:>9.2f}")
+    lines.append("")
+    lines.append("fill sweep (9 diagonals, 5 broken): time ratios vs CRSD")
+    lines.append(f"{'occupancy':>9} {'DIA fill':>9} {'DIA/CRSD':>9} {'ELL/CRSD':>9}")
+    for occ, (coo, t) in fill_sweep.items():
+        from repro.matrices.stats import compute_stats
+
+        fill = compute_stats(coo).dia_fill_ratio
+        lines.append(f"{occ:>9.3f} {fill:>9.2f} {t['dia'] / t['crsd']:>9.2f} "
+                     f"{t['ell'] / t['crsd']:>9.2f}")
+    save_table("extension_crossover", "\n".join(lines))
+
+    rng = np.random.default_rng(0)
+    coo = banded(N, 4, rng)
+    benchmark.pedantic(lambda: times_for(coo, formats=("crsd",)),
+                       rounds=1, iterations=1)
+
+
+def test_ell_gap_grows_with_band_width(band_sweep):
+    """Wider AD groups amortise the x tile further while ELL pays 4
+    index bytes per extra slot: the CRSD/ELL ratio must not shrink."""
+    ratios = [t["ell"] / t["crsd"] for t in band_sweep.values()]
+    assert ratios[-1] >= ratios[0]
+    assert ratios[-1] > 1.2
+
+
+def test_dia_crsd_crossover_on_band_width(band_sweep):
+    """Narrow bands: DIA's zero-overhead slab wins.  Wide bands: CRSD's
+    local-memory tile stops re-reading x through the L2 pipe (DIA reads
+    x once per diagonal) and overtakes — a crossover the paper's
+    fixed-suite evaluation cannot show."""
+    assert band_sweep[3]["dia"] <= band_sweep[3]["crsd"]
+    assert band_sweep[33]["dia"] > band_sweep[33]["crsd"]
+    # and the trend is monotone
+    ratios = [t["dia"] / t["crsd"] for t in band_sweep.values()]
+    assert all(b >= a * 0.98 for a, b in zip(ratios, ratios[1:]))
+
+
+def test_dia_crossover_with_fill(fill_sweep):
+    """As occupancy drops, DIA's relative cost must grow monotonically
+    and cross CRSD: the paper's core claim as a curve."""
+    ratios = [t["dia"] / t["crsd"] for _, t in fill_sweep.values()]
+    assert all(b >= a * 0.95 for a, b in zip(ratios, ratios[1:]))
+    assert ratios[0] < 1.3        # full occupancy: DIA fine
+    assert ratios[-1] > 1.5       # broken diagonals: CRSD clearly ahead

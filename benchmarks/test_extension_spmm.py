@@ -1,0 +1,72 @@
+"""E18 (extension) — multi-vector SpMM: amortising the matrix traffic.
+
+Blocked Krylov methods and multiple-right-hand-side solves apply the
+same matrix to k vectors; the generated SpMM codelets load each slab
+value once per k columns, so GFLOPS grow with k until the x-column
+traffic dominates.  This bench sweeps k and reports the scaling curve
+— a capability the paper's runtime-codegen design gets almost for free
+(nvec is just another baked constant).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.bench.runner import effective_scale, scaled_device, bench_scale
+from repro.core.crsd import CRSDMatrix
+from repro.gpu_kernels.crsd_runner import CrsdSpMM
+from repro.matrices.suite23 import get_spec
+from repro.perf.costmodel import predict_gpu_time
+from repro.perf.metrics import gflops
+
+KS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    spec = get_spec("kim1")
+    scale = effective_scale(spec, bench_scale())
+    coo = spec.generate(scale=scale)
+    dev = scaled_device(scale)
+    crsd = CRSDMatrix.from_coo(coo, mrows=128)
+    rng = np.random.default_rng(0)
+    ref_dense = None
+    out = {}
+    for k in KS:
+        x = rng.standard_normal((coo.ncols, k))
+        runner = CrsdSpMM(crsd, nvec=k, device=dev)
+        run = runner.run(x)
+        assert np.allclose(run.y, coo.matmat(x), atol=1e-8)
+        launches = 2 if crsd.num_scatter_rows else 1
+        secs = predict_gpu_time(run.trace, dev, num_launches=launches,
+                                size_scale=scale).total
+        out[k] = (secs, gflops(k * coo.nnz, secs))
+    return out
+
+
+def test_spmm_table(sweep, benchmark):
+    lines = ["multi-vector SpMM scaling on kim1 (double)",
+             f"{'k':>3} {'seconds':>11} {'GFLOPS':>8} {'per-vector cost':>16}"]
+    base = sweep[1][0]
+    for k, (secs, gf) in sweep.items():
+        lines.append(f"{k:>3} {secs:>11.3e} {gf:>8.2f} "
+                     f"{secs / k / base:>15.2f}x")
+    save_table("extension_spmm", "\n".join(lines))
+
+    spec = get_spec("kim1")
+    scale = effective_scale(spec, bench_scale())
+    coo = spec.generate(scale=scale)
+    crsd = CRSDMatrix.from_coo(coo, mrows=128)
+    runner = CrsdSpMM(crsd, nvec=4, device=scaled_device(scale))
+    x = np.random.default_rng(0).standard_normal((coo.ncols, 4))
+    benchmark.pedantic(lambda: runner.run(x), rounds=1, iterations=1)
+
+
+def test_gflops_grow_with_k(sweep):
+    gfs = [sweep[k][1] for k in KS]
+    assert all(b > a for a, b in zip(gfs, gfs[1:]))
+
+
+def test_per_vector_cost_drops(sweep):
+    """k vectors must cost well under k single-vector SpMVs."""
+    assert sweep[8][0] < 0.7 * 8 * sweep[1][0]

@@ -1,0 +1,64 @@
+"""E2 — Fig. 8: GFLOPS per format, single precision, GPU.
+
+Single-precision variant of Fig. 7.  The paper's extra observation:
+DIA for af_*_k101 "even works on GPU" at single precision (half the
+value bytes fit the 3 GB), so the OOM bars disappear.
+"""
+
+import pytest
+
+from benchmarks.conftest import representative_spmv, save_table
+from repro.bench import shapes
+from repro.bench.report import gflops_table
+
+FORMATS = ["dia", "ell", "csr", "hyb", "crsd"]
+
+
+@pytest.fixture(scope="module")
+def result(cache):
+    return cache.gpu("single")
+
+
+def test_fig08_table(result, benchmark):
+    from benchmarks.conftest import RESULTS_DIR
+    from repro.bench.figures import write_csv
+
+    save_table("fig08_gpu_single_gflops", gflops_table(result, FORMATS))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_csv(result, RESULTS_DIR / "fig08_gpu_single.csv", FORMATS)
+    benchmark.pedantic(representative_spmv("single"), rounds=1, iterations=1)
+    assert len(result.records) == 23 * len(FORMATS)
+
+
+def test_af_dia_fits_at_single(result):
+    for num in (11, 12, 13):
+        assert not shapes.is_oom(result, num, "dia"), num
+        # and CRSD still thrashes it (the paper prints 1.31 here, which
+        # is inconsistent with af's own diagonal count — see
+        # EXPERIMENTS.md; we assert the direction only)
+        shapes.crsd_beats(result, num, "dia", at_least=1.2)
+
+
+def test_single_faster_than_double(result, cache):
+    """Halving value bytes must raise GFLOPS across the board."""
+    double = cache.gpu("double")
+    for num in range(1, 24):
+        s = result.by_matrix(num)["crsd"]
+        d = double.by_matrix(num)["crsd"]
+        assert s.gflops > d.gflops, num
+
+
+def test_ell_still_beats_crsd_on_wang(result):
+    for num in (7, 8):
+        shapes.baseline_beats_crsd(result, num, "ell")
+
+
+def test_crsd_strongest_overall(result):
+    wins = sum(
+        1
+        for num in range(1, 24)
+        if num not in (7, 8)
+        and result.best_baseline(num).seconds
+        >= result.by_matrix(num)["crsd"].seconds
+    )
+    assert wins >= 14

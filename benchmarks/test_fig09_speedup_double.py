@@ -1,0 +1,60 @@
+"""E3 — Fig. 9: CRSD speedup over DIA/ELL/CSR/HYB, double precision.
+
+Paper headline numbers for this figure: vs DIA max 11.13 / avg 2.05;
+vs ELL max 1.52 / avg 1.24; vs CSR max 9.01 / avg 4.57; HYB within the
+ELL..CSR band.  Absolute factors depend on the testbed; the bands
+asserted here are generous but directional.
+"""
+
+import pytest
+
+from benchmarks.conftest import representative_spmv, save_table
+from repro.bench import shapes
+from repro.bench.report import speedup_series, speedup_table, summarize_series
+
+BASELINES = ["dia", "ell", "csr", "hyb"]
+
+
+@pytest.fixture(scope="module")
+def result(cache):
+    return cache.gpu("double")
+
+
+def test_fig09_table(result, benchmark):
+    save_table("fig09_speedup_double", speedup_table(result, BASELINES))
+    lines = ["paper (double): DIA 11.13/2.05  ELL 1.52/1.24  CSR 9.01/4.57"]
+    for b in BASELINES:
+        s = summarize_series(speedup_series(result, b))
+        lines.append(f"measured CRSD/{b.upper()}: max {s['max']:.2f}  avg {s['avg']:.2f}")
+    save_table("fig09_summary", "\n".join(lines))
+    benchmark.pedantic(representative_spmv("double"), rounds=1, iterations=1)
+
+
+def test_vs_dia_band(result):
+    s = summarize_series(speedup_series(result, "dia"))
+    shapes.assert_band(s["max"], 3.0, 15.0, "CRSD/DIA max (double)")
+    shapes.assert_band(s["avg"], 1.2, 4.0, "CRSD/DIA avg (double)")
+
+
+def test_vs_ell_band(result):
+    s = summarize_series(speedup_series(result, "ell"))
+    shapes.assert_band(s["max"], 1.2, 2.3, "CRSD/ELL max (double)")
+    shapes.assert_band(s["avg"], 1.0, 1.7, "CRSD/ELL avg (double)")
+
+
+def test_vs_csr_band(result):
+    s = summarize_series(speedup_series(result, "csr"))
+    shapes.assert_band(s["max"], 4.0, 14.0, "CRSD/CSR max (double)")
+    shapes.assert_band(s["avg"], 2.0, 7.0, "CRSD/CSR avg (double)")
+
+
+def test_vs_hyb_band(result):
+    s = summarize_series(speedup_series(result, "hyb"))
+    shapes.assert_band(s["avg"], 0.95, 1.8, "CRSD/HYB avg (double)")
+
+
+def test_hyb_tail_helps_on_long_row_matrices(result):
+    """Matrices 15-23 split a COO tail; there HYB must beat plain ELL."""
+    for num in (15, 16, 17):
+        recs = result.by_matrix(num)
+        assert recs["hyb"].seconds < recs["ell"].seconds, num

@@ -1,0 +1,57 @@
+"""E4 — Fig. 10: CRSD speedups, single precision.
+
+Paper: vs DIA max 11.24 / avg 1.92; vs ELL max 1.94 / avg 1.50; vs CSR
+max 9.14 / avg 4.59.  The structural claim on top of Fig. 9: index
+bytes weigh *more* at 4-byte values, so CRSD's baked-index advantage
+over ELL grows relative to double precision.
+"""
+
+import pytest
+
+from benchmarks.conftest import representative_spmv, save_table
+from repro.bench import shapes
+from repro.bench.report import speedup_series, speedup_table, summarize_series
+
+BASELINES = ["dia", "ell", "csr", "hyb"]
+
+
+@pytest.fixture(scope="module")
+def result(cache):
+    return cache.gpu("single")
+
+
+def test_fig10_table(result, benchmark):
+    save_table("fig10_speedup_single", speedup_table(result, BASELINES))
+    lines = ["paper (single): DIA 11.24/1.92  ELL 1.94/1.50  CSR 9.14/4.59"]
+    for b in BASELINES:
+        s = summarize_series(speedup_series(result, b))
+        lines.append(f"measured CRSD/{b.upper()}: max {s['max']:.2f}  avg {s['avg']:.2f}")
+    save_table("fig10_summary", "\n".join(lines))
+    benchmark.pedantic(representative_spmv("single"), rounds=1, iterations=1)
+
+
+def test_vs_ell_band(result):
+    s = summarize_series(speedup_series(result, "ell"))
+    shapes.assert_band(s["max"], 1.4, 3.0, "CRSD/ELL max (single)")
+    shapes.assert_band(s["avg"], 1.15, 2.0, "CRSD/ELL avg (single)")
+
+
+def test_vs_csr_band(result):
+    s = summarize_series(speedup_series(result, "csr"))
+    shapes.assert_band(s["avg"], 2.5, 8.0, "CRSD/CSR avg (single)")
+
+
+def test_single_ell_advantage_exceeds_double(result, cache):
+    """The crossover claim: CRSD/ELL average grows from double to
+    single because the (fixed-size) column indices are a larger share
+    of ELL's traffic."""
+    d = summarize_series(speedup_series(cache.gpu("double"), "ell"))
+    s = summarize_series(speedup_series(result, "ell"))
+    assert s["avg"] > d["avg"]
+    assert s["max"] > d["max"]
+
+
+def test_single_csr_advantage_exceeds_double(result, cache):
+    d = summarize_series(speedup_series(cache.gpu("double"), "csr"))
+    s = summarize_series(speedup_series(result, "csr"))
+    assert s["avg"] > d["avg"]

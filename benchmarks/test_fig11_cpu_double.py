@@ -1,0 +1,64 @@
+"""E5 — Fig. 11: CRSD (GPU) speedups over the CPU baselines, double.
+
+Series reproduced: CRSD/CSR-CPU (1 thread), CRSD/CSR-CPU (8 threads),
+CRSD/DIA-CPU (serial).  Paper: DIA-CPU speedups reach ~199.63 on the
+five pathological matrices (s3dk*, af_*); elsewhere up to 15.27
+(12.34 avg).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.bench import shapes
+
+PATHOLOGICAL = {3, 4, 11, 12, 13}
+
+
+@pytest.fixture(scope="module")
+def rows(cache):
+    return cache.cpu("double")
+
+
+def _table(rows, title):
+    lines = [title,
+             f"{'#':<3}  {'matrix':<14}  {'/CSR 1thr':>10}  {'/CSR 8thr':>10}  {'/DIA 1thr':>10}"]
+    for c in rows:
+        lines.append(
+            f"{c.matrix_number:<3}  {c.matrix_name:<14}  "
+            f"{c.speedup_vs_csr_1thr:>10.2f}  {c.speedup_vs_csr_8thr:>10.2f}  "
+            f"{c.speedup_vs_dia_1thr:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig11_table(rows, benchmark):
+    save_table("fig11_cpu_double", _table(rows, "CRSD(GPU) vs CPU, double"))
+
+    from repro.cpu.kernels import CpuCsrSpMV
+    from repro.formats.csr import CSRMatrix
+    from repro.matrices.suite23 import get_spec
+
+    coo = get_spec(5).generate(scale=0.01)
+    kern = CpuCsrSpMV(CSRMatrix.from_coo(coo), threads=8)
+    x = np.random.default_rng(0).standard_normal(coo.ncols)
+    benchmark.pedantic(lambda: kern.run(x), rounds=1, iterations=1)
+
+
+def test_dia_cpu_collapses_on_pathological(rows):
+    for c in rows:
+        if c.matrix_number in PATHOLOGICAL:
+            shapes.assert_band(c.speedup_vs_dia_1thr, 50.0, 400.0,
+                               f"CRSD/DIA-CPU on {c.matrix_name}")
+
+
+def test_dia_cpu_moderate_elsewhere(rows):
+    others = [c.speedup_vs_dia_1thr for c in rows
+              if c.matrix_number not in PATHOLOGICAL]
+    assert max(others) < 150.0
+
+
+def test_gpu_always_beats_cpu(rows):
+    for c in rows:
+        assert c.speedup_vs_csr_8thr > 1.0, c.matrix_name
+        assert c.speedup_vs_csr_1thr > c.speedup_vs_csr_8thr, c.matrix_name

@@ -1,0 +1,54 @@
+"""E6 — Fig. 12: CRSD (GPU) speedups over the CPU baselines, single.
+
+(The paper's Fig. 12 caption repeats "Double Precision" — an obvious
+typo; Section IV's text makes clear it is the single-precision CPU
+comparison, with DIA-CPU speedups up to ~202.23.)
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.bench import shapes
+
+PATHOLOGICAL = {3, 4, 11, 12, 13}
+
+
+@pytest.fixture(scope="module")
+def rows(cache):
+    return cache.cpu("single")
+
+
+def test_fig12_table(rows, benchmark):
+    lines = [
+        "CRSD(GPU) vs CPU, single",
+        f"{'#':<3}  {'matrix':<14}  {'/CSR 1thr':>10}  {'/CSR 8thr':>10}  {'/DIA 1thr':>10}",
+    ]
+    for c in rows:
+        lines.append(
+            f"{c.matrix_number:<3}  {c.matrix_name:<14}  "
+            f"{c.speedup_vs_csr_1thr:>10.2f}  {c.speedup_vs_csr_8thr:>10.2f}  "
+            f"{c.speedup_vs_dia_1thr:>10.2f}"
+        )
+    save_table("fig12_cpu_single", "\n".join(lines))
+
+    from repro.cpu.kernels import CpuCsrSpMV
+    from repro.formats.csr import CSRMatrix
+    from repro.matrices.suite23 import get_spec
+
+    coo = get_spec(5).generate(scale=0.01)
+    kern = CpuCsrSpMV(CSRMatrix.from_coo(coo), precision="single", threads=8)
+    x = np.random.default_rng(0).standard_normal(coo.ncols)
+    benchmark.pedantic(lambda: kern.run(x), rounds=1, iterations=1)
+
+
+def test_dia_cpu_collapses_on_pathological(rows):
+    for c in rows:
+        if c.matrix_number in PATHOLOGICAL:
+            shapes.assert_band(c.speedup_vs_dia_1thr, 40.0, 400.0,
+                               f"CRSD/DIA-CPU single on {c.matrix_name}")
+
+
+def test_gpu_always_beats_cpu(rows):
+    for c in rows:
+        assert c.speedup_vs_csr_8thr > 1.0, c.matrix_name

@@ -1,0 +1,71 @@
+"""E10 — Section IV-A side observations:
+
+1. the HYB default split keeps matrices 1-14 entirely in ELL and puts
+   a small fraction (paper: 0.2%-2.1%) of nonzeros of matrices 15-23
+   into the COO tail;
+2. DIA in double precision exceeds the C2050's 3 GB device memory for
+   af_1/2/3_k101 — and only for those — while single precision fits.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.bench.runner import dia_oom_at_full_size, effective_scale, bench_scale
+from repro.formats.hyb import HYBMatrix
+from repro.matrices.stats import estimate_dia_bytes
+from repro.matrices.suite23 import SUITE
+
+
+@pytest.fixture(scope="module")
+def splits():
+    out = {}
+    for spec in SUITE:
+        coo = spec.generate(scale=effective_scale(spec, bench_scale()))
+        out[spec.number] = HYBMatrix.from_coo(coo)
+    return out
+
+
+def test_hyb_split_table(splits, benchmark):
+    lines = ["HYB default split (cusp heuristic)",
+             f"{'#':<3}  {'matrix':<14}  {'K-prime':>7}  {'COO tail %':>10}"]
+    for spec in SUITE:
+        h = splits[spec.number]
+        lines.append(
+            f"{spec.number:<3}  {spec.name:<14}  {h.ell.width:>7}  "
+            f"{h.coo_fraction * 100:>10.3f}"
+        )
+    save_table("hyb_split", "\n".join(lines))
+
+    spec = SUITE[17]
+    coo = spec.generate(scale=effective_scale(spec, bench_scale()))
+    benchmark.pedantic(lambda: HYBMatrix.from_coo(coo), rounds=1, iterations=1)
+
+
+def test_matrices_1_to_14_entirely_ell(splits):
+    for num in range(1, 15):
+        assert splits[num].coo_fraction == 0.0, num
+
+
+def test_matrices_15_to_23_have_small_tails(splits):
+    for num in range(15, 24):
+        frac = splits[num].coo_fraction
+        assert 0.0 < frac <= 0.05, (num, frac)
+
+
+def test_dia_memory_wall():
+    lines = ["Full-size DIA device footprint vs the C2050's 3 GB",
+             f"{'matrix':<14}  {'double':>14}  {'single':>14}  verdict"]
+    for spec in SUITE:
+        if spec.full_diagonals is None:
+            continue
+        d = estimate_dia_bytes(spec.paper_rows, spec.full_diagonals, "double")
+        s = estimate_dia_bytes(spec.paper_rows, spec.full_diagonals, "single")
+        verdict = "OOM@double" if dia_oom_at_full_size(spec, "double") else "fits"
+        lines.append(f"{spec.name:<14}  {d:>14,}  {s:>14,}  {verdict}")
+    save_table("dia_memory_wall", "\n".join(lines))
+
+    oom_double = {s.name for s in SUITE if dia_oom_at_full_size(s, "double")}
+    oom_single = {s.name for s in SUITE if dia_oom_at_full_size(s, "single")}
+    assert oom_double == {"af_1_k101", "af_2_k101", "af_3_k101"}
+    assert oom_single == set()

@@ -1,0 +1,73 @@
+"""E7 — Table VI: CRSD (GPU) vs MKL-like CSR (CPU), max and average.
+
+Paper values:
+
+    precision  serial(max/avg)    8 threads(max/avg)
+    double     25.06 / 14.76      11.93 / 6.63
+    single     39.81 / 24.25      12.79 / 7.18
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.bench import shapes
+
+
+def summarize(rows, attr):
+    vals = [getattr(c, attr) for c in rows]
+    return max(vals), sum(vals) / len(vals)
+
+
+@pytest.fixture(scope="module")
+def both(cache):
+    return {"double": cache.cpu("double"), "single": cache.cpu("single")}
+
+
+def test_table6(both, benchmark):
+    lines = ["Table VI reproduction (CRSD GPU vs CSR CPU)",
+             "precision  serial max/avg      8thr max/avg      (paper)"]
+    paper = {
+        "double": "25.06/14.76, 11.93/6.63",
+        "single": "39.81/24.25, 12.79/7.18",
+    }
+    for prec, rows in both.items():
+        m1, a1 = summarize(rows, "speedup_vs_csr_1thr")
+        m8, a8 = summarize(rows, "speedup_vs_csr_8thr")
+        lines.append(
+            f"{prec:<9}  {m1:6.2f}/{a1:6.2f}     {m8:6.2f}/{a8:6.2f}"
+            f"     ({paper[prec]})"
+        )
+    save_table("table6_cpu_speedup", "\n".join(lines))
+
+    from repro.core.crsd import CRSDMatrix
+    from repro.cpu.kernels import CpuCrsdSpMV
+    from repro.matrices.suite23 import get_spec
+
+    coo = get_spec(9).generate(scale=0.02)
+    kern = CpuCrsdSpMV(CRSDMatrix.from_coo(coo, mrows=64))
+    x = np.random.default_rng(0).standard_normal(coo.ncols)
+    benchmark.pedantic(lambda: kern.run(x), rounds=1, iterations=1)
+
+
+def test_double_bands(both):
+    rows = both["double"]
+    m1, a1 = summarize(rows, "speedup_vs_csr_1thr")
+    m8, a8 = summarize(rows, "speedup_vs_csr_8thr")
+    shapes.assert_band(a1, 8.0, 40.0, "serial avg (double)")
+    shapes.assert_band(a8, 3.0, 10.0, "8-thread avg (double)")
+    shapes.assert_band(m8, 5.0, 14.0, "8-thread max (double)")
+
+
+def test_single_bands(both):
+    rows = both["single"]
+    _, a1 = summarize(rows, "speedup_vs_csr_1thr")
+    m8, a8 = summarize(rows, "speedup_vs_csr_8thr")
+    shapes.assert_band(a8, 3.5, 11.0, "8-thread avg (single)")
+
+
+def test_thread_scaling_consistent(both):
+    """8 threads close most, but never all, of the CPU-GPU gap."""
+    for rows in both.values():
+        for c in rows:
+            assert 1.0 < c.speedup_vs_csr_8thr < c.speedup_vs_csr_1thr

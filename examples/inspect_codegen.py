@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Inspect the runtime code generator on the paper's worked example.
+
+Rebuilds the Fig. 2 matrix, prints the CRSD storage in the Fig. 4
+notation, the Table II/III quantities each codelet bakes in, and both
+renderings of the generated kernel: the OpenCL C a real GPU would
+compile (Fig. 6) and the Python codelets the simulator executes.
+
+Run:  python examples/inspect_codegen.py
+"""
+
+import numpy as np
+
+from repro.codegen import build_plan, generate_opencl_source
+from repro.codegen.python_codelet import emit_python_source
+from repro.core.crsd import CRSDMatrix
+from repro.formats.coo import COOMatrix
+
+# the Fig. 2 matrix (6 x 9): values named v<row><col> in the paper
+FIG2 = {
+    (0, 0): 1.0, (0, 2): 2.0, (0, 3): 3.0, (0, 5): 4.0, (0, 7): 5.0,
+    (1, 1): 6.0, (1, 3): 7.0, (1, 4): 8.0, (1, 6): 9.0, (1, 8): 10.0,
+    (2, 0): 11.0, (2, 1): 12.0, (2, 3): 13.0,
+    (3, 1): 14.0, (3, 2): 15.0, (3, 4): 16.0,
+    (4, 2): 17.0, (4, 5): 18.0,
+    (5, 3): 19.0, (5, 4): 20.0, (5, 5): 21.0, (5, 6): 22.0,
+}
+
+
+def banner(title):
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main():
+    rows, cols = zip(*FIG2)
+    coo = COOMatrix(np.array(rows), np.array(cols),
+                    np.array(list(FIG2.values())), (6, 9))
+    crsd = CRSDMatrix.from_coo(coo, mrows=2, idle_fill_max_rows=1)
+
+    banner("CRSD storage (the paper's Fig. 4 notation, mrows=2)")
+    print(crsd.fig4_dump())
+
+    banner("Per-pattern information (Table II/III)")
+    for p, r in enumerate(crsd.regions):
+        print(f"pattern p={p}: {r.pattern}  NRS={r.nrs}  NNzRS={r.nnz_per_segment}"
+              f"  SR={r.start_row}  NDias={r.ndiags}  Colv={r.colv}")
+
+    plan = build_plan(crsd)
+    banner("Generated OpenCL C kernel (Fig. 6)")
+    print(generate_opencl_source(plan, precision="double"))
+
+    banner("Generated Python codelets (what the simulator executes)")
+    print(emit_python_source(plan))
+
+    banner("Verification")
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(9)
+    from repro.gpu_kernels import CrsdSpMV
+
+    run = CrsdSpMV(crsd).run(x)
+    err = np.abs(run.y - coo.matvec(x)).max()
+    print(f"generated kernel vs reference: max abs err = {err:.2e}")
+    print(f"trace: {run.trace.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Implicit 2-D heat equation driven by CRSD SpMV.
+
+The paper motivates diagonal sparse matrices with PDE discretisations
+(FDM/FVM, Section I).  This example assembles the backward-Euler system
+``(I + dt * L) u_new = u_old`` for the 2-D heat equation on a regular
+grid (a 5-point-stencil diagonal matrix, the ecology1/2 structure),
+stores it in CRSD, and solves each time step with conjugate gradients
+whose only matrix operation is the generated CRSD kernel running on the
+simulated GPU.
+
+Run:  python examples/pde_heat_solver.py
+"""
+
+import numpy as np
+
+from repro.core.crsd import CRSDMatrix
+from repro.formats.coo import COOMatrix
+from repro.gpu_kernels import CrsdSpMV
+from repro.matrices.generators import grid_stencil, stencil_offsets
+from repro.perf import gflops, predict_gpu_time
+
+
+def assemble_heat_matrix(nx, ny, dt=1.0):
+    """I + dt * (negative 5-point Laplacian), SPD."""
+    rng = np.random.default_rng(0)
+    sten = grid_stencil((nx, ny), stencil_offsets((nx, ny), 1), rng)
+    offs = sten.offsets_of_entries()
+    vals = np.where(offs == 0, 1.0 + 4.0 * dt, -dt)
+    return COOMatrix(sten.rows, sten.cols, vals, sten.shape)
+
+
+def cg(apply_a, b, tol=1e-10, maxiter=1000):
+    x = np.zeros_like(b)
+    r = b - apply_a(x)
+    p = r.copy()
+    rs = r @ r
+    for it in range(1, maxiter + 1):
+        ap = apply_a(p)
+        alpha = rs / (p @ ap)
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = r @ r
+        if np.sqrt(rs_new) < tol:
+            return x, it
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    return x, maxiter
+
+
+def main():
+    nx = ny = 48
+    n = nx * ny
+    steps = 5
+    a = assemble_heat_matrix(nx, ny)
+    print(f"heat system: {n} unknowns, nnz = {a.nnz:,} "
+          f"({a.diagonal_offsets().size} diagonals)")
+
+    crsd = CRSDMatrix.from_coo(a, mrows=64)
+    runner = CrsdSpMV(crsd)
+    print(f"CRSD: {crsd.num_dia_patterns} pattern(s), "
+          f"{len(crsd.regions)} region(s), fill {crsd.fill_zeros}")
+
+    # initial condition: a hot square in the middle
+    u = np.zeros((nx, ny))
+    u[nx // 3 : 2 * nx // 3, ny // 3 : 2 * ny // 3] = 100.0
+    u = u.ravel()
+    total_heat0 = u.sum()
+
+    spmv_count = 0
+
+    def apply_a(v):
+        nonlocal spmv_count
+        spmv_count += 1
+        return runner.run(v, trace=False).y
+
+    for step in range(1, steps + 1):
+        u, iters = cg(apply_a, u)
+        print(f"step {step}: CG converged in {iters:3d} iterations, "
+              f"peak T = {u.max():7.3f}, total heat = {u.sum():.3f}")
+
+    # diffusion sanity: heat conserved (Neumann-free interior decay is
+    # small over few steps), temperature spreading
+    assert abs(u.sum() - total_heat0) / total_heat0 < 0.6
+    assert u.max() < 100.0
+
+    # one traced SpMV for the performance picture
+    run = runner.run(u)
+    perf = predict_gpu_time(run.trace, runner.device)
+    print(
+        f"\n{spmv_count} SpMV calls on the simulated GPU; one SpMV modelled at "
+        f"{perf.total * 1e6:.1f}us ({gflops(a.nnz, perf.total):.2f} GFLOPS, "
+        f"bound: {perf.bound})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""CRSD SpMV reproduction (Sun et al., ICPP 2011).
+
+``repro`` implements the paper's contribution -- the CRSD sparse storage
+format with runtime codelet generation -- together with every substrate
+its evaluation depends on:
+
+- ``repro.formats``      -- COO/CSR/DIA/ELL/HYB/BCSR storage formats
+- ``repro.core``         -- diagonal patterns, row segments, CRSD itself
+- ``repro.codegen``      -- the runtime code generator (OpenCL C + Python)
+- ``repro.ocl``          -- a simulated OpenCL device and runtime
+- ``repro.gpu_kernels``  -- Bell & Garland (2009) style baseline kernels
+- ``repro.perf``         -- roofline/transaction performance model
+- ``repro.cpu``          -- MKL-like CPU baselines and machine model
+- ``repro.matrices``     -- the 23-matrix evaluation suite (synthetic)
+- ``repro.bench``        -- the per-figure/table benchmark harness
+- ``repro.solvers``      -- CG/BiCGSTAB/Jacobi over the SpMV kernels
+- ``repro.hybrid``       -- PCIe transfers + CPU+GPU hybrid SpMV
+- ``repro.cli``          -- ``python -m repro info/bench/codegen/convert/tune``
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,41 @@
+"""Benchmark harness: one entry point per paper table/figure.
+
+:mod:`repro.bench.runner` executes the format kernels over the suite
+(functionally, on the simulated device), verifies every result against
+the reference SpMV, and converts traces to time through the cost
+model.  :mod:`repro.bench.report` renders Fig.-7-style GFLOPS tables
+and speedup series; :mod:`repro.bench.shapes` holds the qualitative
+assertions ("who wins, by roughly what factor") that the benchmark
+tests check instead of absolute numbers.
+
+Scaling: benchmarks run the suite at a reduced ``scale`` (structure
+preserved); the device's memory capacity and fixed launch overhead are
+scaled by the same factor so *relative* results match the full-size
+machine balance.  Set ``REPRO_BENCH_SCALE`` to override.
+"""
+
+from repro.bench.runner import (
+    BenchRecord,
+    GpuSuiteResult,
+    bench_scale,
+    run_gpu_matrix,
+    run_gpu_suite,
+    run_cpu_matrix,
+    scaled_device,
+)
+from repro.bench.report import gflops_table, speedup_table, render_records
+from repro.bench import shapes
+
+__all__ = [
+    "BenchRecord",
+    "GpuSuiteResult",
+    "bench_scale",
+    "run_gpu_matrix",
+    "run_gpu_suite",
+    "run_cpu_matrix",
+    "scaled_device",
+    "gflops_table",
+    "speedup_table",
+    "render_records",
+    "shapes",
+]

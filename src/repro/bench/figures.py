@@ -1,0 +1,99 @@
+"""Figure rendering: ASCII bar charts and CSV export.
+
+The paper's Figs. 7-12 are grouped bar charts; these helpers render
+the reproduced data as terminal-friendly charts (written alongside the
+tables in ``benchmarks/results/``) and as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+from repro.bench.runner import GpuSuiteResult
+
+#: glyph per format, mirroring the figures' legend order
+_GLYPHS = {"dia": "D", "ell": "E", "csr": "C", "hyb": "H", "crsd": "*"}
+
+
+def ascii_bar_chart(
+    series: Mapping[str, float],
+    width: int = 56,
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render one labelled bar per entry, scaled to the max value."""
+    if not series:
+        return title
+    peak = max(v for v in series.values() if v is not None) or 1.0
+    label_w = max(len(k) for k in series)
+    lines = [title] if title else []
+    for name, value in series.items():
+        if value is None:
+            lines.append(f"{name:<{label_w}} | {'(OOM)'}")
+            continue
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(f"{name:<{label_w}} | {bar} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def gflops_chart(result: GpuSuiteResult, matrix_number: int,
+                 formats: Sequence[str]) -> str:
+    """One matrix's Fig.-7-style format comparison as a bar chart."""
+    recs = result.by_matrix(matrix_number)
+    if not recs:
+        raise KeyError(f"no records for matrix {matrix_number}")
+    name = next(iter(recs.values())).matrix_name
+    series = {
+        fmt: (None if recs[fmt].oom else recs[fmt].gflops)
+        for fmt in formats
+        if fmt in recs
+    }
+    return ascii_bar_chart(series, title=f"{name} ({result.precision}) GFLOPS")
+
+
+def suite_chart(result: GpuSuiteResult, formats: Sequence[str]) -> str:
+    """The whole figure: one block per matrix."""
+    blocks = []
+    for num in sorted({r.matrix_number for r in result.records}):
+        blocks.append(gflops_chart(result, num, formats))
+    return "\n\n".join(blocks)
+
+
+def write_csv(result: GpuSuiteResult, path: Union[str, Path],
+              formats: Optional[Sequence[str]] = None) -> Path:
+    """Dump a suite result as CSV (one row per matrix, one column per
+    format; empty cell = OOM)."""
+    path = Path(path)
+    numbers = sorted({r.matrix_number for r in result.records})
+    formats = list(formats or sorted({r.fmt for r in result.records}))
+    with open(path, "w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["number", "matrix", "precision"] + list(formats))
+        for num in numbers:
+            recs = result.by_matrix(num)
+            name = next(iter(recs.values())).matrix_name
+            row = [num, name, result.precision]
+            for fmt in formats:
+                r = recs.get(fmt)
+                row.append("" if (r is None or r.oom) else f"{r.gflops:.4f}")
+            w.writerow(row)
+    return path
+
+
+def read_back_csv(path: Union[str, Path]) -> Dict[str, Dict[str, float]]:
+    """Load a CSV written by :func:`write_csv` (used by tests and by
+    external plotting scripts)."""
+    out: Dict[str, Dict[str, float]] = {}
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        for row in reader:
+            name = row["matrix"]
+            out[name] = {
+                k: float(v)
+                for k, v in row.items()
+                if k not in ("number", "matrix", "precision") and v
+            }
+    return out

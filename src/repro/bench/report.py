@@ -1,0 +1,104 @@
+"""Rendering of benchmark results as the paper's tables/series."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.runner import BenchRecord, GpuSuiteResult
+
+
+def gflops_table(result: GpuSuiteResult, formats: Sequence[str]) -> str:
+    """Fig. 7/8-style table: one row per matrix, one GFLOPS column per
+    format ('OOM' where the format did not fit device memory)."""
+    lines = [
+        f"GFLOPS on simulated Tesla C2050, precision={result.precision}, "
+        f"scale={result.scale}",
+        _row(["#", "matrix"] + list(formats)),
+        _row(["--"] * (2 + len(formats))),
+    ]
+    numbers = sorted({r.matrix_number for r in result.records})
+    for num in numbers:
+        recs = result.by_matrix(num)
+        name = next(iter(recs.values())).matrix_name
+        cells = [str(num), name]
+        for fmt in formats:
+            r = recs.get(fmt)
+            if r is None:
+                cells.append("-")
+            elif r.oom:
+                cells.append("OOM")
+            else:
+                cells.append(f"{r.gflops:.2f}")
+        lines.append(_row(cells))
+    return "\n".join(lines)
+
+
+def speedup_table(result: GpuSuiteResult, baselines: Sequence[str]) -> str:
+    """Fig. 9/10-style table: CRSD speedup over each baseline format."""
+    lines = [
+        f"CRSD speedup, precision={result.precision}, scale={result.scale}",
+        _row(["#", "matrix"] + [f"CRSD/{b.upper()}" for b in baselines]),
+        _row(["--"] * (2 + len(baselines))),
+    ]
+    numbers = sorted({r.matrix_number for r in result.records})
+    for num in numbers:
+        recs = result.by_matrix(num)
+        crsd = recs.get("crsd")
+        if crsd is None or crsd.oom:
+            continue
+        cells = [str(num), crsd.matrix_name]
+        for b in baselines:
+            r = recs.get(b)
+            if r is None or r.oom:
+                cells.append("OOM")
+            else:
+                cells.append(f"{r.seconds / crsd.seconds:.2f}")
+        lines.append(_row(cells))
+    return "\n".join(lines)
+
+
+def speedup_series(result: GpuSuiteResult, baseline: str) -> Dict[int, float]:
+    """CRSD-over-baseline speedup per matrix number (OOM rows skipped)."""
+    out: Dict[int, float] = {}
+    for num in sorted({r.matrix_number for r in result.records}):
+        recs = result.by_matrix(num)
+        crsd, base = recs.get("crsd"), recs.get(baseline)
+        if crsd and base and not crsd.oom and not base.oom:
+            out[num] = base.seconds / crsd.seconds
+    return out
+
+
+def summarize_series(series: Dict[int, float]) -> Dict[str, float]:
+    """max / average of a speedup series (the numbers the paper quotes)."""
+    vals = list(series.values())
+    if not vals:
+        return {"max": float("nan"), "avg": float("nan")}
+    return {"max": max(vals), "avg": sum(vals) / len(vals)}
+
+
+def render_records(records: Iterable[BenchRecord]) -> str:
+    """Flat per-record dump (debugging aid)."""
+    lines = [_row(["#", "matrix", "fmt", "prec", "GFLOPS", "coal", "barriers"])]
+    for r in records:
+        lines.append(
+            _row(
+                [
+                    str(r.matrix_number),
+                    r.matrix_name,
+                    r.fmt,
+                    r.precision,
+                    "OOM" if r.oom else f"{r.gflops:.2f}",
+                    f"{r.extra.get('coalescing', 0):.2f}",
+                    f"{r.extra.get('barriers', 0):.0f}",
+                ]
+            )
+        )
+    return "\n".join(lines)
+
+
+def _row(cells: List[str]) -> str:
+    widths = [3, 14] + [10] * (len(cells) - 2)
+    out = []
+    for cell, w in zip(cells, widths):
+        out.append(("-" * w) if cell == "--" else cell.ljust(w))
+    return "  ".join(out)

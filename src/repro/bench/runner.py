@@ -1,0 +1,328 @@
+"""Suite execution: build formats, run kernels, verify, model time."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.crsd import CRSDMatrix
+from repro.cpu.kernels import CpuCrsdSpMV, CpuCsrSpMV, CpuDiaSpMV
+from repro.cpu.machine import CPUSpec, XEON_X5550_2S
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.gpu_kernels import (
+    CrsdSpMV,
+    CsrVectorSpMV,
+    DiaSpMV,
+    EllSpMV,
+    HybSpMV,
+)
+from repro.matrices.suite23 import SUITE, MatrixSpec
+from repro.ocl.device import TESLA_C2050, DeviceSpec
+from repro.ocl.errors import DeviceMemoryError
+from repro.perf.costmodel import predict_gpu_time
+from repro.perf.metrics import gflops as gflops_of
+
+#: default suite scale for benchmark runs (2% keeps the functional
+#: simulation of all 23 matrices x 5 formats under a minute)
+DEFAULT_SCALE = 0.02
+
+#: matrices are never scaled below this many rows — smaller launches
+#: are latency-bound on the simulated device, which would distort the
+#: relative results (the real matrices all have >= 9506 rows)
+MIN_BENCH_ROWS = 4000
+
+#: default row-segment size for CRSD in benchmarks (4 wavefronts)
+DEFAULT_MROWS = 128
+
+GPU_FORMATS = ("dia", "ell", "csr", "hyb", "crsd")
+
+
+def bench_scale() -> float:
+    """Suite scale, overridable via ``REPRO_BENCH_SCALE``."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+def effective_scale(spec: MatrixSpec, scale: float,
+                    min_rows: int = MIN_BENCH_ROWS) -> float:
+    """Clamp ``scale`` so the generated matrix keeps at least
+    ``min_rows`` rows (or the spec's own floor, when larger)."""
+    floor = max(min_rows, spec.min_bench_rows or 0)
+    return min(1.0, max(scale, floor / spec.paper_rows))
+
+
+def dia_oom_at_full_size(spec: MatrixSpec, precision: str,
+                         device: DeviceSpec = TESLA_C2050) -> bool:
+    """Analytic full-size DIA device-memory check (E10).
+
+    The af_*_k101 DIA slab in double precision is ~3.6 GB — too big to
+    materialise even on this host — so the check uses the documented
+    diagonal count instead of building the format:
+    ``900 x 503625 x 8 B > 3 GB`` (double: OOM), ``x 4 B`` (single: fits).
+    """
+    if spec.full_diagonals is None:
+        return False
+    from repro.formats.footprint import value_itemsize
+    from repro.matrices.stats import estimate_dia_bytes
+
+    need = estimate_dia_bytes(spec.paper_rows, spec.full_diagonals, precision)
+    vectors = (spec.paper_rows + spec.paper_cols) * value_itemsize(precision)
+    return need + vectors > device.global_mem_bytes
+
+
+def scaled_device(scale: float, device: DeviceSpec = TESLA_C2050) -> DeviceSpec:
+    """Shrink capacity and fixed overheads with the problem size so the
+    machine balance (and hence every *ratio*) matches full scale."""
+    return device.with_overrides(
+        global_mem_bytes=max(1, int(device.global_mem_bytes * scale)),
+        kernel_launch_us=device.kernel_launch_us * scale,
+        l2_bytes=max(1024, int(device.l2_bytes * scale)),
+    )
+
+
+@dataclass
+class BenchRecord:
+    """One (matrix, format, precision) measurement."""
+
+    matrix_number: int
+    matrix_name: str
+    fmt: str
+    precision: str
+    nnz: int
+    gflops: Optional[float]           # None => out of device memory
+    seconds: Optional[float]
+    oom: bool = False
+    max_abs_err: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class GpuSuiteResult:
+    """All records of one suite sweep plus run parameters."""
+
+    records: List[BenchRecord]
+    scale: float
+    precision: str
+
+    def by_matrix(self, number: int) -> Dict[str, BenchRecord]:
+        """Records of one matrix, keyed by format name."""
+        return {
+            r.fmt: r for r in self.records if r.matrix_number == number
+        }
+
+    def best_baseline(self, number: int) -> Optional[BenchRecord]:
+        """The best non-CRSD format for a matrix (the paper's 'optimal
+        implementation of the four formats')."""
+        cands = [
+            r
+            for r in self.records
+            if r.matrix_number == number and r.fmt != "crsd" and not r.oom
+        ]
+        return max(cands, key=lambda r: r.gflops) if cands else None
+
+
+def _build_runners(coo: COOMatrix, device: DeviceSpec, precision: str,
+                   formats: Sequence[str], mrows: int,
+                   use_local_memory: bool = True):
+    """Instantiate the requested kernel runners for one matrix."""
+    runners = {}
+    for fmt in formats:
+        if fmt == "dia":
+            runners[fmt] = DiaSpMV(DIAMatrix.from_coo(coo), device=device,
+                                   precision=precision)
+        elif fmt == "ell":
+            runners[fmt] = EllSpMV(ELLMatrix.from_coo(coo), device=device,
+                                   precision=precision)
+        elif fmt == "csr":
+            runners[fmt] = CsrVectorSpMV(CSRMatrix.from_coo(coo), device=device,
+                                         precision=precision)
+        elif fmt == "hyb":
+            runners[fmt] = HybSpMV(HYBMatrix.from_coo(coo), device=device,
+                                   precision=precision)
+        elif fmt == "crsd":
+            crsd = CRSDMatrix.from_coo(coo, mrows=mrows)
+            runners[fmt] = CrsdSpMV(crsd, device=device, precision=precision,
+                                    use_local_memory=use_local_memory)
+        else:
+            raise ValueError(f"unknown format {fmt!r}")
+    return runners
+
+
+def run_gpu_matrix(
+    spec: MatrixSpec,
+    scale: float,
+    precision: str,
+    formats: Sequence[str] = GPU_FORMATS,
+    device: DeviceSpec = TESLA_C2050,
+    mrows: int = DEFAULT_MROWS,
+    seed: int = 0,
+    use_local_memory: bool = True,
+) -> List[BenchRecord]:
+    """Run every requested format on one suite matrix.
+
+    Every kernel's result is verified against the COO reference; a
+    :class:`~repro.ocl.errors.DeviceMemoryError` during buffer setup is
+    recorded as an OOM bar (the paper's missing DIA/double results).
+    """
+    scale = effective_scale(spec, scale)
+    coo = spec.generate(scale=scale, seed=seed)
+    dev = scaled_device(scale, device)
+    rng = np.random.default_rng(seed + 17)
+    x = rng.standard_normal(coo.ncols)
+    ref = coo.matvec(x)
+    tol = 1e-8 if precision == "double" else 1e-2
+    refscale = max(1.0, float(np.abs(ref).max()))
+
+    records: List[BenchRecord] = []
+    for fmt in formats:
+        if fmt == "dia" and dia_oom_at_full_size(spec, precision, device):
+            records.append(
+                BenchRecord(
+                    matrix_number=spec.number, matrix_name=spec.name,
+                    fmt=fmt, precision=precision, nnz=coo.nnz,
+                    gflops=None, seconds=None, oom=True,
+                )
+            )
+            continue
+        try:
+            runner = _build_runners(coo, dev, precision, [fmt], mrows,
+                                    use_local_memory)[fmt]
+            runner.prepare()
+        except DeviceMemoryError:
+            records.append(
+                BenchRecord(
+                    matrix_number=spec.number, matrix_name=spec.name,
+                    fmt=fmt, precision=precision, nnz=coo.nnz,
+                    gflops=None, seconds=None, oom=True,
+                )
+            )
+            continue
+        run = runner.run(x)
+        err = float(np.abs(run.y - ref).max()) / refscale
+        if err > tol:
+            raise AssertionError(
+                f"{fmt} kernel wrong on {spec.name}: rel err {err:.3e}"
+            )
+        launches = 2 if (fmt == "crsd" and runner.matrix.num_scatter_rows) else (
+            2 if fmt == "hyb" and runner.matrix.coo.nnz else 1
+        )
+        perf = predict_gpu_time(run.trace, dev, precision, num_launches=launches,
+                                size_scale=scale)
+        rec = BenchRecord(
+            matrix_number=spec.number, matrix_name=spec.name, fmt=fmt,
+            precision=precision, nnz=coo.nnz,
+            gflops=gflops_of(coo.nnz, perf.total), seconds=perf.total,
+            max_abs_err=err,
+            extra={
+                "coalescing": run.trace.load_coalescing_efficiency(),
+                "divergence": run.trace.divergence_efficiency,
+                "barriers": float(run.trace.barriers),
+                "bound_bandwidth_time": perf.bandwidth_time,
+                "bound_barrier_time": perf.barrier_time,
+            },
+        )
+        records.append(rec)
+    return records
+
+
+def run_gpu_suite(
+    scale: Optional[float] = None,
+    precision: str = "double",
+    formats: Sequence[str] = GPU_FORMATS,
+    matrices: Optional[Sequence[int]] = None,
+    device: DeviceSpec = TESLA_C2050,
+    mrows: int = DEFAULT_MROWS,
+    seed: int = 0,
+) -> GpuSuiteResult:
+    """Sweep the suite (all 23 matrices by default)."""
+    scale = bench_scale() if scale is None else scale
+    nums = set(matrices) if matrices is not None else None
+    records: List[BenchRecord] = []
+    for spec in SUITE:
+        if nums is not None and spec.number not in nums:
+            continue
+        records.extend(
+            run_gpu_matrix(spec, scale, precision, formats, device, mrows, seed)
+        )
+    return GpuSuiteResult(records=records, scale=scale, precision=precision)
+
+
+@dataclass
+class CpuComparison:
+    """CPU baselines + CRSD GPU time for one matrix (Fig. 11/12 rows)."""
+
+    matrix_number: int
+    matrix_name: str
+    precision: str
+    crsd_gpu_seconds: float
+    csr_cpu_1thr_seconds: float
+    csr_cpu_8thr_seconds: float
+    dia_cpu_seconds: Optional[float]   # None if DIA host slab is absurd
+
+    @property
+    def speedup_vs_csr_1thr(self) -> float:
+        return self.csr_cpu_1thr_seconds / self.crsd_gpu_seconds
+
+    @property
+    def speedup_vs_csr_8thr(self) -> float:
+        return self.csr_cpu_8thr_seconds / self.crsd_gpu_seconds
+
+    @property
+    def speedup_vs_dia_1thr(self) -> Optional[float]:
+        if self.dia_cpu_seconds is None:
+            return None
+        return self.dia_cpu_seconds / self.crsd_gpu_seconds
+
+
+def run_cpu_matrix(
+    spec: MatrixSpec,
+    scale: float,
+    precision: str,
+    machine: CPUSpec = XEON_X5550_2S,
+    device: DeviceSpec = TESLA_C2050,
+    mrows: int = DEFAULT_MROWS,
+    seed: int = 0,
+) -> CpuComparison:
+    """CPU CSR (1/8 threads) and DIA (serial) vs CRSD on the GPU."""
+    scale = effective_scale(spec, scale)
+    coo = spec.generate(scale=scale, seed=seed)
+    rng = np.random.default_rng(seed + 17)
+    x = rng.standard_normal(coo.ncols)
+    ref = coo.matvec(x)
+    refscale = max(1.0, float(np.abs(ref).max()))
+
+    dev = scaled_device(scale, device)
+    crsd = CRSDMatrix.from_coo(coo, mrows=mrows)
+    gpu = CrsdSpMV(crsd, device=dev, precision=precision)
+    run = gpu.run(x)
+    assert float(np.abs(run.y - ref).max()) / refscale < 1e-2
+    launches = 2 if crsd.num_scatter_rows else 1
+    gpu_secs = predict_gpu_time(run.trace, dev, precision, launches,
+                                size_scale=scale).total
+
+    csr = CSRMatrix.from_coo(coo)
+    res1 = CpuCsrSpMV(csr, machine=machine, precision=precision, threads=1).run(x)
+    res8 = CpuCsrSpMV(csr, machine=machine, precision=precision, threads=8).run(x)
+    assert float(np.abs(res1.y - ref).max()) / refscale < 1e-8
+
+    dia_secs = None
+    dia = DIAMatrix.from_coo(coo)
+    resd = CpuDiaSpMV(dia, machine=machine, precision=precision).run(x)
+    assert float(np.abs(resd.y - ref).max()) / refscale < 1e-8
+    dia_secs = resd.seconds
+
+    return CpuComparison(
+        matrix_number=spec.number,
+        matrix_name=spec.name,
+        precision=precision,
+        crsd_gpu_seconds=gpu_secs,
+        csr_cpu_1thr_seconds=res1.seconds,
+        csr_cpu_8thr_seconds=res8.seconds,
+        dia_cpu_seconds=dia_secs,
+    )

@@ -1,0 +1,71 @@
+"""Qualitative shape assertions for the reproduction.
+
+Absolute GFLOPS cannot match the authors' testbed; the *shape* claims
+can and must: who wins on which matrices, by roughly what factor, and
+where the crossovers fall.  These helpers express the paper's claims
+as inequalities with generous tolerance bands; the per-figure
+benchmark files apply them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bench.runner import GpuSuiteResult
+
+
+class ShapeViolation(AssertionError):
+    """A qualitative claim of the paper failed to reproduce."""
+
+
+def crsd_beats(result: GpuSuiteResult, matrix_number: int, baseline: str,
+               at_least: float = 1.0, at_most: Optional[float] = None) -> float:
+    """Assert CRSD's speedup over ``baseline`` on one matrix lies in
+    ``[at_least, at_most]``; returns the speedup."""
+    recs = result.by_matrix(matrix_number)
+    crsd, base = recs.get("crsd"), recs.get(baseline)
+    if crsd is None or crsd.oom:
+        raise ShapeViolation(f"CRSD missing/OOM on matrix {matrix_number}")
+    if base is None or base.oom:
+        raise ShapeViolation(f"{baseline} missing/OOM on matrix {matrix_number}")
+    s = base.seconds / crsd.seconds
+    if s < at_least:
+        raise ShapeViolation(
+            f"matrix {matrix_number} ({crsd.matrix_name}): CRSD/{baseline} "
+            f"speedup {s:.2f} < required {at_least:.2f}"
+        )
+    if at_most is not None and s > at_most:
+        raise ShapeViolation(
+            f"matrix {matrix_number} ({crsd.matrix_name}): CRSD/{baseline} "
+            f"speedup {s:.2f} > plausible {at_most:.2f}"
+        )
+    return s
+
+
+def baseline_beats_crsd(result: GpuSuiteResult, matrix_number: int,
+                        baseline: str) -> float:
+    """Assert the baseline outperforms CRSD (the wang3/wang4 case);
+    returns the baseline's advantage factor."""
+    recs = result.by_matrix(matrix_number)
+    crsd, base = recs.get("crsd"), recs.get(baseline)
+    if crsd is None or base is None or crsd.oom or base.oom:
+        raise ShapeViolation(f"missing records on matrix {matrix_number}")
+    adv = crsd.seconds / base.seconds
+    if adv <= 1.0:
+        raise ShapeViolation(
+            f"matrix {matrix_number} ({crsd.matrix_name}): expected "
+            f"{baseline} to beat CRSD, but CRSD/{baseline} = {1/adv:.2f}"
+        )
+    return adv
+
+
+def is_oom(result: GpuSuiteResult, matrix_number: int, fmt: str) -> bool:
+    """Did the format fail device-memory allocation on this matrix?"""
+    rec = result.by_matrix(matrix_number).get(fmt)
+    return bool(rec and rec.oom)
+
+
+def assert_band(value: float, lo: float, hi: float, what: str) -> None:
+    """Assert ``lo <= value <= hi``."""
+    if not lo <= value <= hi:
+        raise ShapeViolation(f"{what} = {value:.2f} outside [{lo}, {hi}]")

@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``     — structural statistics of a matrix (suite name or .mtx)
+``bench``    — simulate every format's SpMV on one matrix
+``codegen``  — print the generated OpenCL kernel for a matrix
+``convert``  — build CRSD from a .mtx file and save it (.npz)
+``tune``     — autotune CRSD build parameters for a matrix
+
+Matrices are referenced either by Table V suite name/number
+(``kim1``, ``3``) or by a MatrixMarket file path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _load_matrix(ref: str, scale: float, seed: int = 0):
+    """Resolve a matrix reference to a COOMatrix."""
+    from repro.matrices.mmio import read_matrix_market
+    from repro.matrices.suite23 import get_spec
+
+    if ref.endswith(".mtx") or ref.endswith(".mtx.gz"):
+        return read_matrix_market(ref), Path(ref).stem
+    try:
+        key = int(ref)
+    except ValueError:
+        key = ref
+    spec = get_spec(key)
+    return spec.generate(scale=scale), spec.name
+
+
+def cmd_info(args) -> int:
+    """``repro info``: structure statistics + CRSD view (+ spy plot)."""
+    from repro.core.analysis import analyze_structure
+    from repro.matrices.stats import compute_stats
+
+    coo, name = _load_matrix(args.matrix, args.scale)
+    print(f"{name}: {compute_stats(coo)}")
+    a = analyze_structure(coo, mrows=args.mrows)
+    print(
+        f"CRSD view (mrows={args.mrows}): {a.num_regions} regions, "
+        f"{a.num_scatter_points} scatter points, "
+        f"{a.idle_broken_gaps} broken idle sections"
+    )
+    if args.spy:
+        from repro.matrices.spyplot import spy
+
+        scatter = a.scatter_rows if a.num_scatter_points else None
+        print(spy(coo, width=args.spy, scatter_rows=scatter))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """``repro bench``: simulate every format on one matrix."""
+    from repro.bench.runner import GPU_FORMATS, _build_runners, scaled_device
+    from repro.perf.costmodel import predict_gpu_time
+    from repro.perf.metrics import gflops
+
+    coo, name = _load_matrix(args.matrix, args.scale)
+    dev = scaled_device(args.scale)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(coo.ncols)
+    ref = coo.matvec(x)
+    print(f"{name} ({coo.nrows}x{coo.ncols}, nnz={coo.nnz:,}), "
+          f"precision={args.precision}")
+    rows = []
+    for fmt in GPU_FORMATS:
+        try:
+            runner = _build_runners(coo, dev, args.precision, [fmt],
+                                    args.mrows)[fmt]
+            run = runner.run(x)
+        except Exception as exc:  # OOM etc.
+            print(f"  {fmt:<6} unavailable ({type(exc).__name__})")
+            continue
+        tol = 1e-6 if args.precision == "double" else 1e-2
+        ok = np.allclose(run.y, ref, atol=tol * max(1, np.abs(ref).max()))
+        perf = predict_gpu_time(run.trace, dev, args.precision,
+                                size_scale=args.scale)
+        rows.append((fmt, gflops(coo.nnz, perf.total), ok))
+    for fmt, gf, ok in sorted(rows, key=lambda r: -r[1]):
+        print(f"  {fmt:<6} {gf:8.2f} GFLOPS  {'ok' if ok else 'WRONG'}")
+    return 0 if all(ok for _, _, ok in rows) else 1
+
+
+def cmd_codegen(args) -> int:
+    """``repro codegen``: print the generated OpenCL kernel."""
+    from repro.codegen import build_plan, generate_opencl_source
+    from repro.core.crsd import CRSDMatrix
+
+    coo, _ = _load_matrix(args.matrix, args.scale)
+    crsd = CRSDMatrix.from_coo(coo, mrows=args.mrows)
+    print(generate_opencl_source(build_plan(crsd), precision=args.precision))
+    return 0
+
+
+def cmd_convert(args) -> int:
+    """``repro convert``: build CRSD and persist it as .npz."""
+    from repro.core.crsd import CRSDMatrix
+    from repro.core.serialize import save_crsd
+
+    coo, name = _load_matrix(args.matrix, args.scale)
+    crsd = CRSDMatrix.from_coo(coo, mrows=args.mrows)
+    out = Path(args.output or f"{name}.crsd.npz")
+    save_crsd(crsd, out)
+    print(f"wrote {out} ({crsd.num_dia_patterns} patterns, "
+          f"{crsd.num_scatter_rows} scatter rows, "
+          f"fill {crsd.fill_zeros:,})")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """``repro tune``: autotune CRSD build parameters."""
+    from repro.core.autotune import tune
+
+    coo, name = _load_matrix(args.matrix, args.scale)
+    res = tune(coo, fast=args.fast)
+    b = res.best
+    print(f"{name}: best mrows={b.mrows} "
+          f"idle_fill_max_rows={b.idle_fill_max_rows} "
+          f"local_memory={b.use_local_memory} "
+          f"(modelled {b.seconds * 1e6:.1f} us, "
+          f"{len(res.candidates)} candidates)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (one subcommand per command)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="CRSD SpMV reproduction toolkit (Sun et al., ICPP 2011)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("matrix", help="suite name/number or .mtx path")
+        sp.add_argument("--scale", type=float, default=0.02,
+                        help="suite generation scale (default 0.02)")
+        sp.add_argument("--mrows", type=int, default=128,
+                        help="CRSD row-segment size (default 128)")
+
+    sp = sub.add_parser("info", help="structural statistics")
+    common(sp)
+    sp.add_argument("--spy", type=int, nargs="?", const=64, default=None,
+                    metavar="WIDTH",
+                    help="render a text spy plot (optional width)")
+    sp.set_defaults(fn=cmd_info)
+
+    sp = sub.add_parser("bench", help="simulate all formats")
+    common(sp)
+    sp.add_argument("--precision", choices=["double", "single"],
+                    default="double")
+    sp.set_defaults(fn=cmd_bench)
+
+    sp = sub.add_parser("codegen", help="print the generated OpenCL kernel")
+    common(sp)
+    sp.add_argument("--precision", choices=["double", "single"],
+                    default="double")
+    sp.set_defaults(fn=cmd_codegen)
+
+    sp = sub.add_parser("convert", help="build CRSD and save to .npz")
+    common(sp)
+    sp.add_argument("-o", "--output", help="output path")
+    sp.set_defaults(fn=cmd_convert)
+
+    sp = sub.add_parser("tune", help="autotune CRSD build parameters")
+    common(sp)
+    sp.add_argument("--fast", action="store_true",
+                    help="use the closed-form model (no simulation)")
+    sp.set_defaults(fn=cmd_tune)
+    return p
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

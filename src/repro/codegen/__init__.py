@@ -1,0 +1,39 @@
+"""Runtime code generation for CRSD SpMV (Section III-B).
+
+OpenCL compiles kernels at run time, so after a matrix is stored in
+CRSD the paper generates one *codelet* per diagonal pattern with every
+index constant **baked into the source** — the kernel never reads
+``matrix``/``crsd_dia_index`` from memory.  We emit the same kernel in
+two renderings:
+
+- :mod:`repro.codegen.opencl_source` — the OpenCL C string a real GPU
+  would compile (the inspectable artifact; syntax-checked by
+  :mod:`repro.codegen.validator`);
+- :mod:`repro.codegen.python_codelet` — a semantically identical Python
+  function compiled with ``compile()``/``exec`` and executed on the
+  simulated device.  ``exec`` of generated source *is* runtime
+  compilation in the host language, preserving the paper's
+  constant-folding trick.
+
+Both renderings are driven by the same :class:`~repro.codegen.plan.KernelPlan`,
+so their index arithmetic cannot drift apart; tests additionally check
+the emitted constants against :func:`repro.core.spmv.index_trace`.
+"""
+
+from repro.codegen.plan import KernelPlan, RegionPlan, GroupPlan, ScatterPlan, build_plan
+from repro.codegen.python_codelet import generate_python_kernel, CompiledKernel
+from repro.codegen.opencl_source import generate_opencl_source
+from repro.codegen.validator import validate_opencl_source, OpenCLSyntaxError
+
+__all__ = [
+    "KernelPlan",
+    "RegionPlan",
+    "GroupPlan",
+    "ScatterPlan",
+    "build_plan",
+    "generate_python_kernel",
+    "CompiledKernel",
+    "generate_opencl_source",
+    "validate_opencl_source",
+    "OpenCLSyntaxError",
+]

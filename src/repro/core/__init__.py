@@ -1,0 +1,31 @@
+"""The paper's contribution: diagonal patterns and the CRSD format.
+
+Section II of the paper in code:
+
+- :mod:`repro.core.grouping`  — adjacent / non-adjacent diagonal groups
+- :mod:`repro.core.pattern`   — diagonal patterns and pattern regions
+- :mod:`repro.core.segments`  — row-segment grid (``mrows``)
+- :mod:`repro.core.analysis`  — scatter-point detection and idle-section
+  processing (fill vs. break)
+- :mod:`repro.core.crsd`      — the CRSD storage format (Fig. 4 arrays)
+- :mod:`repro.core.spmv`      — interpreted reference SpMV for CRSD
+"""
+
+from repro.core.grouping import Group, GroupKind, group_offsets
+from repro.core.pattern import DiagonalPattern, PatternRegion
+from repro.core.segments import SegmentGrid
+from repro.core.analysis import StructureAnalysis, analyze_structure
+from repro.core.crsd import CRSDMatrix, CRSDBuildParams
+
+__all__ = [
+    "Group",
+    "GroupKind",
+    "group_offsets",
+    "DiagonalPattern",
+    "PatternRegion",
+    "SegmentGrid",
+    "StructureAnalysis",
+    "analyze_structure",
+    "CRSDMatrix",
+    "CRSDBuildParams",
+]

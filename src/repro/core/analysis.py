@@ -1,0 +1,218 @@
+"""Structure analysis: scatter points, idle sections, pattern regions.
+
+This module turns a COO matrix into the structural description CRSD
+stores (Section II-C):
+
+1. **Sectioning / idle processing** — per diagonal, consecutive
+   nonzeros separated by a zero run of at most ``idle_fill_max_rows``
+   rows stay in one *section* (the zeros will be filled, like the v43
+   position in the paper's Fig. 2); a longer zero run is an *idle
+   section* that **breaks** the diagonal (like the ±200 diagonals of
+   Fig. 1/3 and the main diagonal of Fig. 2).
+2. **Scatter-point detection** — a section containing exactly one
+   nonzero is a *scatter point* (v55 in Fig. 2): it leaves the diagonal
+   structure, and its whole row is stored in the side ELL sub-matrix so
+   that the row's floating-point evaluation order is preserved.
+3. **Presence map** — every multi-nonzero section activates its
+   diagonal in each row segment it overlaps.
+4. **Region formation** — consecutive segments with identical active
+   diagonal sets merge into one :class:`~repro.core.pattern.PatternRegion`
+   (the pattern itself is derived by AD/NAD grouping of the active
+   offsets).
+
+The output guarantees the CRSD correctness invariant: every non-scatter
+nonzero lies on a diagonal that is active in its segment's region, and
+every scatter nonzero lies in a row that the ELL side stores in full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.pattern import DiagonalPattern, PatternRegion
+from repro.core.segments import SegmentGrid
+from repro.formats.coo import COOMatrix
+
+
+@dataclass(frozen=True)
+class StructureAnalysis:
+    """Result of :func:`analyze_structure`.
+
+    Attributes
+    ----------
+    grid:
+        The row-segment grid.
+    offsets:
+        Sorted unique diagonal offsets occupied anywhere in the matrix.
+    presence:
+        Boolean ``(len(offsets), num_segments)`` — diagonal active in
+        segment after sectioning and scatter removal.
+    scatter_mask:
+        Boolean per COO entry — True for entries classified as scatter
+        points.
+    scatter_rows:
+        Sorted unique rows containing at least one scatter point.
+    regions:
+        Pattern regions in ascending row order (non-overlapping; empty
+        segments are covered by no region).
+    idle_broken_gaps:
+        Number of zero runs long enough to break a diagonal.
+    num_sections:
+        Total diagonal sections (multi-nonzero ones) kept in the
+        diagonal structure.
+    """
+
+    grid: SegmentGrid
+    offsets: np.ndarray
+    presence: np.ndarray
+    scatter_mask: np.ndarray
+    scatter_rows: np.ndarray
+    regions: Tuple[PatternRegion, ...]
+    idle_broken_gaps: int
+    num_sections: int
+
+    @property
+    def num_scatter_points(self) -> int:
+        return int(self.scatter_mask.sum())
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+    def region_of_row(self, row: int):
+        """The region covering ``row``, or ``None`` if the row's segment
+        is empty."""
+        for r in self.regions:
+            if r.contains_row(row):
+                return r
+        return None
+
+
+def analyze_structure(
+    coo: COOMatrix,
+    mrows: int,
+    idle_fill_max_rows: int | None = None,
+    detect_scatter: bool = True,
+) -> StructureAnalysis:
+    """Run the Section II pipeline on a COO matrix.
+
+    Parameters
+    ----------
+    coo:
+        Input matrix (canonical COO).
+    mrows:
+        Row-segment size; the paper recommends a multiple of the
+        wavefront size.
+    idle_fill_max_rows:
+        A zero run of at most this many rows inside a diagonal is
+        filled; a longer run breaks the diagonal.  Defaults to
+        ``mrows`` (one segment's worth of fill).
+    detect_scatter:
+        When False, single-nonzero sections stay in the diagonal
+        structure instead of moving to the ELL side (ablation A5).
+    """
+    grid = SegmentGrid(coo.nrows, mrows)
+    nsegs = grid.num_segments
+    if idle_fill_max_rows is None:
+        idle_fill_max_rows = mrows
+    if idle_fill_max_rows < 0:
+        raise ValueError("idle_fill_max_rows must be >= 0")
+
+    if coo.nnz == 0:
+        return StructureAnalysis(
+            grid=grid,
+            offsets=np.empty(0, dtype=np.int64),
+            presence=np.zeros((0, nsegs), dtype=bool),
+            scatter_mask=np.zeros(0, dtype=bool),
+            scatter_rows=np.empty(0, dtype=np.int64),
+            regions=(),
+            idle_broken_gaps=0,
+            num_sections=0,
+        )
+
+    entry_offsets = coo.offsets_of_entries()
+    offsets = np.unique(entry_offsets)
+
+    rows_all = coo.rows.astype(np.int64)
+    order = np.lexsort((rows_all, entry_offsets))
+    s_offs = entry_offsets[order]
+    s_rows = rows_all[order]
+
+    # slice boundaries of each diagonal in the sorted stream
+    diag_starts = np.searchsorted(s_offs, offsets, side="left")
+    diag_ends = np.searchsorted(s_offs, offsets, side="right")
+
+    presence = np.zeros((offsets.size, nsegs), dtype=bool)
+    scatter_sorted = np.zeros(coo.nnz, dtype=bool)
+    idle_broken = 0
+    num_sections = 0
+
+    for d in range(offsets.size):
+        lo, hi = int(diag_starts[d]), int(diag_ends[d])
+        r = s_rows[lo:hi]
+        if r.size == 0:
+            continue
+        gaps = np.diff(r) - 1
+        breaks = np.flatnonzero(gaps > idle_fill_max_rows)
+        idle_broken += int(breaks.size)
+        sec_starts = np.concatenate([[0], breaks + 1])
+        sec_ends = np.concatenate([breaks + 1, [r.size]])
+        for a, b in zip(sec_starts, sec_ends):
+            if detect_scatter and b - a == 1:
+                scatter_sorted[lo + a] = True
+            else:
+                num_sections += 1
+                presence[d, r[a] // mrows : r[b - 1] // mrows + 1] = True
+
+    scatter_mask = np.zeros(coo.nnz, dtype=bool)
+    scatter_mask[order] = scatter_sorted
+    scatter_rows = np.unique(rows_all[scatter_mask])
+
+    regions = _form_regions(offsets, presence, grid, coo.ncols)
+
+    return StructureAnalysis(
+        grid=grid,
+        offsets=offsets,
+        presence=presence,
+        scatter_mask=scatter_mask,
+        scatter_rows=scatter_rows,
+        regions=tuple(regions),
+        idle_broken_gaps=idle_broken,
+        num_sections=num_sections,
+    )
+
+
+def _form_regions(
+    offsets: np.ndarray,
+    presence: np.ndarray,
+    grid: SegmentGrid,
+    ncols: int,
+) -> List[PatternRegion]:
+    """Merge consecutive segments with identical active sets into regions."""
+    nsegs = grid.num_segments
+    regions: List[PatternRegion] = []
+    if offsets.size == 0 or nsegs == 0:
+        return regions
+    if nsegs > 1:
+        changed = np.any(presence[:, 1:] != presence[:, :-1], axis=0)
+        boundaries = np.concatenate([[0], np.flatnonzero(changed) + 1, [nsegs]])
+    else:
+        boundaries = np.array([0, nsegs])
+    for s0, s1 in zip(boundaries[:-1], boundaries[1:]):
+        active = offsets[presence[:, s0]]
+        if active.size == 0:
+            continue  # empty segments belong to no region
+        pattern = DiagonalPattern.from_offsets(active.tolist())
+        regions.append(
+            PatternRegion(
+                pattern=pattern,
+                start_row=int(s0) * grid.mrows,
+                num_segments=int(s1 - s0),
+                mrows=grid.mrows,
+                ncols=ncols,
+            )
+        )
+    return regions

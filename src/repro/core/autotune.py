@@ -1,0 +1,139 @@
+"""OSKI-style autotuning of CRSD's build parameters.
+
+The related work (Section V) credits OSKI with analysing the input
+matrix at run time to choose blocking parameters; CRSD has the
+analogous knobs — ``mrows``, the idle-section threshold, and whether
+AD groups stage x through local memory.  The tuner builds candidate
+CRSD instances, prices each with one simulated SpMV (or the closed-form
+model when ``fast=True``), and returns the best configuration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.crsd import CRSDBuildParams, CRSDMatrix
+from repro.formats.coo import COOMatrix
+from repro.ocl.device import DeviceSpec, TESLA_C2050
+from repro.perf.costmodel import predict_gpu_time
+
+#: default candidate grids
+DEFAULT_MROWS = (32, 64, 128, 256)
+DEFAULT_THRESHOLDS = (0, 32, 128, None)  # None = mrows (the format default)
+
+
+@dataclass(frozen=True)
+class TuneCandidate:
+    """One evaluated configuration."""
+
+    mrows: int
+    idle_fill_max_rows: Optional[int]
+    use_local_memory: bool
+    seconds: float
+    fill_zeros: int
+    num_regions: int
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of :func:`tune`."""
+
+    best: TuneCandidate
+    candidates: Tuple[TuneCandidate, ...]
+
+    def build(self, coo: COOMatrix) -> CRSDMatrix:
+        """Materialise the winning configuration."""
+        return CRSDMatrix.from_coo(
+            coo,
+            mrows=self.best.mrows,
+            idle_fill_max_rows=self.best.idle_fill_max_rows,
+        )
+
+    @property
+    def params(self) -> CRSDBuildParams:
+        return CRSDBuildParams(
+            mrows=self.best.mrows,
+            idle_fill_max_rows=self.best.idle_fill_max_rows,
+        )
+
+
+def tune(
+    coo: COOMatrix,
+    mrows_grid: Sequence[int] = DEFAULT_MROWS,
+    threshold_grid: Sequence[Optional[int]] = DEFAULT_THRESHOLDS,
+    try_local_memory: Tuple[bool, ...] = (True, False),
+    device: DeviceSpec = TESLA_C2050,
+    precision: str = "double",
+    fast: bool = False,
+    size_scale: float = 1.0,
+    seed: int = 0,
+) -> TuneResult:
+    """Grid-search CRSD build parameters for one matrix.
+
+    ``fast=True`` prices candidates with the closed-form traffic model
+    (no kernel execution, no local-memory dimension — staging choice is
+    then decided by the max AD width heuristic); otherwise each
+    candidate runs one traced SpMV on the simulated device.
+    """
+    if coo.nnz == 0:
+        raise ValueError("cannot tune an empty matrix")
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(coo.ncols)
+    candidates: List[TuneCandidate] = []
+    for mrows, thr in itertools.product(mrows_grid, threshold_grid):
+        if mrows > max(coo.nrows, 1):
+            continue
+        crsd = CRSDMatrix.from_coo(coo, mrows=mrows, idle_fill_max_rows=thr)
+        if fast:
+            from repro.perf.analytic import estimate_crsd_traffic
+
+            est = estimate_crsd_traffic(crsd, precision)
+            secs = predict_gpu_time(est.to_trace(device), device, precision,
+                                    size_scale=size_scale).total
+            candidates.append(
+                TuneCandidate(
+                    mrows=mrows, idle_fill_max_rows=thr,
+                    use_local_memory=_heuristic_staging(crsd),
+                    seconds=secs, fill_zeros=crsd.fill_zeros,
+                    num_regions=len(crsd.regions),
+                )
+            )
+            continue
+        from repro.gpu_kernels import CrsdSpMV
+
+        for use_local in try_local_memory:
+            runner = CrsdSpMV(crsd, use_local_memory=use_local,
+                              device=device, precision=precision)
+            run = runner.run(x)
+            launches = 2 if crsd.num_scatter_rows else 1
+            secs = predict_gpu_time(run.trace, device, precision,
+                                    num_launches=launches,
+                                    size_scale=size_scale).total
+            candidates.append(
+                TuneCandidate(
+                    mrows=mrows, idle_fill_max_rows=thr,
+                    use_local_memory=use_local, seconds=secs,
+                    fill_zeros=crsd.fill_zeros,
+                    num_regions=len(crsd.regions),
+                )
+            )
+    if not candidates:
+        raise ValueError("no feasible candidates (mrows grid too large?)")
+    best = min(candidates, key=lambda c: c.seconds)
+    return TuneResult(best=best, candidates=tuple(candidates))
+
+
+def _heuristic_staging(crsd: CRSDMatrix) -> bool:
+    """Stage AD tiles only when some AD group is wide enough that the
+    x reuse outweighs a barrier (the A1 ablation's finding)."""
+    widths = [
+        g.ndiags
+        for r in crsd.regions
+        for g in r.pattern.groups
+        if g.kind.value == "AD"
+    ]
+    return bool(widths) and max(widths) >= 4

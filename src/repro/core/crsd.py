@@ -1,0 +1,454 @@
+"""CRSD — Compressed Row Segment with Diagonal-pattern (Section II-D).
+
+The format stores two populations separately:
+
+- **Diagonal nonzeros** live in one flat slab ``crsd_dia_val``.  Within
+  a pattern region the slab is ordered ``[segment][diagonal][row]``; the
+  nonzeros of one diagonal within one segment are contiguous, and one
+  segment's storage unit is contiguous — exactly the Fig. 4 layout.
+  Index metadata (the pattern list ``matrix`` and ``crsd_dia_index``
+  holding SR/NRS/Colv per region) describes the slab; the code
+  generator bakes it into the kernel so it is never transferred to the
+  device at SpMV time.
+- **Scatter rows** — whole rows containing at least one scatter point —
+  are duplicated into a small ELL side structure (``scatter_rowno``,
+  ``scatter_colval``, ``scatter_val``).  The diagonal kernel runs first
+  and the scatter kernel then *overwrites* those rows' results, which
+  both preserves the row's sequential floating-point order and keeps
+  the diagonal codelets free of special cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.analysis import StructureAnalysis, analyze_structure
+from repro.core.pattern import PatternRegion, distinct_patterns, matrix_signature
+from repro.formats.base import (
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    FormatError,
+    SparseFormat,
+    check_vector,
+)
+from repro.formats.coo import COOMatrix
+
+#: wavefront (warp) width the default build aligns row segments to.
+DEFAULT_WAVEFRONT = 32
+
+
+@dataclass(frozen=True)
+class CRSDBuildParams:
+    """Tunables of the CRSD construction (Section II).
+
+    Attributes
+    ----------
+    mrows:
+        Row-segment size; the paper requires a multiple of the
+        wavefront size for fully coalesced accesses.
+    idle_fill_max_rows:
+        A zero run of at most this many rows inside a diagonal is
+        zero-filled (the paper fills the single zero at the v43
+        position of Fig. 2); a longer run is an idle section that
+        breaks the diagonal pattern.  ``None`` means ``mrows``.
+    detect_scatter:
+        Extract isolated single nonzeros into the ELL side structure.
+    wavefront_size:
+        Only used for the alignment validation.
+    """
+
+    mrows: int = 64
+    idle_fill_max_rows: int | None = None
+    detect_scatter: bool = True
+    wavefront_size: int = DEFAULT_WAVEFRONT
+
+    def __post_init__(self):
+        if self.mrows <= 0:
+            raise ValueError(f"mrows must be positive, got {self.mrows}")
+        if self.idle_fill_max_rows is not None and self.idle_fill_max_rows < 0:
+            raise ValueError("idle_fill_max_rows must be >= 0")
+
+
+class CRSDMatrix(SparseFormat):
+    """A matrix stored in CRSD format.
+
+    Build with :meth:`from_coo` / :meth:`from_dense`; direct
+    construction from pre-computed arrays is supported for tests and
+    deserialization.
+    """
+
+    name = "crsd"
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        params: CRSDBuildParams,
+        regions: Tuple[PatternRegion, ...],
+        dia_val: np.ndarray,
+        scatter_rowno: np.ndarray,
+        scatter_colval: np.ndarray,
+        scatter_val: np.ndarray,
+        scatter_occupancy: np.ndarray,
+        nnz: int,
+        analysis: Optional[StructureAnalysis] = None,
+    ):
+        super().__init__(shape)
+        self.params = params
+        self.regions = tuple(regions)
+        self.dia_val = np.asarray(dia_val, dtype=VALUE_DTYPE)
+        self.scatter_rowno = np.asarray(scatter_rowno, dtype=INDEX_DTYPE)
+        self.scatter_colval = np.asarray(scatter_colval, dtype=INDEX_DTYPE)
+        self.scatter_val = np.asarray(scatter_val, dtype=VALUE_DTYPE)
+        self.scatter_occupancy = np.asarray(scatter_occupancy, dtype=bool)
+        self._nnz = int(nnz)
+        self.analysis = analysis
+
+        expected = sum(r.stored_slots for r in self.regions)
+        if self.dia_val.size != expected:
+            raise FormatError(
+                f"dia_val has {self.dia_val.size} slots, regions describe {expected}"
+            )
+        if not (
+            self.scatter_colval.shape
+            == self.scatter_val.shape
+            == self.scatter_occupancy.shape
+        ):
+            raise FormatError("scatter arrays disagree in shape")
+        if self.scatter_colval.ndim != 2 or (
+            self.scatter_colval.shape[0] != self.scatter_rowno.size
+        ):
+            raise FormatError("scatter arrays must be (num_scatter_rows, width)")
+        # region bases into the flat slab
+        bases = np.zeros(len(self.regions) + 1, dtype=np.int64)
+        np.cumsum([r.stored_slots for r in self.regions], out=bases[1:])
+        self._region_bases = bases
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls, coo: COOMatrix, params: Optional[CRSDBuildParams] = None, **kwargs
+    ) -> "CRSDMatrix":
+        """Store a COO matrix in CRSD format.
+
+        Keyword arguments are forwarded to :class:`CRSDBuildParams`
+        when ``params`` is not given, e.g. ``from_coo(coo, mrows=32)``.
+        """
+        if params is None:
+            params = CRSDBuildParams(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either params or keyword tunables, not both")
+        analysis = analyze_structure(
+            coo,
+            mrows=params.mrows,
+            idle_fill_max_rows=params.idle_fill_max_rows,
+            detect_scatter=params.detect_scatter,
+        )
+        dia_val = _fill_slab(coo, analysis)
+        rowno, colval, val, occ = _build_scatter_ell(coo, analysis.scatter_rows)
+        return cls(
+            shape=coo.shape,
+            params=params,
+            regions=analysis.regions,
+            dia_val=dia_val,
+            scatter_rowno=rowno,
+            scatter_colval=colval,
+            scatter_val=val,
+            scatter_occupancy=occ,
+            nnz=coo.nnz,
+            analysis=analysis,
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, **kwargs) -> "CRSDMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense), **kwargs)
+
+    # ------------------------------------------------------------------
+    # SparseFormat surface
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def stored_elements(self) -> int:
+        return int(self.dia_val.size + self.scatter_val.size)
+
+    @property
+    def mrows(self) -> int:
+        return self.params.mrows
+
+    @property
+    def num_scatter_rows(self) -> int:
+        return int(self.scatter_rowno.size)
+
+    @property
+    def num_scatter_width(self) -> int:
+        return int(self.scatter_colval.shape[1]) if self.scatter_colval.ndim == 2 else 0
+
+    @property
+    def num_dia_patterns(self) -> int:
+        """Count of *distinct* diagonal patterns (paper's
+        num_dia_patterns; e.g. 24 for s3dkt3m2-like structure)."""
+        return len(distinct_patterns(self.regions))
+
+    @property
+    def matrix_signature(self) -> str:
+        """The ``matrix = {...}`` pattern list of Section II-B."""
+        return matrix_signature(self.regions)
+
+    def region_base(self, p: int) -> int:
+        """Slab offset of region ``p``'s first value."""
+        return int(self._region_bases[p])
+
+    def region_slab(self, p: int) -> np.ndarray:
+        """Region ``p``'s values as a ``(NRS, NDias, mrows)`` view."""
+        r = self.regions[p]
+        lo = self._region_bases[p]
+        return self.dia_val[lo : lo + r.stored_slots].reshape(
+            r.num_segments, r.ndiags, r.mrows
+        )
+
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Reference y = A @ x: diagonal part first, then the scatter
+        kernel overwrites scatter rows (Section III-B execution order)."""
+        x = check_vector(x, self.ncols)
+        y = out if out is not None else np.zeros(self.nrows, dtype=np.result_type(self.dia_val, x))
+        if out is not None:
+            y[:] = 0.0
+        for p, region in enumerate(self.regions):
+            self._region_matvec(p, region, x, y)
+        self._scatter_overwrite(x, y)
+        return y
+
+    def to_coo(self) -> COOMatrix:
+        """Reconstruct the mathematical matrix.
+
+        Non-scatter rows come from the diagonal slab (nonzero slots);
+        scatter rows come from the ELL side structure, which stores them
+        authoritatively and in full.
+        """
+        rows_l: List[np.ndarray] = []
+        cols_l: List[np.ndarray] = []
+        vals_l: List[np.ndarray] = []
+        scatter_set = set(self.scatter_rowno.tolist())
+        for p, region in enumerate(self.regions):
+            slab = self.region_slab(p)  # (NRS, NDias, mrows)
+            offs = np.asarray(region.pattern.offsets, dtype=np.int64)
+            seg_i, dia_i, row_i = np.nonzero(slab)
+            rows = region.start_row + seg_i * region.mrows + row_i
+            cols = rows + offs[dia_i]
+            vals = slab[seg_i, dia_i, row_i]
+            inside = (
+                (rows < self.nrows)
+                & (cols >= 0)
+                & (cols < self.ncols)
+                & ~np.isin(rows, self.scatter_rowno)
+            )
+            rows_l.append(rows[inside])
+            cols_l.append(cols[inside])
+            vals_l.append(vals[inside])
+        if self.num_scatter_rows:
+            occ = self.scatter_occupancy
+            r2d = np.broadcast_to(
+                self.scatter_rowno.astype(np.int64)[:, None], occ.shape
+            )
+            rows_l.append(r2d[occ])
+            cols_l.append(self.scatter_colval.astype(np.int64)[occ])
+            vals_l.append(self.scatter_val[occ])
+        if rows_l:
+            rows = np.concatenate(rows_l)
+            cols = np.concatenate(cols_l)
+            vals = np.concatenate(vals_l)
+        else:
+            rows = cols = vals = np.empty(0)
+        return COOMatrix(rows, cols, vals, self.shape)
+
+    def array_inventory(self) -> Dict[str, np.ndarray]:
+        """Device-resident arrays.
+
+        With generated codelets only the value slabs travel to the
+        device (the index metadata is baked into the kernel source) —
+        this is the paper's memory-pressure reduction.  The interpreted
+        fallback additionally reads :meth:`crsd_dia_index`.
+        """
+        return {
+            "crsd_dia_val": self.dia_val,
+            "scatter_rowno": self.scatter_rowno,
+            "scatter_colval": self.scatter_colval,
+            "scatter_val": self.scatter_val,
+        }
+
+    # ------------------------------------------------------------------
+    # index metadata (Fig. 4)
+    # ------------------------------------------------------------------
+    def crsd_dia_index(self) -> np.ndarray:
+        """The ``crsd_dia_index`` array of Fig. 4.
+
+        Per region: ``SR, NRS`` then the column values — one per NAD
+        diagonal but only the *first* column of each AD group.
+        """
+        out: List[int] = []
+        for region in self.regions:
+            out.append(region.start_row)
+            out.append(region.num_segments)
+            for g in region.pattern.groups:
+                heads = g.offsets if g.kind.value == "NAD" else g.offsets[:1]
+                out.extend(region.start_row + o for o in heads)
+        return np.asarray(out, dtype=INDEX_DTYPE)
+
+    def fig4_dump(self) -> str:
+        """Human-readable rendering in the style of Fig. 4."""
+        lines = [
+            f"num_scatter_rows = {self.num_scatter_rows};",
+            f"num_dia_patterns = {self.num_dia_patterns};",
+            f"num_scatter_width = {self.num_scatter_width};",
+            "",
+            f"matrix = {self.matrix_signature}",
+            "crsd_dia_index = {"
+            + ", ".join(str(int(v)) for v in self.crsd_dia_index())
+            + "}",
+        ]
+        chunks = []
+        for p, region in enumerate(self.regions):
+            slab = self.region_slab(p)
+            seg_strs = []
+            for s in range(region.num_segments):
+                unit_strs = []
+                pos = 0
+                for g in region.pattern.groups:
+                    unit = slab[s, pos : pos + g.ndiags].ravel()
+                    unit_strs.append("(" + ",".join(_fmt(v) for v in unit) + ")")
+                    pos += g.ndiags
+                seg_strs.append("{" + ",".join(unit_strs) + "}")
+            chunks.append(", ".join(seg_strs))
+        lines.append("crsd_dia_val = {" + " | ".join(chunks) + "}")
+        lines.append(
+            "scatter_rowno = {"
+            + ", ".join(f"R{int(r)}" for r in self.scatter_rowno)
+            + "}"
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # statistics used by the performance model and the benches
+    # ------------------------------------------------------------------
+    @property
+    def fill_zeros(self) -> int:
+        """Explicit zeros stored in the diagonal slab (padding + idle
+        fill + scatter removals)."""
+        return int(self.dia_val.size - np.count_nonzero(self.dia_val))
+
+    @property
+    def adjacent_slot_fraction(self) -> float:
+        """Fraction of diagonal slots living in AD groups — the share of
+        the work that benefits from local-memory reuse of ``x``."""
+        total = ad = 0
+        for r in self.regions:
+            total += r.stored_slots
+            ad += r.num_segments * r.pattern.n_adjacent_diags * r.mrows
+        return ad / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _region_matvec(
+        self, p: int, region: PatternRegion, x: np.ndarray, y: np.ndarray
+    ) -> None:
+        slab = self.region_slab(p)  # (NRS, NDias, mrows)
+        rows = (
+            region.start_row
+            + np.arange(region.num_segments, dtype=np.int64)[:, None] * region.mrows
+            + np.arange(region.mrows, dtype=np.int64)[None, :]
+        )  # (NRS, mrows)
+        acc = np.zeros(rows.shape, dtype=y.dtype)
+        for d, off in enumerate(region.pattern.offsets):
+            xi = np.clip(rows + off, 0, self.ncols - 1)
+            acc += slab[:, d, :] * x[xi]
+        valid = rows < self.nrows
+        y[rows[valid]] = acc[valid]
+
+    def _scatter_overwrite(self, x: np.ndarray, y: np.ndarray) -> None:
+        if not self.num_scatter_rows:
+            return
+        vals = self.scatter_val * x[self.scatter_colval.astype(np.int64)]
+        y[self.scatter_rowno.astype(np.int64)] = vals.sum(axis=1)
+
+
+def _fill_slab(coo: COOMatrix, analysis: StructureAnalysis) -> np.ndarray:
+    """Place every non-scatter entry into the flat ``crsd_dia_val`` slab."""
+    regions = analysis.regions
+    total = sum(r.stored_slots for r in regions)
+    slab = np.zeros(total, dtype=VALUE_DTYPE)
+    if coo.nnz == 0 or not regions:
+        return slab
+
+    keep = ~analysis.scatter_mask
+    rows = coo.rows.astype(np.int64)[keep]
+    cols = coo.cols.astype(np.int64)[keep]
+    vals = coo.vals[keep]
+    offs = cols - rows
+
+    # sort the diagonal entry stream by (offset, row) for slice lookup
+    order = np.lexsort((rows, offs))
+    rows, offs, vals = rows[order], offs[order], vals[order]
+
+    base = 0
+    for region in regions:
+        mrows = region.mrows
+        for d, off in enumerate(region.pattern.offsets):
+            lo = np.searchsorted(offs, off, side="left")
+            hi = np.searchsorted(offs, off, side="right")
+            r_lo = lo + np.searchsorted(rows[lo:hi], region.start_row, side="left")
+            r_hi = lo + np.searchsorted(rows[lo:hi], region.end_row, side="left")
+            if r_hi > r_lo:
+                rr = rows[r_lo:r_hi] - region.start_row
+                seg_local = rr // mrows
+                pos = (
+                    base
+                    + seg_local * region.nnz_per_segment
+                    + d * mrows
+                    + rr % mrows
+                )
+                slab[pos] = vals[r_lo:r_hi]
+        base += region.stored_slots
+    return slab
+
+
+def _build_scatter_ell(
+    coo: COOMatrix, scatter_rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """ELL side structure holding the *complete* scatter rows."""
+    if scatter_rows.size == 0:
+        z = np.zeros((0, 0))
+        return (
+            np.empty(0, dtype=INDEX_DTYPE),
+            z.astype(INDEX_DTYPE),
+            z.astype(VALUE_DTYPE),
+            z.astype(bool),
+        )
+    member = np.isin(coo.rows.astype(np.int64), scatter_rows)
+    rows = coo.rows.astype(np.int64)[member]
+    cols = coo.cols.astype(np.int64)[member]
+    vals = coo.vals[member]
+    local = np.searchsorted(scatter_rows, rows)
+    lengths = np.bincount(local, minlength=scatter_rows.size)
+    width = int(lengths.max())
+    colval = np.zeros((scatter_rows.size, width), dtype=INDEX_DTYPE)
+    val = np.zeros((scatter_rows.size, width), dtype=VALUE_DTYPE)
+    occ = np.zeros((scatter_rows.size, width), dtype=bool)
+    starts = np.zeros(scatter_rows.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    within = np.arange(rows.size) - starts[local]
+    colval[local, within] = cols
+    val[local, within] = vals
+    occ[local, within] = True
+    return scatter_rows.astype(INDEX_DTYPE), colval, val, occ
+
+
+def _fmt(v: float) -> str:
+    return "0" if v == 0 else f"{v:g}"

@@ -1,0 +1,118 @@
+"""Adjacent / non-adjacent diagonal grouping (Section II-B).
+
+Two diagonals are *adjacent* when their offsets differ by exactly 1.
+Given the sorted offsets occupied in some row region, maximal runs of
+adjacent diagonals of length >= 2 form **AD groups**; after removing
+them, each remaining contiguous piece of the original sequence forms a
+**NAD group**.  The ordered group list is the *diagonal pattern*.
+
+For the Fig. 2 example's first two rows the occupied offsets are
+``[0, 2, 3, 5, 7]`` and the grouping is
+``{(NAD,1), (AD,2), (NAD,2)}`` — offset 0 alone, offsets 2,3 adjacent,
+then offsets 5 and 7 forming one non-adjacent piece.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+class GroupKind(enum.Enum):
+    """AD = adjacent (consecutive offsets), NAD = non-adjacent."""
+
+    AD = "AD"
+    NAD = "NAD"
+
+
+@dataclass(frozen=True)
+class Group:
+    """One group of diagonals.
+
+    Attributes
+    ----------
+    kind:
+        :class:`GroupKind`.
+    offsets:
+        The member diagonal offsets, strictly increasing.  For an AD
+        group they are consecutive integers; for a NAD group no two
+        members anywhere in the pattern are adjacent.
+    """
+
+    kind: GroupKind
+    offsets: Tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.offsets:
+            raise ValueError("a group must contain at least one diagonal")
+        if any(b <= a for a, b in zip(self.offsets, self.offsets[1:])):
+            raise ValueError(f"offsets must be strictly increasing: {self.offsets}")
+        if self.kind is GroupKind.AD:
+            if len(self.offsets) < 2:
+                raise ValueError("an AD group needs at least 2 diagonals")
+            if any(b - a != 1 for a, b in zip(self.offsets, self.offsets[1:])):
+                raise ValueError(f"AD group offsets must be consecutive: {self.offsets}")
+
+    @property
+    def ndiags(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def signature(self) -> Tuple[str, int]:
+        """The ``(group_type, number_of_diagonals)`` pair of the paper."""
+        return (self.kind.value, self.ndiags)
+
+    def __str__(self) -> str:
+        return f"({self.kind.value},{self.ndiags})"
+
+
+def group_offsets(offsets: Sequence[int]) -> List[Group]:
+    """Group a sorted sequence of diagonal offsets into AD/NAD groups.
+
+    Implements Section II-B verbatim: put maximal adjacent runs (length
+    >= 2) into AD groups; the removal of those runs breaks the original
+    sequence into pieces, and each piece becomes one NAD group.  Groups
+    are returned in ascending offset order of their first member.
+
+    Raises ``ValueError`` if ``offsets`` is not strictly increasing.
+    """
+    offs = [int(o) for o in offsets]
+    if any(b <= a for a, b in zip(offs, offs[1:])):
+        raise ValueError(f"offsets must be strictly increasing: {offs}")
+    if not offs:
+        return []
+
+    arr = np.asarray(offs, dtype=np.int64)
+    # maximal runs of consecutive integers
+    run_breaks = np.flatnonzero(np.diff(arr) != 1)
+    run_starts = np.concatenate([[0], run_breaks + 1])
+    run_ends = np.concatenate([run_breaks + 1, [arr.size]])
+
+    groups: List[Group] = []
+    nad_piece: List[int] = []
+
+    def flush_nad():
+        if nad_piece:
+            groups.append(Group(GroupKind.NAD, tuple(nad_piece)))
+            nad_piece.clear()
+
+    for s, e in zip(run_starts, run_ends):
+        if e - s >= 2:
+            # an adjacent run becomes an AD group and breaks the NAD piece
+            flush_nad()
+            groups.append(Group(GroupKind.AD, tuple(arr[s:e].tolist())))
+        else:
+            nad_piece.append(int(arr[s]))
+    flush_nad()
+    return groups
+
+
+def flatten_groups(groups: Sequence[Group]) -> List[int]:
+    """All offsets of a group list, in storage order (group by group)."""
+    out: List[int] = []
+    for g in groups:
+        out.extend(g.offsets)
+    return out

@@ -1,0 +1,173 @@
+"""Diagonal patterns and pattern regions (Section II-B/II-D).
+
+A :class:`DiagonalPattern` is the ordered list of AD/NAD groups — the
+paper's ``diagonal-pattern = {group1, group2, ... groupm}``.  A
+:class:`PatternRegion` is one *instance* of a pattern in a concrete
+matrix: the pattern plus its start row ``SR``, its number of row
+segments ``NRS`` and the column index of each member diagonal at the
+start row (the ``Colv`` values of Table II).  The whole matrix is then
+``matrix = {dia-pattern1, dia-pattern2, ...}`` — an ordered list of
+regions covering all non-empty row segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.core.grouping import Group, GroupKind, flatten_groups, group_offsets
+
+
+@dataclass(frozen=True)
+class DiagonalPattern:
+    """An ordered tuple of AD/NAD groups.
+
+    Two regions share a codelet *body shape* iff their patterns are
+    equal; they share the full codelet iff offsets also coincide.
+    """
+
+    groups: Tuple[Group, ...]
+
+    @classmethod
+    def from_offsets(cls, offsets: Sequence[int]) -> "DiagonalPattern":
+        """Derive the pattern of a sorted offset list (Section II-B)."""
+        return cls(tuple(group_offsets(offsets)))
+
+    @property
+    def signature(self) -> Tuple[Tuple[str, int], ...]:
+        """Hashable ``((kind, ndiags), ...)`` — the paper's notation
+        without the concrete offsets."""
+        return tuple(g.signature for g in self.groups)
+
+    @property
+    def offsets(self) -> Tuple[int, ...]:
+        """All member offsets in storage (group) order."""
+        return tuple(flatten_groups(self.groups))
+
+    @property
+    def ndiags(self) -> int:
+        """NDias — the total number of diagonals in the pattern."""
+        return sum(g.ndiags for g in self.groups)
+
+    @property
+    def n_adjacent_diags(self) -> int:
+        """Diagonals living in AD groups (these enjoy local-memory reuse
+        of the source vector)."""
+        return sum(g.ndiags for g in self.groups if g.kind is GroupKind.AD)
+
+    @property
+    def max_ad_width(self) -> int:
+        """Largest AD group size — determines the local-memory tile
+        (Section III-B: 'the size of the local memory is determined by
+        the maximum number of diagonals among all the adjacent
+        groups')."""
+        widths = [g.ndiags for g in self.groups if g.kind is GroupKind.AD]
+        return max(widths) if widths else 0
+
+    def __str__(self) -> str:
+        return "{" + ",".join(str(g) for g in self.groups) + "}"
+
+
+@dataclass(frozen=True)
+class PatternRegion:
+    """A diagonal pattern applied to a contiguous run of row segments.
+
+    Attributes
+    ----------
+    pattern:
+        The :class:`DiagonalPattern`.
+    start_row:
+        SR — first row covered (a multiple of ``mrows``).
+    num_segments:
+        NRS — number of row segments covered.
+    mrows:
+        Row-segment size.
+    ncols:
+        Matrix column count (needed to reason about diagonal extents).
+    """
+
+    pattern: DiagonalPattern
+    start_row: int
+    num_segments: int
+    mrows: int
+    ncols: int
+
+    def __post_init__(self):
+        if self.start_row < 0 or self.start_row % self.mrows != 0:
+            raise ValueError(
+                f"start_row {self.start_row} must be a non-negative multiple of mrows={self.mrows}"
+            )
+        if self.num_segments <= 0:
+            raise ValueError("a region must cover at least one row segment")
+
+    # -- Table II quantities ------------------------------------------------
+    @property
+    def nrs(self) -> int:
+        """NRS — number of row segments."""
+        return self.num_segments
+
+    @property
+    def ndiags(self) -> int:
+        """NDias — diagonals in the pattern."""
+        return self.pattern.ndiags
+
+    @property
+    def nnz_per_segment(self) -> int:
+        """NNzRS — stored slots per row segment (NDias x mrows)."""
+        return self.ndiags * self.mrows
+
+    @property
+    def num_rows(self) -> int:
+        return self.num_segments * self.mrows
+
+    @property
+    def end_row(self) -> int:
+        """One past the last covered row (may exceed nrows for the final,
+        padded segment)."""
+        return self.start_row + self.num_rows
+
+    @property
+    def colv(self) -> Tuple[int, ...]:
+        """Colv_{p,d} — column index of each diagonal at ``start_row``.
+
+        Negative values are legal (the diagonal enters the matrix a few
+        rows below the start row); the kernels clamp the x access and
+        rely on the corresponding fill slot holding 0.
+        """
+        return tuple(self.start_row + off for off in self.pattern.offsets)
+
+    @property
+    def stored_slots(self) -> int:
+        """Value slots this region occupies in ``crsd_dia_val``."""
+        return self.num_segments * self.nnz_per_segment
+
+    def contains_row(self, row: int) -> bool:
+        """Does this region cover ``row``?"""
+        return self.start_row <= row < self.end_row
+
+    def segment_of_row(self, row: int) -> int:
+        """Local segment index of ``row`` within the region."""
+        if not self.contains_row(row):
+            raise ValueError(f"row {row} not in region [{self.start_row},{self.end_row})")
+        return (row - self.start_row) // self.mrows
+
+    def __str__(self) -> str:
+        return (
+            f"Region(SR={self.start_row}, NRS={self.num_segments}, "
+            f"pattern={self.pattern})"
+        )
+
+
+def matrix_signature(regions: Sequence[PatternRegion]) -> str:
+    """The paper's ``matrix = {dia-pattern1, ...}`` string."""
+    return "{" + ", ".join(str(r.pattern) for r in regions) + "}"
+
+
+def distinct_patterns(regions: Sequence[PatternRegion]) -> List[DiagonalPattern]:
+    """Distinct patterns in region order (num_dia_patterns counts these)."""
+    seen = {}
+    for r in regions:
+        key = (r.pattern.signature, r.pattern.offsets)
+        if key not in seen:
+            seen[key] = r.pattern
+    return list(seen.values())

@@ -1,0 +1,84 @@
+"""Row-segment grid (Section II-C).
+
+The matrix is split into *row segments* of ``mrows`` rows each; one
+work-group processes one row segment, so the paper advises that
+``mrows`` be a multiple of the wavefront size.  The final segment may
+extend past the matrix (rows are padded there); kernels guard the final
+store with the real row count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SegmentGrid:
+    """Partition of ``nrows`` rows into segments of ``mrows`` rows.
+
+    Parameters
+    ----------
+    nrows:
+        Number of matrix rows.
+    mrows:
+        Row-segment size (must be positive).
+    """
+
+    nrows: int
+    mrows: int
+
+    def __post_init__(self):
+        if self.nrows <= 0:
+            raise ValueError(f"nrows must be positive, got {self.nrows}")
+        if self.mrows <= 0:
+            raise ValueError(f"mrows must be positive, got {self.mrows}")
+
+    @property
+    def num_segments(self) -> int:
+        """Segments needed to cover all rows (last one may be partial)."""
+        return -(-self.nrows // self.mrows)
+
+    @property
+    def padded_rows(self) -> int:
+        """Total rows including the padding of the final segment."""
+        return self.num_segments * self.mrows
+
+    @property
+    def tail_padding(self) -> int:
+        """Padded (non-existent) rows in the final segment."""
+        return self.padded_rows - self.nrows
+
+    def segment_of(self, row) -> np.ndarray:
+        """Segment index of each row (scalar or array)."""
+        return np.asarray(row, dtype=np.int64) // self.mrows
+
+    def start_row(self, segment: int) -> int:
+        """First row of a segment."""
+        self._check(segment)
+        return segment * self.mrows
+
+    def rows_of(self, segment: int) -> np.ndarray:
+        """Real (unpadded) rows of a segment."""
+        self._check(segment)
+        lo = segment * self.mrows
+        hi = min(lo + self.mrows, self.nrows)
+        return np.arange(lo, hi, dtype=np.int64)
+
+    def segment_length(self, segment: int) -> int:
+        """Number of real rows in a segment (== mrows except maybe last)."""
+        self._check(segment)
+        lo = segment * self.mrows
+        return min(self.mrows, self.nrows - lo)
+
+    def is_wavefront_aligned(self, wavefront_size: int) -> bool:
+        """Paper's rule of thumb: mrows should be a multiple of the
+        wavefront size so per-segment loads coalesce fully."""
+        return wavefront_size > 0 and self.mrows % wavefront_size == 0
+
+    def _check(self, segment: int) -> None:
+        if not 0 <= segment < self.num_segments:
+            raise IndexError(
+                f"segment {segment} out of range [0, {self.num_segments})"
+            )

@@ -1,0 +1,127 @@
+"""Work-item-level interpreted SpMV for CRSD (Section III-B formulas).
+
+:meth:`~repro.core.crsd.CRSDMatrix.matvec` is the fast vectorised
+reference.  This module instead executes the *exact* per-work-item
+index arithmetic the paper derives — the flat-slab location
+
+``sum_{i<p}(NRS_i*NNzRS_i) + (group_id - sum_{i<p}NRS_i)*NNzRS_p
++ d*mrows + local_id``
+
+and the source-vector index ``Colv_{p,d} + (group_id -
+sum_{i<p}NRS_i)*mrows + local_id`` — one scalar work-item at a time.
+It exists to (a) document the formulas executably, (b) cross-check the
+code generator, whose emitted codelets must compute identical indices,
+and (c) serve as the *interpreted* CRSD baseline of ablation A4, which
+reads ``crsd_dia_index`` at SpMV time instead of baking it in.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.crsd import CRSDMatrix
+from repro.formats.base import check_vector
+
+
+def region_of_group(crsd: CRSDMatrix, group_id: int) -> Tuple[int, int]:
+    """Map a work-group id to ``(p, local_segment)``.
+
+    Implements the paper's membership condition
+    ``sum_{i<p} NRS_i <= group_id < sum_{i<=p} NRS_i``.
+    """
+    acc = 0
+    for p, region in enumerate(crsd.regions):
+        if acc <= group_id < acc + region.num_segments:
+            return p, group_id - acc
+        acc += region.num_segments
+    raise IndexError(f"group_id {group_id} out of range (total segments {acc})")
+
+
+def total_work_groups(crsd: CRSDMatrix) -> int:
+    """Work-groups launched for the diagonal part: one per row segment
+    of every region."""
+    return sum(r.num_segments for r in crsd.regions)
+
+
+def spmv_work_item(
+    crsd: CRSDMatrix, x: np.ndarray, group_id: int, local_id: int
+) -> Tuple[int, float]:
+    """Compute one work-item's ``(row, partial_y)`` for the diagonal part.
+
+    Returns the destination row (may be >= nrows for tail padding — the
+    caller must guard the store, as the generated kernel does) and the
+    accumulated value.
+    """
+    p, seg = region_of_group(crsd, group_id)
+    region = crsd.regions[p]
+    mrows = region.mrows
+    if not 0 <= local_id < mrows:
+        raise IndexError(f"local_id {local_id} out of range [0, {mrows})")
+    base = crsd.region_base(p)
+    colv = region.colv
+    acc = 0.0
+    for d in range(region.ndiags):
+        loc = base + seg * region.nnz_per_segment + d * mrows + local_id
+        xi = colv[d] + seg * mrows + local_id
+        v = float(crsd.dia_val[loc])
+        if 0 <= xi < crsd.ncols:
+            acc += v * float(x[xi])
+        # else: the slot is a fill zero by construction; contributes 0
+    row = region.start_row + seg * mrows + local_id
+    return row, acc
+
+
+def spmv_interpreted(
+    crsd: CRSDMatrix, x: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Full SpMV via per-work-item interpretation (slow; tests only)."""
+    x = check_vector(x, crsd.ncols)
+    y = out if out is not None else np.zeros(crsd.nrows, dtype=np.float64)
+    if out is not None:
+        y[:] = 0.0
+    for gid in range(total_work_groups(crsd)):
+        p, _ = region_of_group(crsd, gid)
+        mrows = crsd.regions[p].mrows
+        for lid in range(mrows):
+            row, acc = spmv_work_item(crsd, x, gid, lid)
+            if row < crsd.nrows:
+                y[row] = acc
+    _scatter_interpreted(crsd, x, y)
+    return y
+
+
+def _scatter_interpreted(crsd: CRSDMatrix, x: np.ndarray, y: np.ndarray) -> None:
+    """Scalar ELL pass over the scatter rows (executed after the
+    diagonal part; overwrites)."""
+    for i in range(crsd.num_scatter_rows):
+        acc = 0.0
+        for k in range(crsd.num_scatter_width):
+            acc += float(crsd.scatter_val[i, k]) * float(
+                x[int(crsd.scatter_colval[i, k])]
+            )
+        y[int(crsd.scatter_rowno[i])] = acc
+
+
+def index_trace(crsd: CRSDMatrix, group_id: int, local_id: int) -> List[dict]:
+    """The (slab location, x index) pairs a work-item touches, one dict
+    per diagonal — used to validate generated codelets index-for-index."""
+    p, seg = region_of_group(crsd, group_id)
+    region = crsd.regions[p]
+    base = crsd.region_base(p)
+    out = []
+    for d, off in enumerate(region.pattern.offsets):
+        out.append(
+            {
+                "region": p,
+                "diagonal": d,
+                "offset": off,
+                "slab_index": base
+                + seg * region.nnz_per_segment
+                + d * region.mrows
+                + local_id,
+                "x_index": region.colv[d] + seg * region.mrows + local_id,
+            }
+        )
+    return out

@@ -1,0 +1,26 @@
+"""MKL-like CPU SpMV baselines and the Xeon X5550 machine model.
+
+The paper's CPU comparison uses Intel MKL 10.2 on a two-socket
+quad-core Xeon X5550 system: parallel CSR (1 and 8 threads) and serial
+DIA.  We provide functionally correct CSR/DIA/CRSD CPU kernels (NumPy)
+plus a calibrated bandwidth model that converts each kernel's exact
+byte traffic into time — CPU SpMV is memory-bound, and at 8 threads
+MKL CSR simply saturates the two sockets' controllers.
+"""
+
+from repro.cpu.machine import CPUSpec, XEON_X5550_2S
+from repro.cpu.kernels import (
+    CpuCsrSpMV,
+    CpuDiaSpMV,
+    CpuCrsdSpMV,
+    CpuSpMVResult,
+)
+
+__all__ = [
+    "CPUSpec",
+    "XEON_X5550_2S",
+    "CpuCsrSpMV",
+    "CpuDiaSpMV",
+    "CpuCrsdSpMV",
+    "CpuSpMVResult",
+]

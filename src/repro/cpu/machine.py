@@ -1,0 +1,75 @@
+"""CPU machine model (paper Table IV: 2-socket Xeon X5550, 8 GB)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf import calibration as cal
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Static description of a multi-socket CPU system.
+
+    Attributes
+    ----------
+    sockets, cores_per_socket, clock_ghz:
+        Topology.
+    socket_bw_gbs:
+        Peak memory bandwidth per socket.
+    per_core_bw_gbs:
+        Sustained bandwidth a single core can draw (one core cannot
+        saturate the socket).
+    flops_per_cycle_dp / flops_per_cycle_sp:
+        SSE2-class SIMD: 4 DP / 8 SP flops per cycle per core on
+        Nehalem.
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    clock_ghz: float
+    socket_bw_gbs: float
+    per_core_bw_gbs: float
+    flops_per_cycle_dp: int = 4
+    flops_per_cycle_sp: int = 8
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def bandwidth_gbs(self, threads: int) -> float:
+        """Sustained aggregate bandwidth available to ``threads``.
+
+        Threads scale linearly at ``per_core_bw_gbs`` until the socket
+        controllers saturate; threads spread across sockets round-robin.
+        """
+        if threads <= 0:
+            raise ValueError(f"threads must be positive, got {threads}")
+        threads = min(threads, self.total_cores)
+        per_thread_total = threads * self.per_core_bw_gbs
+        # threads are spread over sockets, unlocking each socket's share
+        sockets_used = min(self.sockets, threads)
+        ceiling = sockets_used * self.socket_bw_gbs * cal.CPU_BW_EFFICIENCY
+        return min(per_thread_total, ceiling)
+
+    def peak_gflops(self, precision: str, threads: int) -> float:
+        """Aggregate SIMD peak of ``threads`` cores at ``precision``."""
+        threads = min(max(threads, 1), self.total_cores)
+        per_cycle = (
+            self.flops_per_cycle_dp
+            if precision.lower() in ("double", "fp64")
+            else self.flops_per_cycle_sp
+        )
+        return threads * self.clock_ghz * per_cycle
+
+
+#: the paper's CPU platform
+XEON_X5550_2S = CPUSpec(
+    name="2 x Intel Xeon X5550 (Nehalem, 2.67 GHz)",
+    sockets=2,
+    cores_per_socket=4,
+    clock_ghz=2.67,
+    socket_bw_gbs=cal.CPU_SOCKET_BW_GBS,
+    per_core_bw_gbs=cal.CPU_PER_CORE_BW_GBS,
+)

@@ -1,0 +1,43 @@
+"""Sparse matrix storage formats implemented from scratch.
+
+This package provides the storage formats the paper compares against
+(Section I and IV): COO, CSR, DIA, ELL, HYB, plus BCSR from the related
+work (Section V).  Every format supports:
+
+- construction from a :class:`~repro.formats.coo.COOMatrix` or a dense
+  ``numpy`` array,
+- a reference sequential ``matvec`` (the semantics the GPU kernels must
+  reproduce),
+- exact memory-footprint accounting (:mod:`repro.formats.footprint`),
+  which feeds the device-memory capacity check and the performance model.
+
+The canonical interchange representation is COO; :mod:`repro.formats.convert`
+holds the conversion helpers.
+"""
+
+from repro.formats.base import SparseFormat, FormatError
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.dcsr import DeltaCSRMatrix
+from repro.formats.convert import from_dense, to_dense, convert
+from repro.formats.footprint import footprint_bytes
+
+__all__ = [
+    "SparseFormat",
+    "FormatError",
+    "COOMatrix",
+    "CSRMatrix",
+    "DIAMatrix",
+    "ELLMatrix",
+    "HYBMatrix",
+    "BCSRMatrix",
+    "DeltaCSRMatrix",
+    "from_dense",
+    "to_dense",
+    "convert",
+    "footprint_bytes",
+]

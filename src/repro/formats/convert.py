@@ -1,0 +1,62 @@
+"""Conversions between formats and dense arrays.
+
+All conversions route through canonical COO, so correctness of the
+whole lattice reduces to each format's ``from_coo``/``to_coo`` pair —
+which the test suite round-trips exhaustively.
+"""
+
+from __future__ import annotations
+
+from typing import Type, Union
+
+import numpy as np
+
+from repro.formats.base import FormatError, SparseFormat
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dcsr import DeltaCSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYBMatrix
+
+#: registry of format name -> class, used by the bench harness to
+#: instantiate formats by string.
+FORMATS = {
+    "coo": COOMatrix,
+    "csr": CSRMatrix,
+    "dia": DIAMatrix,
+    "ell": ELLMatrix,
+    "hyb": HYBMatrix,
+    "bcsr": BCSRMatrix,
+    "dcsr": DeltaCSRMatrix,
+}
+
+
+def from_dense(dense: np.ndarray, fmt: str = "coo", **kwargs) -> SparseFormat:
+    """Build a sparse matrix of format ``fmt`` from a dense array."""
+    cls = _lookup(fmt)
+    return cls.from_dense(dense, **kwargs)
+
+
+def to_dense(matrix: SparseFormat) -> np.ndarray:
+    """Materialise any format as a dense ndarray."""
+    return matrix.todense()
+
+
+def convert(matrix: SparseFormat, fmt: Union[str, Type[SparseFormat]], **kwargs) -> SparseFormat:
+    """Convert ``matrix`` to another format (via COO)."""
+    cls = _lookup(fmt) if isinstance(fmt, str) else fmt
+    coo = matrix.to_coo()
+    if cls is COOMatrix:
+        return coo
+    return cls.from_coo(coo, **kwargs)
+
+
+def _lookup(fmt: str) -> Type[SparseFormat]:
+    try:
+        return FORMATS[fmt.lower()]
+    except KeyError:
+        raise FormatError(
+            f"unknown format {fmt!r}; known: {sorted(FORMATS)}"
+        ) from None

@@ -1,0 +1,153 @@
+"""Compressed Sparse Row (CSR) format.
+
+The general-purpose baseline of the paper's evaluation (both the
+Bell & Garland GPU kernels and the Intel-MKL CPU kernels operate on
+CSR).  Stores ``indptr`` (row pointers), ``indices`` (column indices)
+and ``data`` (values), rows sorted by column.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.formats.base import (
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    FormatError,
+    SparseFormat,
+    check_vector,
+)
+from repro.formats.coo import COOMatrix
+
+
+class CSRMatrix(SparseFormat):
+    """CSR sparse matrix.
+
+    Parameters
+    ----------
+    indptr:
+        ``nrows + 1`` row pointers; row ``i`` occupies
+        ``indices[indptr[i]:indptr[i+1]]``.
+    indices, data:
+        Column indices and values, each of length ``nnz``.
+    shape:
+        Matrix shape.
+    """
+
+    name = "csr"
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+    ):
+        super().__init__(shape)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data, dtype=VALUE_DTYPE)
+        if indptr.ndim != 1 or indptr.size != self.nrows + 1:
+            raise FormatError(
+                f"indptr must have length nrows+1={self.nrows + 1}, got {indptr.size}"
+            )
+        if indptr[0] != 0:
+            raise FormatError("indptr must start at 0")
+        if np.any(np.diff(indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if indices.size != data.size or indices.size != indptr[-1]:
+            raise FormatError("indices/data length must equal indptr[-1]")
+        if indices.size and (indices.min() < 0 or indices.max() >= self.ncols):
+            raise FormatError("column index out of range")
+        self.indptr = indptr.astype(INDEX_DTYPE)
+        self.indices = indices.astype(INDEX_DTYPE)
+        self.data = data
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        """Build from canonical (row-major sorted) COO."""
+        counts = np.bincount(coo.rows, minlength=coo.nrows)
+        indptr = np.zeros(coo.nrows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, coo.cols.copy(), coo.vals.copy(), coo.shape)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    # ------------------------------------------------------------------
+    # SparseFormat surface
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        x = check_vector(x, self.ncols)
+        y = out if out is not None else np.zeros(self.nrows, dtype=np.result_type(self.data, x))
+        if out is not None:
+            y[:] = 0.0
+        if self.nnz == 0:
+            return y
+        products = self.data * x[self.indices]
+        # reduceat needs care: it misbehaves on empty rows (indptr[i] ==
+        # indptr[i+1]) and when the final pointer equals len(products).
+        starts = self.indptr[:-1].astype(np.int64)
+        nonempty = self.indptr[1:] > self.indptr[:-1]
+        if nonempty.all():
+            y[:] = np.add.reduceat(products, starts)
+        else:
+            rows_ne = np.flatnonzero(nonempty)
+            sums = np.add.reduceat(products, starts[rows_ne])
+            y[rows_ne] = sums
+        return y
+
+    def matmat(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Blocked SpMM: one pass over the CSR arrays for all ``k``
+        right-hand sides (indices read once, not ``k`` times)."""
+        x = np.asarray(x)
+        if x.ndim != 2 or x.shape[0] != self.ncols:
+            raise FormatError(f"X must be ({self.ncols}, k), got {x.shape}")
+        k = x.shape[1]
+        y = out if out is not None else np.zeros(
+            (self.nrows, k), dtype=np.result_type(self.data, x)
+        )
+        if out is not None:
+            if out.shape != (self.nrows, k):
+                raise FormatError(f"out must be ({self.nrows}, {k})")
+            y[:] = 0.0
+        if self.nnz == 0:
+            return y
+        products = self.data[:, None] * x[self.indices.astype(np.int64)]
+        starts = self.indptr[:-1].astype(np.int64)
+        nonempty = self.indptr[1:] > self.indptr[:-1]
+        rows_ne = np.flatnonzero(nonempty)
+        sums = np.add.reduceat(products, starts[rows_ne], axis=0)
+        y[rows_ne] = sums
+        return y
+
+    def to_coo(self) -> COOMatrix:
+        rows = np.repeat(
+            np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr.astype(np.int64))
+        )
+        return COOMatrix(rows, self.indices, self.data, self.shape, keep_explicit_zeros=True)
+
+    def array_inventory(self) -> Dict[str, np.ndarray]:
+        return {"indptr": self.indptr, "indices": self.indices, "data": self.data}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def row_lengths(self) -> np.ndarray:
+        """nnz count of every row."""
+        return np.diff(self.indptr.astype(np.int64))
+
+    def row_slice(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(columns, values)`` of row ``i``."""
+        lo, hi = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[lo:hi], self.data[lo:hi]

@@ -1,0 +1,134 @@
+"""Diagonal (DIA) format.
+
+The format the paper sets out to improve upon.  Every occupied diagonal
+is stored in full: ``data[d, i]`` holds ``A[i, i + offsets[d]]`` for
+every row ``i`` (zero where the diagonal has no entry or leaves the
+matrix).  All nonzeros on one diagonal therefore share a single index —
+the diagonal's offset — but *idle sections* and *scatter points* force
+large numbers of explicit zeros to be stored (Section II-A of the
+paper), which is exactly the waste CRSD removes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.formats.base import (
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    FormatError,
+    SparseFormat,
+    check_vector,
+)
+from repro.formats.coo import COOMatrix
+
+
+class DIAMatrix(SparseFormat):
+    """DIA sparse matrix.
+
+    Parameters
+    ----------
+    offsets:
+        Sorted distinct diagonal offsets (``col - row``; positive above
+        the main diagonal).
+    data:
+        ``(ndiags, nrows)`` array; ``data[d, i] = A[i, i + offsets[d]]``.
+        Out-of-matrix slots must be zero.
+    shape:
+        Matrix shape.
+    """
+
+    name = "dia"
+
+    def __init__(self, offsets: np.ndarray, data: np.ndarray, shape: Tuple[int, int]):
+        super().__init__(shape)
+        offsets = np.asarray(offsets, dtype=np.int64).ravel()
+        data = np.asarray(data, dtype=VALUE_DTYPE)
+        if data.ndim != 2 or data.shape != (offsets.size, self.nrows):
+            raise FormatError(
+                f"data must be (ndiags={offsets.size}, nrows={self.nrows}), got {data.shape}"
+            )
+        if offsets.size:
+            if np.any(np.diff(offsets) <= 0):
+                raise FormatError("offsets must be strictly increasing")
+            if offsets.min() <= -self.nrows or offsets.max() >= self.ncols:
+                raise FormatError("diagonal offset out of matrix")
+            # out-of-matrix slots must not carry values
+            rows = np.arange(self.nrows)
+            cols = rows[None, :] + offsets[:, None]
+            outside = (cols < 0) | (cols >= self.ncols)
+            if np.any(data[outside] != 0.0):
+                raise FormatError("nonzero value stored outside the matrix extent")
+        self.offsets = offsets.astype(INDEX_DTYPE)
+        self.data = data
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "DIAMatrix":
+        """Build from COO, materialising every occupied diagonal in full."""
+        offsets = coo.diagonal_offsets()
+        data = np.zeros((offsets.size, coo.nrows), dtype=VALUE_DTYPE)
+        if coo.nnz:
+            entry_offsets = coo.offsets_of_entries()
+            diag_idx = np.searchsorted(offsets, entry_offsets)
+            data[diag_idx, coo.rows] = coo.vals
+        return cls(offsets, data, coo.shape)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "DIAMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    # ------------------------------------------------------------------
+    # SparseFormat surface
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def ndiags(self) -> int:
+        return int(self.offsets.size)
+
+    @property
+    def stored_elements(self) -> int:
+        """Full slab including padding: ndiags × nrows."""
+        return int(self.data.size)
+
+    @property
+    def in_matrix_elements(self) -> int:
+        """Stored slots that fall inside the matrix extent (these cost
+        flops in the Bell & Garland DIA kernel; out-of-matrix slots are
+        skipped by the bounds check)."""
+        if not self.ndiags:
+            return 0
+        offs = self.offsets.astype(np.int64)
+        lo = np.maximum(0, -offs)
+        hi = np.minimum(self.nrows, self.ncols - offs)
+        return int(np.maximum(0, hi - lo).sum())
+
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        x = check_vector(x, self.ncols)
+        y = out if out is not None else np.zeros(self.nrows, dtype=np.result_type(self.data, x))
+        if out is not None:
+            y[:] = 0.0
+        rows = np.arange(self.nrows)
+        for d, off in enumerate(self.offsets.astype(np.int64)):
+            lo = max(0, -off)
+            hi = min(self.nrows, self.ncols - off)
+            if hi <= lo:
+                continue
+            seg = slice(lo, hi)
+            y[seg] += self.data[d, seg] * x[rows[seg] + off]
+        return y
+
+    def to_coo(self) -> COOMatrix:
+        diag_idx, rows = np.nonzero(self.data)
+        cols = rows + self.offsets.astype(np.int64)[diag_idx]
+        return COOMatrix(rows, cols, self.data[diag_idx, rows], self.shape)
+
+    def array_inventory(self) -> Dict[str, np.ndarray]:
+        return {"offsets": self.offsets, "data": self.data}

@@ -1,0 +1,160 @@
+"""ELLPACK/ITPACK (ELL) format.
+
+Stores exactly ``K`` (the maximum row length, or a caller-chosen width)
+entries per row; shorter rows are padded.  Column indices of padding
+slots point at a valid column (the row's last real column, or 0) with a
+zero value, matching the Bell & Garland kernel's convention that padded
+lanes still execute but contribute nothing.
+
+On the GPU the arrays are traversed column-major (all rows' k-th entry
+contiguous) so one-thread-per-row loads coalesce; we keep the host
+arrays ``(nrows, K)`` row-major and expose ``column_major_view`` for the
+kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.formats.base import (
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    FormatError,
+    SparseFormat,
+    check_vector,
+)
+from repro.formats.coo import COOMatrix
+
+
+class ELLMatrix(SparseFormat):
+    """ELL sparse matrix.
+
+    Parameters
+    ----------
+    indices, data:
+        ``(nrows, K)`` arrays of column indices and values.  Padding
+        slots carry value 0 and any in-range column index.
+    occupancy:
+        ``(nrows, K)`` boolean mask of *real* (non-padding) slots.  This
+        distinguishes a stored mathematical zero from padding; if
+        omitted, every slot with a nonzero value is considered real.
+    shape:
+        Matrix shape.
+    """
+
+    name = "ell"
+
+    def __init__(
+        self,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+        occupancy: Optional[np.ndarray] = None,
+    ):
+        super().__init__(shape)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data, dtype=VALUE_DTYPE)
+        if indices.ndim != 2 or indices.shape[0] != self.nrows:
+            raise FormatError(f"indices must be (nrows, K), got {indices.shape}")
+        if data.shape != indices.shape:
+            raise FormatError("data and indices must have identical shape")
+        if indices.size and (indices.min() < 0 or indices.max() >= self.ncols):
+            raise FormatError("column index out of range")
+        if occupancy is None:
+            occupancy = data != 0.0
+        else:
+            occupancy = np.asarray(occupancy, dtype=bool)
+            if occupancy.shape != data.shape:
+                raise FormatError("occupancy must match data shape")
+            if np.any(data[~occupancy] != 0.0):
+                raise FormatError("padding slots must hold zero values")
+        self.indices = indices.astype(INDEX_DTYPE)
+        self.data = data
+        self.occupancy = occupancy
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, width: Optional[int] = None) -> "ELLMatrix":
+        """Build from COO.
+
+        ``width`` defaults to the maximum row length; passing a smaller
+        width raises (use :class:`~repro.formats.hyb.HYBMatrix` for the
+        split form).
+        """
+        lengths = coo.row_lengths()
+        max_len = int(lengths.max()) if lengths.size else 0
+        k = max_len if width is None else int(width)
+        if k < max_len:
+            raise FormatError(
+                f"width {k} < maximum row length {max_len}; use HYB to overflow"
+            )
+        indices = np.zeros((coo.nrows, max(k, 0)), dtype=np.int64)
+        data = np.zeros((coo.nrows, max(k, 0)), dtype=VALUE_DTYPE)
+        occupancy = np.zeros((coo.nrows, max(k, 0)), dtype=bool)
+        if coo.nnz:
+            # position of each entry within its row (COO is row-major sorted)
+            starts = np.zeros(coo.nrows, dtype=np.int64)
+            np.cumsum(np.bincount(coo.rows, minlength=coo.nrows)[:-1], out=starts[1:])
+            within = np.arange(coo.nnz) - starts[coo.rows]
+            indices[coo.rows, within] = coo.cols
+            data[coo.rows, within] = coo.vals
+            occupancy[coo.rows, within] = True
+        return cls(indices, data, coo.shape, occupancy)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "ELLMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    # ------------------------------------------------------------------
+    # SparseFormat surface
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.occupancy.sum())
+
+    @property
+    def width(self) -> int:
+        """Entries stored per row (K)."""
+        return int(self.data.shape[1])
+
+    @property
+    def stored_elements(self) -> int:
+        return int(self.data.size)
+
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        x = check_vector(x, self.ncols)
+        y = out if out is not None else np.zeros(self.nrows, dtype=np.result_type(self.data, x))
+        if self.width == 0:
+            if out is not None:
+                y[:] = 0.0
+            return y
+        acc = (self.data * x[self.indices.astype(np.int64)]).sum(axis=1)
+        y[:] = acc
+        return y
+
+    def to_coo(self) -> COOMatrix:
+        rows2d = np.broadcast_to(
+            np.arange(self.nrows, dtype=np.int64)[:, None], self.data.shape
+        )
+        mask = self.occupancy
+        return COOMatrix(
+            rows2d[mask],
+            self.indices[mask],
+            self.data[mask],
+            self.shape,
+            keep_explicit_zeros=True,
+        )
+
+    def array_inventory(self) -> Dict[str, np.ndarray]:
+        # occupancy is a host-side construction aid, not transferred to a
+        # device, so it does not enter the footprint.
+        return {"indices": self.indices, "data": self.data}
+
+    def column_major_view(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(indices, data)`` transposed to (K, nrows) — the coalesced
+        device layout used by the ELL kernel."""
+        return self.indices.T, self.data.T

@@ -1,0 +1,76 @@
+"""Memory-footprint accounting for stored formats.
+
+Section IV of the paper observes that DIA in double precision exceeds
+the Tesla C2050's 3 GB device memory for the ``af_*_k101`` matrices
+(so those bars are missing from Fig. 7), while the single-precision
+variant fits.  This module provides the byte accounting that check
+relies on, plus a human-readable breakdown used by the format-advisor
+example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.formats.base import SparseFormat
+
+#: bytes per value for each precision keyword.
+PRECISION_BYTES = {"double": 8, "single": 4, "fp64": 8, "fp32": 4}
+
+
+def value_itemsize(precision: str) -> int:
+    """8 for double/fp64, 4 for single/fp32."""
+    try:
+        return PRECISION_BYTES[precision.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown precision {precision!r}; expected one of {sorted(PRECISION_BYTES)}"
+        ) from None
+
+
+def footprint_bytes(matrix: SparseFormat, precision: str = "double") -> int:
+    """Total device bytes needed to hold ``matrix`` at ``precision``."""
+    return matrix.nbytes(value_itemsize=value_itemsize(precision))
+
+
+@dataclass(frozen=True)
+class FootprintReport:
+    """Per-array byte breakdown of a stored format."""
+
+    format_name: str
+    precision: str
+    per_array: Dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.per_array.values())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"{self.format_name} @ {self.precision}: {self.total:,} bytes"]
+        for name, nbytes in sorted(self.per_array.items()):
+            lines.append(f"  {name:<20s} {nbytes:>14,d}")
+        return "\n".join(lines)
+
+
+def footprint_report(matrix: SparseFormat, precision: str = "double") -> FootprintReport:
+    """Detailed per-array footprint of ``matrix``."""
+    isz = value_itemsize(precision)
+    per = {}
+    for name, arr in matrix.array_inventory().items():
+        if np.issubdtype(arr.dtype, np.floating):
+            per[name] = arr.size * isz
+        else:
+            per[name] = arr.size * 4
+    return FootprintReport(matrix.name, precision, per)
+
+
+def fits_in_device(matrix: SparseFormat, capacity_bytes: int, precision: str = "double",
+                   vector_len: int | None = None) -> bool:
+    """Does the matrix (plus its x and y vectors) fit in device memory?"""
+    isz = value_itemsize(precision)
+    nrows, ncols = matrix.shape
+    vec = (vector_len if vector_len is not None else (nrows + ncols)) * isz
+    return footprint_bytes(matrix, precision) + vec <= capacity_bytes

@@ -1,0 +1,155 @@
+"""Hybrid ELL + COO (HYB) format.
+
+Bell & Garland's default GPU format: a regular ELL slab of width ``K'``
+holds the first ``K'`` entries of every row and the overflow entries go
+to a COO tail.  Section IV of the paper notes that with the default
+split heuristic, matrices 1–14 of the suite land entirely in ELL while
+matrices 15–23 put roughly 0.2%–2.1% of their nonzeros into COO — an
+observation `benchmarks/test_hyb_split_and_memory.py` reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.formats.base import FormatError, SparseFormat, check_vector
+from repro.formats.coo import COOMatrix
+from repro.formats.ell import ELLMatrix
+
+#: below this many overflow rows the COO tail is not worth its launch
+#: overhead (cusp's ``breakeven_threshold``).
+DEFAULT_BREAKEVEN_ROWS = 4096
+
+#: cusp's ``relative_speed``: ELL is assumed this many times faster than
+#: COO per entry, so a column of the ELL slab is worth adding while at
+#: least ``nrows / relative_speed`` rows still use it.
+DEFAULT_RELATIVE_SPEED = 3.0
+
+
+def compute_hyb_width(
+    row_lengths: np.ndarray,
+    relative_speed: float = DEFAULT_RELATIVE_SPEED,
+    breakeven_rows: int = DEFAULT_BREAKEVEN_ROWS,
+) -> int:
+    """Choose the ELL width ``K'`` with the cusp-style heuristic.
+
+    Grow the slab one column at a time and stop once the rows still
+    extending past the current width are few both *relatively* (fewer
+    than ``nrows / relative_speed`` — the next column would be mostly
+    padding) and *absolutely* (fewer than ``breakeven_rows`` — the tail
+    is cheap in COO).  Uniform row lengths therefore keep the matrix
+    entirely in ELL (the paper's matrices 1–14), while a small
+    population of long rows produces a small COO tail (matrices 15–23,
+    0.2%–2.1% of nnz).
+    """
+    row_lengths = np.asarray(row_lengths, dtype=np.int64)
+    nrows = row_lengths.size
+    if nrows == 0:
+        return 0
+    max_len = int(row_lengths.max())
+    hist = np.bincount(row_lengths, minlength=max_len + 1)
+    width = 0
+    rows_remaining = nrows  # rows with length > width
+    for width in range(max_len + 1):
+        rows_remaining = nrows - int(hist[: width + 1].sum())
+        if relative_speed * rows_remaining < nrows and rows_remaining < breakeven_rows:
+            break
+    return min(width + (1 if rows_remaining > 0 and width == max_len else 0), max_len)
+
+
+class HYBMatrix(SparseFormat):
+    """HYB sparse matrix: ELL slab of width ``K'`` plus a COO tail.
+
+    Parameters
+    ----------
+    ell:
+        The regular part.
+    coo_tail:
+        Overflow entries (same shape as the whole matrix).
+    """
+
+    name = "hyb"
+
+    def __init__(self, ell: ELLMatrix, coo_tail: COOMatrix):
+        if ell.shape != coo_tail.shape:
+            raise FormatError(
+                f"ELL part {ell.shape} and COO tail {coo_tail.shape} disagree"
+            )
+        super().__init__(ell.shape)
+        self.ell = ell
+        self.coo = coo_tail
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        coo: COOMatrix,
+        width: Optional[int] = None,
+        relative_speed: float = DEFAULT_RELATIVE_SPEED,
+        breakeven_rows: int = DEFAULT_BREAKEVEN_ROWS,
+    ) -> "HYBMatrix":
+        """Split COO into ELL(K') + COO using the default heuristic
+        (or an explicit ``width``)."""
+        lengths = coo.row_lengths()
+        if width is None:
+            width = compute_hyb_width(lengths, relative_speed, breakeven_rows)
+        width = int(width)
+        if coo.nnz == 0:
+            return cls(ELLMatrix.from_coo(coo, width=0), COOMatrix.empty(coo.shape))
+        starts = np.zeros(coo.nrows, dtype=np.int64)
+        np.cumsum(np.bincount(coo.rows, minlength=coo.nrows)[:-1], out=starts[1:])
+        within = np.arange(coo.nnz) - starts[coo.rows.astype(np.int64)]
+        in_ell = within < width
+        ell_part = COOMatrix(
+            coo.rows[in_ell], coo.cols[in_ell], coo.vals[in_ell], coo.shape
+        )
+        tail = COOMatrix(
+            coo.rows[~in_ell], coo.cols[~in_ell], coo.vals[~in_ell], coo.shape
+        )
+        return cls(ELLMatrix.from_coo(ell_part, width=width), tail)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "HYBMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    # ------------------------------------------------------------------
+    # SparseFormat surface
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return self.ell.nnz + self.coo.nnz
+
+    @property
+    def stored_elements(self) -> int:
+        return self.ell.stored_elements + self.coo.nnz
+
+    @property
+    def coo_fraction(self) -> float:
+        """Fraction of nonzeros living in the COO tail."""
+        nnz = self.nnz
+        return self.coo.nnz / nnz if nnz else 0.0
+
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        x = check_vector(x, self.ncols)
+        y = self.ell.matvec(x, out=out)
+        if self.coo.nnz:
+            np.add.at(y, self.coo.rows, self.coo.vals * x[self.coo.cols.astype(np.int64)])
+        return y
+
+    def to_coo(self) -> COOMatrix:
+        a, b = self.ell.to_coo(), self.coo
+        return COOMatrix(
+            np.concatenate([a.rows, b.rows]),
+            np.concatenate([a.cols, b.cols]),
+            np.concatenate([a.vals, b.vals]),
+            self.shape,
+        )
+
+    def array_inventory(self) -> Dict[str, np.ndarray]:
+        inv = {f"ell_{k}": v for k, v in self.ell.array_inventory().items()}
+        inv.update({f"coo_{k}": v for k, v in self.coo.array_inventory().items()})
+        return inv

@@ -1,0 +1,42 @@
+"""GPU SpMV kernels in the style of Bell & Garland (2009).
+
+The paper compares CRSD against the DIA, ELL, CSR and HYB kernels of
+"Implementing sparse matrix-vector multiplication on throughput-
+oriented processors".  These modules re-implement those kernels'
+*data layouts and access patterns* against the simulated device in
+:mod:`repro.ocl`:
+
+- :mod:`repro.gpu_kernels.dia`  — one work-item per row over the DIA slab
+- :mod:`repro.gpu_kernels.ell`  — one work-item per row, column-major slab
+- :mod:`repro.gpu_kernels.csr`  — CSR-scalar (work-item/row) and
+  CSR-vector (wavefront/row)
+- :mod:`repro.gpu_kernels.coo`  — atomics-based COO kernel (HYB tail)
+- :mod:`repro.gpu_kernels.hyb`  — ELL slab + COO tail
+- :mod:`repro.gpu_kernels.crsd_runner` — the generated-codelet CRSD
+  kernel (diagonal part + scatter ELL part)
+
+Every runner allocates through a :class:`~repro.ocl.executor.Context`
+(so device capacity is enforced), executes functionally, and returns
+``(y, KernelTrace)`` for the performance model.
+"""
+
+from repro.gpu_kernels.base import GPUSpMV, SpMVRun
+from repro.gpu_kernels.dia import DiaSpMV
+from repro.gpu_kernels.ell import EllSpMV
+from repro.gpu_kernels.csr import CsrScalarSpMV, CsrVectorSpMV
+from repro.gpu_kernels.coo import CooSpMV
+from repro.gpu_kernels.hyb import HybSpMV
+from repro.gpu_kernels.crsd_runner import CrsdSpMM, CrsdSpMV
+
+__all__ = [
+    "GPUSpMV",
+    "SpMVRun",
+    "DiaSpMV",
+    "EllSpMV",
+    "CsrScalarSpMV",
+    "CsrVectorSpMV",
+    "CooSpMV",
+    "HybSpMV",
+    "CrsdSpMV",
+    "CrsdSpMM",
+]

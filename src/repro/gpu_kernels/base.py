@@ -1,0 +1,117 @@
+"""Shared machinery for GPU SpMV kernel runners.
+
+A runner owns the device-side buffers for one matrix (allocated once,
+capacity-checked) and executes the kernel for arbitrary source vectors,
+returning the result and the execution trace.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.ocl.device import DeviceSpec, TESLA_C2050
+from repro.ocl.executor import Context
+from repro.ocl.trace import KernelTrace
+
+#: default work-group size for one-work-item-per-row kernels
+DEFAULT_LOCAL_SIZE = 128
+
+
+def precision_dtype(precision: str):
+    """numpy dtype for "double"/"single"."""
+    p = precision.lower()
+    if p in ("double", "fp64"):
+        return np.float64
+    if p in ("single", "fp32"):
+        return np.float32
+    raise ValueError(f"unknown precision {precision!r}")
+
+
+@dataclass
+class SpMVRun:
+    """Result of one kernel execution."""
+
+    y: np.ndarray
+    trace: KernelTrace
+
+
+class GPUSpMV(abc.ABC):
+    """Base class for SpMV kernel runners.
+
+    Subclasses implement :meth:`_prepare` (allocate matrix buffers) and
+    :meth:`_execute` (launch kernels for one ``x``).
+
+    Parameters
+    ----------
+    device:
+        Target device spec (capacity, wavefront, transaction size).
+    precision:
+        "double" or "single"; matrix values and vectors are held at
+        this precision on the device.
+    local_size:
+        Work-group size for the main kernel.
+    """
+
+    #: kernel family name for reports ("dia", "ell", ...)
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        device: DeviceSpec = TESLA_C2050,
+        precision: str = "double",
+        local_size: int = DEFAULT_LOCAL_SIZE,
+    ):
+        self.device = device
+        self.precision = precision
+        self.dtype = precision_dtype(precision)
+        self.local_size = int(local_size)
+        self.context = Context(device)
+        self._prepared = False
+
+    def prepare(self) -> "GPUSpMV":
+        """Allocate and populate device buffers (idempotent).
+
+        Raises :class:`~repro.ocl.errors.DeviceMemoryError` when the
+        format does not fit — the paper's DIA/double case.
+        """
+        if not self._prepared:
+            self._prepare()
+            self._prepared = True
+        return self
+
+    def run(self, x: np.ndarray, trace: bool = True) -> SpMVRun:
+        """Compute ``y = A @ x`` on the device."""
+        self.prepare()
+        x = np.ascontiguousarray(x, dtype=self.dtype)
+        if x.size != self.ncols:
+            raise ValueError(f"x has length {x.size}, expected {self.ncols}")
+        return self._execute(x, trace)
+
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def nrows(self) -> int: ...
+
+    @property
+    @abc.abstractmethod
+    def ncols(self) -> int: ...
+
+    @abc.abstractmethod
+    def _prepare(self) -> None: ...
+
+    @abc.abstractmethod
+    def _execute(self, x: np.ndarray, trace: bool) -> SpMVRun: ...
+
+    # ------------------------------------------------------------------
+    @property
+    def device_bytes(self) -> int:
+        """Bytes currently allocated on the device for this runner."""
+        return self.context.allocated_bytes
+
+    def groups_for_rows(self, nrows: int) -> int:
+        """Work-groups needed at one work-item per row."""
+        return -(-nrows // self.local_size)

@@ -1,0 +1,140 @@
+"""CRSD SpMV runner: generated codelets on the simulated device.
+
+Only the value arrays travel to the device — ``crsd_dia_val`` plus the
+three scatter arrays; every index is baked into the generated kernel
+(that is the paper's memory-pressure reduction, measurable here as the
+absence of index traffic in the trace).  The diagonal kernel launches
+one work-group per row segment with ``local_size = mrows``; the scatter
+ELL kernel runs second and overwrites its rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.plan import build_plan
+from repro.codegen.python_codelet import generate_python_kernel
+from repro.core.crsd import CRSDMatrix
+from repro.gpu_kernels.base import GPUSpMV, SpMVRun
+from repro.ocl.executor import launch
+
+
+class CrsdSpMV(GPUSpMV):
+    """Generated-codelet CRSD SpMV runner.
+
+    Parameters
+    ----------
+    matrix:
+        The CRSD-format matrix.
+    use_local_memory:
+        Stage AD-group x windows through local memory (default; turn
+        off for ablation A1).
+    """
+
+    name = "crsd"
+
+    def __init__(self, matrix: CRSDMatrix, use_local_memory: bool = True, **kwargs):
+        kwargs.setdefault("local_size", matrix.mrows)
+        super().__init__(**kwargs)
+        self.matrix = matrix
+        self.plan = build_plan(matrix, use_local_memory=use_local_memory)
+        self.kernel = generate_python_kernel(self.plan)
+
+    @property
+    def nrows(self) -> int:
+        return self.matrix.nrows
+
+    @property
+    def ncols(self) -> int:
+        return self.matrix.ncols
+
+    @property
+    def opencl_source(self) -> str:
+        """The OpenCL C rendering of the same kernel (for inspection)."""
+        from repro.codegen.opencl_source import generate_opencl_source
+
+        return generate_opencl_source(self.plan, self.precision)
+
+    def _prepare(self) -> None:
+        self._dia_val = self.context.alloc(
+            self.matrix.dia_val.astype(self.dtype), "crsd_dia_val"
+        )
+        # scatter arrays column-major so the unrolled loads coalesce
+        self._scol = self.context.alloc(
+            np.ascontiguousarray(self.matrix.scatter_colval.T).ravel(), "scatter_colval"
+        )
+        self._sval = self.context.alloc(
+            np.ascontiguousarray(self.matrix.scatter_val.T).astype(self.dtype).ravel(),
+            "scatter_val",
+        )
+        self._srow = self.context.alloc(self.matrix.scatter_rowno, "scatter_rowno")
+        self._y = self.context.alloc_zeros(self.nrows, self.dtype, "y")
+
+    def _execute(self, x: np.ndarray, trace: bool) -> SpMVRun:
+        xbuf = self.context.alloc(x, "x")
+        try:
+            ybuf = self._y
+            ybuf.data[:] = 0
+            tr = launch(
+                self.kernel.dia_kernel,
+                self.plan.num_groups,
+                self.plan.local_size,
+                (self._dia_val, xbuf, ybuf),
+                self.device,
+                trace,
+            )
+            if self.kernel.scatter_kernel is not None:
+                groups = -(-self.plan.scatter.num_rows // self.plan.local_size)
+                tr2 = launch(
+                    self.kernel.scatter_kernel,
+                    groups,
+                    self.plan.local_size,
+                    (self._scol, self._sval, self._srow, xbuf, ybuf),
+                    self.device,
+                    trace,
+                )
+                tr.merge(tr2)
+            return SpMVRun(y=ybuf.to_host().copy(), trace=tr)
+        finally:
+            self.context.free(xbuf)
+
+
+class CrsdSpMM(CrsdSpMV):
+    """Generated multi-vector CRSD SpMM runner.
+
+    The codelets bake ``nvec`` in and load each slab value once for all
+    right-hand sides.  ``run(X)`` takes ``X`` of shape ``(ncols, nvec)``
+    and returns ``y`` of shape ``(nrows, nvec)``; device-side both are
+    column-major flat buffers with the strides in the kernel text.
+    """
+
+    name = "crsd_spmm"
+
+    def __init__(self, matrix: CRSDMatrix, nvec: int, **kwargs):
+        kwargs.setdefault("local_size", matrix.mrows)
+        GPUSpMV.__init__(self, **kwargs)  # skip CrsdSpMV.__init__
+        self.matrix = matrix
+        self.nvec = int(nvec)
+        self.plan = build_plan(matrix, nvec=self.nvec)
+        self.kernel = generate_python_kernel(self.plan)
+
+    def run(self, x: np.ndarray, trace: bool = True) -> SpMVRun:
+        """Compute ``Y = A @ X`` for ``X`` of shape ``(ncols, nvec)``."""
+        self.prepare()
+        x = np.asarray(x, dtype=self.dtype)
+        if x.shape != (self.ncols, self.nvec):
+            raise ValueError(
+                f"X must be ({self.ncols}, {self.nvec}), got {x.shape}"
+            )
+        flat = np.ascontiguousarray(x.T).ravel()  # column-major device layout
+        run = self._execute(flat, trace)
+        y = run.y.reshape(self.nvec, self.nrows).T.copy()
+        return SpMVRun(y=y, trace=run.trace)
+
+    def _prepare(self) -> None:
+        super()._prepare()
+        # replace y with an nvec-wide flat buffer
+        self.context.free(self._y)
+        self._y = self.context.alloc_zeros(
+            self.nrows * self.nvec, self.dtype, "y_multi"
+        )

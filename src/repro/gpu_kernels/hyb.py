@@ -1,0 +1,95 @@
+"""HYB kernel: the ELL slab kernel followed by the COO tail kernel.
+
+Both kernels accumulate into the same device ``y``; traces are merged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.hyb import HYBMatrix
+from repro.gpu_kernels.base import GPUSpMV, SpMVRun
+from repro.ocl.executor import launch
+
+
+class HybSpMV(GPUSpMV):
+    """HYB SpMV runner (ELL width chosen by the cusp heuristic)."""
+
+    name = "hyb"
+
+    def __init__(self, matrix: HYBMatrix, **kwargs):
+        super().__init__(**kwargs)
+        self.matrix = matrix
+
+    @property
+    def nrows(self) -> int:
+        return self.matrix.nrows
+
+    @property
+    def ncols(self) -> int:
+        return self.matrix.ncols
+
+    def _prepare(self) -> None:
+        idx_cm, data_cm = self.matrix.ell.column_major_view()
+        self._ell_indices = self.context.alloc(
+            np.ascontiguousarray(idx_cm).ravel(), "hyb_ell_indices"
+        )
+        self._ell_data = self.context.alloc(
+            np.ascontiguousarray(data_cm).astype(self.dtype).ravel(), "hyb_ell_data"
+        )
+        self._coo_rows = self.context.alloc(self.matrix.coo.rows, "hyb_coo_rows")
+        self._coo_cols = self.context.alloc(self.matrix.coo.cols, "hyb_coo_cols")
+        self._coo_vals = self.context.alloc(
+            self.matrix.coo.vals.astype(self.dtype), "hyb_coo_vals"
+        )
+        self._y = self.context.alloc_zeros(self.nrows, self.dtype, "y")
+
+    def _execute(self, x: np.ndarray, trace: bool) -> SpMVRun:
+        xbuf = self.context.alloc(x, "x")
+        try:
+            nrows = self.nrows
+            width = self.matrix.ell.width
+            local_size = self.local_size
+            ybuf = self._y
+            ybuf.data[:] = 0
+            idxb, datab = self._ell_indices, self._ell_data
+
+            def ell_kernel(ctx, idxb, datab, xb, yb):
+                rows = ctx.group_id * local_size + ctx.lid
+                in_rows = rows < nrows
+                safe_rows = np.clip(rows, 0, nrows - 1)
+                acc = np.zeros(local_size, dtype=x.dtype)
+                for k in range(width):
+                    v = ctx.gload(datab, k * nrows + safe_rows, mask=in_rows)
+                    col = ctx.gload(idxb, k * nrows + safe_rows, mask=in_rows)
+                    xv = ctx.gload(xb, col, mask=in_rows)
+                    acc += v * xv
+                    ctx.flops(2 * int(in_rows.sum()))
+                ctx.gstore(yb, safe_rows, acc, mask=in_rows)
+
+            tr = launch(ell_kernel, self.groups_for_rows(nrows), local_size,
+                        (idxb, datab, xbuf, ybuf), self.device, trace)
+
+            nnz_tail = self.matrix.coo.nnz
+            if nnz_tail:
+                rowsb, colsb, valsb = self._coo_rows, self._coo_cols, self._coo_vals
+
+                def coo_kernel(ctx, rb, cb, vb, xb, yb):
+                    pos = ctx.group_id * local_size + ctx.lid
+                    m = pos < nnz_tail
+                    safe = np.clip(pos, 0, nnz_tail - 1)
+                    r = ctx.gload(rb, safe, mask=m)
+                    c = ctx.gload(cb, safe, mask=m)
+                    v = ctx.gload(vb, safe, mask=m)
+                    xv = ctx.gload(xb, c, mask=m)
+                    prod = np.where(m, v * xv, 0)
+                    ctx.flops(2 * int(m.sum()))
+                    if m.any():
+                        ctx.gatomic_add(yb, r[m].astype(np.int64), prod[m])
+
+                tr2 = launch(coo_kernel, -(-nnz_tail // local_size), local_size,
+                             (rowsb, colsb, valsb, xbuf, ybuf), self.device, trace)
+                tr.merge(tr2)
+            return SpMVRun(y=ybuf.to_host().copy(), trace=tr)
+        finally:
+            self.context.free(xbuf)

@@ -1,0 +1,26 @@
+"""Conclusion-section extensions: transfers and CPU+GPU hybrid SpMV.
+
+Section VI of the paper observes that the GPU advantage "will become
+less if we need transfer the source vector x and destination vector y
+between GPU and CPU for each SpMV operation", and plans "to divide the
+task for both GPU and CPU to implement the hybrid programming".  This
+package implements both:
+
+- :mod:`repro.hybrid.transfer` — a PCIe model and per-SpMV transfer
+  accounting;
+- :mod:`repro.hybrid.split`    — a row-wise CPU+GPU split with a
+  modelled optimal split fraction, functional execution of both halves
+  and a combined time estimate.
+"""
+
+from repro.hybrid.transfer import PCIeSpec, PCIE_GEN2_X16, transfer_time, spmv_time_with_transfers
+from repro.hybrid.split import HybridSpMV, optimal_split
+
+__all__ = [
+    "PCIeSpec",
+    "PCIE_GEN2_X16",
+    "transfer_time",
+    "spmv_time_with_transfers",
+    "HybridSpMV",
+    "optimal_split",
+]

@@ -1,0 +1,205 @@
+"""Row-wise CPU+GPU hybrid SpMV (the paper's planned "hybrid
+programming").
+
+The matrix is split at a row boundary: the top part runs as CRSD on
+the (simulated) GPU, the bottom part as CSR on the CPU model, and both
+halves read the full source vector.  Since the two devices work
+concurrently, the hybrid time is ``max(T_gpu(f), T_cpu(1-f))`` plus the
+transfers the GPU half still owes; :func:`optimal_split` picks the
+fraction ``f`` that balances the two from the modelled rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.crsd import CRSDMatrix
+from repro.cpu.kernels import CpuCsrSpMV
+from repro.cpu.machine import CPUSpec, XEON_X5550_2S
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.gpu_kernels import CrsdSpMV
+from repro.hybrid.transfer import PCIE_GEN2_X16, PCIeSpec, transfer_time
+from repro.ocl.device import DeviceSpec, TESLA_C2050
+from repro.perf.costmodel import predict_gpu_time
+
+
+def split_rows(coo: COOMatrix, boundary: int) -> Tuple[COOMatrix, COOMatrix]:
+    """Split a matrix at ``boundary``: rows [0, boundary) and
+    [boundary, nrows).  Both halves keep the full column space (they
+    read the same x); the bottom half's rows are re-based to 0."""
+    if not 0 <= boundary <= coo.nrows:
+        raise ValueError(f"boundary {boundary} out of [0, {coo.nrows}]")
+    top_mask = coo.rows < boundary
+    top = COOMatrix(
+        coo.rows[top_mask], coo.cols[top_mask], coo.vals[top_mask],
+        (max(boundary, 1), coo.ncols),
+    )
+    bot_mask = ~top_mask
+    bot = COOMatrix(
+        coo.rows[bot_mask].astype(np.int64) - boundary,
+        coo.cols[bot_mask],
+        coo.vals[bot_mask],
+        (max(coo.nrows - boundary, 1), coo.ncols),
+    )
+    return top, bot
+
+
+def optimal_split(
+    gpu_seconds_full: float,
+    cpu_seconds_full: float,
+) -> float:
+    """Balance ``f * T_gpu == (1 - f) * T_cpu`` (both times for the
+    whole matrix on the respective device; work scales with rows for
+    the row-uniform matrices this targets)."""
+    if gpu_seconds_full <= 0 or cpu_seconds_full <= 0:
+        raise ValueError("device times must be positive")
+    return cpu_seconds_full / (gpu_seconds_full + cpu_seconds_full)
+
+
+@dataclass
+class HybridResult:
+    """Functional result and modelled timing of one hybrid SpMV."""
+
+    y: np.ndarray
+    gpu_seconds: float
+    cpu_seconds: float
+    transfer_seconds: float
+    gpu_fraction: float
+
+    @property
+    def total_seconds(self) -> float:
+        return max(self.gpu_seconds, self.cpu_seconds) + self.transfer_seconds
+
+
+class HybridSpMV:
+    """CPU+GPU hybrid SpMV runner.
+
+    Parameters
+    ----------
+    coo:
+        The matrix.
+    gpu_fraction:
+        Fraction of rows on the GPU; ``None`` picks the modelled
+        optimum automatically (two probe runs).
+    include_transfers:
+        Charge per-SpMV x/y transfers for the GPU half (the paper's
+        pessimistic usage; resident vectors pay nothing).
+    """
+
+    def __init__(
+        self,
+        coo: COOMatrix,
+        gpu_fraction: Optional[float] = None,
+        mrows: int = 128,
+        device: DeviceSpec = TESLA_C2050,
+        machine: CPUSpec = XEON_X5550_2S,
+        precision: str = "double",
+        cpu_threads: int = 8,
+        include_transfers: bool = False,
+        pcie: PCIeSpec = PCIE_GEN2_X16,
+        size_scale: float = 1.0,
+    ):
+        self.coo = coo
+        self.device = device
+        self.machine = machine
+        self.precision = precision
+        self.cpu_threads = cpu_threads
+        self.include_transfers = include_transfers
+        self.pcie = pcie
+        self.mrows = mrows
+        self.size_scale = size_scale
+        if gpu_fraction is None:
+            gpu_fraction = self._probe_optimal_fraction()
+        if not 0.0 < gpu_fraction <= 1.0:
+            raise ValueError(f"gpu_fraction must be in (0, 1], got {gpu_fraction}")
+        self.gpu_fraction = gpu_fraction
+        # align the boundary to mrows so the GPU part keeps whole segments
+        if gpu_fraction >= 1.0:
+            boundary = coo.nrows
+        else:
+            boundary = int(round(coo.nrows * gpu_fraction / mrows)) * mrows
+        self.boundary = min(max(boundary, mrows), coo.nrows)
+        top, bot = split_rows(coo, self.boundary)
+        self._gpu = CrsdSpMV(
+            CRSDMatrix.from_coo(top, mrows=mrows), device=device,
+            precision=precision,
+        )
+        self._cpu = (
+            CpuCsrSpMV(CSRMatrix.from_coo(bot), machine=machine,
+                       precision=precision, threads=cpu_threads)
+            if self.boundary < coo.nrows
+            else None
+        )
+
+    def _probe_optimal_fraction(self) -> float:
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(self.coo.ncols)
+        gpu = CrsdSpMV(
+            CRSDMatrix.from_coo(self.coo, mrows=self.mrows),
+            device=self.device, precision=self.precision,
+        )
+        run = gpu.run(x)
+        t_gpu = predict_gpu_time(
+            run.trace, self.device, self.precision,
+            size_scale=self.size_scale,
+        ).total
+        cpu = CpuCsrSpMV(
+            CSRMatrix.from_coo(self.coo), machine=self.machine,
+            precision=self.precision, threads=self.cpu_threads,
+        )
+        t_cpu = cpu.run(x).seconds
+        f = optimal_split(t_gpu, t_cpu)
+        # the CPU half's cost does not scale linearly with rows (its x
+        # gather spans the full column space); rebalance against the
+        # actual byte model of the candidate bottom part
+        for _ in range(4):
+            boundary = min(
+                max(int(round(self.coo.nrows * f / self.mrows)) * self.mrows,
+                    self.mrows),
+                self.coo.nrows,
+            )
+            if boundary >= self.coo.nrows:
+                return 1.0
+            _, bot = split_rows(self.coo, boundary)
+            t_bot = CpuCsrSpMV(
+                CSRMatrix.from_coo(bot), machine=self.machine,
+                precision=self.precision, threads=self.cpu_threads,
+            ).run(x).seconds
+            t_top = t_gpu * boundary / self.coo.nrows
+            if t_bot <= t_top:
+                break
+            # shift rows toward the GPU proportionally to the imbalance
+            f = min(1.0, f + (1 - f) * (1 - t_top / t_bot) * 0.8)
+        return f
+
+    def run(self, x: np.ndarray) -> HybridResult:
+        """Execute both halves functionally; model the combined time."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.zeros(self.coo.nrows, dtype=np.float64)
+        run = self._gpu.run(x)
+        y[: self.boundary] = run.y[: self.boundary]
+        launches = 2 if self._gpu.matrix.num_scatter_rows else 1
+        t_gpu = predict_gpu_time(
+            run.trace, self.device, self.precision, num_launches=launches,
+            size_scale=self.size_scale,
+        ).total
+        t_cpu = 0.0
+        if self._cpu is not None:
+            cres = self._cpu.run(x)
+            y[self.boundary:] = cres.y
+            t_cpu = cres.seconds
+        t_xfer = 0.0
+        if self.include_transfers:
+            t_xfer = transfer_time(self.boundary, self.coo.ncols,
+                                   self.precision, self.pcie)
+        return HybridResult(
+            y=y,
+            gpu_seconds=t_gpu,
+            cpu_seconds=t_cpu,
+            transfer_seconds=t_xfer,
+            gpu_fraction=self.boundary / self.coo.nrows,
+        )

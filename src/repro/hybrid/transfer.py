@@ -1,0 +1,66 @@
+"""Host-device transfer model (PCIe).
+
+The C2050 sits on PCIe 2.0 x16: ~8 GB/s peak, ~6 GB/s effective for
+pinned transfers, with a fixed per-transfer latency.  An SpMV whose x
+and y must cross the bus every operation moves ``(ncols + nrows) x
+itemsize`` bytes for a kernel that itself only moves a few times that —
+which is exactly why the paper's conclusion tempers the GPU numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.formats.footprint import value_itemsize
+
+
+@dataclass(frozen=True)
+class PCIeSpec:
+    """Host-device link model."""
+
+    name: str
+    bandwidth_gbs: float
+    latency_us: float
+
+    def time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` one way."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_us * 1e-6 + nbytes / (self.bandwidth_gbs * 1e9)
+
+
+#: effective PCIe 2.0 x16 (the C2050's link)
+PCIE_GEN2_X16 = PCIeSpec(name="PCIe 2.0 x16", bandwidth_gbs=6.0, latency_us=10.0)
+
+
+def transfer_time(
+    nrows: int,
+    ncols: int,
+    precision: str = "double",
+    pcie: PCIeSpec = PCIE_GEN2_X16,
+    transfer_x: bool = True,
+    transfer_y: bool = True,
+) -> float:
+    """Seconds to ship x down and y back for one SpMV."""
+    isz = value_itemsize(precision)
+    t = 0.0
+    if transfer_x:
+        t += pcie.time(ncols * isz)
+    if transfer_y:
+        t += pcie.time(nrows * isz)
+    return t
+
+
+def spmv_time_with_transfers(
+    kernel_seconds: float,
+    nrows: int,
+    ncols: int,
+    precision: str = "double",
+    pcie: PCIeSpec = PCIE_GEN2_X16,
+) -> float:
+    """Total per-SpMV time when x and y cross the bus every operation
+    (the pessimistic usage pattern of the paper's conclusion; a Krylov
+    solver that keeps its vectors resident pays none of this)."""
+    return kernel_seconds + transfer_time(nrows, ncols, precision, pcie)

@@ -1,0 +1,44 @@
+"""The evaluation matrix suite (Table V) and its generators.
+
+The paper's 23 matrices come from NIST MatrixMarket / SuiteSparse plus
+a private astrophysics application; this environment is offline, so
+:mod:`repro.matrices.generators` synthesises matrices with the same
+*performance-relevant structure* (dimensions, diagonal count,
+occupancy sections, scatter density — see DESIGN.md for the per-matrix
+recipe) and :mod:`repro.matrices.suite23` binds one recipe to each
+Table V row.  Real ``.mtx`` files can be substituted through
+:mod:`repro.matrices.mmio`.
+"""
+
+from repro.matrices.generators import (
+    grid_stencil,
+    stencil_offsets,
+    banded,
+    multi_diagonal,
+    banded_patterns,
+    inject_dense_rows,
+    sprinkle_scatter,
+    merge,
+)
+from repro.matrices.suite23 import MatrixSpec, SUITE, get_spec, generate
+from repro.matrices.stats import MatrixStats, compute_stats
+from repro.matrices.mmio import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "grid_stencil",
+    "stencil_offsets",
+    "banded",
+    "multi_diagonal",
+    "banded_patterns",
+    "inject_dense_rows",
+    "sprinkle_scatter",
+    "merge",
+    "MatrixSpec",
+    "SUITE",
+    "get_spec",
+    "generate",
+    "MatrixStats",
+    "compute_stats",
+    "read_matrix_market",
+    "write_matrix_market",
+]

@@ -1,0 +1,312 @@
+"""Synthetic diagonal-sparse matrix generators.
+
+Every generator returns a :class:`~repro.formats.coo.COOMatrix` with
+normally distributed values and a documented *structure*: which
+diagonals exist, how they are broken into sections, where scatter
+points sit.  The 23-matrix suite (:mod:`repro.matrices.suite23`) is
+composed entirely from these primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+
+
+def _values(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Nonzero values: standard normal, nudged away from exact zero."""
+    v = rng.standard_normal(n)
+    v[v == 0.0] = 1.0
+    return v
+
+
+def merge(shape: Tuple[int, int], *parts: COOMatrix) -> COOMatrix:
+    """Union of several COO matrices (duplicates summed)."""
+    rows = np.concatenate([p.rows for p in parts]) if parts else np.empty(0)
+    cols = np.concatenate([p.cols for p in parts]) if parts else np.empty(0)
+    vals = np.concatenate([p.vals for p in parts]) if parts else np.empty(0)
+    return COOMatrix(rows, cols, vals, shape)
+
+
+# ----------------------------------------------------------------------
+# grid stencils (FDM/FVM discretisations — ecology, wang, kim, Lin)
+# ----------------------------------------------------------------------
+
+def stencil_offsets(dims: Sequence[int], reach: int = 1, cross: bool = True) -> List[Tuple[int, ...]]:
+    """n-D stencil offset vectors.
+
+    ``cross=True`` gives the star stencil (2·ndim·reach + 1 points,
+    e.g. 5-point in 2-D, 7-point in 3-D); ``cross=False`` gives the full
+    box ``(2·reach+1)^ndim`` stencil (25-point for 2-D reach 2 — the
+    kim1/kim2 structure).
+    """
+    ndim = len(dims)
+    if cross:
+        offs = [tuple(0 for _ in range(ndim))]
+        for axis in range(ndim):
+            for r in range(1, reach + 1):
+                for sgn in (-1, 1):
+                    o = [0] * ndim
+                    o[axis] = sgn * r
+                    offs.append(tuple(o))
+        return offs
+    grids = np.meshgrid(*[np.arange(-reach, reach + 1)] * ndim, indexing="ij")
+    return [tuple(int(g.flat[i]) for g in grids) for i in range(grids[0].size)]
+
+
+def grid_stencil(
+    dims: Sequence[int],
+    nd_offsets: Iterable[Tuple[int, ...]],
+    rng: np.random.Generator,
+    upper_only: bool = False,
+) -> COOMatrix:
+    """Discretisation matrix of a stencil on a regular grid.
+
+    Rows are grid cells in row-major order; each n-D offset becomes one
+    matrix diagonal, *broken at grid boundaries* (no wrap-around) —
+    exactly the idle-section structure of the ecology/Lin matrices.
+
+    ``upper_only`` keeps offsets with non-negative linear displacement
+    (symmetric-half storage, matching the Table V nnz of ecology/Lin).
+    """
+    dims = [int(d) for d in dims]
+    n = int(np.prod(dims))
+    strides = np.ones(len(dims), dtype=np.int64)
+    for i in range(len(dims) - 2, -1, -1):
+        strides[i] = strides[i + 1] * dims[i + 1]
+    coords = None  # lazily computed per axis
+    rows_l: List[np.ndarray] = []
+    cols_l: List[np.ndarray] = []
+    all_rows = np.arange(n, dtype=np.int64)
+    for off in nd_offsets:
+        if len(off) != len(dims):
+            raise ValueError(f"offset {off} does not match grid rank {len(dims)}")
+        lin = int(np.dot(off, strides))
+        if upper_only and lin < 0:
+            continue
+        valid = np.ones(n, dtype=bool)
+        for axis, o in enumerate(off):
+            if o == 0:
+                continue
+            c = (all_rows // strides[axis]) % dims[axis]
+            valid &= (c + o >= 0) & (c + o < dims[axis])
+        rows = all_rows[valid]
+        rows_l.append(rows)
+        cols_l.append(rows + lin)
+    rows = np.concatenate(rows_l) if rows_l else np.empty(0, dtype=np.int64)
+    cols = np.concatenate(cols_l) if cols_l else np.empty(0, dtype=np.int64)
+    return COOMatrix(rows, cols, _values(rng, rows.size), (n, n))
+
+
+# ----------------------------------------------------------------------
+# bands (nemeth quantum-chemistry matrices)
+# ----------------------------------------------------------------------
+
+def banded(n: int, halfwidth: int, rng: np.random.Generator) -> COOMatrix:
+    """Dense band: every diagonal with |offset| <= halfwidth fully
+    occupied (one big AD group in CRSD terms)."""
+    rows_l, cols_l = [], []
+    for off in range(-halfwidth, halfwidth + 1):
+        lo, hi = max(0, -off), min(n, n - off)
+        r = np.arange(lo, hi, dtype=np.int64)
+        rows_l.append(r)
+        cols_l.append(r + off)
+    rows = np.concatenate(rows_l)
+    cols = np.concatenate(cols_l)
+    return COOMatrix(rows, cols, _values(rng, rows.size), (n, n))
+
+
+# ----------------------------------------------------------------------
+# explicit diagonals with occupancy sections (astrophysics s*/us*)
+# ----------------------------------------------------------------------
+
+def multi_diagonal(
+    n: int,
+    spec: Sequence[Tuple[int, float, int]],
+    rng: np.random.Generator,
+) -> COOMatrix:
+    """Diagonals with controlled section structure.
+
+    ``spec`` is a sequence of ``(offset, occupancy, num_sections)``:
+    the diagonal at ``offset`` carries nonzeros on ``occupancy`` of its
+    in-matrix extent, distributed over ``num_sections`` contiguous
+    sections separated by idle sections (the Fig. 1 structure: the
+    ±200 diagonals are long runs broken by long zero stretches).
+    """
+    rows_l: List[np.ndarray] = []
+    cols_l: List[np.ndarray] = []
+    for off, occupancy, nsec in spec:
+        off = int(off)
+        if not 0.0 < occupancy <= 1.0:
+            raise ValueError(f"occupancy must be in (0,1], got {occupancy}")
+        if nsec <= 0:
+            raise ValueError(f"num_sections must be positive, got {nsec}")
+        lo, hi = max(0, -off), min(n, n - off)
+        extent = hi - lo
+        if extent <= 0:
+            continue
+        total = max(nsec, int(round(extent * occupancy)))
+        per = total // nsec
+        # evenly spaced section starts with idle gaps between them
+        sec_starts = np.linspace(lo, hi - per, nsec).astype(np.int64)
+        for s in sec_starts:
+            r = np.arange(s, min(s + per, hi), dtype=np.int64)
+            rows_l.append(r)
+            cols_l.append(r + off)
+    rows = np.concatenate(rows_l) if rows_l else np.empty(0, dtype=np.int64)
+    cols = np.concatenate(cols_l) if cols_l else np.empty(0, dtype=np.int64)
+    coo = COOMatrix(rows, cols, np.ones(rows.size), (n, n))
+    # re-draw values after dedup so duplicates don't bias magnitudes
+    return COOMatrix(coo.rows, coo.cols, _values(rng, coo.nnz), (n, n))
+
+
+def banded_patterns(
+    n: int,
+    num_bands: int,
+    clusters_per_band: int,
+    cluster_width: int,
+    cluster_pool: Sequence[int],
+    rng: np.random.Generator,
+    align: int = 128,
+) -> COOMatrix:
+    """FEM-style structure: many diagonals, each live only in some row
+    bands (s3dkt3m2: 655 diagonals overall but only ~21 nonzeros per
+    row; the paper stores it with 24 diagonal patterns).
+
+    The row range is split into ``num_bands`` bands; each band
+    activates ``clusters_per_band`` clusters of ``cluster_width``
+    adjacent diagonals whose centres are drawn (deterministically, via
+    ``rng``) from ``cluster_pool``.  Every band reuses the main
+    cluster (centre 0) so the matrix keeps a full main band.  Band
+    edges are aligned to ``align`` rows (a row-segment multiple) so
+    band boundaries coincide with CRSD pattern boundaries, as they
+    would for a block-structured FEM mesh.
+    """
+    band_edges = np.linspace(0, n, num_bands + 1).astype(np.int64)
+    if align > 1:
+        band_edges = np.round(band_edges / align).astype(np.int64) * align
+        band_edges[0], band_edges[-1] = 0, n
+    half = cluster_width // 2
+    rows_l: List[np.ndarray] = []
+    cols_l: List[np.ndarray] = []
+    pool = np.asarray(cluster_pool, dtype=np.int64)
+    for b in range(num_bands):
+        lo, hi = int(band_edges[b]), int(band_edges[b + 1])
+        if hi <= lo:
+            continue
+        # only clusters whose every diagonal spans the whole band — this
+        # keeps nnz/row constant inside a band, so HYB's heuristic keeps
+        # the matrix entirely in ELL (paper: matrices 1-14)
+        valid = pool[(pool - half >= -lo) & (pool + half <= n - hi)]
+        centers = [0]
+        if valid.size:
+            extra = rng.choice(valid, size=min(clusters_per_band - 1, valid.size),
+                               replace=False)
+            centers.extend(int(c) for c in extra)
+        for c in centers:
+            for off in range(c - half, c - half + cluster_width):
+                r_lo = max(lo, -off)
+                r_hi = min(hi, n - off)
+                if r_hi <= r_lo:
+                    continue
+                r = np.arange(r_lo, r_hi, dtype=np.int64)
+                rows_l.append(r)
+                cols_l.append(r + off)
+    rows = np.concatenate(rows_l) if rows_l else np.empty(0, dtype=np.int64)
+    cols = np.concatenate(cols_l) if cols_l else np.empty(0, dtype=np.int64)
+    coo = COOMatrix(rows, cols, np.ones(rows.size), (n, n))
+    return COOMatrix(coo.rows, coo.cols, _values(rng, coo.nnz), (n, n))
+
+
+# ----------------------------------------------------------------------
+# perturbations: dense rows and scatter points
+# ----------------------------------------------------------------------
+
+def jittered_diagonal(
+    n: int,
+    nominal: int,
+    jitter: int,
+    rng: np.random.Generator,
+    valid_rows: np.ndarray | None = None,
+) -> COOMatrix:
+    """A "diagonal" whose column wanders per row: entry at
+    ``(r, r + nominal + U[-jitter, jitter])``.
+
+    Models irregular couplings (the wang3/wang4 semiconductor
+    matrices): each entry is isolated on its exact diagonal, so DIA
+    pays for ``~2*jitter`` extra diagonals and CRSD classifies the
+    entries as scatter points.
+    """
+    rows = np.arange(n, dtype=np.int64) if valid_rows is None else np.asarray(
+        valid_rows, dtype=np.int64
+    )
+    jit = rng.integers(-jitter, jitter + 1, size=rows.size)
+    cols = rows + nominal + jit
+    ok = (cols >= 0) & (cols < n)
+    rows, cols = rows[ok], cols[ok]
+    return COOMatrix(rows, cols, _values(rng, rows.size), (n, n))
+
+
+def blocked_jitter_diagonal(
+    n: int,
+    nominal: int,
+    jitter: int,
+    block_len: int,
+    rng: np.random.Generator,
+) -> COOMatrix:
+    """A diagonal whose offset shifts by a random delta per block of
+    ``block_len`` consecutive rows.
+
+    The entries within one block form a proper diagonal section (CRSD
+    keeps them in the diagonal structure, paying some segment fill at
+    block boundaries), but DIA must materialise every distinct
+    ``nominal + delta`` in full.
+    """
+    rows = np.arange(n, dtype=np.int64)
+    nblocks = -(-n // block_len)
+    deltas = rng.integers(-jitter, jitter + 1, size=nblocks)
+    cols = rows + nominal + deltas[rows // block_len]
+    ok = (cols >= 0) & (cols < n)
+    rows, cols = rows[ok], cols[ok]
+    return COOMatrix(rows, cols, _values(rng, rows.size), (n, n))
+
+
+def inject_dense_rows(
+    coo: COOMatrix,
+    row_fraction: float,
+    extra_per_row: int,
+    rng: np.random.Generator,
+    max_offset: int | None = None,
+) -> COOMatrix:
+    """Add ``extra_per_row`` random entries to a fraction of rows.
+
+    Produces the long-row population that drives HYB's COO tail
+    (0.2%–2.1% of nnz on matrices 15–23) and contributes scatter
+    points for CRSD.  ``max_offset`` bounds how far from the main
+    diagonal the extra entries land (keeps the count of stray
+    diagonals — and hence DIA's fill — realistic for band matrices).
+    """
+    n_rows = max(1, int(round(coo.nrows * row_fraction)))
+    chosen = rng.choice(coo.nrows, size=n_rows, replace=False)
+    rows = np.repeat(chosen, extra_per_row)
+    if max_offset is None:
+        cols = rng.integers(0, coo.ncols, size=rows.size)
+    else:
+        offs = rng.integers(-max_offset, max_offset + 1, size=rows.size)
+        cols = np.clip(rows + offs, 0, coo.ncols - 1)
+    extra = COOMatrix(rows, cols, _values(rng, rows.size), coo.shape)
+    return merge(coo.shape, coo, extra)
+
+
+def sprinkle_scatter(
+    coo: COOMatrix, count: int, rng: np.random.Generator
+) -> COOMatrix:
+    """Add ``count`` isolated nonzeros at random positions (the circled
+    scatter points of Fig. 1)."""
+    rows = rng.integers(0, coo.nrows, size=count)
+    cols = rng.integers(0, coo.ncols, size=count)
+    extra = COOMatrix(rows, cols, _values(rng, count), coo.shape)
+    return merge(coo.shape, coo, extra)

@@ -1,0 +1,79 @@
+"""Minimal MatrixMarket coordinate I/O.
+
+The paper pulls its public matrices from NIST MatrixMarket; this module
+lets users substitute the real ``.mtx`` files for the synthetic suite.
+Supports the coordinate format with ``real``/``integer``/``pattern``
+fields and ``general``/``symmetric``/``skew-symmetric`` symmetries.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.formats.base import FormatError
+from repro.formats.coo import COOMatrix
+
+_HEADER = "%%MatrixMarket matrix coordinate real general"
+
+
+def read_matrix_market(path: Union[str, Path]) -> COOMatrix:
+    """Read a MatrixMarket coordinate file (optionally gzipped)."""
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rt") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise FormatError(f"{path}: not a MatrixMarket file")
+        tokens = header.strip().lower().split()
+        if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+            raise FormatError(f"{path}: only coordinate matrices supported")
+        field, symmetry = tokens[3], tokens[4]
+        if field not in ("real", "integer", "pattern"):
+            raise FormatError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric", "skew-symmetric"):
+            raise FormatError(f"{path}: unsupported symmetry {symmetry!r}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        try:
+            nrows, ncols, nnz = (int(t) for t in line.split())
+        except ValueError:
+            raise FormatError(f"{path}: malformed size line {line!r}") from None
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.ones(nnz, dtype=np.float64)
+        for i in range(nnz):
+            parts = fh.readline().split()
+            if len(parts) < 2:
+                raise FormatError(f"{path}: truncated at entry {i + 1}/{nnz}")
+            rows[i] = int(parts[0]) - 1
+            cols[i] = int(parts[1]) - 1
+            if field != "pattern":
+                vals[i] = float(parts[2])
+    if symmetry in ("symmetric", "skew-symmetric"):
+        # mirror every off-diagonal entry (col, row, sign * val)
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        off = rows != cols
+        rows, cols, vals = (
+            np.concatenate([rows, cols[off]]),
+            np.concatenate([cols, rows[off]]),
+            np.concatenate([vals, sign * vals[off]]),
+        )
+    return COOMatrix(rows, cols, vals, (nrows, ncols))
+
+
+def write_matrix_market(matrix, path: Union[str, Path]) -> None:
+    """Write any :class:`~repro.formats.base.SparseFormat` as a general
+    real coordinate file."""
+    coo = matrix.to_coo()
+    path = Path(path)
+    with open(path, "wt") as fh:
+        fh.write(_HEADER + "\n")
+        fh.write(f"% written by repro (CRSD reproduction)\n")
+        fh.write(f"{coo.nrows} {coo.ncols} {coo.nnz}\n")
+        for r, c, v in zip(coo.rows, coo.cols, coo.vals):
+            fh.write(f"{int(r) + 1} {int(c) + 1} {float(v):.17g}\n")

@@ -1,0 +1,75 @@
+"""Text spy plots — the paper's Fig. 1/2 as terminal output.
+
+Renders a matrix's nonzero structure on a character grid (down-sampled
+for large matrices), with optional highlighting of the rows CRSD
+classifies as scatter rows.  Used by the CLI (`repro info --spy`) and
+the examples to *show* why a matrix is or is not diagonal-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+
+#: density glyphs from sparse to dense cell coverage
+_GLYPHS = " .:*#"
+
+
+def spy(
+    coo: COOMatrix,
+    width: int = 64,
+    height: Optional[int] = None,
+    scatter_rows: Optional[np.ndarray] = None,
+) -> str:
+    """Render the sparsity pattern as text.
+
+    Each character cell aggregates a block of the matrix; the glyph
+    encodes the cell's nonzero density.  Rows listed in
+    ``scatter_rows`` are marked with ``>`` in the left margin.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    height = height if height is not None else max(
+        1, min(width, round(width * coo.nrows / max(coo.ncols, 1)))
+    )
+    if height <= 0:
+        raise ValueError("height must be positive")
+    width = min(width, coo.ncols)
+    height = min(height, coo.nrows)
+
+    counts = np.zeros((height, width), dtype=np.int64)
+    if coo.nnz:
+        r = (coo.rows.astype(np.int64) * height) // coo.nrows
+        c = (coo.cols.astype(np.int64) * width) // coo.ncols
+        np.add.at(counts, (r, c), 1)
+
+    cell_rows = coo.nrows / height
+    cell_cols = coo.ncols / width
+    cell_capacity = max(1.0, cell_rows * cell_cols)
+
+    marked = np.zeros(height, dtype=bool)
+    if scatter_rows is not None and len(scatter_rows):
+        sr = (np.asarray(scatter_rows, dtype=np.int64) * height) // coo.nrows
+        marked[np.clip(sr, 0, height - 1)] = True
+
+    lines = [f"{coo.nrows} x {coo.ncols}, nnz = {coo.nnz:,} "
+             f"(each cell ~ {int(round(cell_rows))} x {int(round(cell_cols))})"]
+    top = "  +" + "-" * width + "+"
+    lines.append(top)
+    for i in range(height):
+        row = counts[i]
+        chars = []
+        for v in row:
+            if v == 0:
+                chars.append(" ")
+            else:
+                density = min(1.0, v / cell_capacity)
+                idx = 1 + int(density * (len(_GLYPHS) - 2))
+                chars.append(_GLYPHS[min(idx, len(_GLYPHS) - 1)])
+        margin = "> " if marked[i] else "  "
+        lines.append(f"{margin}|{''.join(chars)}|")
+    lines.append(top)
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Structural statistics of a sparse matrix.
+
+Used by the bench reports, the format advisor example and the tests
+that check the generators reproduce each Table V matrix's documented
+structure (diagonal count, nnz/row, row-length spread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Summary structure numbers for one matrix."""
+
+    nrows: int
+    ncols: int
+    nnz: int
+    num_diagonals: int
+    mean_nnz_per_row: float
+    max_nnz_per_row: int
+    min_nnz_per_row: int
+    #: DIA slab slots / nnz — the padding blow-up DIA would pay
+    dia_fill_ratio: float
+    #: ELL slab slots / nnz
+    ell_fill_ratio: float
+    #: fraction of nonzeros on the 10 densest diagonals
+    top10_diag_fraction: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.nrows}x{self.ncols}, nnz={self.nnz:,}, "
+            f"diags={self.num_diagonals}, nnz/row={self.mean_nnz_per_row:.1f} "
+            f"(min {self.min_nnz_per_row}, max {self.max_nnz_per_row}), "
+            f"DIA fill x{self.dia_fill_ratio:.1f}, ELL fill x{self.ell_fill_ratio:.2f}"
+        )
+
+
+def compute_stats(coo: COOMatrix) -> MatrixStats:
+    """Compute :class:`MatrixStats` without materialising DIA/ELL."""
+    lengths = coo.row_lengths()
+    nnz = coo.nnz
+    if nnz == 0:
+        return MatrixStats(
+            nrows=coo.nrows, ncols=coo.ncols, nnz=0, num_diagonals=0,
+            mean_nnz_per_row=0.0, max_nnz_per_row=0, min_nnz_per_row=0,
+            dia_fill_ratio=1.0, ell_fill_ratio=1.0, top10_diag_fraction=0.0,
+        )
+    offsets, counts = np.unique(coo.offsets_of_entries(), return_counts=True)
+    # DIA stores ndiags x nrows slots regardless of occupancy
+    dia_slots = offsets.size * coo.nrows
+    ell_slots = int(lengths.max()) * coo.nrows
+    top10 = np.sort(counts)[-10:].sum()
+    return MatrixStats(
+        nrows=coo.nrows,
+        ncols=coo.ncols,
+        nnz=nnz,
+        num_diagonals=int(offsets.size),
+        mean_nnz_per_row=float(lengths.mean()),
+        max_nnz_per_row=int(lengths.max()),
+        min_nnz_per_row=int(lengths.min()),
+        dia_fill_ratio=dia_slots / nnz,
+        ell_fill_ratio=ell_slots / nnz,
+        top10_diag_fraction=float(top10 / nnz),
+    )
+
+
+def estimate_dia_bytes(nrows: int, num_diagonals: int, precision: str = "double") -> int:
+    """DIA device footprint from structure numbers alone — no
+    materialisation (needed for the full-size af_*_k101 out-of-memory
+    check, whose host slab would be 3.6 GB)."""
+    itemsize = 8 if precision.lower() in ("double", "fp64") else 4
+    return num_diagonals * nrows * itemsize + num_diagonals * 4

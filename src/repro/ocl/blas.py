@@ -1,0 +1,126 @@
+"""Level-1 BLAS kernels for the simulated device.
+
+A Krylov solver is SpMV plus a handful of vector operations; keeping
+the vectors device-resident (and paying for axpy/dot traffic there) is
+what makes the paper's GPU numbers meaningful in context — the
+conclusion's transfer warning applies exactly when these kernels are
+*not* used.  Each helper launches a traced kernel and returns
+``(result, KernelTrace)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ocl.device import DeviceSpec, TESLA_C2050
+from repro.ocl.executor import launch
+from repro.ocl.memory import Buffer
+from repro.ocl.trace import KernelTrace
+
+#: work-group size for the vector kernels
+LOCAL_SIZE = 128
+
+
+def _groups(n: int) -> int:
+    return max(1, -(-n // LOCAL_SIZE))
+
+
+def axpy(alpha: float, xb: Buffer, yb: Buffer,
+         device: DeviceSpec = TESLA_C2050, trace: bool = True) -> KernelTrace:
+    """``y <- alpha * x + y`` on the device."""
+    n = len(yb)
+    if len(xb) != n:
+        raise ValueError("axpy vectors must have equal length")
+
+    def kernel(ctx, xb, yb):
+        pos = ctx.group_id * LOCAL_SIZE + ctx.lid
+        m = pos < n
+        safe = np.minimum(pos, n - 1)
+        xv = ctx.gload(xb, safe, mask=m)
+        yv = ctx.gload(yb, safe, mask=m)
+        ctx.gstore(yb, safe, alpha * xv + yv, mask=m)
+        ctx.flops(2 * int(m.sum()))
+
+    return launch(kernel, _groups(n), LOCAL_SIZE, (xb, yb), device, trace)
+
+
+def scale_add(xb: Buffer, beta: float, pb: Buffer,
+              device: DeviceSpec = TESLA_C2050, trace: bool = True) -> KernelTrace:
+    """``p <- x + beta * p`` (the CG direction update)."""
+    n = len(pb)
+    if len(xb) != n:
+        raise ValueError("vectors must have equal length")
+
+    def kernel(ctx, xb, pb):
+        pos = ctx.group_id * LOCAL_SIZE + ctx.lid
+        m = pos < n
+        safe = np.minimum(pos, n - 1)
+        xv = ctx.gload(xb, safe, mask=m)
+        pv = ctx.gload(pb, safe, mask=m)
+        ctx.gstore(pb, safe, xv + beta * pv, mask=m)
+        ctx.flops(2 * int(m.sum()))
+
+    return launch(kernel, _groups(n), LOCAL_SIZE, (xb, pb), device, trace)
+
+
+def dot(xb: Buffer, yb: Buffer, device: DeviceSpec = TESLA_C2050,
+        trace: bool = True) -> Tuple[float, KernelTrace]:
+    """``x . y`` via per-group local-memory tree reduction plus a final
+    host-side sum of the (few) partial results — the standard two-stage
+    device reduction."""
+    n = len(xb)
+    if len(yb) != n:
+        raise ValueError("dot vectors must have equal length")
+    ngroups = _groups(n)
+    partials = Buffer(np.zeros(ngroups), name="dot_partials")
+
+    def kernel(ctx, xb, yb, pb):
+        lmem = ctx.alloc_local(LOCAL_SIZE)
+        pos = ctx.group_id * LOCAL_SIZE + ctx.lid
+        m = pos < n
+        safe = np.minimum(pos, n - 1)
+        xv = ctx.gload(xb, safe, mask=m)
+        yv = ctx.gload(yb, safe, mask=m)
+        ctx.lstore(lmem, ctx.lid, np.where(m, xv * yv, 0.0))
+        ctx.flops(int(m.sum()))
+        stride = LOCAL_SIZE // 2
+        while stride >= 1:
+            ctx.barrier()
+            sel = ctx.lid < stride
+            a = ctx.lload(lmem, ctx.lid, mask=sel)
+            b = ctx.lload(lmem, ctx.lid + stride, mask=sel)
+            ctx.lstore(lmem, ctx.lid, a + b, mask=sel)
+            ctx.flops(int(sel.sum()))
+            stride //= 2
+        total = ctx.lload(lmem, np.zeros(ctx.local_size, dtype=np.int64),
+                          mask=ctx.lid == 0)
+        ctx.gstore(pb, np.full(ctx.local_size, ctx.group_id, dtype=np.int64),
+                   total, mask=ctx.lid == 0)
+
+    tr = launch(kernel, ngroups, LOCAL_SIZE, (xb, yb, partials), device, trace)
+    return float(partials.data.sum()), tr
+
+
+def norm2(xb: Buffer, device: DeviceSpec = TESLA_C2050,
+          trace: bool = True) -> Tuple[float, KernelTrace]:
+    """Euclidean norm via :func:`dot`."""
+    v, tr = dot(xb, xb, device, trace)
+    return float(np.sqrt(v)), tr
+
+
+def copy(src: Buffer, dst: Buffer, device: DeviceSpec = TESLA_C2050,
+         trace: bool = True) -> KernelTrace:
+    """``dst <- src``."""
+    n = len(dst)
+    if len(src) != n:
+        raise ValueError("copy vectors must have equal length")
+
+    def kernel(ctx, sb, db):
+        pos = ctx.group_id * LOCAL_SIZE + ctx.lid
+        m = pos < n
+        safe = np.minimum(pos, n - 1)
+        ctx.gstore(db, safe, ctx.gload(sb, safe, mask=m), mask=m)
+
+    return launch(kernel, _groups(n), LOCAL_SIZE, (src, dst), device, trace)

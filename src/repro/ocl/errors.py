@@ -1,0 +1,21 @@
+"""Errors raised by the simulated OpenCL runtime."""
+
+
+class OCLError(RuntimeError):
+    """Base class for simulated-runtime errors."""
+
+
+class DeviceMemoryError(OCLError):
+    """Global-memory allocation exceeded device capacity.
+
+    This reproduces the paper's observation that DIA in double
+    precision does not fit the C2050's 3 GB for the af_*_k101 matrices
+    (their Fig. 7 bars are missing)."""
+
+
+class LocalMemoryError(OCLError):
+    """A work-group requested more local memory than one CU provides."""
+
+
+class LaunchError(OCLError):
+    """Malformed NDRange / kernel launch."""

@@ -1,0 +1,263 @@
+"""Kernel execution on the simulated device.
+
+A kernel is a Python callable ``kernel(ctx, *buffers)`` written
+*vectorised over one work-group*: ``ctx.lid`` is the array of local
+work-item ids and every load/store moves one value per (active) lane.
+:func:`launch` runs the kernel for every work-group sequentially (the
+simulation is functional — scheduling order cannot change results
+because work-groups are independent, as in OpenCL) and aggregates a
+:class:`~repro.ocl.trace.KernelTrace`.
+
+Divergence accounting: lockstep lanes that idle while their wavefront
+executes (branchy code, variable loop trip counts) waste issue slots.
+Kernels report per-lane trip counts via :meth:`WorkGroupCtx.loop_trips`;
+uniform kernels (the CRSD design point — "all work-items take the same
+execution path") simply never report, scoring efficiency 1.0.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.ocl.device import DeviceSpec, TESLA_C2050
+from repro.ocl.errors import DeviceMemoryError, LaunchError, LocalMemoryError
+from repro.ocl.memory import (
+    Buffer,
+    LocalBuffer,
+    SegmentCache,
+    wavefront_segments,
+    wavefront_transactions,
+)
+from repro.ocl.trace import KernelTrace
+
+
+class Context:
+    """A device context: owns global-memory allocations.
+
+    Mirrors ``clCreateContext`` + ``clCreateBuffer``: every allocation
+    is charged against the device's global memory and
+    :class:`~repro.ocl.errors.DeviceMemoryError` is raised on
+    exhaustion (the paper's DIA/double out-of-memory case).
+    """
+
+    def __init__(self, device: DeviceSpec = TESLA_C2050):
+        self.device = device
+        self.allocated_bytes = 0
+        self._buffers: list[Buffer] = []
+
+    def alloc(self, data: np.ndarray, name: str = "buf") -> Buffer:
+        """Allocate a buffer initialised from host data."""
+        buf = Buffer(np.array(data, copy=True), name=name)
+        if self.allocated_bytes + buf.nbytes > self.device.global_mem_bytes:
+            raise DeviceMemoryError(
+                f"allocating {buf.nbytes:,} B for {name!r} exceeds device memory "
+                f"({self.allocated_bytes:,} B already allocated, capacity "
+                f"{self.device.global_mem_bytes:,} B)"
+            )
+        self.allocated_bytes += buf.nbytes
+        self._buffers.append(buf)
+        return buf
+
+    def alloc_zeros(self, n: int, dtype=np.float64, name: str = "buf") -> Buffer:
+        """Allocate a zero-initialised buffer of ``n`` elements."""
+        return self.alloc(np.zeros(int(n), dtype=dtype), name=name)
+
+    def free(self, buf: Buffer) -> None:
+        """Release one buffer's capacity accounting."""
+        if buf in self._buffers:
+            self._buffers.remove(buf)
+            self.allocated_bytes -= buf.nbytes
+
+    def free_all(self) -> None:
+        """Release every allocation (``clReleaseMemObject`` for all)."""
+        self._buffers.clear()
+        self.allocated_bytes = 0
+
+
+class WorkGroupCtx:
+    """Execution context handed to a kernel for one work-group."""
+
+    def __init__(self, device: DeviceSpec, group_id: int, local_size: int,
+                 trace: Optional[KernelTrace],
+                 cache: Optional[SegmentCache] = None):
+        self.device = device
+        self.group_id = int(group_id)
+        self.local_size = int(local_size)
+        #: local work-item ids, shape (local_size,)
+        self.lid = np.arange(local_size, dtype=np.int64)
+        self._trace = trace
+        self._cache = cache
+        self._local_bytes = 0
+
+    # ------------------------------------------------------------------
+    # global memory
+    # ------------------------------------------------------------------
+    def gload(self, buf: Buffer, idx: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """One global load per (active) lane; returns lane values.
+
+        ``idx`` may point anywhere in the buffer; masked-off lanes
+        return 0 and generate no traffic.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        if self._trace is not None:
+            req, segments, useful = wavefront_segments(
+                idx, buf.itemsize, self.device.wavefront_size,
+                self.device.transaction_bytes, mask,
+            )
+            if self._cache is not None:
+                txn = self._cache.access(id(buf), segments)
+                self._trace.l2_hits += segments.size - txn
+            else:
+                txn = int(segments.size)
+            self._trace.global_load_requests += req
+            self._trace.global_load_transactions += txn
+            self._trace.global_load_bytes_useful += useful
+        if mask is None:
+            return buf.data[idx]
+        out = np.zeros(idx.shape, dtype=buf.data.dtype)
+        out[mask] = buf.data[idx[mask]]
+        return out
+
+    def gstore(self, buf: Buffer, idx: np.ndarray, values: np.ndarray,
+               mask: np.ndarray | None = None) -> None:
+        """One global store per (active) lane."""
+        idx = np.asarray(idx, dtype=np.int64)
+        if self._trace is not None:
+            req, segments, useful = wavefront_segments(
+                idx, buf.itemsize, self.device.wavefront_size,
+                self.device.transaction_bytes, mask,
+            )
+            if self._cache is not None:
+                # write-allocate: lines become resident, but the DRAM
+                # write-back is still charged in full
+                self._cache.access(id(buf), segments)
+            self._trace.global_store_requests += req
+            self._trace.global_store_transactions += int(segments.size)
+            self._trace.global_store_bytes_useful += useful
+        if mask is None:
+            buf.data[idx] = values
+        else:
+            buf.data[idx[mask]] = np.broadcast_to(values, idx.shape)[mask]
+
+    def gatomic_add(self, buf: Buffer, idx: np.ndarray, values: np.ndarray) -> None:
+        """Atomic global add (used by the COO tail kernel)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        if self._trace is not None:
+            # an atomic is a read-modify-write: count both directions
+            req, txn, useful = wavefront_transactions(
+                idx, buf.itemsize, self.device.wavefront_size,
+                self.device.transaction_bytes, None,
+            )
+            self._trace.global_load_requests += req
+            self._trace.global_load_transactions += txn
+            self._trace.global_load_bytes_useful += useful
+            self._trace.global_store_requests += req
+            self._trace.global_store_transactions += txn
+            self._trace.global_store_bytes_useful += useful
+        np.add.at(buf.data, idx, values)
+
+    # ------------------------------------------------------------------
+    # local memory
+    # ------------------------------------------------------------------
+    def alloc_local(self, size: int, dtype=np.float64, name: str = "lmem") -> LocalBuffer:
+        """Allocate work-group local memory (capacity-checked per CU)."""
+        lbuf = LocalBuffer(size, dtype, name)
+        self._local_bytes += lbuf.nbytes
+        if self._local_bytes > self.device.local_mem_per_cu_bytes:
+            raise LocalMemoryError(
+                f"work-group requested {self._local_bytes:,} B local memory; "
+                f"CU provides {self.device.local_mem_per_cu_bytes:,} B"
+            )
+        return lbuf
+
+    def lload(self, lbuf: LocalBuffer, idx: np.ndarray,
+              mask: np.ndarray | None = None) -> np.ndarray:
+        """One local-memory load per (active) lane."""
+        idx = np.asarray(idx, dtype=np.int64)
+        if self._trace is not None:
+            active = idx.size if mask is None else int(np.count_nonzero(mask))
+            self._trace.local_load_bytes += active * lbuf.itemsize
+        if mask is None:
+            return lbuf.data[idx]
+        out = np.zeros(idx.shape, dtype=lbuf.data.dtype)
+        out[mask] = lbuf.data[idx[mask]]
+        return out
+
+    def lstore(self, lbuf: LocalBuffer, idx: np.ndarray, values: np.ndarray,
+               mask: np.ndarray | None = None) -> None:
+        """One local-memory store per (active) lane."""
+        idx = np.asarray(idx, dtype=np.int64)
+        if self._trace is not None:
+            active = idx.size if mask is None else int(np.count_nonzero(mask))
+            self._trace.local_store_bytes += active * lbuf.itemsize
+        if mask is None:
+            lbuf.data[idx] = values
+        else:
+            lbuf.data[idx[mask]] = np.broadcast_to(values, idx.shape)[mask]
+
+    # ------------------------------------------------------------------
+    # control / accounting
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """``barrier(CLK_LOCAL_MEM_FENCE)`` — synchronise the group."""
+        if self._trace is not None:
+            self._trace.barriers += 1
+
+    def flops(self, n: int) -> None:
+        """Report ``n`` floating-point operations performed."""
+        if self._trace is not None:
+            self._trace.flops += int(n)
+
+    def loop_trips(self, trips: np.ndarray) -> None:
+        """Report per-lane loop trip counts for divergence accounting.
+
+        Lanes of one wavefront execute in lockstep, so the wavefront
+        issues ``max(trips)`` iterations while only ``sum(trips)`` are
+        useful.
+        """
+        if self._trace is None:
+            return
+        trips = np.asarray(trips, dtype=np.int64).ravel()
+        w = self.device.wavefront_size
+        nwf = -(-trips.size // w)
+        pad = nwf * w - trips.size
+        if pad:
+            trips = np.concatenate([trips, np.zeros(pad, dtype=np.int64)])
+        per_wf = trips.reshape(nwf, w)
+        self._trace.lanes_issued += int(per_wf.max(axis=1).sum()) * w
+        self._trace.lanes_useful += int(per_wf.sum())
+
+
+def launch(
+    kernel: Callable,
+    num_groups: int,
+    local_size: int,
+    args: Sequence,
+    device: DeviceSpec = TESLA_C2050,
+    trace: bool = True,
+    cache: Optional[SegmentCache] = None,
+) -> KernelTrace:
+    """Run ``kernel`` over ``num_groups`` work-groups of ``local_size``.
+
+    Returns the aggregated :class:`~repro.ocl.trace.KernelTrace`
+    (zero-valued when tracing is off).  A fresh L2
+    :class:`~repro.ocl.memory.SegmentCache` is created per launch
+    unless one is passed in (pass the previous launch's cache to model
+    back-to-back kernels sharing residency).
+    """
+    if num_groups < 0:
+        raise LaunchError(f"num_groups must be >= 0, got {num_groups}")
+    if local_size <= 0:
+        raise LaunchError(f"local_size must be positive, got {local_size}")
+    total = KernelTrace()
+    total.work_groups = num_groups
+    total.wavefronts = num_groups * (-(-local_size // device.wavefront_size))
+    t = total if trace else None
+    if trace and cache is None and device.l2_bytes > 0:
+        cache = SegmentCache(device.l2_bytes, device.transaction_bytes)
+    for gid in range(num_groups):
+        ctx = WorkGroupCtx(device, gid, local_size, t, cache)
+        kernel(ctx, *args)
+    return total

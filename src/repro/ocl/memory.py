@@ -1,0 +1,179 @@
+"""Simulated device memory objects.
+
+:class:`Buffer` is a global-memory allocation (capacity-checked by the
+:class:`~repro.ocl.executor.Context`); :class:`LocalBuffer` is a
+work-group-local scratch allocation (capacity-checked against the CU's
+local memory).  Kernels never index these directly — all access goes
+through the :class:`~repro.ocl.executor.WorkGroupCtx` so that every
+load/store is traced.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Tuple
+
+import numpy as np
+
+
+class MemSpace(enum.Enum):
+    """OpenCL memory spaces (Section III-A)."""
+
+    GLOBAL = "global"
+    CONSTANT = "constant"
+    LOCAL = "local"
+    PRIVATE = "private"
+
+
+class Buffer:
+    """A global-memory allocation holding a 1-D typed array.
+
+    Create through :meth:`repro.ocl.executor.Context.alloc` (which
+    enforces the device capacity); direct construction is allowed in
+    tests.
+    """
+
+    space = MemSpace.GLOBAL
+
+    def __init__(self, data: np.ndarray, name: str = "buf"):
+        data = np.asarray(data)
+        if data.ndim != 1:
+            data = np.ascontiguousarray(data).ravel()
+        self.data = data
+        self.name = name
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.data.dtype.itemsize)
+
+    def __len__(self) -> int:
+        return int(self.data.size)
+
+    def to_host(self) -> np.ndarray:
+        """Copy back to the host (returns the underlying array)."""
+        return self.data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Buffer {self.name!r} {self.data.dtype} x {self.data.size}>"
+
+
+class LocalBuffer:
+    """A local-memory (shared) allocation, private to one work-group."""
+
+    space = MemSpace.LOCAL
+
+    def __init__(self, size: int, dtype=np.float64, name: str = "lmem"):
+        self.data = np.zeros(int(size), dtype=dtype)
+        self.name = name
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.data.dtype.itemsize)
+
+    def __len__(self) -> int:
+        return int(self.data.size)
+
+
+class SegmentCache:
+    """Approximate LRU model of the device's unified L2 cache.
+
+    Keys are ``(buffer id, segment)``; a global load whose segment is
+    resident costs no DRAM transaction.  Shared by all work-groups of a
+    launch sequence (the L2 is device-wide); stores allocate lines
+    (write-allocate) but their DRAM write is still charged.
+    """
+
+    def __init__(self, capacity_bytes: int, transaction_bytes: int):
+        self.capacity = max(1, capacity_bytes // transaction_bytes)
+        self._lines: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+
+    def access(self, buf_id: int, segments: np.ndarray) -> int:
+        """Touch ``segments``; returns the number of *misses*."""
+        misses = 0
+        lines = self._lines
+        for seg in segments.tolist():
+            key = (buf_id, seg)
+            if key in lines:
+                lines.move_to_end(key)
+            else:
+                misses += 1
+                lines[key] = None
+                if len(lines) > self.capacity:
+                    lines.popitem(last=False)
+        return misses
+
+
+def wavefront_transactions(
+    indices: np.ndarray,
+    itemsize: int,
+    wavefront_size: int,
+    transaction_bytes: int,
+    mask: np.ndarray | None = None,
+) -> Tuple[int, int, int]:
+    """Count memory traffic of one vectorised access.
+
+    Splits ``indices`` (element indices into one buffer, one per active
+    lane, in lane order) into wavefronts and counts, per wavefront, the
+    distinct ``transaction_bytes``-sized segments touched — the
+    coalescing rule of Fermi-class GPUs.
+
+    Returns ``(requests, transactions, useful_bytes)``.
+    """
+    requests, segments, useful = wavefront_segments(
+        indices, itemsize, wavefront_size, transaction_bytes, mask
+    )
+    return requests, int(segments.size), useful
+
+
+def wavefront_segments(
+    indices: np.ndarray,
+    itemsize: int,
+    wavefront_size: int,
+    transaction_bytes: int,
+    mask: np.ndarray | None = None,
+) -> Tuple[int, np.ndarray, int]:
+    """Like :func:`wavefront_transactions` but returns the issued
+    transactions' *segment ids* (one entry per transaction, so the
+    L2 model can filter them into hits and misses)."""
+    idx = np.asarray(indices, dtype=np.int64).ravel()
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool).ravel()
+        if mask.shape != idx.shape:
+            raise ValueError("mask must match indices shape")
+    n = idx.size
+    if n == 0:
+        return 0, np.empty(0, dtype=np.int64), 0
+    nwf = -(-n // wavefront_size)
+    pad = nwf * wavefront_size - n
+    seg = idx * itemsize // transaction_bytes
+    if pad:
+        seg = np.concatenate([seg, np.full(pad, -1, dtype=np.int64)])
+        if mask is not None:
+            mask = np.concatenate([mask, np.zeros(pad, dtype=bool)])
+    seg = seg.reshape(nwf, wavefront_size)
+    if mask is None:
+        active = np.ones(seg.shape, dtype=bool)
+        active[seg < 0] = False
+    else:
+        active = mask.reshape(nwf, wavefront_size)
+    # inactive lanes: substitute a sentinel distinct from all real
+    # segments so they never add transactions
+    seg = np.where(active, seg, np.int64(-1))
+    seg_sorted = np.sort(seg, axis=1)
+    newseg = np.ones(seg_sorted.shape, dtype=bool)
+    newseg[:, 1:] = seg_sorted[:, 1:] != seg_sorted[:, :-1]
+    newseg &= seg_sorted >= 0
+    segments = seg_sorted[newseg]
+    rows_active = active.any(axis=1)
+    requests = int(rows_active.sum())
+    useful = int(active.sum()) * itemsize
+    return requests, segments, useful

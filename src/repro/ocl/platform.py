@@ -1,0 +1,212 @@
+"""OpenCL-style host API over the simulated runtime.
+
+The paper's host program follows the standard OpenCL flow — enumerate
+platforms/devices, create a context and command queue, *build the
+program at run time* (the hook the whole codelet design relies on),
+set kernel arguments, enqueue an ND-range — and this module provides
+that flow 1:1 so the reproduction's host code reads like the original:
+
+>>> platform = get_platforms()[0]
+>>> device = platform.get_devices()[0]
+>>> ctx = ClContext(device)
+>>> queue = CommandQueue(ctx)
+>>> program = Program(ctx, source).build()        # validates the source
+>>> kernel = program.kernel("crsd_dia_spmv", impl=python_callable)
+>>> buf = ctx.create_buffer(host_array)
+>>> queue.enqueue_nd_range(kernel, global_size, local_size, args=(buf, ...))
+>>> queue.finish()
+
+Because no OpenCL compiler exists here, a ``Program`` pairs the C
+source (structurally validated) with the Python implementations of its
+kernels; ``build()`` is where a real deployment would call
+``clBuildProgram``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codegen.validator import validate_opencl_source
+from repro.ocl.device import AMD_CYPRESS, GTX_285, TESLA_C2050, DeviceSpec
+from repro.ocl.errors import LaunchError
+from repro.ocl.executor import Context as _MemContext
+from repro.ocl.executor import launch as _launch
+from repro.ocl.memory import Buffer
+from repro.ocl.trace import KernelTrace
+
+
+@dataclass(frozen=True)
+class Platform:
+    """An OpenCL platform exposing one or more devices."""
+
+    name: str
+    vendor: str
+    devices: Tuple[DeviceSpec, ...]
+
+    def get_devices(self) -> List[DeviceSpec]:
+        """``clGetDeviceIDs`` analogue."""
+        return list(self.devices)
+
+
+#: the simulated installable client drivers
+_PLATFORMS = (
+    Platform("Simulated CUDA", "NVIDIA (modelled)", (TESLA_C2050, GTX_285)),
+    Platform("Simulated Stream", "AMD (modelled)", (AMD_CYPRESS,)),
+)
+
+
+def get_platforms() -> List[Platform]:
+    """``clGetPlatformIDs`` analogue."""
+    return list(_PLATFORMS)
+
+
+class ClContext:
+    """``clCreateContext`` analogue: owns device memory."""
+
+    def __init__(self, device: DeviceSpec = TESLA_C2050):
+        self.device = device
+        self._mem = _MemContext(device)
+
+    def create_buffer(self, host_data: np.ndarray, name: str = "buf") -> Buffer:
+        """``clCreateBuffer(..., COPY_HOST_PTR)`` analogue (capacity
+        checked against the device)."""
+        return self._mem.alloc(np.asarray(host_data), name)
+
+    def create_zero_buffer(self, n: int, dtype=np.float64, name: str = "buf") -> Buffer:
+        """Zero-initialised device buffer of ``n`` elements."""
+        return self._mem.alloc_zeros(n, dtype, name)
+
+    def release(self, buf: Buffer) -> None:
+        """``clReleaseMemObject`` analogue."""
+        self._mem.free(buf)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._mem.allocated_bytes
+
+
+class Program:
+    """``clCreateProgramWithSource`` + ``clBuildProgram`` analogue.
+
+    Holds the OpenCL C text and the Python implementation of each
+    kernel.  ``build()`` validates the C structurally and checks that
+    every declared ``__kernel`` has an implementation.
+    """
+
+    def __init__(self, context: ClContext, source: str,
+                 impls: Optional[Dict[str, Callable]] = None):
+        self.context = context
+        self.source = source
+        self._impls = dict(impls or {})
+        self._built = False
+        self._kernel_names: List[str] = []
+
+    def attach(self, name: str, impl: Callable) -> "Program":
+        """Register the executable implementation of one kernel."""
+        self._impls[name] = impl
+        return self
+
+    def build(self) -> "Program":
+        """Validate the source; a real host would invoke the vendor
+        compiler here."""
+        self._kernel_names = validate_opencl_source(self.source)
+        missing = [n for n in self._kernel_names if n not in self._impls]
+        if missing:
+            raise LaunchError(
+                f"no implementation attached for kernel(s): {missing}"
+            )
+        self._built = True
+        return self
+
+    @property
+    def kernel_names(self) -> List[str]:
+        if not self._built:
+            raise LaunchError("program not built")
+        return list(self._kernel_names)
+
+    def kernel(self, name: str) -> "ClKernel":
+        """``clCreateKernel`` analogue."""
+        if not self._built:
+            raise LaunchError("program not built")
+        if name not in self._kernel_names:
+            raise LaunchError(f"no kernel {name!r} in program "
+                              f"(have {self._kernel_names})")
+        return ClKernel(name, self._impls[name], self.context.device)
+
+
+@dataclass
+class ClKernel:
+    """A buildable kernel with positional arguments."""
+
+    name: str
+    impl: Callable
+    device: DeviceSpec
+    _args: tuple = field(default=(), repr=False)
+
+    def set_args(self, *args) -> "ClKernel":
+        """``clSetKernelArg`` analogue (all at once)."""
+        self._args = args
+        return self
+
+
+class CommandQueue:
+    """``clCreateCommandQueue`` analogue.
+
+    In-order execution; every enqueue runs to completion and its trace
+    is accumulated on the queue (``profiling`` mirrors
+    ``CL_QUEUE_PROFILING_ENABLE``).
+    """
+
+    def __init__(self, context: ClContext, profiling: bool = True):
+        self.context = context
+        self.profiling = profiling
+        self.traces: List[Tuple[str, KernelTrace]] = []
+
+    def enqueue_nd_range(
+        self,
+        kernel: ClKernel,
+        global_size: int,
+        local_size: int,
+        args: Optional[Sequence] = None,
+    ) -> KernelTrace:
+        """``clEnqueueNDRangeKernel`` analogue.
+
+        ``global_size`` must be a multiple of ``local_size`` (the
+        OpenCL 1.x rule the paper's launch obeys by padding segments).
+        """
+        if local_size <= 0 or global_size <= 0:
+            raise LaunchError("sizes must be positive")
+        if global_size % local_size != 0:
+            raise LaunchError(
+                f"global size {global_size} not a multiple of local size "
+                f"{local_size} (OpenCL 1.x requirement)"
+            )
+        if args is not None:
+            kernel.set_args(*args)
+        trace = _launch(
+            kernel.impl,
+            num_groups=global_size // local_size,
+            local_size=local_size,
+            args=kernel._args,
+            device=self.context.device,
+            trace=self.profiling,
+        )
+        self.traces.append((kernel.name, trace))
+        return trace
+
+    def enqueue_read_buffer(self, buf: Buffer) -> np.ndarray:
+        """``clEnqueueReadBuffer`` analogue (blocking)."""
+        return buf.to_host().copy()
+
+    def finish(self) -> None:
+        """``clFinish`` — everything here is already synchronous."""
+
+    def total_trace(self) -> KernelTrace:
+        """Merge of every enqueued kernel's trace."""
+        total = KernelTrace()
+        for _, t in self.traces:
+            total.merge(t)
+        return total

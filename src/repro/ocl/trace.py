@@ -1,0 +1,119 @@
+"""Execution traces collected by the simulated runtime.
+
+A :class:`KernelTrace` aggregates, over one kernel launch, the
+quantities that determine SpMV performance on a real GPU:
+
+- global load/store **requests** (one per wavefront memory instruction)
+  and **transactions** (distinct 128-byte segments actually touched) —
+  their ratio is the coalescing efficiency;
+- bytes moved per memory space;
+- barriers executed;
+- wavefront **divergence**: issued lanes (max trip count × width) vs.
+  useful lanes (sum of per-lane trip counts).
+
+The performance model consumes these counters; nothing here knows
+about seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelTrace:
+    """Mutable counter set for one kernel launch."""
+
+    #: number of work-groups launched
+    work_groups: int = 0
+    #: number of wavefronts launched
+    wavefronts: int = 0
+    #: per-wavefront global memory load instructions
+    global_load_requests: int = 0
+    #: 128-byte segments that missed L2 and cost DRAM traffic
+    global_load_transactions: int = 0
+    #: load transactions absorbed by the L2 model
+    l2_hits: int = 0
+    #: bytes of useful global load data (lane count x itemsize)
+    global_load_bytes_useful: int = 0
+    #: per-wavefront global store instructions
+    global_store_requests: int = 0
+    global_store_transactions: int = 0
+    global_store_bytes_useful: int = 0
+    #: local (shared) memory traffic in bytes
+    local_load_bytes: int = 0
+    local_store_bytes: int = 0
+    #: work-group barriers executed
+    barriers: int = 0
+    #: total FLOPs reported by the kernel (multiply+add counted as 2)
+    flops: int = 0
+    #: lanes issued, accounting for divergence serialisation
+    lanes_issued: int = 0
+    #: lanes doing useful work
+    lanes_useful: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def global_load_bytes_moved(self, transaction_bytes: int = 128) -> int:
+        """Bytes the memory system actually moved for loads."""
+        return self.global_load_transactions * transaction_bytes
+
+    def load_coalescing_efficiency(self, itemsize: int = 8, transaction_bytes: int = 128) -> float:
+        """useful bytes / moved bytes for global loads, in (0, 1].
+
+        A perfectly coalesced float64 wavefront load (32 lanes x 8 B =
+        256 B = 2 transactions) scores 1.0; a fully scattered one
+        (32 transactions) scores 256/4096 = 0.0625.
+        """
+        moved = self.global_load_transactions * transaction_bytes
+        if moved == 0:
+            return 1.0
+        return min(1.0, self.global_load_bytes_useful / moved)
+
+    def store_coalescing_efficiency(self, transaction_bytes: int = 128) -> float:
+        """useful bytes / moved bytes for global stores, in (0, 1]."""
+        moved = self.global_store_transactions * transaction_bytes
+        if moved == 0:
+            return 1.0
+        return min(1.0, self.global_store_bytes_useful / moved)
+
+    @property
+    def divergence_efficiency(self) -> float:
+        """useful lanes / issued lanes, in (0, 1]; 1.0 = no divergence."""
+        if self.lanes_issued == 0:
+            return 1.0
+        return self.lanes_useful / self.lanes_issued
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "KernelTrace") -> "KernelTrace":
+        """Accumulate another trace into this one (in place)."""
+        for f in (
+            "work_groups",
+            "wavefronts",
+            "global_load_requests",
+            "global_load_transactions",
+            "l2_hits",
+            "global_load_bytes_useful",
+            "global_store_requests",
+            "global_store_transactions",
+            "global_store_bytes_useful",
+            "local_load_bytes",
+            "local_store_bytes",
+            "barriers",
+            "flops",
+            "lanes_issued",
+            "lanes_useful",
+        ):
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+        return self
+
+    def summary(self) -> str:  # pragma: no cover - cosmetic
+        """One-line human-readable counter summary."""
+        return (
+            f"groups={self.work_groups} wavefronts={self.wavefronts} "
+            f"gld: {self.global_load_requests} req / {self.global_load_transactions} txn "
+            f"(coal={self.load_coalescing_efficiency():.2f}) "
+            f"gst: {self.global_store_requests} req / {self.global_store_transactions} txn "
+            f"barriers={self.barriers} flops={self.flops} "
+            f"diverg_eff={self.divergence_efficiency:.2f}"
+        )

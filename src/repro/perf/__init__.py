@@ -1,0 +1,31 @@
+"""Performance model: execution traces -> time -> GFLOPS.
+
+SpMV is bandwidth-bound on every platform the paper evaluates, so the
+model is a roofline over *measured* quantities: the simulator counts
+the memory transactions a kernel actually issues (coalescing included)
+and the model charges them against the device's bandwidth, taking the
+maximum with the compute and latency terms, plus explicit costs for
+work-group barriers and kernel launches.
+
+- :mod:`repro.perf.costmodel`    — trace -> :class:`PerfBreakdown`
+- :mod:`repro.perf.metrics`      — GFLOPS / effective-bandwidth metrics
+- :mod:`repro.perf.calibration`  — the constants and where they come from
+"""
+
+from repro.perf.costmodel import PerfBreakdown, predict_gpu_time
+from repro.perf.metrics import gflops, effective_bandwidth, speedup
+from repro.perf.analytic import TrafficEstimate, estimate_traffic
+from repro.perf.roofline import RooflinePoint, render_roofline, roofline_point
+
+__all__ = [
+    "PerfBreakdown",
+    "predict_gpu_time",
+    "gflops",
+    "effective_bandwidth",
+    "speedup",
+    "TrafficEstimate",
+    "estimate_traffic",
+    "RooflinePoint",
+    "roofline_point",
+    "render_roofline",
+]

@@ -1,0 +1,60 @@
+"""Calibration constants of the performance model.
+
+Sources:
+
+- Tesla C2050 datasheet / paper Table IV: 448 cores @ 1.15 GHz, 3 GB,
+  144 GB/s, 515/1030 GFLOPS DP/SP, 48 KB local per SM, 128 B memory
+  transactions (Fermi L1 line).
+- Fermi microbenchmark literature: ~400-600 cycle global latency,
+  up to 48 resident wavefronts per SM, sustained bandwidth around
+  75-80% of peak for streaming kernels.
+- Xeon X5550 (paper Table IV): 2 sockets x 4 cores @ 2.67 GHz,
+  triple-channel DDR3-1333 -> 32 GB/s peak per socket, of which
+  STREAM-class kernels sustain roughly 60%; a single core sustains
+  about 6 GB/s.
+
+The model's purpose is *shape* fidelity (which format wins, by what
+factor) — these constants set the scale, and the ablation benches vary
+them explicitly.
+"""
+
+from __future__ import annotations
+
+#: fraction of peak global bandwidth a streaming SpMV sustains on Fermi
+GPU_BW_EFFICIENCY = 0.78
+
+#: resident wavefronts per CU available to hide latency (Fermi limit)
+MAX_RESIDENT_WAVEFRONTS_PER_CU = 48
+
+#: extra latency (cycles) a work-group barrier exposes after overlap
+#: with other resident groups: the group drains outstanding loads plus
+#: the barrier instruction itself.  Together with the scatter-row
+#: duplication this is what costs CRSD the wang3/wang4 comparison
+#: (Section IV-A).
+BARRIER_EXPOSED_CYCLES = 150
+
+#: L2-to-SM bandwidth relative to DRAM bandwidth (Fermi ~2.5x): cache
+#: hits are cheaper than DRAM transactions but not free, which is what
+#: keeps cache-thrashing access patterns (CSR gathers) honest
+L2_BW_MULTIPLIER = 2.0
+
+#: sustained fraction of peak socket bandwidth for CPU SpMV streams
+CPU_BW_EFFICIENCY = 0.55
+
+#: sustained bandwidth of a single CPU core (GB/s) — one core cannot
+#: saturate the socket's memory controllers
+CPU_PER_CORE_BW_GBS = 9.0
+
+#: per-socket peak memory bandwidth of the X5550 platform (GB/s)
+CPU_SOCKET_BW_GBS = 32.0
+
+#: CSR on CPU pays irregular-gather and short-row loop overheads that a
+#: pure byte count misses; MKL-class implementations land around this
+#: fraction of streaming bandwidth on sparse gathers.
+CPU_CSR_GATHER_EFFICIENCY = 0.55
+
+#: CPU DIA streams its (mostly padded) slab at full streaming rate
+CPU_DIA_STREAM_EFFICIENCY = 0.9
+
+#: CRSD's diagonal slab on CPU streams like DIA but without the fill
+CPU_CRSD_STREAM_EFFICIENCY = 0.85

@@ -1,0 +1,140 @@
+"""Roofline cost model: a kernel trace plus a device spec -> seconds.
+
+``time = launch + max(T_bw, T_latency, T_compute, T_local) + T_barrier``
+
+- **T_bw** — global transactions x 128 B against sustained bandwidth
+  (coalescing is already inside the transaction count).
+- **T_latency** — total memory requests x latency, divided by the
+  wavefront-level parallelism available to hide it; binds only for
+  small or latency-exposed launches.
+- **T_compute** — executed flops against the precision's peak,
+  derated by measured divergence efficiency.
+- **T_local** — local-memory traffic at its (much higher) bandwidth.
+- **T_barrier** — each work-group barrier exposes a full memory
+  latency (the group drains its outstanding loads); barriers of
+  different groups overlap across CUs.
+
+All quantities except the calibration constants are *measured* by the
+simulator from the same data layouts a real GPU would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ocl.device import DeviceSpec
+from repro.ocl.trace import KernelTrace
+from repro.perf import calibration as cal
+
+
+@dataclass(frozen=True)
+class PerfBreakdown:
+    """Per-term timing of one (or more merged) kernel launches."""
+
+    bandwidth_time: float
+    latency_time: float
+    compute_time: float
+    local_time: float
+    l2_time: float
+    barrier_time: float
+    launch_time: float
+
+    @property
+    def bound(self) -> str:
+        """Which roofline term binds ("bandwidth", "latency", ...)."""
+        terms = {
+            "bandwidth": self.bandwidth_time,
+            "latency": self.latency_time,
+            "compute": self.compute_time,
+            "local": self.local_time,
+            "l2": self.l2_time,
+        }
+        return max(terms, key=terms.get)
+
+    @property
+    def total(self) -> float:
+        return (
+            self.launch_time
+            + max(
+                self.bandwidth_time,
+                self.latency_time,
+                self.compute_time,
+                self.local_time,
+                self.l2_time,
+            )
+            + self.barrier_time
+        )
+
+
+def predict_gpu_time(
+    trace: KernelTrace,
+    device: DeviceSpec,
+    precision: str = "double",
+    num_launches: int = 1,
+    size_scale: float = 1.0,
+) -> PerfBreakdown:
+    """Predicted execution time of the traced launch(es) on ``device``.
+
+    ``size_scale`` is the benchmark's problem-scale factor: the
+    latency-hiding concurrency is evaluated at full-size-equivalent
+    wavefront count (``wavefronts / size_scale``) so that scaled runs
+    keep the full-size balance between the latency and bandwidth terms.
+    """
+    clock_hz = device.clock_ghz * 1e9
+
+    # -- bandwidth term --------------------------------------------------
+    txn = trace.global_load_transactions + trace.global_store_transactions
+    bytes_moved = txn * device.transaction_bytes
+    bw = device.global_bw_gbs * 1e9 * cal.GPU_BW_EFFICIENCY
+    t_bw = bytes_moved / bw
+
+    # -- latency term ----------------------------------------------------
+    requests = trace.global_load_requests + trace.global_store_requests
+    concurrency = max(
+        1,
+        min(
+            trace.wavefronts / max(size_scale, 1e-9),
+            device.num_cus * cal.MAX_RESIDENT_WAVEFRONTS_PER_CU,
+        ),
+    )
+    t_lat = requests * device.global_latency_cycles / clock_hz / concurrency
+
+    # -- L2/load-pipe term ---------------------------------------------------
+    # every load transaction — DRAM miss or L2 hit — flows through the
+    # L2/LSU pipe at L2_BW_MULTIPLIER x DRAM bandwidth; kernels that
+    # re-read x heavily (CSR gathers, unstaged AD groups) bind here
+    load_txn_total = trace.global_load_transactions + trace.l2_hits
+    t_l2 = (
+        load_txn_total * device.transaction_bytes / (bw * cal.L2_BW_MULTIPLIER)
+        if load_txn_total
+        else 0.0
+    )
+
+    # -- compute term ----------------------------------------------------
+    peak = device.peak_gflops(precision) * 1e9
+    eff = max(trace.divergence_efficiency, 1e-6)
+    t_comp = trace.flops / (peak * eff) if trace.flops else 0.0
+
+    # -- local-memory term -------------------------------------------------
+    local_bytes = trace.local_load_bytes + trace.local_store_bytes
+    t_local = local_bytes / (bw * device.local_bw_multiplier) if local_bytes else 0.0
+
+    # -- barrier term ------------------------------------------------------
+    t_barrier = (
+        trace.barriers
+        * cal.BARRIER_EXPOSED_CYCLES
+        / clock_hz
+        / max(1, device.num_cus)
+    )
+
+    t_launch = num_launches * device.kernel_launch_us * 1e-6
+
+    return PerfBreakdown(
+        bandwidth_time=t_bw,
+        latency_time=t_lat,
+        compute_time=t_comp,
+        local_time=t_local,
+        l2_time=t_l2,
+        barrier_time=t_barrier,
+        launch_time=t_launch,
+    )

@@ -1,0 +1,30 @@
+"""Performance metrics.
+
+The paper (and Bell & Garland) report GFLOPS computed from the
+*mathematical* work — ``2 x nnz`` flops per SpMV — divided by execution
+time, so formats that burn time on padding zeros score low even though
+the device "did more flops".  We follow that convention.
+"""
+
+from __future__ import annotations
+
+
+def gflops(nnz: int, seconds: float, flops_per_nnz: int = 2) -> float:
+    """Useful GFLOPS of one SpMV: ``flops_per_nnz * nnz / time``."""
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    return flops_per_nnz * nnz / seconds / 1e9
+
+
+def effective_bandwidth(useful_bytes: int, seconds: float) -> float:
+    """GB/s of useful data motion."""
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    return useful_bytes / seconds / 1e9
+
+
+def speedup(time_baseline: float, time_new: float) -> float:
+    """How many times faster ``new`` is than ``baseline``."""
+    if time_new <= 0 or time_baseline <= 0:
+        raise ValueError("times must be positive")
+    return time_baseline / time_new

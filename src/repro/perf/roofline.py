@@ -1,0 +1,97 @@
+"""Roofline analysis of traced kernels.
+
+Places a kernel run on the device's roofline: arithmetic intensity
+(useful flops per DRAM byte moved) against the bandwidth and compute
+ceilings.  SpMV lives deep in the bandwidth-bound region (~0.1-0.25
+flops/byte for double precision), which is the quantitative reason the
+whole paper is about *bytes* — formats win by moving fewer of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ocl.device import DeviceSpec, TESLA_C2050
+from repro.ocl.trace import KernelTrace
+from repro.perf import calibration as cal
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on the roofline."""
+
+    name: str
+    flops: int
+    dram_bytes: int
+    achieved_gflops: float
+    device: DeviceSpec
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Useful flops per DRAM byte."""
+        return self.flops / self.dram_bytes if self.dram_bytes else float("inf")
+
+    def ceiling_gflops(self, precision: str = "double") -> float:
+        """The roofline ceiling at this intensity."""
+        bw = self.device.global_bw_gbs * cal.GPU_BW_EFFICIENCY
+        return min(
+            self.device.peak_gflops(precision),
+            self.arithmetic_intensity * bw,
+        )
+
+    def efficiency(self, precision: str = "double") -> float:
+        """Achieved / ceiling, in (0, 1]."""
+        c = self.ceiling_gflops(precision)
+        return min(1.0, self.achieved_gflops / c) if c else 0.0
+
+    @property
+    def memory_bound(self) -> bool:
+        """Below the ridge point the bandwidth ceiling binds."""
+        bw = self.device.global_bw_gbs * cal.GPU_BW_EFFICIENCY
+        ridge = self.device.peak_gflops_dp / bw
+        return self.arithmetic_intensity < ridge
+
+
+def roofline_point(
+    name: str,
+    trace: KernelTrace,
+    seconds: float,
+    device: DeviceSpec = TESLA_C2050,
+    useful_flops: int | None = None,
+) -> RooflinePoint:
+    """Build a :class:`RooflinePoint` from a trace and a modelled (or
+    measured) time.  ``useful_flops`` defaults to the trace's executed
+    flops; pass ``2 * nnz`` for the paper's useful-work convention."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    flops = trace.flops if useful_flops is None else int(useful_flops)
+    dram = (
+        trace.global_load_transactions + trace.global_store_transactions
+    ) * device.transaction_bytes
+    return RooflinePoint(
+        name=name,
+        flops=flops,
+        dram_bytes=dram,
+        achieved_gflops=flops / seconds / 1e9,
+        device=device,
+    )
+
+
+def render_roofline(points, precision: str = "double", width: int = 50) -> str:
+    """Text roofline: one line per kernel with intensity, ceiling,
+    achieved and an efficiency bar."""
+    lines = [
+        f"roofline on {points[0].device.name} ({precision}): "
+        f"ridge at {points[0].device.peak_gflops(precision) / (points[0].device.global_bw_gbs * cal.GPU_BW_EFFICIENCY):.2f} flop/B",
+        f"{'kernel':<10} {'flop/B':>7} {'ceiling':>9} {'achieved':>9} "
+        f"{'eff':>5}  bound",
+    ]
+    for p in points:
+        eff = p.efficiency(precision)
+        bar = "#" * int(round(eff * 20))
+        lines.append(
+            f"{p.name:<10} {p.arithmetic_intensity:>7.3f} "
+            f"{p.ceiling_gflops(precision):>8.1f}G {p.achieved_gflops:>8.2f}G "
+            f"{eff:>4.0%}  {'mem' if p.memory_bound else 'compute'} {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Iterative solvers driven by SpMV.
+
+SpMV matters because it is the inner kernel of Krylov solvers for the
+PDE systems the paper's introduction motivates (FDM/FVM/FEM).  This
+package provides the solvers a downstream user of the CRSD library
+actually runs:
+
+- :func:`~repro.solvers.krylov.cg`        — conjugate gradients (SPD)
+- :func:`~repro.solvers.krylov.bicgstab`  — BiCGSTAB (general)
+- :func:`~repro.solvers.stationary.jacobi` — Jacobi iteration
+- :class:`~repro.solvers.operator.SpMVOperator` — adapts any storage
+  format, any GPU kernel runner, or a plain callable into the solver
+  interface, counting SpMV invocations.
+"""
+
+from repro.solvers.operator import SpMVOperator, as_operator
+from repro.solvers.krylov import cg, bicgstab, SolveResult
+from repro.solvers.stationary import jacobi
+from repro.solvers.gpu_cg import gpu_cg, GpuSolveResult
+from repro.solvers.preconditioned import pcg
+
+__all__ = [
+    "SpMVOperator",
+    "as_operator",
+    "cg",
+    "bicgstab",
+    "jacobi",
+    "gpu_cg",
+    "pcg",
+    "GpuSolveResult",
+    "SolveResult",
+]

@@ -1,0 +1,157 @@
+"""Krylov solvers: conjugate gradients and BiCGSTAB.
+
+Textbook implementations (Saad, "Iterative Methods for Sparse Linear
+Systems" — the paper's reference [2]) over the
+:class:`~repro.solvers.operator.SpMVOperator` interface, with explicit
+convergence reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.solvers.operator import SpMVOperator, as_operator
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative solve."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    #: residual norm after each iteration (length ``iterations``)
+    history: List[float]
+    #: SpMV invocations consumed by this solve
+    spmv_count: int
+
+
+def _prepare(a, b: np.ndarray, x0: Optional[np.ndarray]):
+    op = as_operator(a)
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 1 or b.size != op.nrows:
+        raise ValueError(f"b must have length {op.nrows}, got shape {b.shape}")
+    if op.nrows != op.ncols:
+        raise ValueError("iterative solvers need a square system")
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+    if x.shape != b.shape:
+        raise ValueError("x0 must match b")
+    return op, b, x
+
+
+def cg(
+    a,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    maxiter: int = 1000,
+) -> SolveResult:
+    """Conjugate gradients for symmetric positive-definite systems.
+
+    ``a`` may be any matrix carrier accepted by
+    :func:`~repro.solvers.operator.as_operator`.  Convergence criterion:
+    ``||r|| <= tol * max(1, ||b||)``.
+    """
+    op, b, x = _prepare(a, b, x0)
+    start_count = op.spmv_count
+    target = tol * max(1.0, float(np.linalg.norm(b)))
+    r = b - op(x)
+    p = r.copy()
+    rs = float(r @ r)
+    history: List[float] = []
+    converged = np.sqrt(rs) <= target
+    it = 0
+    while not converged and it < maxiter:
+        ap = op(p)
+        denom = float(p @ ap)
+        if denom == 0.0:
+            break
+        alpha = rs / denom
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = float(r @ r)
+        it += 1
+        history.append(np.sqrt(rs_new))
+        if np.sqrt(rs_new) <= target:
+            converged = True
+            break
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    return SolveResult(
+        x=x,
+        converged=converged,
+        iterations=it,
+        residual_norm=history[-1] if history else float(np.sqrt(rs)),
+        history=history,
+        spmv_count=op.spmv_count - start_count,
+    )
+
+
+def bicgstab(
+    a,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    maxiter: int = 1000,
+) -> SolveResult:
+    """BiCGSTAB for general (non-symmetric) systems (Saad, §7.4.2)."""
+    op, b, x = _prepare(a, b, x0)
+    start_count = op.spmv_count
+    target = tol * max(1.0, float(np.linalg.norm(b)))
+    r = b - op(x)
+    r_hat = r.copy()
+    rho = alpha = omega = 1.0
+    v = np.zeros_like(b)
+    p = np.zeros_like(b)
+    history: List[float] = []
+    converged = float(np.linalg.norm(r)) <= target
+    it = 0
+    while not converged and it < maxiter:
+        rho_new = float(r_hat @ r)
+        if rho_new == 0.0:
+            break
+        if it == 0:
+            p = r.copy()
+        else:
+            beta = (rho_new / rho) * (alpha / omega)
+            p = r + beta * (p - omega * v)
+        v = op(p)
+        denom = float(r_hat @ v)
+        if denom == 0.0:
+            break
+        alpha = rho_new / denom
+        s = r - alpha * v
+        if float(np.linalg.norm(s)) <= target:
+            x += alpha * p
+            it += 1
+            history.append(float(np.linalg.norm(s)))
+            converged = True
+            break
+        t = op(s)
+        tt = float(t @ t)
+        if tt == 0.0:
+            break
+        omega = float(t @ s) / tt
+        x += alpha * p + omega * s
+        r = s - omega * t
+        rho = rho_new
+        it += 1
+        res = float(np.linalg.norm(r))
+        history.append(res)
+        if res <= target:
+            converged = True
+            break
+        if omega == 0.0:
+            break
+    return SolveResult(
+        x=x,
+        converged=converged,
+        iterations=it,
+        residual_norm=history[-1] if history else float(np.linalg.norm(r)),
+        history=history,
+        spmv_count=op.spmv_count - start_count,
+    )

@@ -1,0 +1,109 @@
+"""Linear-operator adapter for the solvers.
+
+A solver only needs ``y = A @ x``; this adapter accepts any of the
+library's matrix carriers and counts invocations (the quantity a user
+multiplies by the modelled SpMV time to budget a solve).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple, Union
+
+import numpy as np
+
+from repro.formats.base import SparseFormat
+
+
+class SpMVOperator:
+    """Wrap a matrix-like object as a counting linear operator.
+
+    Parameters
+    ----------
+    apply_fn:
+        ``x -> A @ x``.
+    shape:
+        ``(nrows, ncols)``.
+    diagonal_fn:
+        Optional callable returning the matrix diagonal (needed by
+        Jacobi); adapters for the library's formats provide it.
+    """
+
+    def __init__(
+        self,
+        apply_fn: Callable[[np.ndarray], np.ndarray],
+        shape: Tuple[int, int],
+        diagonal_fn: Callable[[], np.ndarray] | None = None,
+    ):
+        self._apply = apply_fn
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._diagonal_fn = diagonal_fn
+        #: SpMV invocations so far
+        self.spmv_count = 0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        self.spmv_count += 1
+        return self._apply(x)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Alias of ``__call__`` (counts the invocation)."""
+        return self(x)
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def diagonal(self) -> np.ndarray:
+        """The matrix diagonal (required by Jacobi-type methods)."""
+        if self._diagonal_fn is None:
+            raise ValueError("this operator does not expose a diagonal")
+        return self._diagonal_fn()
+
+    def reset_count(self) -> None:
+        """Zero the SpMV invocation counter."""
+        self.spmv_count = 0
+
+
+def as_operator(a: Union[SparseFormat, "np.ndarray", SpMVOperator, object]) -> SpMVOperator:
+    """Coerce a matrix carrier into an :class:`SpMVOperator`.
+
+    Accepts: an :class:`SpMVOperator` (returned as is), any
+    :class:`~repro.formats.base.SparseFormat` (including
+    :class:`~repro.core.crsd.CRSDMatrix`), a GPU kernel runner
+    (anything with ``.run(x)`` returning an object with ``.y``), or a
+    dense 2-D ndarray.
+    """
+    if isinstance(a, SpMVOperator):
+        return a
+    if isinstance(a, SparseFormat):
+        def diag():
+            coo = a.to_coo()
+            d = np.zeros(min(a.shape), dtype=np.float64)
+            on = coo.rows == coo.cols
+            d[coo.rows[on]] = coo.vals[on]
+            return d
+
+        return SpMVOperator(a.matvec, a.shape, diag)
+    if isinstance(a, np.ndarray) and a.ndim == 2:
+        return SpMVOperator(lambda x: a @ x, a.shape,
+                            lambda: np.diagonal(a).copy())
+    if hasattr(a, "run") and hasattr(a, "nrows"):
+        # a GPU kernel runner: functional result, tracing off for speed
+        matrix = getattr(a, "matrix", None)
+
+        def diag():
+            if matrix is None:
+                raise ValueError("runner exposes no matrix for the diagonal")
+            coo = matrix.to_coo()
+            d = np.zeros(min(a.nrows, a.ncols), dtype=np.float64)
+            on = coo.rows == coo.cols
+            d[coo.rows[on]] = coo.vals[on]
+            return d
+
+        return SpMVOperator(
+            lambda x: a.run(x, trace=False).y, (a.nrows, a.ncols), diag
+        )
+    raise TypeError(f"cannot adapt {type(a).__name__} into an SpMVOperator")

@@ -1,0 +1,84 @@
+"""Preconditioned conjugate gradients.
+
+Jacobi (diagonal) preconditioning — the cheapest preconditioner and
+the one whose apply is itself a pure bandwidth operation, so the whole
+iteration stays SpMV-shaped.  For badly scaled SPD systems it cuts the
+iteration count substantially at the cost of one extra vector pass per
+iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.solvers.krylov import SolveResult
+from repro.solvers.operator import as_operator
+
+
+def pcg(
+    a,
+    b: np.ndarray,
+    preconditioner: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    maxiter: int = 1000,
+) -> SolveResult:
+    """Preconditioned CG.
+
+    ``preconditioner`` applies ``M^{-1}`` (must be SPD); ``None``
+    selects Jacobi from the operator's diagonal.  Reduces to plain CG
+    when ``M = I``.
+    """
+    op = as_operator(a)
+    b = np.asarray(b, dtype=np.float64)
+    if op.nrows != op.ncols:
+        raise ValueError("PCG needs a square system")
+    if b.size != op.nrows:
+        raise ValueError(f"b must have length {op.nrows}")
+    if preconditioner is None:
+        d = op.diagonal()
+        if np.any(d <= 0.0):
+            raise ValueError(
+                "Jacobi preconditioning needs a positive diagonal (SPD)"
+            )
+        dinv = 1.0 / d
+        preconditioner = lambda r: dinv * r  # noqa: E731
+
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+    start_count = op.spmv_count
+    target = tol * max(1.0, float(np.linalg.norm(b)))
+    r = b - op(x)
+    z = preconditioner(r)
+    p = z.copy()
+    rz = float(r @ z)
+    history = []
+    converged = float(np.linalg.norm(r)) <= target
+    it = 0
+    while not converged and it < maxiter:
+        ap = op(p)
+        denom = float(p @ ap)
+        if denom == 0.0:
+            break
+        alpha = rz / denom
+        x += alpha * p
+        r -= alpha * ap
+        it += 1
+        res = float(np.linalg.norm(r))
+        history.append(res)
+        if res <= target:
+            converged = True
+            break
+        z = preconditioner(r)
+        rz_new = float(r @ z)
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+    return SolveResult(
+        x=x,
+        converged=converged,
+        iterations=it,
+        residual_norm=history[-1] if history else float(np.linalg.norm(r)),
+        history=history,
+        spmv_count=op.spmv_count - start_count,
+    )

@@ -1,0 +1,60 @@
+"""Stationary iterations (Jacobi).
+
+Jacobi converges for strictly diagonally dominant systems and is the
+classic demonstration workload for SpMV-per-iteration solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.solvers.krylov import SolveResult
+from repro.solvers.operator import as_operator
+
+
+def jacobi(
+    a,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    maxiter: int = 10_000,
+) -> SolveResult:
+    """Jacobi iteration ``x <- x + D^{-1}(b - A x)``.
+
+    Requires the operator to expose its diagonal (all library formats
+    do) with no zero diagonal entries.
+    """
+    op = as_operator(a)
+    b = np.asarray(b, dtype=np.float64)
+    if op.nrows != op.ncols:
+        raise ValueError("jacobi needs a square system")
+    if b.size != op.nrows:
+        raise ValueError(f"b must have length {op.nrows}")
+    d = op.diagonal()
+    if np.any(d == 0.0):
+        raise ValueError("jacobi requires a nonzero diagonal")
+    dinv = 1.0 / d
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
+    start_count = op.spmv_count
+    target = tol * max(1.0, float(np.linalg.norm(b)))
+    history = []
+    converged = False
+    it = 0
+    for it in range(1, maxiter + 1):
+        r = b - op(x)
+        res = float(np.linalg.norm(r))
+        history.append(res)
+        if res <= target:
+            converged = True
+            break
+        x += dinv * r
+    return SolveResult(
+        x=x,
+        converged=converged,
+        iterations=it,
+        residual_norm=history[-1] if history else float("inf"),
+        history=history,
+        spmv_count=op.spmv_count - start_count,
+    )

@@ -1,0 +1,80 @@
+"""ASCII figure rendering and CSV export."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import (
+    ascii_bar_chart,
+    gflops_chart,
+    read_back_csv,
+    suite_chart,
+    write_csv,
+)
+from repro.bench.runner import BenchRecord, GpuSuiteResult
+
+
+@pytest.fixture(scope="module")
+def result():
+    recs = []
+    for num, name in [(5, "ecology1"), (9, "kim1")]:
+        for fmt, gf in [("dia", 10.0), ("ell", 8.0), ("crsd", 12.0)]:
+            recs.append(
+                BenchRecord(
+                    matrix_number=num, matrix_name=name, fmt=fmt,
+                    precision="double", nnz=1000, gflops=gf,
+                    seconds=2e-6 / gf,
+                )
+            )
+    recs.append(
+        BenchRecord(matrix_number=5, matrix_name="ecology1", fmt="hyb",
+                    precision="double", nnz=1000, gflops=None, seconds=None,
+                    oom=True)
+    )
+    return GpuSuiteResult(records=recs, scale=0.02, precision="double")
+
+
+class TestAsciiChart:
+    def test_bars_scale_to_max(self):
+        chart = ascii_bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_oom_rendered(self):
+        chart = ascii_bar_chart({"a": 1.0, "b": None})
+        assert "(OOM)" in chart
+
+    def test_title(self):
+        assert ascii_bar_chart({"a": 1.0}, title="T").splitlines()[0] == "T"
+
+    def test_empty(self):
+        assert ascii_bar_chart({}, title="T") == "T"
+
+
+class TestSuiteCharts:
+    def test_gflops_chart(self, result):
+        chart = gflops_chart(result, 5, ["dia", "ell", "crsd", "hyb"])
+        assert "ecology1" in chart
+        assert "(OOM)" in chart
+
+    def test_unknown_matrix(self, result):
+        with pytest.raises(KeyError):
+            gflops_chart(result, 99, ["dia"])
+
+    def test_suite_chart_has_all_blocks(self, result):
+        chart = suite_chart(result, ["dia", "ell", "crsd"])
+        assert "ecology1" in chart and "kim1" in chart
+
+
+class TestCsv:
+    def test_write_and_read_back(self, result, tmp_path):
+        p = write_csv(result, tmp_path / "fig.csv",
+                      formats=["dia", "ell", "crsd", "hyb"])
+        back = read_back_csv(p)
+        assert back["kim1"]["crsd"] == pytest.approx(12.0)
+        assert "hyb" not in back["ecology1"]  # OOM -> empty cell
+
+    def test_header(self, result, tmp_path):
+        p = write_csv(result, tmp_path / "fig.csv", formats=["crsd"])
+        header = p.read_text().splitlines()[0]
+        assert header == "number,matrix,precision,crsd"

@@ -1,0 +1,133 @@
+"""Bench harness: records, OOM logic, scaling, reports."""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import (
+    dia_oom_at_full_size,
+    effective_scale,
+    run_cpu_matrix,
+    run_gpu_matrix,
+    scaled_device,
+)
+from repro.bench.report import (
+    gflops_table,
+    render_records,
+    speedup_series,
+    speedup_table,
+    summarize_series,
+)
+from repro.bench.runner import GpuSuiteResult
+from repro.bench import shapes
+from repro.matrices.suite23 import get_spec
+from repro.ocl.device import TESLA_C2050
+
+SCALE = 0.01
+
+
+@pytest.fixture(scope="module")
+def ecology_records():
+    return run_gpu_matrix(get_spec("ecology1"), SCALE, "double")
+
+
+class TestScaling:
+    def test_effective_scale_floor(self):
+        spec = get_spec("nemeth21")  # 9506 rows
+        assert effective_scale(spec, 0.001) == pytest.approx(4000 / 9506)
+        assert effective_scale(spec, 0.9) == 0.9
+
+    def test_spec_floor_wins(self):
+        spec = get_spec("s3dkt3m2")
+        assert effective_scale(spec, 0.001) == pytest.approx(16384 / 90449)
+
+    def test_scaled_device(self):
+        d = scaled_device(0.1)
+        assert d.global_mem_bytes == pytest.approx(0.1 * TESLA_C2050.global_mem_bytes, rel=0.01)
+        assert d.kernel_launch_us == pytest.approx(0.1 * TESLA_C2050.kernel_launch_us)
+        assert d.l2_bytes == pytest.approx(0.1 * TESLA_C2050.l2_bytes, rel=0.01)
+
+
+class TestOOM:
+    def test_af_dia_double_oom(self):
+        assert dia_oom_at_full_size(get_spec("af_1_k101"), "double")
+
+    def test_af_dia_single_fits(self):
+        assert not dia_oom_at_full_size(get_spec("af_1_k101"), "single")
+
+    def test_other_matrices_fit(self):
+        for name in ("s3dkt3m2", "ecology1", "kim2"):
+            assert not dia_oom_at_full_size(get_spec(name), "double")
+
+    def test_oom_record_emitted(self):
+        recs = run_gpu_matrix(get_spec("af_1_k101"), SCALE, "double",
+                              formats=["dia"])
+        assert len(recs) == 1
+        assert recs[0].oom
+        assert recs[0].gflops is None
+
+
+class TestRecords:
+    def test_all_formats_present(self, ecology_records):
+        assert {r.fmt for r in ecology_records} == {"dia", "ell", "csr", "hyb", "crsd"}
+
+    def test_results_verified(self, ecology_records):
+        for r in ecology_records:
+            assert r.max_abs_err < 1e-8
+
+    def test_gflops_positive(self, ecology_records):
+        for r in ecology_records:
+            assert r.gflops > 0
+
+    def test_extras_recorded(self, ecology_records):
+        crsd = next(r for r in ecology_records if r.fmt == "crsd")
+        assert "coalescing" in crsd.extra
+        assert crsd.extra["barriers"] > 0
+
+
+class TestSuiteResult:
+    @pytest.fixture(scope="class")
+    def result(self, ecology_records):
+        return GpuSuiteResult(records=list(ecology_records), scale=SCALE,
+                              precision="double")
+
+    def test_by_matrix(self, result):
+        recs = result.by_matrix(5)
+        assert recs["crsd"].matrix_name == "ecology1"
+
+    def test_best_baseline_excludes_crsd(self, result):
+        best = result.best_baseline(5)
+        assert best.fmt != "crsd"
+
+    def test_gflops_table_renders(self, result):
+        txt = gflops_table(result, ["dia", "ell", "csr", "hyb", "crsd"])
+        assert "ecology1" in txt
+        assert "GFLOPS" in txt
+
+    def test_speedup_table_renders(self, result):
+        txt = speedup_table(result, ["dia", "ell"])
+        assert "CRSD/DIA" in txt
+
+    def test_series_and_summary(self, result):
+        s = speedup_series(result, "csr")
+        assert 5 in s
+        summary = summarize_series(s)
+        assert summary["max"] >= summary["avg"] > 0
+
+    def test_render_records(self, result):
+        assert "ecology1" in render_records(result.records)
+
+    def test_shape_helpers(self, result):
+        val = shapes.crsd_beats(result, 5, "csr", at_least=1.0)
+        assert val > 1.0
+        with pytest.raises(shapes.ShapeViolation):
+            shapes.crsd_beats(result, 5, "csr", at_least=1e9)
+        with pytest.raises(shapes.ShapeViolation):
+            shapes.assert_band(5.0, 0.0, 1.0, "x")
+        shapes.assert_band(0.5, 0.0, 1.0, "x")
+
+
+class TestCpuComparison:
+    def test_ecology(self):
+        c = run_cpu_matrix(get_spec("ecology1"), SCALE, "double")
+        assert c.speedup_vs_csr_1thr > c.speedup_vs_csr_8thr > 1.0
+        assert c.speedup_vs_dia_1thr > 0

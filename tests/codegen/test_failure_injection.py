@@ -1,0 +1,133 @@
+"""Failure injection: corrupted plans/codelets must be *caught*, not
+silently produce wrong numerics.
+
+The code generator is the riskiest component of the design (a wrong
+baked constant silently corrupts results), so the defence layers —
+the structural validator, the index-trace cross-check and the
+functional verification in the bench runner — are themselves tested by
+deliberately sabotaging a plan and asserting each layer trips.
+"""
+
+import dataclasses
+import re
+
+import numpy as np
+import pytest
+
+from repro.codegen.opencl_source import generate_opencl_source
+from repro.codegen.plan import GroupPlan, build_plan
+from repro.codegen.python_codelet import generate_python_kernel
+from repro.codegen.validator import OpenCLSyntaxError, validate_opencl_source
+from repro.core.crsd import CRSDMatrix
+from repro.core.spmv import index_trace
+from tests.conftest import random_diagonal_matrix
+
+
+@pytest.fixture
+def crsd(rng):
+    coo = random_diagonal_matrix(rng, n=128, density=0.9, scatter=2)
+    return CRSDMatrix.from_coo(coo, mrows=16)
+
+
+def corrupt_slab_base(plan, region_idx=0, delta=1):
+    """A plan whose first region points one slot off into the slab."""
+    regions = list(plan.regions)
+    r = regions[region_idx]
+    regions[region_idx] = dataclasses.replace(r, slab_base=r.slab_base + delta)
+    return dataclasses.replace(plan, regions=tuple(regions))
+
+
+def corrupt_colv(plan, region_idx=0):
+    """A plan whose first NAD column value is wrong by one."""
+    regions = list(plan.regions)
+    r = regions[region_idx]
+    groups = list(r.groups)
+    for i, g in enumerate(groups):
+        if g.kind == "NAD":
+            groups[i] = dataclasses.replace(
+                g, colv=tuple(c + 1 for c in g.colv)
+            )
+            break
+    regions[region_idx] = dataclasses.replace(r, groups=tuple(groups))
+    return dataclasses.replace(plan, regions=tuple(regions))
+
+
+class TestFunctionalVerificationCatches:
+    def test_corrupt_slab_base_changes_result(self, crsd, rng):
+        from repro.ocl.executor import Context, launch
+
+        good = generate_python_kernel(build_plan(crsd, use_local_memory=False))
+        bad = generate_python_kernel(
+            corrupt_slab_base(build_plan(crsd, use_local_memory=False))
+        )
+        x = rng.standard_normal(crsd.ncols)
+        ref = crsd.matvec(x)
+
+        def run(kernel):
+            ctx = Context()
+            dv = ctx.alloc(crsd.dia_val)
+            xb = ctx.alloc(x)
+            yb = ctx.alloc_zeros(crsd.nrows)
+            launch(kernel.dia_kernel, kernel.plan.num_groups,
+                   kernel.plan.local_size, (dv, xb, yb), trace=False)
+            return yb.data
+
+        try:
+            y_bad = run(bad)
+        except IndexError:
+            return  # the shifted base walked off the slab — caught
+        assert not np.allclose(y_bad, run(good))
+
+    def test_corrupt_colv_changes_result(self, crsd, rng):
+        from repro.ocl.executor import Context, launch
+
+        good_plan = build_plan(crsd, use_local_memory=False)
+        bad = generate_python_kernel(corrupt_colv(good_plan))
+        good = generate_python_kernel(good_plan)
+        x = rng.standard_normal(crsd.ncols)
+
+        def run(kernel):
+            ctx = Context()
+            dv = ctx.alloc(crsd.dia_val)
+            xb = ctx.alloc(x)
+            yb = ctx.alloc_zeros(crsd.nrows)
+            launch(kernel.dia_kernel, kernel.plan.num_groups,
+                   kernel.plan.local_size, (dv, xb, yb), trace=False)
+            return yb.data
+
+        assert not np.allclose(run(bad), run(good))
+
+
+class TestIndexCrossCheckCatches:
+    def test_corrupt_slab_base_fails_index_check(self, crsd):
+        """The tests/codegen cross-check methodology: baked constants in
+        the C text vs the independent index_trace formulas."""
+        plan = corrupt_slab_base(build_plan(crsd, use_local_memory=False))
+        src = generate_opencl_source(plan)
+        pattern = re.compile(
+            r"crsd_dia_val\[(\d+) \+ seg \* (\d+) \+ (\d+) \+ local_id\]"
+        )
+        region = plan.regions[0]
+        case_src = src.split("case 0:")[1].split("case 1:")[0] \
+            if "case 1:" in src else src.split("case 0:")[1]
+        got = sorted(int(b) + int(d) for b, _, d in pattern.findall(case_src))
+        want = sorted(e["slab_index"] for e in index_trace(crsd, region.gid_base, 0))
+        assert got != want  # the corruption is visible to the checker
+
+
+class TestValidatorCatchesTextCorruption:
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            lambda s: s.replace("{", "", 1),
+            lambda s: s.replace("break;", "break", 1),
+            lambda s: s.replace("= acc;", "= acc", 1),
+            lambda s: s.replace("CLK_LOCAL_MEM_FENCE", "WRONG_FENCE", 1)
+            if "CLK_LOCAL_MEM_FENCE" in s else s.replace("{", "", 1),
+        ],
+    )
+    def test_mutated_source_rejected(self, crsd, mutation):
+        src = generate_opencl_source(build_plan(crsd))
+        validate_opencl_source(src)  # pristine passes
+        with pytest.raises(OpenCLSyntaxError):
+            validate_opencl_source(mutation(src))

@@ -1,0 +1,55 @@
+"""Golden-file stability of the code generator.
+
+The OpenCL C emitted for the paper's Fig. 2 worked example is pinned
+byte-for-byte in ``tests/data/fig2_kernel_golden.cl``.  Any change to
+the generator's output — intended or not — fails this test, forcing a
+reviewed regeneration of the golden file (and of the paper-pinned
+structure tests that guard its semantics).
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.codegen import build_plan, generate_opencl_source
+from repro.codegen.python_codelet import emit_python_source
+from repro.core.crsd import CRSDMatrix
+from repro.formats.coo import COOMatrix
+from tests.conftest import FIG2_ENTRIES, FIG2_SHAPE
+
+GOLDEN = Path(__file__).parent.parent / "data" / "fig2_kernel_golden.cl"
+
+
+def fig2_crsd():
+    """Build the Fig. 2 CRSD matrix (mrows=2)."""
+    rows, cols = zip(*FIG2_ENTRIES)
+    coo = COOMatrix(np.array(rows), np.array(cols),
+                    np.array(list(FIG2_ENTRIES.values())), FIG2_SHAPE)
+    return CRSDMatrix.from_coo(coo, mrows=2, idle_fill_max_rows=1)
+
+
+def test_opencl_source_matches_golden():
+    src = generate_opencl_source(build_plan(fig2_crsd()))
+    assert src == GOLDEN.read_text(), (
+        "generated OpenCL changed; review the diff and regenerate "
+        "tests/data/fig2_kernel_golden.cl if intentional"
+    )
+
+
+def test_generation_is_deterministic():
+    a = generate_opencl_source(build_plan(fig2_crsd()))
+    b = generate_opencl_source(build_plan(fig2_crsd()))
+    assert a == b
+    pa = emit_python_source(build_plan(fig2_crsd()))
+    pb = emit_python_source(build_plan(fig2_crsd()))
+    assert pa == pb
+
+
+def test_golden_contains_the_paper_constants():
+    """Belt and braces: the golden file itself carries the Fig. 4
+    constants, so a silently regenerated golden cannot drift far."""
+    src = GOLDEN.read_text()
+    assert "case 0:" in src and "case 1:" in src
+    assert "row = 2 + seg * 2 + local_id;" in src   # SR=2, mrows=2
+    assert "crsd_dia_val[10 + seg * 6" in src       # slab base 10, NNzRS 6
+    assert "__local double xtile[3];" in src        # AD tile of 3

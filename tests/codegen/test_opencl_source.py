@@ -1,0 +1,92 @@
+"""OpenCL C rendering: structure, baked constants, validation."""
+
+import re
+
+import pytest
+
+from repro.codegen.opencl_source import generate_opencl_source
+from repro.codegen.plan import build_plan
+from repro.codegen.validator import validate_opencl_source
+from repro.core.crsd import CRSDMatrix
+
+
+@pytest.fixture
+def plan(fig2_coo):
+    return build_plan(CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1))
+
+
+class TestStructure:
+    def test_two_kernels(self, plan):
+        src = generate_opencl_source(plan)
+        assert validate_opencl_source(src) == ["crsd_dia_spmv", "crsd_scatter_spmv"]
+
+    def test_switch_over_patterns(self, plan):
+        src = generate_opencl_source(plan)
+        assert "switch (p)" in src
+        assert "case 0:" in src and "case 1:" in src
+        assert src.count("break;") >= 2
+
+    def test_membership_condition(self, plan):
+        src = generate_opencl_source(plan)
+        # sum_{i<p} NRS_i boundaries: 1 then 3
+        assert "if (group_id < 1) p = 0;" in src
+        assert "else if (group_id < 3) p = 1;" in src
+
+    def test_constants_baked(self, plan):
+        src = generate_opencl_source(plan)
+        assert "crsd_dia_val[10 + seg * 6" in src      # region 1 base/NNzRS
+        assert "row = 2 + seg * 2 + local_id;" in src  # SR=2
+        assert "crsd_dia_index" not in src             # nothing read at run time
+
+    def test_local_memory_declared(self, plan):
+        src = generate_opencl_source(plan)
+        assert "__local double xtile[3];" in src
+        assert "barrier(CLK_LOCAL_MEM_FENCE);" in src
+
+    def test_scatter_kernel_unrolled(self, plan):
+        src = generate_opencl_source(plan)
+        # 4 unrolled multiply-adds over the column-major scatter arrays
+        assert len(re.findall(r"acc \+= scatter_val\[\d+ \+ i\]", src)) == 4
+        assert "y[scatter_rowno[i]] = acc;" in src
+
+    def test_store_guarded_by_row_count(self, plan):
+        src = generate_opencl_source(plan)
+        assert "if (row < 6) y[row] = acc;" in src
+
+
+class TestPrecision:
+    def test_double_has_pragma(self, plan):
+        src = generate_opencl_source(plan, "double")
+        assert "cl_khr_fp64" in src
+        assert "__global const double*" in src
+
+    def test_single_uses_float(self, plan):
+        src = generate_opencl_source(plan, "single")
+        assert "__global const float*" in src
+        assert "double" not in src.replace("cl_khr_fp64", "")
+        validate_opencl_source(src)
+
+    def test_unknown_precision(self, plan):
+        with pytest.raises(ValueError):
+            generate_opencl_source(plan, "half")
+
+
+class TestNoLocalMemory:
+    def test_ablation_source(self, fig2_coo):
+        crsd = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        src = generate_opencl_source(build_plan(crsd, use_local_memory=False))
+        assert "__local" not in src
+        assert "barrier(" not in src
+        validate_opencl_source(src)
+
+
+class TestScaleUp:
+    def test_many_regions_validate(self, rng):
+        """A bigger matrix with dozens of regions still emits valid code."""
+        from tests.conftest import random_diagonal_matrix
+
+        coo = random_diagonal_matrix(rng, n=400, density=0.35, scatter=8)
+        crsd = CRSDMatrix.from_coo(coo, mrows=16)
+        src = generate_opencl_source(build_plan(crsd))
+        validate_opencl_source(src)
+        assert src.count("case ") == len(crsd.regions)

@@ -1,0 +1,69 @@
+"""Kernel plan: the baked constants must equal the Table II quantities."""
+
+import pytest
+
+from repro.codegen.plan import build_plan
+from repro.core.crsd import CRSDMatrix
+
+
+@pytest.fixture
+def plan(fig2_coo):
+    return build_plan(CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1))
+
+
+def test_region_count(plan):
+    assert len(plan.regions) == 2
+    assert plan.num_groups == 3
+    assert plan.local_size == 2
+
+
+def test_gid_bases_are_running_nrs_sums(plan):
+    assert plan.regions[0].gid_base == 0
+    assert plan.regions[1].gid_base == 1
+
+
+def test_slab_bases_are_running_slot_sums(plan):
+    assert plan.regions[0].slab_base == 0
+    assert plan.regions[1].slab_base == 10  # 1 segment x 5 diags x 2 rows
+
+
+def test_group_plans_fig2(plan):
+    g = plan.regions[0].groups
+    assert [x.kind for x in g] == ["NAD", "AD", "NAD"]
+    assert g[1].offsets == (2, 3)
+    assert g[1].d_first == 1
+    assert g[2].d_first == 3
+    assert g[1].colv == (2, 3)  # start_row 0 + offsets
+
+    g2 = plan.regions[1].groups
+    assert g2[0].colv == (0, 1)  # start_row 2 + (-2, -1)
+    assert g2[1].colv == (3,)
+
+
+def test_tile_lengths(plan):
+    # AD group of 2 diagonals with mrows=2 -> tile of 3
+    assert plan.regions[0].max_tile_len == 3
+    assert plan.max_tile_len == 3
+
+
+def test_scatter_plan(plan):
+    assert plan.scatter.num_rows == 1
+    assert plan.scatter.width == 4
+
+
+def test_local_memory_toggle(fig2_coo):
+    crsd = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+    plan = build_plan(crsd, use_local_memory=False)
+    assert not plan.use_local_memory
+
+
+def test_nad_only_region_needs_no_tile():
+    import numpy as np
+    from repro.formats.coo import COOMatrix
+
+    n = 8
+    rows = np.concatenate([np.arange(n), np.arange(n - 4)])
+    cols = np.concatenate([np.arange(n), np.arange(n - 4) + 4])
+    coo = COOMatrix(rows, cols, np.ones(rows.size), (n, n))
+    plan = build_plan(CRSDMatrix.from_coo(coo, mrows=4))
+    assert plan.max_tile_len == 0

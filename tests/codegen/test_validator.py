@@ -1,0 +1,70 @@
+"""The structural OpenCL validator must catch generator mistakes."""
+
+import pytest
+
+from repro.codegen.validator import OpenCLSyntaxError, strip_comments, validate_opencl_source
+
+GOOD = """\
+#pragma OPENCL EXTENSION cl_khr_fp64 : enable
+__kernel void k(__global const double* a, __global double* y)
+{
+    int i = get_global_id(0);
+    y[i] = a[i];
+}
+"""
+
+
+def test_good_source_passes():
+    assert validate_opencl_source(GOOD) == ["k"]
+
+
+def test_unbalanced_brace():
+    with pytest.raises(OpenCLSyntaxError, match="unclosed"):
+        validate_opencl_source(GOOD.replace("}\n", "", 1))
+
+
+def test_extra_close_paren():
+    with pytest.raises(OpenCLSyntaxError):
+        validate_opencl_source(GOOD.replace("a[i];", "a[i]);"))
+
+
+def test_missing_kernel():
+    with pytest.raises(OpenCLSyntaxError, match="__kernel"):
+        validate_opencl_source("void f() { }")
+
+
+def test_case_outside_switch():
+    bad = GOOD.replace("y[i] = a[i];", "case 0: y[i] = a[i]; break;")
+    with pytest.raises(OpenCLSyntaxError, match="switch"):
+        validate_opencl_source(bad)
+
+
+def test_case_without_break():
+    bad = GOOD.replace(
+        "y[i] = a[i];",
+        "switch (i) { case 0: y[i] = a[i]; }",
+    )
+    with pytest.raises(OpenCLSyntaxError, match="break"):
+        validate_opencl_source(bad)
+
+
+def test_missing_semicolon():
+    with pytest.raises(OpenCLSyntaxError, match="unterminated"):
+        validate_opencl_source(GOOD.replace("y[i] = a[i];", "y[i] = a[i]"))
+
+
+def test_bad_barrier_fence():
+    bad = GOOD.replace("y[i] = a[i];", "barrier(SOME_FENCE);")
+    with pytest.raises(OpenCLSyntaxError, match="fence"):
+        validate_opencl_source(bad)
+
+
+def test_double_without_pragma():
+    with pytest.raises(OpenCLSyntaxError, match="fp64"):
+        validate_opencl_source(GOOD.replace("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n", ""))
+
+
+def test_comments_stripped():
+    src = "/* hi { */ // {{{\n" + GOOD
+    assert "hi" not in strip_comments(src)
+    validate_opencl_source(src)

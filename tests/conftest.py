@@ -1,0 +1,72 @@
+"""Shared fixtures: reference matrices used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+
+#: the worked example of the paper's Fig. 2 (6 x 9), in our consistent
+#: reading: rows 0-1 carry pattern {(NAD,1),(AD,2),(NAD,2)} (offsets
+#: 0 | 2,3 | 5,7), rows 2-5 carry {(AD,2),(NAD,1)} (offsets -2,-1 | +1),
+#: v43 is a fill zero and v55 is the scatter point.
+FIG2_ENTRIES = {
+    (0, 0): 1.0, (0, 2): 2.0, (0, 3): 3.0, (0, 5): 4.0, (0, 7): 5.0,
+    (1, 1): 6.0, (1, 3): 7.0, (1, 4): 8.0, (1, 6): 9.0, (1, 8): 10.0,
+    (2, 0): 11.0, (2, 1): 12.0, (2, 3): 13.0,
+    (3, 1): 14.0, (3, 2): 15.0, (3, 4): 16.0,
+    (4, 2): 17.0, (4, 5): 18.0,
+    (5, 3): 19.0, (5, 4): 20.0, (5, 5): 21.0, (5, 6): 22.0,
+}
+FIG2_SHAPE = (6, 9)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fig2_coo() -> COOMatrix:
+    rows, cols = zip(*FIG2_ENTRIES)
+    return COOMatrix(
+        np.array(rows), np.array(cols), np.array(list(FIG2_ENTRIES.values())),
+        FIG2_SHAPE,
+    )
+
+
+@pytest.fixture
+def fig2_dense(fig2_coo) -> np.ndarray:
+    return fig2_coo.todense()
+
+
+def random_diagonal_matrix(
+    rng: np.random.Generator,
+    n: int = 64,
+    offsets=(-5, -1, 0, 1, 5),
+    density: float = 0.8,
+    scatter: int = 2,
+) -> COOMatrix:
+    """A random matrix with nonzeros mostly on the given diagonals plus
+    a few isolated scatter entries."""
+    rows_l, cols_l = [], []
+    for off in offsets:
+        lo, hi = max(0, -off), min(n, n - off)
+        r = np.arange(lo, hi)
+        keep = rng.random(r.size) < density
+        rows_l.append(r[keep])
+        cols_l.append(r[keep] + off)
+    for _ in range(scatter):
+        rows_l.append(np.array([rng.integers(0, n)]))
+        cols_l.append(np.array([rng.integers(0, n)]))
+    rows = np.concatenate(rows_l)
+    cols = np.concatenate(cols_l)
+    vals = rng.standard_normal(rows.size)
+    vals[vals == 0] = 1.0
+    return COOMatrix(rows, cols, vals, (n, n))
+
+
+@pytest.fixture
+def diagonal_coo(rng) -> COOMatrix:
+    return random_diagonal_matrix(rng)

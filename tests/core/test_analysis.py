@@ -1,0 +1,135 @@
+"""Structure analysis: sectioning, scatter detection, region formation."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import analyze_structure
+from repro.formats.coo import COOMatrix
+
+
+def diag_matrix(n, entries):
+    rows, cols = zip(*entries)
+    return COOMatrix(np.array(rows), np.array(cols), np.ones(len(entries)), (n, n))
+
+
+class TestScatterDetection:
+    def test_isolated_nonzero_is_scatter(self):
+        # main diagonal occupied at rows 0,1 then an isolated entry at 10
+        m = diag_matrix(12, [(0, 0), (1, 1), (10, 10)])
+        a = analyze_structure(m, mrows=2, idle_fill_max_rows=1)
+        assert a.num_scatter_points == 1
+        assert a.scatter_rows.tolist() == [10]
+
+    def test_pair_is_not_scatter(self):
+        m = diag_matrix(12, [(0, 0), (1, 1), (9, 9), (10, 10)])
+        a = analyze_structure(m, mrows=2, idle_fill_max_rows=1)
+        assert a.num_scatter_points == 0
+
+    def test_detect_scatter_off(self):
+        m = diag_matrix(12, [(0, 0), (1, 1), (10, 10)])
+        a = analyze_structure(m, mrows=2, idle_fill_max_rows=1, detect_scatter=False)
+        assert a.num_scatter_points == 0
+        # the lone entry keeps its diagonal alive in its segment
+        assert a.region_of_row(10) is not None
+
+    def test_fig2_v55_is_the_only_scatter(self, fig2_coo):
+        a = analyze_structure(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        assert a.num_scatter_points == 1
+        assert a.scatter_rows.tolist() == [5]
+        idx = list(zip(fig2_coo.rows.tolist(), fig2_coo.cols.tolist()))
+        assert idx[int(np.flatnonzero(a.scatter_mask)[0])] == (5, 5)
+
+    def test_scatter_entry_per_diagonal_section(self):
+        # two isolated entries on the same diagonal, far apart
+        m = diag_matrix(40, [(0, 0), (1, 1), (20, 20), (35, 35)])
+        a = analyze_structure(m, mrows=2, idle_fill_max_rows=2)
+        assert a.num_scatter_points == 2
+        assert a.scatter_rows.tolist() == [20, 35]
+
+
+class TestIdleSections:
+    def test_short_gap_filled(self):
+        # gap of 1 row (v43-style) stays one section
+        m = diag_matrix(8, [(0, 0), (1, 1), (3, 3), (4, 4)])
+        a = analyze_structure(m, mrows=2, idle_fill_max_rows=1)
+        assert a.idle_broken_gaps == 0
+        assert a.num_sections == 1
+        assert a.presence[0].tolist() == [True, True, True, False]
+
+    def test_long_gap_breaks(self):
+        m = diag_matrix(16, [(0, 0), (1, 1), (10, 10), (11, 11)])
+        a = analyze_structure(m, mrows=2, idle_fill_max_rows=2)
+        assert a.idle_broken_gaps == 1
+        assert a.num_sections == 2
+        # segments 1..4 idle
+        assert a.presence[0].tolist() == [True, False, False, False, False,
+                                          True, False, False]
+
+    def test_threshold_zero_never_fills(self):
+        m = diag_matrix(8, [(0, 0), (2, 2), (4, 4), (6, 6)])
+        a = analyze_structure(m, mrows=8, idle_fill_max_rows=0,
+                              detect_scatter=False)
+        assert a.idle_broken_gaps == 3
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_structure(diag_matrix(4, [(0, 0)]), mrows=2,
+                              idle_fill_max_rows=-1)
+
+    def test_default_threshold_is_mrows(self):
+        # gap of exactly mrows rows is filled by default
+        m = diag_matrix(16, [(0, 0), (5, 5)])
+        a = analyze_structure(m, mrows=4)
+        assert a.idle_broken_gaps == 0
+
+
+class TestRegions:
+    def test_fig2_two_regions(self, fig2_coo):
+        a = analyze_structure(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        assert a.num_regions == 2
+        r1, r2 = a.regions
+        assert str(r1.pattern) == "{(NAD,1),(AD,2),(NAD,2)}"
+        assert (r1.start_row, r1.num_segments) == (0, 1)
+        assert str(r2.pattern) == "{(AD,2),(NAD,1)}"
+        assert (r2.start_row, r2.num_segments) == (2, 2)
+
+    def test_uniform_matrix_single_region(self):
+        n = 32
+        entries = [(i, i) for i in range(n)] + [(i, i + 2) for i in range(n - 2)]
+        a = analyze_structure(diag_matrix(n, entries), mrows=4)
+        assert a.num_regions == 1
+        assert a.regions[0].num_segments == 8
+
+    def test_empty_segments_uncovered(self):
+        # entries only in the last segment
+        m = diag_matrix(16, [(12, 12), (13, 13), (14, 14), (15, 15)])
+        a = analyze_structure(m, mrows=4)
+        assert a.num_regions == 1
+        assert a.regions[0].start_row == 12
+        assert a.region_of_row(0) is None
+
+    def test_empty_matrix(self):
+        a = analyze_structure(COOMatrix.empty((8, 8)), mrows=2)
+        assert a.num_regions == 0
+        assert a.num_scatter_points == 0
+
+    def test_regions_cover_all_non_scatter_entries(self, rng):
+        from tests.conftest import random_diagonal_matrix
+
+        m = random_diagonal_matrix(rng, n=96, density=0.7)
+        a = analyze_structure(m, mrows=8, idle_fill_max_rows=4)
+        offs = m.offsets_of_entries()
+        for i in range(m.nnz):
+            if a.scatter_mask[i]:
+                continue
+            region = a.region_of_row(int(m.rows[i]))
+            assert region is not None, f"entry {i} in no region"
+            assert int(offs[i]) in region.pattern.offsets
+
+    def test_scatter_entries_have_scatter_rows(self, rng):
+        from tests.conftest import random_diagonal_matrix
+
+        m = random_diagonal_matrix(rng, n=96, density=0.5, scatter=5)
+        a = analyze_structure(m, mrows=8)
+        rows_with_scatter = set(m.rows[a.scatter_mask].tolist())
+        assert rows_with_scatter == set(a.scatter_rows.tolist())

@@ -1,0 +1,99 @@
+"""CRSD parameter autotuning."""
+
+import numpy as np
+import pytest
+
+from repro.core.autotune import TuneResult, tune
+from repro.core.crsd import CRSDMatrix
+from repro.formats.coo import COOMatrix
+from tests.conftest import random_diagonal_matrix
+
+
+@pytest.fixture(scope="module")
+def coo():
+    rng = np.random.default_rng(3)
+    return random_diagonal_matrix(rng, n=600, offsets=(-2, -1, 0, 1, 2, 40),
+                                  density=0.9, scatter=4)
+
+
+class TestTune:
+    def test_returns_best_of_candidates(self, coo):
+        res = tune(coo, mrows_grid=(32, 64), threshold_grid=(0, None),
+                   try_local_memory=(True, False))
+        assert isinstance(res, TuneResult)
+        assert len(res.candidates) == 8
+        assert res.best.seconds == min(c.seconds for c in res.candidates)
+
+    def test_build_applies_best(self, coo):
+        res = tune(coo, mrows_grid=(32, 64), threshold_grid=(None,),
+                   try_local_memory=(True,))
+        m = res.build(coo)
+        assert isinstance(m, CRSDMatrix)
+        assert m.mrows == res.best.mrows
+        x = np.random.default_rng(0).standard_normal(coo.ncols)
+        assert np.allclose(m.matvec(x), coo.matvec(x))
+
+    def test_fast_mode_uses_analytic_model(self, coo):
+        res = tune(coo, mrows_grid=(32, 64, 128), threshold_grid=(None,),
+                   fast=True)
+        # fast mode has no local-memory dimension
+        assert len(res.candidates) == 3
+        assert res.best.seconds > 0
+
+    def test_oversized_mrows_skipped(self):
+        rng = np.random.default_rng(0)
+        small = random_diagonal_matrix(rng, n=40)
+        res = tune(small, mrows_grid=(16, 4096), threshold_grid=(None,),
+                   try_local_memory=(True,))
+        assert all(c.mrows == 16 for c in res.candidates)
+
+    def test_all_infeasible_raises(self):
+        rng = np.random.default_rng(0)
+        small = random_diagonal_matrix(rng, n=4)
+        with pytest.raises(ValueError):
+            tune(small, mrows_grid=(4096,), threshold_grid=(None,))
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            tune(COOMatrix.empty((8, 8)))
+
+    def test_params_roundtrip(self, coo):
+        res = tune(coo, mrows_grid=(64,), threshold_grid=(32,),
+                   try_local_memory=(True,))
+        p = res.params
+        assert p.mrows == 64
+        assert p.idle_fill_max_rows == 32
+
+
+class TestTuningIsMeaningful:
+    def test_threshold_affects_fill(self):
+        # a broken far diagonal: filling its long idle gaps is expensive
+        from repro.matrices.generators import multi_diagonal
+
+        rng = np.random.default_rng(1)
+        broken = multi_diagonal(
+            1200, [(0, 1.0, 1), (-1, 1.0, 1), (200, 0.25, 3)], rng
+        )
+        res = tune(broken, mrows_grid=(64,), threshold_grid=(0, 10**9),
+                   try_local_memory=(True,))
+        fills = {c.idle_fill_max_rows: c.fill_zeros for c in res.candidates}
+        assert fills[10**9] > fills[0]
+
+    def test_deterministic(self, coo):
+        a = tune(coo, mrows_grid=(32, 64), threshold_grid=(None,),
+                 try_local_memory=(True,), seed=1)
+        b = tune(coo, mrows_grid=(32, 64), threshold_grid=(None,),
+                 try_local_memory=(True,), seed=1)
+        assert a.best == b.best
+
+    def test_fast_heuristic_staging_tracks_ad_width(self):
+        rng = np.random.default_rng(0)
+        wide = random_diagonal_matrix(rng, n=400,
+                                      offsets=tuple(range(-5, 6)),
+                                      density=1.0, scatter=0)
+        narrow = random_diagonal_matrix(rng, n=400, offsets=(-7, 0, 7),
+                                        density=1.0, scatter=0)
+        r_wide = tune(wide, mrows_grid=(64,), threshold_grid=(None,), fast=True)
+        r_narrow = tune(narrow, mrows_grid=(64,), threshold_grid=(None,), fast=True)
+        assert r_wide.best.use_local_memory
+        assert not r_narrow.best.use_local_memory

@@ -1,0 +1,91 @@
+"""AD/NAD grouping (Section II-B)."""
+
+import pytest
+
+from repro.core.grouping import Group, GroupKind, flatten_groups, group_offsets
+
+
+def sig(groups):
+    return [(g.kind.value, g.ndiags) for g in groups]
+
+
+class TestPaperExamples:
+    def test_fig2_first_pattern(self):
+        """Offsets {0,2,3,5,7} -> {(NAD,1),(AD,2),(NAD,2)}."""
+        groups = group_offsets([0, 2, 3, 5, 7])
+        assert sig(groups) == [("NAD", 1), ("AD", 2), ("NAD", 2)]
+        assert groups[1].offsets == (2, 3)
+        assert groups[2].offsets == (5, 7)
+
+    def test_fig2_second_pattern(self):
+        """Offsets {-2,-1,1} -> {(AD,2),(NAD,1)}."""
+        groups = group_offsets([-2, -1, 1])
+        assert sig(groups) == [("AD", 2), ("NAD", 1)]
+
+
+class TestGrouping:
+    def test_empty(self):
+        assert group_offsets([]) == []
+
+    def test_single_offset_is_nad(self):
+        assert sig(group_offsets([4])) == [("NAD", 1)]
+
+    def test_all_adjacent_one_ad(self):
+        groups = group_offsets([-1, 0, 1, 2])
+        assert sig(groups) == [("AD", 4)]
+
+    def test_all_isolated_one_nad(self):
+        assert sig(group_offsets([-10, 0, 10])) == [("NAD", 3)]
+
+    def test_ad_breaks_nad_pieces(self):
+        # {-5, -3 | -1,0 | 2, 4} -> NAD(2), AD(2), NAD(2)
+        groups = group_offsets([-5, -3, -1, 0, 2, 4])
+        assert sig(groups) == [("NAD", 2), ("AD", 2), ("NAD", 2)]
+
+    def test_two_ad_runs(self):
+        groups = group_offsets([0, 1, 5, 6, 7])
+        assert sig(groups) == [("AD", 2), ("AD", 3)]
+
+    def test_leading_and_trailing_nad(self):
+        groups = group_offsets([-9, -1, 0, 9])
+        assert sig(groups) == [("NAD", 1), ("AD", 2), ("NAD", 1)]
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            group_offsets([3, 1])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            group_offsets([1, 1])
+
+    def test_flatten_preserves_order(self):
+        groups = group_offsets([-5, -3, -1, 0, 2, 4])
+        assert flatten_groups(groups) == [-5, -3, -1, 0, 2, 4]
+
+    def test_every_offset_in_exactly_one_group(self):
+        offs = [-7, -6, -4, -1, 0, 1, 3, 8, 9]
+        groups = group_offsets(offs)
+        assert sorted(flatten_groups(groups)) == offs
+
+
+class TestGroupValidation:
+    def test_ad_needs_two(self):
+        with pytest.raises(ValueError):
+            Group(GroupKind.AD, (3,))
+
+    def test_ad_must_be_consecutive(self):
+        with pytest.raises(ValueError):
+            Group(GroupKind.AD, (1, 3))
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            Group(GroupKind.NAD, ())
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(ValueError):
+            Group(GroupKind.NAD, (3, 1))
+
+    def test_signature_and_str(self):
+        g = Group(GroupKind.AD, (2, 3))
+        assert g.signature == ("AD", 2)
+        assert str(g) == "(AD,2)"

@@ -1,0 +1,112 @@
+"""Diagonal patterns and pattern regions."""
+
+import pytest
+
+from repro.core.pattern import (
+    DiagonalPattern,
+    PatternRegion,
+    distinct_patterns,
+    matrix_signature,
+)
+
+
+@pytest.fixture
+def p1():
+    return DiagonalPattern.from_offsets([0, 2, 3, 5, 7])
+
+
+@pytest.fixture
+def p2():
+    return DiagonalPattern.from_offsets([-2, -1, 1])
+
+
+class TestPattern:
+    def test_signature(self, p1):
+        assert p1.signature == (("NAD", 1), ("AD", 2), ("NAD", 2))
+
+    def test_str_is_paper_notation(self, p1, p2):
+        assert str(p1) == "{(NAD,1),(AD,2),(NAD,2)}"
+        assert str(p2) == "{(AD,2),(NAD,1)}"
+
+    def test_offsets_in_storage_order(self, p1):
+        assert p1.offsets == (0, 2, 3, 5, 7)
+
+    def test_ndiags(self, p1, p2):
+        assert p1.ndiags == 5
+        assert p2.ndiags == 3
+
+    def test_n_adjacent(self, p1, p2):
+        assert p1.n_adjacent_diags == 2
+        assert p2.n_adjacent_diags == 2
+
+    def test_max_ad_width(self, p1):
+        assert p1.max_ad_width == 2
+        assert DiagonalPattern.from_offsets([1, 5, 9]).max_ad_width == 0
+        assert DiagonalPattern.from_offsets([0, 1, 2, 3]).max_ad_width == 4
+
+    def test_hashable_and_equal(self, p1):
+        same = DiagonalPattern.from_offsets([0, 2, 3, 5, 7])
+        assert p1 == same
+        assert hash(p1) == hash(same)
+
+
+class TestRegion:
+    def make(self, start=2, nrs=2, mrows=2, ncols=9, offsets=(-2, -1, 1)):
+        return PatternRegion(
+            pattern=DiagonalPattern.from_offsets(list(offsets)),
+            start_row=start, num_segments=nrs, mrows=mrows, ncols=ncols,
+        )
+
+    def test_table2_quantities(self):
+        r = self.make()
+        assert r.nrs == 2
+        assert r.ndiags == 3
+        assert r.nnz_per_segment == 6  # NDias x mrows
+        assert r.stored_slots == 12
+
+    def test_colv_is_start_row_plus_offset(self):
+        r = self.make()
+        assert r.colv == (0, 1, 3)
+
+    def test_colv_can_go_negative(self):
+        r = self.make(start=0)
+        assert r.colv == (-2, -1, 1)
+
+    def test_row_membership(self):
+        r = self.make()
+        assert r.contains_row(2) and r.contains_row(5)
+        assert not r.contains_row(1) and not r.contains_row(6)
+        assert r.segment_of_row(4) == 1
+        with pytest.raises(ValueError):
+            r.segment_of_row(0)
+
+    def test_start_row_must_align_to_mrows(self):
+        with pytest.raises(ValueError):
+            self.make(start=3)
+
+    def test_positive_segments_required(self):
+        with pytest.raises(ValueError):
+            self.make(nrs=0)
+
+    def test_end_row(self):
+        assert self.make().end_row == 6
+
+
+class TestHelpers:
+    def test_matrix_signature(self, p1, p2):
+        r1 = PatternRegion(p1, 0, 1, 2, 9)
+        r2 = PatternRegion(p2, 2, 2, 2, 9)
+        assert (
+            matrix_signature([r1, r2])
+            == "{{(NAD,1),(AD,2),(NAD,2)}, {(AD,2),(NAD,1)}}"
+        )
+
+    def test_distinct_patterns_dedups_by_offsets(self, p2):
+        a = PatternRegion(p2, 0, 1, 2, 9)
+        b = PatternRegion(p2, 4, 1, 2, 9)
+        assert len(distinct_patterns([a, b])) == 1
+
+    def test_distinct_patterns_same_signature_different_offsets(self):
+        a = PatternRegion(DiagonalPattern.from_offsets([0]), 0, 1, 2, 9)
+        b = PatternRegion(DiagonalPattern.from_offsets([3]), 2, 1, 2, 9)
+        assert len(distinct_patterns([a, b])) == 2

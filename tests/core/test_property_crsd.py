@@ -1,0 +1,117 @@
+"""Property-based tests of the CRSD pipeline (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import analyze_structure
+from repro.core.crsd import CRSDMatrix
+from repro.core.grouping import GroupKind, flatten_groups, group_offsets
+from repro.formats.coo import COOMatrix
+
+
+@st.composite
+def diagonal_coo(draw):
+    """Random diagonal-ish matrices: a few diagonals with random
+    occupancy plus scatter entries."""
+    n = draw(st.integers(6, 60))
+    noffs = draw(st.integers(1, 6))
+    offsets = draw(
+        st.lists(st.integers(-(n - 1), n - 1), min_size=noffs, max_size=noffs,
+                 unique=True)
+    )
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    rows_l, cols_l = [], []
+    for off in offsets:
+        lo, hi = max(0, -off), min(n, n - off)
+        if hi <= lo:
+            continue
+        r = np.arange(lo, hi)
+        keep = rng.random(r.size) < draw(st.floats(0.1, 1.0))
+        rows_l.append(r[keep])
+        cols_l.append(r[keep] + off)
+    n_scatter = draw(st.integers(0, 4))
+    if n_scatter:
+        rows_l.append(rng.integers(0, n, n_scatter))
+        cols_l.append(rng.integers(0, n, n_scatter))
+    rows = np.concatenate(rows_l) if rows_l else np.empty(0, dtype=int)
+    cols = np.concatenate(cols_l) if cols_l else np.empty(0, dtype=int)
+    vals = rng.standard_normal(rows.size)
+    vals[vals == 0] = 1.0
+    return COOMatrix(rows, cols, vals, (n, n))
+
+
+@settings(max_examples=80, deadline=None)
+@given(coo=diagonal_coo(), mrows=st.integers(1, 16),
+       thr=st.integers(0, 20))
+def test_crsd_matvec_equals_dense(coo, mrows, thr):
+    """The fundamental invariant: any build parameters give A @ x."""
+    m = CRSDMatrix.from_coo(coo, mrows=mrows, idle_fill_max_rows=thr)
+    x = np.linspace(-1, 1, coo.ncols)
+    assert np.allclose(m.matvec(x), coo.todense() @ x, atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo=diagonal_coo(), mrows=st.integers(1, 16))
+def test_crsd_roundtrip(coo, mrows):
+    m = CRSDMatrix.from_coo(coo, mrows=mrows)
+    assert m.to_coo().equals(coo)
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo=diagonal_coo(), mrows=st.integers(1, 16),
+       detect=st.booleans())
+def test_analysis_covers_every_entry(coo, mrows, detect):
+    """Every non-scatter entry lies on an active diagonal of its
+    region; every scatter entry's row is a scatter row."""
+    a = analyze_structure(coo, mrows=mrows, detect_scatter=detect)
+    offs = coo.offsets_of_entries()
+    scatter_rows = set(a.scatter_rows.tolist())
+    for i in range(coo.nnz):
+        row = int(coo.rows[i])
+        if a.scatter_mask[i]:
+            assert row in scatter_rows
+        else:
+            region = a.region_of_row(row)
+            assert region is not None
+            assert int(offs[i]) in region.pattern.offsets
+
+
+@settings(max_examples=60, deadline=None)
+@given(coo=diagonal_coo(), mrows=st.integers(1, 16))
+def test_regions_disjoint_and_ordered(coo, mrows):
+    a = analyze_structure(coo, mrows=mrows)
+    prev_end = 0
+    for r in a.regions:
+        assert r.start_row >= prev_end
+        prev_end = r.end_row
+
+
+@settings(max_examples=100, deadline=None)
+@given(offsets=st.lists(st.integers(-100, 100), min_size=1, max_size=30,
+                        unique=True))
+def test_grouping_partitions_offsets(offsets):
+    """Grouping is a partition: nothing lost, nothing duplicated, AD
+    groups consecutive, NAD members non-adjacent to their neighbours
+    within the group."""
+    offsets = sorted(offsets)
+    groups = group_offsets(offsets)
+    assert flatten_groups(groups) == offsets
+    for g in groups:
+        if g.kind is GroupKind.AD:
+            assert all(b - a == 1 for a, b in zip(g.offsets, g.offsets[1:]))
+        else:
+            assert all(b - a > 1 for a, b in zip(g.offsets, g.offsets[1:]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(offsets=st.lists(st.integers(-100, 100), min_size=1, max_size=30,
+                        unique=True))
+def test_grouping_maximal_ad_runs(offsets):
+    """No two neighbouring NAD members anywhere are adjacent offsets
+    (otherwise they would have formed an AD group)."""
+    offsets = sorted(offsets)
+    groups = group_offsets(offsets)
+    nad_set = {o for g in groups if g.kind is GroupKind.NAD for o in g.offsets}
+    for o in nad_set:
+        assert o + 1 not in nad_set, f"adjacent offsets {o},{o + 1} both NAD"

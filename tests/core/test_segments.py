@@ -1,0 +1,55 @@
+"""Row-segment grid."""
+
+import numpy as np
+import pytest
+
+from repro.core.segments import SegmentGrid
+
+
+class TestGrid:
+    def test_exact_division(self):
+        g = SegmentGrid(nrows=8, mrows=2)
+        assert g.num_segments == 4
+        assert g.padded_rows == 8
+        assert g.tail_padding == 0
+
+    def test_partial_last_segment(self):
+        g = SegmentGrid(nrows=10, mrows=4)
+        assert g.num_segments == 3
+        assert g.padded_rows == 12
+        assert g.tail_padding == 2
+        assert g.segment_length(2) == 2
+
+    def test_segment_of_vectorised(self):
+        g = SegmentGrid(10, 4)
+        assert g.segment_of(np.array([0, 3, 4, 9])).tolist() == [0, 0, 1, 2]
+
+    def test_rows_of(self):
+        g = SegmentGrid(10, 4)
+        assert g.rows_of(1).tolist() == [4, 5, 6, 7]
+        assert g.rows_of(2).tolist() == [8, 9]
+
+    def test_start_row(self):
+        assert SegmentGrid(10, 4).start_row(2) == 8
+
+    def test_bounds_checked(self):
+        g = SegmentGrid(10, 4)
+        with pytest.raises(IndexError):
+            g.rows_of(3)
+        with pytest.raises(IndexError):
+            g.start_row(-1)
+
+    def test_single_segment(self):
+        g = SegmentGrid(3, 64)
+        assert g.num_segments == 1
+        assert g.segment_length(0) == 3
+
+    @pytest.mark.parametrize("nrows,mrows", [(0, 2), (4, 0), (-1, 2), (4, -2)])
+    def test_invalid_params(self, nrows, mrows):
+        with pytest.raises(ValueError):
+            SegmentGrid(nrows, mrows)
+
+    def test_wavefront_alignment(self):
+        assert SegmentGrid(100, 64).is_wavefront_aligned(32)
+        assert not SegmentGrid(100, 48).is_wavefront_aligned(32)
+        assert not SegmentGrid(100, 64).is_wavefront_aligned(0)

@@ -1,0 +1,80 @@
+"""CRSD save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.crsd import CRSDMatrix
+from repro.core.serialize import load_crsd, save_crsd
+from tests.conftest import random_diagonal_matrix
+
+
+@pytest.fixture
+def crsd(fig2_coo):
+    return CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+
+
+def test_roundtrip_preserves_matrix(crsd, tmp_path, fig2_coo):
+    p = tmp_path / "m.npz"
+    save_crsd(crsd, p)
+    back = load_crsd(p)
+    assert back.shape == crsd.shape
+    assert back.nnz == crsd.nnz
+    assert back.to_coo().equals(fig2_coo)
+
+
+def test_roundtrip_preserves_structure(crsd, tmp_path):
+    p = tmp_path / "m.npz"
+    save_crsd(crsd, p)
+    back = load_crsd(p)
+    assert back.matrix_signature == crsd.matrix_signature
+    assert back.crsd_dia_index().tolist() == crsd.crsd_dia_index().tolist()
+    assert np.array_equal(back.dia_val, crsd.dia_val)
+    assert back.params == crsd.params
+
+
+def test_loaded_matrix_generates_identical_kernel(crsd, tmp_path):
+    from repro.codegen import build_plan, generate_opencl_source
+
+    p = tmp_path / "m.npz"
+    save_crsd(crsd, p)
+    back = load_crsd(p)
+    assert generate_opencl_source(build_plan(back)) == generate_opencl_source(
+        build_plan(crsd)
+    )
+
+
+def test_loaded_matrix_runs_on_device(crsd, tmp_path, rng):
+    from repro.gpu_kernels import CrsdSpMV
+
+    p = tmp_path / "m.npz"
+    save_crsd(crsd, p)
+    back = load_crsd(p)
+    x = rng.standard_normal(9)
+    assert np.allclose(CrsdSpMV(back).run(x).y, crsd.matvec(x))
+
+
+def test_random_matrix_roundtrip(tmp_path):
+    rng = np.random.default_rng(5)
+    coo = random_diagonal_matrix(rng, n=300, density=0.6, scatter=5)
+    m = CRSDMatrix.from_coo(coo, mrows=32)
+    p = tmp_path / "r.npz"
+    save_crsd(m, p)
+    assert load_crsd(p).to_coo().equals(coo)
+
+
+def test_rejects_foreign_npz(tmp_path):
+    p = tmp_path / "x.npz"
+    np.savez(p, a=np.arange(3))
+    with pytest.raises(ValueError, match="not a repro CRSD file"):
+        load_crsd(p)
+
+
+def test_rejects_wrong_version(crsd, tmp_path, monkeypatch):
+    import repro.core.serialize as ser
+
+    p = tmp_path / "m.npz"
+    monkeypatch.setattr(ser, "VERSION", 999)
+    save_crsd(crsd, p)
+    monkeypatch.setattr(ser, "VERSION", 1)
+    with pytest.raises(ValueError, match="version"):
+        load_crsd(p)

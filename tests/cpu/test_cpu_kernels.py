@@ -1,0 +1,159 @@
+"""CPU baselines: correctness, byte accounting, machine model."""
+
+import numpy as np
+import pytest
+
+from repro.core.crsd import CRSDMatrix
+from repro.cpu.kernels import CpuCrsdSpMV, CpuCsrSpMV, CpuDiaSpMV
+from repro.cpu.machine import XEON_X5550_2S, CPUSpec
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from tests.conftest import random_diagonal_matrix
+
+
+class TestMachine:
+    def test_bandwidth_monotone_in_threads(self):
+        bws = [XEON_X5550_2S.bandwidth_gbs(t) for t in range(1, 9)]
+        assert all(b2 >= b1 for b1, b2 in zip(bws, bws[1:]))
+
+    def test_bandwidth_saturates(self):
+        assert XEON_X5550_2S.bandwidth_gbs(8) == XEON_X5550_2S.bandwidth_gbs(16)
+
+    def test_single_thread_below_socket_ceiling(self):
+        assert XEON_X5550_2S.bandwidth_gbs(1) < XEON_X5550_2S.bandwidth_gbs(8)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            XEON_X5550_2S.bandwidth_gbs(0)
+
+    def test_peak_gflops_precision(self):
+        assert XEON_X5550_2S.peak_gflops("single", 8) == pytest.approx(
+            2 * XEON_X5550_2S.peak_gflops("double", 8)
+        )
+
+    def test_total_cores(self):
+        assert XEON_X5550_2S.total_cores == 8
+
+
+class TestCsr:
+    def test_matches_dense(self, rng):
+        coo = random_diagonal_matrix(rng, n=100)
+        csr = CSRMatrix.from_coo(coo)
+        x = rng.standard_normal(100)
+        assert np.allclose(CpuCsrSpMV(csr).run(x).y, coo.todense() @ x)
+
+    def test_more_threads_faster(self, rng):
+        coo = random_diagonal_matrix(rng, n=200)
+        csr = CSRMatrix.from_coo(coo)
+        x = rng.standard_normal(200)
+        t1 = CpuCsrSpMV(csr, threads=1).run(x).seconds
+        t8 = CpuCsrSpMV(csr, threads=8).run(x).seconds
+        assert t8 < t1
+
+    def test_single_precision_fewer_bytes(self, rng):
+        coo = random_diagonal_matrix(rng, n=200)
+        csr = CSRMatrix.from_coo(coo)
+        d = CpuCsrSpMV(csr, precision="double").bytes_per_spmv()
+        s = CpuCsrSpMV(csr, precision="single").bytes_per_spmv()
+        assert s < d
+
+    def test_invalid_threads(self, rng):
+        csr = CSRMatrix.from_coo(random_diagonal_matrix(rng, n=10))
+        with pytest.raises(ValueError):
+            CpuCsrSpMV(csr, threads=0)
+
+
+class TestDia:
+    def test_matches_dense(self, rng):
+        coo = random_diagonal_matrix(rng, n=100)
+        x = rng.standard_normal(100)
+        res = CpuDiaSpMV(DIAMatrix.from_coo(coo)).run(x)
+        assert np.allclose(res.y, coo.todense() @ x)
+
+    def test_serial_only(self, rng):
+        dia = DIAMatrix.from_coo(random_diagonal_matrix(rng, n=20))
+        with pytest.raises(ValueError):
+            CpuDiaSpMV(dia, threads=8)
+
+    def test_fill_costs_time(self, rng):
+        """An isolated far entry adds a whole diagonal of streamed fill."""
+        base = random_diagonal_matrix(rng, n=4000, offsets=(-1, 0, 1),
+                                      density=1.0, scatter=0)
+        import numpy as np
+        from repro.formats.coo import COOMatrix
+
+        spiked = COOMatrix(
+            np.concatenate([base.rows, [2000]]),
+            np.concatenate([base.cols, [100]]),
+            np.concatenate([base.vals, [1.0]]),
+            base.shape,
+        )
+        x = rng.standard_normal(4000)
+        t0 = CpuDiaSpMV(DIAMatrix.from_coo(base)).run(x).seconds
+        t1 = CpuDiaSpMV(DIAMatrix.from_coo(spiked)).run(x).seconds
+        # 4 diagonals streamed instead of 3 -> at least ~15% slower
+        assert t1 > t0 * 1.15
+
+
+class TestCrsdCpu:
+    def test_matches_dense(self, rng):
+        coo = random_diagonal_matrix(rng, n=100, scatter=3)
+        crsd = CRSDMatrix.from_coo(coo, mrows=8)
+        x = rng.standard_normal(100)
+        assert np.allclose(CpuCrsdSpMV(crsd).run(x).y, coo.todense() @ x)
+
+    def test_beats_dia_on_broken_diagonals(self, rng):
+        """The Fig. 11 story: CRSD's compact slab vs DIA's full fill."""
+        coo = random_diagonal_matrix(rng, n=4000,
+                                     offsets=(-900, -1, 0, 1, 900),
+                                     density=0.2, scatter=2)
+        x = rng.standard_normal(4000)
+        t_dia = CpuDiaSpMV(DIAMatrix.from_coo(coo)).run(x).seconds
+        t_crsd = CpuCrsdSpMV(CRSDMatrix.from_coo(coo, mrows=64)).run(x).seconds
+        assert t_crsd < t_dia
+
+
+class TestDcsrCpu:
+    def test_matches_dense(self, rng):
+        from repro.cpu.kernels import CpuDcsrSpMV
+        from repro.formats.dcsr import DeltaCSRMatrix
+
+        coo = random_diagonal_matrix(rng, n=300)
+        d = DeltaCSRMatrix.from_coo(coo)
+        x = rng.standard_normal(300)
+        assert np.allclose(CpuDcsrSpMV(d).run(x).y, coo.todense() @ x)
+
+    def test_compression_is_a_speedup(self, rng):
+        """The DCSR thesis: fewer index bytes -> less time, same math."""
+        from repro.cpu.kernels import CpuCsrSpMV, CpuDcsrSpMV
+        from repro.formats.dcsr import DeltaCSRMatrix
+
+        coo = random_diagonal_matrix(rng, n=3000, offsets=(-2, -1, 0, 1, 2),
+                                     density=1.0, scatter=0)
+        x = rng.standard_normal(3000)
+        t_csr = CpuCsrSpMV(CSRMatrix.from_coo(coo)).run(x).seconds
+        t_dcsr = CpuDcsrSpMV(DeltaCSRMatrix.from_coo(coo)).run(x).seconds
+        assert t_dcsr < t_csr
+
+    def test_value_table_compounds(self, rng):
+        from repro.cpu.kernels import CpuDcsrSpMV
+        from repro.formats.coo import COOMatrix
+        from repro.formats.dcsr import DeltaCSRMatrix
+
+        base = random_diagonal_matrix(rng, n=3000, offsets=(-1, 0, 1),
+                                      density=1.0, scatter=0)
+        vals = np.where(base.offsets_of_entries() == 0, 4.0, -1.0)
+        coo = COOMatrix(base.rows, base.cols, vals, base.shape)
+        x = rng.standard_normal(3000)
+        plain = CpuDcsrSpMV(DeltaCSRMatrix.from_coo(coo)).run(x)
+        vi = CpuDcsrSpMV(
+            DeltaCSRMatrix.from_coo(coo, compress_values=True)
+        ).run(x)
+        assert np.allclose(vi.y, plain.y)
+        assert vi.seconds < plain.seconds
+
+    def test_type_checked(self, rng):
+        from repro.cpu.kernels import CpuDcsrSpMV
+
+        with pytest.raises(TypeError):
+            CpuDcsrSpMV(CSRMatrix.from_coo(random_diagonal_matrix(rng, n=10)))

@@ -1,0 +1,103 @@
+// Auto-generated CRSD SpMV kernel.
+// Storage: Compressed Row Segment with Diagonal-pattern (Sun et al., ICPP 2011).
+// One work-group processes one row segment of 2 rows; the switch
+// below selects the work-group's diagonal pattern, so all work-items of
+// a group take the same execution path (no thread divergence).
+#pragma OPENCL EXTENSION cl_khr_fp64 : enable
+
+__kernel void crsd_dia_spmv(__global const double* restrict crsd_dia_val,
+                            __global const double* restrict x,
+                            __global double* restrict y)
+{
+    const int group_id = get_group_id(0);
+    const int local_id = get_local_id(0);
+    __local double xtile[3];
+    double acc = (double)0;
+    int row;
+    int p;
+    if (group_id < 1) p = 0;
+    else if (group_id < 3) p = 1;
+    else p = 1;
+    switch (p) {
+    case 0: { // pattern {(NAD,1),(AD,2),(NAD,2)}, SR=0, NRS=1
+        const int seg = group_id - 0;
+        // NAD group, offsets [0]
+        {
+            const int xi = 0 + seg * 2 + local_id;
+            const double xv = (xi >= 0 && xi < 9) ? x[xi] : (double)0;
+            acc += crsd_dia_val[0 + seg * 10 + 0 + local_id] * xv;
+        }
+        // AD group, offsets [2, 3]: stage the
+        // shared x window into local memory (Fig. 5)
+        {
+            const int tbase = 2 + seg * 2;
+            int xi = tbase + local_id;
+            xtile[local_id] = (xi >= 0 && xi < 9) ? x[xi] : (double)0;
+            if (local_id < 1) {
+                xi = tbase + 2 + local_id;
+                xtile[2 + local_id] = (xi >= 0 && xi < 9) ? x[xi] : (double)0;
+            }
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+        acc += crsd_dia_val[0 + seg * 10 + 2 + local_id] * xtile[local_id + 0];
+        acc += crsd_dia_val[0 + seg * 10 + 4 + local_id] * xtile[local_id + 1];
+        // NAD group, offsets [5, 7]
+        {
+            const int xi = 5 + seg * 2 + local_id;
+            const double xv = (xi >= 0 && xi < 9) ? x[xi] : (double)0;
+            acc += crsd_dia_val[0 + seg * 10 + 6 + local_id] * xv;
+        }
+        {
+            const int xi = 7 + seg * 2 + local_id;
+            const double xv = (xi >= 0 && xi < 9) ? x[xi] : (double)0;
+            acc += crsd_dia_val[0 + seg * 10 + 8 + local_id] * xv;
+        }
+        row = 0 + seg * 2 + local_id;
+        if (row < 6) y[row] = acc;
+        break; }
+    case 1: { // pattern {(AD,2),(NAD,1)}, SR=2, NRS=2
+        const int seg = group_id - 1;
+        // AD group, offsets [-2, -1]: stage the
+        // shared x window into local memory (Fig. 5)
+        {
+            const int tbase = 0 + seg * 2;
+            int xi = tbase + local_id;
+            xtile[local_id] = (xi >= 0 && xi < 9) ? x[xi] : (double)0;
+            if (local_id < 1) {
+                xi = tbase + 2 + local_id;
+                xtile[2 + local_id] = (xi >= 0 && xi < 9) ? x[xi] : (double)0;
+            }
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+        acc += crsd_dia_val[10 + seg * 6 + 0 + local_id] * xtile[local_id + 0];
+        acc += crsd_dia_val[10 + seg * 6 + 2 + local_id] * xtile[local_id + 1];
+        // NAD group, offsets [1]
+        {
+            const int xi = 3 + seg * 2 + local_id;
+            const double xv = (xi >= 0 && xi < 9) ? x[xi] : (double)0;
+            acc += crsd_dia_val[10 + seg * 6 + 4 + local_id] * xv;
+        }
+        row = 2 + seg * 2 + local_id;
+        if (row < 6) y[row] = acc;
+        break; }
+    }
+}
+
+// Scatter-row ELL kernel: executed AFTER crsd_dia_spmv; it owns its
+// rows completely and overwrites y, preserving each row's sequential
+// floating-point order.  Unrolled over num_scatter_width = 4.
+__kernel void crsd_scatter_spmv(__global const int* restrict scatter_colval,
+                                __global const double* restrict scatter_val,
+                                __global const int* restrict scatter_rowno,
+                                __global const double* restrict x,
+                                __global double* restrict y)
+{
+    const int i = get_group_id(0) * 2 + get_local_id(0);
+    if (i >= 1) return;
+    double acc = (double)0;
+    acc += scatter_val[0 + i] * x[scatter_colval[0 + i]];
+    acc += scatter_val[1 + i] * x[scatter_colval[1 + i]];
+    acc += scatter_val[2 + i] * x[scatter_colval[2 + i]];
+    acc += scatter_val[3 + i] * x[scatter_colval[3 + i]];
+    y[scatter_rowno[i]] = acc;
+}

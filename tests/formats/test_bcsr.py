@@ -1,0 +1,83 @@
+"""Unit tests for BCSR."""
+
+import numpy as np
+import pytest
+
+from repro.formats.base import FormatError
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.coo import COOMatrix
+
+
+@pytest.fixture
+def block_dense():
+    """8x8 with two dense 2x2 blocks and one partial block."""
+    d = np.zeros((8, 8))
+    d[0:2, 0:2] = [[1, 2], [3, 4]]
+    d[4:6, 6:8] = [[5, 6], [7, 8]]
+    d[7, 3] = 9.0  # partial block at (3, 1)
+    return d
+
+
+class TestConstruction:
+    def test_block_count(self, block_dense):
+        m = BCSRMatrix.from_dense(block_dense, (2, 2))
+        assert m.nblocks == 3
+        assert m.nnz == 9
+        assert m.stored_elements == 3 * 4
+
+    def test_fill_ratio_counts_padding(self, block_dense):
+        m = BCSRMatrix.from_dense(block_dense, (2, 2))
+        assert m.fill_ratio == pytest.approx(12 / 9)
+
+    def test_non_divisible_shape_padded(self):
+        d = np.zeros((5, 5))
+        d[4, 4] = 1.0
+        m = BCSRMatrix.from_dense(d, (2, 2))
+        assert m.nblocks == 1
+        assert np.allclose(m.todense(), d)
+
+    @pytest.mark.parametrize("bs", [(0, 2), (2, 0), (-1, 1)])
+    def test_bad_block_shape(self, bs):
+        with pytest.raises(FormatError):
+            BCSRMatrix.from_coo(COOMatrix.empty((4, 4)), bs)
+
+    def test_bad_indptr(self):
+        with pytest.raises(FormatError):
+            BCSRMatrix([0, 1], [0], np.zeros((1, 2, 2)), (4, 4), (2, 2))
+
+    def test_block_col_out_of_range(self):
+        with pytest.raises(FormatError):
+            BCSRMatrix([0, 1, 1], [9], np.zeros((1, 2, 2)), (4, 4), (2, 2))
+
+    def test_blocks_shape_checked(self):
+        with pytest.raises(FormatError):
+            BCSRMatrix([0, 1, 1], [0], np.zeros((1, 3, 3)), (4, 4), (2, 2))
+
+
+class TestMatvec:
+    @pytest.mark.parametrize("bs", [(1, 1), (2, 2), (3, 2), (2, 3), (4, 4)])
+    def test_matches_dense(self, block_dense, rng, bs):
+        x = rng.standard_normal(8)
+        m = BCSRMatrix.from_dense(block_dense, bs)
+        assert np.allclose(m.matvec(x), block_dense @ x)
+
+    def test_random_rect(self, rng):
+        d = (rng.random((7, 11)) < 0.3) * rng.standard_normal((7, 11))
+        x = rng.standard_normal(11)
+        m = BCSRMatrix.from_dense(d, (2, 3))
+        assert np.allclose(m.matvec(x), d @ x)
+
+    def test_empty(self):
+        m = BCSRMatrix.from_coo(COOMatrix.empty((4, 6)), (2, 2))
+        assert m.nblocks == 0
+        assert np.array_equal(m.matvec(np.ones(6)), np.zeros(4))
+
+
+class TestRoundtrip:
+    def test_to_coo(self, fig2_coo):
+        assert BCSRMatrix.from_coo(fig2_coo, (2, 2)).to_coo().equals(fig2_coo)
+
+    def test_one_by_one_blocks_equal_csr_structure(self, fig2_coo):
+        m = BCSRMatrix.from_coo(fig2_coo, (1, 1))
+        assert m.nblocks == fig2_coo.nnz
+        assert m.fill_ratio == 1.0

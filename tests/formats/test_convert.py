@@ -1,0 +1,56 @@
+"""Conversion lattice: every format -> every format preserves the matrix."""
+
+import numpy as np
+import pytest
+
+from repro.formats import convert, from_dense, to_dense
+from repro.formats.base import FormatError
+from repro.formats.convert import FORMATS
+
+ALL = sorted(FORMATS)
+
+
+@pytest.fixture
+def dense(rng):
+    d = (rng.random((10, 13)) < 0.3) * rng.standard_normal((10, 13))
+    d[3, 3] = 7.0  # guarantee at least one entry
+    return d
+
+
+@pytest.mark.parametrize("src", ALL)
+@pytest.mark.parametrize("dst", ALL)
+def test_every_conversion_preserves_matrix(dense, src, dst):
+    a = from_dense(dense, src)
+    b = convert(a, dst)
+    assert b.name == dst
+    assert np.allclose(to_dense(b), dense)
+
+
+@pytest.mark.parametrize("fmt", ALL)
+def test_matvec_agrees_after_conversion(dense, rng, fmt):
+    x = rng.standard_normal(13)
+    m = from_dense(dense, fmt)
+    assert np.allclose(m.matvec(x), dense @ x)
+
+
+@pytest.mark.parametrize("fmt", ALL)
+def test_nnz_preserved(dense, fmt):
+    nnz = int(np.count_nonzero(dense))
+    assert from_dense(dense, fmt).nnz == nnz
+
+
+def test_unknown_format_rejected(dense):
+    with pytest.raises(FormatError):
+        from_dense(dense, "banana")
+
+
+def test_convert_by_class(dense):
+    from repro.formats.csr import CSRMatrix
+
+    m = convert(from_dense(dense, "coo"), CSRMatrix)
+    assert isinstance(m, CSRMatrix)
+
+
+def test_convert_kwargs_forwarded(dense):
+    m = convert(from_dense(dense, "coo"), "bcsr", block_shape=(5, 5))
+    assert m.block_shape == (5, 5)

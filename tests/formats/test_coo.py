@@ -1,0 +1,147 @@
+"""Unit tests for the canonical COO format."""
+
+import numpy as np
+import pytest
+
+from repro.formats.base import FormatError
+from repro.formats.coo import COOMatrix
+
+
+class TestConstruction:
+    def test_basic_triplets(self):
+        m = COOMatrix([0, 1], [1, 2], [3.0, 4.0], (2, 3))
+        assert m.shape == (2, 3)
+        assert m.nnz == 2
+        assert m.vals.dtype == np.float64
+
+    def test_triplets_are_sorted_row_major(self):
+        m = COOMatrix([1, 0, 0], [0, 2, 1], [1.0, 2.0, 3.0], (2, 3))
+        assert m.rows.tolist() == [0, 0, 1]
+        assert m.cols.tolist() == [1, 2, 0]
+        assert m.vals.tolist() == [3.0, 2.0, 1.0]
+
+    def test_duplicates_are_summed(self):
+        m = COOMatrix([0, 0, 0], [1, 1, 2], [1.0, 2.0, 5.0], (1, 3))
+        assert m.nnz == 2
+        assert m.vals.tolist() == [3.0, 5.0]
+
+    def test_explicit_zeros_dropped_by_default(self):
+        m = COOMatrix([0, 0], [0, 1], [0.0, 1.0], (1, 2))
+        assert m.nnz == 1
+
+    def test_explicit_zeros_kept_on_request(self):
+        m = COOMatrix([0, 0], [0, 1], [0.0, 1.0], (1, 2), keep_explicit_zeros=True)
+        assert m.nnz == 2
+
+    def test_duplicates_cancelling_to_zero_dropped(self):
+        m = COOMatrix([0, 0], [1, 1], [2.0, -2.0], (1, 3))
+        assert m.nnz == 0
+
+    def test_empty(self):
+        m = COOMatrix.empty((4, 5))
+        assert m.nnz == 0
+        assert m.todense().shape == (4, 5)
+
+    def test_from_dense(self):
+        d = np.array([[1.0, 0.0], [0.0, 2.0]])
+        m = COOMatrix.from_dense(d)
+        assert m.nnz == 2
+        assert np.array_equal(m.todense(), d)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(FormatError):
+            COOMatrix.from_dense(np.ones(3))
+
+    @pytest.mark.parametrize("shape", [(0, 3), (3, 0), (-1, 2), (2,)])
+    def test_bad_shape_rejected(self, shape):
+        with pytest.raises(FormatError):
+            COOMatrix.empty(shape)
+
+    def test_row_out_of_range(self):
+        with pytest.raises(FormatError):
+            COOMatrix([5], [0], [1.0], (2, 3))
+
+    def test_col_out_of_range(self):
+        with pytest.raises(FormatError):
+            COOMatrix([0], [3], [1.0], (2, 3))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix([-1], [0], [1.0], (2, 3))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix([0, 1], [0], [1.0], (2, 3))
+
+
+class TestMatvec:
+    def test_matches_dense(self, rng):
+        d = (rng.random((7, 11)) < 0.3) * rng.standard_normal((7, 11))
+        m = COOMatrix.from_dense(d)
+        x = rng.standard_normal(11)
+        assert np.allclose(m.matvec(x), d @ x)
+
+    def test_matmul_operator(self, fig2_coo, fig2_dense, rng):
+        x = rng.standard_normal(9)
+        assert np.allclose(fig2_coo @ x, fig2_dense @ x)
+
+    def test_out_parameter(self, fig2_coo, rng):
+        x = rng.standard_normal(9)
+        out = np.full(6, 99.0)
+        y = fig2_coo.matvec(x, out=out)
+        assert y is out
+        assert np.allclose(out, fig2_coo.todense() @ x)
+
+    def test_duplicate_coordinates_accumulate(self):
+        m = COOMatrix([0, 0], [0, 0], [1.0, 2.0], (1, 1))
+        assert m.matvec(np.array([2.0]))[0] == pytest.approx(6.0)
+
+    def test_wrong_x_length(self, fig2_coo):
+        with pytest.raises(FormatError):
+            fig2_coo.matvec(np.ones(5))
+
+    def test_x_2d_rejected(self, fig2_coo):
+        with pytest.raises(FormatError):
+            fig2_coo.matvec(np.ones((9, 1)))
+
+    def test_empty_matrix_gives_zero(self):
+        m = COOMatrix.empty((3, 4))
+        assert np.array_equal(m.matvec(np.ones(4)), np.zeros(3))
+
+
+class TestQueries:
+    def test_row_lengths(self, fig2_coo):
+        assert fig2_coo.row_lengths().tolist() == [5, 5, 3, 3, 2, 4]
+
+    def test_diagonal_offsets(self):
+        m = COOMatrix([0, 1, 2], [2, 1, 0], [1.0, 1.0, 1.0], (3, 3))
+        assert m.diagonal_offsets().tolist() == [-2, 0, 2]
+
+    def test_offsets_of_entries(self):
+        m = COOMatrix([0, 1], [1, 0], [1.0, 1.0], (2, 2))
+        assert sorted(m.offsets_of_entries().tolist()) == [-1, 1]
+
+    def test_equals_exact(self, fig2_coo):
+        other = COOMatrix(fig2_coo.rows, fig2_coo.cols, fig2_coo.vals, fig2_coo.shape)
+        assert fig2_coo.equals(other)
+
+    def test_equals_detects_value_change(self, fig2_coo):
+        vals = fig2_coo.vals.copy()
+        vals[0] += 1e-3
+        other = COOMatrix(fig2_coo.rows, fig2_coo.cols, vals, fig2_coo.shape)
+        assert not fig2_coo.equals(other)
+        assert fig2_coo.equals(other, tol=1e-2)
+
+    def test_equals_detects_shape_change(self, fig2_coo):
+        other = COOMatrix(fig2_coo.rows, fig2_coo.cols, fig2_coo.vals, (6, 10))
+        assert not fig2_coo.equals(other)
+
+    def test_stored_elements_equals_nnz(self, fig2_coo):
+        assert fig2_coo.stored_elements == fig2_coo.nnz
+        assert fig2_coo.fill_ratio == 1.0
+
+    def test_to_coo_is_identity(self, fig2_coo):
+        assert fig2_coo.to_coo() is fig2_coo
+
+    def test_array_inventory_names(self, fig2_coo):
+        assert set(fig2_coo.array_inventory()) == {"rows", "cols", "vals"}

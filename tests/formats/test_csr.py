@@ -1,0 +1,106 @@
+"""Unit tests for CSR."""
+
+import numpy as np
+import pytest
+
+from repro.formats.base import FormatError
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+
+
+@pytest.fixture
+def small():
+    # [[1 0 2], [0 0 0], [3 4 0]]
+    return CSRMatrix([0, 2, 2, 4], [0, 2, 0, 1], [1.0, 2.0, 3.0, 4.0], (3, 3))
+
+
+class TestConstruction:
+    def test_basic(self, small):
+        assert small.nnz == 4
+        assert small.row_lengths().tolist() == [2, 0, 2]
+
+    def test_indptr_wrong_length(self):
+        with pytest.raises(FormatError):
+            CSRMatrix([0, 1], [0], [1.0], (3, 3))
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(FormatError):
+            CSRMatrix([1, 1, 1, 2], [0], [1.0], (3, 3))
+
+    def test_indptr_must_be_monotone(self):
+        with pytest.raises(FormatError):
+            CSRMatrix([0, 2, 1, 2], [0, 1], [1.0, 2.0], (3, 3))
+
+    def test_indices_length_mismatch(self):
+        with pytest.raises(FormatError):
+            CSRMatrix([0, 1, 1, 2], [0, 1, 2], [1.0, 2.0, 3.0], (3, 3))
+
+    def test_column_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSRMatrix([0, 1, 1, 1], [7], [1.0], (3, 3))
+
+    def test_from_coo_roundtrip(self, fig2_coo):
+        csr = CSRMatrix.from_coo(fig2_coo)
+        assert csr.to_coo().equals(fig2_coo)
+
+    def test_from_dense(self, rng):
+        d = (rng.random((6, 8)) < 0.4) * rng.standard_normal((6, 8))
+        csr = CSRMatrix.from_dense(d)
+        assert np.allclose(csr.todense(), d)
+
+
+class TestMatvec:
+    def test_matches_dense(self, small, rng):
+        x = rng.standard_normal(3)
+        dense = np.array([[1, 0, 2], [0, 0, 0], [3, 4, 0]], dtype=float)
+        assert np.allclose(small.matvec(x), dense @ x)
+
+    def test_empty_rows_produce_zero(self, small):
+        y = small.matvec(np.ones(3))
+        assert y[1] == 0.0
+
+    def test_all_rows_empty(self):
+        m = CSRMatrix([0, 0, 0], [], [], (2, 5))
+        assert np.array_equal(m.matvec(np.ones(5)), np.zeros(2))
+
+    def test_first_row_empty(self):
+        m = CSRMatrix([0, 0, 1], [2], [5.0], (2, 3))
+        y = m.matvec(np.array([1.0, 1.0, 2.0]))
+        assert y.tolist() == [0.0, 10.0]
+
+    def test_last_row_empty(self):
+        m = CSRMatrix([0, 1, 1], [0], [5.0], (2, 3))
+        y = m.matvec(np.ones(3))
+        assert y.tolist() == [5.0, 0.0]
+
+    def test_out_parameter_zeroed(self, small):
+        out = np.full(3, 7.0)
+        small.matvec(np.zeros(3), out=out)
+        assert np.array_equal(out, np.zeros(3))
+
+    def test_random_against_dense(self, rng):
+        for _ in range(5):
+            d = (rng.random((20, 17)) < 0.25) * rng.standard_normal((20, 17))
+            x = rng.standard_normal(17)
+            assert np.allclose(CSRMatrix.from_dense(d).matvec(x), d @ x)
+
+
+class TestQueries:
+    def test_row_slice(self, small):
+        cols, vals = small.row_slice(2)
+        assert cols.tolist() == [0, 1]
+        assert vals.tolist() == [3.0, 4.0]
+
+    def test_row_slice_empty_row(self, small):
+        cols, vals = small.row_slice(1)
+        assert cols.size == 0 and vals.size == 0
+
+    def test_inventory(self, small):
+        inv = small.array_inventory()
+        assert set(inv) == {"indptr", "indices", "data"}
+        assert inv["indptr"].size == 4
+
+    def test_nbytes_double_vs_single(self, small):
+        # 4 values + 4 indices + 4 indptr entries
+        assert small.nbytes(8, 4) == 4 * 8 + 8 * 4
+        assert small.nbytes(4, 4) == 4 * 4 + 8 * 4

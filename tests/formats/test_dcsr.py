@@ -1,0 +1,101 @@
+"""Delta-compressed CSR (related-work index/value compression)."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dcsr import DeltaCSRMatrix
+from tests.conftest import random_diagonal_matrix
+
+
+@pytest.fixture
+def small(fig2_coo):
+    return DeltaCSRMatrix.from_coo(fig2_coo)
+
+
+class TestEncoding:
+    def test_roundtrip_indices(self, small, fig2_coo):
+        csr = CSRMatrix.from_coo(fig2_coo)
+        assert np.array_equal(small.decode_indices(), csr.indices.astype(np.int64))
+
+    def test_roundtrip_matrix(self, small, fig2_coo):
+        assert small.to_coo().equals(fig2_coo)
+
+    def test_matvec(self, small, fig2_coo, rng):
+        x = rng.standard_normal(9)
+        assert np.allclose(small.matvec(x), fig2_coo.matvec(x))
+
+    def test_nnz(self, small, fig2_coo):
+        assert small.nnz == fig2_coo.nnz
+
+    def test_empty_rows(self):
+        m = COOMatrix([0, 3], [1, 2], [1.0, 2.0], (5, 4))
+        d = DeltaCSRMatrix.from_coo(m)
+        assert d.to_coo().equals(m)
+
+    def test_empty_matrix(self):
+        d = DeltaCSRMatrix.from_coo(COOMatrix.empty((4, 4)))
+        assert d.nnz == 0
+        assert np.array_equal(d.matvec(np.ones(4)), np.zeros(4))
+
+    def test_wide_deltas_use_wider_width(self):
+        # deltas of 300 need 2-byte encoding; 70000 needs 4-byte
+        m = COOMatrix([0, 0, 1, 1], [0, 300, 0, 70000], np.ones(4), (2, 70001))
+        d = DeltaCSRMatrix.from_coo(m)
+        assert d.to_coo().equals(m)
+        widths = {int(d.stream[d.unit_offsets[i]]) for i in range(2)}
+        assert widths == {2, 4}
+
+    def test_random_roundtrips(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            coo = random_diagonal_matrix(rng, n=120, density=0.5, scatter=4)
+            d = DeltaCSRMatrix.from_coo(coo)
+            assert d.to_coo().equals(coo)
+            x = rng.standard_normal(120)
+            assert np.allclose(d.matvec(x), coo.matvec(x))
+
+
+class TestCompression:
+    def test_banded_matrix_compresses(self, rng):
+        """Small deltas -> ~1 byte per index vs CSR's 4."""
+        coo = random_diagonal_matrix(rng, n=2000, offsets=(-2, -1, 0, 1, 2),
+                                     density=1.0, scatter=0)
+        d = DeltaCSRMatrix.from_coo(coo)
+        assert d.compression_ratio > 2.0
+        csr = CSRMatrix.from_coo(coo)
+        assert d.nbytes(8, 4) < csr.nbytes(8, 4)
+
+    def test_footprint_counts_stream_as_bytes(self, small):
+        nb = small.nbytes(8, 4)
+        assert nb == small.stream.size + small.indptr.size * 4 + small.nnz * 8
+
+
+class TestValueTable:
+    def test_csr_vi_constant_coefficients(self, rng):
+        """FD matrices with few distinct values compress their data."""
+        coo0 = random_diagonal_matrix(rng, n=500, offsets=(-1, 0, 1),
+                                      density=1.0, scatter=0)
+        vals = np.where(coo0.offsets_of_entries() == 0, 4.0, -1.0)
+        coo = COOMatrix(coo0.rows, coo0.cols, vals, coo0.shape)
+        d = DeltaCSRMatrix.from_coo(coo, compress_values=True)
+        assert d.value_table is not None
+        assert d.value_table.size == 2
+        assert d.to_coo().equals(coo)
+        assert d.nbytes(8, 4) < DeltaCSRMatrix.from_coo(coo).nbytes(8, 4)
+
+    def test_table_skipped_when_values_diverse(self, rng):
+        coo = random_diagonal_matrix(rng, n=300, density=1.0, scatter=0)
+        d = DeltaCSRMatrix.from_coo(coo, compress_values=True,
+                                    value_table_max=10)
+        assert d.value_table is None
+
+    def test_matvec_through_table(self, rng):
+        coo0 = random_diagonal_matrix(rng, n=200, offsets=(0, 3), density=1.0,
+                                      scatter=0)
+        vals = np.sign(coo0.vals) * 2.0
+        coo = COOMatrix(coo0.rows, coo0.cols, vals, coo0.shape)
+        d = DeltaCSRMatrix.from_coo(coo, compress_values=True)
+        x = rng.standard_normal(200)
+        assert np.allclose(d.matvec(x), coo.matvec(x))

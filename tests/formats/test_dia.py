@@ -1,0 +1,101 @@
+"""Unit tests for DIA."""
+
+import numpy as np
+import pytest
+
+from repro.formats.base import FormatError
+from repro.formats.coo import COOMatrix
+from repro.formats.dia import DIAMatrix
+
+
+@pytest.fixture
+def tri():
+    """5x5 tridiagonal."""
+    n = 5
+    d = np.zeros((n, n))
+    for off in (-1, 0, 1):
+        idx = np.arange(max(0, -off), min(n, n - off))
+        d[idx, idx + off] = off + 2.0
+    return d
+
+
+class TestConstruction:
+    def test_from_dense_tridiagonal(self, tri):
+        m = DIAMatrix.from_dense(tri)
+        assert m.offsets.tolist() == [-1, 0, 1]
+        assert m.ndiags == 3
+        assert m.nnz == 13
+        assert m.stored_elements == 15  # 3 diagonals x 5 rows
+
+    def test_fill_ratio(self, tri):
+        m = DIAMatrix.from_dense(tri)
+        assert m.fill_ratio == pytest.approx(15 / 13)
+
+    def test_in_matrix_elements(self, tri):
+        m = DIAMatrix.from_dense(tri)
+        # offsets -1 and +1 have 4 in-matrix slots each, 0 has 5
+        assert m.in_matrix_elements == 13
+
+    def test_offsets_must_increase(self):
+        with pytest.raises(FormatError):
+            DIAMatrix([1, 0], np.zeros((2, 3)), (3, 3))
+
+    def test_offset_out_of_matrix(self):
+        with pytest.raises(FormatError):
+            DIAMatrix([5], np.zeros((1, 3)), (3, 3))
+
+    def test_data_shape_checked(self):
+        with pytest.raises(FormatError):
+            DIAMatrix([0], np.zeros((2, 3)), (3, 3))
+
+    def test_value_outside_extent_rejected(self):
+        data = np.ones((1, 3))  # offset +2 on a 3x3: only row 0 valid
+        with pytest.raises(FormatError):
+            DIAMatrix([2], data, (3, 3))
+
+    def test_rectangular(self):
+        d = np.zeros((3, 6))
+        d[np.arange(3), np.arange(3) + 2] = 1.0
+        m = DIAMatrix.from_dense(d)
+        assert m.offsets.tolist() == [2]
+        assert np.allclose(m.todense(), d)
+
+
+class TestMatvec:
+    def test_matches_dense(self, tri, rng):
+        x = rng.standard_normal(5)
+        assert np.allclose(DIAMatrix.from_dense(tri).matvec(x), tri @ x)
+
+    def test_scatter_point_costs_whole_diagonal(self):
+        """The paper's core motivation: one isolated nonzero forces DIA
+        to store (and compute over) the entire diagonal."""
+        d = np.zeros((100, 100))
+        d[50, 10] = 1.0  # offset -40
+        m = DIAMatrix.from_dense(d)
+        assert m.nnz == 1
+        assert m.stored_elements == 100
+        assert m.in_matrix_elements == 60
+
+    def test_random_against_dense(self, rng):
+        for _ in range(5):
+            d = (rng.random((12, 15)) < 0.2) * rng.standard_normal((12, 15))
+            x = rng.standard_normal(15)
+            assert np.allclose(DIAMatrix.from_dense(d).matvec(x), d @ x)
+
+    def test_empty(self):
+        m = DIAMatrix.from_coo(COOMatrix.empty((4, 4)))
+        assert m.ndiags == 0
+        assert np.array_equal(m.matvec(np.ones(4)), np.zeros(4))
+
+
+class TestRoundtrip:
+    def test_to_coo(self, fig2_coo):
+        assert DIAMatrix.from_coo(fig2_coo).to_coo().equals(fig2_coo)
+
+    def test_inventory(self, tri):
+        inv = DIAMatrix.from_dense(tri).array_inventory()
+        assert set(inv) == {"offsets", "data"}
+
+    def test_nbytes_counts_padding(self, tri):
+        m = DIAMatrix.from_dense(tri)
+        assert m.nbytes(8, 4) == 15 * 8 + 3 * 4

@@ -1,0 +1,96 @@
+"""Unit tests for ELL."""
+
+import numpy as np
+import pytest
+
+from repro.formats.base import FormatError
+from repro.formats.coo import COOMatrix
+from repro.formats.ell import ELLMatrix
+
+
+class TestConstruction:
+    def test_width_is_max_row_length(self, fig2_coo):
+        m = ELLMatrix.from_coo(fig2_coo)
+        assert m.width == 5
+        assert m.stored_elements == 6 * 5
+        assert m.nnz == fig2_coo.nnz
+
+    def test_explicit_wider_width(self, fig2_coo):
+        m = ELLMatrix.from_coo(fig2_coo, width=8)
+        assert m.width == 8
+        assert m.nnz == fig2_coo.nnz
+
+    def test_width_too_small_rejected(self, fig2_coo):
+        with pytest.raises(FormatError):
+            ELLMatrix.from_coo(fig2_coo, width=3)
+
+    def test_padding_slots_hold_zero(self, fig2_coo):
+        m = ELLMatrix.from_coo(fig2_coo)
+        assert np.all(m.data[~m.occupancy] == 0.0)
+
+    def test_occupancy_shape_checked(self):
+        with pytest.raises(FormatError):
+            ELLMatrix(np.zeros((2, 2), dtype=int), np.zeros((2, 2)), (2, 3),
+                      occupancy=np.ones((2, 3), dtype=bool))
+
+    def test_nonzero_padding_rejected(self):
+        data = np.array([[1.0, 2.0]])
+        occ = np.array([[True, False]])
+        with pytest.raises(FormatError):
+            ELLMatrix(np.zeros((1, 2), dtype=int), data, (1, 3), occ)
+
+    def test_column_out_of_range(self):
+        with pytest.raises(FormatError):
+            ELLMatrix(np.array([[5]]), np.array([[1.0]]), (1, 3))
+
+    def test_stored_zero_value_with_occupancy(self):
+        """A mathematical zero can be stored as a real slot."""
+        idx = np.array([[1]])
+        data = np.array([[0.0]])
+        occ = np.array([[True]])
+        m = ELLMatrix(idx, data, (1, 3), occ)
+        assert m.nnz == 1
+
+    def test_empty_matrix(self):
+        m = ELLMatrix.from_coo(COOMatrix.empty((3, 3)))
+        assert m.width == 0
+        assert np.array_equal(m.matvec(np.ones(3)), np.zeros(3))
+
+
+class TestMatvec:
+    def test_matches_dense(self, fig2_coo, fig2_dense, rng):
+        x = rng.standard_normal(9)
+        assert np.allclose(ELLMatrix.from_coo(fig2_coo).matvec(x), fig2_dense @ x)
+
+    def test_random_against_dense(self, rng):
+        for _ in range(5):
+            d = (rng.random((9, 14)) < 0.3) * rng.standard_normal((9, 14))
+            x = rng.standard_normal(14)
+            assert np.allclose(ELLMatrix.from_dense(d).matvec(x), d @ x)
+
+    def test_varying_row_lengths(self, rng):
+        d = np.zeros((4, 4))
+        d[0, :] = 1.0   # full row
+        d[2, 1] = 3.0   # single entry
+        x = rng.standard_normal(4)
+        assert np.allclose(ELLMatrix.from_dense(d).matvec(x), d @ x)
+
+
+class TestLayout:
+    def test_column_major_view_shapes(self, fig2_coo):
+        m = ELLMatrix.from_coo(fig2_coo)
+        idx, data = m.column_major_view()
+        assert idx.shape == (5, 6)
+        assert data.shape == (5, 6)
+        assert np.array_equal(idx.T, m.indices)
+
+    def test_roundtrip(self, fig2_coo):
+        assert ELLMatrix.from_coo(fig2_coo).to_coo().equals(fig2_coo)
+
+    def test_inventory_excludes_occupancy(self, fig2_coo):
+        inv = ELLMatrix.from_coo(fig2_coo).array_inventory()
+        assert set(inv) == {"indices", "data"}
+
+    def test_fill_ratio(self, fig2_coo):
+        m = ELLMatrix.from_coo(fig2_coo)
+        assert m.fill_ratio == pytest.approx(30 / 22)

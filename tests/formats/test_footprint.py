@@ -1,0 +1,61 @@
+"""Footprint accounting tests (feeds the DIA out-of-memory check)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import from_dense
+from repro.formats.footprint import (
+    FootprintReport,
+    fits_in_device,
+    footprint_bytes,
+    footprint_report,
+    value_itemsize,
+)
+
+
+def test_value_itemsize():
+    assert value_itemsize("double") == 8
+    assert value_itemsize("single") == 4
+    assert value_itemsize("FP64") == 8
+    with pytest.raises(ValueError):
+        value_itemsize("half")
+
+
+@pytest.fixture
+def csr(rng):
+    d = (rng.random((8, 8)) < 0.4) * rng.standard_normal((8, 8))
+    return from_dense(d, "csr")
+
+
+def test_footprint_double_vs_single(csr):
+    d = footprint_bytes(csr, "double")
+    s = footprint_bytes(csr, "single")
+    # single halves only the value array
+    assert d - s == 4 * csr.nnz
+
+
+def test_report_total_matches(csr):
+    rep = footprint_report(csr, "double")
+    assert isinstance(rep, FootprintReport)
+    assert rep.total == footprint_bytes(csr, "double")
+    assert set(rep.per_array) == {"indptr", "indices", "data"}
+
+
+def test_fits_in_device(csr):
+    need = footprint_bytes(csr, "double") + (csr.nrows + csr.ncols) * 8
+    assert fits_in_device(csr, need, "double")
+    assert not fits_in_device(csr, need - 1, "double")
+
+
+def test_dia_single_fits_where_double_does_not(rng):
+    """The af_*_k101 scenario in miniature: capacity between the single
+    and double DIA footprints."""
+    n = 64
+    d = np.zeros((n, n))
+    for off in range(-20, 21):
+        idx = np.arange(max(0, -off), min(n, n - off))
+        d[idx[::7], idx[::7] + off] = 1.0
+    dia = from_dense(d, "dia")
+    capacity = (footprint_bytes(dia, "double") + footprint_bytes(dia, "single")) // 2
+    assert fits_in_device(dia, capacity, "single", vector_len=0)
+    assert not fits_in_device(dia, capacity, "double", vector_len=0)

@@ -1,0 +1,99 @@
+"""Unit tests for HYB and its split heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.formats.base import FormatError
+from repro.formats.coo import COOMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYBMatrix, compute_hyb_width
+
+
+class TestWidthHeuristic:
+    def test_uniform_rows_go_entirely_ell(self):
+        lengths = np.full(10000, 7)
+        assert compute_hyb_width(lengths) == 7
+
+    def test_empty(self):
+        assert compute_hyb_width(np.array([], dtype=int)) == 0
+
+    def test_few_long_rows_overflow(self):
+        # 100k short rows and 100 very long rows: the slab must not be
+        # sized by the outliers
+        lengths = np.concatenate([np.full(100_000, 4), np.full(100, 64)])
+        k = compute_hyb_width(lengths)
+        assert 4 <= k < 64
+
+    def test_outlier_rows_truncated(self):
+        # 10 outlier rows must not widen the slab by 10x
+        lengths = np.concatenate([np.full(1000, 3), np.full(10, 30)])
+        assert compute_hyb_width(lengths) == 3
+
+    def test_relative_speed_extreme(self):
+        lengths = np.concatenate([np.full(100_000, 4), np.full(30_000, 10)])
+        wide = compute_hyb_width(lengths, relative_speed=1e9, breakeven_rows=0)
+        narrow = compute_hyb_width(lengths, relative_speed=1.0, breakeven_rows=0)
+        assert wide >= narrow
+
+
+class TestSplit:
+    def test_explicit_width_split(self, fig2_coo):
+        m = HYBMatrix.from_coo(fig2_coo, width=3)
+        assert m.ell.width == 3
+        assert m.ell.nnz + m.coo.nnz == fig2_coo.nnz
+        # rows 0/1 overflow by 2 each, row 5 (4 entries) by 1
+        assert m.coo.nnz == 5
+
+    def test_ell_keeps_first_entries_of_each_row(self, fig2_coo):
+        m = HYBMatrix.from_coo(fig2_coo, width=3)
+        # row 0 columns 0,2,3 in ELL; 5,7 overflow
+        assert set(m.coo.cols[m.coo.rows == 0].tolist()) == {5, 7}
+
+    def test_zero_width(self, fig2_coo):
+        m = HYBMatrix.from_coo(fig2_coo, width=0)
+        assert m.ell.nnz == 0
+        assert m.coo.nnz == fig2_coo.nnz
+
+    def test_full_width_no_tail(self, fig2_coo):
+        m = HYBMatrix.from_coo(fig2_coo, width=5)
+        assert m.coo.nnz == 0
+        assert m.coo_fraction == 0.0
+
+    def test_coo_fraction(self, fig2_coo):
+        m = HYBMatrix.from_coo(fig2_coo, width=3)
+        assert m.coo_fraction == pytest.approx(5 / 22)
+
+    def test_shape_mismatch_rejected(self, fig2_coo):
+        ell = ELLMatrix.from_coo(fig2_coo)
+        with pytest.raises(FormatError):
+            HYBMatrix(ell, COOMatrix.empty((5, 5)))
+
+    def test_empty_matrix(self):
+        m = HYBMatrix.from_coo(COOMatrix.empty((4, 4)))
+        assert m.nnz == 0
+        assert np.array_equal(m.matvec(np.ones(4)), np.zeros(4))
+
+
+class TestMatvec:
+    @pytest.mark.parametrize("width", [0, 1, 3, 5])
+    def test_matches_dense_any_split(self, fig2_coo, fig2_dense, rng, width):
+        x = rng.standard_normal(9)
+        m = HYBMatrix.from_coo(fig2_coo, width=width)
+        assert np.allclose(m.matvec(x), fig2_dense @ x)
+
+    def test_default_heuristic_correct(self, rng):
+        d = (rng.random((50, 50)) < 0.15) * rng.standard_normal((50, 50))
+        x = rng.standard_normal(50)
+        assert np.allclose(HYBMatrix.from_dense(d).matvec(x), d @ x)
+
+    def test_roundtrip(self, fig2_coo):
+        assert HYBMatrix.from_coo(fig2_coo, width=3).to_coo().equals(fig2_coo)
+
+    def test_inventory_prefixes(self, fig2_coo):
+        inv = HYBMatrix.from_coo(fig2_coo, width=3).array_inventory()
+        assert any(k.startswith("ell_") for k in inv)
+        assert any(k.startswith("coo_") for k in inv)
+
+    def test_stored_elements(self, fig2_coo):
+        m = HYBMatrix.from_coo(fig2_coo, width=3)
+        assert m.stored_elements == 6 * 3 + 5

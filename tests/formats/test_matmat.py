@@ -1,0 +1,88 @@
+"""Multi-vector SpMM across the format lattice."""
+
+import numpy as np
+import pytest
+
+from repro.formats import from_dense
+from repro.formats.base import FormatError
+from repro.formats.convert import FORMATS
+from repro.core.crsd import CRSDMatrix
+from repro.formats.coo import COOMatrix
+
+ALL = sorted(FORMATS)
+
+
+@pytest.fixture
+def dense(rng):
+    d = (rng.random((12, 15)) < 0.3) * rng.standard_normal((12, 15))
+    d[0, 0] = 1.0
+    return d
+
+
+@pytest.mark.parametrize("fmt", ALL)
+def test_matmat_matches_dense(dense, rng, fmt):
+    m = from_dense(dense, fmt)
+    x = rng.standard_normal((15, 4))
+    assert np.allclose(m.matmat(x), dense @ x)
+
+
+@pytest.mark.parametrize("fmt", ["csr", "coo"])
+def test_matmul_operator_dispatches_on_ndim(dense, rng, fmt):
+    m = from_dense(dense, fmt)
+    x1 = rng.standard_normal(15)
+    x2 = rng.standard_normal((15, 3))
+    assert (m @ x1).shape == (12,)
+    assert (m @ x2).shape == (12, 3)
+    assert np.allclose(m @ x2, dense @ x2)
+
+
+def test_csr_blocked_path_equals_looped(dense, rng):
+    from repro.formats.base import SparseFormat
+
+    m = from_dense(dense, "csr")
+    x = rng.standard_normal((15, 5))
+    blocked = m.matmat(x)
+    looped = SparseFormat.matmat(m, x)
+    assert np.allclose(blocked, looped)
+
+
+def test_csr_matmat_with_empty_rows(rng):
+    from repro.formats.csr import CSRMatrix
+
+    m = CSRMatrix([0, 2, 2, 3], [0, 1, 2], [1.0, 2.0, 3.0], (3, 3))
+    x = rng.standard_normal((3, 2))
+    dense = m.todense()
+    assert np.allclose(m.matmat(x), dense @ x)
+
+
+def test_crsd_matmat(dense, rng):
+    sq = (rng.random((20, 20)) < 0.2) * rng.standard_normal((20, 20))
+    coo = COOMatrix.from_dense(sq)
+    m = CRSDMatrix.from_coo(coo, mrows=4)
+    x = rng.standard_normal((20, 3))
+    assert np.allclose(m.matmat(x), sq @ x)
+
+
+def test_shape_validation(dense, rng):
+    m = from_dense(dense, "csr")
+    with pytest.raises(FormatError):
+        m.matmat(rng.standard_normal((14, 3)))
+    with pytest.raises(FormatError):
+        m.matmat(rng.standard_normal(15))
+    with pytest.raises(FormatError):
+        m.matmat(rng.standard_normal((15, 3)), out=np.zeros((12, 4)))
+
+
+def test_out_parameter(dense, rng):
+    m = from_dense(dense, "csr")
+    x = rng.standard_normal((15, 2))
+    out = np.full((12, 2), 9.0)
+    y = m.matmat(x, out=out)
+    assert y is out
+    assert np.allclose(out, dense @ x)
+
+
+def test_single_column_consistent_with_matvec(dense, rng):
+    m = from_dense(dense, "dia")
+    x = rng.standard_normal(15)
+    assert np.allclose(m.matmat(x[:, None])[:, 0], m.matvec(x))

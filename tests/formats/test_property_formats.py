@@ -1,0 +1,82 @@
+"""Property-based tests over the format lattice (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.formats import convert, from_dense
+from repro.formats.convert import FORMATS
+from repro.formats.coo import COOMatrix
+
+
+@st.composite
+def sparse_dense(draw, max_dim=24):
+    nrows = draw(st.integers(1, max_dim))
+    ncols = draw(st.integers(1, max_dim))
+    dense = draw(
+        hnp.arrays(
+            np.float64,
+            (nrows, ncols),
+            elements=st.one_of(
+                st.just(0.0),
+                st.just(0.0),
+                st.floats(-100, 100, allow_nan=False).filter(lambda v: v != 0),
+            ),
+        )
+    )
+    return dense
+
+
+@settings(max_examples=60, deadline=None)
+@given(dense=sparse_dense(), fmt=st.sampled_from(sorted(FORMATS)))
+def test_matvec_equals_dense(dense, fmt):
+    m = from_dense(dense, fmt)
+    x = np.linspace(-1.0, 1.0, dense.shape[1])
+    assert np.allclose(m.matvec(x), dense @ x, atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dense=sparse_dense(), fmt=st.sampled_from(sorted(FORMATS)))
+def test_roundtrip_through_coo(dense, fmt):
+    m = from_dense(dense, fmt)
+    assert np.allclose(m.to_coo().todense(), dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense=sparse_dense(), src=st.sampled_from(sorted(FORMATS)),
+       dst=st.sampled_from(sorted(FORMATS)))
+def test_conversion_composes(dense, src, dst):
+    a = from_dense(dense, src)
+    b = convert(a, dst)
+    assert b.nnz == a.nnz
+    assert np.allclose(b.todense(), dense)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dense=sparse_dense())
+def test_matvec_linearity(dense):
+    """A(ax + by) == a*Ax + b*Ay for the COO reference."""
+    m = COOMatrix.from_dense(dense)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(dense.shape[1])
+    y = rng.standard_normal(dense.shape[1])
+    lhs = m.matvec(2.5 * x - 1.5 * y)
+    rhs = 2.5 * m.matvec(x) - 1.5 * m.matvec(y)
+    assert np.allclose(lhs, rhs, atol=1e-8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dense=sparse_dense())
+def test_dedup_idempotent(dense):
+    """Re-wrapping canonical triplets changes nothing."""
+    a = COOMatrix.from_dense(dense)
+    b = COOMatrix(a.rows, a.cols, a.vals, a.shape)
+    assert a.equals(b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense=sparse_dense(), fmt=st.sampled_from(sorted(FORMATS)))
+def test_stored_elements_at_least_nnz(dense, fmt):
+    m = from_dense(dense, fmt)
+    assert m.stored_elements >= m.nnz
+    assert m.fill_ratio >= 1.0 or m.nnz == 0

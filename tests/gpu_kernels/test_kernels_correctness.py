@@ -1,0 +1,112 @@
+"""Every GPU kernel runner must compute exactly A @ x."""
+
+import numpy as np
+import pytest
+
+from repro.core.crsd import CRSDMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.gpu_kernels import (
+    CooSpMV,
+    CrsdSpMV,
+    CsrScalarSpMV,
+    CsrVectorSpMV,
+    DiaSpMV,
+    EllSpMV,
+    HybSpMV,
+)
+from tests.conftest import random_diagonal_matrix
+
+
+def make_runner(name, coo, **kwargs):
+    if name == "dia":
+        return DiaSpMV(DIAMatrix.from_coo(coo), **kwargs)
+    if name == "ell":
+        return EllSpMV(ELLMatrix.from_coo(coo), **kwargs)
+    if name == "csr_scalar":
+        return CsrScalarSpMV(CSRMatrix.from_coo(coo), **kwargs)
+    if name == "csr_vector":
+        return CsrVectorSpMV(CSRMatrix.from_coo(coo), **kwargs)
+    if name == "coo":
+        return CooSpMV(coo, **kwargs)
+    if name == "hyb":
+        return HybSpMV(HYBMatrix.from_coo(coo), **kwargs)
+    if name == "crsd":
+        return CrsdSpMV(CRSDMatrix.from_coo(coo, mrows=16), **kwargs)
+    raise KeyError(name)
+
+
+ALL = ["dia", "ell", "csr_scalar", "csr_vector", "coo", "hyb", "crsd"]
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_matches_dense_double(name, rng):
+    coo = random_diagonal_matrix(rng, n=150, density=0.7, scatter=3)
+    x = rng.standard_normal(150)
+    run = make_runner(name, coo).run(x)
+    assert np.allclose(run.y, coo.todense() @ x), name
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_matches_dense_single(name, rng):
+    coo = random_diagonal_matrix(rng, n=150, density=0.7, scatter=3)
+    x = rng.standard_normal(150)
+    run = make_runner(name, coo, precision="single").run(x)
+    assert run.y.dtype == np.float32
+    assert np.allclose(run.y, coo.todense() @ x, rtol=1e-3, atol=1e-3), name
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_fig2(name, fig2_coo, fig2_dense, rng):
+    x = rng.standard_normal(9)
+    runner = (
+        CrsdSpMV(CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1))
+        if name == "crsd"
+        else make_runner(name, fig2_coo)
+    )
+    assert np.allclose(runner.run(x).y, fig2_dense @ x), name
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_rows_not_multiple_of_group(name, rng):
+    coo = random_diagonal_matrix(rng, n=131, density=0.6)
+    x = rng.standard_normal(131)
+    run = make_runner(name, coo).run(x)
+    assert np.allclose(run.y, coo.todense() @ x), name
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_repeated_runs_are_deterministic(name, rng):
+    coo = random_diagonal_matrix(rng, n=80)
+    x = rng.standard_normal(80)
+    runner = make_runner(name, coo)
+    y1 = runner.run(x).y
+    y2 = runner.run(x).y
+    assert np.array_equal(y1, y2)
+
+
+@pytest.mark.parametrize("name", ["dia", "ell", "csr_vector", "hyb", "crsd"])
+def test_varying_x(name, rng):
+    """Kernels must not bake x in anywhere: new vectors give new answers."""
+    coo = random_diagonal_matrix(rng, n=60)
+    dense = coo.todense()
+    runner = make_runner(name, coo)
+    for _ in range(3):
+        x = rng.standard_normal(60)
+        assert np.allclose(runner.run(x).y, dense @ x)
+
+
+def test_wrong_x_length(rng):
+    coo = random_diagonal_matrix(rng, n=40)
+    with pytest.raises(ValueError):
+        make_runner("ell", coo).run(np.ones(39))
+
+
+def test_empty_matrix_runs():
+    coo = COOMatrix.empty((64, 64))
+    for name in ["dia", "ell", "coo", "hyb", "crsd"]:
+        run = make_runner(name, coo).run(np.ones(64))
+        assert np.array_equal(run.y, np.zeros(64)), name

@@ -1,0 +1,109 @@
+"""Transfer model and CPU+GPU hybrid SpMV."""
+
+import numpy as np
+import pytest
+
+from repro.hybrid import (
+    PCIE_GEN2_X16,
+    HybridSpMV,
+    PCIeSpec,
+    optimal_split,
+    spmv_time_with_transfers,
+    transfer_time,
+)
+from repro.hybrid.split import split_rows
+from repro.matrices.suite23 import get_spec
+from tests.conftest import random_diagonal_matrix
+
+
+class TestTransfer:
+    def test_time_components(self):
+        p = PCIeSpec("x", bandwidth_gbs=1.0, latency_us=100.0)
+        assert p.time(10**9) == pytest.approx(1.0001)
+        assert p.time(0) == 0.0
+        with pytest.raises(ValueError):
+            p.time(-1)
+
+    def test_transfer_counts_both_vectors(self):
+        t_both = transfer_time(1000, 1000, "double")
+        t_x = transfer_time(1000, 1000, "double", transfer_y=False)
+        t_y = transfer_time(1000, 1000, "double", transfer_x=False)
+        assert t_both == pytest.approx(t_x + t_y)
+
+    def test_single_precision_halves_bytes(self):
+        p = PCIeSpec("x", bandwidth_gbs=1.0, latency_us=0.0)
+        d = transfer_time(1000, 1000, "double", p)
+        s = transfer_time(1000, 1000, "single", p)
+        assert d == pytest.approx(2 * s)
+
+    def test_transfers_erode_gpu_advantage(self):
+        """The paper's conclusion: per-SpMV transfers can dominate a
+        fast kernel."""
+        kernel = 20e-6  # a fast 20us SpMV on a large matrix
+        n = 1_000_000
+        total = spmv_time_with_transfers(kernel, n, n, "double")
+        assert total > 5 * kernel
+
+
+class TestSplit:
+    def test_split_rows_partition(self, rng):
+        coo = random_diagonal_matrix(rng, n=100)
+        top, bot = split_rows(coo, 40)
+        assert top.nnz + bot.nnz == coo.nnz
+        assert top.ncols == bot.ncols == 100
+        assert bot.rows.min(initial=0) >= 0
+
+    def test_split_bounds_checked(self, rng):
+        coo = random_diagonal_matrix(rng, n=10)
+        with pytest.raises(ValueError):
+            split_rows(coo, 11)
+
+    def test_optimal_split_balances(self):
+        # GPU 4x faster than CPU -> GPU gets 80% of rows
+        assert optimal_split(1.0, 4.0) == pytest.approx(0.8)
+        with pytest.raises(ValueError):
+            optimal_split(0.0, 1.0)
+
+
+class TestHybridSpMV:
+    @pytest.fixture(scope="class")
+    def coo(self):
+        return get_spec("ecology1").generate(scale=0.01)
+
+    def test_result_correct(self, coo, rng):
+        h = HybridSpMV(coo, gpu_fraction=0.6)
+        x = rng.standard_normal(coo.ncols)
+        res = h.run(x)
+        assert np.allclose(res.y, coo.matvec(x), atol=1e-9)
+
+    def test_all_gpu_fraction(self, coo, rng):
+        h = HybridSpMV(coo, gpu_fraction=1.0)
+        x = rng.standard_normal(coo.ncols)
+        res = h.run(x)
+        assert res.cpu_seconds == 0.0
+        assert np.allclose(res.y, coo.matvec(x), atol=1e-9)
+
+    def test_auto_fraction_balances_devices(self, coo, rng):
+        h = HybridSpMV(coo)
+        res = h.run(rng.standard_normal(coo.ncols))
+        assert 0.5 < res.gpu_fraction <= 1.0  # GPU is the faster device
+        # balanced: neither device idles more than 3x the other
+        if res.cpu_seconds > 0:
+            ratio = res.gpu_seconds / res.cpu_seconds
+            assert 1 / 4 < ratio < 4
+
+    def test_boundary_segment_aligned(self, coo):
+        h = HybridSpMV(coo, gpu_fraction=0.6, mrows=128)
+        assert h.boundary % 128 == 0
+
+    def test_invalid_fraction(self, coo):
+        with pytest.raises(ValueError):
+            HybridSpMV(coo, gpu_fraction=0.0)
+
+    def test_transfers_accounted_when_enabled(self, coo, rng):
+        x = rng.standard_normal(coo.ncols)
+        h0 = HybridSpMV(coo, gpu_fraction=0.8, include_transfers=False)
+        h1 = HybridSpMV(coo, gpu_fraction=0.8, include_transfers=True)
+        r0, r1 = h0.run(x), h1.run(x)
+        assert r1.transfer_seconds > 0
+        assert r1.total_seconds > r0.total_seconds

@@ -1,0 +1,143 @@
+"""Synthetic generators: exact structural properties."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import generators as gen
+from repro.matrices.stats import compute_stats
+
+
+@pytest.fixture
+def nprng():
+    return np.random.default_rng(7)
+
+
+class TestGridStencil:
+    def test_5point_2d(self, nprng):
+        m = gen.grid_stencil((6, 7), gen.stencil_offsets((6, 7), 1, cross=True), nprng)
+        assert m.shape == (42, 42)
+        # interior cells have 5 entries
+        assert m.row_lengths().max() == 5
+        # corner has 3
+        assert m.row_lengths().min() == 3
+        # exact count: 5*42 - 2*(6+7) boundary omissions
+        assert m.nnz == 5 * 42 - 2 * (6 + 7)
+
+    def test_no_wraparound(self, nprng):
+        m = gen.grid_stencil((3, 4), [(0, 1)], nprng)
+        dense = m.todense()
+        # last column of each grid row has no +1 neighbour
+        for r in range(3):
+            assert dense[r * 4 + 3].sum() == 0
+
+    def test_upper_only(self, nprng):
+        m = gen.grid_stencil((4, 4), gen.stencil_offsets((4, 4), 1), nprng,
+                             upper_only=True)
+        assert (m.cols >= m.rows).all()
+
+    def test_box_stencil_25_point(self, nprng):
+        offs = gen.stencil_offsets((20, 21), 2, cross=False)
+        assert len(offs) == 25
+        m = gen.grid_stencil((20, 21), offs, nprng)
+        assert m.diagonal_offsets().size == 25
+
+    def test_7point_3d(self, nprng):
+        offs = gen.stencil_offsets((4, 5, 6), 1)
+        assert len(offs) == 7
+        m = gen.grid_stencil((4, 5, 6), offs, nprng)
+        assert m.shape == (120, 120)
+        assert sorted(m.diagonal_offsets().tolist()) == [-30, -6, -1, 0, 1, 6, 30]
+
+    def test_rank_mismatch_rejected(self, nprng):
+        with pytest.raises(ValueError):
+            gen.grid_stencil((4, 4), [(0, 1, 0)], nprng)
+
+
+class TestBanded:
+    def test_full_band(self, nprng):
+        m = gen.banded(10, 2, nprng)
+        assert m.diagonal_offsets().tolist() == [-2, -1, 0, 1, 2]
+        assert m.nnz == 5 * 10 - 2 * (1 + 2)
+
+    def test_all_values_nonzero(self, nprng):
+        m = gen.banded(10, 2, nprng)
+        assert np.all(m.vals != 0)
+
+
+class TestMultiDiagonal:
+    def test_full_occupancy(self, nprng):
+        m = gen.multi_diagonal(20, [(0, 1.0, 1), (3, 1.0, 1)], nprng)
+        assert m.nnz == 20 + 17
+
+    def test_partial_sections(self, nprng):
+        m = gen.multi_diagonal(100, [(0, 0.5, 2)], nprng)
+        assert 40 <= m.nnz <= 60
+        rows = np.sort(m.rows)
+        gaps = np.diff(rows)
+        assert gaps.max() > 1  # an idle section exists between sections
+
+    def test_invalid_occupancy(self, nprng):
+        with pytest.raises(ValueError):
+            gen.multi_diagonal(10, [(0, 0.0, 1)], nprng)
+        with pytest.raises(ValueError):
+            gen.multi_diagonal(10, [(0, 0.5, 0)], nprng)
+
+    def test_out_of_matrix_diagonal_skipped(self, nprng):
+        m = gen.multi_diagonal(10, [(0, 1.0, 1), (50, 1.0, 1)], nprng)
+        assert m.diagonal_offsets().tolist() == [0]
+
+
+class TestJitter:
+    def test_jittered_stays_in_window(self, nprng):
+        m = gen.jittered_diagonal(100, 10, 3, nprng)
+        offs = m.offsets_of_entries()
+        assert offs.min() >= 7 and offs.max() <= 13
+
+    def test_blocked_jitter_constant_within_block(self, nprng):
+        m = gen.blocked_jitter_diagonal(100, 10, 3, block_len=25, rng=nprng)
+        offs = m.offsets_of_entries()
+        rows = m.rows.astype(int)
+        for b in range(4):
+            sel = (rows >= b * 25) & (rows < (b + 1) * 25)
+            assert np.unique(offs[sel]).size <= 1 or np.unique(offs[sel]).size == 1
+
+    def test_valid_rows_respected(self, nprng):
+        m = gen.jittered_diagonal(100, 5, 2, nprng, valid_rows=np.array([3, 50]))
+        assert set(m.rows.tolist()) <= {3, 50}
+
+
+class TestBandedPatterns:
+    def test_band_structure(self, nprng):
+        m = gen.banded_patterns(4096, num_bands=4, clusters_per_band=3,
+                                cluster_width=3, cluster_pool=[64, -64, 128, -128, 256, -256],
+                                rng=nprng, align=128)
+        st = compute_stats(m)
+        # 3 clusters x 3 diagonals active per band
+        assert st.max_nnz_per_row <= 9
+        assert st.num_diagonals > 9  # different bands use different clusters
+
+    def test_main_cluster_always_present(self, nprng):
+        m = gen.banded_patterns(1024, 2, 2, 3, [100, -100], nprng)
+        dense_diag = np.abs(m.todense().diagonal())
+        assert (dense_diag > 0).mean() > 0.95
+
+
+class TestPerturbations:
+    def test_inject_dense_rows(self, nprng):
+        base = gen.banded(200, 2, nprng)
+        m = gen.inject_dense_rows(base, 0.05, 10, nprng, max_offset=20)
+        lengths = m.row_lengths()
+        assert lengths.max() > 5
+        assert np.abs(m.offsets_of_entries()).max() <= 20
+
+    def test_sprinkle_scatter(self, nprng):
+        base = gen.banded(100, 1, nprng)
+        m = gen.sprinkle_scatter(base, 5, nprng)
+        assert m.nnz >= base.nnz + 1  # collisions may merge a few
+
+    def test_merge_sums_duplicates(self, nprng):
+        a = gen.banded(10, 0, nprng)
+        b = gen.banded(10, 0, nprng)
+        m = gen.merge((10, 10), a, b)
+        assert m.nnz == 10
+        assert np.allclose(m.vals, a.vals + b.vals)

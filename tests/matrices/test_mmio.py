@@ -1,0 +1,114 @@
+"""MatrixMarket I/O."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.formats.base import FormatError
+from repro.formats.coo import COOMatrix
+from repro.matrices.mmio import read_matrix_market, write_matrix_market
+
+
+def test_write_read_roundtrip(tmp_path, fig2_coo):
+    p = tmp_path / "m.mtx"
+    write_matrix_market(fig2_coo, p)
+    back = read_matrix_market(p)
+    assert back.equals(fig2_coo, tol=1e-12)
+
+
+def test_roundtrip_any_format(tmp_path, fig2_coo):
+    from repro.formats.csr import CSRMatrix
+
+    p = tmp_path / "m.mtx"
+    write_matrix_market(CSRMatrix.from_coo(fig2_coo), p)
+    assert read_matrix_market(p).equals(fig2_coo, tol=1e-12)
+
+
+def test_reads_gzip(tmp_path, fig2_coo):
+    p = tmp_path / "m.mtx"
+    write_matrix_market(fig2_coo, p)
+    gz = tmp_path / "m.mtx.gz"
+    gz.write_bytes(gzip.compress(p.read_bytes()))
+    assert read_matrix_market(gz).equals(fig2_coo, tol=1e-12)
+
+
+def test_symmetric_mirrored(tmp_path):
+    p = tmp_path / "s.mtx"
+    p.write_text(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 3\n"
+        "1 1 2.0\n"
+        "2 1 5.0\n"
+        "3 3 1.0\n"
+    )
+    m = read_matrix_market(p)
+    d = m.todense()
+    assert d[1, 0] == 5.0 and d[0, 1] == 5.0
+    assert m.nnz == 4
+
+
+def test_skew_symmetric(tmp_path):
+    p = tmp_path / "s.mtx"
+    p.write_text(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 1\n"
+        "2 1 3.0\n"
+    )
+    d = read_matrix_market(p).todense()
+    assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+
+def test_pattern_field(tmp_path):
+    p = tmp_path / "p.mtx"
+    p.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 1\n"
+        "2 2\n"
+    )
+    m = read_matrix_market(p)
+    assert m.nnz == 2
+    assert np.all(m.vals == 1.0)
+
+
+def test_comments_skipped(tmp_path):
+    p = tmp_path / "c.mtx"
+    p.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "% another\n"
+        "1 1 1\n"
+        "1 1 4.5\n"
+    )
+    assert read_matrix_market(p).todense()[0, 0] == 4.5
+
+
+@pytest.mark.parametrize(
+    "header",
+    [
+        "not a matrix market file\n1 1 1\n1 1 1.0\n",
+        "%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+        "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+        "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+    ],
+)
+def test_bad_headers_rejected(tmp_path, header):
+    p = tmp_path / "bad.mtx"
+    p.write_text(header)
+    with pytest.raises(FormatError):
+        read_matrix_market(p)
+
+
+def test_truncated_file(tmp_path):
+    p = tmp_path / "t.mtx"
+    p.write_text("%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n")
+    with pytest.raises(FormatError):
+        read_matrix_market(p)
+
+
+def test_malformed_size_line(tmp_path):
+    p = tmp_path / "t.mtx"
+    p.write_text("%%MatrixMarket matrix coordinate real general\nnope\n")
+    with pytest.raises(FormatError):
+        read_matrix_market(p)

@@ -1,0 +1,63 @@
+"""Text spy plots."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.matrices.spyplot import spy
+from tests.conftest import random_diagonal_matrix
+
+
+def test_small_matrix_exact_cells(fig2_coo):
+    out = spy(fig2_coo, width=9)
+    grid = [l for l in out.splitlines() if l.startswith("  |") or l.startswith("> |")]
+    assert len(grid) == 6
+    # row 0 has nonzeros at columns 0,2,3,5,7
+    row0 = grid[0][3:-1]
+    assert row0[0] != " " and row0[1] == " " and row0[2] != " "
+
+
+def test_diagonal_shows_as_diagonal(rng):
+    n = 64
+    m = COOMatrix(np.arange(n), np.arange(n), np.ones(n), (n, n))
+    out = spy(m, width=16, height=16)
+    grid = [l[3:-1] for l in out.splitlines()
+            if l.startswith("  |") or l.startswith("> |")]
+    for i in range(16):
+        assert grid[i][i] != " "
+        assert all(grid[i][j] == " " for j in range(16) if j != i)
+
+
+def test_downsampling_large_matrix(rng):
+    m = random_diagonal_matrix(rng, n=5000)
+    out = spy(m, width=40)
+    assert "5000 x 5000" in out
+    grid = [l for l in out.splitlines() if l.startswith("  |")]
+    assert 0 < len(grid) <= 40
+
+
+def test_scatter_rows_marked(fig2_coo):
+    out = spy(fig2_coo, width=9, scatter_rows=np.array([5]))
+    lines = out.splitlines()
+    assert lines[-2].startswith("> ")
+    assert sum(1 for l in lines if l.startswith("> ")) == 1
+
+
+def test_density_glyphs_vary(rng):
+    dense_block = np.zeros((64, 64))
+    dense_block[:32, :32] = 1.0
+    dense_block[40, 40] = 1.0
+    m = COOMatrix.from_dense(dense_block)
+    out = spy(m, width=8, height=8)
+    assert "#" in out  # the dense quadrant
+    assert out.count("#") >= 4
+
+
+def test_empty_matrix():
+    out = spy(COOMatrix.empty((10, 10)), width=5)
+    assert "nnz = 0" in out
+
+
+def test_invalid_width():
+    with pytest.raises(ValueError):
+        spy(COOMatrix.empty((4, 4)), width=0)

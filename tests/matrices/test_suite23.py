@@ -1,0 +1,149 @@
+"""The 23-matrix suite reproduces each Table V row's documented structure."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.stats import compute_stats, estimate_dia_bytes
+from repro.matrices.suite23 import SUITE, generate, get_spec
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def generated():
+    """Generate the whole suite once, at the same per-spec effective
+    scale the bench harness uses (structure constants like band counts
+    need a minimum row count to hold)."""
+    from repro.bench.runner import effective_scale
+
+    return {
+        s.number: s.generate(scale=effective_scale(s, SCALE), seed=0)
+        for s in SUITE
+    }
+
+
+@pytest.fixture(scope="module")
+def stats(generated):
+    return {k: compute_stats(v) for k, v in generated.items()}
+
+
+class TestCatalogue:
+    def test_23_matrices(self):
+        assert len(SUITE) == 23
+        assert [s.number for s in SUITE] == list(range(1, 24))
+
+    def test_lookup_by_number_and_name(self):
+        assert get_spec(9).name == "kim1"
+        assert get_spec("kim1").number == 9
+        with pytest.raises(KeyError):
+            get_spec(0)
+        with pytest.raises(KeyError):
+            get_spec("nope")
+
+    def test_paper_sizes_recorded(self):
+        s = get_spec("ecology1")
+        assert s.paper_rows == 1_000_000
+        assert s.paper_nnz == 2_998_000
+
+    def test_generate_validates_scale(self):
+        with pytest.raises(ValueError):
+            generate(1, scale=0.0)
+        with pytest.raises(ValueError):
+            generate(1, scale=1.5)
+
+    def test_deterministic_per_seed(self):
+        a = generate(5, scale=SCALE, seed=3)
+        b = generate(5, scale=SCALE, seed=3)
+        assert a.equals(b)
+        c = generate(5, scale=SCALE, seed=4)
+        assert not a.equals(c)
+
+
+class TestStructure:
+    def test_all_generate_nonempty(self, generated):
+        for num, m in generated.items():
+            assert m.nnz > 0, num
+            assert m.nrows == m.ncols
+
+    def test_nnz_per_row_tracks_paper(self, stats):
+        """mean nnz/row within 40% of the paper's value."""
+        for s in SUITE:
+            target = s.paper_nnz / s.paper_rows
+            got = stats[s.number].mean_nnz_per_row
+            assert 0.6 * target <= got <= 1.5 * target, (s.name, got, target)
+
+    def test_kim_has_25_diagonals(self, stats):
+        assert stats[9].num_diagonals == 25
+        assert stats[10].num_diagonals == 25
+
+    def test_ecology_three_diagonals(self, stats):
+        assert stats[5].num_diagonals == 3
+        assert stats[6].num_diagonals == 3
+
+    def test_dia_hostile_matrices_have_high_fill(self, stats):
+        for s in SUITE:
+            if s.dia_hostile:
+                assert stats[s.number].dia_fill_ratio > 3.0, s.name
+
+    def test_stencils_have_low_dia_fill(self, stats):
+        for num in (5, 6, 9, 10, 14):
+            assert stats[num].dia_fill_ratio < 1.5, num
+
+    def test_nemeth_band_with_long_rows(self, stats):
+        st = stats[15]
+        assert st.max_nnz_per_row > st.mean_nnz_per_row * 1.2
+
+    def test_astro_has_idle_sections(self, generated):
+        """The ±far diagonals of the astrophysics matrices are broken."""
+        from repro.core.analysis import analyze_structure
+
+        m = generated[18]
+        a = analyze_structure(m, mrows=64)
+        assert a.idle_broken_gaps > 0
+
+    def test_astro_has_scatter_points(self, generated):
+        from repro.core.analysis import analyze_structure
+
+        a = analyze_structure(generated[21], mrows=64)
+        assert a.num_scatter_points > 0
+
+    def test_unstructured_variants_more_broken(self, generated):
+        from repro.core.analysis import analyze_structure
+
+        s = analyze_structure(generated[19], mrows=64)
+        us = analyze_structure(generated[22], mrows=64)
+        assert us.idle_broken_gaps >= s.idle_broken_gaps
+
+
+class TestFullSizeFootprint:
+    def test_af_dia_double_exceeds_c2050(self):
+        """E10: 900 diagonals x 503625 rows x 8 B > 3 GB."""
+        s = get_spec("af_1_k101")
+        need = estimate_dia_bytes(s.paper_rows, s.full_diagonals, "double")
+        assert need > 3 * 1024**3
+
+    def test_af_dia_single_fits(self):
+        s = get_spec("af_1_k101")
+        need = estimate_dia_bytes(s.paper_rows, s.full_diagonals, "single")
+        assert need < 3 * 1024**3
+
+    def test_s3dk_dia_fits_both(self):
+        s = get_spec("s3dkt3m2")
+        for p in ("double", "single"):
+            assert estimate_dia_bytes(s.paper_rows, s.full_diagonals, p) < 3 * 1024**3
+
+
+class TestScaling:
+    @pytest.mark.parametrize("num", [5, 9, 18])
+    def test_structure_survives_scaling(self, num):
+        small = compute_stats(generate(num, scale=0.01))
+        large = compute_stats(generate(num, scale=0.03))
+        # nnz/row is a structural constant
+        assert small.mean_nnz_per_row == pytest.approx(
+            large.mean_nnz_per_row, rel=0.25
+        )
+
+    def test_scale_one_dimensions(self):
+        # check a small paper-size matrix exactly (nemeth21 is 9506 rows)
+        m = generate(15, scale=1.0)
+        assert m.nrows == 9506

@@ -1,0 +1,128 @@
+"""Device level-1 BLAS kernels."""
+
+import numpy as np
+import pytest
+
+from repro.ocl import blas
+from repro.ocl.executor import Context
+
+
+@pytest.fixture
+def ctx():
+    return Context()
+
+
+@pytest.fixture
+def vecs(ctx, rng):
+    x = rng.standard_normal(500)
+    y = rng.standard_normal(500)
+    return x, y, ctx.alloc(x), ctx.alloc(y)
+
+
+class TestAxpy:
+    def test_result(self, vecs):
+        x, y, xb, yb = vecs
+        blas.axpy(2.5, xb, yb)
+        assert np.allclose(yb.data, 2.5 * x + y)
+
+    def test_length_checked(self, ctx):
+        with pytest.raises(ValueError):
+            blas.axpy(1.0, ctx.alloc(np.ones(3)), ctx.alloc(np.ones(4)))
+
+    def test_traffic_counted(self, vecs):
+        _, _, xb, yb = vecs
+        tr = blas.axpy(1.0, xb, yb)
+        # 2 loads + 1 store of 500 doubles
+        assert tr.global_load_bytes_useful == 2 * 500 * 8
+        assert tr.global_store_bytes_useful == 500 * 8
+
+
+class TestScaleAdd:
+    def test_result(self, vecs):
+        x, y, xb, yb = vecs
+        blas.scale_add(xb, 0.5, yb)
+        assert np.allclose(yb.data, x + 0.5 * y)
+
+
+class TestDot:
+    def test_result(self, vecs):
+        x, y, xb, yb = vecs
+        v, _ = blas.dot(xb, yb)
+        assert v == pytest.approx(float(x @ y), rel=1e-12)
+
+    def test_non_multiple_length(self, ctx, rng):
+        x = rng.standard_normal(301)
+        xb = ctx.alloc(x)
+        v, _ = blas.dot(xb, xb)
+        assert v == pytest.approx(float(x @ x), rel=1e-12)
+
+    def test_reduction_uses_local_memory_and_barriers(self, vecs):
+        _, _, xb, yb = vecs
+        tr = blas.dot(xb, yb)[1]
+        assert tr.barriers > 0
+        assert tr.local_load_bytes > 0
+
+    def test_norm(self, ctx, rng):
+        x = rng.standard_normal(200)
+        v, _ = blas.norm2(ctx.alloc(x))
+        assert v == pytest.approx(float(np.linalg.norm(x)), rel=1e-12)
+
+
+class TestCopy:
+    def test_result(self, vecs):
+        x, _, xb, yb = vecs
+        blas.copy(xb, yb)
+        assert np.array_equal(yb.data, xb.data)
+
+
+class TestGpuCG:
+    @pytest.fixture
+    def system(self, rng):
+        from repro.core.crsd import CRSDMatrix
+        from repro.formats.coo import COOMatrix
+        from repro.gpu_kernels import CrsdSpMV
+        from repro.matrices.generators import grid_stencil, stencil_offsets
+
+        sten = grid_stencil((12, 12), stencil_offsets((12, 12), 1), rng)
+        vals = np.where(sten.offsets_of_entries() == 0, 8.0, -1.0)
+        coo = COOMatrix(sten.rows, sten.cols, vals, sten.shape)
+        runner = CrsdSpMV(CRSDMatrix.from_coo(coo, mrows=16))
+        return coo, runner
+
+    def test_solves(self, system, rng):
+        from repro.solvers.gpu_cg import gpu_cg
+
+        coo, runner = system
+        b = rng.standard_normal(coo.nrows)
+        res = gpu_cg(runner, b, tol=1e-9)
+        assert res.converged
+        assert np.allclose(coo.matvec(res.x), b, atol=1e-6)
+
+    def test_aggregate_trace_prices_the_solve(self, system, rng):
+        from repro.perf.costmodel import predict_gpu_time
+        from repro.solvers.gpu_cg import gpu_cg
+
+        coo, runner = system
+        b = rng.standard_normal(coo.nrows)
+        res = gpu_cg(runner, b, tol=1e-9)
+        perf = predict_gpu_time(res.trace, runner.device,
+                                num_launches=res.kernel_launches)
+        assert perf.total > 0
+        # the solve's traffic is many iterations' worth
+        single = runner.run(b).trace
+        assert res.trace.global_load_transactions > 3 * single.global_load_transactions
+
+    def test_validation(self, system):
+        from repro.solvers.gpu_cg import gpu_cg
+
+        _, runner = system
+        with pytest.raises(ValueError):
+            gpu_cg(runner, np.ones(3))
+
+    def test_maxiter(self, system, rng):
+        from repro.solvers.gpu_cg import gpu_cg
+
+        coo, runner = system
+        res = gpu_cg(runner, rng.standard_normal(coo.nrows), maxiter=2)
+        assert not res.converged
+        assert res.iterations == 2

@@ -1,0 +1,115 @@
+"""Transaction counting, coalescing and the L2 model."""
+
+import numpy as np
+import pytest
+
+from repro.ocl.memory import (
+    Buffer,
+    LocalBuffer,
+    SegmentCache,
+    wavefront_segments,
+    wavefront_transactions,
+)
+
+W = 32      # wavefront size
+TXN = 128   # transaction bytes
+
+
+class TestCoalescing:
+    def test_fully_coalesced_float64(self):
+        # 32 consecutive doubles = 256 B = 2 transactions
+        req, txn, useful = wavefront_transactions(np.arange(32), 8, W, TXN)
+        assert (req, txn, useful) == (1, 2, 256)
+
+    def test_fully_coalesced_float32(self):
+        req, txn, useful = wavefront_transactions(np.arange(32), 4, W, TXN)
+        assert (req, txn, useful) == (1, 1, 128)
+
+    def test_fully_scattered(self):
+        idx = np.arange(32) * 1000
+        req, txn, useful = wavefront_transactions(idx, 8, W, TXN)
+        assert (req, txn) == (1, 32)
+
+    def test_strided_by_two(self):
+        idx = np.arange(32) * 2  # doubles, stride 2 -> every segment touched
+        req, txn, _ = wavefront_transactions(idx, 8, W, TXN)
+        assert txn == 4
+
+    def test_broadcast_single_segment(self):
+        req, txn, useful = wavefront_transactions(np.zeros(32, dtype=int), 8, W, TXN)
+        assert (req, txn) == (1, 1)
+        assert useful == 256
+
+    def test_two_wavefronts(self):
+        req, txn, _ = wavefront_transactions(np.arange(64), 8, W, TXN)
+        assert (req, txn) == (2, 4)
+
+    def test_partial_wavefront(self):
+        req, txn, useful = wavefront_transactions(np.arange(10), 8, W, TXN)
+        assert req == 1
+        assert txn == 1
+        assert useful == 80
+
+    def test_empty(self):
+        assert wavefront_transactions(np.empty(0, dtype=int), 8, W, TXN) == (0, 0, 0)
+
+    def test_mask_suppresses_traffic(self):
+        idx = np.arange(32) * 1000
+        mask = np.zeros(32, dtype=bool)
+        mask[:4] = True
+        req, txn, useful = wavefront_transactions(idx, 8, W, TXN, mask)
+        assert (req, txn, useful) == (1, 4, 32)
+
+    def test_all_masked(self):
+        req, txn, useful = wavefront_transactions(
+            np.arange(32), 8, W, TXN, np.zeros(32, dtype=bool)
+        )
+        assert (req, txn, useful) == (0, 0, 0)
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValueError):
+            wavefront_transactions(np.arange(4), 8, W, TXN, np.ones(5, dtype=bool))
+
+    def test_segments_returned_match_count(self):
+        idx = np.arange(64)
+        req, segs, useful = wavefront_segments(idx, 8, W, TXN)
+        assert segs.size == 4
+        assert sorted(segs.tolist()) == [0, 1, 2, 3]
+
+
+class TestSegmentCache:
+    def test_hit_after_miss(self):
+        c = SegmentCache(capacity_bytes=10 * TXN, transaction_bytes=TXN)
+        segs = np.array([1, 2, 3])
+        assert c.access(7, segs) == 3
+        assert c.access(7, segs) == 0
+
+    def test_distinct_buffers_do_not_alias(self):
+        c = SegmentCache(10 * TXN, TXN)
+        assert c.access(1, np.array([5])) == 1
+        assert c.access(2, np.array([5])) == 1
+
+    def test_lru_eviction(self):
+        c = SegmentCache(2 * TXN, TXN)
+        c.access(0, np.array([1]))
+        c.access(0, np.array([2]))
+        c.access(0, np.array([1]))          # 1 is now most recent
+        assert c.access(0, np.array([3])) == 1  # evicts 2
+        assert c.access(0, np.array([1])) == 0  # still resident
+        assert c.access(0, np.array([2])) == 1  # was evicted
+
+    def test_minimum_capacity_one_line(self):
+        c = SegmentCache(1, TXN)
+        assert c.capacity == 1
+
+
+class TestBuffers:
+    def test_buffer_flattens(self):
+        b = Buffer(np.zeros((4, 5)))
+        assert len(b) == 20
+        assert b.nbytes == 160
+
+    def test_local_buffer_zeroed(self):
+        lb = LocalBuffer(8, np.float32)
+        assert lb.nbytes == 32
+        assert np.all(lb.data == 0)

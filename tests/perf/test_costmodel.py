@@ -1,0 +1,121 @@
+"""Cost model arithmetic and qualitative behaviour."""
+
+import pytest
+
+from repro.ocl.device import TESLA_C2050
+from repro.ocl.trace import KernelTrace
+from repro.perf import calibration as cal
+from repro.perf.costmodel import predict_gpu_time
+
+
+def make_trace(**kw):
+    t = KernelTrace(work_groups=100, wavefronts=400)
+    for k, v in kw.items():
+        setattr(t, k, v)
+    return t
+
+
+class TestTerms:
+    def test_bandwidth_term(self):
+        t = make_trace(global_load_transactions=1000, global_store_transactions=0)
+        p = predict_gpu_time(t, TESLA_C2050)
+        bw = 144e9 * cal.GPU_BW_EFFICIENCY
+        assert p.bandwidth_time == pytest.approx(1000 * 128 / bw)
+
+    def test_compute_term_uses_precision(self):
+        t = make_trace(flops=10**9)
+        pd = predict_gpu_time(t, TESLA_C2050, "double")
+        ps = predict_gpu_time(t, TESLA_C2050, "single")
+        assert pd.compute_time == pytest.approx(2 * ps.compute_time)
+
+    def test_divergence_slows_compute(self):
+        t = make_trace(flops=10**9, lanes_issued=100, lanes_useful=50)
+        p0 = predict_gpu_time(make_trace(flops=10**9), TESLA_C2050)
+        p1 = predict_gpu_time(t, TESLA_C2050)
+        assert p1.compute_time == pytest.approx(2 * p0.compute_time)
+
+    def test_barrier_term_additive(self):
+        t0 = make_trace(global_load_transactions=100)
+        t1 = make_trace(global_load_transactions=100, barriers=1000)
+        p0 = predict_gpu_time(t0, TESLA_C2050)
+        p1 = predict_gpu_time(t1, TESLA_C2050)
+        assert p1.total > p0.total
+        assert p1.barrier_time > 0
+
+    def test_launch_overhead_per_launch(self):
+        t = make_trace()
+        p1 = predict_gpu_time(t, TESLA_C2050, num_launches=1)
+        p2 = predict_gpu_time(t, TESLA_C2050, num_launches=2)
+        assert p2.launch_time == pytest.approx(2 * p1.launch_time)
+
+    def test_l2_hits_cost_less_than_misses(self):
+        miss = make_trace(global_load_transactions=10_000)
+        hit = make_trace(global_load_transactions=0, l2_hits=10_000)
+        pm = predict_gpu_time(miss, TESLA_C2050)
+        ph = predict_gpu_time(hit, TESLA_C2050)
+        assert ph.l2_time < pm.bandwidth_time
+        assert ph.l2_time > 0
+
+    def test_total_is_max_plus_overheads(self):
+        t = make_trace(global_load_transactions=100, flops=10**6, barriers=10)
+        p = predict_gpu_time(t, TESLA_C2050)
+        expected = p.launch_time + max(
+            p.bandwidth_time, p.latency_time, p.compute_time, p.local_time,
+            p.l2_time,
+        ) + p.barrier_time
+        assert p.total == pytest.approx(expected)
+
+    def test_bound_reporting(self):
+        t = make_trace(global_load_transactions=10**6)
+        assert predict_gpu_time(t, TESLA_C2050).bound == "bandwidth"
+        t = make_trace(flops=10**12)
+        assert predict_gpu_time(t, TESLA_C2050).bound == "compute"
+
+
+class TestLatencyScaling:
+    def test_few_wavefronts_latency_bound(self):
+        t = KernelTrace(work_groups=1, wavefronts=1,
+                        global_load_requests=1000)
+        p = predict_gpu_time(t, TESLA_C2050)
+        assert p.latency_time > p.bandwidth_time
+
+    def test_size_scale_restores_full_concurrency(self):
+        """A scaled-down run must see the full-size latency/bandwidth
+        balance: wavefronts/size_scale feeds the concurrency."""
+        t = KernelTrace(work_groups=10, wavefronts=40,
+                        global_load_requests=4000,
+                        global_load_transactions=4000)
+        p_small = predict_gpu_time(t, TESLA_C2050, size_scale=1.0)
+        p_scaled = predict_gpu_time(t, TESLA_C2050, size_scale=0.01)
+        assert p_scaled.latency_time < p_small.latency_time
+
+    def test_concurrency_capped_by_device(self):
+        cap = TESLA_C2050.num_cus * cal.MAX_RESIDENT_WAVEFRONTS_PER_CU
+        t = KernelTrace(work_groups=10**6, wavefronts=10**6,
+                        global_load_requests=10**6)
+        p = predict_gpu_time(t, TESLA_C2050)
+        clock = TESLA_C2050.clock_ghz * 1e9
+        assert p.latency_time == pytest.approx(
+            10**6 * TESLA_C2050.global_latency_cycles / clock / cap
+        )
+
+
+class TestMetrics:
+    def test_gflops(self):
+        from repro.perf.metrics import gflops
+
+        assert gflops(nnz=10**9, seconds=2.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            gflops(1, 0.0)
+
+    def test_effective_bandwidth(self):
+        from repro.perf.metrics import effective_bandwidth
+
+        assert effective_bandwidth(2 * 10**9, 1.0) == pytest.approx(2.0)
+
+    def test_speedup(self):
+        from repro.perf.metrics import speedup
+
+        assert speedup(2.0, 1.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)

@@ -1,0 +1,81 @@
+"""Roofline analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.crsd import CRSDMatrix
+from repro.gpu_kernels import CrsdSpMV, EllSpMV
+from repro.formats.ell import ELLMatrix
+from repro.ocl.device import TESLA_C2050
+from repro.ocl.trace import KernelTrace
+from repro.perf import calibration as cal
+from repro.perf.costmodel import predict_gpu_time
+from repro.perf.roofline import RooflinePoint, render_roofline, roofline_point
+from tests.conftest import random_diagonal_matrix
+
+
+def make_point(flops, dram_bytes, gflops=1.0):
+    return RooflinePoint("k", flops, dram_bytes, gflops, TESLA_C2050)
+
+
+class TestPoint:
+    def test_intensity(self):
+        assert make_point(100, 400).arithmetic_intensity == 0.25
+
+    def test_spmv_is_memory_bound(self):
+        assert make_point(100, 400).memory_bound
+
+    def test_high_intensity_compute_bound(self):
+        assert not make_point(10**6, 10).memory_bound
+
+    def test_ceiling_never_exceeds_peak(self):
+        p = make_point(10**9, 1)
+        assert p.ceiling_gflops("double") == TESLA_C2050.peak_gflops_dp
+
+    def test_bandwidth_ceiling(self):
+        p = make_point(100, 400)
+        bw = TESLA_C2050.global_bw_gbs * cal.GPU_BW_EFFICIENCY
+        assert p.ceiling_gflops() == pytest.approx(0.25 * bw)
+
+    def test_efficiency_capped_at_one(self):
+        p = make_point(100, 400, gflops=10**6)
+        assert p.efficiency() == 1.0
+
+    def test_positive_time_required(self):
+        with pytest.raises(ValueError):
+            roofline_point("k", KernelTrace(), 0.0)
+
+
+class TestFromTraces:
+    @pytest.fixture
+    def band(self, rng):
+        return random_diagonal_matrix(rng, n=1024,
+                                      offsets=(-2, -1, 0, 1, 2),
+                                      density=1.0, scatter=0)
+
+    def test_spmv_lands_in_memory_bound_region(self, band, rng):
+        runner = CrsdSpMV(CRSDMatrix.from_coo(band, mrows=128))
+        run = runner.run(rng.standard_normal(1024))
+        secs = predict_gpu_time(run.trace, runner.device).total
+        p = roofline_point("crsd", run.trace, secs,
+                           useful_flops=2 * band.nnz)
+        assert p.memory_bound
+        assert p.arithmetic_intensity < 0.5
+
+    def test_crsd_intensity_above_ell(self, band, rng):
+        """Fewer bytes for the same useful flops = higher intensity —
+        the roofline view of the whole paper."""
+        x = rng.standard_normal(1024)
+        points = []
+        for name, runner in (
+            ("crsd", CrsdSpMV(CRSDMatrix.from_coo(band, mrows=128))),
+            ("ell", EllSpMV(ELLMatrix.from_coo(band))),
+        ):
+            run = runner.run(x)
+            secs = predict_gpu_time(run.trace, runner.device).total
+            points.append(roofline_point(name, run.trace, secs,
+                                         useful_flops=2 * band.nnz))
+        crsd, ell = points
+        assert crsd.arithmetic_intensity > ell.arithmetic_intensity
+        txt = render_roofline(points)
+        assert "crsd" in txt and "mem" in txt

@@ -1,0 +1,131 @@
+"""Reverse Cuthill-McKee reordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formats.coo import COOMatrix
+from repro.reorder import bandwidth, permute, profile, rcm_permutation
+from repro.reorder.rcm import permute_vector, unpermute_vector
+from tests.conftest import random_diagonal_matrix
+
+
+def shuffled_band(rng, n=200, halfwidth=2):
+    """A band matrix whose rows were relabelled randomly — large
+    bandwidth, band structure recoverable."""
+    from repro.matrices.generators import banded
+
+    band = banded(n, halfwidth, rng)
+    # make it structurally symmetric so RCM can fully recover the band
+    sym = COOMatrix(
+        np.concatenate([band.rows, band.cols]),
+        np.concatenate([band.cols, band.rows]),
+        np.concatenate([band.vals, band.vals]),
+        band.shape,
+    )
+    scram = rng.permutation(n)
+    return permute(sym, scram), sym
+
+
+class TestPermutation:
+    def test_identity_permutation_is_noop(self, fig2_coo):
+        sq = COOMatrix(fig2_coo.rows, fig2_coo.cols, fig2_coo.vals, (9, 9))
+        assert permute(sq, np.arange(9)).equals(sq)
+
+    def test_spmv_equivalence(self, rng):
+        """B (P x) == P (A x) for B = P A P^T."""
+        a = random_diagonal_matrix(rng, n=80)
+        perm = rng.permutation(80)
+        b = permute(a, perm)
+        x = rng.standard_normal(80)
+        lhs = b.matvec(permute_vector(x, perm))
+        rhs = permute_vector(a.matvec(x), perm)
+        assert np.allclose(lhs, rhs)
+
+    def test_unpermute_inverts(self, rng):
+        x = rng.standard_normal(50)
+        perm = rng.permutation(50)
+        assert np.allclose(unpermute_vector(permute_vector(x, perm), perm), x)
+
+    def test_invalid_perm_rejected(self, rng):
+        a = random_diagonal_matrix(rng, n=10)
+        with pytest.raises(ValueError):
+            permute(a, np.zeros(10, dtype=int))
+
+    def test_non_square_rejected(self):
+        rect = COOMatrix([0], [1], [1.0], (2, 3))
+        with pytest.raises(ValueError):
+            permute(rect, np.array([0, 1]))
+        with pytest.raises(ValueError):
+            rcm_permutation(rect)
+
+
+class TestRCM:
+    def test_returns_valid_permutation(self, rng):
+        a = random_diagonal_matrix(rng, n=64)
+        sq = COOMatrix(a.rows, a.cols, a.vals, (64, 64))
+        perm = rcm_permutation(sq)
+        assert sorted(perm.tolist()) == list(range(64))
+
+    def test_recovers_band_from_shuffle(self, rng):
+        scrambled, original = shuffled_band(rng)
+        assert bandwidth(scrambled) > 10 * bandwidth(original)
+        perm = rcm_permutation(scrambled)
+        recovered = permute(scrambled, perm)
+        # RCM restores a narrow band (optimal is 2; allow small slack)
+        assert bandwidth(recovered) <= 2 * bandwidth(original) + 2
+
+    def test_reduces_profile(self, rng):
+        scrambled, _ = shuffled_band(rng)
+        recovered = permute(scrambled, rcm_permutation(scrambled))
+        assert profile(recovered) < profile(scrambled) / 4
+
+    def test_handles_disconnected_components(self):
+        # two independent 3-cycles + an isolated vertex
+        rows = [0, 1, 2, 4, 5, 6]
+        cols = [1, 2, 0, 5, 6, 4]
+        m = COOMatrix(rows, cols, np.ones(6), (8, 8))
+        perm = rcm_permutation(m)
+        assert sorted(perm.tolist()) == list(range(8))
+
+    def test_empty_matrix(self):
+        perm = rcm_permutation(COOMatrix.empty((5, 5)))
+        assert sorted(perm.tolist()) == list(range(5))
+
+    def test_deterministic(self, rng):
+        scrambled, _ = shuffled_band(rng)
+        assert np.array_equal(rcm_permutation(scrambled),
+                              rcm_permutation(scrambled))
+
+
+class TestMetrics:
+    def test_bandwidth(self):
+        m = COOMatrix([0, 2], [2, 0], [1.0, 1.0], (3, 3))
+        assert bandwidth(m) == 2
+        assert bandwidth(COOMatrix.empty((3, 3))) == 0
+
+    def test_profile_diagonal_is_zero(self):
+        m = COOMatrix([0, 1, 2], [0, 1, 2], np.ones(3), (3, 3))
+        assert profile(m) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(4, 60))
+def test_property_rcm_never_hurts_much(seed, n):
+    """On random symmetric patterns, RCM's bandwidth is never more
+    than the original's (it may tie on already-optimal orderings)."""
+    rng = np.random.default_rng(seed)
+    a = random_diagonal_matrix(rng, n=n, density=0.6, scatter=2)
+    sym = COOMatrix(
+        np.concatenate([a.rows, a.cols]),
+        np.concatenate([a.cols, a.rows]),
+        np.concatenate([a.vals, a.vals]),
+        (n, n),
+    )
+    perm = rcm_permutation(sym)
+    assert sorted(perm.tolist()) == list(range(n))
+    # permutation validity + spmv equivalence are the hard invariants
+    x = rng.standard_normal(n)
+    b = permute(sym, perm)
+    assert np.allclose(b.matvec(permute_vector(x, perm)),
+                       permute_vector(sym.matvec(x), perm))

@@ -1,0 +1,73 @@
+"""Jacobi-preconditioned CG."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.solvers import cg
+from repro.solvers.preconditioned import pcg
+
+
+@pytest.fixture
+def badly_scaled(rng):
+    """An SPD system whose rows differ in scale by 1e4 — plain CG
+    struggles, Jacobi preconditioning fixes the conditioning."""
+    n = 120
+    from repro.matrices.generators import grid_stencil, stencil_offsets
+
+    sten = grid_stencil((12, 10), stencil_offsets((12, 10), 1), rng)
+    scale = 10.0 ** rng.uniform(0, 4, size=n)
+    offs = sten.offsets_of_entries()
+    r = sten.rows.astype(int)
+    c = sten.cols.astype(int)
+    svals = np.where(offs == 0, 8.0, -1.0) * np.sqrt(scale[r] * scale[c])
+    return COOMatrix(sten.rows, sten.cols, svals, sten.shape)
+
+
+class TestPCG:
+    def test_solves(self, badly_scaled, rng):
+        b = rng.standard_normal(120)
+        res = pcg(badly_scaled, b, tol=1e-9, maxiter=2000)
+        assert res.converged
+        assert np.allclose(badly_scaled.matvec(res.x), b,
+                           atol=1e-5 * np.abs(b).max())
+
+    def test_fewer_iterations_than_plain_cg(self, badly_scaled, rng):
+        b = rng.standard_normal(120)
+        plain = cg(badly_scaled, b, tol=1e-8, maxiter=5000)
+        pre = pcg(badly_scaled, b, tol=1e-8, maxiter=5000)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_identity_preconditioner_matches_cg(self, rng):
+        from tests.conftest import random_diagonal_matrix
+
+        a0 = random_diagonal_matrix(rng, n=60, offsets=(-1, 0, 1),
+                                    density=1.0, scatter=0)
+        # symmetrise + dominate
+        d = a0.todense()
+        d = (d + d.T) / 2 + 8 * np.eye(60)
+        a = COOMatrix.from_dense(d)
+        b = rng.standard_normal(60)
+        res_cg = cg(a, b, tol=1e-10)
+        res_pcg = pcg(a, b, preconditioner=lambda r: r, tol=1e-10)
+        assert res_pcg.iterations == res_cg.iterations
+        assert np.allclose(res_pcg.x, res_cg.x, atol=1e-8)
+
+    def test_nonpositive_diagonal_rejected(self):
+        m = COOMatrix([0, 1], [0, 1], [1.0, -1.0], (2, 2))
+        with pytest.raises(ValueError, match="positive diagonal"):
+            pcg(m, np.ones(2))
+
+    def test_shape_validation(self, badly_scaled):
+        with pytest.raises(ValueError):
+            pcg(badly_scaled, np.ones(3))
+
+    def test_zero_rhs(self, badly_scaled):
+        res = pcg(badly_scaled, np.zeros(120))
+        assert res.converged and res.iterations == 0
+
+    def test_spmv_count(self, badly_scaled, rng):
+        res = pcg(badly_scaled, rng.standard_normal(120), tol=1e-8,
+                  maxiter=3000)
+        assert res.spmv_count == res.iterations + 1

@@ -1,0 +1,155 @@
+"""Iterative solvers over the SpMV operator interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.crsd import CRSDMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.gpu_kernels import CrsdSpMV
+from repro.matrices.generators import grid_stencil, stencil_offsets
+from repro.solvers import SpMVOperator, as_operator, bicgstab, cg, jacobi
+
+
+@pytest.fixture
+def poisson():
+    """SPD 5-point Laplacian + 4I on a 10x10 grid."""
+    rng = np.random.default_rng(0)
+    sten = grid_stencil((10, 10), stencil_offsets((10, 10), 1), rng)
+    vals = np.where(sten.offsets_of_entries() == 0, 8.0, -1.0)
+    return COOMatrix(sten.rows, sten.cols, vals, sten.shape)
+
+
+@pytest.fixture
+def nonsym(poisson):
+    """Non-symmetric diagonally dominant variant."""
+    vals = poisson.vals.copy()
+    vals[poisson.offsets_of_entries() == 1] = -0.5
+    return COOMatrix(poisson.rows, poisson.cols, vals, poisson.shape)
+
+
+@pytest.fixture
+def b(poisson, rng):
+    return rng.standard_normal(poisson.nrows)
+
+
+class TestOperator:
+    def test_counts_invocations(self, poisson, b):
+        op = as_operator(poisson)
+        op(b)
+        op(b)
+        assert op.spmv_count == 2
+        op.reset_count()
+        assert op.spmv_count == 0
+
+    def test_adapts_all_carriers(self, poisson, b):
+        carriers = [
+            poisson,
+            CSRMatrix.from_coo(poisson),
+            CRSDMatrix.from_coo(poisson, mrows=16),
+            poisson.todense(),
+            CrsdSpMV(CRSDMatrix.from_coo(poisson, mrows=16)),
+        ]
+        ref = poisson.matvec(b)
+        for c in carriers:
+            op = as_operator(c)
+            assert np.allclose(op(b), ref, atol=1e-9), type(c).__name__
+
+    def test_operator_passthrough(self, poisson):
+        op = as_operator(poisson)
+        assert as_operator(op) is op
+
+    def test_diagonal(self, poisson):
+        d = as_operator(poisson).diagonal()
+        assert np.all(d == 8.0)
+
+    def test_unadaptable_rejected(self):
+        with pytest.raises(TypeError):
+            as_operator("nope")
+
+    def test_missing_diagonal_raises(self, poisson, b):
+        op = SpMVOperator(poisson.matvec, poisson.shape)
+        with pytest.raises(ValueError):
+            op.diagonal()
+
+
+class TestCG:
+    def test_solves_spd(self, poisson, b):
+        res = cg(poisson, b)
+        assert res.converged
+        assert np.allclose(poisson.matvec(res.x), b, atol=1e-7)
+        assert res.spmv_count == res.iterations + 1
+
+    def test_residual_history_decreasing_overall(self, poisson, b):
+        res = cg(poisson, b)
+        assert res.history[-1] < res.history[0]
+
+    def test_zero_rhs_immediate(self, poisson):
+        res = cg(poisson, np.zeros(poisson.nrows))
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_warm_start(self, poisson, b):
+        exact = cg(poisson, b).x
+        res = cg(poisson, b, x0=exact)
+        assert res.converged
+        assert res.iterations <= 1
+
+    def test_maxiter_reported(self, poisson, b):
+        res = cg(poisson, b, maxiter=2)
+        assert not res.converged
+        assert res.iterations == 2
+
+    def test_shape_validation(self, poisson):
+        with pytest.raises(ValueError):
+            cg(poisson, np.ones(3))
+        with pytest.raises(ValueError):
+            cg(poisson, np.ones(poisson.nrows), x0=np.ones(3))
+
+    def test_non_square_rejected(self, rng):
+        rect = COOMatrix([0], [1], [1.0], (2, 3))
+        with pytest.raises(ValueError):
+            cg(rect, np.ones(2))
+
+    def test_through_gpu_kernel(self, poisson, b):
+        runner = CrsdSpMV(CRSDMatrix.from_coo(poisson, mrows=16))
+        res = cg(runner, b, tol=1e-9)
+        assert res.converged
+        assert np.allclose(poisson.matvec(res.x), b, atol=1e-6)
+
+
+class TestBiCGSTAB:
+    def test_solves_nonsymmetric(self, nonsym, b):
+        res = bicgstab(nonsym, b, tol=1e-11)
+        assert res.converged
+        assert np.allclose(nonsym.matvec(res.x), b, atol=1e-6)
+
+    def test_solves_spd_too(self, poisson, b):
+        res = bicgstab(poisson, b)
+        assert res.converged
+
+    def test_counts_spmv(self, nonsym, b):
+        res = bicgstab(nonsym, b)
+        # 1 initial + about 2 per iteration
+        assert res.spmv_count >= res.iterations
+
+    def test_zero_rhs(self, nonsym):
+        res = bicgstab(nonsym, np.zeros(nonsym.nrows))
+        assert res.converged and res.iterations == 0
+
+
+class TestJacobi:
+    def test_solves_diagonally_dominant(self, poisson, b):
+        res = jacobi(poisson, b, tol=1e-9, maxiter=5000)
+        assert res.converged
+        assert np.allclose(poisson.matvec(res.x), b, atol=1e-5)
+
+    def test_needs_nonzero_diagonal(self, b):
+        m = COOMatrix([0, 1], [1, 0], [1.0, 1.0], (2, 2))
+        with pytest.raises(ValueError):
+            jacobi(m, np.ones(2))
+
+    def test_slower_than_cg(self, poisson, b):
+        r_cg = cg(poisson, b, tol=1e-8)
+        r_j = jacobi(poisson, b, tol=1e-8, maxiter=20000)
+        assert r_j.iterations > r_cg.iterations

@@ -1,0 +1,95 @@
+"""The ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.matrices.mmio import write_matrix_market
+from tests.conftest import random_diagonal_matrix
+
+
+@pytest.fixture
+def mtx_file(tmp_path, rng):
+    coo = random_diagonal_matrix(rng, n=80)
+    p = tmp_path / "demo.mtx"
+    write_matrix_market(coo, p)
+    return p
+
+
+class TestInfo:
+    def test_suite_by_name(self, capsys):
+        assert main(["info", "kim1", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "kim1" in out and "regions" in out
+
+    def test_suite_by_number(self, capsys):
+        assert main(["info", "9", "--scale", "0.01"]) == 0
+        assert "kim1" in capsys.readouterr().out
+
+    def test_mtx_file(self, mtx_file, capsys):
+        assert main(["info", str(mtx_file)]) == 0
+        assert "demo" in capsys.readouterr().out
+
+    def test_unknown_matrix(self):
+        with pytest.raises(KeyError):
+            main(["info", "nope"])
+
+
+class TestBench:
+    def test_bench_runs_all_formats(self, capsys):
+        assert main(["bench", "wang3", "--scale", "0.01", "--mrows", "64"]) == 0
+        out = capsys.readouterr().out
+        for fmt in ("crsd", "ell", "dia", "csr", "hyb"):
+            assert fmt in out
+        assert "WRONG" not in out
+
+    def test_bench_single_precision(self, capsys):
+        assert main(["bench", "ecology1", "--scale", "0.005",
+                     "--precision", "single"]) == 0
+        assert "single" in capsys.readouterr().out
+
+
+class TestCodegen:
+    def test_prints_kernel(self, mtx_file, capsys):
+        assert main(["codegen", str(mtx_file), "--mrows", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "__kernel void crsd_dia_spmv" in out
+
+    def test_single_precision_kernel(self, mtx_file, capsys):
+        assert main(["codegen", str(mtx_file), "--mrows", "16",
+                     "--precision", "single"]) == 0
+        assert "float" in capsys.readouterr().out
+
+
+class TestConvert:
+    def test_roundtrip(self, mtx_file, tmp_path, capsys):
+        out_path = tmp_path / "demo.crsd.npz"
+        assert main(["convert", str(mtx_file), "--mrows", "16",
+                     "-o", str(out_path)]) == 0
+        assert out_path.exists()
+
+        from repro.core.serialize import load_crsd
+        from repro.matrices.mmio import read_matrix_market
+
+        back = load_crsd(out_path)
+        orig = read_matrix_market(mtx_file)
+        assert back.to_coo().equals(orig, tol=1e-12)
+
+    def test_default_output_name(self, mtx_file, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["convert", str(mtx_file), "--mrows", "16"]) == 0
+        assert (tmp_path / "demo.crsd.npz").exists()
+
+
+class TestTune:
+    def test_fast_tune(self, mtx_file, capsys):
+        assert main(["tune", str(mtx_file), "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "best mrows=" in out
+
+
+class TestSpy:
+    def test_info_spy(self, capsys):
+        assert main(["info", "wang3", "--scale", "0.01", "--spy", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "+" + "-" * 30 + "+" in out

@@ -1,0 +1,209 @@
+"""Consolidated edge-case coverage across modules.
+
+Small behaviours that the feature-focused test files do not pin:
+report rendering with OOM rows, runner error paths, device registry,
+degenerate codegen inputs, and boundary conditions of the helpers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from tests.conftest import random_diagonal_matrix
+
+
+class TestReportEdgeCases:
+    @pytest.fixture
+    def result_with_oom(self):
+        from repro.bench.runner import BenchRecord, GpuSuiteResult
+
+        recs = [
+            BenchRecord(3, "s3dkt3m2", "crsd", "double", 100, 5.0, 4e-8),
+            BenchRecord(3, "s3dkt3m2", "dia", "double", 100, None, None,
+                        oom=True),
+            BenchRecord(3, "s3dkt3m2", "ell", "double", 100, 4.0, 5e-8),
+        ]
+        return GpuSuiteResult(recs, scale=0.02, precision="double")
+
+    def test_gflops_table_prints_oom(self, result_with_oom):
+        from repro.bench.report import gflops_table
+
+        txt = gflops_table(result_with_oom, ["dia", "ell", "crsd"])
+        assert "OOM" in txt
+
+    def test_gflops_table_missing_format_dash(self, result_with_oom):
+        from repro.bench.report import gflops_table
+
+        txt = gflops_table(result_with_oom, ["csr"])
+        assert "-" in txt.splitlines()[-1]
+
+    def test_speedup_table_skips_oom_baseline(self, result_with_oom):
+        from repro.bench.report import speedup_table
+
+        txt = speedup_table(result_with_oom, ["dia", "ell"])
+        assert "OOM" in txt
+
+    def test_speedup_series_excludes_oom(self, result_with_oom):
+        from repro.bench.report import speedup_series
+
+        assert speedup_series(result_with_oom, "dia") == {}
+        assert 3 in speedup_series(result_with_oom, "ell")
+
+    def test_summarize_empty_series(self):
+        from repro.bench.report import summarize_series
+
+        s = summarize_series({})
+        assert np.isnan(s["max"]) and np.isnan(s["avg"])
+
+    def test_best_baseline_all_oom(self):
+        from repro.bench.runner import BenchRecord, GpuSuiteResult
+
+        recs = [BenchRecord(1, "m", "dia", "double", 10, None, None, oom=True)]
+        r = GpuSuiteResult(recs, 0.02, "double")
+        assert r.best_baseline(1) is None
+
+
+class TestDeviceRegistry:
+    def test_devices_dict(self):
+        from repro.ocl.device import DEVICES, TESLA_C2050
+
+        assert DEVICES["c2050"] is TESLA_C2050
+        assert {"c2050", "cypress", "gtx285"} <= set(DEVICES)
+
+    def test_num_pes(self):
+        from repro.ocl.device import TESLA_C2050
+
+        assert TESLA_C2050.num_pes == 448  # the paper's Table IV
+
+
+class TestRunnerErrorPaths:
+    def test_precision_dtype_rejects_unknown(self):
+        from repro.gpu_kernels.base import precision_dtype
+
+        with pytest.raises(ValueError):
+            precision_dtype("half")
+
+    def test_groups_for_rows(self, rng):
+        from repro.formats.ell import ELLMatrix
+        from repro.gpu_kernels import EllSpMV
+
+        coo = random_diagonal_matrix(rng, n=100)
+        r = EllSpMV(ELLMatrix.from_coo(coo), local_size=32)
+        assert r.groups_for_rows(100) == 4
+
+    def test_prepare_idempotent(self, rng):
+        from repro.formats.ell import ELLMatrix
+        from repro.gpu_kernels import EllSpMV
+
+        coo = random_diagonal_matrix(rng, n=64)
+        r = EllSpMV(ELLMatrix.from_coo(coo))
+        r.prepare()
+        bytes_once = r.device_bytes
+        r.prepare()
+        assert r.device_bytes == bytes_once
+
+    def test_unknown_bench_format(self, rng):
+        from repro.bench.runner import _build_runners, scaled_device
+
+        coo = random_diagonal_matrix(rng, n=32)
+        with pytest.raises(ValueError):
+            _build_runners(coo, scaled_device(1.0), "double", ["nope"], 16)
+
+
+class TestCodegenDegenerate:
+    def test_empty_matrix_kernel(self):
+        from repro.codegen import build_plan, generate_opencl_source
+        from repro.codegen.python_codelet import generate_python_kernel
+        from repro.core.crsd import CRSDMatrix
+
+        crsd = CRSDMatrix.from_coo(COOMatrix.empty((16, 16)), mrows=4)
+        plan = build_plan(crsd)
+        assert plan.num_groups == 0
+        compiled = generate_python_kernel(plan)
+        assert compiled.scatter_kernel is None
+        src = generate_opencl_source(plan)
+        assert "__kernel" in src
+
+    def test_scatter_only_matrix_kernels(self, rng):
+        from repro.codegen import build_plan
+        from repro.core.crsd import CRSDMatrix
+        from repro.gpu_kernels import CrsdSpMV
+
+        entries = [(2, 10), (9, 1)]
+        rows, cols = zip(*entries)
+        coo = COOMatrix(np.array(rows), np.array(cols), np.ones(2), (16, 16))
+        crsd = CRSDMatrix.from_coo(coo, mrows=4, idle_fill_max_rows=1)
+        assert len(crsd.regions) == 0 and crsd.num_scatter_rows == 2
+        x = rng.standard_normal(16)
+        run = CrsdSpMV(crsd).run(x)
+        assert np.allclose(run.y, coo.matvec(x))
+
+    def test_single_row_matrix(self, rng):
+        from repro.core.crsd import CRSDMatrix
+
+        coo = COOMatrix([0, 0], [0, 3], [2.0, 3.0], (1, 5))
+        crsd = CRSDMatrix.from_coo(coo, mrows=4)
+        x = rng.standard_normal(5)
+        assert np.allclose(crsd.matvec(x), coo.matvec(x))
+
+
+class TestTransferEdges:
+    def test_zero_latency_spec(self):
+        from repro.hybrid.transfer import PCIeSpec
+
+        p = PCIeSpec("x", 10.0, 0.0)
+        assert p.time(10**10) == pytest.approx(1.0)
+
+    def test_transfer_neither_vector(self):
+        from repro.hybrid.transfer import transfer_time
+
+        assert transfer_time(100, 100, transfer_x=False, transfer_y=False) == 0.0
+
+
+class TestStatsEdges:
+    def test_stats_of_empty(self):
+        from repro.matrices.stats import compute_stats
+
+        st = compute_stats(COOMatrix.empty((5, 5)))
+        assert st.nnz == 0 and st.dia_fill_ratio == 1.0
+
+    def test_top10_fraction(self, rng):
+        from repro.matrices.stats import compute_stats
+
+        tri = random_diagonal_matrix(rng, n=60, offsets=(-1, 0, 1),
+                                     density=1.0, scatter=0)
+        st = compute_stats(tri)
+        assert st.top10_diag_fraction == pytest.approx(1.0)
+
+    def test_estimate_dia_bytes_precisions(self):
+        from repro.matrices.stats import estimate_dia_bytes
+
+        d = estimate_dia_bytes(1000, 10, "double")
+        s = estimate_dia_bytes(1000, 10, "single")
+        assert d == 10 * 1000 * 8 + 40
+        assert s == 10 * 1000 * 4 + 40
+
+
+class TestSolverOperatorEdges:
+    def test_dense_operator_diagonal(self, rng):
+        from repro.solvers import as_operator
+
+        d = rng.standard_normal((6, 6))
+        op = as_operator(d)
+        assert np.allclose(op.diagonal(), np.diagonal(d))
+
+    def test_runner_without_matrix_diagonal_raises(self, rng):
+        from repro.solvers import as_operator
+
+        class FakeRunner:
+            nrows = ncols = 4
+
+            def run(self, x, trace=True):
+                class R:
+                    y = np.zeros(4)
+
+                return R()
+
+        op = as_operator(FakeRunner())
+        with pytest.raises(ValueError):
+            op.diagonal()

@@ -1,0 +1,113 @@
+"""Cross-module integration tests.
+
+These exercise realistic end-to-end flows: every storage format and
+every kernel agreeing on a suite matrix, a conjugate-gradient solve
+driven by the CRSD GPU kernel, and the full CRSD pipeline (analysis ->
+format -> codegen -> simulated execution -> performance model).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import run_gpu_matrix
+from repro.core.crsd import CRSDMatrix
+from repro.formats import convert
+from repro.formats.coo import COOMatrix
+from repro.gpu_kernels import CrsdSpMV
+from repro.matrices.suite23 import get_spec
+from repro.perf.costmodel import predict_gpu_time
+
+
+class TestFormatsAgreeOnSuiteMatrices:
+    @pytest.mark.parametrize("name", ["ecology1", "wang3", "kim1", "nemeth21",
+                                      "s80_80_50"])
+    def test_all_formats_same_y(self, name, rng):
+        coo = get_spec(name).generate(scale=0.005)
+        x = rng.standard_normal(coo.ncols)
+        ref = coo.matvec(x)
+        for fmt in ("csr", "dia", "ell", "hyb", "bcsr"):
+            m = convert(coo, fmt)
+            assert np.allclose(m.matvec(x), ref), fmt
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        assert np.allclose(crsd.matvec(x), ref)
+
+
+class TestConjugateGradient:
+    def cg(self, apply_a, b, tol=1e-8, maxiter=500):
+        x = np.zeros_like(b)
+        r = b - apply_a(x)
+        p = r.copy()
+        rs = r @ r
+        for _ in range(maxiter):
+            ap = apply_a(p)
+            alpha = rs / (p @ ap)
+            x += alpha * p
+            r -= alpha * ap
+            rs_new = r @ r
+            if np.sqrt(rs_new) < tol:
+                return x, True
+            p = r + (rs_new / rs) * p
+            rs = rs_new
+        return x, False
+
+    @pytest.fixture
+    def spd_poisson(self):
+        """2-D Poisson matrix (5-point, SPD) on a 12x12 grid."""
+        from repro.matrices.generators import grid_stencil, stencil_offsets
+
+        rng = np.random.default_rng(0)
+        coo = grid_stencil((12, 12), stencil_offsets((12, 12), 1), rng)
+        # overwrite values to the standard Laplacian
+        offs = coo.offsets_of_entries()
+        vals = np.where(offs == 0, 4.0, -1.0)
+        return COOMatrix(coo.rows, coo.cols, vals, coo.shape)
+
+    def test_cg_with_crsd_reference(self, spd_poisson, rng):
+        b = rng.standard_normal(spd_poisson.nrows)
+        crsd = CRSDMatrix.from_coo(spd_poisson, mrows=16)
+        x, converged = self.cg(lambda v: crsd.matvec(v), b)
+        assert converged
+        assert np.allclose(spd_poisson.matvec(x), b, atol=1e-6)
+
+    def test_cg_with_generated_gpu_kernel(self, spd_poisson, rng):
+        b = rng.standard_normal(spd_poisson.nrows)
+        runner = CrsdSpMV(CRSDMatrix.from_coo(spd_poisson, mrows=16))
+        x, converged = self.cg(lambda v: runner.run(v, trace=False).y, b)
+        assert converged
+        assert np.allclose(spd_poisson.matvec(x), b, atol=1e-6)
+
+
+class TestFullPipeline:
+    def test_trace_to_time_to_gflops(self, rng):
+        coo = get_spec("kim1").generate(scale=0.01)
+        crsd = CRSDMatrix.from_coo(coo, mrows=64)
+        runner = CrsdSpMV(crsd)
+        run = runner.run(rng.standard_normal(coo.ncols))
+        perf = predict_gpu_time(run.trace, runner.device)
+        assert perf.total > 0
+        assert perf.bound in {"bandwidth", "latency", "compute", "local", "l2"}
+
+    def test_bench_runner_single_matrix(self):
+        recs = run_gpu_matrix(get_spec("kim1"), 0.01, "double",
+                              formats=["ell", "crsd"])
+        by = {r.fmt: r for r in recs}
+        assert by["crsd"].gflops > by["ell"].gflops
+
+    def test_opencl_source_for_suite_matrix_validates(self):
+        from repro.codegen.validator import validate_opencl_source
+
+        coo = get_spec("s80_80_50").generate(scale=0.005)
+        runner = CrsdSpMV(CRSDMatrix.from_coo(coo, mrows=64))
+        names = validate_opencl_source(runner.opencl_source)
+        assert "crsd_dia_spmv" in names
+
+    def test_mmio_to_gpu_roundtrip(self, tmp_path, rng):
+        from repro.matrices.mmio import read_matrix_market, write_matrix_market
+
+        coo = get_spec("wang3").generate(scale=0.01)
+        p = tmp_path / "wang3.mtx"
+        write_matrix_market(coo, p)
+        back = read_matrix_market(p)
+        x = rng.standard_normal(back.ncols)
+        run = CrsdSpMV(CRSDMatrix.from_coo(back, mrows=32)).run(x)
+        assert np.allclose(run.y, coo.matvec(x), atol=1e-8)
