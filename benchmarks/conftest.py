@@ -7,7 +7,7 @@ reproduced table/series to ``benchmarks/results/<name>.txt`` (the
 paper-vs-measured index in EXPERIMENTS.md is built from these) and
 registers a representative timed operation with pytest-benchmark.
 
-Scale: ``REPRO_BENCH_SCALE`` (default 0.02) with per-matrix row floors;
+Scale: ``REPRO_BENCH_SCALE`` (default 0.05) with per-matrix row floors;
 the device's capacity, L2 and launch overhead scale along so ratios
 match the full-size machine balance (see DESIGN.md §7).
 """

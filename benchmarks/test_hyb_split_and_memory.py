@@ -11,17 +11,25 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import save_table
-from repro.bench.runner import dia_oom_at_full_size, effective_scale, bench_scale
+from repro.bench.runner import dia_oom_at_full_size, effective_scale
 from repro.formats.hyb import HYBMatrix
 from repro.matrices.stats import estimate_dia_bytes
 from repro.matrices.suite23 import SUITE
+
+#: the split is a *structural* property, not a timing one, and the
+#: synthetic recipes' row-length histograms around the cusp threshold
+#: are calibrated at the original 2% scale — at other scales the
+#: heuristic can flip K' by one and (dis)solve a tail entirely — so
+#: this experiment pins its own scale instead of following
+#: REPRO_BENCH_SCALE
+SPLIT_SCALE = 0.02
 
 
 @pytest.fixture(scope="module")
 def splits():
     out = {}
     for spec in SUITE:
-        coo = spec.generate(scale=effective_scale(spec, bench_scale()))
+        coo = spec.generate(scale=effective_scale(spec, SPLIT_SCALE))
         out[spec.number] = HYBMatrix.from_coo(coo)
     return out
 
@@ -38,7 +46,7 @@ def test_hyb_split_table(splits, benchmark):
     save_table("hyb_split", "\n".join(lines))
 
     spec = SUITE[17]
-    coo = spec.generate(scale=effective_scale(spec, bench_scale()))
+    coo = spec.generate(scale=effective_scale(spec, SPLIT_SCALE))
     benchmark.pedantic(lambda: HYBMatrix.from_coo(coo), rounds=1, iterations=1)
 
 

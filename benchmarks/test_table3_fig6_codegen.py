@@ -23,7 +23,7 @@ def crsd():
     rows, cols = zip(*FIG2_ENTRIES)
     coo = COOMatrix(np.array(rows), np.array(cols),
                     np.array(list(FIG2_ENTRIES.values())), FIG2_SHAPE)
-    return CRSDMatrix.from_coo(coo, mrows=2, idle_fill_max_rows=1)
+    return CRSDMatrix.from_coo(coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
 
 
 def test_table3(crsd, benchmark):

@@ -37,7 +37,7 @@ def main():
     rows, cols = zip(*FIG2)
     coo = COOMatrix(np.array(rows), np.array(cols),
                     np.array(list(FIG2.values())), (6, 9))
-    crsd = CRSDMatrix.from_coo(coo, mrows=2, idle_fill_max_rows=1)
+    crsd = CRSDMatrix.from_coo(coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
 
     banner("CRSD storage (the paper's Fig. 4 notation, mrows=2)")
     print(crsd.fig4_dump())

@@ -60,9 +60,12 @@ def cmd_info(args) -> int:
 def cmd_bench(args) -> int:
     """``repro bench``: simulate every format on one matrix."""
     from repro.bench.runner import GPU_FORMATS, _build_runners, scaled_device
+    from repro.ocl.executor import executor_mode
     from repro.perf.costmodel import predict_gpu_time
     from repro.perf.metrics import gflops
 
+    executor_mode()  # surface a bad REPRO_EXECUTOR before the per-format
+    # try/except below turns it into "unavailable" for every format
     coo, name = _load_matrix(args.matrix, args.scale)
     dev = scaled_device(args.scale)
     rng = np.random.default_rng(0)
@@ -92,21 +95,27 @@ def cmd_bench(args) -> int:
 def cmd_codegen(args) -> int:
     """``repro codegen``: print the generated OpenCL kernel."""
     from repro.codegen import build_plan, generate_opencl_source
-    from repro.core.crsd import CRSDMatrix
+    from repro.core.crsd import CRSDMatrix, compatible_wavefront
 
     coo, _ = _load_matrix(args.matrix, args.scale)
-    crsd = CRSDMatrix.from_coo(coo, mrows=args.mrows)
+    crsd = CRSDMatrix.from_coo(
+        coo, mrows=args.mrows,
+        wavefront_size=compatible_wavefront(args.mrows),
+    )
     print(generate_opencl_source(build_plan(crsd), precision=args.precision))
     return 0
 
 
 def cmd_convert(args) -> int:
     """``repro convert``: build CRSD and persist it as .npz."""
-    from repro.core.crsd import CRSDMatrix
+    from repro.core.crsd import CRSDMatrix, compatible_wavefront
     from repro.core.serialize import save_crsd
 
     coo, name = _load_matrix(args.matrix, args.scale)
-    crsd = CRSDMatrix.from_coo(coo, mrows=args.mrows)
+    crsd = CRSDMatrix.from_coo(
+        coo, mrows=args.mrows,
+        wavefront_size=compatible_wavefront(args.mrows),
+    )
     out = Path(args.output or f"{name}.crsd.npz")
     save_crsd(crsd, out)
     print(f"wrote {out} ({crsd.num_dia_patterns} patterns, "

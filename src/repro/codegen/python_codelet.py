@@ -13,6 +13,17 @@ on stored slots (explicit fill zeros included — the device really
 executes them); lanes predicated off by bounds masks are not counted.
 The GFLOPS *metric* divides ``2·nnz`` by time, so fill work hurts, as
 it should.
+
+Each kernel is emitted twice: the per-group form (``_codelet_p0``,
+``crsd_dia_kernel``, ...) runs under the sequential reference engine
+(:func:`~repro.ocl.executor.launch`, one work-group per invocation),
+and a ``*_batched`` form runs under
+:func:`~repro.ocl.executor.launch_batched` where ``ctx.group_id`` is a
+``(num_groups, 1)`` column and every statement operates on the whole
+``(num_segments, mrows)`` lane grid at once.  The statement text is
+deliberately identical between the two forms wherever broadcasting
+makes it shape-generic; only the accumulator shapes and the per-region
+flop literals (``x NRS``) differ.
 """
 
 from __future__ import annotations
@@ -37,16 +48,22 @@ class CompiledKernel:
     source:
         The generated Python source (inspectable, testable).
     dia_kernel:
-        ``f(ctx, dia_val, x, y)`` — the diagonal-pattern kernel.
+        ``f(ctx, dia_val, x, y)`` — the diagonal-pattern kernel
+        (per-group form, for :func:`~repro.ocl.executor.launch`).
     scatter_kernel:
         ``f(ctx, scatter_colval, scatter_val, scatter_rowno, x, y)`` or
         ``None`` when the matrix has no scatter rows.
+    dia_kernel_batched / scatter_kernel_batched:
+        The same kernels in segment-batched form, for
+        :func:`~repro.ocl.executor.launch_batched`.
     """
 
     plan: KernelPlan
     source: str
     dia_kernel: Callable
     scatter_kernel: Optional[Callable]
+    dia_kernel_batched: Callable
+    scatter_kernel_batched: Optional[Callable]
 
 
 class _Writer:
@@ -82,6 +99,8 @@ def generate_python_kernel(plan: KernelPlan) -> CompiledKernel:
         source=src,
         dia_kernel=namespace["crsd_dia_kernel"],
         scatter_kernel=namespace.get("crsd_scatter_kernel"),
+        dia_kernel_batched=namespace["crsd_dia_kernel_batched"],
+        scatter_kernel_batched=namespace.get("crsd_scatter_kernel_batched"),
     )
 
 
@@ -98,6 +117,12 @@ def emit_python_source(plan: KernelPlan) -> str:
     _emit_dispatcher(w, plan)
     if plan.scatter.num_rows:
         _emit_scatter_kernel(w, plan)
+    # segment-batched forms (launch_batched)
+    for region in plan.regions:
+        _emit_region_codelet(w, plan, region, batched=True)
+    _emit_dispatcher_batched(w, plan)
+    if plan.scatter.num_rows:
+        _emit_scatter_kernel(w, plan, batched=True)
     return w.getvalue()
 
 
@@ -105,27 +130,39 @@ def emit_python_source(plan: KernelPlan) -> str:
 # region codelets
 # ----------------------------------------------------------------------
 
-def _emit_region_codelet(w: _Writer, plan: KernelPlan, region: RegionPlan) -> None:
+def _emit_region_codelet(w: _Writer, plan: KernelPlan, region: RegionPlan,
+                         batched: bool = False) -> None:
+    """Emit one region codelet.
+
+    The batched form is the same statement list over a
+    ``(num_segments, mrows)`` grid: ``seg`` is a ``(NRS, 1)`` column
+    (``ctx.group_id`` of a :class:`~repro.ocl.executor.BatchCtx`) and
+    broadcasts through every index expression unchanged; only the
+    accumulator shape and the flop literals (one call for all NRS
+    segments) differ.
+    """
     m = region.mrows
-    w.line(f"def _codelet_p{region.index}(ctx, dia_val, xb, yb):")
+    suffix = "_batched" if batched else ""
+    w.line(f"def _codelet_p{region.index}{suffix}(ctx, dia_val, xb, yb):")
     w.indent()
     w.line(f'"""Pattern {region.signature}: SR={region.start_row}, '
            f'NRS={region.nrs}, NNzRS={region.nnz_per_segment}."""')
     w.line("lid = ctx.lid")
     w.line(f"seg = ctx.group_id - {region.gid_base}")
+    shape = f"(ctx.num_groups, {m})" if batched else str(m)
     if plan.nvec == 1:
-        w.line("acc = np.zeros(%d, dtype=xb.data.dtype)" % m)
+        w.line(f"acc = np.zeros({shape}, dtype=xb.data.dtype)")
     else:
         for j in range(plan.nvec):
-            w.line(f"acc{j} = np.zeros({m}, dtype=xb.data.dtype)")
+            w.line(f"acc{j} = np.zeros({shape}, dtype=xb.data.dtype)")
     slab = f"{region.slab_base} + seg * {region.nnz_per_segment}"
     for g in region.groups:
         if plan.nvec > 1:
-            _emit_group_multivec(w, plan, region, g, slab)
+            _emit_group_multivec(w, plan, region, g, slab, batched)
         elif g.kind == "AD" and plan.use_local_memory:
-            _emit_ad_group_local(w, plan, region, g, slab)
+            _emit_ad_group_local(w, plan, region, g, slab, batched)
         else:
-            _emit_group_direct(w, plan, region, g, slab)
+            _emit_group_direct(w, plan, region, g, slab, batched)
     w.line(f"row = {region.start_row} + seg * {m} + lid")
     w.line(f"ok = row < {plan.nrows}")
     if plan.nvec == 1:
@@ -140,8 +177,15 @@ def _emit_region_codelet(w: _Writer, plan: KernelPlan, region: RegionPlan) -> No
     w.line()
 
 
+def _flops_arg(n: int, batched: bool) -> str:
+    """Per-group codelets report ``n`` flops once per work-group; the
+    batched form makes one call covering all its segments."""
+    return f"{n} * ctx.num_groups" if batched else str(n)
+
+
 def _emit_group_multivec(
-    w: _Writer, plan: KernelPlan, region: RegionPlan, g: GroupPlan, slab: str
+    w: _Writer, plan: KernelPlan, region: RegionPlan, g: GroupPlan, slab: str,
+    batched: bool = False
 ) -> None:
     """SpMM body: each diagonal value loaded once, multiplied against
     every right-hand side (x held column-major, strides baked in)."""
@@ -157,11 +201,12 @@ def _emit_group_multivec(
         w.line(f"xc = np.clip(xi, 0, {cmax})")
         for j in range(plan.nvec):
             w.line(f"acc{j} = acc{j} + v * ctx.gload(xb, {j * plan.ncols} + xc, mask=mx)")
-        w.line(f"ctx.flops({2 * m * plan.nvec})")
+        w.line(f"ctx.flops({_flops_arg(2 * m * plan.nvec, batched)})")
 
 
 def _emit_ad_group_local(
-    w: _Writer, plan: KernelPlan, region: RegionPlan, g: GroupPlan, slab: str
+    w: _Writer, plan: KernelPlan, region: RegionPlan, g: GroupPlan, slab: str,
+    batched: bool = False
 ) -> None:
     """AD group: stage the shared x window into local memory once, then
     all member diagonals read it (Fig. 5)."""
@@ -190,11 +235,12 @@ def _emit_ad_group_local(
         d = g.d_first + j
         w.line(f"v = ctx.gload(dia_val, {slab} + {d * m} + lid)")
         w.line(f"acc = acc + v * ctx.lload(tile, lid + {j})")
-        w.line(f"ctx.flops({2 * m})")
+        w.line(f"ctx.flops({_flops_arg(2 * m, batched)})")
 
 
 def _emit_group_direct(
-    w: _Writer, plan: KernelPlan, region: RegionPlan, g: GroupPlan, slab: str
+    w: _Writer, plan: KernelPlan, region: RegionPlan, g: GroupPlan, slab: str,
+    batched: bool = False
 ) -> None:
     """NAD group (or AD with local memory disabled): every diagonal
     gathers x straight from global memory."""
@@ -208,7 +254,7 @@ def _emit_group_direct(
         w.line(f"xi = {colv} + seg * {m} + lid")
         w.line(f"mx = (xi >= 0) & (xi < {plan.ncols})")
         w.line(f"acc = acc + v * ctx.gload(xb, np.clip(xi, 0, {cmax}), mask=mx)")
-        w.line(f"ctx.flops({2 * m})")
+        w.line(f"ctx.flops({_flops_arg(2 * m, batched)})")
 
 
 # ----------------------------------------------------------------------
@@ -244,15 +290,49 @@ def _emit_dispatcher(w: _Writer, plan: KernelPlan) -> None:
     w.line()
 
 
-def _emit_scatter_kernel(w: _Writer, plan: KernelPlan) -> None:
+def _emit_dispatcher_batched(w: _Writer, plan: KernelPlan) -> None:
+    """Batched dispatcher: the region boundaries partition the group-id
+    grid statically, so instead of a per-group membership test each
+    region codelet runs once over its whole contiguous id range (a
+    child :class:`~repro.ocl.executor.BatchCtx`).  Each child is
+    finalized before the next region starts so the L2 replay keeps the
+    per-group launch order."""
+    w.line("def crsd_dia_kernel_batched(ctx, dia_val, xb, yb):")
+    w.indent()
+    w.line('"""Diagonal-pattern part, all row segments batched."""')
+    if not plan.regions:
+        w.line("return")
+        w.dedent()
+        w.line()
+        return
+    lo = 0
+    for i, r in enumerate(plan.regions):
+        hi = lo + r.nrs
+        w.line(f"sub = ctx.sub({lo}, {hi})")
+        w.line(f"_codelet_p{i}_batched(sub, dia_val, xb, yb)")
+        w.line("sub.finalize()")
+        lo = hi
+    w.dedent()
+    w.line()
+
+
+def _emit_scatter_kernel(w: _Writer, plan: KernelPlan,
+                         batched: bool = False) -> None:
     """The generated ELL kernel over scatter rows (Section II-D /
     III-B): fully unrolled over ``num_scatter_width``, column-major
     arrays so loads coalesce, and it *overwrites* y — it runs after the
-    diagonal kernel and owns its rows completely."""
+    diagonal kernel and owns its rows completely.
+
+    The batched form is text-identical except for the accumulator
+    shape: ``pos``/``m``/``safe`` become grids by broadcasting, and the
+    per-entry flop count already sums the active-lane mask, which
+    covers all groups at once."""
     s = plan.scatter
     ls = plan.local_size
     nmax = s.num_rows - 1
-    w.line("def crsd_scatter_kernel(ctx, scol, sval, srow, xb, yb):")
+    suffix = "_batched" if batched else ""
+    shape = f"(ctx.num_groups, {ls})" if batched else str(ls)
+    w.line(f"def crsd_scatter_kernel{suffix}(ctx, scol, sval, srow, xb, yb):")
     w.indent()
     w.line(f'"""Scatter-row ELL part: {s.num_rows} rows x {s.width} entries, '
            'unrolled."""')
@@ -260,7 +340,7 @@ def _emit_scatter_kernel(w: _Writer, plan: KernelPlan) -> None:
     w.line(f"m = pos < {s.num_rows}")
     w.line(f"safe = np.minimum(pos, {nmax})")
     if plan.nvec == 1:
-        w.line("acc = np.zeros(%d, dtype=xb.data.dtype)" % ls)
+        w.line(f"acc = np.zeros({shape}, dtype=xb.data.dtype)")
         for k in range(s.width):
             w.line(f"c = ctx.gload(scol, {k * s.num_rows} + safe, mask=m)")
             w.line(f"v = ctx.gload(sval, {k * s.num_rows} + safe, mask=m)")
@@ -270,7 +350,7 @@ def _emit_scatter_kernel(w: _Writer, plan: KernelPlan) -> None:
         w.line("ctx.gstore(yb, r, acc, mask=m)")
     else:
         for j in range(plan.nvec):
-            w.line(f"acc{j} = np.zeros({ls}, dtype=xb.data.dtype)")
+            w.line(f"acc{j} = np.zeros({shape}, dtype=xb.data.dtype)")
         for k in range(s.width):
             w.line(f"c = ctx.gload(scol, {k * s.num_rows} + safe, mask=m)")
             w.line(f"v = ctx.gload(sval, {k * s.num_rows} + safe, mask=m)")

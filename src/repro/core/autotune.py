@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.crsd import CRSDBuildParams, CRSDMatrix
+from repro.core.crsd import CRSDBuildParams, CRSDMatrix, compatible_wavefront
 from repro.formats.coo import COOMatrix
 from repro.ocl.device import DeviceSpec, TESLA_C2050
 from repro.perf.costmodel import predict_gpu_time
@@ -47,17 +47,14 @@ class TuneResult:
 
     def build(self, coo: COOMatrix) -> CRSDMatrix:
         """Materialise the winning configuration."""
-        return CRSDMatrix.from_coo(
-            coo,
-            mrows=self.best.mrows,
-            idle_fill_max_rows=self.best.idle_fill_max_rows,
-        )
+        return CRSDMatrix.from_coo(coo, params=self.params)
 
     @property
     def params(self) -> CRSDBuildParams:
         return CRSDBuildParams(
             mrows=self.best.mrows,
             idle_fill_max_rows=self.best.idle_fill_max_rows,
+            wavefront_size=compatible_wavefront(self.best.mrows),
         )
 
 
@@ -87,7 +84,10 @@ def tune(
     for mrows, thr in itertools.product(mrows_grid, threshold_grid):
         if mrows > max(coo.nrows, 1):
             continue
-        crsd = CRSDMatrix.from_coo(coo, mrows=mrows, idle_fill_max_rows=thr)
+        crsd = CRSDMatrix.from_coo(
+            coo, mrows=mrows, idle_fill_max_rows=thr,
+            wavefront_size=compatible_wavefront(mrows),
+        )
         if fast:
             from repro.perf.analytic import estimate_crsd_traffic
 

@@ -20,6 +20,7 @@ The format stores two populations separately:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -40,6 +41,18 @@ from repro.formats.coo import COOMatrix
 DEFAULT_WAVEFRONT = 32
 
 
+def compatible_wavefront(mrows: int) -> int:
+    """The largest wavefront width not exceeding
+    :data:`DEFAULT_WAVEFRONT` that divides ``mrows``.
+
+    Entry points taking a free-form ``mrows`` (CLI, bench runner,
+    autotuner grids) use this to build a valid
+    :class:`CRSDBuildParams` for sub-wavefront segment sizes instead of
+    tripping the ``mrows % wavefront_size`` validation.
+    """
+    return math.gcd(int(mrows), DEFAULT_WAVEFRONT)
+
+
 @dataclass(frozen=True)
 class CRSDBuildParams:
     """Tunables of the CRSD construction (Section II).
@@ -57,7 +70,10 @@ class CRSDBuildParams:
     detect_scatter:
         Extract isolated single nonzeros into the ELL side structure.
     wavefront_size:
-        Only used for the alignment validation.
+        Only used for the alignment validation: ``mrows`` must be a
+        multiple of it so a segment's lanes fill whole wavefronts.
+        Pass a smaller value (e.g. ``wavefront_size=4`` with
+        ``mrows=4``) to build deliberately narrow segments.
     """
 
     mrows: int = 64
@@ -68,6 +84,16 @@ class CRSDBuildParams:
     def __post_init__(self):
         if self.mrows <= 0:
             raise ValueError(f"mrows must be positive, got {self.mrows}")
+        if self.wavefront_size <= 0:
+            raise ValueError(
+                f"wavefront_size must be positive, got {self.wavefront_size}"
+            )
+        if self.mrows % self.wavefront_size != 0:
+            raise ValueError(
+                f"mrows={self.mrows} is not a multiple of "
+                f"wavefront_size={self.wavefront_size}; segment rows must "
+                "fill whole wavefronts for coalesced accesses (Section II)"
+            )
         if self.idle_fill_max_rows is not None and self.idle_fill_max_rows < 0:
             raise ValueError("idle_fill_max_rows must be >= 0")
 

@@ -5,10 +5,20 @@ three scatter arrays; every index is baked into the generated kernel
 (that is the paper's memory-pressure reduction, measurable here as the
 absence of index traffic in the trace).  The diagonal kernel launches
 one work-group per row segment with ``local_size = mrows``; the scatter
-ELL kernel runs second and overwrites its rows.
+ELL kernel runs second and overwrites its rows.  Both launches share
+one L2 :class:`~repro.ocl.memory.SegmentCache` so the trace models the
+x-vector residency the scatter kernel inherits from the diagonal pass.
+
+The execution engine is selected by ``REPRO_EXECUTOR`` (see
+:func:`~repro.ocl.executor.executor_mode`): the default segment-batched
+engine runs each kernel as one vectorised invocation; the per-group
+reference engine (``REPRO_EXECUTOR=pergroup``) iterates work-groups
+sequentially and serves as the correctness oracle.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -16,7 +26,12 @@ from repro.codegen.plan import build_plan
 from repro.codegen.python_codelet import generate_python_kernel
 from repro.core.crsd import CRSDMatrix
 from repro.gpu_kernels.base import GPUSpMV, SpMVRun
-from repro.ocl.executor import launch
+from repro.ocl.executor import (
+    executor_mode,
+    launch,
+    launch_batched,
+    make_launch_cache,
+)
 
 
 class CrsdSpMV(GPUSpMV):
@@ -55,6 +70,11 @@ class CrsdSpMV(GPUSpMV):
 
         return generate_opencl_source(self.plan, self.precision)
 
+    def _result_elems(self) -> int:
+        """Elements of the device-side result buffer (``nrows`` for
+        SpMV; the SpMM subclass widens it to ``nrows * nvec``)."""
+        return self.nrows
+
     def _prepare(self) -> None:
         self._dia_val = self.context.alloc(
             self.matrix.dia_val.astype(self.dtype), "crsd_dia_val"
@@ -68,30 +88,43 @@ class CrsdSpMV(GPUSpMV):
             "scatter_val",
         )
         self._srow = self.context.alloc(self.matrix.scatter_rowno, "scatter_rowno")
-        self._y = self.context.alloc_zeros(self.nrows, self.dtype, "y")
+        self._y = self.context.alloc_zeros(self._result_elems(), self.dtype, "y")
 
     def _execute(self, x: np.ndarray, trace: bool) -> SpMVRun:
         xbuf = self.context.alloc(x, "x")
         try:
             ybuf = self._y
             ybuf.data[:] = 0
-            tr = launch(
-                self.kernel.dia_kernel,
+            if executor_mode() == "batched":
+                do_launch = launch_batched
+                dia_kernel = self.kernel.dia_kernel_batched
+                scatter_kernel = self.kernel.scatter_kernel_batched
+            else:
+                do_launch = launch
+                dia_kernel = self.kernel.dia_kernel
+                scatter_kernel = self.kernel.scatter_kernel
+            # one L2 cache for both kernels of this SpMV: the scatter
+            # pass reuses x lines the diagonal pass brought in
+            cache = make_launch_cache(self.device, trace)
+            tr = do_launch(
+                dia_kernel,
                 self.plan.num_groups,
                 self.plan.local_size,
                 (self._dia_val, xbuf, ybuf),
                 self.device,
                 trace,
+                cache,
             )
-            if self.kernel.scatter_kernel is not None:
+            if scatter_kernel is not None:
                 groups = -(-self.plan.scatter.num_rows // self.plan.local_size)
-                tr2 = launch(
-                    self.kernel.scatter_kernel,
+                tr2 = do_launch(
+                    scatter_kernel,
                     groups,
                     self.plan.local_size,
                     (self._scol, self._sval, self._srow, xbuf, ybuf),
                     self.device,
                     trace,
+                    cache,
                 )
                 tr.merge(tr2)
             return SpMVRun(y=ybuf.to_host().copy(), trace=tr)
@@ -106,16 +139,36 @@ class CrsdSpMM(CrsdSpMV):
     right-hand sides.  ``run(X)`` takes ``X`` of shape ``(ncols, nvec)``
     and returns ``y`` of shape ``(nrows, nvec)``; device-side both are
     column-major flat buffers with the strides in the kernel text.
+
+    With ``nvec > 1`` the plan always disables AD-group local-memory
+    staging (see :class:`~repro.codegen.plan.KernelPlan`): the L2
+    already holds the shared x window across the columns in flight, and
+    per-column tiles would exhaust local memory.  Passing
+    ``use_local_memory=True`` is therefore a no-op and warns.
     """
 
     name = "crsd_spmm"
 
-    def __init__(self, matrix: CRSDMatrix, nvec: int, **kwargs):
+    def __init__(self, matrix: CRSDMatrix, nvec: int,
+                 use_local_memory: bool | None = None, **kwargs):
         kwargs.setdefault("local_size", matrix.mrows)
         GPUSpMV.__init__(self, **kwargs)  # skip CrsdSpMV.__init__
         self.matrix = matrix
         self.nvec = int(nvec)
-        self.plan = build_plan(matrix, nvec=self.nvec)
+        if use_local_memory and self.nvec > 1:
+            warnings.warn(
+                "CrsdSpMM ignores use_local_memory=True: the multi-vector "
+                "plan always uses direct x loads (nvec > 1 disables "
+                "AD-group local-memory staging)",
+                stacklevel=2,
+            )
+        self.plan = build_plan(
+            matrix,
+            # None = inherit the default (build_plan itself turns the
+            # staging off whenever nvec > 1)
+            use_local_memory=True if use_local_memory is None else use_local_memory,
+            nvec=self.nvec,
+        )
         self.kernel = generate_python_kernel(self.plan)
 
     def run(self, x: np.ndarray, trace: bool = True) -> SpMVRun:
@@ -131,10 +184,6 @@ class CrsdSpMM(CrsdSpMV):
         y = run.y.reshape(self.nvec, self.nrows).T.copy()
         return SpMVRun(y=y, trace=run.trace)
 
-    def _prepare(self) -> None:
-        super()._prepare()
-        # replace y with an nvec-wide flat buffer
-        self.context.free(self._y)
-        self._y = self.context.alloc_zeros(
-            self.nrows * self.nvec, self.dtype, "y_multi"
-        )
+    def _result_elems(self) -> int:
+        # one flat column-major buffer holding all nvec result columns
+        return self.nrows * self.nvec

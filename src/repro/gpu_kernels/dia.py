@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.formats.dia import DIAMatrix
 from repro.gpu_kernels.base import GPUSpMV, SpMVRun
-from repro.ocl.executor import launch
+from repro.ocl.executor import executor_mode, launch, launch_batched
 
 
 class DiaSpMV(GPUSpMV):
@@ -51,10 +51,12 @@ class DiaSpMV(GPUSpMV):
             local_size = self.local_size
             data, offsets, ybuf = self._data, self._offsets, self._y
 
+            # shape-generic over both engines: rows is (local_size,)
+            # per-group and (num_groups, local_size) batched
             def kernel(ctx, data, offsets, xb, yb):
                 rows = ctx.group_id * local_size + ctx.lid
                 in_rows = rows < nrows
-                acc = np.zeros(local_size, dtype=x.dtype)
+                acc = np.zeros(rows.shape, dtype=x.dtype)
                 for d in range(ndiags):
                     # the offsets array is tiny and cached; load once per
                     # work-group rather than per lane
@@ -67,8 +69,9 @@ class DiaSpMV(GPUSpMV):
                     ctx.flops(2 * int(m.sum()))
                 ctx.gstore(yb, np.clip(rows, 0, nrows - 1), acc, mask=in_rows)
 
-            tr = launch(kernel, self.groups_for_rows(nrows), local_size,
-                        (data, offsets, xbuf, ybuf), self.device, trace)
+            do_launch = launch_batched if executor_mode() == "batched" else launch
+            tr = do_launch(kernel, self.groups_for_rows(nrows), local_size,
+                           (data, offsets, xbuf, ybuf), self.device, trace)
             return SpMVRun(y=ybuf.to_host().copy(), trace=tr)
         finally:
             # x is transient per run; release its accounting share

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.formats.ell import ELLMatrix
 from repro.gpu_kernels.base import GPUSpMV, SpMVRun
-from repro.ocl.executor import launch
+from repro.ocl.executor import executor_mode, launch, launch_batched
 
 
 class EllSpMV(GPUSpMV):
@@ -50,10 +50,11 @@ class EllSpMV(GPUSpMV):
             local_size = self.local_size
             indices, data, ybuf = self._indices, self._data, self._y
 
+            # shape-generic over both engines (see dia.py)
             def kernel(ctx, idxb, datab, xb, yb):
                 rows = ctx.group_id * local_size + ctx.lid
                 in_rows = rows < nrows
-                acc = np.zeros(local_size, dtype=x.dtype)
+                acc = np.zeros(rows.shape, dtype=x.dtype)
                 safe_rows = np.clip(rows, 0, nrows - 1)
                 for k in range(width):
                     v = ctx.gload(datab, k * nrows + safe_rows, mask=in_rows)
@@ -64,8 +65,9 @@ class EllSpMV(GPUSpMV):
                     ctx.flops(2 * int(in_rows.sum()))
                 ctx.gstore(yb, safe_rows, acc, mask=in_rows)
 
-            tr = launch(kernel, self.groups_for_rows(nrows), local_size,
-                        (indices, data, xbuf, ybuf), self.device, trace)
+            do_launch = launch_batched if executor_mode() == "batched" else launch
+            tr = do_launch(kernel, self.groups_for_rows(nrows), local_size,
+                           (indices, data, xbuf, ybuf), self.device, trace)
             return SpMVRun(y=ybuf.to_host().copy(), trace=tr)
         finally:
             self.context.free(xbuf)

@@ -83,6 +83,37 @@ class LocalBuffer:
         return int(self.data.size)
 
 
+class BatchedLocalBuffer:
+    """The local-memory allocations of *every* work-group of a batched
+    launch, stored as one ``(num_groups, size)`` array.
+
+    Row ``g`` is what work-group ``g``'s :class:`LocalBuffer` would
+    hold under per-group execution: local memory is private to a
+    work-group, so a batched launch simply carries all the private
+    copies side by side.  Capacity is still checked per group (each
+    copy must fit one CU's local memory).
+    """
+
+    space = MemSpace.LOCAL
+
+    def __init__(self, num_groups: int, size: int, dtype=np.float64,
+                 name: str = "lmem"):
+        self.data = np.zeros((int(num_groups), int(size)), dtype=dtype)
+        self.name = name
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.data.dtype.itemsize)
+
+    @property
+    def nbytes_per_group(self) -> int:
+        """Bytes one work-group's copy occupies (the capacity unit)."""
+        return int(self.data.shape[1]) * self.itemsize
+
+    def __len__(self) -> int:
+        return int(self.data.shape[1])
+
+
 class SegmentCache:
     """Approximate LRU model of the device's unified L2 cache.
 

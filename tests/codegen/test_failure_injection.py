@@ -26,7 +26,7 @@ from tests.conftest import random_diagonal_matrix
 @pytest.fixture
 def crsd(rng):
     coo = random_diagonal_matrix(rng, n=128, density=0.9, scatter=2)
-    return CRSDMatrix.from_coo(coo, mrows=16)
+    return CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=16)
 
 
 def corrupt_slab_base(plan, region_idx=0, delta=1):

@@ -21,7 +21,7 @@ from tests.conftest import random_diagonal_matrix
 @pytest.fixture
 def crsd(rng):
     coo = random_diagonal_matrix(rng, n=120, density=0.7, scatter=3)
-    return CRSDMatrix.from_coo(coo, mrows=8)
+    return CRSDMatrix.from_coo(coo, mrows=8, wavefront_size=8)
 
 
 def test_opencl_slab_expressions_match_index_trace(crsd):
@@ -54,31 +54,36 @@ def test_every_slab_slot_loaded_exactly_once(crsd):
     assert np.all(seen == 1)
 
 
-def test_python_kernel_loads_match_trace(crsd, rng):
-    """Instrument the simulated device and compare the set of slab
-    indices the compiled kernel loads against the formula trace."""
-    from repro.gpu_kernels.crsd_runner import CrsdSpMV
-    from repro.ocl.executor import WorkGroupCtx
+def _expected_slab_loads(crsd):
+    want = []
+    for gid in range(total_work_groups(crsd)):
+        for lid in range(crsd.mrows):
+            want.extend(e["slab_index"] for e in index_trace(crsd, gid, lid))
+    return sorted(want)
 
+
+@pytest.mark.parametrize("mode", ["pergroup", "batched"])
+def test_python_kernel_loads_match_trace(crsd, rng, monkeypatch, mode):
+    """Instrument the simulated device and compare the set of slab
+    indices the compiled kernel loads against the formula trace —
+    for both execution engines."""
+    from repro.gpu_kernels.crsd_runner import CrsdSpMV
+    from repro.ocl.executor import BatchCtx, WorkGroupCtx
+
+    monkeypatch.setenv("REPRO_EXECUTOR", mode)
+    ctx_cls = WorkGroupCtx if mode == "pergroup" else BatchCtx
     runner = CrsdSpMV(crsd, use_local_memory=False)
     runner.prepare()
     loaded = []
 
-    original = WorkGroupCtx.gload
+    original = ctx_cls.gload
 
     def spy(self, buf, idx, mask=None):
         if buf.name == "crsd_dia_val":
             loaded.extend(np.asarray(idx).ravel().tolist())
         return original(self, buf, idx, mask)
 
-    WorkGroupCtx.gload = spy
-    try:
-        runner.run(rng.standard_normal(crsd.ncols))
-    finally:
-        WorkGroupCtx.gload = original
+    monkeypatch.setattr(ctx_cls, "gload", spy)
+    runner.run(rng.standard_normal(crsd.ncols))
 
-    want = []
-    for gid in range(total_work_groups(crsd)):
-        for lid in range(crsd.mrows):
-            want.extend(e["slab_index"] for e in index_trace(crsd, gid, lid))
-    assert sorted(loaded) == sorted(want)
+    assert sorted(loaded) == _expected_slab_loads(crsd)

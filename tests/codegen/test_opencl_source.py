@@ -12,7 +12,7 @@ from repro.core.crsd import CRSDMatrix
 
 @pytest.fixture
 def plan(fig2_coo):
-    return build_plan(CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1))
+    return build_plan(CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1))
 
 
 class TestStructure:
@@ -73,7 +73,7 @@ class TestPrecision:
 
 class TestNoLocalMemory:
     def test_ablation_source(self, fig2_coo):
-        crsd = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        crsd = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         src = generate_opencl_source(build_plan(crsd, use_local_memory=False))
         assert "__local" not in src
         assert "barrier(" not in src
@@ -86,7 +86,7 @@ class TestScaleUp:
         from tests.conftest import random_diagonal_matrix
 
         coo = random_diagonal_matrix(rng, n=400, density=0.35, scatter=8)
-        crsd = CRSDMatrix.from_coo(coo, mrows=16)
+        crsd = CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=16)
         src = generate_opencl_source(build_plan(crsd))
         validate_opencl_source(src)
         assert src.count("case ") == len(crsd.regions)

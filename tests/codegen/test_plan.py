@@ -8,7 +8,7 @@ from repro.core.crsd import CRSDMatrix
 
 @pytest.fixture
 def plan(fig2_coo):
-    return build_plan(CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1))
+    return build_plan(CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1))
 
 
 def test_region_count(plan):
@@ -52,7 +52,7 @@ def test_scatter_plan(plan):
 
 
 def test_local_memory_toggle(fig2_coo):
-    crsd = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+    crsd = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
     plan = build_plan(crsd, use_local_memory=False)
     assert not plan.use_local_memory
 
@@ -65,5 +65,5 @@ def test_nad_only_region_needs_no_tile():
     rows = np.concatenate([np.arange(n), np.arange(n - 4)])
     cols = np.concatenate([np.arange(n), np.arange(n - 4) + 4])
     coo = COOMatrix(rows, cols, np.ones(rows.size), (n, n))
-    plan = build_plan(CRSDMatrix.from_coo(coo, mrows=4))
+    plan = build_plan(CRSDMatrix.from_coo(coo, mrows=4, wavefront_size=4))
     assert plan.max_tile_len == 0

@@ -5,14 +5,14 @@ import pytest
 
 from repro.codegen.plan import build_plan
 from repro.codegen.python_codelet import emit_python_source, generate_python_kernel
-from repro.core.crsd import CRSDMatrix
+from repro.core.crsd import CRSDMatrix, compatible_wavefront
 from repro.gpu_kernels.crsd_runner import CrsdSpMV
 from tests.conftest import random_diagonal_matrix
 
 
 @pytest.fixture
 def crsd(fig2_coo):
-    return CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+    return CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
 
 
 class TestEmittedSource:
@@ -58,14 +58,14 @@ class TestEmittedSource:
         from repro.formats.coo import COOMatrix
 
         coo = COOMatrix(np.arange(8), np.arange(8), np.ones(8), (8, 8))
-        compiled = generate_python_kernel(build_plan(CRSDMatrix.from_coo(coo, mrows=4)))
+        compiled = generate_python_kernel(build_plan(CRSDMatrix.from_coo(coo, mrows=4, wavefront_size=4)))
         assert compiled.scatter_kernel is None
 
 
 class TestCompiledCorrectness:
     @pytest.mark.parametrize("use_local", [True, False])
     def test_fig2(self, fig2_coo, fig2_dense, rng, use_local):
-        crsd = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        crsd = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         runner = CrsdSpMV(crsd, use_local_memory=use_local)
         x = rng.standard_normal(9)
         run = runner.run(x)
@@ -76,14 +76,16 @@ class TestCompiledCorrectness:
     def test_random_matrices(self, seed, mrows):
         rng = np.random.default_rng(seed)
         coo = random_diagonal_matrix(rng, n=90, density=0.6, scatter=4)
-        crsd = CRSDMatrix.from_coo(coo, mrows=mrows)
+        crsd = CRSDMatrix.from_coo(
+            coo, mrows=mrows, wavefront_size=compatible_wavefront(mrows)
+        )
         x = rng.standard_normal(90)
         run = CrsdSpMV(crsd).run(x)
         assert np.allclose(run.y, coo.todense() @ x)
 
     def test_single_precision(self, rng):
         coo = random_diagonal_matrix(rng, n=64)
-        crsd = CRSDMatrix.from_coo(coo, mrows=16)
+        crsd = CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=16)
         x = rng.standard_normal(64)
         run = CrsdSpMV(crsd, precision="single").run(x)
         assert run.y.dtype == np.float32

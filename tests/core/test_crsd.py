@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.crsd import CRSDBuildParams, CRSDMatrix
+from repro.core.crsd import CRSDBuildParams, CRSDMatrix, compatible_wavefront
 from repro.formats.base import FormatError
 from repro.formats.coo import COOMatrix
 from tests.conftest import random_diagonal_matrix
@@ -25,12 +25,12 @@ class TestBuildParams:
 
     def test_params_xor_kwargs(self, fig2_coo):
         with pytest.raises(TypeError):
-            CRSDMatrix.from_coo(fig2_coo, CRSDBuildParams(), mrows=2)
+            CRSDMatrix.from_coo(fig2_coo, CRSDBuildParams(), mrows=2, wavefront_size=2)
 
 
 class TestConstruction:
     def test_fig2_build(self, fig2_coo):
-        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         assert m.nnz == 22
         assert m.num_dia_patterns == 2
         assert m.num_scatter_rows == 1
@@ -38,25 +38,25 @@ class TestConstruction:
         assert m.mrows == 2
 
     def test_slab_size_matches_regions(self, fig2_coo):
-        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         assert m.dia_val.size == sum(r.stored_slots for r in m.regions)
         # pattern 1: 1 seg x 5 diags x 2 + pattern 2: 2 segs x 3 diags x 2
         assert m.dia_val.size == 10 + 12
 
     def test_fill_zeros_fig2(self, fig2_coo):
-        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         # v43 position is the only fill slot (v55 moved to scatter but its
         # slot was never part of the diagonal structure)
         assert m.fill_zeros == 1
 
     def test_empty_matrix(self):
-        m = CRSDMatrix.from_coo(COOMatrix.empty((8, 8)), mrows=4)
+        m = CRSDMatrix.from_coo(COOMatrix.empty((8, 8)), mrows=4, wavefront_size=4)
         assert m.nnz == 0
         assert m.dia_val.size == 0
         assert np.array_equal(m.matvec(np.ones(8)), np.zeros(8))
 
     def test_region_slab_view(self, fig2_coo):
-        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         slab = m.region_slab(1)
         assert slab.shape == (2, 3, 2)
         # first segment, AD diagonal -2: rows 2,3 -> v20, v31
@@ -64,7 +64,7 @@ class TestConstruction:
         assert slab[0, 0, 1] == 14.0
 
     def test_mismatched_slab_rejected(self, fig2_coo):
-        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         with pytest.raises(FormatError):
             CRSDMatrix(
                 m.shape, m.params, m.regions, m.dia_val[:-1],
@@ -75,7 +75,7 @@ class TestConstruction:
 
 class TestMatvec:
     def test_fig2(self, fig2_coo, fig2_dense, rng):
-        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         x = rng.standard_normal(9)
         assert np.allclose(m.matvec(x), fig2_dense @ x)
 
@@ -84,7 +84,9 @@ class TestMatvec:
         m0 = random_diagonal_matrix(rng, n=50)
         dense = m0.todense()
         x = rng.standard_normal(50)
-        m = CRSDMatrix.from_coo(m0, mrows=mrows)
+        m = CRSDMatrix.from_coo(
+            m0, mrows=mrows, wavefront_size=compatible_wavefront(mrows)
+        )
         assert np.allclose(m.matvec(x), dense @ x), mrows
 
     @pytest.mark.parametrize("thr", [0, 1, 2, 8, 1000])
@@ -92,24 +94,24 @@ class TestMatvec:
         m0 = random_diagonal_matrix(rng, n=60, density=0.5)
         dense = m0.todense()
         x = rng.standard_normal(60)
-        m = CRSDMatrix.from_coo(m0, mrows=4, idle_fill_max_rows=thr)
+        m = CRSDMatrix.from_coo(m0, mrows=4, wavefront_size=4, idle_fill_max_rows=thr)
         assert np.allclose(m.matvec(x), dense @ x), thr
 
     def test_scatter_disabled(self, rng):
         m0 = random_diagonal_matrix(rng, n=50, scatter=6)
         x = rng.standard_normal(50)
-        m = CRSDMatrix.from_coo(m0, mrows=4, detect_scatter=False)
+        m = CRSDMatrix.from_coo(m0, mrows=4, wavefront_size=4, detect_scatter=False)
         assert m.num_scatter_rows == 0
         assert np.allclose(m.matvec(x), m0.todense() @ x)
 
     def test_rows_not_multiple_of_mrows(self, rng):
         m0 = random_diagonal_matrix(rng, n=53)
         x = rng.standard_normal(53)
-        m = CRSDMatrix.from_coo(m0, mrows=8)
+        m = CRSDMatrix.from_coo(m0, mrows=8, wavefront_size=8)
         assert np.allclose(m.matvec(x), m0.todense() @ x)
 
     def test_out_parameter(self, fig2_coo, rng):
-        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         x = rng.standard_normal(9)
         out = np.full(6, 5.0)
         y = m.matvec(x, out=out)
@@ -120,7 +122,7 @@ class TestMatvec:
         entries = [(1, 7), (9, 2), (20, 15)]
         rows, cols = zip(*entries)
         coo = COOMatrix(np.array(rows), np.array(cols), np.arange(1.0, 4.0), (24, 24))
-        m = CRSDMatrix.from_coo(coo, mrows=4, idle_fill_max_rows=1)
+        m = CRSDMatrix.from_coo(coo, mrows=4, wavefront_size=4, idle_fill_max_rows=1)
         assert m.num_scatter_rows == 3
         assert len(m.regions) == 0
         x = np.arange(24, dtype=float)
@@ -129,41 +131,41 @@ class TestMatvec:
 
 class TestRoundtrip:
     def test_fig2(self, fig2_coo):
-        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         assert m.to_coo().equals(fig2_coo)
 
     @pytest.mark.parametrize("seed", range(6))
     def test_random(self, seed):
         rng = np.random.default_rng(seed)
         m0 = random_diagonal_matrix(rng, n=70, density=0.6, scatter=3)
-        m = CRSDMatrix.from_coo(m0, mrows=8)
+        m = CRSDMatrix.from_coo(m0, mrows=8, wavefront_size=8)
         assert m.to_coo().equals(m0)
 
 
 class TestStats:
     def test_adjacent_slot_fraction_fig2(self, fig2_coo):
-        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         # region 1: 2 of 5 diagonals AD; region 2: 2 of 3 AD over 2 segments
         expected = (2 * 2 + 2 * 2 * 2) / (5 * 2 + 3 * 2 * 2)
         assert m.adjacent_slot_fraction == pytest.approx(expected)
 
     def test_crsd_dia_index_fig2(self, fig2_coo):
-        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         # {R0, 1, C0, C2, C5, C7 | R2, 2, C0, C3}
         assert m.crsd_dia_index().tolist() == [0, 1, 0, 2, 5, 7, 2, 2, 0, 3]
 
     def test_inventory_is_value_arrays_only(self, fig2_coo):
-        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         assert set(m.array_inventory()) == {
             "crsd_dia_val", "scatter_rowno", "scatter_colval", "scatter_val",
         }
 
     def test_stored_elements(self, fig2_coo):
-        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         assert m.stored_elements == 22 + 4  # slab + scatter ELL
 
     def test_fig4_dump_contains_header(self, fig2_coo):
-        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        m = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         dump = m.fig4_dump()
         assert "num_scatter_rows = 1;" in dump
         assert "num_dia_patterns = 2;" in dump

@@ -15,7 +15,7 @@ from tests.conftest import FIG2_ENTRIES
 
 @pytest.fixture
 def m(fig2_coo):
-    return CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+    return CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
 
 
 def test_matrix_signature(m):

@@ -4,7 +4,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.core.analysis import analyze_structure
-from repro.core.crsd import CRSDMatrix
+from repro.core.crsd import CRSDMatrix, compatible_wavefront
 from repro.core.grouping import GroupKind, flatten_groups, group_offsets
 from repro.formats.coo import COOMatrix
 
@@ -46,7 +46,8 @@ def diagonal_coo(draw):
        thr=st.integers(0, 20))
 def test_crsd_matvec_equals_dense(coo, mrows, thr):
     """The fundamental invariant: any build parameters give A @ x."""
-    m = CRSDMatrix.from_coo(coo, mrows=mrows, idle_fill_max_rows=thr)
+    m = CRSDMatrix.from_coo(coo, mrows=mrows, idle_fill_max_rows=thr,
+                            wavefront_size=compatible_wavefront(mrows))
     x = np.linspace(-1, 1, coo.ncols)
     assert np.allclose(m.matvec(x), coo.todense() @ x, atol=1e-9)
 
@@ -54,7 +55,8 @@ def test_crsd_matvec_equals_dense(coo, mrows, thr):
 @settings(max_examples=60, deadline=None)
 @given(coo=diagonal_coo(), mrows=st.integers(1, 16))
 def test_crsd_roundtrip(coo, mrows):
-    m = CRSDMatrix.from_coo(coo, mrows=mrows)
+    m = CRSDMatrix.from_coo(coo, mrows=mrows,
+                            wavefront_size=compatible_wavefront(mrows))
     assert m.to_coo().equals(coo)
 
 

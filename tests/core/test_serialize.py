@@ -10,7 +10,7 @@ from tests.conftest import random_diagonal_matrix
 
 @pytest.fixture
 def crsd(fig2_coo):
-    return CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+    return CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
 
 
 def test_roundtrip_preserves_matrix(crsd, tmp_path, fig2_coo):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.crsd import CRSDMatrix
+from repro.core.crsd import CRSDMatrix, compatible_wavefront
 from repro.core.spmv import (
     index_trace,
     region_of_group,
@@ -16,7 +16,7 @@ from tests.conftest import random_diagonal_matrix
 
 @pytest.fixture
 def crsd(fig2_coo):
-    return CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+    return CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
 
 
 class TestGroupMapping:
@@ -57,7 +57,9 @@ class TestFullInterpretation:
     @pytest.mark.parametrize("mrows", [2, 4, 8])
     def test_matches_vectorised(self, rng, mrows):
         m0 = random_diagonal_matrix(rng, n=40, scatter=3)
-        m = CRSDMatrix.from_coo(m0, mrows=mrows)
+        m = CRSDMatrix.from_coo(
+            m0, mrows=mrows, wavefront_size=compatible_wavefront(mrows)
+        )
         x = rng.standard_normal(40)
         assert np.allclose(spmv_interpreted(m, x), m.matvec(x))
 

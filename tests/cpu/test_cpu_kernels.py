@@ -98,7 +98,7 @@ class TestDia:
 class TestCrsdCpu:
     def test_matches_dense(self, rng):
         coo = random_diagonal_matrix(rng, n=100, scatter=3)
-        crsd = CRSDMatrix.from_coo(coo, mrows=8)
+        crsd = CRSDMatrix.from_coo(coo, mrows=8, wavefront_size=8)
         x = rng.standard_normal(100)
         assert np.allclose(CpuCrsdSpMV(crsd).run(x).y, coo.todense() @ x)
 

@@ -58,7 +58,7 @@ def test_csr_matmat_with_empty_rows(rng):
 def test_crsd_matmat(dense, rng):
     sq = (rng.random((20, 20)) < 0.2) * rng.standard_normal((20, 20))
     coo = COOMatrix.from_dense(sq)
-    m = CRSDMatrix.from_coo(coo, mrows=4)
+    m = CRSDMatrix.from_coo(coo, mrows=4, wavefront_size=4)
     x = rng.standard_normal((20, 3))
     assert np.allclose(m.matmat(x), sq @ x)
 

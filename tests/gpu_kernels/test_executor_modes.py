@@ -1,0 +1,215 @@
+"""Differential tests: batched engine vs. the per-group oracle, plus
+edge-case regression coverage the seed suite missed.
+
+The batched engine must be *bit-identical* to per-group execution — same
+``y`` (``np.array_equal``, not allclose) and the same value in every
+trace counter — for every runner and every matrix shape the bench suite
+can produce.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import bench_scale, effective_scale, scaled_device
+from repro.core.crsd import CRSDMatrix, compatible_wavefront
+from repro.formats.coo import COOMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.gpu_kernels.crsd_runner import CrsdSpMM, CrsdSpMV
+from repro.gpu_kernels.dia import DiaSpMV
+from repro.gpu_kernels.ell import EllSpMV
+from repro.matrices.suite23 import SUITE
+from tests.conftest import random_diagonal_matrix
+
+
+def run_both_modes(make_runner, x, monkeypatch, trace=True):
+    """Execute one runner config under each engine on fresh state."""
+    runs = {}
+    for mode in ("pergroup", "batched"):
+        monkeypatch.setenv("REPRO_EXECUTOR", mode)
+        runs[mode] = make_runner().run(x, trace=trace)
+    return runs["pergroup"], runs["batched"]
+
+
+def assert_identical(pergroup, batched):
+    assert np.array_equal(pergroup.y, batched.y)
+    assert dataclasses.asdict(pergroup.trace) == dataclasses.asdict(
+        batched.trace)
+
+
+def rectangular_coo(nrows, ncols, offsets, rng, scatter=2):
+    """A rectangular band matrix plus a few scatter points."""
+    rows_l, cols_l = [], []
+    for off in offsets:
+        lo, hi = max(0, -off), min(nrows, ncols - off)
+        if hi <= lo:
+            continue
+        r = np.arange(lo, hi)
+        rows_l.append(r)
+        cols_l.append(r + off)
+    for _ in range(scatter):
+        rows_l.append(np.array([rng.integers(0, nrows)]))
+        cols_l.append(np.array([rng.integers(0, ncols)]))
+    rows = np.concatenate(rows_l)
+    cols = np.concatenate(cols_l)
+    vals = rng.standard_normal(rows.size)
+    vals[vals == 0] = 1.0
+    return COOMatrix(rows, cols, vals, (nrows, ncols))
+
+
+class TestDifferentialSmall:
+    @pytest.mark.parametrize("use_local", [True, False])
+    def test_crsd_spmv(self, rng, monkeypatch, use_local):
+        coo = random_diagonal_matrix(rng, n=200, density=0.7, scatter=4)
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        x = rng.standard_normal(200)
+        p, b = run_both_modes(
+            lambda: CrsdSpMV(crsd, use_local_memory=use_local),
+            x, monkeypatch)
+        assert_identical(p, b)
+        assert np.allclose(b.y, coo.todense() @ x)
+
+    @pytest.mark.parametrize("nvec", [2, 5])
+    def test_crsd_spmm(self, rng, monkeypatch, nvec):
+        coo = random_diagonal_matrix(rng, n=128, density=0.8, scatter=3)
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        x = rng.standard_normal((128, nvec))
+        p, b = run_both_modes(lambda: CrsdSpMM(crsd, nvec=nvec),
+                              x, monkeypatch)
+        assert_identical(p, b)
+        assert np.allclose(b.y, coo.todense() @ x)
+
+    def test_dia_spmv(self, rng, monkeypatch):
+        coo = random_diagonal_matrix(rng, n=150, density=1.0, scatter=0)
+        dia = DIAMatrix.from_coo(coo)
+        x = rng.standard_normal(150)
+        p, b = run_both_modes(lambda: DiaSpMV(dia), x, monkeypatch)
+        assert_identical(p, b)
+        assert np.allclose(b.y, coo.todense() @ x)
+
+    def test_ell_spmv(self, rng, monkeypatch):
+        coo = random_diagonal_matrix(rng, n=150, density=0.6, scatter=5)
+        ell = ELLMatrix.from_coo(coo)
+        x = rng.standard_normal(150)
+        p, b = run_both_modes(lambda: EllSpMV(ell), x, monkeypatch)
+        assert_identical(p, b)
+        assert np.allclose(b.y, coo.todense() @ x)
+
+    def test_untraced_y_identical(self, rng, monkeypatch):
+        coo = random_diagonal_matrix(rng, n=100)
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        x = rng.standard_normal(100)
+        p, b = run_both_modes(lambda: CrsdSpMV(crsd), x, monkeypatch,
+                              trace=False)
+        assert np.array_equal(p.y, b.y)
+
+
+class TestDifferentialSuite23:
+    """Both engines agree bit-for-bit across the full bench suite."""
+
+    @pytest.mark.parametrize(
+        "spec", SUITE, ids=lambda s: f"{s.number:02d}-{s.name}")
+    def test_suite_matrix(self, spec, monkeypatch):
+        scale = effective_scale(spec, bench_scale())
+        coo = spec.generate(scale=scale, seed=0)
+        dev = scaled_device(scale)
+        crsd = CRSDMatrix.from_coo(
+            coo, mrows=128, wavefront_size=compatible_wavefront(128))
+        x = np.random.default_rng(17).standard_normal(coo.ncols)
+        p, b = run_both_modes(lambda: CrsdSpMV(crsd, device=dev),
+                              x, monkeypatch)
+        assert_identical(p, b)
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("shape", [(48, 96), (96, 48)])
+    def test_rectangular_spmv(self, rng, monkeypatch, shape):
+        nrows, ncols = shape
+        offsets = (-3, 0, 2, 5) if ncols >= nrows else (-40, -3, 0, 2)
+        coo = rectangular_coo(nrows, ncols, offsets, rng)
+        crsd = CRSDMatrix.from_coo(coo, mrows=8, wavefront_size=8)
+        x = rng.standard_normal(ncols)
+        p, b = run_both_modes(lambda: CrsdSpMV(crsd), x, monkeypatch)
+        assert_identical(p, b)
+        assert b.y.shape == (nrows,)
+        assert np.allclose(b.y, coo.todense() @ x)
+
+    @pytest.mark.parametrize("shape", [(48, 96), (96, 48)])
+    def test_rectangular_spmm(self, rng, monkeypatch, shape):
+        nrows, ncols = shape
+        offsets = (-3, 0, 2, 5) if ncols >= nrows else (-40, -3, 0, 2)
+        coo = rectangular_coo(nrows, ncols, offsets, rng)
+        crsd = CRSDMatrix.from_coo(coo, mrows=8, wavefront_size=8)
+        x = rng.standard_normal((ncols, 3))
+        p, b = run_both_modes(lambda: CrsdSpMM(crsd, nvec=3), x, monkeypatch)
+        assert_identical(p, b)
+        assert b.y.shape == (nrows, 3)
+        assert np.allclose(b.y, coo.todense() @ x)
+
+    def test_scatter_only_matrix(self, monkeypatch, rng):
+        entries = [(1, 7), (9, 2), (20, 15), (33, 33)]
+        rows, cols = zip(*entries)
+        coo = COOMatrix(np.array(rows), np.array(cols),
+                        np.arange(1.0, 5.0), (40, 40))
+        crsd = CRSDMatrix.from_coo(coo, mrows=8, wavefront_size=8,
+                                   idle_fill_max_rows=1)
+        assert len(crsd.regions) == 0 and crsd.num_scatter_rows == 4
+        x = rng.standard_normal(40)
+        p, b = run_both_modes(lambda: CrsdSpMV(crsd), x, monkeypatch)
+        assert_identical(p, b)
+        assert np.allclose(b.y, coo.todense() @ x)
+
+    def test_all_zero_matrix(self, monkeypatch):
+        crsd = CRSDMatrix.from_coo(COOMatrix.empty((64, 64)),
+                                   mrows=16, wavefront_size=16)
+        x = np.ones(64)
+        p, b = run_both_modes(lambda: CrsdSpMV(crsd), x, monkeypatch)
+        assert_identical(p, b)
+        assert np.array_equal(b.y, np.zeros(64))
+
+    def test_matvec_out_reuse(self, rng):
+        """The same ``out`` buffer must be fully re-zeroed on every call
+        (stale values from a previous matvec must never leak)."""
+        coo = random_diagonal_matrix(rng, n=60, density=0.5, scatter=3)
+        crsd = CRSDMatrix.from_coo(coo, mrows=4, wavefront_size=4)
+        dense = coo.todense()
+        out = np.full(60, np.nan)
+        for _ in range(3):
+            x = rng.standard_normal(60)
+            y = crsd.matvec(x, out=out)
+            assert y is out
+            assert np.allclose(out, dense @ x)
+
+
+class TestAllocationStability:
+    def test_spmv_buffers_allocated_once(self, rng):
+        coo = random_diagonal_matrix(rng, n=120, scatter=3)
+        runner = CrsdSpMV(CRSDMatrix.from_coo(coo, mrows=32))
+        runner.prepare()
+        baseline = runner.device_bytes
+        assert baseline > 0
+        x = rng.standard_normal(120)
+        for _ in range(3):
+            runner.run(x)
+            runner.prepare()
+            assert runner.device_bytes == baseline
+
+    def test_spmm_buffers_allocated_once(self, rng):
+        coo = random_diagonal_matrix(rng, n=96, scatter=2)
+        runner = CrsdSpMM(CRSDMatrix.from_coo(coo, mrows=32), nvec=4)
+        runner.prepare()
+        baseline = runner.device_bytes
+        assert baseline > 0
+        x = rng.standard_normal((96, 4))
+        for _ in range(3):
+            runner.run(x)
+            runner.prepare()
+            assert runner.device_bytes == baseline
+
+    def test_spmm_local_memory_warning(self, rng):
+        coo = random_diagonal_matrix(rng, n=96, density=0.9)
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        with pytest.warns(UserWarning, match="local"):
+            CrsdSpMM(crsd, nvec=2, use_local_memory=True)

@@ -35,7 +35,7 @@ def make_runner(name, coo, **kwargs):
     if name == "hyb":
         return HybSpMV(HYBMatrix.from_coo(coo), **kwargs)
     if name == "crsd":
-        return CrsdSpMV(CRSDMatrix.from_coo(coo, mrows=16), **kwargs)
+        return CrsdSpMV(CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=16), **kwargs)
     raise KeyError(name)
 
 
@@ -63,7 +63,7 @@ def test_matches_dense_single(name, rng):
 def test_fig2(name, fig2_coo, fig2_dense, rng):
     x = rng.standard_normal(9)
     runner = (
-        CrsdSpMV(CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1))
+        CrsdSpMV(CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1))
         if name == "crsd"
         else make_runner(name, fig2_coo)
     )

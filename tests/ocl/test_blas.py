@@ -86,7 +86,7 @@ class TestGpuCG:
         sten = grid_stencil((12, 12), stencil_offsets((12, 12), 1), rng)
         vals = np.where(sten.offsets_of_entries() == 0, 8.0, -1.0)
         coo = COOMatrix(sten.rows, sten.cols, vals, sten.shape)
-        runner = CrsdSpMV(CRSDMatrix.from_coo(coo, mrows=16))
+        runner = CrsdSpMV(CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=16))
         return coo, runner
 
     def test_solves(self, system, rng):

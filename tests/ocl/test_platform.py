@@ -122,7 +122,7 @@ class TestCrsdThroughHostApi:
         from repro.codegen.python_codelet import generate_python_kernel
         from repro.core.crsd import CRSDMatrix
 
-        crsd = CRSDMatrix.from_coo(fig2_coo, mrows=2, idle_fill_max_rows=1)
+        crsd = CRSDMatrix.from_coo(fig2_coo, mrows=2, wavefront_size=2, idle_fill_max_rows=1)
         plan = build_plan(crsd)
         compiled = generate_python_kernel(plan)
 

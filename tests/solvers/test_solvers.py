@@ -46,9 +46,9 @@ class TestOperator:
         carriers = [
             poisson,
             CSRMatrix.from_coo(poisson),
-            CRSDMatrix.from_coo(poisson, mrows=16),
+            CRSDMatrix.from_coo(poisson, mrows=16, wavefront_size=16),
             poisson.todense(),
-            CrsdSpMV(CRSDMatrix.from_coo(poisson, mrows=16)),
+            CrsdSpMV(CRSDMatrix.from_coo(poisson, mrows=16, wavefront_size=16)),
         ]
         ref = poisson.matvec(b)
         for c in carriers:
@@ -112,7 +112,7 @@ class TestCG:
             cg(rect, np.ones(2))
 
     def test_through_gpu_kernel(self, poisson, b):
-        runner = CrsdSpMV(CRSDMatrix.from_coo(poisson, mrows=16))
+        runner = CrsdSpMV(CRSDMatrix.from_coo(poisson, mrows=16, wavefront_size=16))
         res = cg(runner, b, tol=1e-9)
         assert res.converged
         assert np.allclose(poisson.matvec(res.x), b, atol=1e-6)

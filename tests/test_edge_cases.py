@@ -116,7 +116,7 @@ class TestCodegenDegenerate:
         from repro.codegen.python_codelet import generate_python_kernel
         from repro.core.crsd import CRSDMatrix
 
-        crsd = CRSDMatrix.from_coo(COOMatrix.empty((16, 16)), mrows=4)
+        crsd = CRSDMatrix.from_coo(COOMatrix.empty((16, 16)), mrows=4, wavefront_size=4)
         plan = build_plan(crsd)
         assert plan.num_groups == 0
         compiled = generate_python_kernel(plan)
@@ -132,7 +132,7 @@ class TestCodegenDegenerate:
         entries = [(2, 10), (9, 1)]
         rows, cols = zip(*entries)
         coo = COOMatrix(np.array(rows), np.array(cols), np.ones(2), (16, 16))
-        crsd = CRSDMatrix.from_coo(coo, mrows=4, idle_fill_max_rows=1)
+        crsd = CRSDMatrix.from_coo(coo, mrows=4, wavefront_size=4, idle_fill_max_rows=1)
         assert len(crsd.regions) == 0 and crsd.num_scatter_rows == 2
         x = rng.standard_normal(16)
         run = CrsdSpMV(crsd).run(x)
@@ -142,7 +142,7 @@ class TestCodegenDegenerate:
         from repro.core.crsd import CRSDMatrix
 
         coo = COOMatrix([0, 0], [0, 3], [2.0, 3.0], (1, 5))
-        crsd = CRSDMatrix.from_coo(coo, mrows=4)
+        crsd = CRSDMatrix.from_coo(coo, mrows=4, wavefront_size=4)
         x = rng.standard_normal(5)
         assert np.allclose(crsd.matvec(x), coo.matvec(x))
 

@@ -64,14 +64,14 @@ class TestConjugateGradient:
 
     def test_cg_with_crsd_reference(self, spd_poisson, rng):
         b = rng.standard_normal(spd_poisson.nrows)
-        crsd = CRSDMatrix.from_coo(spd_poisson, mrows=16)
+        crsd = CRSDMatrix.from_coo(spd_poisson, mrows=16, wavefront_size=16)
         x, converged = self.cg(lambda v: crsd.matvec(v), b)
         assert converged
         assert np.allclose(spd_poisson.matvec(x), b, atol=1e-6)
 
     def test_cg_with_generated_gpu_kernel(self, spd_poisson, rng):
         b = rng.standard_normal(spd_poisson.nrows)
-        runner = CrsdSpMV(CRSDMatrix.from_coo(spd_poisson, mrows=16))
+        runner = CrsdSpMV(CRSDMatrix.from_coo(spd_poisson, mrows=16, wavefront_size=16))
         x, converged = self.cg(lambda v: runner.run(v, trace=False).y, b)
         assert converged
         assert np.allclose(spd_poisson.matvec(x), b, atol=1e-6)
