@@ -20,7 +20,6 @@ Run:  python examples/astro_convection.py
 import numpy as np
 
 from repro.core.autotune import tune
-from repro.core.crsd import CRSDMatrix
 from repro.formats.coo import COOMatrix
 from repro.gpu_kernels import CrsdSpMV, EllSpMV
 from repro.formats.ell import ELLMatrix

@@ -17,8 +17,6 @@ import sys
 import numpy as np
 
 from repro.bench.runner import effective_scale, run_gpu_matrix, scaled_device
-from repro.formats.footprint import footprint_bytes
-from repro.formats.convert import convert
 from repro.matrices.mmio import read_matrix_market
 from repro.matrices.stats import compute_stats
 from repro.matrices.suite23 import get_spec

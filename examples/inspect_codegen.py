@@ -54,15 +54,33 @@ def main():
     banner("Generated Python codelets (what the simulator executes)")
     print(emit_python_source(plan))
 
+    banner("Static analysis (repro analyze)")
+    from repro.analyze import analyze_matrix, predict_trace, build_model
+
+    report = analyze_matrix(crsd)
+    print(report.summary())
+
     banner("Verification")
     rng = np.random.default_rng(0)
     x = rng.standard_normal(9)
     from repro.gpu_kernels import CrsdSpMV
+    from repro.ocl.device import TESLA_C2050
 
-    run = CrsdSpMV(crsd).run(x)
+    run = CrsdSpMV(crsd, strict=True).run(x)
     err = np.abs(run.y - coo.matvec(x)).max()
     print(f"generated kernel vs reference: max abs err = {err:.2e}")
     print(f"trace: {run.trace.summary()}")
+
+    # the analyzer's trace prediction is exact (modulo the L2 model,
+    # which is execution-order-dependent and therefore out of static
+    # scope): re-run on an L2-disabled device and diff the counters
+    dev = TESLA_C2050.with_overrides(l2_bytes=0)
+    model = build_model(plan, scatter_colval=crsd.scatter_colval,
+                        scatter_rowno=crsd.scatter_rowno)
+    static = predict_trace(model, dev)
+    dynamic = CrsdSpMV(crsd, device=dev).run(x).trace
+    same = static == dynamic
+    print(f"static trace prediction == dynamic trace (L2 off): {same}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,57 @@
+"""Static analyzer for generated CRSD kernels.
+
+Proves — without executing anything — the properties the paper's
+design argues for: in-bounds index arithmetic, perfectly coalesced
+slab traffic, divergence-free control flow, race-free local-memory
+staging, and batched-execution safety.  Where the property is
+quantitative the analyzer computes the *exact* counters the dynamic
+:class:`~repro.ocl.trace.KernelTrace` would record (on an L2-disabled
+device), so static and dynamic views can be diffed bit-for-bit.
+
+Entry points: :func:`analyze_plan` / :func:`analyze_matrix` run every
+checker and return an :class:`AnalysisReport`; :func:`build_model` and
+:func:`predict_trace` expose the symbolic model and the trace
+predictor; :func:`required_local_bytes` is the standalone capacity
+probe the autotuner uses.
+"""
+
+from repro.analyze.batch_safety import check_batch_safety
+from repro.analyze.bounds import check_bounds
+from repro.analyze.coalescing import check_coalescing, predict_trace
+from repro.analyze.divergence import check_divergence
+from repro.analyze.driver import analyze_matrix, analyze_plan
+from repro.analyze.localmem import check_localmem, required_local_bytes
+from repro.analyze.model import (
+    GlobalAccess,
+    IndirectAccess,
+    KernelModel,
+    LocalOp,
+    build_model,
+)
+from repro.analyze.report import (
+    CHECKS,
+    AnalysisReport,
+    Finding,
+    KernelAnalysisError,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "CHECKS",
+    "Finding",
+    "GlobalAccess",
+    "IndirectAccess",
+    "KernelAnalysisError",
+    "KernelModel",
+    "LocalOp",
+    "analyze_matrix",
+    "analyze_plan",
+    "build_model",
+    "check_batch_safety",
+    "check_bounds",
+    "check_coalescing",
+    "check_divergence",
+    "check_localmem",
+    "predict_trace",
+    "required_local_bytes",
+]

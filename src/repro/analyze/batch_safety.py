@@ -1,0 +1,89 @@
+"""Batched-execution safety prover.
+
+The segment-batched executor runs every work-group of a launch
+concurrently against shared buffers, which is only sound if no two
+work-groups store to the same ``y`` element.  For the dia kernel that
+is provable from the plan alone: work-group ``(region, seg)`` writes
+exactly the row interval ``[start_row + seg*mrows, start_row +
+(seg+1)*mrows) ∩ [0, nrows)`` — the prover collects every interval and
+certifies pairwise disjointness (equivalently: the region partition of
+Table III covers each row once).
+
+For the scatter kernel the write-set goes through ``scatter_rowno``;
+when that baked array is supplied the prover checks its entries are
+pairwise distinct (two lanes storing the same row would race within
+the one scatter launch).  The dia and scatter kernels intentionally
+*both* write scatter rows — the scatter launch runs after the dia
+launch and overwrites, which is ordered by the launch boundary, not a
+race — so cross-kernel overlap is not flagged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analyze.model import KernelModel
+from repro.analyze.report import AnalysisReport
+
+
+def check_batch_safety(model: KernelModel, report: AnalysisReport) -> None:
+    """Prove per-work-group y write-sets disjoint; fills
+    ``report.batched_write_sets_disjoint``."""
+    plan = model.plan
+    intervals = []  # (row_lo, row_hi_exclusive, owner)
+    for rm in model.regions:
+        r = rm.region
+        for seg in range(r.nrs):
+            lo = r.start_row + seg * r.mrows
+            hi = min(lo + r.mrows, plan.nrows)
+            if hi <= lo:
+                continue  # fully clipped: group stores nothing
+            intervals.append((lo, hi, f"region {r.index} seg {seg}"))
+    intervals.sort()
+    disjoint = True
+    for (alo, ahi, aown), (blo, bhi, bown) in zip(intervals, intervals[1:]):
+        if blo < ahi:
+            disjoint = False
+            report.add(
+                "batch-safety", "error", "dia kernel",
+                f"y rows [{blo}, {min(ahi, bhi)}) written by both {aown} "
+                f"and {bown}: concurrent work-groups race under batched "
+                "execution",
+            )
+
+    scatter_proved = True  # vacuously, when there is nothing to check
+    if model.scatter is not None:
+        rowno = _baked_rowno(model)
+        if rowno is None:
+            scatter_proved = None
+            report.add(
+                "batch-safety", "info", "scatter",
+                "scatter_rowno data not supplied; scatter write-set "
+                "disjointness not proved",
+            )
+        else:
+            uniq, counts = np.unique(rowno, return_counts=True)
+            dup = uniq[counts > 1]
+            if dup.size:
+                scatter_proved = False
+                report.add(
+                    "batch-safety", "error", "scatter",
+                    f"scatter_rowno stores row(s) {dup[:8].tolist()} more "
+                    "than once: concurrent lanes race on y",
+                )
+
+    if not disjoint or scatter_proved is False:
+        report.batched_write_sets_disjoint = False
+    elif scatter_proved is None:
+        report.batched_write_sets_disjoint = None
+    else:
+        report.batched_write_sets_disjoint = True
+
+
+def _baked_rowno(model: KernelModel):
+    for ind in model.scatter.indirect:
+        if ind.via == "scatter_rowno" and ind.index_grid is not None:
+            act = (ind.active if ind.active is not None
+                   else np.ones(ind.index_grid.shape, dtype=bool))
+            return ind.index_grid[act]
+    return None

@@ -1,0 +1,201 @@
+"""Divergence linter.
+
+The paper's design point is that all work-items of a work-group take
+the same execution path (the pattern ``switch`` selects per *group*,
+never per lane), so CRSD kernels have divergence efficiency exactly
+1.0.  This linter proves that property from the generated source:
+
+- **Python rendering** (what the simulator executes): parsed with
+  ``ast``; lane-varying values (anything data-flowing from ``ctx.lid``)
+  may only be consumed as ``mask=`` predication — any ``if``/``while``/
+  ``for`` whose condition or iterable is lane-varying is a divergence
+  violation, as is any ``ctx.loop_trips`` call (a kernel reporting
+  per-lane trip counts has, by definition, lane-variable control flow).
+- **OpenCL rendering**: the kernels must be fully unrolled (no
+  ``for``/``while`` at all — also the paper's loop-unrolling claim),
+  and every lane-dependent ``if`` must be a pure predication guard:
+  its body may not contain a ``barrier`` (a barrier under divergent
+  control flow deadlocks real hardware) or a loop.
+
+A clean pass predicts static divergence efficiency 1.0 — which equals
+the dynamic :attr:`~repro.ocl.trace.KernelTrace.divergence_efficiency`
+of the executed kernel (no ``loop_trips`` report → 1.0).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Set
+
+from repro.analyze.report import AnalysisReport
+from repro.codegen.validator import strip_comments
+
+_ID = r"[A-Za-z_][A-Za-z0-9_]*"
+
+
+def check_divergence(python_source: str, opencl_source: str,
+                     report: AnalysisReport) -> None:
+    """Lint both renderings; sets the report's static efficiency."""
+    ok = _check_python(python_source, report)
+    ok &= _check_opencl(opencl_source, report)
+    report.divergence_efficiency = 1.0 if ok else None
+
+
+# ----------------------------------------------------------------------
+# Python rendering
+# ----------------------------------------------------------------------
+
+def _lane_tainted_names(fn: ast.FunctionDef) -> Set[str]:
+    """Fixpoint dataflow: names carrying lane-varying values.
+
+    Seeded with ``ctx.lid``; any simple assignment whose RHS mentions a
+    tainted name (or ``.lid``) taints its targets.
+    """
+    tainted: Set[str] = set()
+
+    def rhs_tainted(node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute) and sub.attr == "lid":
+                return True
+            if isinstance(sub, ast.Name) and sub.id in tainted:
+                return True
+        return False
+
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                value = node.value
+                targets = (node.targets
+                           if isinstance(node, ast.Assign) else [node.target])
+                if value is not None and rhs_tainted(value):
+                    for t in targets:
+                        for n in ast.walk(t):
+                            if (isinstance(n, ast.Name)
+                                    and n.id not in tainted):
+                                tainted.add(n.id)
+                                changed = True
+    return tainted
+
+
+def _check_python(src: str, report: AnalysisReport) -> bool:
+    try:
+        tree = ast.parse(src)
+    except SyntaxError as exc:
+        report.add("divergence", "error", "python rendering",
+                   f"source does not parse: {exc}")
+        return False
+    ok = True
+    for fn in [n for n in ast.walk(tree)
+               if isinstance(n, ast.FunctionDef)]:
+        tainted = _lane_tainted_names(fn)
+        for node in ast.walk(fn):
+            cond = None
+            if isinstance(node, (ast.If, ast.While)):
+                cond = node.test
+            elif isinstance(node, ast.For):
+                cond = node.iter
+            elif isinstance(node, ast.IfExp):
+                cond = node.test
+            if cond is None:
+                continue
+            names = {n.id for n in ast.walk(cond)
+                     if isinstance(n, ast.Name)}
+            hit = names & tainted
+            if hit or any(isinstance(n, ast.Attribute) and n.attr == "lid"
+                          for n in ast.walk(cond)):
+                report.add(
+                    "divergence", "error", f"python rendering / {fn.name}",
+                    f"lane-dependent control flow on {sorted(hit) or ['lid']}"
+                    f" at line {node.lineno} — lane variation must be "
+                    "expressed as mask= predication",
+                )
+                ok = False
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "loop_trips"):
+                report.add(
+                    "divergence", "error", f"python rendering / {fn.name}",
+                    "kernel reports loop_trips: per-lane trip counts mean "
+                    "lane-variable loops (divergence efficiency < 1)",
+                )
+                ok = False
+    return ok
+
+
+# ----------------------------------------------------------------------
+# OpenCL rendering
+# ----------------------------------------------------------------------
+
+def _opencl_tainted(body: str) -> Set[str]:
+    tainted = {"local_id"}
+    assign = re.compile(
+        rf"\b(?:const\s+)?(?:int|{_ID})?\s*({_ID})\s*=\s*([^;]*);")
+    changed = True
+    while changed:
+        changed = False
+        for m in assign.finditer(body):
+            name, rhs = m.group(1), m.group(2)
+            if name in tainted:
+                continue
+            rhs_ids = set(re.findall(_ID, rhs))
+            if rhs_ids & tainted or "get_local_id" in rhs:
+                tainted.add(name)
+                changed = True
+    return tainted
+
+
+def _balanced_block(src: str, start: int) -> str:
+    """The ``{...}`` block (or single statement) following position
+    ``start`` (the index just past an ``if (...)`` condition)."""
+    i = start
+    while i < len(src) and src[i] in " \t\r\n":
+        i += 1
+    if i < len(src) and src[i] == "{":
+        depth = 0
+        for j in range(i, len(src)):
+            if src[j] == "{":
+                depth += 1
+            elif src[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    return src[i:j + 1]
+        return src[i:]
+    end = src.find(";", i)
+    return src[i:end + 1] if end >= 0 else src[i:]
+
+
+def _check_opencl(src: str, report: AnalysisReport) -> bool:
+    body = strip_comments(src)
+    ok = True
+    if re.search(r"\b(for|while)\s*\(", body):
+        report.add(
+            "divergence", "error", "opencl rendering",
+            "loop found — generated kernels must be fully unrolled "
+            "(constant trip counts are baked at generation time)",
+        )
+        ok = False
+    tainted = _opencl_tainted(body)
+    for m in re.finditer(r"\bif\s*\(([^()]*(?:\([^()]*\)[^()]*)*)\)", body):
+        cond_ids = set(re.findall(_ID, m.group(1)))
+        if not (cond_ids & tainted):
+            continue  # uniform branch (group_id / region selection)
+        block = _balanced_block(body, m.end())
+        if "barrier" in block:
+            report.add(
+                "divergence", "error", "opencl rendering",
+                f"barrier inside lane-dependent branch "
+                f"`if ({m.group(1).strip()})` — divergent barriers "
+                "deadlock; guards must stay pure predication",
+            )
+            ok = False
+        if re.search(r"\b(for|while)\s*\(", block):
+            report.add(
+                "divergence", "error", "opencl rendering",
+                f"loop inside lane-dependent branch "
+                f"`if ({m.group(1).strip()})`",
+            )
+            ok = False
+    return ok

@@ -1,0 +1,175 @@
+"""Findings and the aggregate analysis report.
+
+Machine-readable by design: ``AnalysisReport.to_dict()`` is what the
+``repro analyze`` CLI prints as JSON, and ``exit_code`` is the process
+exit code (non-zero iff any *error*-severity finding survived).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.codegen.plan import KernelPlan
+from repro.ocl.trace import KernelTrace
+
+#: the five checkers plus the render cross-check
+CHECKS = (
+    "bounds",
+    "coalescing",
+    "divergence",
+    "localmem",
+    "batch-safety",
+    "render",
+)
+
+SEVERITIES = ("error", "warning", "info")
+
+
+class KernelAnalysisError(ValueError):
+    """A strict-mode build found analyzer violations."""
+
+    def __init__(self, report: "AnalysisReport"):
+        self.report = report
+        lines = [f"{f.check}: {f.where}: {f.message}"
+                 for f in report.violations]
+        super().__init__(
+            "static analysis found %d violation(s):\n  %s"
+            % (len(lines), "\n  ".join(lines))
+        )
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer observation."""
+
+    check: str      # one of CHECKS
+    severity: str   # "error" | "warning" | "info"
+    where: str      # e.g. "region 3 / AD group d0" or "scatter"
+    message: str
+
+    def __post_init__(self):
+        if self.check not in CHECKS:
+            raise ValueError(f"unknown check {self.check!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def to_dict(self) -> Dict[str, str]:
+        """JSON-serialisable form of the finding."""
+        return {
+            "check": self.check,
+            "severity": self.severity,
+            "where": self.where,
+            "message": self.message,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one full static analysis of a kernel plan."""
+
+    plan: KernelPlan
+    findings: List[Finding] = field(default_factory=list)
+    #: exact static prediction of the dynamic KernelTrace on a device
+    #: with the L2 model disabled (None when the scatter index data was
+    #: not supplied and the matrix has scatter rows)
+    predicted: Optional[KernelTrace] = None
+    #: static coalescing efficiencies (pre-L2), matching
+    #: KernelTrace.{load,store}_coalescing_efficiency on l2_bytes=0
+    load_coalescing_efficiency: Optional[float] = None
+    store_coalescing_efficiency: Optional[float] = None
+    #: 1.0 iff no lane-dependent control flow was found
+    divergence_efficiency: Optional[float] = None
+    #: worst-case local memory one work-group requests, in bytes
+    local_bytes_required: int = 0
+    #: batched-execution safety: every work-group's y write-set proven
+    #: disjoint (None = prover could not run, e.g. no rowno data)
+    batched_write_sets_disjoint: Optional[bool] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def violations(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def add(self, check: str, severity: str, where: str,
+            message: str) -> None:
+        """Append one finding (validated against CHECKS/SEVERITIES)."""
+        self.findings.append(Finding(check, severity, where, message))
+
+    def by_check(self, check: str) -> List[Finding]:
+        """All findings of one checker."""
+        return [f for f in self.findings if f.check == check]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serialisable report (the ``repro analyze`` payload)."""
+        out: Dict = {
+            "ok": self.ok,
+            "num_violations": len(self.violations),
+            "findings": [f.to_dict() for f in self.findings],
+            "plan": {
+                "nrows": self.plan.nrows,
+                "ncols": self.plan.ncols,
+                "mrows": self.plan.mrows,
+                "num_regions": len(self.plan.regions),
+                "num_groups": self.plan.num_groups,
+                "scatter_rows": self.plan.scatter.num_rows,
+                "nvec": self.plan.nvec,
+                "use_local_memory": self.plan.use_local_memory,
+            },
+            "metrics": {
+                "load_coalescing_efficiency": self.load_coalescing_efficiency,
+                "store_coalescing_efficiency": self.store_coalescing_efficiency,
+                "divergence_efficiency": self.divergence_efficiency,
+                "local_bytes_required": self.local_bytes_required,
+                "batched_write_sets_disjoint": self.batched_write_sets_disjoint,
+            },
+        }
+        if self.predicted is not None:
+            out["predicted_trace"] = {
+                "work_groups": self.predicted.work_groups,
+                "wavefronts": self.predicted.wavefronts,
+                "global_load_requests": self.predicted.global_load_requests,
+                "global_load_transactions":
+                    self.predicted.global_load_transactions,
+                "global_load_bytes_useful":
+                    self.predicted.global_load_bytes_useful,
+                "global_store_requests": self.predicted.global_store_requests,
+                "global_store_transactions":
+                    self.predicted.global_store_transactions,
+                "global_store_bytes_useful":
+                    self.predicted.global_store_bytes_useful,
+                "local_load_bytes": self.predicted.local_load_bytes,
+                "local_store_bytes": self.predicted.local_store_bytes,
+                "barriers": self.predicted.barriers,
+                "flops": self.predicted.flops,
+            }
+        return out
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"static analysis: {len(self.findings)} finding(s), "
+            f"{len(self.violations)} violation(s)"
+        ]
+        for f in self.findings:
+            lines.append(f"  [{f.severity:<7}] {f.check:<12} {f.where}: "
+                         f"{f.message}")
+        if self.load_coalescing_efficiency is not None:
+            lines.append(
+                "  predicted coalescing: load "
+                f"{self.load_coalescing_efficiency:.4f}, store "
+                f"{self.store_coalescing_efficiency:.4f}; divergence "
+                f"{self.divergence_efficiency:.1f}; local mem "
+                f"{self.local_bytes_required} B; batched-safe="
+                f"{self.batched_write_sets_disjoint}"
+            )
+        return "\n".join(lines)

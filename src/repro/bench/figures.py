@@ -8,7 +8,6 @@ tables in ``benchmarks/results/``) and as CSV for external plotting.
 from __future__ import annotations
 
 import csv
-import io
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Sequence, Union
 

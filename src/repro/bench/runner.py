@@ -9,7 +9,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.crsd import CRSDMatrix, compatible_wavefront
-from repro.cpu.kernels import CpuCrsdSpMV, CpuCsrSpMV, CpuDiaSpMV
+from repro.cpu.kernels import CpuCsrSpMV, CpuDiaSpMV
 from repro.cpu.machine import CPUSpec, XEON_X5550_2S
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix

@@ -9,7 +9,7 @@ benchmark files apply them.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.bench.runner import GpuSuiteResult
 

@@ -5,6 +5,7 @@ Commands
 ``info``     — structural statistics of a matrix (suite name or .mtx)
 ``bench``    — simulate every format's SpMV on one matrix
 ``codegen``  — print the generated OpenCL kernel for a matrix
+``analyze``  — statically analyze the generated kernels (no execution)
 ``convert``  — build CRSD from a .mtx file and save it (.npz)
 ``tune``     — autotune CRSD build parameters for a matrix
 
@@ -106,6 +107,40 @@ def cmd_codegen(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    """``repro analyze``: static analysis of the generated kernels.
+
+    Runs the full checker battery (bounds, coalescing, divergence,
+    local memory, batched-execution safety, render cross-checks) over
+    the kernels that would be generated for the matrix — without
+    executing anything.  ``--json`` prints the machine-readable report;
+    the exit code is non-zero iff any violation was found.
+    """
+    import json
+
+    from repro.analyze import analyze_matrix
+    from repro.core.crsd import CRSDMatrix, compatible_wavefront
+
+    coo, name = _load_matrix(args.matrix, args.scale)
+    crsd = CRSDMatrix.from_coo(
+        coo, mrows=args.mrows,
+        wavefront_size=compatible_wavefront(args.mrows),
+    )
+    report = analyze_matrix(
+        crsd,
+        precision=args.precision,
+        use_local_memory=not args.no_local_memory,
+        nvec=args.nvec,
+    )
+    if args.json:
+        payload = report.to_dict()
+        payload["matrix"] = name
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{name}: {report.summary()}")
+    return report.exit_code
+
+
 def cmd_convert(args) -> int:
     """``repro convert``: build CRSD and persist it as .npz."""
     from repro.core.crsd import CRSDMatrix, compatible_wavefront
@@ -172,6 +207,20 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--precision", choices=["double", "single"],
                     default="double")
     sp.set_defaults(fn=cmd_codegen)
+
+    sp = sub.add_parser(
+        "analyze", help="statically analyze the generated kernels"
+    )
+    common(sp)
+    sp.add_argument("--precision", choices=["double", "single"],
+                    default="double")
+    sp.add_argument("--nvec", type=int, default=1,
+                    help="analyze the multi-vector SpMM variant")
+    sp.add_argument("--no-local-memory", action="store_true",
+                    help="analyze the A1 ablation (no AD tile staging)")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable findings report")
+    sp.set_defaults(fn=cmd_analyze)
 
     sp = sub.add_parser("convert", help="build CRSD and save to .npz")
     common(sp)

@@ -91,11 +91,14 @@ def _emit_region_case(
               f"SR={region.start_row}, NRS={region.nrs}\n")
     buf.write(f"        const int seg = group_id - {region.gid_base};\n")
     slab = f"{region.slab_base} + seg * {region.nnz_per_segment}"
+    tile_in_use = False
     for g in region.groups:
         if plan.nvec > 1:
             _emit_multivec_case(buf, plan, region, g, slab, real)
         elif g.kind == "AD" and plan.use_local_memory:
-            _emit_ad_case(buf, plan, region, g, slab, real)
+            _emit_ad_case(buf, plan, region, g, slab, real,
+                          wait_for_reads=tile_in_use)
+            tile_in_use = True
         else:
             _emit_direct_case(buf, plan, region, g, slab, real)
     buf.write(f"        row = {region.start_row} + seg * {m} + local_id;\n")
@@ -137,13 +140,17 @@ def _emit_multivec_case(
 
 def _emit_ad_case(
     buf: io.StringIO, plan: KernelPlan, region: RegionPlan, g: GroupPlan,
-    slab: str, real: str,
+    slab: str, real: str, wait_for_reads: bool = False,
 ) -> None:
     m = region.mrows
     n = g.ndiags
     tile_len = m + n - 1
     buf.write(f"        // AD group, offsets {list(g.offsets)}: stage the\n"
               f"        // shared x window into local memory (Fig. 5)\n")
+    if wait_for_reads:
+        # xtile is shared between the AD groups of a region; the
+        # previous group's reads must complete before restaging
+        buf.write("        barrier(CLK_LOCAL_MEM_FENCE);\n")
     buf.write("        {\n")
     buf.write(f"            const int tbase = {g.colv[0]} + seg * {m};\n")
     buf.write("            int xi = tbase + local_id;\n")
@@ -151,12 +158,14 @@ def _emit_ad_case(
         f"            xtile[local_id] = (xi >= 0 && xi < {plan.ncols})"
         f" ? x[xi] : ({real})0;\n"
     )
-    if tile_len > m:
-        extra = tile_len - m
+    # wide AD groups (ndiags > mrows + 1) need more than one extra
+    # staging pass: each pass fills the next mrows-sized tile slice
+    for s in range(1, -(-tile_len // m)):
+        extra = min(tile_len - s * m, m)
         buf.write(f"            if (local_id < {extra}) {{\n")
-        buf.write(f"                xi = tbase + {m} + local_id;\n")
+        buf.write(f"                xi = tbase + {s * m} + local_id;\n")
         buf.write(
-            f"                xtile[{m} + local_id] = (xi >= 0 && xi < "
+            f"                xtile[{s * m} + local_id] = (xi >= 0 && xi < "
             f"{plan.ncols}) ? x[xi] : ({real})0;\n"
         )
         buf.write("            }\n")

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.crsd import CRSDMatrix
-from repro.core.grouping import GroupKind
 
 
 @dataclass(frozen=True)

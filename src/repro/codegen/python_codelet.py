@@ -30,11 +30,12 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.codegen.plan import GroupPlan, KernelPlan, RegionPlan
+from repro.codegen.validator import validate_python_source
 
 
 @dataclass
@@ -89,9 +90,37 @@ class _Writer:
         return self._buf.getvalue()
 
 
-def generate_python_kernel(plan: KernelPlan) -> CompiledKernel:
-    """Emit and compile the Python kernel for ``plan``."""
+def _expected_functions(plan: KernelPlan) -> List[str]:
+    """Function inventory the emitted module must define for ``plan``."""
+    names = ["crsd_dia_kernel", "crsd_dia_kernel_batched"]
+    for i in range(len(plan.regions)):
+        names += [f"_codelet_p{i}", f"_codelet_p{i}_batched"]
+    if plan.scatter.num_rows:
+        names += ["crsd_scatter_kernel", "crsd_scatter_kernel_batched"]
+    return names
+
+
+def generate_python_kernel(plan: KernelPlan,
+                           strict: bool = False) -> CompiledKernel:
+    """Emit, validate and compile the Python kernel for ``plan``.
+
+    The emitted source is always checked structurally (it must parse
+    and define every codelet the plan promises, in per-group and
+    batched form).  ``strict=True`` additionally runs the full static
+    analyzer over the plan and both renderings, raising
+    :class:`~repro.analyze.report.KernelAnalysisError` if any checker
+    reports a violation — no kernel with a provable defect compiles.
+    """
     src = emit_python_source(plan)
+    validate_python_source(src, expected=_expected_functions(plan))
+    if strict:
+        # local import: repro.analyze itself analyzes this module's output
+        from repro.analyze.driver import analyze_plan
+        from repro.analyze.report import KernelAnalysisError
+
+        report = analyze_plan(plan)
+        if not report.ok:
+            raise KernelAnalysisError(report)
     namespace: dict = {"np": np, "bisect_right": __import__("bisect").bisect_right}
     exec(compile(src, "<crsd-generated-kernel>", "exec"), namespace)
     return CompiledKernel(
@@ -221,13 +250,15 @@ def _emit_ad_group_local(
     w.line("i0 = tbase + lid")
     w.line(f"m0 = (i0 >= 0) & (i0 < {plan.ncols})")
     w.line(f"ctx.lstore(tile, lid, ctx.gload(xb, np.clip(i0, 0, {cmax}), mask=m0))")
-    if tile_len > m:
-        extra = tile_len - m
-        w.line(f"i1 = tbase + {m} + lid")
+    # wide AD groups (ndiags > mrows + 1) need more than one extra
+    # staging pass: each pass fills the next mrows-sized tile slice
+    for s in range(1, -(-tile_len // m)):
+        extra = min(tile_len - s * m, m)
+        w.line(f"i1 = tbase + {s * m} + lid")
         w.line(f"lane = lid < {extra}")
         w.line(f"m1 = lane & (i1 >= 0) & (i1 < {plan.ncols})")
         w.line(
-            f"ctx.lstore(tile, np.minimum({m} + lid, {tile_len - 1}), "
+            f"ctx.lstore(tile, np.minimum({s * m} + lid, {tile_len - 1}), "
             f"ctx.gload(xb, np.clip(i1, 0, {cmax}), mask=m1), mask=lane)"
         )
     w.line("ctx.barrier()")

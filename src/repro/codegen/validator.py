@@ -1,4 +1,4 @@
-"""A small structural validator for generated OpenCL C source.
+"""Structural validators for both generated renderings.
 
 There is no OpenCL compiler in this environment, so the C rendering is
 checked structurally instead: balanced delimiters (with comment/string
@@ -8,26 +8,76 @@ reference, and basic ``switch``/``case`` hygiene.  This will not catch
 every type error a real ``clBuildProgram`` would, but it catches the
 class of mistakes a text-based generator actually makes (unbalanced
 braces, missing semicolons, stray ``case`` labels).
+
+The Python rendering *does* have a real front end — ``ast.parse`` —
+so :func:`validate_python_source` compiles the emitted codelet module
+and audits the function inventory against what the plan promises
+(every per-region codelet in both per-group and batched form), turning
+emitter regressions into build-time failures instead of AttributeErrors
+deep inside a benchmark run.
 """
 
 from __future__ import annotations
 
+import ast
 import re
-from typing import List
+from typing import Iterable, List
 
 
 class OpenCLSyntaxError(ValueError):
     """Generated OpenCL source failed structural validation."""
 
 
+class PythonCodeletSyntaxError(ValueError):
+    """Generated Python codelet source failed validation."""
+
+
 _ID = r"[A-Za-z_][A-Za-z0-9_]*"
 
 
 def strip_comments(src: str) -> str:
-    """Remove // and /* */ comments (no string literals in our kernels)."""
-    src = re.sub(r"/\*.*?\*/", " ", src, flags=re.S)
-    src = re.sub(r"//[^\n]*", "", src)
-    return src
+    """Remove ``//`` and ``/* */`` comments, string-literal-aware.
+
+    A comment marker inside a ``"..."`` or ``'...'`` literal is not a
+    comment (think ``printf("a//b")``); conversely a quote inside a
+    comment does not open a string.  Stripped spans are replaced by a
+    space so token boundaries and positions of the surviving code stay
+    stable.
+    """
+    out = []
+    i, n = 0, len(src)
+    while i < n:
+        ch = src[i]
+        nxt = src[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and src[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and nxt == "*":
+            end = src.find("*/", i + 2)
+            stop = n if end < 0 else end + 2
+            # preserve line structure for line-based diagnostics
+            out.append(src.count("\n", i, stop) * "\n" or " ")
+            i = stop
+            continue
+        if ch in ("\"", "'"):
+            quote = ch
+            out.append(ch)
+            i += 1
+            while i < n:
+                out.append(src[i])
+                if src[i] == "\\" and i + 1 < n:
+                    out.append(src[i + 1])
+                    i += 2
+                    continue
+                if src[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
 
 
 def validate_opencl_source(src: str) -> List[str]:
@@ -93,3 +143,40 @@ def validate_opencl_source(src: str) -> List[str]:
         raise OpenCLSyntaxError("double used without cl_khr_fp64 pragma")
 
     return kernels
+
+
+def validate_python_source(src: str,
+                           expected: Iterable[str] = ()) -> List[str]:
+    """Validate emitted Python codelet source; returns the module-level
+    function names found.
+
+    Checks the source actually parses (``ast.parse``), that every name
+    in ``expected`` is defined as a module-level function (the caller
+    derives the inventory from the plan: per-region codelets in both
+    per-group and batched form, the dispatchers, the scatter kernel),
+    and that no two definitions collide.  Raises
+    :class:`PythonCodeletSyntaxError` on any problem.
+    """
+    try:
+        tree = ast.parse(src)
+    except SyntaxError as exc:
+        raise PythonCodeletSyntaxError(
+            f"emitted codelet source does not parse: {exc}"
+        ) from exc
+    names: List[str] = [
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    ]
+    seen = set()
+    for name in names:
+        if name in seen:
+            raise PythonCodeletSyntaxError(
+                f"function {name!r} defined twice in emitted source"
+            )
+        seen.add(name)
+    missing = [name for name in expected if name not in seen]
+    if missing:
+        raise PythonCodeletSyntaxError(
+            "emitted source is missing expected codelet(s): "
+            + ", ".join(sorted(missing))
+        )
+    return names

@@ -106,6 +106,8 @@ def tune(
         from repro.gpu_kernels import CrsdSpMV
 
         for use_local in try_local_memory:
+            if use_local and not _fits_local_memory(crsd, device, precision):
+                continue  # statically rejected: tile exceeds local memory
             runner = CrsdSpMV(crsd, use_local_memory=use_local,
                               device=device, precision=precision)
             run = runner.run(x)
@@ -125,6 +127,19 @@ def tune(
         raise ValueError("no feasible candidates (mrows grid too large?)")
     best = min(candidates, key=lambda c: c.seconds)
     return TuneResult(best=best, candidates=tuple(candidates))
+
+
+def _fits_local_memory(crsd: CRSDMatrix, device: DeviceSpec,
+                       precision: str) -> bool:
+    """Static feasibility: would the AD staging tiles of this candidate
+    fit the device's per-CU local memory?  Uses the analyzer's capacity
+    probe so infeasible configurations are rejected without ever
+    building (let alone running) a kernel."""
+    from repro.analyze.localmem import required_local_bytes
+    from repro.codegen.plan import build_plan
+
+    plan = build_plan(crsd, use_local_memory=True)
+    return required_local_bytes(plan, precision) <= device.local_mem_per_cu_bytes
 
 
 def _heuristic_staging(crsd: CRSDMatrix) -> bool:

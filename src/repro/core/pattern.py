@@ -12,7 +12,7 @@ regions covering all non-empty row segments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.core.grouping import Group, GroupKind, flatten_groups, group_offsets

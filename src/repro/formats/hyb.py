@@ -10,7 +10,7 @@ observation `benchmarks/test_hyb_split_and_memory.py` reproduces.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

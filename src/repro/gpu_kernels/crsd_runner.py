@@ -44,16 +44,22 @@ class CrsdSpMV(GPUSpMV):
     use_local_memory:
         Stage AD-group x windows through local memory (default; turn
         off for ablation A1).
+    strict:
+        Run the full static analyzer over the generated plan and both
+        renderings before compiling; raises
+        :class:`~repro.analyze.report.KernelAnalysisError` if any
+        checker finds a violation.
     """
 
     name = "crsd"
 
-    def __init__(self, matrix: CRSDMatrix, use_local_memory: bool = True, **kwargs):
+    def __init__(self, matrix: CRSDMatrix, use_local_memory: bool = True,
+                 strict: bool = False, **kwargs):
         kwargs.setdefault("local_size", matrix.mrows)
         super().__init__(**kwargs)
         self.matrix = matrix
         self.plan = build_plan(matrix, use_local_memory=use_local_memory)
-        self.kernel = generate_python_kernel(self.plan)
+        self.kernel = generate_python_kernel(self.plan, strict=strict)
 
     @property
     def nrows(self) -> int:
@@ -150,7 +156,8 @@ class CrsdSpMM(CrsdSpMV):
     name = "crsd_spmm"
 
     def __init__(self, matrix: CRSDMatrix, nvec: int,
-                 use_local_memory: bool | None = None, **kwargs):
+                 use_local_memory: bool | None = None,
+                 strict: bool = False, **kwargs):
         kwargs.setdefault("local_size", matrix.mrows)
         GPUSpMV.__init__(self, **kwargs)  # skip CrsdSpMV.__init__
         self.matrix = matrix
@@ -169,7 +176,7 @@ class CrsdSpMM(CrsdSpMV):
             use_local_memory=True if use_local_memory is None else use_local_memory,
             nvec=self.nvec,
         )
-        self.kernel = generate_python_kernel(self.plan)
+        self.kernel = generate_python_kernel(self.plan, strict=strict)
 
     def run(self, x: np.ndarray, trace: bool = True) -> SpMVRun:
         """Compute ``Y = A @ X`` for ``X`` of shape ``(ncols, nvec)``."""

@@ -12,7 +12,7 @@ paper's headline fact: on pure stencils DIA is the format to beat.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

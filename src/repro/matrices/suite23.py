@@ -32,7 +32,6 @@ Structural sources, per matrix family:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 

@@ -10,7 +10,7 @@ conclusion's transfer warning applies exactly when these kernels are
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

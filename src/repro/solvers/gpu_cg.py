@@ -11,13 +11,11 @@ the cost model:  SpMV dominance, axpy/dot overheads and all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 
 from repro.gpu_kernels.base import GPUSpMV
 from repro.ocl import blas
-from repro.ocl.executor import launch
 from repro.ocl.trace import KernelTrace
 
 

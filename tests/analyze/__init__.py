@@ -1,0 +1,1 @@
+"""Static kernel analyzer tests."""

@@ -1,0 +1,135 @@
+"""Checker behaviour on clean plans and structural edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.analyze import (
+    KernelAnalysisError,
+    analyze_matrix,
+    analyze_plan,
+    required_local_bytes,
+)
+from repro.codegen.plan import build_plan
+from repro.core.crsd import CRSDMatrix, compatible_wavefront
+from repro.formats.coo import COOMatrix
+from repro.gpu_kernels.crsd_runner import CrsdSpMM, CrsdSpMV
+from repro.ocl.device import TESLA_C2050
+from tests.conftest import random_diagonal_matrix
+
+
+def scatter_only_coo(n=40):
+    """A matrix whose every populated row is a scatter row (no
+    diagonal structure at all)."""
+    rows = np.array([3, 11, 17, 29])
+    cols = np.array([30, 2, 25, 8])
+    vals = np.array([1.0, 2.0, 3.0, 4.0])
+    return COOMatrix(rows, cols, vals, (n, n))
+
+
+class TestCleanPlans:
+    def test_random_diagonal_matrix(self, rng):
+        coo = random_diagonal_matrix(rng, n=96, scatter=3)
+        crsd = CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=compatible_wavefront(16))
+        report = analyze_matrix(crsd)
+        assert report.ok and report.exit_code == 0
+        assert report.divergence_efficiency == 1.0
+        assert report.batched_write_sets_disjoint is True
+        assert report.local_bytes_required > 0  # AD groups stage tiles
+
+    def test_scatter_only_matrix(self):
+        crsd = CRSDMatrix.from_coo(scatter_only_coo(), mrows=8, wavefront_size=compatible_wavefront(8))
+        report = analyze_matrix(crsd)
+        assert report.ok
+        assert report.predicted is not None
+        assert report.predicted.flops > 0
+        assert report.batched_write_sets_disjoint is True
+
+    def test_rectangular_matrix(self, rng):
+        rows = np.arange(60)
+        coo = COOMatrix(rows, np.minimum(rows + 7, 89),
+                        rng.standard_normal(60) + 3.0, (60, 90))
+        crsd = CRSDMatrix.from_coo(coo, mrows=8, wavefront_size=compatible_wavefront(8))
+        report = analyze_matrix(crsd)
+        assert report.ok, [str(f) for f in report.violations]
+
+    def test_no_local_memory_needs_zero_bytes(self, rng):
+        coo = random_diagonal_matrix(rng, n=64)
+        crsd = CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=compatible_wavefront(16))
+        report = analyze_matrix(crsd, use_local_memory=False)
+        assert report.ok
+        assert report.local_bytes_required == 0
+
+    def test_spmm_variant(self, rng):
+        coo = random_diagonal_matrix(rng, n=64)
+        crsd = CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=compatible_wavefront(16))
+        report = analyze_matrix(crsd, nvec=3)
+        assert report.ok
+        # nvec > 1 always disables tile staging
+        assert report.local_bytes_required == 0
+
+
+class TestRequiredLocalBytes:
+    def test_scales_with_precision(self, rng):
+        coo = random_diagonal_matrix(rng, n=64, density=1.0, scatter=0)
+        crsd = CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=compatible_wavefront(16))
+        plan = build_plan(crsd)
+        d = required_local_bytes(plan, "double")
+        s = required_local_bytes(plan, "single")
+        assert d == 2 * s > 0
+        assert d == plan.max_tile_len * 8 or d > plan.max_tile_len * 8
+
+    def test_zero_without_local_memory(self, rng):
+        coo = random_diagonal_matrix(rng, n=64)
+        crsd = CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=compatible_wavefront(16))
+        assert required_local_bytes(
+            build_plan(crsd, use_local_memory=False), "double") == 0
+        assert required_local_bytes(
+            build_plan(crsd, nvec=4), "double") == 0
+
+    def test_autotune_rejects_overflow(self, rng):
+        from repro.core.autotune import _fits_local_memory
+
+        coo = random_diagonal_matrix(rng, n=64, density=1.0, scatter=0)
+        crsd = CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=compatible_wavefront(16))
+        tiny = TESLA_C2050.with_overrides(local_mem_per_cu_bytes=8)
+        assert _fits_local_memory(crsd, TESLA_C2050, "double")
+        assert not _fits_local_memory(crsd, tiny, "double")
+
+
+class TestMissingScatterData:
+    def test_plan_without_index_arrays(self, rng):
+        coo = random_diagonal_matrix(rng, n=96, scatter=4)
+        crsd = CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=compatible_wavefront(16))
+        assert crsd.num_scatter_rows > 0
+        report = analyze_plan(build_plan(crsd))  # no scatter arrays
+        # indirect accesses become unpredictable, but that is an info
+        # condition, not a violation
+        assert report.ok
+        assert report.predicted is None
+        assert report.batched_write_sets_disjoint is None
+        assert any(f.severity == "info" for f in report.findings)
+
+
+class TestStrictBuilds:
+    def test_strict_spmv_compiles_clean_plan(self, rng):
+        coo = random_diagonal_matrix(rng, n=96, scatter=2)
+        crsd = CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=compatible_wavefront(16))
+        runner = CrsdSpMV(crsd, strict=True)
+        x = rng.standard_normal(96)
+        assert np.allclose(runner.run(x).y, coo.todense() @ x)
+
+    def test_strict_spmm_compiles_clean_plan(self, rng):
+        coo = random_diagonal_matrix(rng, n=64, scatter=2)
+        crsd = CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=compatible_wavefront(16))
+        CrsdSpMM(crsd, nvec=2, strict=True)
+
+    def test_error_carries_the_report(self, rng):
+        coo = random_diagonal_matrix(rng, n=64, density=1.0, scatter=0)
+        crsd = CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=compatible_wavefront(16))
+        plan = build_plan(crsd)
+        report = analyze_plan(
+            plan, device=TESLA_C2050.with_overrides(local_mem_per_cu_bytes=8))
+        assert not report.ok
+        err = KernelAnalysisError(report)
+        assert err.report is report
+        assert "local memory" in str(err)

@@ -1,0 +1,43 @@
+"""The ``repro analyze`` subcommand."""
+
+import json
+
+from repro.cli import main
+from repro.matrices.mmio import write_matrix_market
+from repro.matrices.suite23 import get_spec
+from tests.conftest import random_diagonal_matrix
+
+ARGS = ["--scale", "0.02", "--mrows", "32"]
+
+
+class TestAnalyzeCommand:
+    def test_suite_matrix_is_clean(self, capsys):
+        assert main(["analyze", "kim1"] + ARGS) == 0
+        out = capsys.readouterr().out
+        assert "kim1" in out and "0 violation" in out
+
+    def test_suite_by_number(self, capsys):
+        spec = get_spec(9)
+        assert main(["analyze", "9"] + ARGS) == 0
+        assert spec.name in capsys.readouterr().out
+
+    def test_mtx_file(self, tmp_path, rng, capsys):
+        coo = random_diagonal_matrix(rng, n=80)
+        p = tmp_path / "demo.mtx"
+        write_matrix_market(coo, p)
+        assert main(["analyze", str(p), "--mrows", "16"]) == 0
+        assert "demo" in capsys.readouterr().out
+
+    def test_json_payload(self, capsys):
+        assert main(["analyze", "kim1", "--json"] + ARGS) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["matrix"] == "kim1"
+        assert payload["metrics"]["divergence_efficiency"] == 1.0
+        assert payload["metrics"]["batched_write_sets_disjoint"] is True
+        assert payload["predicted_trace"]["flops"] > 0
+
+    def test_variant_flags(self, capsys):
+        assert main(["analyze", "kim1", "--no-local-memory"] + ARGS) == 0
+        assert main(["analyze", "kim1", "--nvec", "2"] + ARGS) == 0
+        assert main(["analyze", "kim1", "--precision", "single"] + ARGS) == 0

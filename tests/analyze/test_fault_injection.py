@@ -1,0 +1,251 @@
+"""Seeded-violation tests: every checker must catch its fault class.
+
+Each test corrupts one aspect of an otherwise-clean kernel — the plan,
+the symbolic model, or the rendered source — and asserts that exactly
+the targeted checker fires with a non-zero exit code.  This is the
+analyzer's own regression suite: a checker that silently stops firing
+is worse than no checker at all.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analyze import (
+    AnalysisReport,
+    GlobalAccess,
+    LocalOp,
+    analyze_matrix,
+    analyze_plan,
+    build_model,
+    check_bounds,
+    check_coalescing,
+    check_divergence,
+    check_localmem,
+)
+from repro.codegen.plan import build_plan
+from repro.core.crsd import CRSDMatrix, compatible_wavefront
+from repro.ocl.device import TESLA_C2050
+from tests.conftest import random_diagonal_matrix
+
+
+@pytest.fixture
+def crsd(rng):
+    """A matrix with two AD groups per region (dense bands => tile
+    staging, barriers, and a wait-for-reads restage barrier)."""
+    coo = random_diagonal_matrix(rng, n=96, offsets=(-1, 0, 1, 8, 9),
+                                 density=1.0, scatter=2)
+    return CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=compatible_wavefront(16))
+
+
+def errors_of(report, check):
+    return [f for f in report.by_check(check) if f.severity == "error"]
+
+
+def test_baseline_is_clean(crsd):
+    report = analyze_matrix(crsd)
+    assert report.ok, [str(f) for f in report.violations]
+
+
+class TestBounds:
+    def test_corrupt_slab_base_is_caught(self, crsd):
+        plan = build_plan(crsd)
+        bad_region = dataclasses.replace(
+            plan.regions[-1], slab_base=plan.regions[-1].slab_base + 10_000)
+        bad = dataclasses.replace(
+            plan, regions=plan.regions[:-1] + (bad_region,))
+        report = AnalysisReport(plan=bad)
+        check_bounds(build_model(bad), report)
+        assert errors_of(report, "bounds")
+        assert report.exit_code == 1
+
+    def test_under_filled_tile_is_caught(self, crsd):
+        """The nemeth regression: a tile load past the staged extent."""
+        plan = build_plan(crsd)
+        model = build_model(plan)
+        rm = next(r for r in model.regions if r.tiles)
+        idx = next(i for i, op in enumerate(rm.local_ops)
+                   if op.op == "store")
+        del rm.local_ops[idx]
+        report = AnalysisReport(plan=plan)
+        check_bounds(model, report)
+        msgs = [f.message for f in errors_of(report, "bounds")]
+        assert any("no store ever wrote" in m for m in msgs), msgs
+
+
+class TestCoalescing:
+    def test_strided_access_is_caught(self, crsd):
+        plan = build_plan(crsd)
+        model = build_model(plan, scatter_colval=crsd.scatter_colval,
+                            scatter_rowno=crsd.scatter_rowno)
+        model.regions[0].accesses.append(
+            GlobalAccess(buffer="x", kind="load", base=0, seg_coeff=0,
+                         lane_coeff=2, nsegs=1, lanes=plan.local_size,
+                         label="injected strided gather"))
+        report = AnalysisReport(plan=plan)
+        check_coalescing(model, report, TESLA_C2050)
+        msgs = [f.message for f in errors_of(report, "coalescing")]
+        assert any("lane stride 2" in m for m in msgs), msgs
+        assert report.exit_code == 1
+
+
+class TestDivergence:
+    OPENCL_OK = (
+        "__kernel void k(__global double* y) {\n"
+        "    int local_id = get_local_id(0);\n"
+        "    if (local_id < 4) { y[local_id] = 0.0; }\n"
+        "}\n"
+    )
+    PYTHON_OK = (
+        "def crsd_dia_kernel(ctx, bufs):\n"
+        "    pass\n"
+    )
+
+    def test_clean_sources_pass(self):
+        report = AnalysisReport(plan=None)
+        check_divergence(self.PYTHON_OK, self.OPENCL_OK, report)
+        assert report.ok
+        assert report.divergence_efficiency == 1.0
+
+    def test_lane_dependent_python_branch(self):
+        bad = (
+            "def crsd_dia_kernel(ctx, bufs):\n"
+            "    if ctx.lid > 0:\n"
+            "        return None\n"
+        )
+        report = AnalysisReport(plan=None)
+        check_divergence(bad, self.OPENCL_OK, report)
+        assert errors_of(report, "divergence")
+        assert report.divergence_efficiency != 1.0
+
+    def test_opencl_loop(self):
+        bad = self.OPENCL_OK.replace(
+            "if (local_id < 4) { y[local_id] = 0.0; }",
+            "for (int i = 0; i < 4; ++i) { y[i] = 0.0; }")
+        report = AnalysisReport(plan=None)
+        check_divergence(self.PYTHON_OK, bad, report)
+        msgs = [f.message for f in errors_of(report, "divergence")]
+        assert any("unrolled" in m for m in msgs), msgs
+
+    def test_barrier_inside_lane_branch(self):
+        bad = self.OPENCL_OK.replace(
+            "y[local_id] = 0.0;",
+            "barrier(CLK_LOCAL_MEM_FENCE);")
+        report = AnalysisReport(plan=None)
+        check_divergence(self.PYTHON_OK, bad, report)
+        msgs = [f.message for f in errors_of(report, "divergence")]
+        assert any("deadlock" in m for m in msgs), msgs
+
+
+class TestLocalMem:
+    def test_missing_barrier_is_a_race(self, crsd):
+        plan = build_plan(crsd)
+        model = build_model(plan)
+        rm = next(r for r in model.regions if r.local_ops)
+        rm.local_ops[:] = [op for op in rm.local_ops if op.op != "barrier"]
+        report = AnalysisReport(plan=plan)
+        check_localmem(model, report, TESLA_C2050)
+        msgs = [f.message for f in errors_of(report, "localmem")]
+        assert any("race" in m for m in msgs), msgs
+
+    def test_missing_wait_for_reads_barrier(self, crsd):
+        """The OpenCL restaging regression: dropping any barrier from
+        the shared-xtile program must surface a read-write race."""
+        plan = build_plan(crsd)
+        model = build_model(plan)
+        rm = next(r for r in model.regions
+                  if sum(op.op == "barrier" for op in r.opencl_local_ops) > 1)
+        kept = []
+        dropped = False
+        for op in reversed(rm.opencl_local_ops):
+            if op.op == "barrier" and not dropped:
+                dropped = True
+                continue
+            kept.append(op)
+        rm.opencl_local_ops[:] = list(reversed(kept))
+        report = AnalysisReport(plan=plan)
+        check_localmem(model, report, TESLA_C2050)
+        assert errors_of(report, "localmem")
+
+    def test_single_element_broadcast_store(self, crsd):
+        plan = build_plan(crsd)
+        model = build_model(plan)
+        rm = next(r for r in model.regions if r.tiles)
+        tile = next(iter(rm.tiles))
+        rm.local_ops.insert(0, LocalOp("store", tile, base=0,
+                                       lane_coeff=0, lane_bound=16))
+        report = AnalysisReport(plan=plan)
+        check_localmem(model, report, TESLA_C2050)
+        msgs = [f.message for f in errors_of(report, "localmem")]
+        assert any("write-write race on a single element" in m
+                   for m in msgs), msgs
+
+    def test_capacity_overflow(self, crsd):
+        tiny = TESLA_C2050.with_overrides(local_mem_per_cu_bytes=8)
+        report = analyze_matrix(crsd, device=tiny)
+        msgs = [f.message for f in errors_of(report, "localmem")]
+        assert any("cannot launch" in m for m in msgs), msgs
+        assert report.exit_code == 1
+
+
+class TestBatchSafety:
+    def test_overlapping_segments_are_caught(self, crsd):
+        plan = build_plan(crsd)
+        # clone the region so two launches claim the same row interval
+        r0 = plan.regions[0]
+        clone = dataclasses.replace(r0, index=len(plan.regions),
+                                    gid_base=plan.num_groups)
+        bad = dataclasses.replace(plan, regions=plan.regions + (clone,))
+        report = analyze_plan(bad, check_render=False)
+        msgs = [f.message for f in errors_of(report, "batch-safety")]
+        assert any("race under batched execution" in m for m in msgs), msgs
+        assert report.batched_write_sets_disjoint is False
+        assert report.exit_code == 1
+
+    def test_duplicate_scatter_row_is_caught(self, crsd):
+        plan = build_plan(crsd)
+        assert plan.scatter.num_rows >= 2
+        rowno = np.asarray(crsd.scatter_rowno).copy()
+        rowno[1] = rowno[0]
+        report = analyze_plan(plan, scatter_colval=crsd.scatter_colval,
+                              scatter_rowno=rowno, check_render=False)
+        msgs = [f.message for f in errors_of(report, "batch-safety")]
+        assert any("more than once" in m for m in msgs), msgs
+
+
+class TestRender:
+    def test_extra_barrier_is_caught(self, crsd, monkeypatch):
+        import repro.analyze.driver as driver
+
+        plan = build_plan(crsd)
+        real = driver.generate_opencl_source
+
+        def tampered(p, precision="double"):
+            src = real(p, precision=precision)
+            assert "barrier(CLK_LOCAL_MEM_FENCE);" in src
+            return src.replace(
+                "barrier(CLK_LOCAL_MEM_FENCE);",
+                "barrier(CLK_LOCAL_MEM_FENCE); barrier(CLK_LOCAL_MEM_FENCE);",
+                1)
+
+        monkeypatch.setattr(driver, "generate_opencl_source", tampered)
+        report = analyze_plan(plan)
+        msgs = [f.message for f in errors_of(report, "render")]
+        assert any("barrier placement drifted" in m for m in msgs), msgs
+        assert report.exit_code == 1
+
+    def test_missing_codelet_is_caught(self, crsd, monkeypatch):
+        import repro.analyze.driver as driver
+
+        plan = build_plan(crsd)
+        real = driver.emit_python_source
+
+        def tampered(p):
+            return real(p).replace(
+                "def _codelet_p0(", "def _codelet_p0_gone(", 1)
+
+        monkeypatch.setattr(driver, "emit_python_source", tampered)
+        report = analyze_plan(plan)
+        msgs = [f.message for f in errors_of(report, "render")]
+        assert any("missing expected codelet" in m for m in msgs), msgs

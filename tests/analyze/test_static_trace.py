@@ -1,0 +1,119 @@
+"""Differential tests: the static trace prediction is *exact*.
+
+``repro.analyze.predict_trace`` claims to compute the dynamic
+:class:`KernelTrace` in closed form, with the L2 model disabled
+(L2 residency depends on execution order and is out of static scope).
+These tests hold it to that claim bit-for-bit — every counter equal,
+``dataclasses.asdict`` on both sides — across the whole 23-matrix
+bench suite, both precisions, local memory on and off, and the
+multi-vector SpMM variant.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analyze import analyze_matrix, build_model, predict_trace
+from repro.bench.runner import bench_scale, effective_scale
+from repro.codegen.plan import build_plan
+from repro.core.crsd import CRSDMatrix, compatible_wavefront
+from repro.gpu_kernels.crsd_runner import CrsdSpMM, CrsdSpMV
+from repro.matrices.suite23 import SUITE, get_spec
+from repro.ocl.device import TESLA_C2050
+from tests.conftest import random_diagonal_matrix
+
+#: static prediction is defined on the L2-disabled device
+NO_L2 = TESLA_C2050.with_overrides(l2_bytes=0)
+
+
+def suite_crsd(spec, mrows=128):
+    scale = effective_scale(spec, bench_scale())
+    coo = spec.generate(scale=scale, seed=0)
+    crsd = CRSDMatrix.from_coo(
+        coo, mrows=mrows, wavefront_size=compatible_wavefront(mrows))
+    return coo, crsd
+
+
+def static_trace(crsd, use_local_memory=True, nvec=1, precision="double"):
+    plan = build_plan(crsd, use_local_memory=use_local_memory, nvec=nvec)
+    model = build_model(plan, precision=precision,
+                        scatter_colval=crsd.scatter_colval,
+                        scatter_rowno=crsd.scatter_rowno)
+    return predict_trace(model, NO_L2)
+
+
+def assert_bit_identical(static, dynamic):
+    assert static is not None
+    assert dataclasses.asdict(static) == dataclasses.asdict(dynamic)
+
+
+class TestSuite23:
+    """Zero violations and exact counters on every bench matrix."""
+
+    @pytest.mark.parametrize(
+        "spec", SUITE, ids=lambda s: f"{s.number:02d}-{s.name}")
+    def test_static_equals_dynamic(self, spec):
+        coo, crsd = suite_crsd(spec)
+        x = np.random.default_rng(7).standard_normal(coo.ncols)
+        run = CrsdSpMV(crsd, device=NO_L2).run(x)
+        assert_bit_identical(static_trace(crsd), run.trace)
+
+    @pytest.mark.parametrize(
+        "spec", SUITE, ids=lambda s: f"{s.number:02d}-{s.name}")
+    def test_analyzer_clean(self, spec):
+        _, crsd = suite_crsd(spec)
+        report = analyze_matrix(crsd)
+        assert report.ok, [str(f) for f in report.violations]
+        assert report.exit_code == 0
+        assert report.divergence_efficiency == 1.0
+        assert report.batched_write_sets_disjoint is True
+        assert report.predicted is not None
+
+
+class TestVariants:
+    """Exactness holds for the ablations and the SpMM variant too."""
+
+    # nemeth21 exercises multi-pass AD tile staging (ndiags > mrows+1),
+    # wang3 is the paper's no-local-memory discussion case
+    @pytest.mark.parametrize("name", ["nemeth21", "wang3"])
+    @pytest.mark.parametrize("use_local", [True, False])
+    def test_local_memory_ablation(self, name, use_local):
+        coo, crsd = suite_crsd(get_spec(name))
+        x = np.random.default_rng(3).standard_normal(coo.ncols)
+        run = CrsdSpMV(crsd, use_local_memory=use_local,
+                       device=NO_L2).run(x)
+        assert_bit_identical(
+            static_trace(crsd, use_local_memory=use_local), run.trace)
+
+    @pytest.mark.parametrize("name", ["crystk03", "nemeth21"])
+    def test_single_precision(self, name):
+        coo, crsd = suite_crsd(get_spec(name))
+        x = np.random.default_rng(5).standard_normal(coo.ncols)
+        run = CrsdSpMV(crsd, device=NO_L2, precision="single").run(x)
+        assert_bit_identical(
+            static_trace(crsd, precision="single"), run.trace)
+
+    @pytest.mark.parametrize("name,nvec", [("nemeth21", 2), ("wang3", 4)])
+    def test_spmm(self, name, nvec):
+        coo, crsd = suite_crsd(get_spec(name))
+        x = np.random.default_rng(9).standard_normal((coo.ncols, nvec))
+        run = CrsdSpMM(crsd, nvec=nvec, device=NO_L2).run(x)
+        assert_bit_identical(static_trace(crsd, nvec=nvec), run.trace)
+
+
+class TestReportMetrics:
+    """The report's static efficiencies equal the dynamic counters'."""
+
+    def test_efficiencies_match_dynamic(self, rng):
+        coo = random_diagonal_matrix(rng, n=300, density=0.7, scatter=4)
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        report = analyze_matrix(crsd, device=NO_L2)
+        x = rng.standard_normal(coo.ncols)
+        tr = CrsdSpMV(crsd, device=NO_L2).run(x).trace
+        dev = NO_L2
+        assert report.load_coalescing_efficiency == pytest.approx(
+            tr.load_coalescing_efficiency(8, dev.transaction_bytes))
+        assert report.store_coalescing_efficiency == pytest.approx(
+            tr.store_coalescing_efficiency(dev.transaction_bytes))
+        assert_bit_identical(report.predicted, tr)

@@ -1,6 +1,5 @@
 """ASCII figure rendering and CSV export."""
 
-import numpy as np
 import pytest
 
 from repro.bench.figures import (

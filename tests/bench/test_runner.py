@@ -1,6 +1,5 @@
 """Bench harness: records, OOM logic, scaling, reports."""
 
-import numpy as np
 import pytest
 
 from repro.bench.runner import (

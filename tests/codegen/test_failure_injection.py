@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from repro.codegen.opencl_source import generate_opencl_source
-from repro.codegen.plan import GroupPlan, build_plan
+from repro.codegen.plan import build_plan
 from repro.codegen.python_codelet import generate_python_kernel
 from repro.codegen.validator import OpenCLSyntaxError, validate_opencl_source
 from repro.core.crsd import CRSDMatrix

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.codegen.validator import OpenCLSyntaxError, strip_comments, validate_opencl_source
+from repro.codegen.validator import (
+    OpenCLSyntaxError,
+    PythonCodeletSyntaxError,
+    strip_comments,
+    validate_opencl_source,
+    validate_python_source,
+)
 
 GOOD = """\
 #pragma OPENCL EXTENSION cl_khr_fp64 : enable
@@ -68,3 +74,76 @@ def test_comments_stripped():
     src = "/* hi { */ // {{{\n" + GOOD
     assert "hi" not in strip_comments(src)
     validate_opencl_source(src)
+
+
+class TestStripCommentsStringAware:
+    """``strip_comments`` must not treat markers inside string literals
+    as comments (and vice versa)."""
+
+    def test_slashes_inside_string_survive(self):
+        src = 'printf("a//b");\n// real comment\n'
+        out = strip_comments(src)
+        assert '"a//b"' in out
+        assert "real comment" not in out
+
+    def test_block_marker_inside_string_survives(self):
+        src = 'char* s = "/* not a comment */"; /* gone */\n'
+        out = strip_comments(src)
+        assert '"/* not a comment */"' in out
+        assert "gone" not in out
+
+    def test_quote_inside_comment_does_not_open_string(self):
+        src = '// it\'s fine\nint x = 1; /* "quoted" */ int y = 2;\n'
+        out = strip_comments(src)
+        assert "int x = 1;" in out and "int y = 2;" in out
+        assert "fine" not in out and "quoted" not in out
+
+    def test_escaped_quote_in_string(self):
+        src = 'char* s = "a\\"b//c"; // tail\n'
+        out = strip_comments(src)
+        assert '"a\\"b//c"' in out
+        assert "tail" not in out
+
+    def test_block_comment_preserves_line_numbers(self):
+        src = "int a;\n/* one\ntwo\nthree */\nint b;\n"
+        out = strip_comments(src)
+        assert out.count("\n") == src.count("\n")
+        assert out.splitlines()[4] == "int b;"
+
+    def test_unterminated_block_comment_consumes_rest(self):
+        assert "hidden" not in strip_comments("int a; /* hidden")
+
+
+class TestValidatePythonSource:
+    def test_good_source(self):
+        src = "def f(ctx):\n    return 1\n\ndef g(ctx):\n    return 2\n"
+        assert validate_python_source(src) == ["f", "g"]
+
+    def test_expected_names_enforced(self):
+        src = "def f(ctx):\n    return 1\n"
+        validate_python_source(src, expected=["f"])
+        with pytest.raises(PythonCodeletSyntaxError, match="missing"):
+            validate_python_source(src, expected=["f", "g"])
+
+    def test_syntax_error(self):
+        with pytest.raises(PythonCodeletSyntaxError, match="parse"):
+            validate_python_source("def f(:\n")
+
+    def test_duplicate_definition(self):
+        src = "def f(ctx):\n    return 1\n\ndef f(ctx):\n    return 2\n"
+        with pytest.raises(PythonCodeletSyntaxError, match="twice"):
+            validate_python_source(src)
+
+    def test_emitted_kernel_inventory(self, rng):
+        from repro.codegen.plan import build_plan
+        from repro.codegen.python_codelet import emit_python_source
+        from repro.core.crsd import CRSDMatrix, compatible_wavefront
+        from tests.conftest import random_diagonal_matrix
+
+        coo = random_diagonal_matrix(rng, n=64, scatter=2)
+        crsd = CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=compatible_wavefront(16))
+        plan = build_plan(crsd)
+        names = validate_python_source(emit_python_source(plan))
+        assert "crsd_dia_kernel" in names
+        assert "crsd_dia_kernel_batched" in names
+        assert "_codelet_p0" in names

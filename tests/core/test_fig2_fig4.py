@@ -6,7 +6,6 @@ value layout including the v43 fill zero, the scatter side structure
 for row 5, and the Table III per-pattern quantities.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.crsd import CRSDMatrix

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.crsd import CRSDMatrix
 from repro.cpu.kernels import CpuCrsdSpMV, CpuCsrSpMV, CpuDiaSpMV
-from repro.cpu.machine import XEON_X5550_2S, CPUSpec
+from repro.cpu.machine import XEON_X5550_2S
 from repro.formats.csr import CSRMatrix
 from repro.formats.dia import DIAMatrix
 from tests.conftest import random_diagonal_matrix

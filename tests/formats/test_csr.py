@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.formats.base import FormatError
-from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 
 

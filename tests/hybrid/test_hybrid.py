@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.hybrid import (
-    PCIE_GEN2_X16,
     HybridSpMV,
     PCIeSpec,
     optimal_split,

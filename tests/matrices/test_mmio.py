@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.formats.base import FormatError
-from repro.formats.coo import COOMatrix
 from repro.matrices.mmio import read_matrix_market, write_matrix_market
 
 

@@ -1,6 +1,5 @@
 """The 23-matrix suite reproduces each Table V row's documented structure."""
 
-import numpy as np
 import pytest
 
 from repro.matrices.stats import compute_stats, estimate_dia_bytes

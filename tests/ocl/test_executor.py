@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.ocl.device import TESLA_C2050, DeviceSpec
+from repro.ocl.device import TESLA_C2050
 from repro.ocl.errors import DeviceMemoryError, LaunchError, LocalMemoryError
-from repro.ocl.executor import Context, WorkGroupCtx, launch
+from repro.ocl.executor import Context, launch
 from repro.ocl.trace import KernelTrace
 
 

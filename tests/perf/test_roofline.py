@@ -1,6 +1,5 @@
 """Roofline analysis."""
 
-import numpy as np
 import pytest
 
 from repro.core.crsd import CRSDMatrix

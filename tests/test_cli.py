@@ -1,6 +1,5 @@
 """The ``python -m repro`` command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
