@@ -2,23 +2,18 @@
 """Quickstart: store a diagonal sparse matrix in CRSD and run SpMV.
 
 Builds a small diagonal matrix with an idle section and a scatter
-point, stores it in CRSD, prints the structural description the format
-derives (diagonal patterns, scatter rows, fill), runs the generated
-kernel on the simulated Tesla C2050, verifies the result, and compares
-against the DIA/ELL/CSR baselines.
+point, stores it in CRSD through the ``repro`` facade, prints the
+structural description the format derives (diagonal patterns, scatter
+rows, fill), runs the generated kernel on the simulated Tesla C2050,
+verifies the result, and compares against the DIA/ELL/CSR baselines --
+all via ``repro.build`` / ``repro.spmv``.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.core.crsd import CRSDMatrix
-from repro.formats.coo import COOMatrix
-from repro.formats.csr import CSRMatrix
-from repro.formats.dia import DIAMatrix
-from repro.formats.ell import ELLMatrix
-from repro.gpu_kernels import CrsdSpMV, CsrVectorSpMV, DiaSpMV, EllSpMV
-from repro.perf import gflops, predict_gpu_time
+import repro
 
 
 def build_matrix(n=4096, rng=None):
@@ -41,7 +36,7 @@ def build_matrix(n=4096, rng=None):
     rows = np.concatenate(rows_l)
     cols = np.concatenate(cols_l)
     vals = rng.standard_normal(rows.size)
-    return COOMatrix(rows, cols, vals, (n, n))
+    return repro.COOMatrix(rows, cols, vals, (n, n))
 
 
 def main():
@@ -50,7 +45,7 @@ def main():
     print(f"matrix: {coo.nrows} x {coo.ncols}, nnz = {coo.nnz:,}")
 
     # ---- store in CRSD -------------------------------------------------
-    crsd = CRSDMatrix.from_coo(coo, mrows=128)
+    crsd = repro.CRSDMatrix.from_coo(coo, mrows=128)
     print(f"\nCRSD structure:")
     print(f"  diagonal patterns : {crsd.num_dia_patterns}")
     print(f"  pattern regions   : {len(crsd.regions)}")
@@ -60,25 +55,27 @@ def main():
           f"({100 * crsd.fill_zeros / crsd.dia_val.size:.1f}% of slab)")
     print(f"  AD slot fraction  : {crsd.adjacent_slot_fraction:.2f}")
 
-    # ---- run on the simulated GPU --------------------------------------
+    # ---- run on the simulated GPU via the facade -----------------------
     x = rng.standard_normal(coo.ncols)
     reference = coo.matvec(x)
 
-    runners = {
-        "CRSD (generated codelets)": CrsdSpMV(crsd),
-        "DIA": DiaSpMV(DIAMatrix.from_coo(coo)),
-        "ELL": EllSpMV(ELLMatrix.from_coo(coo)),
-        "CSR (vector)": CsrVectorSpMV(CSRMatrix.from_coo(coo)),
+    runs = {
+        "CRSD (generated codelets)": repro.spmv(crsd, x),
+        "DIA": repro.spmv(coo, x, format="dia"),
+        "ELL": repro.spmv(coo, x, format="ell"),
+        "CSR (vector)": repro.spmv(coo, x, format="csr"),
     }
     print(f"\n{'kernel':<28} {'max err':>10} {'modelled':>10} {'GFLOPS':>8}")
-    for name, runner in runners.items():
-        run = runner.run(x)
+    for name, run in runs.items():
         err = np.abs(run.y - reference).max()
-        perf = predict_gpu_time(run.trace, runner.device)
-        print(f"{name:<28} {err:>10.2e} {perf.total * 1e6:>8.1f}us "
-              f"{gflops(coo.nnz, perf.total):>8.2f}")
+        m = run.metrics
+        print(f"{name:<28} {err:>10.2e} {m['seconds'] * 1e6:>8.1f}us "
+              f"{m['achieved_gflops']:>8.2f}")
 
-    print("\nAll kernels verified against the reference SpMV.")
+    picked = repro.auto_format(coo)
+    print(f"\nAll kernels verified against the reference SpMV.")
+    print(f"repro.auto_format picks {picked!r} for this matrix "
+          f"(fewest analytic bytes per SpMV).")
 
 
 if __name__ == "__main__":

@@ -15,9 +15,67 @@ its evaluation depends on:
 - ``repro.bench``        -- the per-figure/table benchmark harness
 - ``repro.solvers``      -- CG/BiCGSTAB/Jacobi over the SpMV kernels
 - ``repro.hybrid``       -- PCIe transfers + CPU+GPU hybrid SpMV
-- ``repro.cli``          -- ``python -m repro info/bench/codegen/convert/tune``
+- ``repro.obs``          -- spans, metric registries, profile exporters
+- ``repro.cli``          -- ``python -m repro info/bench/profile/tune/...``
+
+The package root doubles as the facade (:mod:`repro.api`)::
+
+    import repro
+
+    run = repro.spmv(A, x, format="auto")   # -> SpMVRun (y, trace, metrics)
+    runner = repro.build(A, format="crsd")  # -> prepared kernel runner
+    report = repro.profile(A)               # -> ProfileReport
+
+Heavy submodules load lazily (PEP 562), so ``import repro`` stays cheap
+and instrumentation-free code paths never pay for the observation
+layer.
 """
 
 from repro._version import __version__
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    # facade verbs
+    "spmv",
+    "build",
+    "profile",
+    "auto_format",
+    # key public classes
+    "CRSDMatrix",
+    "COOMatrix",
+    "CrsdSpMV",
+    "DeviceSpec",
+    "SpMVRun",
+    # observation entry points
+    "observe",
+    "ProfileReport",
+]
+
+#: lazily-resolved public attribute -> defining module
+_LAZY = {
+    "spmv": "repro.api",
+    "build": "repro.api",
+    "profile": "repro.api",
+    "auto_format": "repro.api",
+    "CRSDMatrix": "repro.core.crsd",
+    "COOMatrix": "repro.formats.coo",
+    "CrsdSpMV": "repro.gpu_kernels",
+    "DeviceSpec": "repro.ocl.device",
+    "SpMVRun": "repro.gpu_kernels.base",
+    "observe": "repro.obs.recorder",
+    "ProfileReport": "repro.obs.report",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        value = getattr(importlib.import_module(_LAZY[name]), name)
+        globals()[name] = value  # cache for subsequent lookups
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

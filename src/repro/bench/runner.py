@@ -1,10 +1,20 @@
-"""Suite execution: build formats, run kernels, verify, model time."""
+"""Suite execution: build formats, run kernels, verify, model time.
+
+Besides the per-figure records, the suite sweep can persist a
+**benchmark trajectory**: one JSON entry per sweep appended to
+``BENCH_spmv.json`` (see :func:`append_trajectory`), built from the
+:mod:`repro.obs` metric layer, so successive commits accumulate a
+comparable performance history.
+"""
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -44,6 +54,13 @@ MIN_BENCH_ROWS = 4000
 DEFAULT_MROWS = 128
 
 GPU_FORMATS = ("dia", "ell", "csr", "hyb", "crsd")
+
+#: environment variable naming the trajectory file ``run_gpu_suite``
+#: appends to (unset = no trajectory persistence)
+TRAJECTORY_ENV = "REPRO_BENCH_TRAJECTORY"
+
+#: schema tag of every trajectory file entry
+TRAJECTORY_SCHEMA = "repro-bench-trajectory/v1"
 
 
 def bench_scale() -> float:
@@ -218,15 +235,23 @@ def run_gpu_matrix(
         )
         perf = predict_gpu_time(run.trace, dev, precision, num_launches=launches,
                                 size_scale=scale)
+        from repro.obs.metrics import derive_metrics
+
+        metrics = derive_metrics(run.trace, dev, precision, nnz=coo.nnz,
+                                 seconds=perf.total)
         rec = BenchRecord(
             matrix_number=spec.number, matrix_name=spec.name, fmt=fmt,
             precision=precision, nnz=coo.nnz,
             gflops=gflops_of(coo.nnz, perf.total), seconds=perf.total,
             max_abs_err=err,
             extra={
-                "coalescing": run.trace.load_coalescing_efficiency(),
-                "divergence": run.trace.divergence_efficiency,
-                "barriers": float(run.trace.barriers),
+                "coalescing": metrics["load_coalescing"],
+                "divergence": metrics["divergence_efficiency"],
+                "barriers": metrics["barriers"],
+                "l2_hit_rate": metrics["l2_hit_rate"],
+                "dram_bytes_per_nnz": metrics["dram_bytes_per_nnz"],
+                "transactions_per_nnz": metrics["transactions_per_nnz"],
+                "roofline_efficiency": metrics["roofline_efficiency"],
                 "bound_bandwidth_time": perf.bandwidth_time,
                 "bound_barrier_time": perf.barrier_time,
             },
@@ -243,8 +268,14 @@ def run_gpu_suite(
     device: DeviceSpec = TESLA_C2050,
     mrows: int = DEFAULT_MROWS,
     seed: int = 0,
+    trajectory: Optional[Union[str, Path]] = None,
 ) -> GpuSuiteResult:
-    """Sweep the suite (all 23 matrices by default)."""
+    """Sweep the suite (all 23 matrices by default).
+
+    ``trajectory`` names a ``BENCH_spmv.json`` file to append this
+    sweep's summary entry to (default: the ``REPRO_BENCH_TRAJECTORY``
+    environment variable; unset = don't persist).
+    """
     scale = bench_scale() if scale is None else scale
     nums = set(matrices) if matrices is not None else None
     records: List[BenchRecord] = []
@@ -254,7 +285,75 @@ def run_gpu_suite(
         records.extend(
             run_gpu_matrix(spec, scale, precision, formats, device, mrows, seed)
         )
-    return GpuSuiteResult(records=records, scale=scale, precision=precision)
+    result = GpuSuiteResult(records=records, scale=scale, precision=precision)
+    if trajectory is None:
+        trajectory = os.environ.get(TRAJECTORY_ENV) or None
+    if trajectory:
+        append_trajectory(result, trajectory)
+    return result
+
+
+def trajectory_entry(result: GpuSuiteResult) -> Dict:
+    """One ``BENCH_spmv.json`` entry summarising a suite sweep.
+
+    Per format: mean/min/max GFLOPS over the non-OOM records plus the
+    suite means of the derived metrics (coalescing, L2 hit rate, DRAM
+    bytes per nonzero) — the quantities future PRs regress against.
+    """
+    from repro.ocl.executor import executor_mode
+
+    by_fmt: Dict[str, List[BenchRecord]] = {}
+    for r in result.records:
+        by_fmt.setdefault(r.fmt, []).append(r)
+    formats = {}
+    for fmt, recs in sorted(by_fmt.items()):
+        ok = [r for r in recs if not r.oom and r.gflops is not None]
+        entry = {"matrices": len(recs), "oom": sum(r.oom for r in recs)}
+        if ok:
+            gf = [r.gflops for r in ok]
+            entry.update(
+                gflops_mean=sum(gf) / len(gf),
+                gflops_min=min(gf),
+                gflops_max=max(gf),
+            )
+            for key in ("coalescing", "l2_hit_rate", "dram_bytes_per_nnz",
+                        "transactions_per_nnz", "roofline_efficiency"):
+                vals = [r.extra[key] for r in ok if key in r.extra]
+                if vals:
+                    entry[f"{key}_mean"] = sum(vals) / len(vals)
+        formats[fmt] = entry
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "scale": result.scale,
+        "precision": result.precision,
+        "executor": executor_mode(),
+        "formats": formats,
+    }
+
+
+def append_trajectory(result: GpuSuiteResult,
+                      path: Union[str, Path]) -> Path:
+    """Append one sweep's :func:`trajectory_entry` to ``path``.
+
+    The file holds ``{"schema": ..., "entries": [...]}``; it is created
+    on first use and appended to afterwards, so the entry list *is* the
+    benchmark trajectory across commits.
+    """
+    path = Path(path)
+    payload = {"schema": TRAJECTORY_SCHEMA, "entries": []}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict) and isinstance(
+                existing.get("entries"), list):
+            payload = existing
+    payload["entries"].append(trajectory_entry(result))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
 
 
 @dataclass

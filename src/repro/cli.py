@@ -8,6 +8,7 @@ Commands
 ``analyze``  — statically analyze the generated kernels (no execution)
 ``convert``  — build CRSD from a .mtx file and save it (.npz)
 ``tune``     — autotune CRSD build parameters for a matrix
+``profile``  — record spans + derived metrics, export profile artifacts
 
 Matrices are referenced either by Table V suite name/number
 (``kim1``, ``3``) or by a MatrixMarket file path.
@@ -161,17 +162,63 @@ def cmd_convert(args) -> int:
 
 def cmd_tune(args) -> int:
     """``repro tune``: autotune CRSD build parameters."""
+    import dataclasses
+    import json
+
     from repro.core.autotune import tune
 
     coo, name = _load_matrix(args.matrix, args.scale)
     res = tune(coo, fast=args.fast)
     b = res.best
+    if args.json:
+        payload = {
+            "matrix": name,
+            "best": dataclasses.asdict(b),
+            "candidates": [dataclasses.asdict(c) for c in res.candidates],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"{name}: best mrows={b.mrows} "
           f"idle_fill_max_rows={b.idle_fill_max_rows} "
           f"local_memory={b.use_local_memory} "
           f"(modelled {b.seconds * 1e6:.1f} us, "
           f"{len(res.candidates)} candidates)")
     return 0
+
+
+def cmd_profile(args) -> int:
+    """``repro profile``: spans + derived metrics + exporters.
+
+    Sweeps the requested formats/executors/precisions over one matrix
+    under a profile session, verifies every run against the COO
+    reference, and prints a summary.  ``--json`` prints the full
+    machine-readable report; ``-o DIR`` writes the JSON/CSV/Chrome-trace
+    artifacts (open the ``.trace.json`` in chrome://tracing or
+    Perfetto).  Exit code is non-zero iff any run failed verification.
+    """
+    import json
+
+    from repro.obs.profiler import profile_matrix
+
+    coo, name = _load_matrix(args.matrix, args.scale)
+    report = profile_matrix(
+        coo, name,
+        formats=tuple(args.formats.split(",")),
+        executors=tuple(args.executors.split(",")),
+        precisions=tuple(args.precisions.split(",")),
+        mrows=args.mrows,
+        size_scale=args.scale,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    if args.output:
+        paths = report.export(args.output)
+        for kind, path in sorted(paths.items()):
+            print(f"wrote {kind}: {path}", file=sys.stderr)
+    bad = [e for e in report.registry.entries if not e.get("verified", True)]
+    return 1 if bad else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -231,7 +278,26 @@ def build_parser() -> argparse.ArgumentParser:
     common(sp)
     sp.add_argument("--fast", action="store_true",
                     help="use the closed-form model (no simulation)")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable result (best + all candidates)")
     sp.set_defaults(fn=cmd_tune)
+
+    sp = sub.add_parser(
+        "profile", help="record spans + metrics, export profile artifacts"
+    )
+    common(sp)
+    sp.add_argument("--formats", default="crsd",
+                    help="comma-separated formats (default: crsd)")
+    sp.add_argument("--executors", default="batched,pergroup",
+                    help="comma-separated executor modes "
+                         "(default: batched,pergroup)")
+    sp.add_argument("--precisions", default="double",
+                    help="comma-separated precisions (default: double)")
+    sp.add_argument("--json", action="store_true",
+                    help="print the full machine-readable report")
+    sp.add_argument("-o", "--output", metavar="DIR",
+                    help="write profile_<name>.{json,csv,trace.json} here")
+    sp.set_defaults(fn=cmd_profile)
     return p
 
 

@@ -8,10 +8,12 @@ returning the result and the execution trace.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.obs.recorder import maybe_span
 from repro.ocl.device import DeviceSpec, TESLA_C2050
 from repro.ocl.executor import Context
 from repro.ocl.trace import KernelTrace
@@ -32,10 +34,16 @@ def precision_dtype(precision: str):
 
 @dataclass
 class SpMVRun:
-    """Result of one kernel execution."""
+    """Result of one kernel execution.
+
+    ``metrics`` is optional and populated only by the instrumentation
+    layer (:mod:`repro.obs` / the :func:`repro.spmv` facade); the
+    classic ``SpMVRun(y, trace)`` construction is unchanged.
+    """
 
     y: np.ndarray
     trace: KernelTrace
+    metrics: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
 
 class GPUSpMV(abc.ABC):
@@ -78,7 +86,9 @@ class GPUSpMV(abc.ABC):
         format does not fit — the paper's DIA/double case.
         """
         if not self._prepared:
-            self._prepare()
+            with maybe_span(f"{self.name}.prepare", "prepare",
+                            kernel=self.name, precision=self.precision):
+                self._prepare()
             self._prepared = True
         return self
 
@@ -88,7 +98,10 @@ class GPUSpMV(abc.ABC):
         x = np.ascontiguousarray(x, dtype=self.dtype)
         if x.size != self.ncols:
             raise ValueError(f"x has length {x.size}, expected {self.ncols}")
-        return self._execute(x, trace)
+        with maybe_span(f"{self.name}.spmv", "op", kernel=self.name,
+                        precision=self.precision, nrows=self.nrows,
+                        ncols=self.ncols):
+            return self._execute(x, trace)
 
     # ------------------------------------------------------------------
     @property

@@ -26,6 +26,7 @@ from repro.codegen.plan import build_plan
 from repro.codegen.python_codelet import generate_python_kernel
 from repro.core.crsd import CRSDMatrix
 from repro.gpu_kernels.base import GPUSpMV, SpMVRun
+from repro.obs.recorder import maybe_span
 from repro.ocl.executor import (
     executor_mode,
     launch,
@@ -187,7 +188,9 @@ class CrsdSpMM(CrsdSpMV):
                 f"X must be ({self.ncols}, {self.nvec}), got {x.shape}"
             )
         flat = np.ascontiguousarray(x.T).ravel()  # column-major device layout
-        run = self._execute(flat, trace)
+        with maybe_span(f"{self.name}.spmm", "op", kernel=self.name,
+                        precision=self.precision, nvec=self.nvec):
+            run = self._execute(flat, trace)
         y = run.y.reshape(self.nvec, self.nrows).T.copy()
         return SpMVRun(y=y, trace=run.trace)
 

@@ -23,6 +23,7 @@ from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 from repro.gpu_kernels import CrsdSpMV
 from repro.hybrid.transfer import PCIE_GEN2_X16, PCIeSpec, transfer_time
+from repro.obs.recorder import maybe_span
 from repro.ocl.device import DeviceSpec, TESLA_C2050
 from repro.perf.costmodel import predict_gpu_time
 
@@ -180,22 +181,29 @@ class HybridSpMV:
         """Execute both halves functionally; model the combined time."""
         x = np.asarray(x, dtype=np.float64)
         y = np.zeros(self.coo.nrows, dtype=np.float64)
-        run = self._gpu.run(x)
-        y[: self.boundary] = run.y[: self.boundary]
-        launches = 2 if self._gpu.matrix.num_scatter_rows else 1
-        t_gpu = predict_gpu_time(
-            run.trace, self.device, self.precision, num_launches=launches,
-            size_scale=self.size_scale,
-        ).total
-        t_cpu = 0.0
-        if self._cpu is not None:
-            cres = self._cpu.run(x)
-            y[self.boundary:] = cres.y
-            t_cpu = cres.seconds
-        t_xfer = 0.0
-        if self.include_transfers:
-            t_xfer = transfer_time(self.boundary, self.coo.ncols,
-                                   self.precision, self.pcie)
+        with maybe_span("hybrid.spmv", "op",
+                        gpu_fraction=self.boundary / self.coo.nrows,
+                        boundary=self.boundary):
+            with maybe_span("hybrid.gpu_half", "op",
+                            rows=self.boundary):
+                run = self._gpu.run(x)
+            y[: self.boundary] = run.y[: self.boundary]
+            launches = 2 if self._gpu.matrix.num_scatter_rows else 1
+            t_gpu = predict_gpu_time(
+                run.trace, self.device, self.precision,
+                num_launches=launches, size_scale=self.size_scale,
+            ).total
+            t_cpu = 0.0
+            if self._cpu is not None:
+                with maybe_span("hybrid.cpu_half", "op",
+                                rows=self.coo.nrows - self.boundary):
+                    cres = self._cpu.run(x)
+                y[self.boundary:] = cres.y
+                t_cpu = cres.seconds
+            t_xfer = 0.0
+            if self.include_transfers:
+                t_xfer = transfer_time(self.boundary, self.coo.ncols,
+                                       self.precision, self.pcie)
         return HybridResult(
             y=y,
             gpu_seconds=t_gpu,

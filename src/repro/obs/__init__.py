@@ -1,0 +1,76 @@
+"""Structured instrumentation: spans, metrics, profile exporters.
+
+The observability substrate of the runtime.  Observation is opt-in via
+:func:`observe` and strictly passive — with it on, ``y`` and every
+:class:`~repro.ocl.trace.KernelTrace` counter are bit-identical to an
+unobserved run; with it off, every instrumentation site is a single
+``None`` check (no clocks, no allocation).
+
+- :mod:`repro.obs.recorder` — :class:`Span` / :class:`ProfileSession`,
+  the :func:`observe` switch and the :func:`maybe_span` helper the
+  runtime hooks use.
+- :mod:`repro.obs.metrics`  — derived metrics (bytes moved, txn/nnz,
+  L2 hit rate, roofline placement) from trace counters.
+- :mod:`repro.obs.report`   — :class:`ProfileReport`.
+- :mod:`repro.obs.export`   — JSON / CSV / Chrome-trace exporters.
+- :mod:`repro.obs.profiler` — :func:`profile_matrix`, the engine of
+  ``repro.profile(...)`` and ``repro profile``.
+
+Attributes resolve lazily (PEP 562): the executor's hot-path import of
+:mod:`repro.obs.recorder` must not drag the profiler (and with it the
+bench harness) into every kernel launch's import closure.
+"""
+
+from repro.obs.recorder import (  # noqa: F401  (re-exported)
+    ProfileSession,
+    Span,
+    current,
+    maybe_span,
+    observe,
+)
+
+__all__ = [
+    "Span",
+    "ProfileSession",
+    "observe",
+    "current",
+    "maybe_span",
+    "MetricRegistry",
+    "derive_metrics",
+    "trace_counters",
+    "ProfileReport",
+    "export_json",
+    "export_csv",
+    "export_chrome_trace",
+    "spans_to_chrome_events",
+    "profile_matrix",
+    "profile_runner",
+]
+
+_LAZY = {
+    "MetricRegistry": "repro.obs.metrics",
+    "derive_metrics": "repro.obs.metrics",
+    "trace_counters": "repro.obs.metrics",
+    "ProfileReport": "repro.obs.report",
+    "export_json": "repro.obs.export",
+    "export_csv": "repro.obs.export",
+    "export_chrome_trace": "repro.obs.export",
+    "spans_to_chrome_events": "repro.obs.export",
+    "profile_matrix": "repro.obs.profiler",
+    "profile_runner": "repro.obs.profiler",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

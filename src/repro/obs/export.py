@@ -1,0 +1,96 @@
+"""Profile exporters: JSON, CSV and Chrome-trace (Perfetto) timelines.
+
+- :func:`export_json` — the full :class:`~repro.obs.report.ProfileReport`
+  payload (schema ``repro-profile/v1``).
+- :func:`export_csv` — one row per metric entry, derived metrics as
+  columns (spreadsheet/pandas-friendly).
+- :func:`export_chrome_trace` — the span tree as Chrome Trace Event
+  Format complete events (``ph: "X"``), loadable in ``chrome://tracing``
+  or https://ui.perfetto.dev.  Span nesting maps to the trace's
+  ``tid`` stack depth so siblings stay visually separated.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.obs.recorder import ProfileSession, Span
+
+__all__ = [
+    "export_json",
+    "export_csv",
+    "export_chrome_trace",
+    "spans_to_chrome_events",
+]
+
+
+def export_json(report, path) -> Path:
+    """Write the full profile payload as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return path
+
+
+def export_csv(report, path) -> Path:
+    """Write the metric entries as CSV (one row per entry)."""
+    path = Path(path)
+    rows = report.registry.rows()
+    fields: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fields:
+                fields.append(key)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def spans_to_chrome_events(spans: List[Span]) -> List[Dict[str, Any]]:
+    """Convert spans to Chrome Trace Event Format complete events.
+
+    Timestamps and durations are microseconds; attribute dicts ride in
+    ``args``.  Zero-duration marker spans become instant events
+    (``ph: "i"``).
+    """
+    depth: Dict[int, int] = {}
+    events: List[Dict[str, Any]] = []
+    for s in spans:
+        d = 0 if s.parent is None else depth.get(s.parent, 0) + 1
+        depth[s.id] = d
+        args = {
+            k: v for k, v in s.attrs.items() if not isinstance(v, dict)
+        }
+        trace = s.attrs.get("trace")
+        if isinstance(trace, dict):
+            args.update({f"trace.{k}": v for k, v in trace.items()})
+        if s.duration == 0.0 and s.category == "event":
+            events.append({
+                "name": s.name, "cat": s.category, "ph": "i",
+                "ts": s.start * 1e6, "pid": 0, "tid": d, "s": "t",
+                "args": args,
+            })
+        else:
+            events.append({
+                "name": s.name, "cat": s.category, "ph": "X",
+                "ts": s.start * 1e6,
+                "dur": max(s.duration, 0.0) * 1e6,
+                "pid": 0, "tid": d, "args": args,
+            })
+    return events
+
+
+def export_chrome_trace(session: ProfileSession, path) -> Path:
+    """Write a ``chrome://tracing`` / Perfetto timeline JSON file."""
+    path = Path(path)
+    payload = {
+        "displayTimeUnit": "ms",
+        "otherData": {"session": session.name},
+        "traceEvents": spans_to_chrome_events(session.spans),
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    return path

@@ -1,0 +1,162 @@
+"""Derived metrics: :class:`~repro.ocl.trace.KernelTrace` counters →
+the quantities the paper argues with.
+
+Formulas (see ``docs/OBSERVABILITY.md`` for the derivations):
+
+- ``dram_bytes``             = (load_txn + store_txn) × transaction_bytes
+- ``useful_bytes``           = load_useful + store_useful
+- ``load_coalescing``        = load_useful / (load_txn × transaction_bytes)
+- ``store_coalescing``       = store_useful / (store_txn × transaction_bytes)
+- ``l2_hit_rate``            = l2_hits / (l2_hits + load_txn)
+- ``transactions_per_nnz``   = (load_txn + store_txn) / nnz
+- ``divergence_efficiency``  = lanes_useful / lanes_issued
+- ``achieved_gflops``        = 2 × nnz / modelled seconds  (paper convention)
+- ``roofline_*``             — via :mod:`repro.perf.roofline`:
+  arithmetic intensity (flops / DRAM byte), the bandwidth/compute
+  ceiling at that intensity, and achieved / ceiling efficiency.
+
+A :class:`MetricRegistry` aggregates one metric set per named run
+(e.g. ``crsd/batched/double``) for the exporters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+from repro.ocl.device import DeviceSpec, TESLA_C2050
+from repro.ocl.trace import KernelTrace
+
+__all__ = ["derive_metrics", "MetricRegistry", "trace_counters"]
+
+
+def trace_counters(trace: KernelTrace) -> Dict[str, int]:
+    """The raw counter set as a plain dict (a copy; never a view)."""
+    return dataclasses.asdict(trace)
+
+
+def derive_metrics(
+    trace: KernelTrace,
+    device: DeviceSpec = TESLA_C2050,
+    precision: str = "double",
+    nnz: Optional[int] = None,
+    seconds: Optional[float] = None,
+) -> Dict[str, float]:
+    """Compute the derived metric set for one traced run.
+
+    ``seconds`` is the modelled (or measured) execution time; when
+    given, throughput and roofline placement are included.  ``nnz``
+    enables the per-nonzero normalisations.
+    """
+    tb = device.transaction_bytes
+    load_txn = trace.global_load_transactions
+    store_txn = trace.global_store_transactions
+    dram_bytes = (load_txn + store_txn) * tb
+    useful = trace.global_load_bytes_useful + trace.global_store_bytes_useful
+    metrics: Dict[str, float] = {
+        "dram_bytes": float(dram_bytes),
+        "useful_bytes": float(useful),
+        "load_coalescing": trace.load_coalescing_efficiency(
+            transaction_bytes=tb),
+        "store_coalescing": trace.store_coalescing_efficiency(
+            transaction_bytes=tb),
+        "divergence_efficiency": trace.divergence_efficiency,
+        "local_bytes": float(trace.local_load_bytes
+                             + trace.local_store_bytes),
+        "barriers": float(trace.barriers),
+        "flops_executed": float(trace.flops),
+    }
+    l2_total = trace.l2_hits + load_txn
+    metrics["l2_hit_rate"] = trace.l2_hits / l2_total if l2_total else 0.0
+    if nnz:
+        metrics["transactions_per_nnz"] = (load_txn + store_txn) / nnz
+        metrics["dram_bytes_per_nnz"] = dram_bytes / nnz
+    if seconds and seconds > 0:
+        from repro.perf.metrics import effective_bandwidth, gflops
+        from repro.perf.roofline import roofline_point
+
+        metrics["seconds"] = seconds
+        metrics["effective_bandwidth_gbs"] = effective_bandwidth(
+            useful, seconds)
+        point = roofline_point(
+            "run", trace, seconds, device,
+            useful_flops=2 * nnz if nnz else None,
+        )
+        if nnz:
+            metrics["achieved_gflops"] = gflops(nnz, seconds)
+        metrics["arithmetic_intensity"] = point.arithmetic_intensity
+        metrics["roofline_ceiling_gflops"] = point.ceiling_gflops(precision)
+        metrics["roofline_efficiency"] = point.efficiency(precision)
+        metrics["memory_bound"] = float(point.memory_bound)
+    return metrics
+
+
+class MetricRegistry:
+    """Named metric sets for one profile session.
+
+    Each entry is one run (a format/executor/precision combination, a
+    solver, a hybrid half, ...) with its raw counters and derived
+    metrics; exporters consume :meth:`rows` / :meth:`to_dict`.
+    """
+
+    def __init__(self):
+        self._entries: List[Dict[str, Any]] = []
+
+    def record(
+        self,
+        name: str,
+        trace: KernelTrace,
+        device: DeviceSpec = TESLA_C2050,
+        precision: str = "double",
+        nnz: Optional[int] = None,
+        seconds: Optional[float] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        """Derive and store one metric set; returns the stored entry."""
+        entry: Dict[str, Any] = {
+            "name": name,
+            "precision": precision,
+            "device": device.name,
+            "counters": trace_counters(trace),
+            "metrics": derive_metrics(trace, device, precision, nnz, seconds),
+        }
+        if nnz is not None:
+            entry["nnz"] = int(nnz)
+        entry.update(extra)
+        self._entries.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> List[Dict[str, Any]]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, name: str) -> Dict[str, Any]:
+        """The first entry recorded under ``name`` (KeyError if none)."""
+        for e in self._entries:
+            if e["name"] == name:
+                return e
+        raise KeyError(name)
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Flat rows (one per entry) for tabular export: ``name``,
+        ``precision`` and every derived metric as columns."""
+        rows = []
+        for e in self._entries:
+            row: Dict[str, Any] = {
+                "name": e["name"],
+                "precision": e["precision"],
+                "device": e["device"],
+            }
+            if "nnz" in e:
+                row["nnz"] = e["nnz"]
+            row.update(e["metrics"])
+            rows.append(row)
+        return rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload: ``{"entries": [...]}`` (entry copies)."""
+        return {"entries": [dict(e) for e in self._entries]}

@@ -1,0 +1,93 @@
+"""Profile reports: one observed run, packaged for humans and exporters.
+
+A :class:`ProfileReport` binds a :class:`~repro.obs.recorder.ProfileSession`
+(the span tree) to a :class:`~repro.obs.metrics.MetricRegistry` (the
+derived numbers) plus run metadata, and renders every export format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import MetricRegistry
+from repro.obs.recorder import ProfileSession
+
+__all__ = ["ProfileReport"]
+
+#: schema tag stamped into every JSON export
+PROFILE_SCHEMA = "repro-profile/v1"
+
+
+@dataclass
+class ProfileReport:
+    """Everything one ``repro.profile(...)`` call observed."""
+
+    session: ProfileSession
+    registry: MetricRegistry
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full JSON payload (schema ``repro-profile/v1``)."""
+        return {
+            "schema": PROFILE_SCHEMA,
+            "meta": dict(self.meta),
+            "metrics": self.registry.to_dict(),
+            "session": self.session.to_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable digest: one line per metric entry plus span
+        totals per category."""
+        lines = []
+        name = self.meta.get("matrix", self.session.name)
+        lines.append(
+            f"profile of {name}: {len(self.session.spans)} spans, "
+            f"{len(self.registry)} metric entries"
+        )
+        for row in self.registry.rows():
+            gf = row.get("achieved_gflops")
+            parts = [f"  {row['name']:<28}"]
+            if gf is not None:
+                parts.append(f"{gf:8.2f} GFLOPS")
+            parts.append(f"coal={row.get('load_coalescing', 0):.2f}")
+            parts.append(f"l2={row.get('l2_hit_rate', 0):.2f}")
+            if "transactions_per_nnz" in row:
+                parts.append(f"txn/nnz={row['transactions_per_nnz']:.3f}")
+            if "roofline_efficiency" in row:
+                parts.append(f"roofline={row['roofline_efficiency']:.0%}")
+            lines.append(" ".join(parts))
+        kernels = self.session.by_category("kernel")
+        if kernels:
+            wall = sum(s.duration for s in kernels if s.duration > 0)
+            lines.append(
+                f"  {len(kernels)} kernel launches, "
+                f"{wall * 1e3:.1f} ms simulated-host wall time"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def export(self, directory, stem: Optional[str] = None
+               ) -> Dict[str, Path]:
+        """Write the JSON, CSV and Chrome-trace artifacts into
+        ``directory``; returns ``{kind: path}``."""
+        from repro.obs.export import (
+            export_chrome_trace,
+            export_csv,
+            export_json,
+        )
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        stem = stem or str(self.meta.get("matrix", "profile"))
+        paths = {
+            "json": directory / f"profile_{stem}.json",
+            "csv": directory / f"profile_{stem}.csv",
+            "chrome_trace": directory / f"profile_{stem}.trace.json",
+        }
+        export_json(self, paths["json"])
+        export_csv(self, paths["csv"])
+        export_chrome_trace(self.session, paths["chrome_trace"])
+        return paths

@@ -52,6 +52,10 @@ from repro.ocl.memory import (
 )
 from repro.ocl.trace import KernelTrace
 
+# span recorder: every hook below guards on ``_obs.ACTIVE is None`` so
+# the disabled path is one module-attribute read (no clock, no object)
+from repro.obs import recorder as _obs
+
 #: environment variable selecting the execution engine
 EXECUTOR_ENV = "REPRO_EXECUTOR"
 
@@ -70,6 +74,11 @@ def executor_mode() -> str:
             f"expected one of {EXECUTOR_MODES}"
         )
     return mode
+
+
+def kernel_name(kernel: Callable) -> str:
+    """A stable display name for a kernel callable (span labelling)."""
+    return getattr(kernel, "__name__", None) or type(kernel).__name__
 
 
 def make_launch_cache(device: DeviceSpec,
@@ -306,9 +315,17 @@ def launch(
     t = total if trace else None
     if trace and cache is None and device.l2_bytes > 0:
         cache = SegmentCache(device.l2_bytes, device.transaction_bytes)
+    sess = _obs.ACTIVE
+    t0 = _obs.perf_counter() if sess is not None else 0.0
     for gid in range(num_groups):
         ctx = WorkGroupCtx(device, gid, local_size, t, cache)
         kernel(ctx, *args)
+    if sess is not None:
+        sess.record_kernel(
+            kernel_name(kernel), work_groups=num_groups,
+            local_size=local_size, executor="pergroup",
+            wall_s=_obs.perf_counter() - t0, trace=t,
+        )
     return total
 
 
@@ -611,8 +628,17 @@ def launch_batched(
     total.wavefronts = num_groups * (-(-local_size // device.wavefront_size))
     if trace and cache is None and device.l2_bytes > 0:
         cache = SegmentCache(device.l2_bytes, device.transaction_bytes)
+    sess = _obs.ACTIVE
+    t0 = _obs.perf_counter() if sess is not None else 0.0
     ctx = BatchCtx(device, np.arange(num_groups, dtype=np.int64), local_size,
                    total if trace else None, cache)
     kernel(ctx, *args)
     ctx.finalize()
+    if sess is not None:
+        sess.record_kernel(
+            kernel_name(kernel), work_groups=num_groups,
+            local_size=local_size, executor="batched",
+            wall_s=_obs.perf_counter() - t0,
+            trace=total if trace else None,
+        )
     return total

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.gpu_kernels.base import GPUSpMV
+from repro.obs.recorder import maybe_span
 from repro.ocl import blas
 from repro.ocl.trace import KernelTrace
 
@@ -45,6 +46,17 @@ def gpu_cg(
     solve; only scalars (the dot-product results) cross to the host,
     as in a real implementation.
     """
+    with maybe_span("gpu_cg.solve", "solver", n=runner.nrows, tol=tol,
+                    maxiter=maxiter, kernel=runner.name):
+        return _gpu_cg(runner, b, tol, maxiter)
+
+
+def _gpu_cg(
+    runner: GPUSpMV,
+    b: np.ndarray,
+    tol: float,
+    maxiter: int,
+) -> GpuSolveResult:
     if runner.nrows != runner.ncols:
         raise ValueError("CG needs a square system")
     n = runner.nrows
@@ -77,29 +89,30 @@ def gpu_cg(
         it = 0
         res = float(np.sqrt(rs))
         while not converged and it < maxiter:
-            ap = spmv(pb.data)
-            apb = ctx.alloc(ap, name="cg_ap")
-            try:
-                denom, tr = blas.dot(pb, apb, device)
-                total.merge(tr)
-                if denom == 0.0:
+            with maybe_span("gpu_cg.iteration", "solver", iteration=it):
+                ap = spmv(pb.data)
+                apb = ctx.alloc(ap, name="cg_ap")
+                try:
+                    denom, tr = blas.dot(pb, apb, device)
+                    total.merge(tr)
+                    if denom == 0.0:
+                        break
+                    alpha = rs / denom
+                    total.merge(blas.axpy(alpha, pb, xb, device))
+                    total.merge(blas.axpy(-alpha, apb, rb, device))
+                    rs_new, tr = blas.dot(rb, rb, device)
+                    total.merge(tr)
+                    launches += 4
+                finally:
+                    ctx.free(apb)
+                it += 1
+                res = float(np.sqrt(rs_new))
+                if res <= target:
+                    converged = True
                     break
-                alpha = rs / denom
-                total.merge(blas.axpy(alpha, pb, xb, device))
-                total.merge(blas.axpy(-alpha, apb, rb, device))
-                rs_new, tr = blas.dot(rb, rb, device)
-                total.merge(tr)
-                launches += 4
-            finally:
-                ctx.free(apb)
-            it += 1
-            res = float(np.sqrt(rs_new))
-            if res <= target:
-                converged = True
-                break
-            total.merge(blas.scale_add(rb, rs_new / rs, pb, device))
-            launches += 1
-            rs = rs_new
+                total.merge(blas.scale_add(rb, rs_new / rs, pb, device))
+                launches += 1
+                rs = rs_new
         return GpuSolveResult(
             x=xb.data.copy(),
             converged=converged,

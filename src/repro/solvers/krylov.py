@@ -8,12 +8,26 @@ convergence reporting.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
+from repro.obs.recorder import maybe_span
 from repro.solvers.operator import SpMVOperator, as_operator
+
+
+def observed_solver(fn):
+    """Wrap a solver so each call is one ``solver`` span (a no-op when
+    observation is off)."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with maybe_span(f"{fn.__name__}.solve", "solver"):
+            return fn(*args, **kwargs)
+
+    return wrapper
 
 
 @dataclass
@@ -43,6 +57,7 @@ def _prepare(a, b: np.ndarray, x0: Optional[np.ndarray]):
     return op, b, x
 
 
+@observed_solver
 def cg(
     a,
     b: np.ndarray,
@@ -91,6 +106,7 @@ def cg(
     )
 
 
+@observed_solver
 def bicgstab(
     a,
     b: np.ndarray,

@@ -12,6 +12,7 @@ from typing import Callable, Tuple, Union
 import numpy as np
 
 from repro.formats.base import SparseFormat
+from repro.obs.recorder import maybe_span
 
 
 class SpMVOperator:
@@ -42,7 +43,8 @@ class SpMVOperator:
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         self.spmv_count += 1
-        return self._apply(x)
+        with maybe_span("operator.matvec", "op", index=self.spmv_count):
+            return self._apply(x)
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Alias of ``__call__`` (counts the invocation)."""

@@ -13,10 +13,11 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.solvers.krylov import SolveResult
+from repro.solvers.krylov import SolveResult, observed_solver
 from repro.solvers.operator import as_operator
 
 
+@observed_solver
 def pcg(
     a,
     b: np.ndarray,

@@ -10,10 +10,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.solvers.krylov import SolveResult
+from repro.solvers.krylov import SolveResult, observed_solver
 from repro.solvers.operator import as_operator
 
 
+@observed_solver
 def jacobi(
     a,
     b: np.ndarray,

@@ -1,0 +1,100 @@
+"""Exporter validity: JSON schema, CSV tabularity, Chrome-trace format."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.export import spans_to_chrome_events
+from repro.obs.profiler import profile_matrix
+from repro.obs.recorder import ProfileSession
+from repro.obs.report import PROFILE_SCHEMA, ProfileReport
+from tests.conftest import random_diagonal_matrix
+
+
+@pytest.fixture(scope="module")
+def report() -> ProfileReport:
+    rng = np.random.default_rng(7)
+    coo = random_diagonal_matrix(rng, n=96)
+    return profile_matrix(coo, "demo", formats=("crsd", "ell"),
+                          executors=("batched",), mrows=32)
+
+
+@pytest.fixture(scope="module")
+def exported(report, tmp_path_factory):
+    out = tmp_path_factory.mktemp("prof")
+    return report.export(out)
+
+
+class TestJson:
+    def test_schema_and_sections(self, exported):
+        payload = json.loads(exported["json"].read_text())
+        assert payload["schema"] == PROFILE_SCHEMA == "repro-profile/v1"
+        assert set(payload) == {"schema", "meta", "metrics", "session"}
+        assert payload["meta"]["matrix"] == "demo"
+
+    def test_entries_carry_counters_and_metrics(self, exported):
+        payload = json.loads(exported["json"].read_text())
+        entries = payload["metrics"]["entries"]
+        assert {e["name"] for e in entries} == {
+            "crsd/batched/double", "ell/batched/double"}
+        for e in entries:
+            assert e["verified"] is True
+            assert e["counters"]["global_load_transactions"] > 0
+            assert e["metrics"]["achieved_gflops"] > 0
+
+
+class TestCsv:
+    def test_one_row_per_entry(self, report, exported):
+        with exported["csv"].open(newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(report.registry)
+        assert {r["name"] for r in rows} == {
+            "crsd/batched/double", "ell/batched/double"}
+
+    def test_metric_columns_parse_as_floats(self, exported):
+        with exported["csv"].open(newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        for r in rows:
+            assert 0.0 <= float(r["load_coalescing"]) <= 1.0
+            assert float(r["achieved_gflops"]) > 0
+
+
+class TestChromeTrace:
+    def test_file_is_valid_trace_json(self, exported):
+        payload = json.loads(exported["chrome_trace"].read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert events
+        for ev in events:
+            assert ev["ph"] in ("X", "i")
+            assert ev["ts"] >= 0
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0
+
+    def test_kernel_events_carry_trace_args(self, exported):
+        payload = json.loads(exported["chrome_trace"].read_text())
+        kernels = [e for e in payload["traceEvents"] if e["cat"] == "kernel"]
+        assert kernels
+        for ev in kernels:
+            assert ev["args"]["trace.flops"] > 0
+            assert "executor" in ev["args"]
+
+    def test_nesting_maps_to_tid_depth(self):
+        s = ProfileSession("t")
+        with s.span("root", "op"):
+            with s.span("child", "op"):
+                with s.span("grandchild", "kernel"):
+                    pass
+        events = {e["name"]: e for e in spans_to_chrome_events(s.spans)}
+        assert events["root"]["tid"] == 0
+        assert events["child"]["tid"] == 1
+        assert events["grandchild"]["tid"] == 2
+
+    def test_marker_becomes_instant_event(self):
+        s = ProfileSession("t")
+        s.record_event("oops", "event", reason="x")
+        (ev,) = spans_to_chrome_events(s.spans)
+        assert ev["ph"] == "i"
+        assert ev["args"] == {"reason": "x"}

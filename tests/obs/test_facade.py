@@ -1,0 +1,190 @@
+"""The ``repro`` package facade: spmv / build / profile / auto_format."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.crsd import CRSDMatrix
+from repro.formats.dia import DIAMatrix
+from repro.gpu_kernels.base import SpMVRun
+from repro.ocl.trace import KernelTrace
+from tests.conftest import random_diagonal_matrix
+
+
+@pytest.fixture(scope="module")
+def coo():
+    return random_diagonal_matrix(np.random.default_rng(11), n=160)
+
+
+@pytest.fixture(scope="module")
+def x(coo):
+    return np.random.default_rng(12).standard_normal(coo.ncols)
+
+
+class TestRootExports:
+    def test_key_classes_reexported(self):
+        assert repro.CRSDMatrix is CRSDMatrix
+        assert repro.SpMVRun is SpMVRun
+        from repro.gpu_kernels import CrsdSpMV
+        from repro.ocl.device import DeviceSpec
+
+        assert repro.CrsdSpMV is CrsdSpMV
+        assert repro.DeviceSpec is DeviceSpec
+
+    def test_import_repro_is_lazy(self):
+        """``import repro`` must not pull in the heavy submodules."""
+        import subprocess
+        import sys
+
+        code = (
+            "import sys, repro; "
+            "heavy = [m for m in ('repro.api', 'repro.gpu_kernels', "
+            "'repro.ocl.executor', 'repro.bench.runner') "
+            "if m in sys.modules]; "
+            "sys.exit(1 if heavy else 0)"
+        )
+        proc = subprocess.run([sys.executable, "-c", code])
+        assert proc.returncode == 0
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.does_not_exist
+
+
+class TestSpmv:
+    def test_default_crsd(self, coo, x):
+        run = repro.spmv(coo, x)
+        assert np.allclose(run.y, coo.matvec(x))
+        assert isinstance(run.trace, KernelTrace)
+        assert run.metrics["achieved_gflops"] > 0
+        assert run.metrics["transactions_per_nnz"] > 0
+
+    def test_explicit_formats_agree(self, coo, x):
+        ref = coo.matvec(x)
+        for fmt in ("dia", "ell", "csr", "hyb"):
+            run = repro.spmv(coo, x, format=fmt)
+            assert np.allclose(run.y, ref), fmt
+
+    def test_accepts_crsd_matrix(self, coo, x):
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        run = repro.spmv(crsd, x)
+        assert np.allclose(run.y, coo.matvec(x))
+
+    def test_accepts_other_sparse_format(self, coo, x):
+        run = repro.spmv(DIAMatrix.from_coo(coo), x)
+        assert np.allclose(run.y, coo.matvec(x))
+
+    def test_accepts_dense(self, x):
+        dense = np.diag(np.arange(1.0, 33.0))
+        xd = x[:32]
+        run = repro.spmv(dense, xd)
+        assert np.allclose(run.y, dense @ xd)
+        assert run.metrics is not None
+
+    def test_trace_off_skips_metrics(self, coo, x):
+        run = repro.spmv(coo, x, trace=False)
+        assert run.metrics is None
+        assert np.allclose(run.y, coo.matvec(x))
+
+    def test_rejects_unknown_format(self, coo, x):
+        with pytest.raises(ValueError, match="unknown format"):
+            repro.spmv(coo, x, format="bogus")
+
+    def test_rejects_non_matrix(self, x):
+        with pytest.raises(TypeError, match="cannot interpret"):
+            repro.spmv("not a matrix", x)
+
+
+class TestBuild:
+    def test_returns_prepared_reusable_runner(self, coo, x):
+        runner = repro.build(coo, format="crsd")
+        r1 = runner.run(x)
+        r2 = runner.run(2 * x)
+        assert np.allclose(r2.y, 2 * r1.y)
+
+    def test_crsd_matrix_used_as_is(self, coo):
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        runner = repro.build(crsd, format="crsd")
+        assert runner.matrix is crsd
+
+    def test_single_precision(self, coo, x):
+        runner = repro.build(coo, format="crsd", precision="single")
+        run = runner.run(x)
+        assert np.allclose(run.y, coo.matvec(x), atol=1e-3)
+
+
+class TestAutoFormat:
+    def test_pick_is_analytic_argmin(self, coo):
+        from repro.core.crsd import compatible_wavefront
+        from repro.formats.csr import CSRMatrix
+        from repro.formats.ell import ELLMatrix
+        from repro.perf.analytic import estimate_traffic
+
+        totals = {}
+        for fmt, m in [
+            ("crsd", CRSDMatrix.from_coo(
+                coo, mrows=128,
+                wavefront_size=compatible_wavefront(128))),
+            ("dia", DIAMatrix.from_coo(coo)),
+            ("ell", ELLMatrix.from_coo(coo)),
+            ("csr", CSRMatrix.from_coo(coo)),
+        ]:
+            est = estimate_traffic(m, "double")
+            totals[fmt] = est.load_bytes + est.store_bytes
+        assert repro.auto_format(coo) == min(totals, key=totals.get)
+
+    def test_dense_diagonals_prefer_diagonal_storage(self):
+        """Fully-occupied diagonals (the paper's target class): the
+        per-nnz column index makes CSR strictly worse."""
+        n = 2048
+        rows_l, cols_l = [], []
+        for off in (-1, 0, 1):
+            lo, hi = max(0, -off), min(n, n - off)
+            r = np.arange(lo, hi)
+            rows_l.append(r)
+            cols_l.append(r + off)
+        rows = np.concatenate(rows_l)
+        cols = np.concatenate(cols_l)
+        coo = repro.COOMatrix(
+            rows, cols, np.ones(rows.size), (n, n))
+        assert repro.auto_format(coo) in ("crsd", "dia", "ell")
+
+    def test_spmv_auto_is_correct(self, coo, x):
+        run = repro.spmv(coo, x, format="auto")
+        assert np.allclose(run.y, coo.matvec(x))
+
+    def test_scattered_matrix_avoids_dia(self):
+        rng = np.random.default_rng(13)
+        n = 200
+        rows = rng.integers(0, n, size=800)
+        cols = rng.integers(0, n, size=800)
+        coo = repro.COOMatrix(rows, cols, rng.standard_normal(800), (n, n))
+        # fully random sparsity: any dense-diagonal storage would
+        # materialise ~n distinct diagonals
+        assert repro.auto_format(coo) in ("csr", "crsd")
+
+
+class TestProfileFacade:
+    def test_returns_report(self, coo):
+        report = repro.profile(coo, "facade", executors=("batched",))
+        assert report.meta["matrix"] == "facade"
+        assert len(report.registry) == 1
+        entry = report.registry.get("crsd/batched/double")
+        assert entry["verified"] is True
+
+
+class TestSpMVRunCompat:
+    def test_positional_two_field_construction(self):
+        """The pre-facade ``SpMVRun(y, trace)`` shape keeps working."""
+        y = np.zeros(3)
+        t = KernelTrace()
+        run = SpMVRun(y, t)
+        assert run.y is y and run.trace is t
+        assert run.metrics is None
+
+    def test_metrics_excluded_from_equality(self):
+        y = np.ones(2)
+        t = KernelTrace()
+        a = SpMVRun(y, t)
+        b = SpMVRun(y, t, metrics={"anything": 1.0})
+        assert a == b

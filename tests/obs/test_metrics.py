@@ -1,0 +1,140 @@
+"""Derived-metric formulas and the metric registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.crsd import CRSDMatrix
+from repro.gpu_kernels import CrsdSpMV
+from repro.obs.metrics import MetricRegistry, derive_metrics, trace_counters
+from repro.ocl.device import TESLA_C2050
+from repro.ocl.trace import KernelTrace
+from tests.conftest import random_diagonal_matrix
+
+
+def synthetic_trace(**overrides):
+    t = KernelTrace()
+    t.global_load_requests = 10
+    t.global_load_transactions = 20
+    t.global_load_bytes_useful = 1024
+    t.global_store_requests = 4
+    t.global_store_transactions = 4
+    t.global_store_bytes_useful = 512
+    t.l2_hits = 5
+    t.flops = 2000
+    t.lanes_issued = 128
+    t.lanes_useful = 96
+    t.barriers = 3
+    for k, v in overrides.items():
+        setattr(t, k, v)
+    return t
+
+
+class TestFormulas:
+    def test_dram_and_useful_bytes(self):
+        t = synthetic_trace()
+        m = derive_metrics(t)
+        tb = TESLA_C2050.transaction_bytes
+        assert m["dram_bytes"] == (20 + 4) * tb
+        assert m["useful_bytes"] == 1024 + 512
+
+    def test_coalescing_matches_trace_properties(self):
+        t = synthetic_trace()
+        m = derive_metrics(t)
+        tb = TESLA_C2050.transaction_bytes
+        assert m["load_coalescing"] == pytest.approx(1024 / (20 * tb))
+        assert m["store_coalescing"] == pytest.approx(512 / (4 * tb))
+
+    def test_l2_hit_rate(self):
+        m = derive_metrics(synthetic_trace())
+        assert m["l2_hit_rate"] == pytest.approx(5 / (5 + 20))
+        # no traffic at all -> defined as 0, not NaN
+        assert derive_metrics(KernelTrace())["l2_hit_rate"] == 0.0
+
+    def test_divergence_efficiency(self):
+        m = derive_metrics(synthetic_trace())
+        assert m["divergence_efficiency"] == pytest.approx(96 / 128)
+
+    def test_per_nnz_normalisations(self):
+        m = derive_metrics(synthetic_trace(), nnz=100)
+        tb = TESLA_C2050.transaction_bytes
+        assert m["transactions_per_nnz"] == pytest.approx(24 / 100)
+        assert m["dram_bytes_per_nnz"] == pytest.approx(24 * tb / 100)
+        assert "transactions_per_nnz" not in derive_metrics(synthetic_trace())
+
+    def test_throughput_block_needs_seconds(self):
+        m = derive_metrics(synthetic_trace(), nnz=100)
+        assert "achieved_gflops" not in m
+        m = derive_metrics(synthetic_trace(), nnz=100, seconds=1e-6)
+        # paper convention: 2 flops per stored nonzero
+        assert m["achieved_gflops"] == pytest.approx(2 * 100 / 1e-6 / 1e9)
+        assert m["effective_bandwidth_gbs"] == pytest.approx(
+            (1024 + 512) / 1e-6 / 1e9)
+        assert 0.0 < m["roofline_efficiency"]
+        assert m["memory_bound"] in (0.0, 1.0)
+
+    def test_roofline_ties_to_perf_module(self):
+        from repro.perf.roofline import roofline_point
+
+        t = synthetic_trace()
+        m = derive_metrics(t, nnz=100, seconds=1e-6)
+        point = roofline_point("ref", t, 1e-6, TESLA_C2050,
+                               useful_flops=200)
+        assert m["arithmetic_intensity"] == pytest.approx(
+            point.arithmetic_intensity)
+        assert m["roofline_ceiling_gflops"] == pytest.approx(
+            point.ceiling_gflops("double"))
+
+    def test_trace_counters_is_a_copy(self):
+        t = synthetic_trace()
+        c = trace_counters(t)
+        assert c["flops"] == 2000
+        t.flops = 1
+        assert c["flops"] == 2000
+
+    def test_real_run_metrics_are_consistent(self):
+        rng = np.random.default_rng(0)
+        coo = random_diagonal_matrix(rng, n=128)
+        run = CrsdSpMV(CRSDMatrix.from_coo(coo, mrows=32)).run(
+            rng.standard_normal(coo.ncols))
+        m = derive_metrics(run.trace, nnz=coo.nnz, seconds=1e-5)
+        assert 0.0 < m["load_coalescing"] <= 1.0
+        assert 0.0 < m["store_coalescing"] <= 1.0
+        assert 0.0 <= m["l2_hit_rate"] <= 1.0
+        assert 0.0 < m["divergence_efficiency"] <= 1.0
+        # transactions count DRAM traffic only (L2 hits are filtered),
+        # so useful bytes may exceed DRAM bytes — but never the total
+        # bytes served from DRAM plus L2
+        tb = TESLA_C2050.transaction_bytes
+        served = m["dram_bytes"] + run.trace.l2_hits * tb
+        assert served >= m["useful_bytes"]
+        assert m["flops_executed"] >= 2 * coo.nnz
+
+
+class TestRegistry:
+    def test_record_and_get(self):
+        reg = MetricRegistry()
+        e = reg.record("a/b/c", synthetic_trace(), nnz=50, seconds=1e-6,
+                       format="a", executor="b")
+        assert len(reg) == 1
+        assert e["name"] == "a/b/c"
+        got = reg.get("a/b/c")
+        assert got["name"] == "a/b/c"
+        assert got["nnz"] == 50
+        assert got["format"] == "a" and got["executor"] == "b"
+        with pytest.raises(KeyError):
+            reg.get("missing")
+
+    def test_rows_are_flat(self):
+        reg = MetricRegistry()
+        reg.record("x", synthetic_trace(), nnz=10, seconds=1e-6)
+        (row,) = reg.rows()
+        assert row["name"] == "x"
+        assert "achieved_gflops" in row
+        assert all(not isinstance(v, dict) for v in row.values())
+
+    def test_to_dict_json_safe(self):
+        import json
+
+        reg = MetricRegistry()
+        reg.record("x", synthetic_trace())
+        json.dumps(reg.to_dict())

@@ -1,0 +1,118 @@
+"""Observation must not perturb the computation.
+
+The acceptance bar for the instrumentation layer: ``y`` and every
+``KernelTrace`` counter are **bit-identical** with observation on or
+off — per matrix of the 23-matrix suite, per executor engine, per
+precision.  Spans only *read* finished traces; these tests prove it.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import bench_scale, effective_scale
+from repro.core.crsd import CRSDMatrix
+from repro.gpu_kernels import CrsdSpMV
+from repro.matrices.suite23 import SUITE
+from repro.obs.recorder import observe
+from tests.conftest import random_diagonal_matrix
+
+
+def run_observed_and_bare(make_runner, x, trace=True):
+    """One run with observation on, one with it off, on fresh state."""
+    with observe("on") as session:
+        observed = make_runner().run(x, trace=trace)
+    bare = make_runner().run(x, trace=trace)
+    return observed, bare, session
+
+
+def assert_identical(a, b):
+    assert np.array_equal(a.y, b.y)
+    if a.trace is not None or b.trace is not None:
+        assert dataclasses.asdict(a.trace) == dataclasses.asdict(b.trace)
+
+
+@pytest.mark.parametrize(
+    "spec", SUITE, ids=lambda s: f"{s.number:02d}-{s.name}")
+@pytest.mark.parametrize("executor", ["batched", "pergroup"])
+def test_suite_bit_identical_observed(spec, executor, monkeypatch):
+    """Full 23-matrix suite × both executors, double precision."""
+    monkeypatch.setenv("REPRO_EXECUTOR", executor)
+    scale = effective_scale(spec, bench_scale())
+    coo = spec.generate(scale=scale, seed=0)
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(coo.ncols)
+    crsd = CRSDMatrix.from_coo(coo, mrows=128)
+    observed, bare, session = run_observed_and_bare(
+        lambda: CrsdSpMV(crsd), x)
+    assert_identical(observed, bare)
+    assert session.by_category("kernel"), "observation did record spans"
+
+
+@pytest.mark.parametrize("executor", ["batched", "pergroup"])
+@pytest.mark.parametrize("precision", ["double", "single"])
+def test_precisions_bit_identical_observed(executor, precision, monkeypatch):
+    monkeypatch.setenv("REPRO_EXECUTOR", executor)
+    rng = np.random.default_rng(2)
+    coo = random_diagonal_matrix(rng, n=256)
+    crsd = CRSDMatrix.from_coo(coo, mrows=64)
+    x = rng.standard_normal(coo.ncols)
+    observed, bare, _ = run_observed_and_bare(
+        lambda: CrsdSpMV(crsd, precision=precision), x)
+    assert_identical(observed, bare)
+
+
+def test_trace_off_bit_identical_observed():
+    rng = np.random.default_rng(3)
+    coo = random_diagonal_matrix(rng, n=128)
+    crsd = CRSDMatrix.from_coo(coo, mrows=32)
+    x = rng.standard_normal(coo.ncols)
+    observed, bare, session = run_observed_and_bare(
+        lambda: CrsdSpMV(crsd), x, trace=False)
+    assert_identical(observed, bare)
+    # counters stay zero with tracing off — observation didn't turn it on
+    assert observed.trace.flops == 0
+    # kernel spans exist even without tracing (geometry + wall time),
+    # but carry no counter dict
+    kernels = session.by_category("kernel")
+    assert kernels
+    assert all("trace" not in k.attrs for k in kernels)
+
+
+def test_span_attrs_are_copies_not_views():
+    """Mutating recorded span attributes must not reach the run's trace
+    (and vice versa) — the recorder copies counters."""
+    rng = np.random.default_rng(4)
+    coo = random_diagonal_matrix(rng, n=96)
+    crsd = CRSDMatrix.from_coo(coo, mrows=32)
+    x = rng.standard_normal(coo.ncols)
+    with observe("t") as session:
+        run = CrsdSpMV(crsd).run(x)
+    kernel = session.by_category("kernel")[0]
+    before = dataclasses.asdict(run.trace)
+    kernel.attrs["trace"]["flops"] = -1
+    assert dataclasses.asdict(run.trace) == before
+
+
+def test_profiler_sweep_leaves_no_active_session():
+    from repro.obs import recorder
+    from repro.obs.profiler import profile_matrix
+
+    rng = np.random.default_rng(5)
+    coo = random_diagonal_matrix(rng, n=96)
+    profile_matrix(coo, "t", mrows=32)
+    assert recorder.ACTIVE is None
+
+
+def test_profiler_restores_executor_env(monkeypatch):
+    import os
+
+    from repro.obs.profiler import profile_matrix
+    from repro.ocl.executor import EXECUTOR_ENV
+
+    monkeypatch.setenv(EXECUTOR_ENV, "pergroup")
+    rng = np.random.default_rng(6)
+    coo = random_diagonal_matrix(rng, n=96)
+    profile_matrix(coo, "t", mrows=32, executors=("batched",))
+    assert os.environ[EXECUTOR_ENV] == "pergroup"

@@ -1,0 +1,82 @@
+"""Span coverage of the compound operations: solvers and hybrid SpMV."""
+
+import numpy as np
+
+from repro.core.crsd import CRSDMatrix
+from repro.gpu_kernels import CrsdSpMV
+from repro.hybrid.split import HybridSpMV
+from repro.obs.recorder import observe
+from repro.solvers.gpu_cg import gpu_cg
+from repro.solvers.krylov import bicgstab, cg
+from repro.solvers.stationary import jacobi
+from tests.conftest import random_diagonal_matrix
+
+
+def spd_system(n=64, seed=21):
+    rng = np.random.default_rng(seed)
+    d = np.abs(rng.standard_normal(n)) + n
+    a = np.diag(d)
+    off = rng.standard_normal(n - 1) * 0.1
+    a += np.diag(off, 1) + np.diag(off, -1)
+    return a, rng.standard_normal(n)
+
+
+class TestSolverSpans:
+    def test_cg_records_solve_and_matvecs(self):
+        a, b = spd_system()
+        with observe("solve") as sess:
+            res = cg(a, b, tol=1e-8)
+        assert res.converged
+        (solve,) = [s for s in sess.spans if s.name == "cg.solve"]
+        assert solve.category == "solver"
+        matvecs = [s for s in sess.spans if s.name == "operator.matvec"]
+        assert len(matvecs) == res.spmv_count
+        assert all(m.parent == solve.id for m in matvecs)
+
+    def test_bicgstab_and_jacobi_record_solve_spans(self):
+        a, b = spd_system()
+        with observe() as sess:
+            bicgstab(a, b, tol=1e-8)
+            jacobi(a, b, tol=1e-8, maxiter=2000)
+        names = {s.name for s in sess.by_category("solver")}
+        assert {"bicgstab.solve", "jacobi.solve"} <= names
+
+    def test_gpu_cg_iteration_spans(self):
+        rng = np.random.default_rng(22)
+        n = 128
+        rows = np.concatenate([np.arange(n), np.arange(n - 1),
+                               np.arange(1, n)])
+        cols = np.concatenate([np.arange(n), np.arange(1, n),
+                               np.arange(n - 1)])
+        vals = np.concatenate([np.full(n, 4.0), np.full(n - 1, -1.0),
+                               np.full(n - 1, -1.0)])
+        from repro.formats.coo import COOMatrix
+
+        coo = COOMatrix(rows, cols, vals, (n, n))
+        runner = CrsdSpMV(CRSDMatrix.from_coo(coo, mrows=32))
+        b = rng.standard_normal(n)
+        with observe() as sess:
+            res = gpu_cg(runner, b, tol=1e-8)
+        assert res.converged
+        (solve,) = [s for s in sess.spans if s.name == "gpu_cg.solve"]
+        iters = [s for s in sess.spans if s.name == "gpu_cg.iteration"]
+        assert len(iters) == res.iterations
+        assert all(s.parent == solve.id for s in iters)
+        # kernel launches nest inside the iterations
+        assert sess.by_category("kernel")
+
+
+class TestHybridSpans:
+    def test_hybrid_halves_recorded(self):
+        rng = np.random.default_rng(23)
+        coo = random_diagonal_matrix(rng, n=512)
+        hybrid = HybridSpMV(coo, gpu_fraction=0.5, mrows=64)
+        x = rng.standard_normal(coo.ncols)
+        with observe() as sess:
+            result = hybrid.run(x)
+        assert np.allclose(result.y, coo.matvec(x))
+        (top,) = [s for s in sess.spans if s.name == "hybrid.spmv"]
+        names = {s.name for s in sess.spans if s.parent == top.id}
+        assert "hybrid.gpu_half" in names
+        assert "hybrid.cpu_half" in names
+        assert 0.0 < top.attrs["gpu_fraction"] < 1.0

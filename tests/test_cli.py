@@ -1,5 +1,7 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -85,6 +87,78 @@ class TestTune:
         assert main(["tune", str(mtx_file), "--fast"]) == 0
         out = capsys.readouterr().out
         assert "best mrows=" in out
+
+    def test_json_output_schema(self, mtx_file, capsys):
+        assert main(["tune", str(mtx_file), "--fast", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["matrix"] == "demo"
+        best = payload["best"]
+        for key in ("mrows", "idle_fill_max_rows", "use_local_memory",
+                    "seconds", "fill_zeros", "num_regions"):
+            assert key in best
+        assert payload["candidates"], "candidate list must not be empty"
+        # the winner is the fastest candidate
+        assert best["seconds"] == min(
+            c["seconds"] for c in payload["candidates"])
+
+    def test_json_is_pure(self, mtx_file, capsys):
+        """--json must emit nothing but the JSON document on stdout."""
+        main(["tune", str(mtx_file), "--fast", "--json"])
+        out = capsys.readouterr().out
+        json.loads(out)  # would raise on any stray text
+
+
+class TestProfile:
+    def test_text_summary(self, mtx_file, capsys):
+        assert main(["profile", str(mtx_file), "--mrows", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "crsd/batched/double" in out
+        assert "crsd/pergroup/double" in out
+        assert "GFLOPS" in out
+
+    def test_json_output_schema(self, mtx_file, capsys):
+        assert main(["profile", str(mtx_file), "--mrows", "16",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-profile/v1"
+        assert payload["meta"]["matrix"] == "demo"
+        entries = payload["metrics"]["entries"]
+        assert {e["name"] for e in entries} == {
+            "crsd/batched/double", "crsd/pergroup/double"}
+        for e in entries:
+            assert e["verified"] is True
+            assert e["counters"]["flops"] > 0
+            assert 0.0 <= e["metrics"]["load_coalescing"] <= 1.0
+            assert e["metrics"]["achieved_gflops"] > 0
+        spans = payload["session"]["spans"]
+        assert any(s["category"] == "kernel" for s in spans)
+
+    def test_exports_artifacts(self, mtx_file, tmp_path, capsys):
+        out_dir = tmp_path / "prof"
+        assert main(["profile", str(mtx_file), "--mrows", "16",
+                     "-o", str(out_dir)]) == 0
+        files = {p.name for p in out_dir.iterdir()}
+        assert files == {"profile_demo.json", "profile_demo.csv",
+                         "profile_demo.trace.json"}
+        trace = json.loads((out_dir / "profile_demo.trace.json").read_text())
+        assert trace["traceEvents"], "chrome trace must contain events"
+        assert all(ev["ph"] in ("X", "i") for ev in trace["traceEvents"])
+
+    def test_format_and_precision_selection(self, mtx_file, capsys):
+        assert main(["profile", str(mtx_file), "--mrows", "16",
+                     "--formats", "crsd,dia",
+                     "--executors", "batched",
+                     "--precisions", "double,single",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {e["name"] for e in payload["metrics"]["entries"]}
+        assert names == {
+            "crsd/batched/double", "dia/batched/double",
+            "crsd/batched/single", "dia/batched/single"}
+
+    def test_unknown_executor_fails(self, mtx_file, capsys):
+        with pytest.raises(ValueError, match="unknown executor"):
+            main(["profile", str(mtx_file), "--executors", "warp"])
 
 
 class TestSpy:
