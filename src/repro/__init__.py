@@ -16,6 +16,7 @@ its evaluation depends on:
 - ``repro.solvers``      -- CG/BiCGSTAB/Jacobi over the SpMV kernels
 - ``repro.hybrid``       -- PCIe transfers + CPU+GPU hybrid SpMV
 - ``repro.obs``          -- spans, metric registries, profile exporters
+- ``repro.resilience``   -- fault injection, retries, fallback ladder
 - ``repro.cli``          -- ``python -m repro info/bench/profile/tune/...``
 
 The package root doubles as the facade (:mod:`repro.api`)::
@@ -49,6 +50,11 @@ __all__ = [
     # observation entry points
     "observe",
     "ProfileReport",
+    # resilience entry points
+    "Policy",
+    "ResilienceExhausted",
+    "FaultInjector",
+    "InputValidationError",
 ]
 
 #: lazily-resolved public attribute -> defining module
@@ -64,6 +70,10 @@ _LAZY = {
     "SpMVRun": "repro.gpu_kernels.base",
     "observe": "repro.obs.recorder",
     "ProfileReport": "repro.obs.report",
+    "Policy": "repro.resilience.policy",
+    "ResilienceExhausted": "repro.resilience.policy",
+    "FaultInjector": "repro.resilience.faults",
+    "InputValidationError": "repro.validation",
 }
 
 

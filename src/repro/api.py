@@ -31,6 +31,7 @@ from repro.formats.base import SparseFormat
 from repro.formats.coo import COOMatrix
 from repro.gpu_kernels.base import GPUSpMV, SpMVRun
 from repro.ocl.device import DeviceSpec, TESLA_C2050
+from repro.validation import validate_matrix, validate_vector
 
 __all__ = ["spmv", "build", "profile", "auto_format"]
 
@@ -120,6 +121,7 @@ def build(
     """
     from repro.bench.runner import _build_runners
 
+    validate_matrix(matrix)
     if format == "auto":
         format = auto_format(matrix, precision, device, mrows)
     if format not in FORMATS:
@@ -149,6 +151,7 @@ def spmv(
     mrows: int = 128,
     use_local_memory: bool = True,
     trace: bool = True,
+    resilience=None,
 ) -> SpMVRun:
     """One-shot ``y = A @ x`` on the simulated device.
 
@@ -157,9 +160,24 @@ def spmv(
     (bytes moved, coalescing, L2 hit rate, roofline placement) when
     tracing is on.  For repeated products over one matrix, prefer
     ``repro.build(...)`` and reuse the runner.
+
+    ``resilience`` (a :class:`repro.resilience.Policy`, or ``True`` for
+    the default policy) routes the call through the resilient
+    execution layer: faults are retried with deterministic backoff and
+    the format degrades down the fallback ladder instead of raising;
+    the run's ``resilience`` field then carries the
+    :class:`~repro.resilience.engine.IncidentReport`.  The default
+    ``None`` takes the classic direct path with zero resilience
+    overhead.
     """
+    if resilience is not None and resilience is not False:
+        return _resilient_facade_spmv(
+            A, x, format, device=device, precision=precision, mrows=mrows,
+            use_local_memory=use_local_memory, trace=trace,
+            resilience=resilience)
     runner = build(A, format, device=device, precision=precision,
                    mrows=mrows, use_local_memory=use_local_memory)
+    x = validate_vector(x, runner.ncols)
     run = runner.run(x, trace=trace)
     if trace:
         from repro.obs.metrics import derive_metrics
@@ -169,6 +187,34 @@ def spmv(
         seconds = predict_gpu_time(run.trace, device, precision).total
         run.metrics = derive_metrics(run.trace, device, precision,
                                      nnz=nnz, seconds=seconds)
+    return run
+
+
+def _resilient_facade_spmv(
+    A, x, format, *, device, precision, mrows, use_local_memory, trace,
+    resilience,
+) -> SpMVRun:
+    """The ``resilience=`` branch of :func:`spmv`: validate, delegate
+    to the ladder, then derive the same metrics the direct path does."""
+    from repro.resilience.engine import resilient_spmv
+    from repro.resilience.policy import Policy
+
+    policy = resilience if isinstance(resilience, Policy) else Policy()
+    validate_matrix(A)
+    if format == "auto":
+        format = auto_format(A, precision, device, mrows)
+    coo = _as_coo(A)
+    x = validate_vector(x, coo.ncols)
+    run = resilient_spmv(
+        coo, x, format, device=device, precision=precision, mrows=mrows,
+        use_local_memory=use_local_memory, policy=policy, trace=trace)
+    if trace:
+        from repro.obs.metrics import derive_metrics
+        from repro.perf.costmodel import predict_gpu_time
+
+        seconds = predict_gpu_time(run.trace, device, precision).total
+        run.metrics = derive_metrics(run.trace, device, precision,
+                                     nnz=int(coo.nnz), seconds=seconds)
     return run
 
 

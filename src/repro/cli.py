@@ -9,6 +9,7 @@ Commands
 ``convert``  — build CRSD from a .mtx file and save it (.npz)
 ``tune``     — autotune CRSD build parameters for a matrix
 ``profile``  — record spans + derived metrics, export profile artifacts
+``faultsim`` — chaos-sweep the suite under seeded fault injection
 
 Matrices are referenced either by Table V suite name/number
 (``kim1``, ``3``) or by a MatrixMarket file path.
@@ -221,6 +222,51 @@ def cmd_profile(args) -> int:
     return 1 if bad else 0
 
 
+def cmd_faultsim(args) -> int:
+    """``repro faultsim``: chaos-sweep matrices under fault injection.
+
+    Runs every (matrix, executor, precision) case of the sweep under a
+    seeded fault plan through the resilient execution layer, then
+    differentially verifies each served ``y`` bit-for-bit against a
+    fault-free replay of the serving rung.  Fully deterministic: the
+    same ``--seed`` produces byte-identical JSON.  Exit code is
+    non-zero iff any case silently diverged — exhaustion is a legal
+    outcome, divergence never is.
+    """
+    import json
+
+    from repro.matrices.suite23 import get_spec
+    from repro.resilience.chaos import chaos_sweep
+
+    matrices = None
+    if args.matrices:
+        matrices = []
+        for ref in args.matrices.split(","):
+            try:
+                matrices.append(get_spec(int(ref)).number)
+            except ValueError:
+                matrices.append(get_spec(ref).number)
+    report = chaos_sweep(
+        seed=args.seed,
+        scale=args.scale,
+        matrices=matrices,
+        format=args.format,
+        executors=tuple(args.executors.split(",")),
+        precisions=tuple(args.precisions.split(",")),
+        mrows=args.mrows,
+    )
+    if args.json:
+        text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        print(text)
+    else:
+        print(report.summary())
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (one subcommand per command)."""
     p = argparse.ArgumentParser(
@@ -298,6 +344,33 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("-o", "--output", metavar="DIR",
                     help="write profile_<name>.{json,csv,trace.json} here")
     sp.set_defaults(fn=cmd_profile)
+
+    sp = sub.add_parser(
+        "faultsim",
+        help="chaos-sweep matrices under seeded fault injection",
+    )
+    sp.add_argument("--seed", type=int, default=0,
+                    help="sweep seed (default 0); same seed, same report")
+    sp.add_argument("--scale", type=float, default=0.01,
+                    help="suite generation scale (default 0.01)")
+    sp.add_argument("--mrows", type=int, default=128,
+                    help="CRSD row-segment size (default 128)")
+    sp.add_argument("--matrices", default=None,
+                    help="comma-separated suite names/numbers "
+                         "(default: all 23)")
+    sp.add_argument("--format", default="crsd",
+                    help="requested (top-rung) format (default: crsd)")
+    sp.add_argument("--executors", default="batched,pergroup",
+                    help="comma-separated executor modes "
+                         "(default: batched,pergroup)")
+    sp.add_argument("--precisions", default="double,single",
+                    help="comma-separated precisions "
+                         "(default: double,single)")
+    sp.add_argument("--json", action="store_true",
+                    help="print the full machine-readable report")
+    sp.add_argument("-o", "--output", metavar="FILE",
+                    help="also write the JSON report here")
+    sp.set_defaults(fn=cmd_faultsim)
     return p
 
 

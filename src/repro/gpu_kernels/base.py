@@ -17,6 +17,7 @@ from repro.obs.recorder import maybe_span
 from repro.ocl.device import DeviceSpec, TESLA_C2050
 from repro.ocl.executor import Context
 from repro.ocl.trace import KernelTrace
+from repro.resilience import faults as _flt
 
 #: default work-group size for one-work-item-per-row kernels
 DEFAULT_LOCAL_SIZE = 128
@@ -37,13 +38,17 @@ class SpMVRun:
     """Result of one kernel execution.
 
     ``metrics`` is optional and populated only by the instrumentation
-    layer (:mod:`repro.obs` / the :func:`repro.spmv` facade); the
+    layer (:mod:`repro.obs` / the :func:`repro.spmv` facade);
+    ``resilience`` is populated only by the resilient execution layer
+    (:mod:`repro.resilience`, ``repro.spmv(..., resilience=...)``) and
+    carries the :class:`~repro.resilience.engine.IncidentReport`.  The
     classic ``SpMVRun(y, trace)`` construction is unchanged.
     """
 
     y: np.ndarray
     trace: KernelTrace
     metrics: Optional[Dict[str, Any]] = field(default=None, compare=False)
+    resilience: Optional[Any] = field(default=None, compare=False)
 
 
 class GPUSpMV(abc.ABC):
@@ -86,6 +91,8 @@ class GPUSpMV(abc.ABC):
         format does not fit — the paper's DIA/double case.
         """
         if not self._prepared:
+            if _flt.ACTIVE is not None:
+                _flt.ACTIVE.on_phase(f"{self.name}.prepare")
             with maybe_span(f"{self.name}.prepare", "prepare",
                             kernel=self.name, precision=self.precision):
                 self._prepare()
@@ -95,6 +102,8 @@ class GPUSpMV(abc.ABC):
     def run(self, x: np.ndarray, trace: bool = True) -> SpMVRun:
         """Compute ``y = A @ x`` on the device."""
         self.prepare()
+        if _flt.ACTIVE is not None:
+            _flt.ACTIVE.on_phase(f"{self.name}.run")
         x = np.ascontiguousarray(x, dtype=self.dtype)
         if x.size != self.ncols:
             raise ValueError(f"x has length {x.size}, expected {self.ncols}")

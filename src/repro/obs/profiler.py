@@ -89,13 +89,16 @@ def profile_matrix(
     :class:`~repro.obs.metrics.MetricRegistry` entry named
     ``"{format}/{executor}/{precision}"``.  Results are verified
     against the COO reference as they are produced (entries carry
-    ``verified`` and ``rel_err``); a format that cannot run at all
-    (e.g. DIA out of device memory in double precision) is skipped
-    with an ``oom`` event span instead of aborting the sweep.
+    ``verified`` and ``rel_err``); a combination that cannot run at
+    all (e.g. DIA out of device memory in double precision) is skipped
+    instead of aborting the sweep: it gets a machine-readable record
+    in ``report.skips`` (entry/format/executor/precision plus error
+    type and reason) and — for :class:`DeviceMemoryError` — the legacy
+    ``.oom`` event span.
     """
     # imported lazily: the executor itself hooks into repro.obs.recorder
     from repro.bench.runner import _build_runners
-    from repro.ocl.errors import DeviceMemoryError
+    from repro.ocl.errors import DeviceMemoryError, OCLError
     from repro.ocl.executor import EXECUTOR_ENV, EXECUTOR_MODES
     from repro.perf.costmodel import predict_gpu_time
 
@@ -111,6 +114,7 @@ def profile_matrix(
 
     session = ProfileSession(name)
     registry = MetricRegistry()
+    skips = []
     saved = os.environ.get(EXECUTOR_ENV)
     try:
         with observe(session=session):
@@ -129,9 +133,21 @@ def profile_matrix(
                                     use_local_memory,
                                 )[fmt]
                                 run = runner.run(x)
-                        except DeviceMemoryError as exc:
-                            session.record_event(
-                                f"{entry}.oom", "event", reason=str(exc))
+                        except OCLError as exc:
+                            if isinstance(exc, DeviceMemoryError):
+                                # the legacy per-skip event, kept for
+                                # report consumers keyed on ".oom"
+                                session.record_event(
+                                    f"{entry}.oom", "event",
+                                    reason=str(exc))
+                            skips.append({
+                                "entry": entry,
+                                "format": fmt,
+                                "executor": executor,
+                                "precision": precision,
+                                "error": type(exc).__name__,
+                                "reason": str(exc),
+                            })
                             continue
                         err = float(np.abs(run.y - ref).max()) / refscale
                         seconds = predict_gpu_time(
@@ -163,4 +179,5 @@ def profile_matrix(
         "mrows": mrows,
         "size_scale": size_scale,
     }
-    return ProfileReport(session=session, registry=registry, meta=meta)
+    return ProfileReport(session=session, registry=registry, meta=meta,
+                         skips=skips)

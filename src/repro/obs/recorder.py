@@ -105,11 +105,23 @@ class ProfileSession:
         return span
 
     def end(self, span: Span, **attrs: Any) -> Span:
-        """Close a span opened with :meth:`begin`."""
+        """Close a span opened with :meth:`begin`.
+
+        Robust to leaked children: if an exception (or
+        KeyboardInterrupt) escaped a descendant before its own ``end``
+        ran, the stale entries above ``span`` are unwound (closing any
+        still-open spans at the current clock) so the session stays
+        reusable.  Ending a span that is not on the stack at all — its
+        parent already unwound it — only stamps the duration.
+        """
         span.duration = self.now() - span.start
         if attrs:
             span.attrs.update(attrs)
-        if self._stack and self._stack[-1] == span.id:
+        if span.id in self._stack:
+            while self._stack[-1] != span.id:
+                leaked = self.spans[self._stack.pop()]
+                if leaked.duration < 0.0:
+                    leaked.duration = self.now() - leaked.start
             self._stack.pop()
         return span
 

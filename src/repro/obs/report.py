@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.obs.metrics import MetricRegistry
 from repro.obs.recorder import ProfileSession
@@ -27,6 +27,10 @@ class ProfileReport:
     session: ProfileSession
     registry: MetricRegistry
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: combinations the sweep could not run, as machine-readable
+    #: ``{entry, format, executor, precision, error, reason}`` records
+    #: (e.g. DIA/double out of device memory)
+    skips: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         """The full JSON payload (schema ``repro-profile/v1``)."""
@@ -34,6 +38,7 @@ class ProfileReport:
             "schema": PROFILE_SCHEMA,
             "meta": dict(self.meta),
             "metrics": self.registry.to_dict(),
+            "skips": [dict(s) for s in self.skips],
             "session": self.session.to_dict(),
         }
 
@@ -47,6 +52,10 @@ class ProfileReport:
             f"profile of {name}: {len(self.session.spans)} spans, "
             f"{len(self.registry)} metric entries"
         )
+        for s in self.skips:
+            lines.append(
+                f"  {s['entry']:<28} skipped: {s['error']} "
+                f"({s['reason']})")
         for row in self.registry.rows():
             gf = row.get("achieved_gflops")
             parts = [f"  {row['name']:<28}"]

@@ -56,6 +56,11 @@ from repro.ocl.trace import KernelTrace
 # the disabled path is one module-attribute read (no clock, no object)
 from repro.obs import recorder as _obs
 
+# fault injector: same contract — ``_flt.ACTIVE`` is ``None`` unless a
+# test/chaos harness activated injection, and the hooks below do
+# nothing else on the disabled path
+from repro.resilience import faults as _flt
+
 #: environment variable selecting the execution engine
 EXECUTOR_ENV = "REPRO_EXECUTOR"
 
@@ -108,6 +113,8 @@ class Context:
     def alloc(self, data: np.ndarray, name: str = "buf") -> Buffer:
         """Allocate a buffer initialised from host data."""
         buf = Buffer(np.array(data, copy=True), name=name)
+        if _flt.ACTIVE is not None:
+            _flt.ACTIVE.on_alloc(name, buf.nbytes)
         if self.allocated_bytes + buf.nbytes > self.device.global_mem_bytes:
             raise DeviceMemoryError(
                 f"allocating {buf.nbytes:,} B for {name!r} exceeds device memory "
@@ -309,6 +316,8 @@ def launch(
         raise LaunchError(f"num_groups must be >= 0, got {num_groups}")
     if local_size <= 0:
         raise LaunchError(f"local_size must be positive, got {local_size}")
+    if _flt.ACTIVE is not None:
+        _flt.ACTIVE.on_launch(kernel_name(kernel))
     total = KernelTrace()
     total.work_groups = num_groups
     total.wavefronts = num_groups * (-(-local_size // device.wavefront_size))
@@ -320,6 +329,8 @@ def launch(
     for gid in range(num_groups):
         ctx = WorkGroupCtx(device, gid, local_size, t, cache)
         kernel(ctx, *args)
+    if _flt.ACTIVE is not None:
+        _flt.ACTIVE.on_launch_exit(kernel_name(kernel), args)
     if sess is not None:
         sess.record_kernel(
             kernel_name(kernel), work_groups=num_groups,
@@ -623,6 +634,8 @@ def launch_batched(
         raise LaunchError(f"num_groups must be >= 0, got {num_groups}")
     if local_size <= 0:
         raise LaunchError(f"local_size must be positive, got {local_size}")
+    if _flt.ACTIVE is not None:
+        _flt.ACTIVE.on_launch(kernel_name(kernel))
     total = KernelTrace()
     total.work_groups = num_groups
     total.wavefronts = num_groups * (-(-local_size // device.wavefront_size))
@@ -634,6 +647,8 @@ def launch_batched(
                    total if trace else None, cache)
     kernel(ctx, *args)
     ctx.finalize()
+    if _flt.ACTIVE is not None:
+        _flt.ACTIVE.on_launch_exit(kernel_name(kernel), args)
     if sess is not None:
         sess.record_kernel(
             kernel_name(kernel), work_groups=num_groups,

@@ -1,0 +1,83 @@
+"""Resilient execution: fault injection, retries, graceful degradation.
+
+The simulated runtime can genuinely fail — the paper's own evaluation
+loses the DIA/double bars for the ``af_*_k101`` matrices because the
+format does not fit the C2050's 3 GB
+(:class:`~repro.ocl.errors.DeviceMemoryError`).  This package turns
+such failures from run-killers into handled incidents:
+
+- :mod:`repro.resilience.faults` — a deterministic, seedable **fault
+  injector** wrapping the runtime's allocation and launch boundaries.
+  Injection is opt-in and zero-cost when off (the same single
+  ``ACTIVE``-global guard the observation layer uses).
+- :mod:`repro.resilience.policy` — the **retry/degradation policy**:
+  bounded attempts per rung, deterministic backoff *accounting* (the
+  simulation never sleeps), the fallback ladder.
+- :mod:`repro.resilience.engine` — the **graceful-degradation ladder**:
+  CRSD+local → CRSD no-local → HYB → CSR → CPU reference.  Every served
+  ``y`` is verified against the COO reference; only when every rung
+  fails does a typed :class:`ResilienceExhausted` escape.
+- :mod:`repro.resilience.chaos` — the ``repro faultsim`` engine: a
+  seeded chaos sweep over the 23-matrix suite with a differential
+  bit-identity check against the fault-free run.
+
+Usage::
+
+    import repro
+    from repro.resilience import Policy, FaultInjector, FaultSpec, inject
+
+    run = repro.spmv(A, x, resilience=Policy())      # survives OOM
+    with inject(FaultInjector(seed=7, specs=[FaultSpec("launch:*",
+                                                       "launch",
+                                                       at_calls=(0,))])):
+        run = repro.spmv(A, x, resilience=Policy())  # retried, served
+    run.resilience.served_rung, run.resilience.attempts
+
+Public names resolve lazily (PEP 562) so the runtime hooks can import
+:mod:`repro.resilience.faults` without dragging the whole ladder in.
+"""
+
+__all__ = [
+    "DEFAULT_LADDER",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
+    "IncidentReport",
+    "Policy",
+    "ResilienceExhausted",
+    "active",
+    "chaos_sweep",
+    "inject",
+    "ladder_for",
+    "resilient_spmv",
+]
+
+#: lazily-resolved public attribute -> defining module
+_LAZY = {
+    "DEFAULT_LADDER": "repro.resilience.engine",
+    "FaultEvent": "repro.resilience.faults",
+    "FaultInjector": "repro.resilience.faults",
+    "FaultSpec": "repro.resilience.faults",
+    "IncidentReport": "repro.resilience.engine",
+    "Policy": "repro.resilience.policy",
+    "ResilienceExhausted": "repro.resilience.policy",
+    "active": "repro.resilience.faults",
+    "chaos_sweep": "repro.resilience.chaos",
+    "inject": "repro.resilience.faults",
+    "ladder_for": "repro.resilience.engine",
+    "resilient_spmv": "repro.resilience.engine",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        value = getattr(importlib.import_module(_LAZY[name]), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,83 @@
+"""Retry and degradation policy for the resilient execution layer.
+
+A :class:`Policy` bounds how hard the ladder tries before giving up:
+attempts per rung, the deterministic backoff *accounting* charged per
+retry (the simulation never sleeps — backoff is a cost-model quantity,
+summed into the incident report like kernel time is), and optionally a
+custom rung sequence.
+
+:class:`ResilienceExhausted` is the one typed error the resilient
+layer lets escape: it means every rung of the ladder failed and carries
+the full incident report, so the caller can see exactly what was tried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["Policy", "ResilienceExhausted"]
+
+
+@dataclass(frozen=True)
+class Policy:
+    """Resilient-execution configuration for one ``repro.spmv`` call.
+
+    Parameters
+    ----------
+    max_attempts:
+        Attempts per ladder rung (first try + retries).  Transient
+        faults are absorbed by retrying the same rung; persistent ones
+        exhaust the attempts and walk down the ladder.
+    backoff_base_s / backoff_factor:
+        Deterministic exponential backoff charged per retry, in
+        *simulated* seconds: retry ``k`` (1-based) of a rung accounts
+        ``backoff_base_s * backoff_factor**(k-1)``.  No wall-clock
+        sleep ever happens.
+    ladder:
+        Explicit rung sequence (names from
+        :data:`repro.resilience.engine.DEFAULT_LADDER` plus
+        ``dia``/``ell``).  ``None`` derives the ladder from the
+        requested format via
+        :func:`repro.resilience.engine.ladder_for`.
+    verify:
+        Verify every candidate ``y`` against the COO reference before
+        serving it (the "never a silent wrong answer" guarantee).
+    verify_tol:
+        Relative-error tolerance for verification; ``None`` selects the
+        per-precision default (1e-6 double, 1e-2 single — the same
+        thresholds the profiler uses).
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 1e-4
+    backoff_factor: float = 2.0
+    ladder: Optional[Tuple[str, ...]] = None
+    verify: bool = True
+    verify_tol: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative and "
+                             "non-decreasing (factor >= 1)")
+        if self.ladder is not None:
+            object.__setattr__(self, "ladder", tuple(self.ladder))
+
+    def backoff_s(self, retry: int) -> float:
+        """Simulated backoff charged before retry ``retry`` (1-based)."""
+        return self.backoff_base_s * self.backoff_factor ** (retry - 1)
+
+
+class ResilienceExhausted(RuntimeError):
+    """Every rung of the degradation ladder failed.
+
+    ``.report`` carries the :class:`~repro.resilience.engine.IncidentReport`
+    of everything that was attempted.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report

@@ -14,12 +14,15 @@ actually runs:
 """
 
 from repro.solvers.operator import SpMVOperator, as_operator
+from repro.solvers.guards import BreakdownGuard, GuardConfig
 from repro.solvers.krylov import cg, bicgstab, SolveResult
 from repro.solvers.stationary import jacobi
 from repro.solvers.gpu_cg import gpu_cg, GpuSolveResult
 from repro.solvers.preconditioned import pcg
 
 __all__ = [
+    "BreakdownGuard",
+    "GuardConfig",
     "SpMVOperator",
     "as_operator",
     "cg",

@@ -11,6 +11,7 @@ the cost model:  SpMV dominance, axpy/dot overheads and all.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -18,6 +19,8 @@ from repro.gpu_kernels.base import GPUSpMV
 from repro.obs.recorder import maybe_span
 from repro.ocl import blas
 from repro.ocl.trace import KernelTrace
+from repro.solvers.guards import make_guard
+from repro.solvers.krylov import GuardArg
 
 
 @dataclass
@@ -30,6 +33,10 @@ class GpuSolveResult:
     residual_norm: float
     trace: KernelTrace
     kernel_launches: int
+    #: checkpointed restarts taken by the breakdown guard
+    restarts: int = 0
+    #: last breakdown the guard detected, else ``None``
+    breakdown: Optional[str] = None
 
 
 def gpu_cg(
@@ -37,6 +44,7 @@ def gpu_cg(
     b: np.ndarray,
     tol: float = 1e-10,
     maxiter: int = 500,
+    guard: GuardArg = True,
 ) -> GpuSolveResult:
     """Conjugate gradients with device-resident vectors.
 
@@ -44,11 +52,12 @@ def gpu_cg(
     :class:`~repro.gpu_kernels.crsd_runner.CrsdSpMV` over an SPD
     matrix).  Vectors x, r, p live in device buffers for the whole
     solve; only scalars (the dot-product results) cross to the host,
-    as in a real implementation.
+    as in a real implementation.  ``guard`` enables breakdown
+    detection with checkpointed restart on the device-resident state.
     """
     with maybe_span("gpu_cg.solve", "solver", n=runner.nrows, tol=tol,
                     maxiter=maxiter, kernel=runner.name):
-        return _gpu_cg(runner, b, tol, maxiter)
+        return _gpu_cg(runner, b, tol, maxiter, guard)
 
 
 def _gpu_cg(
@@ -56,6 +65,7 @@ def _gpu_cg(
     b: np.ndarray,
     tol: float,
     maxiter: int,
+    guard: GuardArg = True,
 ) -> GpuSolveResult:
     if runner.nrows != runner.ncols:
         raise ValueError("CG needs a square system")
@@ -88,6 +98,20 @@ def _gpu_cg(
         converged = np.sqrt(rs) <= target
         it = 0
         res = float(np.sqrt(rs))
+        g = make_guard(guard, xb.data, res)
+
+        def restart() -> None:
+            """Roll the device-resident state back to the checkpoint:
+            x from the guard, true residual via one SpMV, p = r."""
+            nonlocal rs, launches
+            xb.data[:] = g.restart_x
+            ax = spmv(xb.data)
+            rb.data[:] = b - ax
+            pb.data[:] = rb.data
+            rs, tr = blas.dot(rb, rb, device)
+            total.merge(tr)
+            launches += 1
+
         while not converged and it < maxiter:
             with maybe_span("gpu_cg.iteration", "solver", iteration=it):
                 ap = spmv(pb.data)
@@ -96,7 +120,11 @@ def _gpu_cg(
                     denom, tr = blas.dot(pb, apb, device)
                     total.merge(tr)
                     if denom == 0.0:
-                        break
+                        if g is None or \
+                                g.force("zero curvature p.Ap") == "abort":
+                            break
+                        restart()
+                        continue
                     alpha = rs / denom
                     total.merge(blas.axpy(alpha, pb, xb, device))
                     total.merge(blas.axpy(-alpha, apb, rb, device))
@@ -110,6 +138,13 @@ def _gpu_cg(
                 if res <= target:
                     converged = True
                     break
+                if g is not None:
+                    action = g.update(xb.data, res)
+                    if action == "abort":
+                        break
+                    if action == "restart":
+                        restart()
+                        continue
                 total.merge(blas.scale_add(rb, rs_new / rs, pb, device))
                 launches += 1
                 rs = rs_new
@@ -120,6 +155,8 @@ def _gpu_cg(
             residual_norm=res,
             trace=total,
             kernel_launches=launches,
+            restarts=g.restarts if g is not None else 0,
+            breakdown=g.breakdown if g is not None else None,
         )
     finally:
         ctx.free(xb)

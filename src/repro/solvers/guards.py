@@ -1,0 +1,130 @@
+"""Breakdown guards for the iterative solvers.
+
+A Krylov iteration can *break down*: a NaN/Inf leaks into the residual
+(numerical fault, e.g. a soft-corrupted SpMV), or the residual stops
+improving entirely (stagnation — a dead search direction).  Without a
+guard either state silently burns the remaining ``maxiter`` iterations
+or poisons ``x`` outright.
+
+:class:`BreakdownGuard` watches the residual stream, keeps a
+*checkpoint* of the best healthy iterate, and tells the solver what to
+do each iteration:
+
+- ``"ok"``      — keep iterating (the overwhelmingly common answer);
+- ``"restart"`` — breakdown detected and a restart budget remains:
+  the solver rolls ``x`` back to the checkpoint, recomputes the true
+  residual and rebuilds its Krylov space from there;
+- ``"abort"``   — breakdown detected, restart budget exhausted: stop
+  and report the breakdown (``converged=False``).
+
+The guard is **passive for healthy solves**: it only reads residuals
+and occasionally copies ``x``, so a solve that never breaks down
+produces bit-identical results with the guard on or off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["GuardConfig", "BreakdownGuard", "make_guard"]
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Breakdown-detection thresholds.
+
+    ``stagnation_window`` iterations without a new best residual count
+    as stagnation (Krylov residuals oscillate, so the window must
+    comfortably exceed any healthy oscillation period — breakdown-free
+    solvers hit new bests far more often).  ``max_restarts`` bounds the
+    checkpointed restarts before the solver gives up.
+    """
+
+    nan_check: bool = True
+    stagnation_check: bool = True
+    stagnation_window: int = 100
+    max_restarts: int = 2
+
+    def __post_init__(self):
+        if self.stagnation_window < 1:
+            raise ValueError("stagnation_window must be >= 1")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+
+
+class BreakdownGuard:
+    """Checkpointed breakdown detection for one iterative solve."""
+
+    def __init__(self, x0: np.ndarray, res0: float,
+                 config: Optional[GuardConfig] = None):
+        self.config = config or GuardConfig()
+        self.restarts = 0
+        #: description of the last detected breakdown, or ``None``
+        self.breakdown: Optional[str] = None
+        self._ckpt_x = np.array(x0, copy=True)
+        self._ckpt_res = res0 if math.isfinite(res0) else math.inf
+        self._best_res = self._ckpt_res
+        self._since_best = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def restart_x(self) -> np.ndarray:
+        """A copy of the checkpointed iterate to restart from."""
+        return self._ckpt_x.copy()
+
+    def update(self, x: np.ndarray, res: float) -> str:
+        """Feed one iteration's iterate and residual norm; returns
+        ``"ok"``, ``"restart"`` or ``"abort"`` (see module docs)."""
+        cfg = self.config
+        if cfg.nan_check and not math.isfinite(res):
+            return self.force(f"non-finite residual ({res})")
+        if res < self._best_res:
+            self._best_res = res
+            self._since_best = 0
+            # the best healthy iterate is the restart point
+            np.copyto(self._ckpt_x, x)
+            self._ckpt_res = res
+        else:
+            self._since_best += 1
+            if cfg.stagnation_check and \
+                    self._since_best >= cfg.stagnation_window:
+                return self.force(
+                    f"stagnated: no residual improvement in "
+                    f"{self._since_best} iterations")
+        return "ok"
+
+    def force(self, reason: str) -> str:
+        """Record a breakdown the solver detected itself (e.g. a zero
+        denominator) and spend the restart budget: returns ``"restart"``
+        while budget remains, ``"abort"`` after."""
+        self.breakdown = reason
+        self._since_best = 0
+        # record the incident when a profile session is observing
+        from repro.obs import recorder as _obs
+
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.record_event(
+                "solver.breakdown", "resilience", reason=reason,
+                restarts=self.restarts,
+            )
+        if self.restarts < self.config.max_restarts:
+            self.restarts += 1
+            return "restart"
+        return "abort"
+
+
+def make_guard(guard, x0: np.ndarray,
+               res0: float) -> Optional[BreakdownGuard]:
+    """Normalize a solver's ``guard`` argument.
+
+    ``True`` -> guard with default config, a :class:`GuardConfig` ->
+    guard with that config, ``False``/``None`` -> no guard.
+    """
+    if guard is None or guard is False:
+        return None
+    cfg = guard if isinstance(guard, GuardConfig) else None
+    return BreakdownGuard(x0, res0, cfg)

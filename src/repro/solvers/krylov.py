@@ -10,12 +10,16 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
 from repro.obs.recorder import maybe_span
+from repro.solvers.guards import BreakdownGuard, GuardConfig, make_guard
 from repro.solvers.operator import SpMVOperator, as_operator
+
+#: the ``guard`` argument accepted by the solvers
+GuardArg = Union[bool, GuardConfig, None]
 
 
 def observed_solver(fn):
@@ -42,6 +46,11 @@ class SolveResult:
     history: List[float]
     #: SpMV invocations consumed by this solve
     spmv_count: int
+    #: checkpointed restarts taken by the breakdown guard
+    restarts: int = 0
+    #: last breakdown the guard detected (set even when a restart
+    #: recovered the solve), else ``None``
+    breakdown: Optional[str] = None
 
 
 def _prepare(a, b: np.ndarray, x0: Optional[np.ndarray]):
@@ -57,6 +66,15 @@ def _prepare(a, b: np.ndarray, x0: Optional[np.ndarray]):
     return op, b, x
 
 
+def _restart_cg(g: BreakdownGuard, op: SpMVOperator, b: np.ndarray):
+    """Roll back to the guard's checkpoint and rebuild the CG state:
+    true residual from scratch, search direction reset to ``r``."""
+    x = g.restart_x
+    r = b - op(x)
+    p = r.copy()
+    return x, r, p, float(r @ r)
+
+
 @observed_solver
 def cg(
     a,
@@ -64,12 +82,16 @@ def cg(
     x0: Optional[np.ndarray] = None,
     tol: float = 1e-10,
     maxiter: int = 1000,
+    guard: GuardArg = True,
 ) -> SolveResult:
     """Conjugate gradients for symmetric positive-definite systems.
 
     ``a`` may be any matrix carrier accepted by
     :func:`~repro.solvers.operator.as_operator`.  Convergence criterion:
-    ``||r|| <= tol * max(1, ||b||)``.
+    ``||r|| <= tol * max(1, ||b||)``.  ``guard`` enables breakdown
+    detection with checkpointed restart (see
+    :mod:`repro.solvers.guards`); healthy solves are bit-identical with
+    the guard on or off.
     """
     op, b, x = _prepare(a, b, x0)
     start_count = op.spmv_count
@@ -79,21 +101,33 @@ def cg(
     rs = float(r @ r)
     history: List[float] = []
     converged = np.sqrt(rs) <= target
+    g = make_guard(guard, x, float(np.sqrt(rs)))
     it = 0
     while not converged and it < maxiter:
         ap = op(p)
         denom = float(p @ ap)
         if denom == 0.0:
-            break
+            if g is None or g.force("zero curvature p.Ap") == "abort":
+                break
+            x, r, p, rs = _restart_cg(g, op, b)
+            continue
         alpha = rs / denom
         x += alpha * p
         r -= alpha * ap
         rs_new = float(r @ r)
         it += 1
-        history.append(np.sqrt(rs_new))
-        if np.sqrt(rs_new) <= target:
+        res = float(np.sqrt(rs_new))
+        history.append(res)
+        if res <= target:
             converged = True
             break
+        if g is not None:
+            action = g.update(x, res)
+            if action == "abort":
+                break
+            if action == "restart":
+                x, r, p, rs = _restart_cg(g, op, b)
+                continue
         p = r + (rs_new / rs) * p
         rs = rs_new
     return SolveResult(
@@ -103,7 +137,18 @@ def cg(
         residual_norm=history[-1] if history else float(np.sqrt(rs)),
         history=history,
         spmv_count=op.spmv_count - start_count,
+        restarts=g.restarts if g is not None else 0,
+        breakdown=g.breakdown if g is not None else None,
     )
+
+
+def _restart_bicgstab(g: BreakdownGuard, op: SpMVOperator, b: np.ndarray):
+    """Roll back to the checkpoint and rebuild the BiCGSTAB state:
+    true residual, fresh shadow residual, unit scalars, zeroed v/p —
+    exactly the state of a fresh solve started at the checkpoint."""
+    x = g.restart_x
+    r = b - op(x)
+    return x, r, r.copy(), 1.0, 1.0, 1.0, np.zeros_like(b), np.zeros_like(b)
 
 
 @observed_solver
@@ -113,8 +158,15 @@ def bicgstab(
     x0: Optional[np.ndarray] = None,
     tol: float = 1e-10,
     maxiter: int = 1000,
+    guard: GuardArg = True,
 ) -> SolveResult:
-    """BiCGSTAB for general (non-symmetric) systems (Saad, §7.4.2)."""
+    """BiCGSTAB for general (non-symmetric) systems (Saad, §7.4.2).
+
+    The classic breakdown conditions (``rho = 0``, ``r_hat.v = 0``,
+    ``omega = 0``) and NaN/stagnation are handled by the breakdown
+    guard when ``guard`` is enabled: a checkpointed restart rebuilds
+    the Krylov space from the best healthy iterate.
+    """
     op, b, x = _prepare(a, b, x0)
     start_count = op.spmv_count
     target = tol * max(1.0, float(np.linalg.norm(b)))
@@ -125,20 +177,37 @@ def bicgstab(
     p = np.zeros_like(b)
     history: List[float] = []
     converged = float(np.linalg.norm(r)) <= target
+    g = make_guard(guard, x, float(np.linalg.norm(r)))
+    fresh = True  # first iteration after a (re)start: p = r
     it = 0
+
+    def _broke(reason: str) -> bool:
+        """True -> abort the loop; False -> state was rebuilt, retry."""
+        nonlocal x, r, r_hat, rho, alpha, omega, v, p, fresh
+        if g is None or g.force(reason) == "abort":
+            return True
+        x, r, r_hat, rho, alpha, omega, v, p = _restart_bicgstab(g, op, b)
+        fresh = True
+        return False
+
     while not converged and it < maxiter:
         rho_new = float(r_hat @ r)
         if rho_new == 0.0:
-            break
-        if it == 0:
+            if _broke("rho breakdown (r_hat . r = 0)"):
+                break
+            continue
+        if fresh:
             p = r.copy()
+            fresh = False
         else:
             beta = (rho_new / rho) * (alpha / omega)
             p = r + beta * (p - omega * v)
         v = op(p)
         denom = float(r_hat @ v)
         if denom == 0.0:
-            break
+            if _broke("breakdown (r_hat . v = 0)"):
+                break
+            continue
         alpha = rho_new / denom
         s = r - alpha * v
         if float(np.linalg.norm(s)) <= target:
@@ -150,7 +219,9 @@ def bicgstab(
         t = op(s)
         tt = float(t @ t)
         if tt == 0.0:
-            break
+            if _broke("breakdown (t . t = 0)"):
+                break
+            continue
         omega = float(t @ s) / tt
         x += alpha * p + omega * s
         r = s - omega * t
@@ -161,8 +232,18 @@ def bicgstab(
         if res <= target:
             converged = True
             break
+        if g is not None:
+            action = g.update(x, res)
+            if action == "abort":
+                break
+            if action == "restart":
+                x, r, r_hat, rho, alpha, omega, v, p = \
+                    _restart_bicgstab(g, op, b)
+                fresh = True
+                continue
         if omega == 0.0:
-            break
+            if _broke("omega breakdown (stabilizer step = 0)"):
+                break
     return SolveResult(
         x=x,
         converged=converged,
@@ -170,4 +251,6 @@ def bicgstab(
         residual_norm=history[-1] if history else float(np.linalg.norm(r)),
         history=history,
         spmv_count=op.spmv_count - start_count,
+        restarts=g.restarts if g is not None else 0,
+        breakdown=g.breakdown if g is not None else None,
     )

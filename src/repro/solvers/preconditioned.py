@@ -13,7 +13,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.solvers.krylov import SolveResult, observed_solver
+from repro.solvers.guards import make_guard
+from repro.solvers.krylov import GuardArg, SolveResult, observed_solver
 from repro.solvers.operator import as_operator
 
 
@@ -25,12 +26,14 @@ def pcg(
     x0: Optional[np.ndarray] = None,
     tol: float = 1e-10,
     maxiter: int = 1000,
+    guard: GuardArg = True,
 ) -> SolveResult:
     """Preconditioned CG.
 
     ``preconditioner`` applies ``M^{-1}`` (must be SPD); ``None``
     selects Jacobi from the operator's diagonal.  Reduces to plain CG
-    when ``M = I``.
+    when ``M = I``.  ``guard`` enables breakdown detection with
+    checkpointed restart (:mod:`repro.solvers.guards`).
     """
     op = as_operator(a)
     b = np.asarray(b, dtype=np.float64)
@@ -56,12 +59,24 @@ def pcg(
     rz = float(r @ z)
     history = []
     converged = float(np.linalg.norm(r)) <= target
+    g = make_guard(guard, x, float(np.linalg.norm(r)))
+
+    def _restart():
+        """Roll back to the checkpoint and rebuild the PCG state."""
+        x = g.restart_x
+        r = b - op(x)
+        z = preconditioner(r)
+        return x, r, z, z.copy(), float(r @ z)
+
     it = 0
     while not converged and it < maxiter:
         ap = op(p)
         denom = float(p @ ap)
         if denom == 0.0:
-            break
+            if g is None or g.force("zero curvature p.Ap") == "abort":
+                break
+            x, r, z, p, rz = _restart()
+            continue
         alpha = rz / denom
         x += alpha * p
         r -= alpha * ap
@@ -71,6 +86,13 @@ def pcg(
         if res <= target:
             converged = True
             break
+        if g is not None:
+            action = g.update(x, res)
+            if action == "abort":
+                break
+            if action == "restart":
+                x, r, z, p, rz = _restart()
+                continue
         z = preconditioner(r)
         rz_new = float(r @ z)
         p = z + (rz_new / rz) * p
@@ -82,4 +104,6 @@ def pcg(
         residual_norm=history[-1] if history else float(np.linalg.norm(r)),
         history=history,
         spmv_count=op.spmv_count - start_count,
+        restarts=g.restarts if g is not None else 0,
+        breakdown=g.breakdown if g is not None else None,
     )

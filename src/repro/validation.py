@@ -1,0 +1,81 @@
+"""Facade input validation.
+
+The GPU runners assume well-formed inputs — a NaN in the matrix or a
+strided ``x`` would either poison the result silently or fail deep in a
+kernel with an unhelpful message.  The facade (:func:`repro.spmv`,
+:func:`repro.build`) runs these checks up front so bad inputs fail at
+the API boundary with one typed error, :class:`InputValidationError`,
+before any device buffer is touched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["InputValidationError", "validate_matrix", "validate_vector"]
+
+
+class InputValidationError(ValueError):
+    """A facade input failed validation (bad dtype, shape, layout, or
+    non-finite entries)."""
+
+
+def validate_vector(x, length: int, name: str = "x") -> np.ndarray:
+    """Validate a facade-supplied vector and return it as an ndarray.
+
+    Rejects (with :class:`InputValidationError`): non-numeric or
+    complex dtypes, wrong dimensionality or length, non-contiguous
+    layouts, and NaN/Inf entries.  Python sequences are converted
+    first, so lists of floats remain accepted.
+    """
+    arr = np.asarray(x)
+    if arr.dtype.kind not in "fiu":
+        raise InputValidationError(
+            f"{name} has unsupported dtype {arr.dtype}; expected a real "
+            "numeric dtype (float/int)")
+    if arr.ndim != 1:
+        raise InputValidationError(
+            f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size != length:
+        raise InputValidationError(
+            f"{name} has length {arr.size}, expected {length}")
+    if not arr.flags.c_contiguous:
+        raise InputValidationError(
+            f"{name} is not C-contiguous (e.g. a strided slice); pass "
+            f"np.ascontiguousarray({name})")
+    if arr.dtype.kind == "f" and not np.isfinite(arr).all():
+        bad = int(np.count_nonzero(~np.isfinite(arr)))
+        raise InputValidationError(
+            f"{name} contains {bad} non-finite (NaN/Inf) entries")
+    return arr
+
+
+def validate_matrix(matrix) -> None:
+    """Reject matrices carrying non-finite values.
+
+    Works directly on whatever representation the caller handed the
+    facade — a dense ndarray, any
+    :class:`~repro.formats.base.SparseFormat` (via its array
+    inventory), or a scipy-style object exposing ``.data`` — without
+    forcing a COO conversion just to validate.
+    """
+    if isinstance(matrix, np.ndarray):
+        if not np.isfinite(matrix).all():
+            raise InputValidationError(
+                "matrix contains non-finite (NaN/Inf) entries")
+        return
+    inventory = getattr(matrix, "array_inventory", None)
+    if callable(inventory):
+        for name, arr in inventory().items():
+            arr = np.asarray(arr)
+            if arr.dtype.kind == "f" and not np.isfinite(arr).all():
+                raise InputValidationError(
+                    f"matrix array {name!r} contains non-finite "
+                    "(NaN/Inf) entries")
+        return
+    data = getattr(matrix, "data", None)
+    if data is not None:
+        arr = np.asarray(data)
+        if arr.dtype.kind == "f" and not np.isfinite(arr).all():
+            raise InputValidationError(
+                "matrix values contain non-finite (NaN/Inf) entries")

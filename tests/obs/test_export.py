@@ -31,7 +31,8 @@ class TestJson:
     def test_schema_and_sections(self, exported):
         payload = json.loads(exported["json"].read_text())
         assert payload["schema"] == PROFILE_SCHEMA == "repro-profile/v1"
-        assert set(payload) == {"schema", "meta", "metrics", "session"}
+        assert set(payload) == {
+            "schema", "meta", "metrics", "session", "skips"}
         assert payload["meta"]["matrix"] == "demo"
 
     def test_entries_carry_counters_and_metrics(self, exported):

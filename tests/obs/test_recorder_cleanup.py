@@ -1,0 +1,97 @@
+"""Recorder robustness: exceptions (and KeyboardInterrupt) anywhere in
+a span tree must leave ``ACTIVE`` restored and the session reusable —
+no poisoned parent stack, no spans stuck open."""
+
+import pytest
+
+from repro.obs import recorder
+from repro.obs.recorder import ProfileSession, observe
+
+
+class TestActiveRestored:
+    def test_exception_inside_span_restores_active(self):
+        with pytest.raises(RuntimeError):
+            with observe("s") as session:
+                with session.span("outer"):
+                    raise RuntimeError("boom")
+        assert recorder.ACTIVE is None
+
+    def test_keyboard_interrupt_restores_active(self):
+        """KeyboardInterrupt is a BaseException — the restore must not
+        depend on ``except Exception``."""
+        with pytest.raises(KeyboardInterrupt):
+            with observe("s") as session:
+                with session.span("outer"):
+                    raise KeyboardInterrupt
+        assert recorder.ACTIVE is None
+
+
+class TestLeakedChildren:
+    def test_parent_end_unwinds_leaked_child(self):
+        """A child opened with begin() whose end() was skipped (an
+        exception path) must not corrupt the stack: ending the parent
+        unwinds it and stamps its duration."""
+        s = ProfileSession()
+        parent = s.begin("parent")
+        child = s.begin("child")
+        # child.end skipped — simulates an exception between begin/end
+        s.end(parent)
+        assert s._stack == []
+        assert child.duration >= 0.0  # closed by the unwind
+        assert parent.duration >= 0.0
+
+    def test_deeply_leaked_stack_fully_unwound(self):
+        s = ProfileSession()
+        root = s.begin("root")
+        leaked = [s.begin(f"leak{i}") for i in range(4)]
+        s.end(root)
+        assert s._stack == []
+        assert all(sp.duration >= 0.0 for sp in leaked)
+
+    def test_end_of_unstacked_span_only_stamps(self):
+        """Ending a span its parent already unwound must not pop
+        anything else off the stack."""
+        s = ProfileSession()
+        outer = s.begin("outer")
+        inner = s.begin("inner")
+        s.end(outer)            # unwinds inner too
+        fresh = s.begin("fresh")
+        s.end(inner)            # inner no longer on the stack
+        assert s._stack == [fresh.id]
+        s.end(fresh)
+        assert s._stack == []
+
+
+class TestReusableAfterException:
+    def test_session_records_correctly_after_escape(self):
+        session = ProfileSession("survivor")
+        with pytest.raises(ValueError):
+            with observe(session=session):
+                with session.span("first"):
+                    session.begin("leaked")  # never ended explicitly
+                    raise ValueError("escape")
+        # the span() finally closed "first", unwinding "leaked"
+        assert session._stack == []
+        with observe(session=session):
+            with session.span("second"):
+                pass
+        second = [sp for sp in session.spans if sp.name == "second"]
+        assert len(second) == 1
+        assert second[0].parent is None  # rooted, not under stale spans
+        assert all(sp.duration >= 0.0 for sp in session.spans)
+
+    def test_interrupt_mid_kernel_spans_leaves_valid_tree(self):
+        """Simulate an interrupt landing between begin/end pairs in the
+        executor hot path, then confirm the report-side tree helpers
+        still work."""
+        session = ProfileSession()
+        with pytest.raises(KeyboardInterrupt):
+            with observe(session=session):
+                with session.span("spmv", "op"):
+                    session.begin("kernel", "kernel")
+                    raise KeyboardInterrupt
+        assert session._stack == []
+        roots = session.children(None)
+        assert [r.name for r in roots] == ["spmv"]
+        payload = session.to_dict()
+        assert all(sp["duration_s"] >= 0.0 for sp in payload["spans"])

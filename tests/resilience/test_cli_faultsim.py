@@ -1,0 +1,55 @@
+"""The ``repro faultsim`` subcommand: determinism and report plumbing."""
+
+import json
+
+from repro.cli import main
+
+ARGS = ["faultsim", "--seed", "5", "--matrices", "kim1",
+        "--scale", "0.01"]
+
+
+class TestFaultsim:
+    def test_summary_output(self, capsys):
+        code = main(ARGS)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faultsim seed=5" in out
+        assert "silent divergences" in out
+        assert "kim1" in out
+
+    def test_json_is_deterministic(self, capsys):
+        assert main(ARGS + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(ARGS + ["--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # byte-identical, same seed
+        payload = json.loads(first)
+        assert payload["schema"] == "repro-faultsim/v1"
+        assert payload["seed"] == 5
+        assert payload["silent_divergences"] == 0
+
+    def test_different_seeds_differ(self, capsys):
+        main(ARGS + ["--json"])
+        a = capsys.readouterr().out
+        main(["faultsim", "--seed", "6", "--matrices", "kim1",
+              "--scale", "0.01", "--json"])
+        b = capsys.readouterr().out
+        assert json.loads(a)["seed"] != json.loads(b)["seed"]
+
+    def test_output_file(self, tmp_path, capsys):
+        out = tmp_path / "incidents.json"
+        assert main(ARGS + ["-o", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-faultsim/v1"
+        assert len(payload["cases"]) == 4  # 2 executors x 2 precisions
+
+    def test_matrix_by_number_and_executor_filter(self, capsys):
+        code = main(["faultsim", "--seed", "0", "--matrices", "9",
+                     "--scale", "0.01", "--executors", "batched",
+                     "--precisions", "double", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert len(payload["cases"]) == 1
+        assert payload["cases"][0]["matrix"] == "kim1"
+        assert payload["cases"][0]["executor"] == "batched"

@@ -1,0 +1,165 @@
+"""Fault injector: determinism, schedules, and the zero-cost-off path."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.crsd import CRSDMatrix
+from repro.gpu_kernels import CrsdSpMV
+from repro.ocl.errors import DeviceMemoryError, LaunchError, LocalMemoryError
+from repro.resilience.faults import (
+    ACTIVE,
+    FaultInjector,
+    FaultSpec,
+    active,
+    inject,
+)
+from tests.conftest import random_diagonal_matrix
+
+
+def drive(injector, sites):
+    """Feed a fixed call sequence; return the events fired."""
+    for site in sites:
+        kind, _, rest = site.partition(":")
+        try:
+            if kind == "alloc":
+                injector.on_alloc(rest, 1024)
+            elif kind == "launch":
+                injector.on_launch(rest)
+            else:
+                injector.on_phase(rest)
+        except (DeviceMemoryError, LocalMemoryError, LaunchError):
+            pass
+    return [dataclasses.asdict(e) for e in injector.events]
+
+
+SITES = ["launch:k0", "alloc:x", "launch:k1", "phase:crsd.prepare",
+         "launch:k0", "alloc:y", "launch:k1"] * 3
+
+
+class TestDeterminism:
+    def test_same_seed_same_events(self):
+        spec = FaultSpec(site="launch:*", kind="launch", probability=0.5)
+        a = drive(FaultInjector(seed=42, specs=[spec]), SITES)
+        b = drive(FaultInjector(seed=42, specs=[spec]), SITES)
+        assert a == b and a  # fired at least once at p=0.5 over 12 calls
+
+    def test_different_seed_different_events(self):
+        spec = FaultSpec(site="launch:*", kind="launch", probability=0.5)
+        seen = {
+            tuple(e["call_index"] for e in
+                  drive(FaultInjector(seed=s, specs=[spec]), SITES))
+            for s in range(8)
+        }
+        assert len(seen) > 1
+
+    def test_reset_restores_pristine_state(self):
+        inj = FaultInjector(
+            seed=7, specs=[FaultSpec(site="*", kind="launch",
+                                     probability=0.5)])
+        first = drive(inj, SITES)
+        inj.reset()
+        assert inj.events == []
+        assert drive(inj, SITES) == first
+
+
+class TestSchedules:
+    def test_at_calls_fires_exactly_there(self):
+        inj = FaultInjector(seed=0, specs=[
+            FaultSpec(site="launch:k0", kind="launch", at_calls=(1, 3))])
+        drive(inj, SITES)  # k0 appears 6 times
+        assert [e.call_index for e in inj.events] == [1, 3]
+        assert all(e.site == "launch:k0" for e in inj.events)
+
+    def test_max_fires_makes_it_transient(self):
+        inj = FaultInjector(seed=0, specs=[
+            FaultSpec(site="launch:*", kind="launch", probability=1.0,
+                      max_fires=2)])
+        drive(inj, SITES)
+        assert len(inj.events) == 2
+
+    def test_persistent_fires_forever(self):
+        inj = FaultInjector(seed=0, specs=[
+            FaultSpec(site="launch:k0", kind="launch", probability=1.0)])
+        drive(inj, SITES)
+        assert len(inj.events) == 6  # every k0 call
+
+    def test_one_spec_firing_does_not_perturb_another(self):
+        """Counters advance for every matching spec, fired or not."""
+        late = FaultSpec(site="launch:k0", kind="launch", at_calls=(4,))
+        noisy = FaultSpec(site="launch:*", kind="launch", at_calls=(0, 2))
+        alone = FaultInjector(seed=0, specs=[late])
+        together = FaultInjector(seed=0, specs=[noisy, late])
+        drive(alone, SITES)
+        drive(together, SITES)
+        assert [e.call_index for e in alone.events
+                if e.site == "launch:k0"] == [4]
+        assert [e.call_index for e in together.events
+                if e.spec_index == 1] == [4]
+
+    def test_kind_maps_to_typed_error(self):
+        for kind, err in [("device_oom", DeviceMemoryError),
+                          ("local_oom", LocalMemoryError),
+                          ("launch", LaunchError)]:
+            inj = FaultInjector(seed=0, specs=[
+                FaultSpec(site="*", kind=kind, at_calls=(0,))])
+            with inject(inj), pytest.raises(err, match="injected fault"):
+                inj.on_launch("k")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(site="*", kind="meteor")
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(site="*", kind="launch", probability=1.5)
+        with pytest.raises(ValueError, match="payload"):
+            FaultSpec(site="*", kind="soft", payload="gamma-ray")
+
+
+class TestActivation:
+    def test_off_by_default(self):
+        assert ACTIVE is None and active() is None
+
+    def test_inject_activates_and_restores(self):
+        inj = FaultInjector()
+        with inject(inj):
+            assert active() is inj
+            with inject(None):  # suspension for reference runs
+                assert active() is None
+            assert active() is inj
+        assert active() is None
+
+    def test_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with inject(FaultInjector()):
+                raise RuntimeError("boom")
+        assert active() is None
+
+
+class TestZeroCostOff:
+    """With injection off, the runtime must never touch the injector."""
+
+    def test_hooks_never_called_when_inactive(self, monkeypatch):
+        def bomb(*a, **k):  # pragma: no cover - must never run
+            raise AssertionError("injector hook called while inactive")
+
+        for hook in ("on_alloc", "on_launch", "on_launch_exit", "on_phase"):
+            monkeypatch.setattr(FaultInjector, hook, bomb)
+        rng = np.random.default_rng(0)
+        coo = random_diagonal_matrix(rng, n=128)
+        x = rng.standard_normal(coo.ncols)
+        run = CrsdSpMV(CRSDMatrix.from_coo(coo, mrows=32)).run(x)
+        assert np.allclose(run.y, coo.matvec(x))
+
+    def test_noop_injector_is_bit_transparent(self):
+        """An active injector with no firing rules must not change y
+        or a single KernelTrace counter."""
+        rng = np.random.default_rng(1)
+        coo = random_diagonal_matrix(rng, n=128)
+        x = rng.standard_normal(coo.ncols)
+        bare = CrsdSpMV(CRSDMatrix.from_coo(coo, mrows=32)).run(x)
+        with inject(FaultInjector(seed=9, specs=[])):
+            under = CrsdSpMV(CRSDMatrix.from_coo(coo, mrows=32)).run(x)
+        assert np.array_equal(bare.y, under.y)
+        assert dataclasses.asdict(bare.trace) == \
+            dataclasses.asdict(under.trace)

@@ -1,0 +1,191 @@
+"""The graceful-degradation ladder: retries, descent, typed exhaustion."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.engine import (
+    DEFAULT_LADDER,
+    ladder_for,
+    resilient_spmv,
+)
+from repro.resilience.faults import FaultInjector, FaultSpec, inject
+from repro.resilience.policy import Policy, ResilienceExhausted
+from tests.conftest import random_diagonal_matrix
+
+
+@pytest.fixture()
+def problem():
+    rng = np.random.default_rng(3)
+    coo = random_diagonal_matrix(rng, n=192)
+    return coo, rng.standard_normal(coo.ncols)
+
+
+class TestLadderFor:
+    def test_crsd_enters_at_the_top(self):
+        assert ladder_for("crsd") == DEFAULT_LADDER
+        assert ladder_for("crsd", use_local_memory=False) == \
+            DEFAULT_LADDER[1:]
+
+    def test_dia_and_ell_join_at_hyb(self):
+        assert ladder_for("dia") == ("dia", "hyb", "csr", "cpu")
+        assert ladder_for("ell") == ("ell", "hyb", "csr", "cpu")
+
+    def test_suffix_formats(self):
+        assert ladder_for("hyb") == ("hyb", "csr", "cpu")
+        assert ladder_for("csr") == ("csr", "cpu")
+        assert ladder_for("cpu") == ("cpu",)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="no resilience ladder"):
+            ladder_for("bcsr")
+
+
+class TestHealthyPath:
+    def test_served_first_attempt_no_degradation(self, problem):
+        coo, x = problem
+        run = resilient_spmv(coo, x)
+        rep = run.resilience
+        assert rep.served_rung == "crsd" and not rep.degraded
+        assert [a.outcome for a in rep.attempts] == ["served"]
+        assert rep.total_backoff_s == 0.0 and rep.faults_seen == 0
+        assert np.allclose(run.y, coo.matvec(x))
+
+    def test_matches_direct_run_bit_for_bit(self, problem):
+        coo, x = problem
+        from repro.api import build
+
+        direct = build(coo, "crsd").run(x)
+        assert np.array_equal(resilient_spmv(coo, x).y, direct.y)
+
+
+class TestRetry:
+    def test_transient_launch_fault_retried_same_rung(self, problem):
+        coo, x = problem
+        inj = FaultInjector(seed=0, specs=[
+            FaultSpec(site="launch:*", kind="launch", at_calls=(0,))])
+        with inject(inj):
+            run = resilient_spmv(coo, x, policy=Policy(backoff_base_s=1e-4))
+        rep = run.resilience
+        assert rep.served_rung == "crsd" and not rep.degraded
+        assert [a.outcome for a in rep.attempts] == ["fault", "served"]
+        assert rep.attempts[0].error == "LaunchError"
+        assert rep.total_backoff_s == pytest.approx(1e-4)
+
+    def test_backoff_is_exponential_and_simulated(self, problem):
+        coo, x = problem
+        inj = FaultInjector(seed=0, specs=[
+            FaultSpec(site="launch:*", kind="launch", at_calls=(0, 1))])
+        policy = Policy(max_attempts=3, backoff_base_s=1e-3,
+                        backoff_factor=2.0)
+        with inject(inj):
+            run = resilient_spmv(coo, x, policy=policy)
+        rep = run.resilience
+        # two failed attempts -> backoffs 1e-3 and 2e-3
+        assert [a.backoff_s for a in rep.attempts] == \
+            pytest.approx([1e-3, 2e-3, 0.0])
+        assert rep.total_backoff_s == pytest.approx(3e-3)
+
+    def test_soft_corruption_invalidates_the_attempt(self, problem):
+        """A served y must never carry an injected corruption: the
+        touched attempt is retried and the final result is bit-identical
+        to the fault-free run."""
+        coo, x = problem
+        clean = resilient_spmv(coo, x).y
+        inj = FaultInjector(seed=0, specs=[
+            FaultSpec(site="launch:*", kind="soft", at_calls=(0,),
+                      payload="nudge")])
+        with inject(inj):
+            run = resilient_spmv(coo, x)
+        rep = run.resilience
+        assert rep.attempts[0].outcome == "corrupt"
+        assert rep.served_rung == "crsd"
+        assert np.array_equal(run.y, clean)
+
+
+class TestDescent:
+    def test_persistent_prepare_fault_descends_to_hyb(self, problem):
+        coo, x = problem
+        inj = FaultInjector(seed=0, specs=[
+            FaultSpec(site="phase:crsd.prepare", kind="device_oom",
+                      probability=1.0)])
+        with inject(inj):
+            run = resilient_spmv(coo, x, policy=Policy(max_attempts=2))
+        rep = run.resilience
+        # both crsd rungs (local and no-local) burn their attempts
+        assert rep.served_rung == "hyb" and rep.degraded
+        assert [a.rung for a in rep.attempts] == \
+            ["crsd", "crsd", "crsd-nolocal", "crsd-nolocal", "hyb"]
+        assert all(a.error == "DeviceMemoryError"
+                   for a in rep.attempts[:-1])
+
+    def test_degraded_y_matches_fault_free_rung(self, problem):
+        coo, x = problem
+        from repro.api import build
+
+        inj = FaultInjector(seed=0, specs=[
+            FaultSpec(site="phase:crsd.*", kind="device_oom",
+                      probability=1.0)])
+        with inject(inj):
+            run = resilient_spmv(coo, x, policy=Policy(max_attempts=1))
+        assert run.resilience.served_rung == "hyb"
+        assert np.array_equal(run.y, build(coo, "hyb").run(x).y)
+
+    def test_cpu_rung_is_fault_immune(self, problem):
+        """Structural faults everywhere still land on the CPU rung."""
+        coo, x = problem
+        inj = FaultInjector(seed=0, specs=[
+            FaultSpec(site="phase:*", kind="launch", probability=1.0)])
+        with inject(inj):
+            run = resilient_spmv(coo, x, policy=Policy(max_attempts=1))
+        rep = run.resilience
+        assert rep.served_rung == "cpu" and rep.degraded
+        assert np.allclose(run.y, coo.matvec(x))
+
+
+class TestExhaustion:
+    def test_typed_error_with_full_report(self, problem):
+        coo, x = problem
+        inj = FaultInjector(seed=0, specs=[
+            FaultSpec(site="phase:*", kind="device_oom", probability=1.0)])
+        policy = Policy(max_attempts=2, ladder=("crsd", "hyb"))
+        with inject(inj), pytest.raises(ResilienceExhausted) as exc_info:
+            resilient_spmv(coo, x, policy=policy)
+        rep = exc_info.value.report
+        assert rep.served_rung is None
+        assert [a.rung for a in rep.attempts] == \
+            ["crsd", "crsd", "hyb", "hyb"]
+        assert all(a.outcome == "fault" for a in rep.attempts)
+        d = rep.to_dict()
+        assert d["served_rung"] is None and len(d["attempts"]) == 4
+
+    def test_report_is_deterministic(self, problem):
+        coo, x = problem
+        specs = [FaultSpec(site="launch:*", kind="launch",
+                           probability=0.4, max_fires=3)]
+
+        def once():
+            with inject(FaultInjector(seed=5, specs=specs)):
+                return resilient_spmv(coo, x).resilience.to_dict()
+
+        assert once() == once()
+
+
+class TestVerification:
+    def test_verification_failure_is_an_attempt_outcome(self, problem):
+        """An impossibly tight tolerance in single precision makes
+        every rung ``verify-failed`` (even the CPU rung computes with a
+        float32 x) — the ladder exhausts rather than serving a y that
+        missed the bar."""
+        coo, x = problem
+        policy = Policy(max_attempts=1, verify_tol=0.0)
+        with pytest.raises(ResilienceExhausted) as exc_info:
+            resilient_spmv(coo, x, precision="single", policy=policy)
+        rep = exc_info.value.report
+        assert rep.attempts and all(
+            a.outcome == "verify-failed" for a in rep.attempts)
+
+    def test_verify_off_skips_the_check(self, problem):
+        coo, x = problem
+        run = resilient_spmv(coo, x, policy=Policy(verify=False))
+        assert run.resilience.verified is False
+        assert np.allclose(run.y, coo.matvec(x))

@@ -1,0 +1,166 @@
+"""Breakdown guards: passive on healthy solves, checkpointed restart on
+NaN/stagnation, typed abort when the budget runs out."""
+
+import numpy as np
+import pytest
+
+from repro.core.crsd import CRSDMatrix
+from repro.formats.coo import COOMatrix
+from repro.gpu_kernels import CrsdSpMV
+from repro.obs.recorder import observe
+from repro.solvers import bicgstab, cg, gpu_cg, pcg
+from repro.solvers.guards import BreakdownGuard, GuardConfig, make_guard
+from repro.solvers.operator import SpMVOperator
+
+
+def spd_tridiagonal(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        rows.append(i); cols.append(i); vals.append(4.0 + rng.uniform(0, 1))
+        if i + 1 < n:
+            rows.append(i); cols.append(i + 1); vals.append(-1.0)
+            rows.append(i + 1); cols.append(i); vals.append(-1.0)
+    return COOMatrix(np.array(rows), np.array(cols),
+                     np.array(vals, dtype=float), (n, n))
+
+
+@pytest.fixture()
+def system():
+    a = spd_tridiagonal()
+    rng = np.random.default_rng(1)
+    return a, rng.standard_normal(a.nrows)
+
+
+class TestGuardUnit:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GuardConfig(stagnation_window=0)
+        with pytest.raises(ValueError):
+            GuardConfig(max_restarts=-1)
+
+    def test_make_guard_normalization(self):
+        x0 = np.zeros(4)
+        assert make_guard(False, x0, 1.0) is None
+        assert make_guard(None, x0, 1.0) is None
+        assert isinstance(make_guard(True, x0, 1.0), BreakdownGuard)
+        cfg = GuardConfig(max_restarts=9)
+        g = make_guard(cfg, x0, 1.0)
+        assert g.config is cfg
+
+    def test_checkpoints_best_iterate(self):
+        g = BreakdownGuard(np.zeros(3), 10.0)
+        best = np.array([1.0, 2.0, 3.0])
+        assert g.update(best, 1.0) == "ok"
+        assert g.update(np.full(3, 9.9), 5.0) == "ok"  # worse: not saved
+        assert np.array_equal(g.restart_x, best)
+
+    def test_nan_triggers_restart_then_abort(self):
+        g = BreakdownGuard(np.zeros(3), 1.0,
+                           GuardConfig(max_restarts=1))
+        assert g.update(np.zeros(3), float("nan")) == "restart"
+        assert g.update(np.zeros(3), float("inf")) == "abort"
+        assert "non-finite" in g.breakdown
+
+    def test_stagnation_window(self):
+        g = BreakdownGuard(np.zeros(3), 1.0,
+                           GuardConfig(stagnation_window=3, max_restarts=0))
+        x = np.zeros(3)
+        assert g.update(x, 0.5) == "ok"      # new best
+        assert g.update(x, 0.7) == "ok"
+        assert g.update(x, 0.7) == "ok"
+        assert g.update(x, 0.7) == "abort"   # 3 without a new best
+        assert "stagnated" in g.breakdown
+
+    def test_breakdown_emits_obs_event(self):
+        with observe("guard") as session:
+            g = BreakdownGuard(np.zeros(3), 1.0)
+            g.update(np.zeros(3), float("nan"))
+        events = [s for s in session.spans if s.name == "solver.breakdown"]
+        assert len(events) == 1
+        assert events[0].category == "resilience"
+
+
+class TestHealthyBitIdentity:
+    """The guard must be invisible on solves that never break down."""
+
+    @pytest.mark.parametrize("solver", [cg, bicgstab, pcg])
+    def test_host_solvers(self, solver, system):
+        a, b = system
+        on = solver(a, b, guard=True)
+        off = solver(a, b, guard=False)
+        assert np.array_equal(on.x, off.x)
+        assert on.iterations == off.iterations
+        assert on.history == off.history
+        assert on.restarts == 0 and on.breakdown is None
+        assert on.converged
+
+    def test_gpu_cg(self, system):
+        a, b = system
+        crsd = CRSDMatrix.from_coo(a, mrows=64)
+        on = gpu_cg(CrsdSpMV(crsd), b, guard=True)
+        off = gpu_cg(CrsdSpMV(crsd), b, guard=False)
+        assert np.array_equal(on.x, off.x)
+        assert on.kernel_launches == off.kernel_launches
+        assert on.restarts == 0 and on.breakdown is None
+
+
+class TestRestart:
+    def test_transient_nan_recovers(self, system):
+        """One poisoned SpMV mid-solve: the guard rolls back to the
+        checkpoint and the solve still converges."""
+        a, b = system
+        n = a.nrows
+        calls = {"n": 0}
+
+        def flaky(v):
+            calls["n"] += 1
+            y = a.matvec(v)
+            if calls["n"] == 5:
+                y = y.copy()
+                y[0] = np.nan
+            return y
+
+        res = cg(SpMVOperator(flaky, (n, n)), b, guard=True)
+        assert res.converged and res.restarts == 1
+        assert "non-finite" in res.breakdown  # the recovered incident
+        assert np.allclose(a.matvec(res.x), b, atol=1e-6)
+
+    @pytest.mark.parametrize("solver", [cg, bicgstab, pcg])
+    def test_persistent_nan_aborts_with_budget(self, solver, system):
+        a, b = system
+        n = a.nrows
+        dead = SpMVOperator(lambda v: np.full(n, np.nan), (n, n),
+                            lambda: np.ones(n))
+        res = solver(a=dead, b=b, guard=GuardConfig(max_restarts=2))
+        assert not res.converged
+        assert res.restarts == 2
+        assert "non-finite" in res.breakdown
+
+    def test_unguarded_solver_burns_maxiter_on_nan(self, system):
+        """The failure mode the guard exists for: without it a NaN
+        poisons x and the loop spins to maxiter."""
+        a, b = system
+        n = a.nrows
+        dead = SpMVOperator(lambda v: np.full(n, np.nan), (n, n))
+        res = cg(dead, b, maxiter=50, guard=False)
+        assert not res.converged
+        assert res.iterations == 50
+        assert np.isnan(res.x).all()
+
+    def test_gpu_cg_restart_path(self, system):
+        """Force a restart in the device-resident solver via an
+        impossible stagnation window and confirm it still converges."""
+        a, b = system
+        crsd = CRSDMatrix.from_coo(a, mrows=64)
+        cfg = GuardConfig(stagnation_window=1, max_restarts=2)
+        res = gpu_cg(CrsdSpMV(crsd), b, guard=cfg)
+        # window 1 calls any non-improving iteration stagnation; CG's
+        # monotone residual usually improves, so just require a valid
+        # terminal state either way
+        assert res.converged or res.breakdown is not None
+
+    def test_result_fields_default(self, system):
+        a, b = system
+        res = cg(a, b)  # guard defaults on
+        assert res.restarts == 0 and res.breakdown is None

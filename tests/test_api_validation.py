@@ -1,0 +1,135 @@
+"""Facade input validation and the ``resilience=`` entry point."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.validation import (
+    InputValidationError,
+    validate_matrix,
+    validate_vector,
+)
+from tests.conftest import random_diagonal_matrix
+
+
+@pytest.fixture()
+def problem():
+    rng = np.random.default_rng(0)
+    coo = random_diagonal_matrix(rng, n=128)
+    return coo, rng.standard_normal(coo.ncols)
+
+
+class TestVectorValidation:
+    def test_rejects_wrong_length(self, problem):
+        coo, x = problem
+        with pytest.raises(InputValidationError, match="length"):
+            repro.spmv(coo, x[:-3])
+
+    def test_rejects_wrong_dtype(self, problem):
+        coo, x = problem
+        with pytest.raises(InputValidationError, match="dtype"):
+            repro.spmv(coo, x.astype(complex))
+        with pytest.raises(InputValidationError, match="dtype"):
+            repro.spmv(coo, np.array(["a"] * coo.ncols))
+
+    def test_rejects_non_contiguous(self, problem):
+        coo, x = problem
+        reversed_view = np.flip(np.concatenate([x, x[::-1]])[:x.size])
+        assert not reversed_view.flags.c_contiguous
+        with pytest.raises(InputValidationError, match="contiguous"):
+            repro.spmv(coo, reversed_view)
+
+    def test_rejects_nan_and_inf(self, problem):
+        coo, x = problem
+        for poison in (np.nan, np.inf, -np.inf):
+            bad = x.copy()
+            bad[7] = poison
+            with pytest.raises(InputValidationError, match="non-finite"):
+                repro.spmv(coo, bad)
+
+    def test_rejects_2d(self, problem):
+        coo, x = problem
+        with pytest.raises(InputValidationError, match="1-D"):
+            repro.spmv(coo, x.reshape(1, -1))
+
+    def test_accepts_lists_and_int_vectors(self, problem):
+        coo, _ = problem
+        ones = [1] * coo.ncols
+        run = repro.spmv(coo, ones)
+        assert np.allclose(run.y, coo.matvec(np.ones(coo.ncols)))
+
+    def test_error_is_a_value_error(self):
+        assert issubclass(InputValidationError, ValueError)
+        with pytest.raises(ValueError):
+            validate_vector(np.zeros(3), 5)
+
+
+class TestMatrixValidation:
+    def test_rejects_nan_in_sparse_values(self, problem):
+        from repro.formats.coo import COOMatrix
+
+        bad = COOMatrix(np.array([0, 1]), np.array([0, 1]),
+                        np.array([1.0, np.nan]), (2, 2))
+        with pytest.raises(InputValidationError, match="non-finite"):
+            repro.build(bad)
+        with pytest.raises(InputValidationError, match="non-finite"):
+            repro.spmv(bad, np.ones(2))
+
+    def test_rejects_inf_in_dense(self):
+        dense = np.eye(4)
+        dense[2, 2] = np.inf
+        with pytest.raises(InputValidationError, match="non-finite"):
+            repro.build(dense)
+
+    def test_rejects_nan_in_crsd(self, problem):
+        from repro.core.crsd import CRSDMatrix
+        from repro.formats.coo import COOMatrix
+
+        coo, _ = problem
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        # poison one stored slab value in place
+        for arr in crsd.array_inventory().values():
+            if arr.dtype.kind == "f" and arr.size:
+                arr.reshape(-1)[0] = np.nan
+                break
+        with pytest.raises(InputValidationError, match="non-finite"):
+            repro.build(crsd, "crsd")
+
+    def test_healthy_matrix_passes(self, problem):
+        coo, _ = problem
+        validate_matrix(coo)  # no raise
+
+
+class TestResilienceKwarg:
+    def test_default_path_has_no_resilience_report(self, problem):
+        coo, x = problem
+        run = repro.spmv(coo, x)
+        assert run.resilience is None
+
+    def test_policy_routes_through_ladder(self, problem):
+        coo, x = problem
+        run = repro.spmv(coo, x, resilience=repro.Policy())
+        assert run.resilience is not None
+        assert run.resilience.served_rung == "crsd"
+        assert run.metrics is not None
+
+    def test_true_means_default_policy(self, problem):
+        coo, x = problem
+        direct = repro.spmv(coo, x)
+        resilient = repro.spmv(coo, x, resilience=True)
+        assert np.array_equal(direct.y, resilient.y)
+
+    def test_resilient_path_validates_too(self, problem):
+        coo, x = problem
+        with pytest.raises(InputValidationError):
+            repro.spmv(coo, x[:-1], resilience=True)
+
+    def test_auto_format_resolves_before_ladder(self, problem):
+        coo, x = problem
+        run = repro.spmv(coo, x, "auto", resilience=repro.Policy())
+        assert run.resilience.served_rung in (
+            "crsd", "dia", "ell", "csr", "hyb")
+
+    def test_exhausted_is_importable_from_root(self):
+        assert issubclass(repro.ResilienceExhausted, RuntimeError)
+        assert repro.FaultInjector is not None
