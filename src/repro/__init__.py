@@ -17,7 +17,8 @@ its evaluation depends on:
 - ``repro.hybrid``       -- PCIe transfers + CPU+GPU hybrid SpMV
 - ``repro.obs``          -- spans, metric registries, profile exporters
 - ``repro.resilience``   -- fault injection, retries, fallback ladder
-- ``repro.cli``          -- ``python -m repro info/bench/profile/tune/...``
+- ``repro.serve``        -- plan cache, micro-batching, admission control
+- ``repro.cli``          -- ``python -m repro info/bench/serve/loadgen/...``
 
 The package root doubles as the facade (:mod:`repro.api`)::
 
@@ -26,6 +27,7 @@ The package root doubles as the facade (:mod:`repro.api`)::
     run = repro.spmv(A, x, format="auto")   # -> SpMVRun (y, trace, metrics)
     runner = repro.build(A, format="crsd")  # -> prepared kernel runner
     report = repro.profile(A)               # -> ProfileReport
+    session = repro.serve_session()         # -> ServeEngine (request stream)
 
 Heavy submodules load lazily (PEP 562), so ``import repro`` stays cheap
 and instrumentation-free code paths never pay for the observation
@@ -55,6 +57,11 @@ __all__ = [
     "ResilienceExhausted",
     "FaultInjector",
     "InputValidationError",
+    # serving entry points
+    "serve_session",
+    "PlanCache",
+    "ServeOverloaded",
+    "fingerprint",
 ]
 
 #: lazily-resolved public attribute -> defining module
@@ -74,6 +81,10 @@ _LAZY = {
     "ResilienceExhausted": "repro.resilience.policy",
     "FaultInjector": "repro.resilience.faults",
     "InputValidationError": "repro.validation",
+    "serve_session": "repro.serve",
+    "PlanCache": "repro.serve.cache",
+    "ServeOverloaded": "repro.serve.admission",
+    "fingerprint": "repro.core.serialize",
 }
 
 

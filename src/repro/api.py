@@ -74,7 +74,21 @@ def auto_format(matrix, precision: str = "double",
     and compares :func:`repro.perf.analytic.estimate_traffic`; formats
     whose device footprint exceeds memory are disqualified (the paper's
     DIA/double OOM case).
+
+    The decision is memoised in the process-wide
+    :class:`~repro.serve.cache.PlanCache` keyed by the matrix's content
+    fingerprint, so asking again for a matrix already prepared
+    in-session never redoes the structural analysis.
     """
+    from repro.serve.cache import default_cache
+
+    return default_cache().auto_format(matrix, precision, device, mrows)
+
+
+def _auto_format_impl(matrix, precision: str = "double",
+                      device: DeviceSpec = TESLA_C2050,
+                      mrows: int = 128) -> str:
+    """The uncached format decision behind :func:`auto_format`."""
     from repro.formats.csr import CSRMatrix
     from repro.formats.dia import DIAMatrix
     from repro.formats.ell import ELLMatrix

@@ -10,6 +10,8 @@ Commands
 ``tune``     — autotune CRSD build parameters for a matrix
 ``profile``  — record spans + derived metrics, export profile artifacts
 ``faultsim`` — chaos-sweep the suite under seeded fault injection
+``serve``    — serve a request stream against one matrix (micro-batched)
+``loadgen``  — seeded open-loop load generation over the suite
 
 Matrices are referenced either by Table V suite name/number
 (``kim1``, ``3``) or by a MatrixMarket file path.
@@ -162,14 +164,20 @@ def cmd_convert(args) -> int:
 
 
 def cmd_tune(args) -> int:
-    """``repro tune``: autotune CRSD build parameters."""
+    """``repro tune``: autotune CRSD build parameters.
+
+    Tuning goes through the process-wide plan cache
+    (:func:`repro.serve.cache.default_cache`), so a repeated request for
+    the same matrix in one process is served from the cache instead of
+    re-running the grid search.
+    """
     import dataclasses
     import json
 
-    from repro.core.autotune import tune
+    from repro.serve.cache import default_cache
 
     coo, name = _load_matrix(args.matrix, args.scale)
-    res = tune(coo, fast=args.fast)
+    res = default_cache().tune(coo, fast=args.fast)
     b = res.best
     if args.json:
         payload = {
@@ -265,6 +273,100 @@ def cmd_faultsim(args) -> int:
             json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
         print(f"wrote {args.output}", file=sys.stderr)
     return report.exit_code
+
+
+def cmd_serve(args) -> int:
+    """``repro serve``: serve a request stream against one matrix.
+
+    Generates ``--requests`` random right-hand sides, submits them with
+    seeded Poisson arrivals at ``--rate`` requests per simulated second
+    (``--rate 0`` = all at once), and serves them through the
+    micro-batching engine.  Prints per-stream latency percentiles and
+    the batching/cache counters; ``--json`` prints the machine-readable
+    stats.
+    """
+    import json
+
+    import repro
+
+    coo, name = _load_matrix(args.matrix, args.scale)
+    session = repro.serve_session(
+        precision=args.precision, mrows=args.mrows,
+        max_batch=args.max_batch, max_delay_s=args.max_delay_us * 1e-6,
+        max_queue_depth=args.queue_depth, overflow=args.overflow,
+        size_scale=args.scale, keep_y=False)
+    rng = np.random.default_rng(args.seed)
+    at = 0.0
+    for _ in range(args.requests):
+        if args.rate > 0:
+            at += float(rng.exponential(1.0 / args.rate))
+        session.submit(coo, rng.standard_normal(coo.ncols), at=at,
+                       deadline_s=args.deadline_us * 1e-6
+                       if args.deadline_us else None)
+    results = session.run()
+    stats = session.stats()
+    served = sorted(r.latency_s for r in results if r.served)
+    if args.json:
+        payload = {"matrix": name, "requests": len(results),
+                   "served": len(served), **stats}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    batching = stats["batching"]
+    print(f"{name}: served {len(served)}/{len(results)} requests, "
+          f"{batching['spmm_launches']} SpMM + "
+          f"{batching['spmv_launches']} SpMV launches")
+    if served:
+        p50 = served[max(0, int(0.50 * len(served)) - 1)]
+        p95 = served[max(0, int(-(-0.95 * len(served) // 1)) - 1)]
+        print(f"  latency p50 {p50 * 1e6:8.1f} us   "
+              f"p95 {p95 * 1e6:8.1f} us   "
+              f"max {served[-1] * 1e6:8.1f} us")
+    print(f"  batch histogram {batching['histogram']}")
+    print(f"  plan cache {stats['cache']}")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """``repro loadgen``: seeded load generation over the suite.
+
+    Runs a fully deterministic open-loop arrival trace through the
+    serving engine and prints (or writes, ``-o``) the byte-reproducible
+    JSON report — same seed, same bytes.  When
+    ``REPRO_SERVE_TRAJECTORY`` (or ``--trajectory``) names a file, the
+    report is also appended to that ``BENCH_serve.json`` history.
+    """
+    from repro.serve import AdmissionPolicy, BatchConfig
+    from repro.serve.loadgen import (
+        LoadConfig, append_serve_trajectory, report_json, run_loadgen,
+        trajectory_path,
+    )
+
+    kwargs = {}
+    if args.matrices:
+        kwargs["matrices"] = tuple(args.matrices.split(","))
+    config = LoadConfig(
+        seed=args.seed, scale=args.scale, num_requests=args.requests,
+        rate_rps=args.rate, pattern=args.pattern,
+        burst_size=args.burst_size,
+        deadline_s=args.deadline_us * 1e-6 if args.deadline_us else None,
+        precision=args.precision, mrows=args.mrows, **kwargs)
+    report = run_loadgen(
+        config,
+        batch=BatchConfig(max_batch=args.max_batch,
+                          max_delay_s=args.max_delay_us * 1e-6),
+        admission=AdmissionPolicy(max_queue_depth=args.queue_depth,
+                                  overflow=args.overflow))
+    text = report_json(report)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    trajectory = args.trajectory or trajectory_path()
+    if trajectory:
+        append_serve_trajectory(report, trajectory)
+        print(f"appended trajectory entry: {trajectory}", file=sys.stderr)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -371,6 +473,66 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("-o", "--output", metavar="FILE",
                     help="also write the JSON report here")
     sp.set_defaults(fn=cmd_faultsim)
+
+    def serve_common(sp):
+        sp.add_argument("--precision", choices=["double", "single"],
+                        default="double")
+        sp.add_argument("--seed", type=int, default=0,
+                        help="arrival/vector seed (default 0)")
+        sp.add_argument("--requests", type=int, default=32,
+                        help="requests to generate (default 32)")
+        sp.add_argument("--max-batch", type=int, default=16,
+                        help="widest SpMM coalescing (default 16)")
+        sp.add_argument("--max-delay-us", type=float, default=200.0,
+                        help="longest simulated batching delay for the "
+                             "oldest request, microseconds (default 200)")
+        sp.add_argument("--queue-depth", type=int, default=64,
+                        help="admission queue bound (default 64)")
+        sp.add_argument("--overflow", choices=["reject-new", "drop-oldest"],
+                        default="reject-new",
+                        help="queue overflow policy (default reject-new)")
+        sp.add_argument("--deadline-us", type=float, default=None,
+                        help="per-request deadline, microseconds "
+                             "(default: none)")
+
+    sp = sub.add_parser(
+        "serve", help="serve a request stream against one matrix"
+    )
+    common(sp)
+    serve_common(sp)
+    sp.add_argument("--rate", type=float, default=4e5,
+                    help="mean arrival rate, requests per simulated "
+                         "second; 0 = all at once (default 4e5)")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable serving stats")
+    sp.set_defaults(fn=cmd_serve)
+
+    sp = sub.add_parser(
+        "loadgen", help="seeded open-loop load generation over the suite"
+    )
+    serve_common(sp)
+    sp.add_argument("--matrices", default=None,
+                    help="comma-separated suite names (default: the "
+                         "8-matrix representative subset)")
+    sp.add_argument("--scale", type=float, default=0.05,
+                    help="suite generation scale (default 0.05)")
+    sp.add_argument("--mrows", type=int, default=128,
+                    help="CRSD row-segment size (default 128)")
+    sp.add_argument("--rate", type=float, default=4e5,
+                    help="mean arrival rate, requests per simulated "
+                         "second (default 4e5)")
+    sp.add_argument("--pattern", choices=["poisson", "burst"],
+                    default="poisson",
+                    help="arrival process (default poisson)")
+    sp.add_argument("--burst-size", type=int, default=8,
+                    help="arrivals per burst under --pattern burst "
+                         "(default 8)")
+    sp.add_argument("-o", "--output", metavar="FILE",
+                    help="write the JSON report here instead of stdout")
+    sp.add_argument("--trajectory", metavar="FILE", default=None,
+                    help="append the report to this BENCH_serve.json "
+                         "(default: $REPRO_SERVE_TRAJECTORY)")
+    sp.set_defaults(fn=cmd_loadgen)
     return p
 
 

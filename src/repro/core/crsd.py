@@ -310,6 +310,33 @@ class CRSDMatrix(SparseFormat):
         }
 
     # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash of the mathematical matrix (lazy, cached).
+
+        Equals :func:`repro.core.serialize.fingerprint` of the COO this
+        format was built from, so serving-layer cache keys and profile
+        artifacts agree on the matrix identity regardless of carrier.
+        """
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            from repro.core.serialize import fingerprint as _fp
+
+            fp = _fp(self)
+            self._fingerprint = fp
+        return fp
+
+    def __repr__(self) -> str:
+        return (
+            f"<CRSDMatrix shape={self.shape} nnz={self.nnz} "
+            f"regions={len(self.regions)} "
+            f"scatter_rows={self.num_scatter_rows} "
+            f"fp={self.fingerprint}>"
+        )
+
+    # ------------------------------------------------------------------
     # index metadata (Fig. 4)
     # ------------------------------------------------------------------
     def crsd_dia_index(self) -> np.ndarray:

@@ -1,13 +1,20 @@
-"""Persist CRSD matrices to disk (.npz).
+"""Persist CRSD matrices to disk (.npz) and fingerprint them.
 
 CRSD construction (analysis + slab fill + codegen) is the expensive,
 once-per-matrix step; iterative applications amortise it by storing
 the built format.  The file carries every array of Fig. 4 plus the
 region metadata needed to regenerate codelets bit-identically.
+
+:func:`fingerprint` is the identity half of that amortisation story:
+a stable content hash of the *mathematical* matrix, independent of the
+carrier format, so cache keys (the serving layer's
+:class:`~repro.serve.cache.PlanCache`), profile artifacts and saved
+files all agree on which matrix they are talking about.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Union
@@ -20,6 +27,40 @@ from repro.core.pattern import DiagonalPattern, PatternRegion
 #: format marker + version for forward compatibility
 MAGIC = "repro-crsd"
 VERSION = 1
+
+#: domain tag hashed into every fingerprint; bump if the canonical
+#: byte layout below ever changes
+FINGERPRINT_DOMAIN = b"repro-matrix-fp/v1"
+
+#: hex digits of the (truncated) fingerprint
+FINGERPRINT_LEN = 16
+
+
+def fingerprint(matrix) -> str:
+    """Stable content hash of a matrix, as a short hex string.
+
+    The hash is computed over the *canonical COO form* — triplets
+    sorted row-major with duplicate coordinates summed and explicit
+    zeros dropped (exactly what :class:`~repro.formats.coo.COOMatrix`
+    construction does) — so it is invariant under the entry order and
+    duplicate-splitting of the input, and identical across carrier
+    formats: a :class:`~repro.core.crsd.CRSDMatrix` fingerprints the
+    same as the COO (or dense array) it was built from.
+
+    Accepts anything :func:`repro.api._as_coo` does: COO, CRSD, any
+    :class:`~repro.formats.base.SparseFormat`, a dense 2-D ndarray, or
+    a scipy-style object with ``.tocoo()``.
+    """
+    from repro.api import _as_coo
+
+    coo = _as_coo(matrix)
+    h = hashlib.sha256()
+    h.update(FINGERPRINT_DOMAIN)
+    h.update(np.asarray([coo.nrows, coo.ncols], dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(coo.rows, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(coo.cols, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(coo.vals, dtype=np.float64).tobytes())
+    return h.hexdigest()[:FINGERPRINT_LEN]
 
 
 def save_crsd(crsd: CRSDMatrix, path: Union[str, Path]) -> None:

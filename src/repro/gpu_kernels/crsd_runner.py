@@ -181,12 +181,11 @@ class CrsdSpMM(CrsdSpMV):
 
     def run(self, x: np.ndarray, trace: bool = True) -> SpMVRun:
         """Compute ``Y = A @ X`` for ``X`` of shape ``(ncols, nvec)``."""
+        from repro.validation import validate_batch
+
         self.prepare()
-        x = np.asarray(x, dtype=self.dtype)
-        if x.shape != (self.ncols, self.nvec):
-            raise ValueError(
-                f"X must be ({self.ncols}, {self.nvec}), got {x.shape}"
-            )
+        x = validate_batch(x, self.ncols, self.nvec).astype(
+            self.dtype, copy=False)
         flat = np.ascontiguousarray(x.T).ravel()  # column-major device layout
         with maybe_span(f"{self.name}.spmm", "op", kernel=self.name,
                         precision=self.precision, nvec=self.nvec):

@@ -167,8 +167,11 @@ def profile_matrix(
         else:
             os.environ[EXECUTOR_ENV] = saved
 
+    from repro.core.serialize import fingerprint as _fingerprint
+
     meta = {
         "matrix": name,
+        "fingerprint": _fingerprint(coo),
         "nrows": coo.nrows,
         "ncols": coo.ncols,
         "nnz": coo.nnz,

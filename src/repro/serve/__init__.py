@@ -1,0 +1,117 @@
+"""Serving subsystem: plan cache, micro-batching, admission control.
+
+The rest of the library answers "how fast is one SpMV?"; this package
+answers "how does a *stream* of SpMV requests behave?".  Prepared
+artifacts (CRSD builds, generated codelets, autotune results) are kept
+in a bounded LRU :class:`PlanCache` keyed by content fingerprint;
+concurrent same-matrix requests coalesce into single
+:class:`~repro.gpu_kernels.crsd_runner.CrsdSpMM` launches through the
+:class:`MicroBatcher`; a bounded queue with explicit overflow policy
+(:class:`AdmissionController`) provides backpressure.  Everything runs
+on simulated time, so serving experiments are deterministic and
+byte-reproducible per seed.
+
+Entry points::
+
+    session = repro.serve_session(max_batch=16)
+    session.submit(A, x1); session.submit(A, x2)
+    results = session.run()
+
+    # offline load generation (also: `repro loadgen` on the CLI)
+    from repro.serve import LoadConfig, run_loadgen
+    report = run_loadgen(LoadConfig(seed=7))
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ocl.device import DeviceSpec, TESLA_C2050
+from repro.serve.admission import (
+    OVERFLOW_POLICIES,
+    AdmissionController,
+    AdmissionPolicy,
+    ServeOverloaded,
+)
+from repro.serve.batcher import BatchConfig, MicroBatcher, Request
+from repro.serve.cache import (
+    CacheStats,
+    PlanCache,
+    PlanEntry,
+    default_cache,
+    reset_default_cache,
+)
+from repro.serve.clock import FOREVER, SimulatedClock
+from repro.serve.engine import ServedResult, ServeEngine
+from repro.serve.loadgen import (
+    LoadConfig,
+    LoadReport,
+    append_serve_trajectory,
+    report_json,
+    run_loadgen,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "BatchConfig",
+    "CacheStats",
+    "FOREVER",
+    "LoadConfig",
+    "LoadReport",
+    "MicroBatcher",
+    "OVERFLOW_POLICIES",
+    "PlanCache",
+    "PlanEntry",
+    "Request",
+    "ServeEngine",
+    "ServeOverloaded",
+    "ServedResult",
+    "SimulatedClock",
+    "append_serve_trajectory",
+    "default_cache",
+    "report_json",
+    "reset_default_cache",
+    "run_loadgen",
+    "serve_session",
+]
+
+
+def serve_session(
+    *,
+    device: DeviceSpec = TESLA_C2050,
+    precision: str = "double",
+    mrows: int = 128,
+    use_local_memory: bool = True,
+    max_batch: int = 16,
+    max_delay_s: float = 200e-6,
+    min_spmm: int = 2,
+    max_queue_depth: int = 64,
+    overflow: str = "reject-new",
+    cache: Optional[PlanCache] = None,
+    prepare_cost_s: float = 0.0,
+    size_scale: float = 1.0,
+    keep_y: bool = True,
+) -> ServeEngine:
+    """Open a serving session (the ``repro.serve_session`` facade).
+
+    Flattens the batching and admission knobs into keywords and returns
+    a ready :class:`ServeEngine`: ``submit()`` requests, ``run()`` the
+    stream, read ``stats()``.  ``cache`` defaults to a session-private
+    :class:`PlanCache`; pass :func:`default_cache` 's return to share
+    prepared artifacts with ``repro.auto_format`` / ``repro tune``.
+    """
+    return ServeEngine(
+        device=device,
+        precision=precision,
+        mrows=mrows,
+        use_local_memory=use_local_memory,
+        batch=BatchConfig(max_batch=max_batch, max_delay_s=max_delay_s,
+                          min_spmm=min_spmm),
+        admission=AdmissionPolicy(max_queue_depth=max_queue_depth,
+                                  overflow=overflow),
+        cache=cache,
+        prepare_cost_s=prepare_cost_s,
+        size_scale=size_scale,
+        keep_y=keep_y,
+    )

@@ -1,0 +1,127 @@
+"""Admission control: bounded queues, backpressure, deadlines.
+
+An open-loop arrival process does not slow down when the device falls
+behind, so the queue in front of the MicroBatcher must be bounded and
+the overflow policy explicit.  Two classic policies are provided:
+
+- ``reject-new`` (default): an arrival finding the queue full is
+  rejected with the typed :class:`ServeOverloaded` — callers see
+  backpressure immediately, queued work keeps its place.
+- ``drop-oldest``: the arrival is admitted and the *oldest* queued
+  request is shed instead — freshest-work-wins, the right shape for
+  latency-sensitive traffic where a stale request is worthless anyway.
+
+Deadline accounting is part of admission too: a queued request whose
+deadline has already expired by the time the batcher would launch it is
+dropped (``expired``) rather than wasting a launch, and every served
+request records whether it met its deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["AdmissionPolicy", "AdmissionController", "ServeOverloaded",
+           "OVERFLOW_POLICIES"]
+
+#: recognised queue-overflow policies
+OVERFLOW_POLICIES = ("reject-new", "drop-oldest")
+
+
+class ServeOverloaded(RuntimeError):
+    """The serving queue is full and the overflow policy rejected the
+    request.  Carries the queue state so callers can implement their
+    own backoff."""
+
+    def __init__(self, message: str, *, depth: int, max_depth: int):
+        super().__init__(message)
+        self.depth = depth
+        self.max_depth = max_depth
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Queue bounds and overflow behaviour for one serving session.
+
+    Parameters
+    ----------
+    max_queue_depth:
+        Maximum requests waiting (being executed does not count).
+    overflow:
+        ``"reject-new"`` or ``"drop-oldest"`` (see module docstring).
+    """
+
+    max_queue_depth: int = 64
+    overflow: str = "reject-new"
+
+    def __post_init__(self):
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+        if self.overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {self.overflow!r}; expected one "
+                f"of {OVERFLOW_POLICIES}")
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionPolicy` and keeps the counters.
+
+    The controller itself is queue-agnostic: the engine asks it to
+    judge each arrival against the current depth and records the
+    outcome; the actual deque lives in the MicroBatcher.
+    """
+
+    def __init__(self, policy: AdmissionPolicy):
+        self.policy = policy
+        self.accepted = 0
+        self.rejected = 0
+        self.shed = 0        # drop-oldest victims
+        self.expired = 0     # dropped at launch time, deadline passed
+        self.deadline_misses = 0  # served, but after their deadline
+
+    def admit(self, depth: int) -> str:
+        """Judge one arrival against the current queue ``depth``.
+
+        Returns ``"accept"``, ``"reject"`` (count it, caller raises or
+        records :class:`ServeOverloaded`), or ``"shed-oldest"`` (accept
+        after evicting the oldest queued request).
+        """
+        if depth < self.policy.max_queue_depth:
+            self.accepted += 1
+            return "accept"
+        if self.policy.overflow == "drop-oldest":
+            self.accepted += 1
+            self.shed += 1
+            return "shed-oldest"
+        self.rejected += 1
+        return "reject"
+
+    def overloaded_error(self, depth: int) -> ServeOverloaded:
+        """The typed rejection for a ``"reject"`` verdict."""
+        return ServeOverloaded(
+            f"serving queue full ({depth}/{self.policy.max_queue_depth} "
+            "requests waiting); retry later or widen the policy",
+            depth=depth, max_depth=self.policy.max_queue_depth)
+
+    def record_expired(self, n: int = 1) -> None:
+        """Count requests dropped unserved because their deadline
+        passed while they were still queued."""
+        self.expired += n
+
+    def record_deadline_miss(self, n: int = 1) -> None:
+        """Count requests served after their deadline."""
+        self.deadline_misses += n
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Policy parameters and counters, JSON-safe (for reports)."""
+        return {
+            "max_queue_depth": self.policy.max_queue_depth,
+            "overflow": self.policy.overflow,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "expired": self.expired,
+            "deadline_misses": self.deadline_misses,
+        }

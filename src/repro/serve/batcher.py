@@ -1,0 +1,158 @@
+"""Request micro-batching: coalesce same-matrix SpMV requests.
+
+Batching many right-hand sides against one matrix into a single
+:class:`~repro.gpu_kernels.crsd_runner.CrsdSpMM` launch is where
+serving throughput lives: the value slab (the dominant traffic of a
+diagonal matrix) is read once for the whole batch instead of once per
+request, and the fixed launch overhead is paid once.  The SpMM
+codelets accumulate in exactly the single-vector order, so a batched
+``y`` is bit-identical to the per-request path (asserted across the
+suite by ``tests/serve/test_batching_equivalence.py``).
+
+The :class:`MicroBatcher` holds the FIFO of admitted requests and
+makes the launch decision the engine's event loop asks for: serve the
+group of the *oldest* waiting request (head-of-line fairness), gather
+its same-key followers up to ``max_batch``, and launch when the batch
+is full, the head has waited ``max_delay_s`` of simulated time, or the
+stream is flushing.  Groups below the SpMM threshold fall back to
+per-request SpMV launches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.clock import FOREVER
+
+__all__ = ["BatchConfig", "Request", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Batching knobs of one serving session.
+
+    Parameters
+    ----------
+    max_batch:
+        Most requests coalesced into one SpMM launch (also the largest
+        ``nvec`` codelet the plan cache will generate).
+    max_delay_s:
+        Longest *simulated* time the oldest waiting request may be held
+        back to let a batch fill before the engine launches anyway.
+    min_spmm:
+        Smallest group executed as one SpMM launch; smaller groups run
+        as individual SpMV launches (a 1-wide SpMM codelet buys
+        nothing over the tuned SpMV codelet).
+    """
+
+    max_batch: int = 16
+    max_delay_s: float = 200e-6
+    min_spmm: int = 2
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay_s < 0:
+            raise ValueError(
+                f"max_delay_s must be >= 0, got {self.max_delay_s}")
+        if self.min_spmm < 2:
+            raise ValueError(f"min_spmm must be >= 2, got {self.min_spmm}")
+
+
+@dataclass
+class Request:
+    """One admitted SpMV request, queued for execution.
+
+    ``key`` is the batching identity — requests only coalesce when
+    their keys are equal (same matrix fingerprint, same precision).
+    ``deadline_s`` is the *absolute* simulated instant after which the
+    result is worthless (``None`` = no deadline).  A request carrying a
+    resilience policy is never batched: it is routed through the
+    degradation ladder individually (``batchable=False``).
+    """
+
+    id: int
+    key: Tuple
+    entry: Any                      # PlanEntry of the matrix
+    x: np.ndarray
+    arrival_s: float
+    deadline_s: Optional[float] = None
+    resilience: Optional[Any] = None
+    batchable: bool = True
+
+
+class MicroBatcher:
+    """The pending-request FIFO and its launch decision."""
+
+    def __init__(self, config: BatchConfig):
+        self.config = config
+        self._pending: Deque[Request] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._pending)
+
+    def push(self, request: Request) -> None:
+        """Append an admitted request to the FIFO."""
+        self._pending.append(request)
+
+    def shed_oldest(self) -> Request:
+        """Remove and return the oldest queued request (drop-oldest
+        overflow)."""
+        return self._pending.popleft()
+
+    def drain_expired(self, now: float) -> List[Request]:
+        """Remove and return every queued request whose deadline has
+        already passed at ``now`` (they would be dead on arrival at the
+        device)."""
+        expired = [r for r in self._pending
+                   if r.deadline_s is not None and now > r.deadline_s]
+        if expired:
+            dead = {r.id for r in expired}
+            self._pending = deque(
+                r for r in self._pending if r.id not in dead)
+        return expired
+
+    # ------------------------------------------------------------------
+    def next_forced_launch_s(self) -> float:
+        """The instant the head request's patience runs out (the
+        engine must launch no later than this), or ``FOREVER`` when
+        nothing is queued."""
+        if not self._pending:
+            return FOREVER
+        head = self._pending[0]
+        if not head.batchable:
+            return head.arrival_s  # launches as soon as the device frees
+        return head.arrival_s + self.config.max_delay_s
+
+    def form_batch(self, now: float, flush: bool = False
+                   ) -> Optional[List[Request]]:
+        """The launch decision at simulated instant ``now``.
+
+        Returns the requests to launch together (removed from the
+        queue), or ``None`` to keep waiting for the batch to fill.
+        ``flush=True`` means no further arrivals can come (end of
+        stream): waiting would gain nothing, so any group launches.
+        """
+        if not self._pending:
+            return None
+        head = self._pending[0]
+        if not head.batchable:
+            self._pending.popleft()
+            return [head]
+        group = [r for r in self._pending
+                 if r.batchable and r.key == head.key]
+        group = group[: self.config.max_batch]
+        full = len(group) >= self.config.max_batch
+        impatient = now >= head.arrival_s + self.config.max_delay_s
+        if not (full or impatient or flush):
+            return None
+        taken = {r.id for r in group}
+        self._pending = deque(
+            r for r in self._pending if r.id not in taken)
+        return group

@@ -1,0 +1,300 @@
+"""PlanCache: bounded LRU of prepared per-matrix serving artifacts.
+
+The paper's economics — expensive once-per-matrix preparation (pattern
+detection, CRSD build, codelet generation, autotuning) buying cheap
+steady-state SpMV — only pay off if the prepared artifacts are *kept*.
+The cache keys everything on the matrix's stable content
+:func:`~repro.core.serialize.fingerprint`, so the same mathematical
+matrix arriving as COO, CRSD or dense hits the same entry, and reports
+agree with cache keys on identity.
+
+One :class:`PlanEntry` per matrix holds the canonical COO, the CRSD
+builds (per ``mrows``), the prepared kernel runners (per precision /
+local-memory / ``nvec``), autotune results and ``auto_format``
+decisions.  The cache is LRU-bounded on *entries* (matrices); evicting
+an entry drops every prepared artifact with it.
+
+Hit/miss/eviction counters live in :class:`CacheStats` and are also
+emitted as :mod:`repro.obs` events (category ``serve``) when a profile
+session is active, so serving runs show cache behaviour in the same
+reports as kernel launches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs import recorder as _obs
+from repro.ocl.device import DeviceSpec, TESLA_C2050
+
+__all__ = ["CacheStats", "PlanEntry", "PlanCache", "default_cache",
+           "reset_default_cache"]
+
+
+@dataclass
+class CacheStats:
+    """Lookup counters of one :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The counters plus the derived hit rate, JSON-safe."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanEntry:
+    """Every prepared artifact of one matrix (one fingerprint).
+
+    Built lazily through the owning cache's accessors; not constructed
+    directly by callers.
+    """
+
+    def __init__(self, fingerprint: str, coo):
+        self.fingerprint = fingerprint
+        self.coo = coo
+        #: mrows -> CRSDMatrix
+        self._crsd: Dict[int, Any] = {}
+        #: (device, precision, use_local_memory, nvec|None) -> runner
+        self._runners: Dict[Tuple, Any] = {}
+        #: memoised autotune results, keyed by the tune arguments
+        self._tunes: Dict[Tuple, Any] = {}
+        #: memoised auto_format decisions
+        self._formats: Dict[Tuple, str] = {}
+
+    @property
+    def num_runners(self) -> int:
+        return len(self._runners)
+
+    def crsd(self, mrows: int):
+        """The CRSD build for ``mrows`` (or ``None`` if not built)."""
+        return self._crsd.get(int(mrows))
+
+
+class PlanCache:
+    """Bounded LRU cache of :class:`PlanEntry` objects.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of matrix entries kept; the least recently used
+        entry (and all its prepared runners) is evicted beyond that.
+    """
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, PlanEntry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # entry management
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    @property
+    def fingerprints(self) -> Tuple[str, ...]:
+        """Resident fingerprints, least- to most-recently used."""
+        return tuple(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def entry(self, matrix) -> PlanEntry:
+        """The (possibly new) entry for ``matrix``, LRU-touched.
+
+        Entry creation itself is not counted as a hit or miss — only
+        prepared-artifact lookups (:meth:`runner`, :meth:`tune`,
+        :meth:`auto_format`) move the counters.
+        """
+        from repro.api import _as_coo
+        from repro.core.serialize import fingerprint as _fingerprint
+
+        fp = _fingerprint(matrix)
+        entry = self._entries.get(fp)
+        if entry is None:
+            entry = PlanEntry(fp, _as_coo(matrix))
+            self._entries[fp] = entry
+            self._evict_over_capacity()
+        else:
+            self._entries.move_to_end(fp)
+        return entry
+
+    def _evict_over_capacity(self) -> None:
+        while len(self._entries) > self.capacity:
+            fp, entry = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            self._event("plan_cache.evict", fingerprint=fp,
+                        runners=entry.num_runners)
+
+    # ------------------------------------------------------------------
+    # prepared artifacts
+    # ------------------------------------------------------------------
+    def runner(
+        self,
+        matrix,
+        *,
+        device: DeviceSpec = TESLA_C2050,
+        precision: str = "double",
+        mrows: int = 128,
+        use_local_memory: bool = True,
+        nvec: Optional[int] = None,
+    ):
+        """A *prepared* CRSD runner for ``matrix`` (cached).
+
+        ``nvec=None`` returns a single-vector
+        :class:`~repro.gpu_kernels.crsd_runner.CrsdSpMV`; an integer
+        returns the multi-vector
+        :class:`~repro.gpu_kernels.crsd_runner.CrsdSpMM` with that
+        batch width baked into its codelets.
+        """
+        from repro.core.crsd import CRSDMatrix
+
+        entry = self.entry(matrix)
+        if isinstance(matrix, CRSDMatrix) and matrix.mrows == int(mrows):
+            entry._crsd.setdefault(int(mrows), matrix)
+        return self.runner_for(
+            entry, device=device, precision=precision, mrows=mrows,
+            use_local_memory=use_local_memory, nvec=nvec)
+
+    def runner_for(
+        self,
+        entry: PlanEntry,
+        *,
+        device: DeviceSpec = TESLA_C2050,
+        precision: str = "double",
+        mrows: int = 128,
+        use_local_memory: bool = True,
+        nvec: Optional[int] = None,
+    ):
+        """:meth:`runner` for an already-resolved entry (the serving
+        engine's hot path — no re-fingerprinting per launch)."""
+        from repro.core.crsd import CRSDMatrix, compatible_wavefront
+        from repro.gpu_kernels.crsd_runner import CrsdSpMM, CrsdSpMV
+
+        key = (device, precision, bool(use_local_memory),
+               int(mrows), None if nvec is None else int(nvec))
+        runner = entry._runners.get(key)
+        if runner is not None:
+            self._hit("runner", entry.fingerprint, nvec=nvec)
+            return runner
+        self._miss("runner", entry.fingerprint, nvec=nvec)
+        crsd = entry._crsd.get(int(mrows))
+        if crsd is None:
+            crsd = CRSDMatrix.from_coo(
+                entry.coo, mrows=mrows,
+                wavefront_size=compatible_wavefront(mrows))
+            entry._crsd[int(mrows)] = crsd
+        if nvec is None:
+            runner = CrsdSpMV(crsd, device=device, precision=precision,
+                              use_local_memory=use_local_memory)
+        else:
+            runner = CrsdSpMM(crsd, nvec=int(nvec), device=device,
+                              precision=precision)
+        runner.prepare()
+        entry._runners[key] = runner
+        return runner
+
+    def tune(self, matrix, **kwargs):
+        """Memoised :func:`repro.core.autotune.tune` for ``matrix``.
+
+        The kwargs (grids, precision, ``fast``, ...) are part of the
+        memo key, so different tuning requests coexist; a repeated
+        request is served from the cache instead of re-running the
+        whole grid search.
+        """
+        from repro.core.autotune import tune as _tune
+
+        entry = self.entry(matrix)
+        key = tuple(sorted(
+            (k, tuple(v) if isinstance(v, (list, tuple)) else v)
+            for k, v in kwargs.items()))
+        result = entry._tunes.get(key)
+        if result is not None:
+            self._hit("tune", entry.fingerprint)
+            return result
+        self._miss("tune", entry.fingerprint)
+        result = _tune(entry.coo, **kwargs)
+        entry._tunes[key] = result
+        return result
+
+    def auto_format(self, matrix, precision: str = "double",
+                    device: DeviceSpec = TESLA_C2050,
+                    mrows: int = 128) -> str:
+        """Memoised :func:`repro.api.auto_format` decision."""
+        from repro.api import _auto_format_impl as _auto_format
+
+        entry = self.entry(matrix)
+        key = (device, precision, int(mrows))
+        fmt = entry._formats.get(key)
+        if fmt is not None:
+            self._hit("auto_format", entry.fingerprint)
+            return fmt
+        self._miss("auto_format", entry.fingerprint)
+        fmt = _auto_format(entry.coo, precision, device, mrows)
+        entry._formats[key] = fmt
+        return fmt
+
+    # ------------------------------------------------------------------
+    # counters + observation
+    # ------------------------------------------------------------------
+    def _hit(self, kind: str, fingerprint: str, **attrs) -> None:
+        self.stats.hits += 1
+        self._event(f"plan_cache.hit.{kind}", fingerprint=fingerprint,
+                    **attrs)
+
+    def _miss(self, kind: str, fingerprint: str, **attrs) -> None:
+        self.stats.misses += 1
+        self._event(f"plan_cache.miss.{kind}", fingerprint=fingerprint,
+                    **attrs)
+
+    @staticmethod
+    def _event(name: str, **attrs) -> None:
+        sess = _obs.ACTIVE
+        if sess is not None:
+            sess.record_event(name, category="serve", **attrs)
+
+
+#: the process-wide default cache (``repro.api.auto_format`` and
+#: ``repro tune`` consult it so in-session repeats never re-prepare)
+_DEFAULT: Optional[PlanCache] = None
+
+#: capacity of the default cache
+DEFAULT_CAPACITY = 16
+
+
+def default_cache() -> PlanCache:
+    """The process-wide :class:`PlanCache` (created on first use)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = PlanCache(capacity=DEFAULT_CAPACITY)
+    return _DEFAULT
+
+
+def reset_default_cache() -> None:
+    """Drop the process-wide cache (tests; memory pressure)."""
+    global _DEFAULT
+    _DEFAULT = None

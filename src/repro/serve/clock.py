@@ -1,0 +1,56 @@
+"""The serving layer's deterministic simulated clock.
+
+The whole serving stack — arrivals, batching delays, service times,
+deadlines — runs on *simulated* seconds, the same philosophy as the
+resilience layer's backoff accounting: time is a cost-model quantity
+that is summed, never slept.  No wall clock is ever consulted, so a
+fixed-seed load-generation run is byte-reproducible.
+
+:class:`SimulatedClock` is a monotonic cursor; the serving engine's
+discrete-event loop advances it to the next interesting instant
+(arrival, batch-delay expiry, device-free).  :data:`FOREVER` is the
+"no such event" sentinel the loop compares against.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimulatedClock", "FOREVER"]
+
+#: sentinel event time meaning "never" (compares greater than any real
+#: simulated instant)
+FOREVER = float("inf")
+
+
+class SimulatedClock:
+    """A monotonic simulated-time cursor (seconds).
+
+    ``advance_to`` moves the cursor forward; moving it backwards is a
+    programming error in the event loop and raises immediately rather
+    than silently reordering history.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """The current simulated time, in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the cursor to ``t`` (must not be in the past)."""
+        if t < self._now:
+            raise ValueError(
+                f"simulated clock cannot run backwards: now={self._now!r}, "
+                f"requested {t!r}")
+        self._now = float(t)
+        return self._now
+
+    def advance_by(self, dt: float) -> float:
+        """Move the cursor forward by ``dt`` seconds (``dt >= 0``)."""
+        if dt < 0:
+            raise ValueError(f"negative time step {dt!r}")
+        return self.advance_to(self._now + dt)
+
+    def __repr__(self) -> str:
+        return f"<SimulatedClock t={self._now:.6f}s>"

@@ -1,0 +1,374 @@
+"""The serving engine: a discrete-event loop over the simulated device.
+
+Ties the subsystem together: arrivals pass the
+:class:`~repro.serve.admission.AdmissionController`, wait in the
+:class:`~repro.serve.batcher.MicroBatcher`, and execute on the
+simulated runtime through the
+:class:`~repro.serve.cache.PlanCache` — same-matrix groups as one
+:class:`~repro.gpu_kernels.crsd_runner.CrsdSpMM` launch, small groups
+as per-request SpMV, resilience-routed requests individually through
+the degradation ladder.
+
+Time is fully simulated (:mod:`repro.serve.clock`): the device is a
+single resource that is busy for the cost-model-predicted duration of
+each launch, arrivals queue while it is busy, and queue pressure is
+what makes batches form — exactly the dynamics of a real serving
+stack, but deterministic and byte-reproducible per seed.
+
+Usage (the ``repro.serve_session()`` facade wraps exactly this)::
+
+    engine = ServeEngine(batch=BatchConfig(max_batch=16))
+    engine.submit(A, x1)
+    engine.submit(A, x2)            # same matrix: will coalesce
+    results = engine.run()          # drain the stream
+    engine.stats()                  # histogram, cache + queue counters
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.recorder import maybe_span
+from repro.ocl.device import DeviceSpec, TESLA_C2050
+from repro.perf.costmodel import predict_gpu_time
+from repro.serve.admission import AdmissionController, AdmissionPolicy
+from repro.serve.batcher import BatchConfig, MicroBatcher, Request
+from repro.serve.cache import PlanCache
+from repro.serve.clock import FOREVER, SimulatedClock
+
+__all__ = ["ServeEngine", "ServedResult"]
+
+
+@dataclass
+class ServedResult:
+    """Terminal record of one request.
+
+    ``status`` is one of ``served`` / ``rejected`` / ``shed`` /
+    ``expired``; timing fields are simulated seconds and only
+    meaningful for served requests (``latency_s`` is finish − arrival,
+    including queueing and batching delay).
+    """
+
+    request_id: int
+    fingerprint: str
+    status: str
+    arrival_s: float
+    start_s: float = 0.0
+    finish_s: float = 0.0
+    latency_s: float = 0.0
+    batch_size: int = 0
+    batched: bool = False
+    deadline_met: Optional[bool] = None
+    y: Optional[np.ndarray] = None
+    resilience: Optional[Any] = None
+
+    @property
+    def served(self) -> bool:
+        return self.status == "served"
+
+
+class ServeEngine:
+    """Deterministic serving of an SpMV request stream.
+
+    Parameters
+    ----------
+    device / precision / mrows / use_local_memory:
+        The execution configuration every served request shares.
+    batch / admission:
+        The :class:`~repro.serve.batcher.BatchConfig` and
+        :class:`~repro.serve.admission.AdmissionPolicy`.
+    cache:
+        A :class:`~repro.serve.cache.PlanCache` to share across
+        engines; by default each engine owns one.
+    prepare_cost_s:
+        Simulated seconds charged to the device the first time a
+        (matrix, nvec) codelet is prepared — the cache's economics made
+        visible in the latency numbers.  Defaults to 0 so micro-batching
+        effects can be studied in isolation.
+    size_scale:
+        Problem-scale factor forwarded to the cost model (suite
+        matrices generated at ``scale`` should pass the same value).
+    keep_y:
+        Store each served ``y`` on its result (turn off for large
+        load-generation sweeps where only the timing matters).
+    """
+
+    def __init__(
+        self,
+        *,
+        device: DeviceSpec = TESLA_C2050,
+        precision: str = "double",
+        mrows: int = 128,
+        use_local_memory: bool = True,
+        batch: Optional[BatchConfig] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        cache: Optional[PlanCache] = None,
+        prepare_cost_s: float = 0.0,
+        size_scale: float = 1.0,
+        keep_y: bool = True,
+    ):
+        self.device = device
+        self.precision = precision
+        self.mrows = int(mrows)
+        self.use_local_memory = bool(use_local_memory)
+        self.batch_config = batch or BatchConfig()
+        self.cache = cache if cache is not None else PlanCache()
+        self.controller = AdmissionController(admission or AdmissionPolicy())
+        self.clock = SimulatedClock()
+        self.batcher = MicroBatcher(self.batch_config)
+        self.prepare_cost_s = float(prepare_cost_s)
+        self.size_scale = float(size_scale)
+        self.keep_y = bool(keep_y)
+
+        self._arrivals: List[Tuple[float, int, Request]] = []
+        self._next_id = 0
+        #: SpMM launch sizes -> count (per-request-SpMV launches under
+        #: size 1)
+        self.batch_histogram: Dict[int, int] = {}
+        self.spmm_launches = 0
+        self.spmv_launches = 0
+        #: summed KernelTrace counters over every launch this engine ran
+        self.counter_totals: Dict[str, int] = {}
+        self.results: List[ServedResult] = []
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        matrix,
+        x: np.ndarray,
+        *,
+        at: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        resilience=None,
+    ) -> int:
+        """Enqueue one request; returns its id.
+
+        ``at`` is the simulated arrival instant (default: the current
+        clock — submissions before :meth:`run` arrive together at 0).
+        ``deadline_s`` is *relative* to the arrival.  ``resilience`` (a
+        :class:`repro.resilience.Policy` or ``True``) routes this
+        request through the degradation ladder, unbatched.  Admission
+        control is applied at the arrival instant, inside :meth:`run`.
+        """
+        from repro.resilience.policy import Policy
+        from repro.validation import validate_vector
+
+        entry = self.cache.entry(matrix)
+        x = np.ascontiguousarray(
+            validate_vector(x, entry.coo.ncols), dtype=np.float64)
+        arrival = self.clock.now if at is None else max(float(at),
+                                                       self.clock.now)
+        if resilience is True:
+            resilience = Policy()
+        rid = self._next_id
+        self._next_id += 1
+        req = Request(
+            id=rid,
+            key=(entry.fingerprint, self.precision),
+            entry=entry,
+            x=x,
+            arrival_s=arrival,
+            deadline_s=None if deadline_s is None
+            else arrival + float(deadline_s),
+            resilience=resilience,
+            batchable=resilience is None,
+        )
+        self._arrivals.append((arrival, rid, req))
+        return rid
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def run(self) -> List[ServedResult]:
+        """Drain every submitted arrival; returns this drain's results
+        in completion order (also appended to :attr:`results`)."""
+        arrivals = sorted(self._arrivals, key=lambda a: (a[0], a[1]))
+        self._arrivals = []
+        drained: List[ServedResult] = []
+        i, n = 0, len(arrivals)
+        busy_until = self.clock.now
+        with maybe_span("serve.run", "serve", requests=n):
+            while i < n or self.batcher.depth:
+                now = self.clock.now
+                while i < n and arrivals[i][0] <= now:
+                    self._admit(arrivals[i][2], drained)
+                    i += 1
+                for req in self.batcher.drain_expired(now):
+                    self.controller.record_expired()
+                    drained.append(self._terminal(req, "expired"))
+                if now >= busy_until and self.batcher.depth:
+                    group = self.batcher.form_batch(now, flush=(i >= n))
+                    if group is not None:
+                        busy_until = self._execute(group, now, drained)
+                        continue
+                t_next = FOREVER
+                if i < n:
+                    t_next = min(t_next, arrivals[i][0])
+                if self.batcher.depth:
+                    if now < busy_until:
+                        t_next = min(t_next, busy_until)
+                    else:
+                        t_next = min(t_next,
+                                     self.batcher.next_forced_launch_s())
+                if t_next is FOREVER:  # nothing left to wait for
+                    break
+                self.clock.advance_to(max(t_next, now))
+        self.results.extend(drained)
+        return drained
+
+    # ------------------------------------------------------------------
+    def _admit(self, req: Request, drained: List[ServedResult]) -> None:
+        verdict = self.controller.admit(self.batcher.depth)
+        if verdict == "reject":
+            drained.append(self._terminal(req, "rejected"))
+            return
+        if verdict == "shed-oldest":
+            victim = self.batcher.shed_oldest()
+            drained.append(self._terminal(victim, "shed"))
+        self.batcher.push(req)
+
+    def _terminal(self, req: Request, status: str) -> ServedResult:
+        return ServedResult(
+            request_id=req.id, fingerprint=req.key[0], status=status,
+            arrival_s=req.arrival_s)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _execute(self, group: List[Request], now: float,
+                 drained: List[ServedResult]) -> float:
+        """Run one launch group starting at ``now``; returns the
+        simulated instant the device frees."""
+        if group[0].resilience is not None:
+            finish = self._execute_resilient(group[0], now, drained)
+        elif len(group) >= self.batch_config.min_spmm:
+            finish = self._execute_spmm(group, now, drained)
+        else:
+            finish = self._execute_spmv(group, now, drained)
+        return finish
+
+    def _service_seconds(self, trace, crsd, misses: int) -> float:
+        launches = 2 if crsd.num_scatter_rows else 1
+        seconds = predict_gpu_time(
+            trace, self.device, self.precision, num_launches=launches,
+            size_scale=self.size_scale).total
+        return seconds + misses * self.prepare_cost_s
+
+    def _account(self, trace) -> None:
+        for k, v in dataclasses.asdict(trace).items():
+            self.counter_totals[k] = self.counter_totals.get(k, 0) + v
+
+    def _execute_spmm(self, group: List[Request], now: float,
+                      drained: List[ServedResult]) -> float:
+        k = len(group)
+        misses0 = self.cache.stats.misses
+        runner = self.cache.runner_for(
+            group[0].entry, device=self.device, precision=self.precision,
+            mrows=self.mrows, use_local_memory=self.use_local_memory,
+            nvec=k)
+        X = np.ascontiguousarray(np.stack([r.x for r in group], axis=1))
+        with maybe_span("serve.batch", "serve", size=k,
+                        fingerprint=group[0].key[0]):
+            run = runner.run(X, trace=True)
+        self._account(run.trace)
+        service = self._service_seconds(
+            run.trace, runner.matrix, self.cache.stats.misses - misses0)
+        finish = now + service
+        self.spmm_launches += 1
+        self.batch_histogram[k] = self.batch_histogram.get(k, 0) + 1
+        for j, req in enumerate(group):
+            drained.append(self._served(
+                req, now, finish, batch_size=k, batched=True,
+                y=run.y[:, j].copy() if self.keep_y else None))
+        return finish
+
+    def _execute_spmv(self, group: List[Request], now: float,
+                      drained: List[ServedResult]) -> float:
+        t = now
+        for req in group:
+            misses0 = self.cache.stats.misses
+            runner = self.cache.runner_for(
+                req.entry, device=self.device, precision=self.precision,
+                mrows=self.mrows, use_local_memory=self.use_local_memory)
+            with maybe_span("serve.single", "serve",
+                            fingerprint=req.key[0]):
+                run = runner.run(req.x, trace=True)
+            self._account(run.trace)
+            service = self._service_seconds(
+                run.trace, runner.matrix,
+                self.cache.stats.misses - misses0)
+            start, t = t, t + service
+            self.spmv_launches += 1
+            self.batch_histogram[1] = self.batch_histogram.get(1, 0) + 1
+            drained.append(self._served(
+                req, start, t, batch_size=1, batched=False,
+                y=run.y.copy() if self.keep_y else None))
+        return t
+
+    def _execute_resilient(self, req: Request, now: float,
+                           drained: List[ServedResult]) -> float:
+        from repro.resilience.engine import resilient_spmv
+
+        with maybe_span("serve.resilient", "serve", fingerprint=req.key[0]):
+            run = resilient_spmv(
+                req.entry.coo, req.x, "crsd", device=self.device,
+                precision=self.precision, mrows=self.mrows,
+                use_local_memory=self.use_local_memory,
+                policy=req.resilience, trace=True)
+        self._account(run.trace)
+        crsd_like = req.entry.crsd(self.mrows)
+        launches = 2 if (crsd_like is not None
+                         and crsd_like.num_scatter_rows) else 1
+        seconds = predict_gpu_time(
+            run.trace, self.device, self.precision, num_launches=launches,
+            size_scale=self.size_scale).total
+        report = run.resilience
+        if report is not None:
+            seconds += report.total_backoff_s
+        finish = now + seconds
+        self.spmv_launches += 1
+        self.batch_histogram[1] = self.batch_histogram.get(1, 0) + 1
+        drained.append(self._served(
+            req, now, finish, batch_size=1, batched=False,
+            y=run.y.copy() if self.keep_y else None,
+            resilience=report))
+        return finish
+
+    def _served(self, req: Request, start: float, finish: float, *,
+                batch_size: int, batched: bool, y, resilience=None
+                ) -> ServedResult:
+        met = None
+        if req.deadline_s is not None:
+            met = finish <= req.deadline_s
+            if not met:
+                self.controller.record_deadline_miss()
+        return ServedResult(
+            request_id=req.id, fingerprint=req.key[0], status="served",
+            arrival_s=req.arrival_s, start_s=start, finish_s=finish,
+            latency_s=finish - req.arrival_s, batch_size=batch_size,
+            batched=batched, deadline_met=met, y=y, resilience=resilience)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Queue, batching and cache counters of everything run so
+        far (JSON-safe)."""
+        return {
+            "clock_s": self.clock.now,
+            "admission": self.controller.to_dict(),
+            "batching": {
+                "max_batch": self.batch_config.max_batch,
+                "max_delay_s": self.batch_config.max_delay_s,
+                "min_spmm": self.batch_config.min_spmm,
+                "spmm_launches": self.spmm_launches,
+                "spmv_launches": self.spmv_launches,
+                "histogram": {str(k): v for k, v in
+                              sorted(self.batch_histogram.items())},
+            },
+            "cache": self.cache.stats.to_dict(),
+        }

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["InputValidationError", "validate_matrix", "validate_vector"]
+__all__ = ["InputValidationError", "validate_matrix", "validate_vector",
+           "validate_batch"]
 
 
 class InputValidationError(ValueError):
@@ -42,6 +43,46 @@ def validate_vector(x, length: int, name: str = "x") -> np.ndarray:
     if not arr.flags.c_contiguous:
         raise InputValidationError(
             f"{name} is not C-contiguous (e.g. a strided slice); pass "
+            f"np.ascontiguousarray({name})")
+    if arr.dtype.kind == "f" and not np.isfinite(arr).all():
+        bad = int(np.count_nonzero(~np.isfinite(arr)))
+        raise InputValidationError(
+            f"{name} contains {bad} non-finite (NaN/Inf) entries")
+    return arr
+
+
+def validate_batch(X, ncols: int, nvec=None, name: str = "X") -> np.ndarray:
+    """Validate a batched multi-vector right-hand side and return it.
+
+    The SpMM entry points (:class:`~repro.gpu_kernels.crsd_runner.CrsdSpMM`,
+    the serving layer's MicroBatcher) take ``X`` of shape
+    ``(ncols, nvec)`` — one column per right-hand side.  Rejects, with
+    the same typed :class:`InputValidationError` the 1-D path raises:
+    non-numeric or complex dtypes, wrong dimensionality, a wrong row
+    count, a wrong column count (when ``nvec`` is given), zero columns,
+    non-contiguous layouts (neither C- nor F-contiguous — a strided
+    slice), and NaN/Inf entries.  Python nested sequences are converted
+    first, so lists of rows remain accepted.
+    """
+    arr = np.asarray(X)
+    if arr.dtype.kind not in "fiu":
+        raise InputValidationError(
+            f"{name} has unsupported dtype {arr.dtype}; expected a real "
+            "numeric dtype (float/int)")
+    if arr.ndim != 2:
+        raise InputValidationError(
+            f"{name} must be 2-D (ncols, nvec), got shape {arr.shape}")
+    if arr.shape[0] != ncols:
+        raise InputValidationError(
+            f"{name} has {arr.shape[0]} rows, expected ncols={ncols}")
+    if arr.shape[1] == 0:
+        raise InputValidationError(f"{name} has zero columns")
+    if nvec is not None and arr.shape[1] != nvec:
+        raise InputValidationError(
+            f"{name} has {arr.shape[1]} columns, expected nvec={nvec}")
+    if not (arr.flags.c_contiguous or arr.flags.f_contiguous):
+        raise InputValidationError(
+            f"{name} is not contiguous (e.g. a strided slice); pass "
             f"np.ascontiguousarray({name})")
     if arr.dtype.kind == "f" and not np.isfinite(arr).all():
         bad = int(np.count_nonzero(~np.isfinite(arr)))

@@ -1,0 +1,206 @@
+"""Admission control, micro-batching decisions, the simulated clock."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.serve import (
+    AdmissionController,
+    AdmissionPolicy,
+    BatchConfig,
+    MicroBatcher,
+    Request,
+    ServeOverloaded,
+    SimulatedClock,
+    serve_session,
+)
+from repro.serve.clock import FOREVER
+from tests.conftest import random_diagonal_matrix
+
+
+@pytest.fixture
+def coo():
+    return random_diagonal_matrix(np.random.default_rng(5), n=64)
+
+
+def req(i, at=0.0, key=("fp", "double"), deadline=None, batchable=True):
+    return Request(id=i, key=key, entry=None, x=None, arrival_s=at,
+                   deadline_s=deadline, batchable=batchable)
+
+
+class TestClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimulatedClock()
+        assert clock.now == 0.0
+        clock.advance_to(1.5)
+        clock.advance_by(0.5)
+        assert clock.now == 2.0
+
+    def test_never_runs_backwards(self):
+        clock = SimulatedClock()
+        clock.advance_to(1.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(0.5)
+
+
+class TestAdmissionController:
+    def test_accepts_below_bound(self):
+        c = AdmissionController(AdmissionPolicy(max_queue_depth=2))
+        assert c.admit(depth=1) == "accept"
+        assert c.accepted == 1
+
+    def test_reject_new_at_bound(self):
+        c = AdmissionController(AdmissionPolicy(max_queue_depth=2))
+        assert c.admit(depth=2) == "reject"
+        assert c.rejected == 1
+
+    def test_drop_oldest_at_bound(self):
+        c = AdmissionController(
+            AdmissionPolicy(max_queue_depth=2, overflow="drop-oldest"))
+        assert c.admit(depth=2) == "shed-oldest"
+        assert c.shed == 1 and c.accepted == 1
+
+    def test_typed_overload_error(self):
+        c = AdmissionController(AdmissionPolicy(max_queue_depth=4))
+        err = c.overloaded_error(depth=4)
+        assert isinstance(err, ServeOverloaded)
+        assert isinstance(err, RuntimeError)
+        assert err.depth == 4 and err.max_depth == 4
+
+    def test_policy_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(overflow="panic")
+
+
+class TestMicroBatcher:
+    def test_waits_until_full_or_impatient(self):
+        b = MicroBatcher(BatchConfig(max_batch=3, max_delay_s=1.0))
+        b.push(req(0, at=0.0))
+        b.push(req(1, at=0.1))
+        assert b.form_batch(now=0.2) is None          # keep filling
+        b.push(req(2, at=0.3))
+        group = b.form_batch(now=0.3)                 # full
+        assert [r.id for r in group] == [0, 1, 2]
+        assert b.depth == 0
+
+    def test_head_patience_forces_launch(self):
+        b = MicroBatcher(BatchConfig(max_batch=8, max_delay_s=0.5))
+        b.push(req(0, at=0.0))
+        assert b.form_batch(now=0.4) is None
+        assert b.next_forced_launch_s() == pytest.approx(0.5)
+        group = b.form_batch(now=0.5)
+        assert [r.id for r in group] == [0]
+
+    def test_flush_launches_partial_batches(self):
+        b = MicroBatcher(BatchConfig(max_batch=8, max_delay_s=10.0))
+        b.push(req(0))
+        b.push(req(1))
+        assert b.form_batch(now=0.0) is None
+        assert len(b.form_batch(now=0.0, flush=True)) == 2
+
+    def test_only_same_key_coalesces(self):
+        b = MicroBatcher(BatchConfig(max_batch=8))
+        b.push(req(0, key=("a", "double")))
+        b.push(req(1, key=("b", "double")))
+        b.push(req(2, key=("a", "double")))
+        group = b.form_batch(now=0.0, flush=True)
+        assert [r.id for r in group] == [0, 2]
+        assert b.depth == 1                           # b's request waits
+
+    def test_non_batchable_head_runs_solo(self):
+        b = MicroBatcher(BatchConfig(max_batch=8))
+        b.push(req(0, batchable=False))
+        b.push(req(1))
+        assert b.next_forced_launch_s() == 0.0
+        group = b.form_batch(now=0.0)
+        assert [r.id for r in group] == [0]
+        assert b.depth == 1
+
+    def test_drain_expired(self):
+        b = MicroBatcher(BatchConfig())
+        b.push(req(0, deadline=0.5))
+        b.push(req(1, deadline=2.0))
+        b.push(req(2))
+        dead = b.drain_expired(now=1.0)
+        assert [r.id for r in dead] == [0]
+        assert b.depth == 2
+
+    def test_empty_queue_never_forces(self):
+        b = MicroBatcher(BatchConfig())
+        assert b.next_forced_launch_s() is FOREVER
+        assert b.form_batch(now=0.0, flush=True) is None
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            BatchConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchConfig(max_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            BatchConfig(min_spmm=1)
+
+
+class TestEnginePolicies:
+    def test_reject_new_overflow(self, coo):
+        session = serve_session(max_queue_depth=4, max_delay_s=1.0)
+        rng = np.random.default_rng(0)
+        for _ in range(8):  # all arrive at t=0, device busy from launch 1
+            session.submit(coo, rng.standard_normal(coo.ncols))
+        results = session.run()
+        by_status = {}
+        for r in results:
+            by_status.setdefault(r.status, []).append(r)
+        assert len(by_status.get("rejected", [])) == 4
+        assert len(by_status.get("served", [])) == 4
+        assert session.controller.rejected == 4
+
+    def test_drop_oldest_overflow(self, coo):
+        session = serve_session(max_queue_depth=4, overflow="drop-oldest",
+                                max_delay_s=1.0)
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            session.submit(coo, rng.standard_normal(coo.ncols))
+        results = session.run()
+        shed = [r for r in results if r.status == "shed"]
+        served = [r for r in results if r.served]
+        assert len(shed) == 4 and len(served) == 4
+        # freshest-work-wins: the *oldest* submissions were shed
+        assert sorted(r.request_id for r in shed) == [0, 1, 2, 3]
+
+    def test_expired_requests_never_launch(self, coo):
+        session = serve_session(max_batch=2, min_spmm=2, max_delay_s=0.0)
+        rng = np.random.default_rng(0)
+        session.submit(coo, rng.standard_normal(coo.ncols))  # occupies device
+        # arrives while the device is busy, with a deadline far shorter
+        # than the remaining service time of the first launch
+        session.submit(coo, rng.standard_normal(coo.ncols), at=1e-9,
+                       deadline_s=1e-12)
+        results = session.run()
+        statuses = {r.request_id: r.status for r in results}
+        assert statuses[0] == "served"
+        assert statuses[1] == "expired"
+        assert session.controller.expired == 1
+
+    def test_deadline_miss_accounting(self, coo):
+        session = serve_session()
+        rng = np.random.default_rng(0)
+        session.submit(coo, rng.standard_normal(coo.ncols), deadline_s=10.0)
+        ok = session.run()[0]
+        assert ok.deadline_met is True
+        assert session.controller.deadline_misses == 0
+
+    def test_resilient_request_served_solo(self, coo):
+        session = serve_session(max_batch=8, max_delay_s=1.0)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            session.submit(coo, rng.standard_normal(coo.ncols))
+        x_res = rng.standard_normal(coo.ncols)
+        session.submit(coo, x_res, resilience=repro.Policy())
+        results = session.run()
+        resilient = [r for r in results if r.resilience is not None]
+        assert len(resilient) == 1
+        assert resilient[0].batched is False
+        assert resilient[0].resilience.served_rung == "crsd"
+        assert np.allclose(resilient[0].y, coo.matvec(x_res))
+        assert all(r.served for r in results)

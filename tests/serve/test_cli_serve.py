@@ -1,0 +1,77 @@
+"""CLI: ``repro serve`` / ``repro loadgen`` and the cached ``tune``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serve.cache import default_cache, reset_default_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_cache():
+    reset_default_cache()
+    yield
+    reset_default_cache()
+
+
+class TestServeCommand:
+    def test_serve_runs(self, capsys):
+        assert main(["serve", "kim1", "--scale", "0.02",
+                     "--requests", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "served 8/8" in out
+        assert "latency p50" in out
+
+    def test_serve_json(self, capsys):
+        assert main(["serve", "kim1", "--scale", "0.02",
+                     "--requests", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["served"] == 8
+        assert payload["batching"]["spmm_launches"] >= 1
+
+    def test_serve_all_at_once(self, capsys):
+        assert main(["serve", "kim1", "--scale", "0.02", "--requests",
+                     "6", "--rate", "0", "--max-batch", "3"]) == 0
+        assert "served 6/6" in capsys.readouterr().out
+
+
+class TestLoadgenCommand:
+    ARGS = ["loadgen", "--scale", "0.02", "--requests", "16",
+            "--matrices", "kim1,wang3"]
+
+    def test_byte_reproducible_across_runs(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(self.ARGS + ["-o", str(a)]) == 0
+        assert main(self.ARGS + ["-o", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_stdout_report(self, capsys):
+        assert main(self.ARGS) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-serve-report/v1"
+        assert payload["requests"]["submitted"] == 16
+
+    def test_trajectory_flag(self, tmp_path, capsys):
+        traj = tmp_path / "BENCH_serve.json"
+        assert main(self.ARGS + ["--trajectory", str(traj)]) == 0
+        payload = json.loads(traj.read_text())
+        assert payload["schema"] == "repro-serve-trajectory/v1"
+        assert len(payload["entries"]) == 1
+
+    def test_trajectory_env(self, tmp_path, capsys, monkeypatch):
+        traj = tmp_path / "BENCH_serve.json"
+        monkeypatch.setenv("REPRO_SERVE_TRAJECTORY", str(traj))
+        assert main(self.ARGS) == 0
+        assert traj.exists()
+
+
+class TestTuneThroughCache:
+    def test_repeated_tune_hits_plan_cache(self, capsys):
+        args = ["tune", "kim1", "--scale", "0.01", "--fast"]
+        assert main(args) == 0
+        assert default_cache().stats.misses == 1
+        assert main(args) == 0
+        assert default_cache().stats.hits == 1
+        outs = capsys.readouterr().out.strip().splitlines()
+        assert outs[0] == outs[1]  # cached result prints identically

@@ -1,0 +1,79 @@
+"""Content fingerprints: stability, carrier-invariance, surfacing."""
+
+import numpy as np
+import pytest
+
+from repro.core.crsd import CRSDMatrix
+from repro.core.serialize import FINGERPRINT_LEN, fingerprint
+from repro.formats.coo import COOMatrix
+from tests.conftest import random_diagonal_matrix
+
+
+@pytest.fixture
+def coo():
+    rng = np.random.default_rng(11)
+    return random_diagonal_matrix(rng, n=96, scatter=3)
+
+
+class TestStability:
+    def test_deterministic(self, coo):
+        assert fingerprint(coo) == fingerprint(coo)
+
+    def test_hex_and_length(self, coo):
+        fp = fingerprint(coo)
+        assert len(fp) == FINGERPRINT_LEN
+        int(fp, 16)  # hex digits only
+
+    def test_distinct_matrices_distinct_fingerprints(self, coo):
+        other = random_diagonal_matrix(np.random.default_rng(12), n=96)
+        assert fingerprint(coo) != fingerprint(other)
+
+    def test_value_change_changes_fingerprint(self, coo):
+        vals = coo.vals.copy()
+        vals[0] += 1.0
+        bumped = COOMatrix(coo.rows, coo.cols, vals, coo.shape)
+        assert fingerprint(bumped) != fingerprint(coo)
+
+    def test_shape_is_part_of_identity(self):
+        a = COOMatrix(np.array([0]), np.array([0]), np.array([1.0]), (2, 2))
+        b = COOMatrix(np.array([0]), np.array([0]), np.array([1.0]), (3, 3))
+        assert fingerprint(a) != fingerprint(b)
+
+
+class TestCanonicalisation:
+    def test_entry_order_invariance(self, coo):
+        perm = np.random.default_rng(0).permutation(coo.nnz)
+        shuffled = COOMatrix(coo.rows[perm], coo.cols[perm],
+                             coo.vals[perm], coo.shape)
+        assert fingerprint(shuffled) == fingerprint(coo)
+
+    def test_duplicate_entry_order_invariance(self):
+        """COO duplicates sum in any submission order to the same
+        fingerprint — the satellite's canonicalisation requirement."""
+        rows = np.array([0, 1, 0, 1, 0])
+        cols = np.array([0, 1, 0, 1, 2])
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        a = COOMatrix(rows, cols, vals, (2, 3))
+        perm = [4, 2, 0, 3, 1]
+        b = COOMatrix(rows[perm], cols[perm], vals[perm], (2, 3))
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_carrier_invariance(self, coo):
+        """The same mathematical matrix fingerprinted as COO, CRSD or
+        dense lands on the same identity."""
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        assert fingerprint(crsd) == fingerprint(coo)
+        assert fingerprint(coo.todense()) == fingerprint(coo)
+
+
+class TestSurfacing:
+    def test_crsd_repr_carries_fingerprint(self, coo):
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        assert f"fp={fingerprint(coo)}" in repr(crsd)
+        assert crsd.fingerprint == fingerprint(coo)
+
+    def test_profile_meta_carries_fingerprint(self, coo):
+        from repro.obs.profiler import profile_matrix
+
+        report = profile_matrix(coo, "fp-test", executors=("batched",))
+        assert report.meta["fingerprint"] == fingerprint(coo)

@@ -1,0 +1,177 @@
+"""PlanCache: memoisation, LRU bounds, counters, obs integration."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.serialize import fingerprint
+from repro.serve.cache import PlanCache, default_cache, reset_default_cache
+from tests.conftest import random_diagonal_matrix
+
+
+def matrices(n, size=64):
+    return [random_diagonal_matrix(np.random.default_rng(100 + i), n=size)
+            for i in range(n)]
+
+
+@pytest.fixture
+def coo():
+    return matrices(1)[0]
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_cache():
+    reset_default_cache()
+    yield
+    reset_default_cache()
+
+
+class TestRunnerMemoisation:
+    def test_second_lookup_is_a_hit(self, coo):
+        cache = PlanCache()
+        r1 = cache.runner(coo, mrows=32)
+        r2 = cache.runner(coo, mrows=32)
+        assert r1 is r2
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_prepared_runner_returned(self, coo):
+        cache = PlanCache()
+        runner = cache.runner(coo, mrows=32)
+        x = np.random.default_rng(0).standard_normal(coo.ncols)
+        assert np.allclose(runner.run(x).y, coo.matvec(x))
+
+    def test_config_is_part_of_the_key(self, coo):
+        cache = PlanCache()
+        a = cache.runner(coo, mrows=32, precision="double")
+        b = cache.runner(coo, mrows=32, precision="single")
+        c = cache.runner(coo, mrows=32, nvec=4)
+        assert a is not b and a is not c
+        assert cache.stats.misses == 3
+
+    def test_crsd_build_shared_across_runners(self, coo):
+        """Different runner configs at one mrows share the CRSD build."""
+        cache = PlanCache()
+        a = cache.runner(coo, mrows=32)
+        b = cache.runner(coo, mrows=32, nvec=2)
+        assert a.matrix is b.matrix
+
+    def test_passed_crsd_is_adopted(self, coo):
+        from repro.core.crsd import CRSDMatrix
+
+        cache = PlanCache()
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        runner = cache.runner(crsd, mrows=32)
+        assert runner.matrix is crsd
+
+    def test_nvec_none_vs_one_are_distinct(self, coo):
+        from repro.gpu_kernels.crsd_runner import CrsdSpMM, CrsdSpMV
+
+        cache = PlanCache()
+        assert isinstance(cache.runner(coo, mrows=32), CrsdSpMV)
+        assert isinstance(cache.runner(coo, mrows=32, nvec=1), CrsdSpMM)
+
+
+class TestLRU:
+    def test_eviction_beyond_capacity(self):
+        ms = matrices(3, size=48)
+        cache = PlanCache(capacity=2)
+        for m in ms:
+            cache.entry(m)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert fingerprint(ms[0]) not in cache
+        assert fingerprint(ms[2]) in cache
+
+    def test_touch_refreshes_recency(self):
+        ms = matrices(3, size=48)
+        cache = PlanCache(capacity=2)
+        cache.entry(ms[0])
+        cache.entry(ms[1])
+        cache.entry(ms[0])          # ms[0] now most recent
+        cache.entry(ms[2])          # evicts ms[1]
+        assert fingerprint(ms[0]) in cache
+        assert fingerprint(ms[1]) not in cache
+
+    def test_eviction_drops_prepared_artifacts(self):
+        ms = matrices(2, size=48)
+        cache = PlanCache(capacity=1)
+        cache.runner(ms[0], mrows=32)
+        cache.runner(ms[1], mrows=32)
+        cache.runner(ms[0], mrows=32)  # re-prepared after eviction
+        assert cache.stats.misses == 3 and cache.stats.hits == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_hit_rate(self, coo):
+        cache = PlanCache()
+        assert cache.stats.hit_rate == 0.0
+        cache.runner(coo, mrows=32)
+        cache.runner(coo, mrows=32)
+        cache.runner(coo, mrows=32)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestTuneMemo:
+    def test_tune_memoised(self, coo, monkeypatch):
+        import repro.core.autotune as autotune
+
+        calls = []
+        real = autotune.tune
+
+        def counting(*a, **kw):
+            calls.append(1)
+            return real(*a, **kw)
+
+        monkeypatch.setattr(autotune, "tune", counting)
+        cache = PlanCache()
+        r1 = cache.tune(coo, fast=True)
+        r2 = cache.tune(coo, fast=True)
+        assert r1 is r2
+        assert len(calls) == 1
+
+    def test_distinct_kwargs_tune_separately(self, coo):
+        cache = PlanCache()
+        cache.tune(coo, fast=True)
+        cache.tune(coo, fast=True, mrows_grid=(64, 128))
+        assert cache.stats.misses == 2
+
+
+class TestAutoFormatMemo:
+    def test_facade_consults_default_cache(self, coo):
+        fmt1 = repro.auto_format(coo)
+        assert default_cache().stats.misses == 1
+        fmt2 = repro.auto_format(coo)
+        assert fmt1 == fmt2
+        assert default_cache().stats.hits == 1
+
+    def test_decision_matches_uncached(self, coo):
+        from repro.api import _auto_format_impl
+
+        assert repro.auto_format(coo) == _auto_format_impl(coo)
+
+    def test_reset_default_cache(self, coo):
+        repro.auto_format(coo)
+        first = default_cache()
+        reset_default_cache()
+        assert default_cache() is not first
+        assert default_cache().stats.lookups == 0
+
+
+class TestObsIntegration:
+    def test_events_emitted_under_session(self, coo):
+        cache = PlanCache(capacity=1)
+        with repro.observe() as sess:
+            cache.runner(coo, mrows=32)
+            cache.runner(coo, mrows=32)
+            cache.entry(matrices(1, size=48)[0])  # evicts coo's entry
+        names = [s.name for s in sess.spans]
+        assert "plan_cache.miss.runner" in names
+        assert "plan_cache.hit.runner" in names
+        assert "plan_cache.evict" in names
+
+    def test_no_session_no_events(self, coo):
+        cache = PlanCache()
+        cache.runner(coo, mrows=32)  # must not raise without a session
+        assert cache.stats.misses == 1

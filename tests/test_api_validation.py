@@ -6,6 +6,7 @@ import pytest
 import repro
 from repro.validation import (
     InputValidationError,
+    validate_batch,
     validate_matrix,
     validate_vector,
 )
@@ -62,6 +63,70 @@ class TestVectorValidation:
         assert issubclass(InputValidationError, ValueError)
         with pytest.raises(ValueError):
             validate_vector(np.zeros(3), 5)
+
+
+class TestBatchValidation:
+    """``validate_batch``: the multi-vector X of the SpMM/serving path."""
+
+    def test_accepts_well_formed(self, problem):
+        coo, _ = problem
+        X = np.random.default_rng(1).standard_normal((coo.ncols, 3))
+        assert validate_batch(X, coo.ncols) is X
+        assert validate_batch(X, coo.ncols, nvec=3) is X
+        # F-contiguous (column-major) batches are a legal device layout
+        validate_batch(np.asfortranarray(X), coo.ncols)
+
+    def test_rejects_wrong_rows(self, problem):
+        coo, _ = problem
+        with pytest.raises(InputValidationError, match="rows"):
+            validate_batch(np.zeros((coo.ncols - 1, 2)), coo.ncols)
+
+    def test_rejects_wrong_nvec(self, problem):
+        coo, _ = problem
+        with pytest.raises(InputValidationError, match="nvec"):
+            validate_batch(np.zeros((coo.ncols, 3)), coo.ncols, nvec=2)
+
+    def test_rejects_1d_and_zero_columns(self, problem):
+        coo, _ = problem
+        with pytest.raises(InputValidationError, match="2-D"):
+            validate_batch(np.zeros(coo.ncols), coo.ncols)
+        with pytest.raises(InputValidationError, match="zero columns"):
+            validate_batch(np.zeros((coo.ncols, 0)), coo.ncols)
+
+    def test_rejects_bad_dtype_and_non_finite(self, problem):
+        coo, _ = problem
+        with pytest.raises(InputValidationError, match="dtype"):
+            validate_batch(np.zeros((coo.ncols, 2), dtype=complex),
+                           coo.ncols)
+        bad = np.ones((coo.ncols, 2))
+        bad[3, 1] = np.nan
+        with pytest.raises(InputValidationError, match="non-finite"):
+            validate_batch(bad, coo.ncols)
+
+    def test_rejects_strided_slice(self, problem):
+        coo, _ = problem
+        wide = np.ones((coo.ncols, 6))
+        view = wide[:, ::2]
+        assert not (view.flags.c_contiguous or view.flags.f_contiguous)
+        with pytest.raises(InputValidationError, match="contiguous"):
+            validate_batch(view, coo.ncols)
+
+    def test_spmm_runner_routes_through_it(self, problem):
+        from repro.core.crsd import CRSDMatrix
+        from repro.gpu_kernels.crsd_runner import CrsdSpMM
+
+        coo, _ = problem
+        runner = CrsdSpMM(CRSDMatrix.from_coo(coo, mrows=32), nvec=2)
+        with pytest.raises(InputValidationError, match="nvec"):
+            runner.run(np.zeros((coo.ncols, 3)))
+        bad = np.ones((coo.ncols, 2))
+        bad[0, 0] = np.inf
+        with pytest.raises(InputValidationError, match="non-finite"):
+            runner.run(bad)
+
+    def test_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            validate_batch(np.zeros((3, 1)), 5)
 
 
 class TestMatrixValidation:
