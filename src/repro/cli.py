@@ -288,7 +288,9 @@ def cmd_serve(args) -> int:
     import json
 
     import repro
+    from repro.ocl.executor import executor_mode
 
+    executor_mode()  # surface a bad REPRO_EXECUTOR before the event loop
     coo, name = _load_matrix(args.matrix, args.scale)
     session = repro.serve_session(
         precision=args.precision, mrows=args.mrows,
@@ -335,12 +337,14 @@ def cmd_loadgen(args) -> int:
     ``REPRO_SERVE_TRAJECTORY`` (or ``--trajectory``) names a file, the
     report is also appended to that ``BENCH_serve.json`` history.
     """
+    from repro.ocl.executor import executor_mode
     from repro.serve import AdmissionPolicy, BatchConfig
     from repro.serve.loadgen import (
         LoadConfig, append_serve_trajectory, report_json, run_loadgen,
         trajectory_path,
     )
 
+    executor_mode()  # surface a bad REPRO_EXECUTOR before the event loop
     kwargs = {}
     if args.matrices:
         kwargs["matrices"] = tuple(args.matrices.split(","))

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Union
 
@@ -32,8 +33,52 @@ VERSION = 1
 #: byte layout below ever changes
 FINGERPRINT_DOMAIN = b"repro-matrix-fp/v1"
 
+#: domain tags of the pattern/value halves of the split fingerprint
+PATTERN_FINGERPRINT_DOMAIN = b"repro-matrix-fp-pattern/v1"
+VALUE_FINGERPRINT_DOMAIN = b"repro-matrix-fp-values/v1"
+
 #: hex digits of the (truncated) fingerprint
 FINGERPRINT_LEN = 16
+
+
+@dataclass(frozen=True)
+class MatrixFingerprints:
+    """The three content hashes of one matrix.
+
+    ``combined`` is the historical :func:`fingerprint` (the
+    backward-compatible cache key over shape + coordinates + values);
+    ``pattern`` hashes only shape + coordinates, so two matrices with
+    the same sparsity structure but different values share it (and can
+    share cached plans, codelets and fused callables); ``values``
+    hashes only the value array.  ``pattern`` + ``values`` together
+    identify the matrix exactly as ``combined`` does.
+    """
+
+    combined: str
+    pattern: str
+    values: str
+
+
+def fingerprints(matrix) -> MatrixFingerprints:
+    """All three content hashes of ``matrix`` in one canonicalisation
+    pass (see :func:`fingerprint` for the canonical form and the
+    accepted carrier formats)."""
+    from repro.api import _as_coo
+
+    coo = _as_coo(matrix)
+    shape = np.asarray([coo.nrows, coo.ncols], dtype=np.int64).tobytes()
+    rows = np.ascontiguousarray(coo.rows, dtype=np.int64).tobytes()
+    cols = np.ascontiguousarray(coo.cols, dtype=np.int64).tobytes()
+    vals = np.ascontiguousarray(coo.vals, dtype=np.float64).tobytes()
+    combined = hashlib.sha256(
+        FINGERPRINT_DOMAIN + shape + rows + cols + vals)
+    pattern = hashlib.sha256(
+        PATTERN_FINGERPRINT_DOMAIN + shape + rows + cols)
+    values = hashlib.sha256(VALUE_FINGERPRINT_DOMAIN + vals)
+    return MatrixFingerprints(
+        combined=combined.hexdigest()[:FINGERPRINT_LEN],
+        pattern=pattern.hexdigest()[:FINGERPRINT_LEN],
+        values=values.hexdigest()[:FINGERPRINT_LEN])
 
 
 def fingerprint(matrix) -> str:
@@ -51,16 +96,19 @@ def fingerprint(matrix) -> str:
     :class:`~repro.formats.base.SparseFormat`, a dense 2-D ndarray, or
     a scipy-style object with ``.tocoo()``.
     """
-    from repro.api import _as_coo
+    return fingerprints(matrix).combined
 
-    coo = _as_coo(matrix)
-    h = hashlib.sha256()
-    h.update(FINGERPRINT_DOMAIN)
-    h.update(np.asarray([coo.nrows, coo.ncols], dtype=np.int64).tobytes())
-    h.update(np.ascontiguousarray(coo.rows, dtype=np.int64).tobytes())
-    h.update(np.ascontiguousarray(coo.cols, dtype=np.int64).tobytes())
-    h.update(np.ascontiguousarray(coo.vals, dtype=np.float64).tobytes())
-    return h.hexdigest()[:FINGERPRINT_LEN]
+
+def pattern_fingerprint(matrix) -> str:
+    """Content hash of the sparsity *pattern* alone (shape +
+    coordinates, values excluded) — equal across same-pattern
+    matrices with different values."""
+    return fingerprints(matrix).pattern
+
+
+def value_fingerprint(matrix) -> str:
+    """Content hash of the canonical value array alone."""
+    return fingerprints(matrix).values
 
 
 def save_crsd(crsd: CRSDMatrix, path: Union[str, Path]) -> None:

@@ -69,7 +69,9 @@ class DiaSpMV(GPUSpMV):
                     ctx.flops(2 * int(m.sum()))
                 ctx.gstore(yb, np.clip(rows, 0, nrows - 1), acc, mask=in_rows)
 
-            do_launch = launch_batched if executor_mode() == "batched" else launch
+            # no fused path for DIA: anything but the per-group oracle
+            # runs through the batched engine
+            do_launch = launch if executor_mode() == "pergroup" else launch_batched
             tr = do_launch(kernel, self.groups_for_rows(nrows), local_size,
                            (data, offsets, xbuf, ybuf), self.device, trace)
             return SpMVRun(y=ybuf.to_host().copy(), trace=tr)

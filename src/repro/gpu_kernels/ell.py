@@ -65,7 +65,9 @@ class EllSpMV(GPUSpMV):
                     ctx.flops(2 * int(in_rows.sum()))
                 ctx.gstore(yb, safe_rows, acc, mask=in_rows)
 
-            do_launch = launch_batched if executor_mode() == "batched" else launch
+            # no fused path for ELL: anything but the per-group oracle
+            # runs through the batched engine
+            do_launch = launch if executor_mode() == "pergroup" else launch_batched
             tr = do_launch(kernel, self.groups_for_rows(nrows), local_size,
                            (indices, data, xbuf, ybuf), self.device, trace)
             return SpMVRun(y=ybuf.to_host().copy(), trace=tr)

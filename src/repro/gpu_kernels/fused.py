@@ -1,0 +1,424 @@
+"""Analyzer-certified fused execution of CRSD launches.
+
+The third execution engine (``REPRO_EXECUTOR=fused``) runs a whole
+CrsdSpMV/CrsdSpMM launch as a handful of whole-matrix NumPy
+expressions — one strided multiply-accumulate per diagonal of the dia
+phase, one gather-multiply per ELL column of the scatter phase —
+instead of simulating the kernel per work-group or per grid statement.
+That is only sound when the launch is *proven* well-behaved, so entry
+is gated on the PR 2 analyzer:
+
+- :func:`~repro.analyze.bounds.check_bounds` — every baked index
+  in-range, so the fused expressions can drop the per-lane guards;
+- :func:`~repro.analyze.localmem.check_localmem` — the AD staging
+  tiles are race-free and fit, so ``tile[lid + j]`` can be replaced by
+  the direct x window it provably holds;
+- :func:`~repro.analyze.batch_safety.check_batch_safety` — per-group
+  y write-sets disjoint (and scatter rows pairwise distinct), so the
+  whole launch can store with one vectorised assignment.
+
+When certification fails the caller silently falls back to the
+``batched`` engine; nothing here weakens correctness, it only removes
+simulation overhead from launches the prover already understands.
+
+The :class:`KernelTrace` is not measured but *synthesized*: the
+closed-form :func:`~repro.analyze.predict_trace` (asserted bit-equal
+to the dynamic trace on an L2-disabled device by
+``tests/analyze/test_static_trace.py``) provides every counter except
+L2 residency, and :func:`_l2_adjusted` replays the launch's exact
+segment streams — same program order, same group-major replay the
+batched engine's :meth:`BatchCtx.finalize` uses — through one
+:class:`~repro.ocl.memory.SegmentCache` to split load transactions
+into DRAM misses and ``l2_hits``.  The synthesized trace is computed
+once per runner and copied per run, so obs metrics, roofline
+derivation and serve's ``predict_gpu_time`` accounting are unchanged.
+
+:class:`FusedKernel` is deliberately **value-free**: it bakes only the
+plan and the scatter *index* arrays (pattern data) and takes the value
+buffers per call, so one compiled fused callable is shared across
+same-pattern matrices through the serve plan cache's pattern index.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.analyze.batch_safety import check_batch_safety
+from repro.analyze.bounds import check_bounds
+from repro.analyze.coalescing import predict_trace
+from repro.analyze.localmem import check_localmem
+from repro.analyze.model import (
+    GlobalAccess,
+    IndirectAccess,
+    KernelModel,
+    build_model,
+)
+from repro.analyze.report import AnalysisReport
+from repro.codegen.plan import KernelPlan
+from repro.ocl.device import DeviceSpec
+from repro.ocl.memory import SegmentCache
+from repro.ocl.trace import KernelTrace
+
+__all__ = ["FusedCertificate", "FusedKernel", "FusedState",
+           "certify_plan", "build_fused_state", "synthesize_trace"]
+
+#: kernel-name the fused engine reports to obs spans and fault hooks
+FUSED_KERNEL_NAME = "crsd_fused_kernel"
+
+
+# ----------------------------------------------------------------------
+# certification
+# ----------------------------------------------------------------------
+@dataclass
+class FusedCertificate:
+    """The provers' verdict on one plan (``ok`` gates fused entry)."""
+
+    ok: bool
+    reasons: Tuple[str, ...] = ()
+    model: Optional[KernelModel] = None
+    base_trace: Optional[KernelTrace] = None
+
+
+def certify_plan(
+    plan: KernelPlan,
+    device: DeviceSpec,
+    precision: str,
+    scatter_colval: Optional[np.ndarray] = None,
+    scatter_rowno: Optional[np.ndarray] = None,
+) -> FusedCertificate:
+    """Run the bounds, local-memory and write-disjointness provers.
+
+    The certificate carries the :class:`KernelModel` and the raw
+    closed-form trace so a passing plan pays for the analysis exactly
+    once.  Certification never raises for an *unprovable* plan — it
+    returns ``ok=False`` with the reasons — but a prover crash
+    propagates (the runner files an incident for that case).
+    """
+    model = build_model(plan, precision=precision,
+                        scatter_colval=scatter_colval,
+                        scatter_rowno=scatter_rowno)
+    report = AnalysisReport(plan=plan)
+    check_bounds(model, report)
+    check_localmem(model, report, device)
+    check_batch_safety(model, report)
+    reasons: List[str] = [str(f) for f in report.violations]
+    if plan.scatter.num_rows and report.batched_write_sets_disjoint is not True:
+        reasons.append(
+            "scatter write-set disjointness not proved: fused stores "
+            "would race")
+    base = predict_trace(model, device)
+    if base is None:
+        reasons.append(
+            "closed-form trace prediction unavailable (indirect access "
+            "without baked index data)")
+    ok = not reasons
+    return FusedCertificate(ok=ok, reasons=tuple(reasons), model=model,
+                            base_trace=base if ok else None)
+
+
+# ----------------------------------------------------------------------
+# the fused kernel (value-free: pattern baked, values per call)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _RegionExec:
+    """One region's fused dia phase, fully precomputed from the plan."""
+
+    slab_base: int
+    nnz_per_segment: int
+    nrs: int
+    mrows: int
+    start_row: int
+    #: served y elements: ``min(nrs * mrows, nrows - start_row)``
+    row_count: int
+    #: per member diagonal, in emission order: ``(x window start
+    #: relative to the padded x, dia_val diagonal slot)``
+    terms: Tuple[Tuple[int, int], ...]
+
+
+class FusedKernel:
+    """Whole-matrix execution of one certified CRSD plan.
+
+    Call signature: ``kernel(dia_val, scatter_val, x, y)`` over the
+    flat device-layout arrays (column-major for SpMM); ``y`` is written
+    in place, assumed pre-zeroed.  Only the plan and the scatter
+    *index* arrays are baked — the instance holds no matrix values and
+    is shared across same-pattern matrices.
+
+    The arithmetic reproduces the generated codelets bit-for-bit: each
+    diagonal contributes ``acc += v * x_window`` against a zero-padded
+    x (the codelets' masked loads also return 0, so both sides execute
+    the same IEEE operations in the same group/diagonal order), the
+    prover-certified prefix guard turns the y store into one contiguous
+    slice assignment, and the scatter phase overwrites its rows after
+    the dia phase exactly like the second launch does.
+    """
+
+    def __init__(self, plan: KernelPlan,
+                 scatter_colval: Optional[np.ndarray] = None,
+                 scatter_rowno: Optional[np.ndarray] = None):
+        self.plan = plan
+        pad_lo, pad_hi = 0, plan.ncols
+        regions: List[_RegionExec] = []
+        for r in plan.regions:
+            terms: List[Tuple[int, int]] = []
+            for g in r.groups:
+                staged = (plan.use_local_memory and plan.nvec == 1
+                          and g.kind == "AD")
+                for j in range(g.ndiags):
+                    # an AD tile provably holds the contiguous x window
+                    # starting at colv[0]; tile[lid + j] is the direct
+                    # load at colv[0] + j (the local-memory prover
+                    # certified exactly this)
+                    c = g.colv[0] + j if staged else g.colv[j]
+                    terms.append((c, g.d_first + j))
+                    pad_lo = min(pad_lo, c)
+                    pad_hi = max(pad_hi, c + r.nrs * r.mrows)
+            regions.append(_RegionExec(
+                slab_base=r.slab_base,
+                nnz_per_segment=r.nnz_per_segment,
+                nrs=r.nrs, mrows=r.mrows, start_row=r.start_row,
+                row_count=max(0, min(r.nrs * r.mrows,
+                                     plan.nrows - r.start_row)),
+                terms=tuple(terms)))
+        self._regions = tuple(regions)
+        self._pad_lo, self._pad_hi = pad_lo, pad_hi
+        if plan.scatter.num_rows:
+            colv = np.asarray(scatter_colval)
+            if colv.ndim == 2:  # host layout: transpose to device order
+                colv = np.ascontiguousarray(colv.T).ravel()
+            self._scol = colv.astype(np.int64, copy=False)
+            self._srow = np.asarray(scatter_rowno,
+                                    dtype=np.int64).ravel()
+        else:
+            self._scol = None
+            self._srow = None
+
+    # ------------------------------------------------------------------
+    def __call__(self, dia_val: np.ndarray, scatter_val: np.ndarray,
+                 x: np.ndarray, y: np.ndarray) -> None:
+        plan = self.plan
+        nvec, nrows, ncols = plan.nvec, plan.nrows, plan.ncols
+        if self._regions:
+            off = -self._pad_lo
+            xpad = np.zeros((nvec, self._pad_hi - self._pad_lo),
+                            dtype=x.dtype)
+            xpad[:, off:off + ncols] = x.reshape(nvec, ncols)
+            for r in self._regions:
+                m = r.mrows
+                span = r.nrs * m
+                slab = dia_val[r.slab_base:
+                               r.slab_base + r.nrs * r.nnz_per_segment]
+                slab = slab.reshape(r.nrs, r.nnz_per_segment)
+                accs = [np.zeros((r.nrs, m), dtype=x.dtype)
+                        for _ in range(nvec)]
+                for c, d in r.terms:
+                    v = slab[:, d * m:(d + 1) * m]
+                    for j in range(nvec):
+                        w = xpad[j, off + c:off + c + span]
+                        accs[j] += v * w.reshape(r.nrs, m)
+                for j in range(nvec):
+                    lo = j * nrows + r.start_row
+                    y[lo:lo + r.row_count] = \
+                        accs[j].ravel()[:r.row_count]
+        if self._srow is not None:
+            num = self._srow.size
+            xm = x.reshape(nvec, ncols)
+            accs = [np.zeros(num, dtype=x.dtype) for _ in range(nvec)]
+            for k in range(self.plan.scatter.width):
+                c = self._scol[k * num:(k + 1) * num]
+                v = scatter_val[k * num:(k + 1) * num]
+                for j in range(nvec):
+                    accs[j] += v * xm[j, c]
+            for j in range(nvec):
+                # rows pairwise distinct (certified): plain overwrite,
+                # after the dia phase, like the second launch
+                y[j * nrows + self._srow] = accs[j]
+
+
+# ----------------------------------------------------------------------
+# trace synthesis
+# ----------------------------------------------------------------------
+def _segment_streams(idx: np.ndarray, active: np.ndarray, itemsize: int,
+                     device: DeviceSpec) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-group transaction segment ids of one vectorised access.
+
+    ``idx``/``active`` are ``(num_groups, lanes)``; returns the
+    concatenated per-group segment streams plus group offsets, each
+    group's stream identical to what
+    :func:`~repro.ocl.memory.wavefront_segments` returns for its row —
+    the same pad-sort-dedup construction, vectorised over groups.
+    """
+    ngroups, lanes = idx.shape
+    w = device.wavefront_size
+    nwf = -(-lanes // w)
+    pad = nwf * w - lanes
+    seg = idx * itemsize // device.transaction_bytes
+    if pad:
+        seg = np.concatenate(
+            [seg, np.full((ngroups, pad), -1, dtype=np.int64)], axis=1)
+        active = np.concatenate(
+            [active, np.zeros((ngroups, pad), dtype=bool)], axis=1)
+    seg = np.where(active, seg, np.int64(-1)).reshape(ngroups, nwf, w)
+    seg_sorted = np.sort(seg, axis=2)
+    newseg = np.ones(seg_sorted.shape, dtype=bool)
+    newseg[:, :, 1:] = seg_sorted[:, :, 1:] != seg_sorted[:, :, :-1]
+    newseg &= seg_sorted >= 0
+    segments = seg_sorted[newseg]  # C order = (group, wavefront) order
+    counts = newseg.sum(axis=(1, 2))
+    offsets = np.zeros(ngroups + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return segments, offsets
+
+
+def _affine_streams(acc: GlobalAccess, model: KernelModel,
+                    device: DeviceSpec) -> Tuple[np.ndarray, np.ndarray]:
+    """Segment streams of an affine access over its ``(seg, lane)``
+    iteration space, guards and lane bound applied."""
+    segs = np.arange(acc.nsegs, dtype=np.int64).reshape(-1, 1)
+    lanes = np.arange(acc.lanes, dtype=np.int64)
+    idx = acc.base + acc.seg_coeff * segs + acc.lane_coeff * lanes
+    active = np.ones(idx.shape, dtype=bool)
+    if acc.lane_bound is not None:
+        active &= lanes < acc.lane_bound
+    if acc.guard_lo is not None:
+        active &= idx >= acc.guard_lo
+    if acc.guard_hi is not None:
+        active &= idx < acc.guard_hi
+    itemsize = (model.index_itemsize
+                if acc.buffer in ("scatter_colval", "scatter_rowno")
+                else model.itemsize)
+    return _segment_streams(idx, active, itemsize, device)
+
+
+def _scatter_program_order(model: KernelModel):
+    """The scatter kernel's accesses in emitted statement order:
+    per ELL column the colval load, the val load and the ``nvec`` x
+    gathers; then the rowno load; then the ``nvec`` y stores."""
+    sm = model.scatter
+    nvec = model.plan.nvec
+    ordered: List[object] = []
+    for k in range(sm.width):
+        ordered.append(sm.accesses[2 * k])        # scatter_colval
+        ordered.append(sm.accesses[2 * k + 1])    # scatter_val
+        ordered.extend(sm.indirect[k * nvec:(k + 1) * nvec])
+    ordered.append(sm.accesses[-1])               # scatter_rowno
+    ordered.extend(sm.indirect[sm.width * nvec:])  # y stores
+    return ordered
+
+
+def _l2_adjusted(model: KernelModel, device: DeviceSpec,
+                 base: KernelTrace) -> KernelTrace:
+    """The closed-form trace with the L2 model applied.
+
+    Replays the launch's segment streams through one
+    :class:`SegmentCache` in the exact order the batched engine's
+    deferred replay uses — region by region, group-major within each,
+    accesses in program order, then the scatter launch sharing the same
+    cache — and moves the absorbed load transactions into ``l2_hits``.
+    """
+    tr = dataclasses.replace(base)
+    if device.l2_bytes <= 0:
+        return tr
+    cache = SegmentCache(device.l2_bytes, device.transaction_bytes)
+    hits = 0
+
+    def replay(entries, num_groups):
+        nonlocal hits
+        streams = []
+        for acc in entries:
+            if isinstance(acc, IndirectAccess):
+                active = (acc.active if acc.active is not None
+                          else np.ones(acc.index_grid.shape, dtype=bool))
+                segs, offs = _segment_streams(
+                    np.asarray(acc.index_grid, dtype=np.int64), active,
+                    model.itemsize, device)
+            else:
+                segs, offs = _affine_streams(acc, model, device)
+            streams.append((acc.kind == "load", acc.buffer, segs, offs))
+        for g in range(num_groups):
+            for is_load, buf, segs, offs in streams:
+                s = segs[offs[g]:offs[g + 1]]
+                if s.size == 0:
+                    continue
+                misses = cache.access(buf, s)
+                if is_load:
+                    hits += int(s.size) - misses
+
+    for rm in model.regions:
+        replay(rm.accesses, rm.region.nrs)
+    if model.scatter is not None and model.scatter.num_rows:
+        replay(_scatter_program_order(model), model.scatter.num_groups)
+    tr.global_load_transactions -= hits
+    tr.l2_hits += hits
+    return tr
+
+
+def synthesize_trace(model: KernelModel, device: DeviceSpec,
+                     base: Optional[KernelTrace] = None) -> KernelTrace:
+    """The trace a traced batched execution of ``model`` would record.
+
+    ``base`` is the L2-free closed-form prediction (recomputed when not
+    supplied); the L2 split is replayed on top.  Call once per runner
+    and hand out copies — the result is a pure function of the plan.
+    """
+    if base is None:
+        base = predict_trace(model, device)
+    if base is None:
+        raise ValueError("closed-form trace prediction unavailable for "
+                         "this model; plan is not fused-certifiable")
+    return _l2_adjusted(model, device, base)
+
+
+# ----------------------------------------------------------------------
+# runner-facing bundle
+# ----------------------------------------------------------------------
+@dataclass
+class FusedState:
+    """Everything a runner needs to serve fused runs (pattern-pure)."""
+
+    certificate: FusedCertificate
+    kernel: FusedKernel
+    #: synthesized trace of one traced run (copied per run)
+    trace: KernelTrace
+    work_groups: int = field(init=False, default=0)
+    wavefronts: int = field(init=False, default=0)
+
+    def __post_init__(self):
+        self.work_groups = self.trace.work_groups
+        self.wavefronts = self.trace.wavefronts
+
+    def run_trace(self, trace: bool) -> KernelTrace:
+        """A fresh :class:`KernelTrace` for one run (minimal counters —
+        the launch geometry — when tracing is off, like the dynamic
+        engines)."""
+        if trace:
+            return dataclasses.replace(self.trace)
+        return KernelTrace(work_groups=self.work_groups,
+                           wavefronts=self.wavefronts)
+
+
+def build_fused_state(
+    plan: KernelPlan,
+    device: DeviceSpec,
+    precision: str,
+    scatter_colval: Optional[np.ndarray] = None,
+    scatter_rowno: Optional[np.ndarray] = None,
+) -> Tuple[Optional[FusedState], FusedCertificate]:
+    """Certify ``plan`` and build the fused execution state.
+
+    Returns ``(state, certificate)``; ``state`` is ``None`` when the
+    provers decline (the certificate then carries the reasons).
+    """
+    cert = certify_plan(plan, device, precision,
+                        scatter_colval=scatter_colval,
+                        scatter_rowno=scatter_rowno)
+    if not cert.ok:
+        return None, cert
+    kernel = FusedKernel(plan, scatter_colval=scatter_colval,
+                         scatter_rowno=scatter_rowno)
+    trace = synthesize_trace(cert.model, device, cert.base_trace)
+    return FusedState(certificate=cert, kernel=kernel, trace=trace), cert

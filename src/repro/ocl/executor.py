@@ -65,13 +65,20 @@ from repro.resilience import faults as _flt
 EXECUTOR_ENV = "REPRO_EXECUTOR"
 
 #: recognised engine names
-EXECUTOR_MODES = ("batched", "pergroup")
+EXECUTOR_MODES = ("batched", "pergroup", "fused")
 
 
 def executor_mode() -> str:
-    """The selected execution engine: ``"batched"`` (default) or
-    ``"pergroup"`` (the sequential reference oracle), from the
-    ``REPRO_EXECUTOR`` environment variable."""
+    """The selected execution engine, from the ``REPRO_EXECUTOR``
+    environment variable:
+
+    - ``"batched"`` (default) — each kernel as one vectorised
+      invocation over the ``(num_groups, local_size)`` grid;
+    - ``"pergroup"`` — the sequential per-work-group reference oracle;
+    - ``"fused"`` — analyzer-certified whole-matrix execution
+      (CRSD runners only; see :mod:`repro.gpu_kernels.fused`).
+      Runners without a fused path treat it as ``"batched"``.
+    """
     mode = os.environ.get(EXECUTOR_ENV, "batched").strip().lower()
     if mode not in EXECUTOR_MODES:
         raise LaunchError(

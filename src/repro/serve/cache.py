@@ -40,6 +40,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: runner misses that still reused a same-pattern donor's plan,
+    #: codelets and fused state (only the value buffers were rebuilt)
+    pattern_reuses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -56,6 +59,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "pattern_reuses": self.pattern_reuses,
             "hit_rate": self.hit_rate,
         }
 
@@ -67,8 +71,12 @@ class PlanEntry:
     directly by callers.
     """
 
-    def __init__(self, fingerprint: str, coo):
+    def __init__(self, fingerprint: str, coo,
+                 pattern_fingerprint: Optional[str] = None):
         self.fingerprint = fingerprint
+        #: sparsity-structure hash shared by same-pattern matrices
+        #: (see :func:`repro.core.serialize.pattern_fingerprint`)
+        self.pattern_fingerprint = pattern_fingerprint
         self.coo = coo
         #: mrows -> CRSDMatrix
         self._crsd: Dict[int, Any] = {}
@@ -103,6 +111,9 @@ class PlanCache:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self._entries: "OrderedDict[str, PlanEntry]" = OrderedDict()
+        #: (pattern fp, runner key) -> donor runner whose plan/codelets
+        #: a same-pattern new-values matrix adopts instead of rebuilding
+        self._pattern_runners: Dict[Tuple, Any] = {}
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -122,6 +133,7 @@ class PlanCache:
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
         self._entries.clear()
+        self._pattern_runners.clear()
 
     def entry(self, matrix) -> PlanEntry:
         """The (possibly new) entry for ``matrix``, LRU-touched.
@@ -131,22 +143,27 @@ class PlanCache:
         :meth:`auto_format`) move the counters.
         """
         from repro.api import _as_coo
-        from repro.core.serialize import fingerprint as _fingerprint
+        from repro.core.serialize import fingerprints as _fingerprints
 
-        fp = _fingerprint(matrix)
-        entry = self._entries.get(fp)
+        fps = _fingerprints(matrix)
+        entry = self._entries.get(fps.combined)
         if entry is None:
-            entry = PlanEntry(fp, _as_coo(matrix))
-            self._entries[fp] = entry
+            entry = PlanEntry(fps.combined, _as_coo(matrix),
+                              pattern_fingerprint=fps.pattern)
+            self._entries[fps.combined] = entry
             self._evict_over_capacity()
         else:
-            self._entries.move_to_end(fp)
+            self._entries.move_to_end(fps.combined)
         return entry
 
     def _evict_over_capacity(self) -> None:
         while len(self._entries) > self.capacity:
             fp, entry = self._entries.popitem(last=False)
             self.stats.evictions += 1
+            dead = {id(r) for r in entry._runners.values()}
+            self._pattern_runners = {
+                k: v for k, v in self._pattern_runners.items()
+                if id(v) not in dead}
             self._event("plan_cache.evict", fingerprint=fp,
                         runners=entry.num_runners)
 
@@ -208,14 +225,28 @@ class PlanCache:
                 entry.coo, mrows=mrows,
                 wavefront_size=compatible_wavefront(mrows))
             entry._crsd[int(mrows)] = crsd
+        # same-pattern donor: a matrix with the identical sparsity
+        # structure but different values already prepared this runner
+        # configuration — adopt its plan, codelets and fused state
+        pkey = (entry.pattern_fingerprint, key)
+        template = (self._pattern_runners.get(pkey)
+                    if entry.pattern_fingerprint is not None else None)
         if nvec is None:
             runner = CrsdSpMV(crsd, device=device, precision=precision,
-                              use_local_memory=use_local_memory)
+                              use_local_memory=use_local_memory,
+                              template=template)
         else:
             runner = CrsdSpMM(crsd, nvec=int(nvec), device=device,
-                              precision=precision)
+                              precision=precision, template=template)
+        if template is not None:
+            self.stats.pattern_reuses += 1
+            self._event("plan_cache.pattern_reuse",
+                        fingerprint=entry.fingerprint,
+                        pattern=entry.pattern_fingerprint, nvec=nvec)
         runner.prepare()
         entry._runners[key] = runner
+        if entry.pattern_fingerprint is not None:
+            self._pattern_runners[pkey] = runner
         return runner
 
     def tune(self, matrix, **kwargs):

@@ -285,7 +285,8 @@ class ServeEngine:
         for j, req in enumerate(group):
             drained.append(self._served(
                 req, now, finish, batch_size=k, batched=True,
-                y=run.y[:, j].copy() if self.keep_y else None))
+                y=run.y[:, j].copy() if self.keep_y else None,
+                resilience=run.resilience))
         return finish
 
     def _execute_spmv(self, group: List[Request], now: float,
@@ -308,7 +309,8 @@ class ServeEngine:
             self.batch_histogram[1] = self.batch_histogram.get(1, 0) + 1
             drained.append(self._served(
                 req, start, t, batch_size=1, batched=False,
-                y=run.y.copy() if self.keep_y else None))
+                y=run.y.copy() if self.keep_y else None,
+                resilience=run.resilience))
         return t
 
     def _execute_resilient(self, req: Request, now: float,
@@ -322,13 +324,30 @@ class ServeEngine:
                 use_local_memory=self.use_local_memory,
                 policy=req.resilience, trace=True)
         self._account(run.trace)
-        crsd_like = req.entry.crsd(self.mrows)
-        launches = 2 if (crsd_like is not None
-                         and crsd_like.num_scatter_rows) else 1
+        report = run.resilience
+        served = report.served_rung if report is not None else "crsd"
+        launches = 1
+        if served is None or served.startswith("crsd"):
+            # the resilient path builds its own runners, so the CRSD may
+            # not exist in the cache yet — build (and memoise) it here
+            # rather than silently under-billing the launch overhead of
+            # scatter matrices as a single launch
+            crsd_like = req.entry.crsd(self.mrows)
+            if crsd_like is None:
+                from repro.core.crsd import (
+                    CRSDMatrix,
+                    compatible_wavefront,
+                )
+
+                crsd_like = CRSDMatrix.from_coo(
+                    req.entry.coo, mrows=self.mrows,
+                    wavefront_size=compatible_wavefront(self.mrows))
+                req.entry._crsd[int(self.mrows)] = crsd_like
+            if crsd_like.num_scatter_rows:
+                launches = 2
         seconds = predict_gpu_time(
             run.trace, self.device, self.precision, num_launches=launches,
             size_scale=self.size_scale).total
-        report = run.resilience
         if report is not None:
             seconds += report.total_backoff_s
         finish = now + seconds

@@ -1,0 +1,139 @@
+"""Service-time accounting: the simulated seconds a launch is billed.
+
+Regression tests for the cost/latency bugs the fused fast path
+exposed: resilient requests on scatter matrices were billed as a
+single launch (``PlanEntry.crsd`` returned ``None`` because the
+resilient path builds its own runners), and the batched-vs-sequential
+makespan ordering is pinned at the engine level, not just through
+loadgen.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.crsd import CRSDMatrix
+from repro.gpu_kernels.crsd_runner import CrsdSpMM, CrsdSpMV
+from repro.perf.costmodel import predict_gpu_time
+from repro.serve import BatchConfig
+from repro.serve.engine import ServeEngine
+from tests.conftest import random_diagonal_matrix
+
+
+@pytest.fixture
+def coo(rng):
+    return random_diagonal_matrix(rng, n=96, scatter=3)
+
+
+class TestSpmmCostScaling:
+    def test_spmm_costs_more_than_spmv_and_grows_with_nvec(self, coo):
+        """One SpMM launch moves nvec times the x/y traffic, so its
+        predicted service time must exceed one SpMV's and be monotone
+        in nvec — the under-billing that made batching look free."""
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        spmv = CrsdSpMV(crsd)
+        x = np.ones(96)
+        t1 = predict_gpu_time(spmv.run(x).trace, spmv.device,
+                              "double", num_launches=2).total
+        costs = [t1]
+        for nvec in (2, 4, 8):
+            runner = CrsdSpMM(crsd, nvec=nvec)
+            X = np.ones((96, nvec))
+            costs.append(predict_gpu_time(
+                runner.run(X).trace, runner.device, "double",
+                num_launches=2).total)
+        assert all(a < b for a, b in zip(costs, costs[1:]))
+        # ...but one 8-wide SpMM still beats 8 SpMVs (the batching win)
+        assert costs[-1] < 8 * t1
+
+
+class TestEngineMakespan:
+    def test_batched_makespan_below_sequential(self, coo, rng):
+        """Same arrival trace, same served bits: the micro-batched
+        engine must finish strictly earlier than one-at-a-time serving
+        once service time is billed correctly."""
+        xs = [rng.standard_normal(96) for _ in range(16)]
+
+        def drain(max_batch):
+            engine = ServeEngine(mrows=32,
+                                 batch=BatchConfig(max_batch=max_batch))
+            for x in xs:
+                engine.submit(coo, x, at=0.0)
+            results = engine.run()
+            assert len(results) == len(xs)
+            ys = {r.request_id: r.y for r in results}
+            return engine.clock.now, ys
+
+        t_batched, y_batched = drain(16)
+        t_seq, y_seq = drain(1)
+        assert t_batched < t_seq
+        for rid, y in y_seq.items():
+            assert np.array_equal(y_batched[rid], y)
+
+
+class TestResilientLaunchBilling:
+    def test_scatter_matrix_billed_two_launches(self, coo, rng):
+        """A resilient request served at the CRSD rung on a scatter
+        matrix pays both the diagonal and the scatter launch overhead
+        (it was billed one launch when the CRSD build was absent from
+        the cache entry)."""
+        x = rng.standard_normal(96)
+        engine = ServeEngine(mrows=32)
+        engine.submit(coo, x, at=0.0, resilience=True)
+        result = engine.run()[0]
+        report = result.resilience
+        assert report is not None and report.served_rung == "crsd"
+        assert report.total_backoff_s == 0.0
+        # reference trace: the same matrix through the plain runner
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        assert crsd.num_scatter_rows > 0
+        trace = CrsdSpMV(crsd).run(x).trace
+        two = predict_gpu_time(trace, engine.device, "double",
+                               num_launches=2).total
+        one = predict_gpu_time(trace, engine.device, "double",
+                               num_launches=1).total
+        assert result.latency_s == pytest.approx(two)
+        assert result.latency_s != pytest.approx(one)
+
+    def test_dia_only_matrix_billed_one_launch(self, rng):
+        coo = random_diagonal_matrix(rng, n=96, scatter=0)
+        x = rng.standard_normal(96)
+        engine = ServeEngine(mrows=32)
+        engine.submit(coo, x, at=0.0, resilience=True)
+        result = engine.run()[0]
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        assert crsd.num_scatter_rows == 0
+        trace = CrsdSpMV(crsd).run(x).trace
+        one = predict_gpu_time(trace, engine.device, "double",
+                               num_launches=1).total
+        assert result.latency_s == pytest.approx(one)
+
+
+class TestFusedDemotionSurfacing:
+    def test_incident_reaches_served_result(self, coo, rng,
+                                            monkeypatch):
+        """A fused certification crash during serving surfaces on the
+        ServedResult, exactly like ladder incidents do."""
+        from repro.gpu_kernels.crsd_runner import FUSED_RUNG
+        from repro.resilience.faults import (
+            FaultInjector,
+            FaultSpec,
+            inject,
+        )
+
+        monkeypatch.setenv("REPRO_EXECUTOR", "fused")
+        x = rng.standard_normal(96)
+        engine = ServeEngine(mrows=32)
+        engine.submit(coo, x, at=0.0)
+        spec = FaultSpec(site="phase:*.fused_certify", kind="launch",
+                         at_calls=(0,))
+        with inject(FaultInjector(seed=3, specs=[spec])):
+            result = engine.run()[0]
+        assert result.status == "served"
+        report = result.resilience
+        assert report is not None
+        assert report.requested == FUSED_RUNG
+        # and the served y matches the batched engine bit-for-bit
+        monkeypatch.setenv("REPRO_EXECUTOR", "batched")
+        ref = ServeEngine(mrows=32)
+        ref.submit(coo, x, at=0.0)
+        assert np.array_equal(result.y, ref.run()[0].y)

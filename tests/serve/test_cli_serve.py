@@ -75,3 +75,29 @@ class TestTuneThroughCache:
         assert default_cache().stats.hits == 1
         outs = capsys.readouterr().out.strip().splitlines()
         assert outs[0] == outs[1]  # cached result prints identically
+
+
+class TestExecutorEnvSurfacing:
+    """A bad REPRO_EXECUTOR fails at command startup with the env var
+    named, instead of surfacing as a per-request crash mid-stream
+    (cmd_bench already had this guard; serve and loadgen lacked it)."""
+
+    def test_serve_surfaces_bad_executor(self, monkeypatch):
+        from repro.ocl.errors import LaunchError
+
+        monkeypatch.setenv("REPRO_EXECUTOR", "warp-speed")
+        with pytest.raises(LaunchError, match="REPRO_EXECUTOR"):
+            main(["serve", "kim1", "--scale", "0.02", "--requests", "4"])
+
+    def test_loadgen_surfaces_bad_executor(self, monkeypatch):
+        from repro.ocl.errors import LaunchError
+
+        monkeypatch.setenv("REPRO_EXECUTOR", "warp-speed")
+        with pytest.raises(LaunchError, match="REPRO_EXECUTOR"):
+            main(TestLoadgenCommand.ARGS)
+
+    @pytest.mark.parametrize("mode", ["batched", "pergroup", "fused"])
+    def test_valid_modes_accepted(self, monkeypatch, mode, capsys):
+        monkeypatch.setenv("REPRO_EXECUTOR", mode)
+        assert main(["serve", "kim1", "--scale", "0.02",
+                     "--requests", "4"]) == 0

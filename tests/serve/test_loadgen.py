@@ -10,6 +10,7 @@ from repro.serve.loadgen import (
     REPORT_SCHEMA,
     TRAJECTORY_SCHEMA,
     LoadConfig,
+    LoadReport,
     append_serve_trajectory,
     report_json,
     run_loadgen,
@@ -96,6 +97,81 @@ class TestThroughput:
         report = run_loadgen(LoadConfig(seed=0, **FAST))
         p50, p95, p99 = (report.percentile(p) for p in (50, 95, 99))
         assert 0 < p50 <= p95 <= p99 <= report.percentile(100)
+
+
+def synthetic_report(latencies):
+    """A LoadReport whose served latencies are exactly ``latencies``."""
+    from repro.serve.engine import ServedResult
+
+    results = [
+        ServedResult(request_id=i, fingerprint="fp", status="served",
+                     arrival_s=0.0, finish_s=lat, latency_s=lat)
+        for i, lat in enumerate(latencies)
+    ]
+    return LoadReport(config=LoadConfig(**FAST), results=results,
+                      stats={}, y_checksum="")
+
+
+class TestPercentileEdgeCases:
+    """Nearest-rank percentile is total: no input may raise or index
+    out of range (the p=100 rank-off-by-one and empty-run crashes)."""
+
+    def test_empty_run_returns_zero(self):
+        report = synthetic_report([])
+        for p in (0, 50, 100):
+            assert report.percentile(p) == 0.0
+
+    def test_single_sample_any_p(self):
+        report = synthetic_report([0.25])
+        for p in (0, 1, 50, 99, 100):
+            assert report.percentile(p) == 0.25
+
+    def test_p100_is_max_not_index_error(self):
+        report = synthetic_report([3.0, 1.0, 2.0])
+        assert report.percentile(100) == 3.0
+
+    def test_p0_is_min(self):
+        report = synthetic_report([3.0, 1.0, 2.0])
+        assert report.percentile(0) == 1.0
+
+    def test_out_of_range_p_clamped(self):
+        report = synthetic_report([3.0, 1.0, 2.0])
+        assert report.percentile(150) == 3.0
+        assert report.percentile(-5) == 1.0
+
+    def test_nearest_rank_exact(self):
+        # 10 samples: p50 -> rank 5 -> 5.0, p95 -> rank 10 -> 10.0
+        report = synthetic_report([float(i) for i in range(1, 11)])
+        assert report.percentile(50) == 5.0
+        assert report.percentile(95) == 10.0
+        assert report.percentile(10) == 1.0
+
+
+class TestFusedExecutor:
+    def test_fused_report_bytes_equal_batched(self, monkeypatch):
+        """The fused engine changes wall-clock only: the *simulated*
+        loadgen report — served bits, latencies, counters — is
+        byte-identical under either executor."""
+        monkeypatch.setenv("REPRO_EXECUTOR", "batched")
+        batched = run_loadgen(LoadConfig(seed=3, **FAST))
+        monkeypatch.setenv("REPRO_EXECUTOR", "fused")
+        fused = run_loadgen(LoadConfig(seed=3, **FAST))
+        assert report_json(fused) == report_json(batched)
+
+    def test_shared_cache_reuses_prepared_runners(self, monkeypatch):
+        """A warm PlanCache carries prepared plans (and fused state)
+        across runs; the report contents stay cache-independent."""
+        from repro.serve.cache import PlanCache
+
+        monkeypatch.setenv("REPRO_EXECUTOR", "fused")
+        cache = PlanCache(capacity=32)
+        cold = run_loadgen(LoadConfig(seed=3, **FAST), cache=cache)
+        warm = run_loadgen(LoadConfig(seed=3, **FAST), cache=cache)
+        # served bits and simulated timing are cache-independent; only
+        # the (cumulative) cache counters in the report move
+        assert warm.y_checksum == cold.y_checksum
+        assert warm.to_dict()["latency_s"] == cold.to_dict()["latency_s"]
+        assert cache.stats.hits > cold.stats["cache"]["hits"]
 
 
 class TestTrajectory:

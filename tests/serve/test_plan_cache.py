@@ -71,6 +71,67 @@ class TestRunnerMemoisation:
         assert isinstance(cache.runner(coo, mrows=32, nvec=1), CrsdSpMM)
 
 
+class TestPatternReuse:
+    """Same-pattern, different-values matrices adopt the donor's plan
+    and codelets instead of re-running pattern analysis and codegen."""
+
+    @staticmethod
+    def revalued(coo, factor=2.0):
+        from repro.formats.coo import COOMatrix
+
+        return COOMatrix(coo.rows, coo.cols, coo.vals * factor,
+                         coo.shape)
+
+    def test_same_pattern_adopts_plan(self, coo):
+        cache = PlanCache()
+        donor = cache.runner(coo, mrows=32)
+        twin = cache.runner(self.revalued(coo), mrows=32)
+        assert twin is not donor
+        assert twin.plan is donor.plan
+        assert twin.kernel is donor.kernel
+        assert cache.stats.pattern_reuses == 1
+        assert cache.stats.misses == 2  # still a runner miss
+
+    def test_adopted_runner_computes_its_own_values(self, coo):
+        cache = PlanCache()
+        coo2 = self.revalued(coo)
+        cache.runner(coo, mrows=32)
+        twin = cache.runner(coo2, mrows=32)
+        x = np.random.default_rng(5).standard_normal(coo.ncols)
+        assert np.allclose(twin.run(x).y, coo2.todense() @ x)
+
+    def test_different_pattern_not_adopted(self, coo):
+        cache = PlanCache()
+        other = random_diagonal_matrix(np.random.default_rng(200),
+                                       n=coo.ncols)
+        cache.runner(coo, mrows=32)
+        r2 = cache.runner(other, mrows=32)
+        assert r2.plan is not cache.runner(coo, mrows=32).plan
+        assert cache.stats.pattern_reuses == 0
+
+    def test_config_is_part_of_the_pattern_key(self, coo):
+        cache = PlanCache()
+        cache.runner(coo, mrows=32)
+        twin = cache.runner(self.revalued(coo), mrows=64)
+        assert cache.stats.pattern_reuses == 0
+        assert twin.plan.mrows == 64
+
+    def test_eviction_drops_pattern_donor(self, coo):
+        cache = PlanCache(capacity=1)
+        cache.runner(coo, mrows=32)
+        filler = random_diagonal_matrix(np.random.default_rng(300),
+                                        n=48)
+        cache.runner(filler, mrows=32)  # evicts coo's entry
+        cache.runner(self.revalued(coo), mrows=32)
+        assert cache.stats.pattern_reuses == 0
+
+    def test_counter_in_stats_dict(self, coo):
+        cache = PlanCache()
+        cache.runner(coo, mrows=32)
+        cache.runner(self.revalued(coo), mrows=32)
+        assert cache.stats.to_dict()["pattern_reuses"] == 1
+
+
 class TestLRU:
     def test_eviction_beyond_capacity(self):
         ms = matrices(3, size=48)
