@@ -16,7 +16,6 @@ import pytest
 from benchmarks.conftest import save_table
 from repro.bench.runner import effective_scale, scaled_device, bench_scale
 from repro.core.crsd import CRSDMatrix
-from repro.core.spmv import total_work_groups
 from repro.gpu_kernels import CrsdSpMV
 from repro.matrices.suite23 import get_spec
 from repro.perf.costmodel import predict_gpu_time

@@ -12,7 +12,6 @@ nemeth21 (one 63-diagonal AD band) must gain; ecology1 (a 2-wide AD
 group over 3 diagonals) and wang3 (3 of ~7) must not.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import save_table

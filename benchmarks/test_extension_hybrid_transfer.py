@@ -16,7 +16,7 @@ from repro.core.crsd import CRSDMatrix
 from repro.cpu.kernels import CpuCsrSpMV
 from repro.formats.csr import CSRMatrix
 from repro.gpu_kernels import CrsdSpMV
-from repro.hybrid import HybridSpMV, spmv_time_with_transfers, transfer_time
+from repro.hybrid import HybridSpMV, spmv_time_with_transfers
 from repro.hybrid.transfer import PCIeSpec
 from repro.matrices.suite23 import get_spec
 from repro.perf.costmodel import predict_gpu_time

@@ -7,7 +7,6 @@ as Cell and AMD devices."  The generated kernels are device-agnostic
 matrices run unmodified on the AMD Cypress and GTX 285 models.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import save_table

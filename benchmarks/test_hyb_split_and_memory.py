@@ -7,7 +7,6 @@
    af_1/2/3_k101 — and only for those — while single precision fits.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import save_table

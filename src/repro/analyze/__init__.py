@@ -34,6 +34,12 @@ from repro.analyze.report import (
     Finding,
     KernelAnalysisError,
 )
+from repro.analyze.sharding import (
+    ShardCertificate,
+    build_shard_subplan,
+    certify_shard_plan,
+    shard_segment_range,
+)
 
 __all__ = [
     "AnalysisReport",
@@ -44,9 +50,12 @@ __all__ = [
     "KernelAnalysisError",
     "KernelModel",
     "LocalOp",
+    "ShardCertificate",
     "analyze_matrix",
     "analyze_plan",
     "build_model",
+    "build_shard_subplan",
+    "certify_shard_plan",
     "check_batch_safety",
     "check_bounds",
     "check_coalescing",
@@ -54,4 +63,5 @@ __all__ = [
     "check_localmem",
     "predict_trace",
     "required_local_bytes",
+    "shard_segment_range",
 ]

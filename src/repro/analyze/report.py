@@ -13,7 +13,8 @@ from typing import Dict, List, Optional
 from repro.codegen.plan import KernelPlan
 from repro.ocl.trace import KernelTrace
 
-#: the five checkers plus the render cross-check
+#: the five checkers plus the render cross-check, plus the four
+#: shard-plan provers (see repro.analyze.sharding)
 CHECKS = (
     "bounds",
     "coalescing",
@@ -21,6 +22,10 @@ CHECKS = (
     "localmem",
     "batch-safety",
     "render",
+    "shard-halo",
+    "shard-disjoint",
+    "shard-trace",
+    "shard-order",
 )
 
 SEVERITIES = ("error", "warning", "info")

@@ -111,19 +111,48 @@ def cmd_codegen(args) -> int:
     return 0
 
 
+def _fused_certification(plan, crsd, precision: str) -> dict:
+    """Structured fused ``certify_plan`` outcome for ``repro analyze``.
+
+    Declines carry the prover reasons; a *crashed* prover (which at
+    run time demotes the runner and files an IncidentReport) is
+    surfaced as a ``crash`` entry instead of propagating.
+    """
+    from repro.gpu_kernels.fused import certify_plan
+    from repro.ocl.device import TESLA_C2050
+
+    try:
+        cert = certify_plan(plan, TESLA_C2050, precision,
+                            scatter_colval=crsd.scatter_colval,
+                            scatter_rowno=crsd.scatter_rowno)
+    except Exception as exc:
+        return {"certified": False, "reasons": [],
+                "crash": {"type": type(exc).__name__,
+                          "message": str(exc)}}
+    return {"certified": cert.ok, "reasons": list(cert.reasons),
+            "crash": None}
+
+
 def cmd_analyze(args) -> int:
     """``repro analyze``: static analysis of the generated kernels.
 
     Runs the full checker battery (bounds, coalescing, divergence,
     local memory, batched-execution safety, render cross-checks) over
     the kernels that would be generated for the matrix — without
-    executing anything.  ``--json`` prints the machine-readable report;
-    the exit code is non-zero iff any violation was found.
+    executing anything — plus the fused-engine certification verdict.
+    ``--shards N`` additionally certifies the wavefront-aligned N-way
+    row-block shard plan (halo coverage, write disjointness, trace
+    conservation, reduction order).  ``--json`` prints the
+    machine-readable report; the exit code is non-zero iff any analyzer
+    violation was found or a requested shard plan was declined (a fused
+    decline alone does not fail the run — the engine falls back).
     """
     import json
 
-    from repro.analyze import analyze_matrix
+    from repro.analyze import analyze_matrix, certify_shard_plan
+    from repro.codegen.plan import build_plan
     from repro.core.crsd import CRSDMatrix, compatible_wavefront
+    from repro.shard import ShardPlanError, ShardPlanner
 
     coo, name = _load_matrix(args.matrix, args.scale)
     crsd = CRSDMatrix.from_coo(
@@ -136,13 +165,55 @@ def cmd_analyze(args) -> int:
         use_local_memory=not args.no_local_memory,
         nvec=args.nvec,
     )
+    plan = build_plan(crsd, use_local_memory=not args.no_local_memory,
+                      nvec=args.nvec)
+    fused = _fused_certification(plan, crsd, args.precision)
+    shard_cert = None
+    if args.shards is not None:
+        try:
+            shard_plan = ShardPlanner(crsd, coo=coo).plan(args.shards)
+        except ShardPlanError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        shard_cert = certify_shard_plan(
+            crsd, shard_plan,
+            precision=args.precision,
+            use_local_memory=not args.no_local_memory,
+            nvec=args.nvec,
+        )
     if args.json:
         payload = report.to_dict()
         payload["matrix"] = name
+        payload["fused_certification"] = fused
+        if shard_cert is not None:
+            payload["shard_certification"] = shard_cert.to_dict()
         print(json.dumps(payload, indent=2))
     else:
         print(f"{name}: {report.summary()}")
-    return report.exit_code
+        state = ("certified" if fused["certified"]
+                 else "crashed" if fused["crash"] else "declined")
+        line = f"  fused: {state}"
+        if fused["reasons"]:
+            line += " (" + "; ".join(fused["reasons"]) + ")"
+        if fused["crash"]:
+            line += (f" ({fused['crash']['type']}: "
+                     f"{fused['crash']['message']})")
+        print(line)
+        if shard_cert is not None:
+            if shard_cert.ok:
+                print(f"  shards: {args.shards}-way row-block plan "
+                      f"certified (halo re-read "
+                      f"{shard_cert.halo_reread_transactions} "
+                      f"transactions)")
+            else:
+                print(f"  shards: {args.shards}-way row-block plan "
+                      "DECLINED")
+                for reason in shard_cert.reasons:
+                    print(f"    {reason}")
+    code = report.exit_code
+    if shard_cert is not None and not shard_cert.ok:
+        code = max(code, 1)
+    return code
 
 
 def cmd_convert(args) -> int:
@@ -417,6 +488,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="analyze the multi-vector SpMM variant")
     sp.add_argument("--no-local-memory", action="store_true",
                     help="analyze the A1 ablation (no AD tile staging)")
+    sp.add_argument("--shards", type=int, default=None, metavar="N",
+                    help="additionally certify the N-way row-block "
+                         "shard plan (non-zero exit on a violated "
+                         "prover)")
     sp.add_argument("--json", action="store_true",
                     help="machine-readable findings report")
     sp.set_defaults(fn=cmd_analyze)

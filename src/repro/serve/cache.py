@@ -114,6 +114,10 @@ class PlanCache:
         #: (pattern fp, runner key) -> donor runner whose plan/codelets
         #: a same-pattern new-values matrix adopts instead of rebuilding
         self._pattern_runners: Dict[Tuple, Any] = {}
+        #: (pattern fp, shard config) -> certified ShardCertificate;
+        #: pattern-keyed because the shard provers never read values —
+        #: a same-pattern new-values matrix inherits the certificate
+        self._shard_certs: Dict[Tuple, Any] = {}
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -134,6 +138,7 @@ class PlanCache:
         """Drop every entry (counters are kept)."""
         self._entries.clear()
         self._pattern_runners.clear()
+        self._shard_certs.clear()
 
     def entry(self, matrix) -> PlanEntry:
         """The (possibly new) entry for ``matrix``, LRU-touched.
@@ -157,15 +162,25 @@ class PlanCache:
         return entry
 
     def _evict_over_capacity(self) -> None:
+        evicted = False
         while len(self._entries) > self.capacity:
             fp, entry = self._entries.popitem(last=False)
             self.stats.evictions += 1
+            evicted = True
             dead = {id(r) for r in entry._runners.values()}
             self._pattern_runners = {
                 k: v for k, v in self._pattern_runners.items()
                 if id(v) not in dead}
             self._event("plan_cache.evict", fingerprint=fp,
                         runners=entry.num_runners)
+        if evicted:
+            # shard certificates live while any resident entry still
+            # shares the pattern; prune the orphans with the eviction
+            live = {e.pattern_fingerprint
+                    for e in self._entries.values()}
+            self._shard_certs = {
+                k: v for k, v in self._shard_certs.items()
+                if k[0] in live}
 
     # ------------------------------------------------------------------
     # prepared artifacts
@@ -248,6 +263,56 @@ class PlanCache:
         if entry.pattern_fingerprint is not None:
             self._pattern_runners[pkey] = runner
         return runner
+
+    def shard_certificate(
+        self,
+        matrix,
+        num_shards: int,
+        *,
+        device: DeviceSpec = TESLA_C2050,
+        precision: str = "double",
+        mrows: int = 128,
+        use_local_memory: bool = True,
+    ):
+        """Memoised shard-plan certification for ``matrix``.
+
+        Plans the wavefront-aligned ``num_shards``-way row-block split
+        and runs :func:`repro.analyze.sharding.certify_shard_plan` over
+        it, memoising the resulting
+        :class:`~repro.analyze.sharding.ShardCertificate` under the
+        *pattern* fingerprint — the provers never read matrix values,
+        so a same-pattern new-values matrix (the serving steady state)
+        inherits the certificate, and the future cluster router gets
+        its certified plans for free.  Declined certificates are cached
+        too: re-asking cannot make an unprovable plan provable.
+        """
+        from repro.analyze.sharding import certify_shard_plan
+        from repro.core.crsd import CRSDMatrix, compatible_wavefront
+        from repro.shard.plan import ShardPlanner
+
+        entry = self.entry(matrix)
+        key = (entry.pattern_fingerprint, int(num_shards), device,
+               precision, int(mrows), bool(use_local_memory))
+        cert = self._shard_certs.get(key)
+        if cert is not None:
+            self._hit("shard_plan", entry.fingerprint,
+                      num_shards=int(num_shards))
+            return cert
+        self._miss("shard_plan", entry.fingerprint,
+                   num_shards=int(num_shards))
+        crsd = entry._crsd.get(int(mrows))
+        if crsd is None:
+            crsd = CRSDMatrix.from_coo(
+                entry.coo, mrows=mrows,
+                wavefront_size=compatible_wavefront(mrows))
+            entry._crsd[int(mrows)] = crsd
+        shard_plan = ShardPlanner(crsd, coo=entry.coo).plan(
+            int(num_shards))
+        cert = certify_shard_plan(
+            crsd, shard_plan, device=device, precision=precision,
+            use_local_memory=use_local_memory)
+        self._shard_certs[key] = cert
+        return cert
 
     def tune(self, matrix, **kwargs):
         """Memoised :func:`repro.core.autotune.tune` for ``matrix``.

@@ -1,0 +1,22 @@
+"""Row-block shard planning and certified shard-by-shard execution.
+
+:class:`ShardPlanner` emits wavefront-aligned :class:`ShardPlan`\\ s
+with statically exact per-shard ``x`` halo intervals;
+:func:`repro.analyze.sharding.certify_shard_plan` proves (or declines)
+them; :class:`ShardedSpMV` executes certified plans shard by shard,
+bit-identical to the unsharded engines.  The serve-layer
+:class:`~repro.serve.cache.PlanCache` memoises certificates under the
+pattern fingerprint (:meth:`PlanCache.shard_certificate`) so the
+future cluster router inherits them for free.
+"""
+
+from repro.shard.executor import ShardedSpMV
+from repro.shard.plan import ShardPlan, ShardPlanError, ShardPlanner, ShardSpec
+
+__all__ = [
+    "ShardPlan",
+    "ShardPlanError",
+    "ShardPlanner",
+    "ShardSpec",
+    "ShardedSpMV",
+]

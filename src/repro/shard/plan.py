@@ -1,0 +1,250 @@
+"""Row-block shard planning for the multi-device serving cluster.
+
+A :class:`ShardPlan` splits a matrix's row space ``[0, nrows)`` into
+``N`` contiguous blocks, each annotated with the *halo interval* of
+``x`` the block's kernels may read.  For diagonal sparse matrices that
+interval is statically exact — ``[row_start + min_offset,
+row_end + max_offset)`` clipped to bounds, with the extreme offsets
+read straight off :meth:`COOMatrix.diagonal_offsets` — which is what
+makes shard execution certifiable without per-request checks (see
+:mod:`repro.analyze.sharding`).
+
+The planner aligns boundaries to the CRSD segment height ``mrows`` (or
+the device wavefront for the DIA/ELL/HYB degradation-ladder rungs), so
+a boundary never cuts a row segment and the per-shard sub-plans launch
+whole work-groups.  Caller-supplied boundaries are validated against
+:func:`~repro.core.crsd.compatible_wavefront` and rejected with
+:class:`ShardPlanError` when misaligned; boundaries that are aligned
+but still cut a segment (region start rows need not be multiples of
+``mrows`` globally) survive planning and are *declined* by the
+``shard-disjoint`` prover instead — never silently wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analyze.sharding import shard_segment_range
+from repro.core.crsd import CRSDMatrix, DEFAULT_WAVEFRONT, compatible_wavefront
+
+__all__ = ["ShardPlan", "ShardPlanError", "ShardPlanner", "ShardSpec"]
+
+
+class ShardPlanError(ValueError):
+    """A shard plan request that can never be certified (bad shard
+    count, misaligned or non-monotonic boundaries)."""
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One row-block shard.
+
+    ``[row_start, row_end)`` is the block of ``y`` rows this shard
+    owns; ``[halo_lo, halo_hi)`` the interval of ``x`` its kernels may
+    read (already clipped to ``[0, ncols)``);
+    ``[scatter_start, scatter_end)`` the slice of the sorted scatter
+    row list it executes.  An empty shard has ``row_start == row_end``
+    and an empty halo.
+    """
+
+    index: int
+    row_start: int
+    row_end: int
+    halo_lo: int
+    halo_hi: int
+    scatter_start: int = 0
+    scatter_end: int = 0
+
+    @property
+    def num_rows(self) -> int:
+        return self.row_end - self.row_start
+
+    @property
+    def halo_elements(self) -> int:
+        return max(0, self.halo_hi - self.halo_lo)
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-serialisable shard geometry."""
+        return {
+            "index": self.index,
+            "row_start": self.row_start,
+            "row_end": self.row_end,
+            "halo_lo": self.halo_lo,
+            "halo_hi": self.halo_hi,
+            "scatter_start": self.scatter_start,
+            "scatter_end": self.scatter_end,
+        }
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A complete row-block partition of one matrix."""
+
+    format: str
+    nrows: int
+    ncols: int
+    alignment: int
+    num_shards: int
+    min_offset: int
+    max_offset: int
+    shards: Tuple[ShardSpec, ...]
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable plan (nested in the certificate payload)."""
+        return {
+            "format": self.format,
+            "nrows": self.nrows,
+            "ncols": self.ncols,
+            "alignment": self.alignment,
+            "num_shards": self.num_shards,
+            "min_offset": self.min_offset,
+            "max_offset": self.max_offset,
+            "shards": [s.to_dict() for s in self.shards],
+        }
+
+
+class ShardPlanner:
+    """Emit wavefront-aligned row-block :class:`ShardPlan`\\ s.
+
+    Works for any :class:`~repro.formats.base.SparseFormat` rung of the
+    degradation ladder — the halo intervals only need the diagonal
+    offsets — but only CRSD plans are *certifiable* (the other formats
+    have no symbolic access model; ``certify_shard_plan`` declines them
+    by name).
+
+    ``coo`` short-circuits the offset scan when the caller already
+    holds the COO triplets; ``alignment`` overrides the boundary
+    quantum (default: the matrix's ``mrows`` for CRSD, the device
+    wavefront otherwise).
+    """
+
+    def __init__(self, matrix, coo=None, alignment: Optional[int] = None):
+        self.matrix = matrix
+        self.nrows = int(matrix.nrows)
+        self.ncols = int(matrix.ncols)
+        if alignment is None:
+            alignment = (int(matrix.mrows) if isinstance(matrix, CRSDMatrix)
+                         else DEFAULT_WAVEFRONT)
+        if alignment <= 0:
+            raise ShardPlanError(
+                f"alignment must be positive, got {alignment}")
+        self.alignment = alignment
+        offsets = (coo if coo is not None else matrix.to_coo()
+                   ).diagonal_offsets()
+        if offsets.size:
+            self.min_offset = int(offsets.min())
+            self.max_offset = int(offsets.max())
+        else:  # all-zero matrix: no reads at all, zero-width halo
+            self.min_offset = 0
+            self.max_offset = 0
+
+    # ------------------------------------------------------------------
+    def plan(self, num_shards: int,
+             boundaries: Optional[Sequence[int]] = None) -> ShardPlan:
+        """The row-block plan for ``num_shards`` shards.
+
+        ``boundaries`` (the ``num_shards - 1`` interior split rows)
+        default to the alignment-quantised even split; caller-supplied
+        values must be sorted, in ``[0, nrows]`` and aligned to
+        ``compatible_wavefront(alignment)`` or the request is rejected
+        with :class:`ShardPlanError`.
+        """
+        if num_shards < 1:
+            raise ShardPlanError(
+                f"num_shards must be >= 1, got {num_shards}")
+        if boundaries is None:
+            cuts = self._auto_boundaries(num_shards)
+        else:
+            cuts = self._validate_boundaries(num_shards, boundaries)
+        edges = [0] + cuts + [self.nrows]
+        shards = tuple(
+            self._shard_spec(i, edges[i], edges[i + 1])
+            for i in range(num_shards)
+        )
+        return ShardPlan(
+            format=getattr(self.matrix, "name", type(self.matrix).__name__),
+            nrows=self.nrows,
+            ncols=self.ncols,
+            alignment=self.alignment,
+            num_shards=num_shards,
+            min_offset=self.min_offset,
+            max_offset=self.max_offset,
+            shards=shards,
+        )
+
+    # ------------------------------------------------------------------
+    def _auto_boundaries(self, num_shards: int) -> List[int]:
+        a = self.alignment
+        cuts: List[int] = []
+        prev = 0
+        for i in range(1, num_shards):
+            ideal = i * self.nrows / num_shards
+            cut = int(round(ideal / a)) * a
+            cut = min(max(cut, prev), self.nrows)
+            cuts.append(cut)
+            prev = cut
+        return cuts
+
+    def _validate_boundaries(self, num_shards: int,
+                             boundaries: Sequence[int]) -> List[int]:
+        cuts = [int(b) for b in boundaries]
+        if len(cuts) != num_shards - 1:
+            raise ShardPlanError(
+                f"expected {num_shards - 1} interior boundaries for "
+                f"{num_shards} shards, got {len(cuts)}")
+        wf = compatible_wavefront(self.alignment)
+        prev = 0
+        for b in cuts:
+            if b < 0 or b > self.nrows:
+                raise ShardPlanError(
+                    f"boundary {b} outside [0, {self.nrows}]")
+            if b < prev:
+                raise ShardPlanError(
+                    f"boundaries must be non-decreasing, got {cuts}")
+            if b % wf:
+                raise ShardPlanError(
+                    f"boundary {b} is not aligned to the compatible "
+                    f"wavefront {wf} of alignment {self.alignment}; "
+                    "such a block cannot launch whole wavefronts")
+            prev = b
+        return cuts
+
+    # ------------------------------------------------------------------
+    def _shard_spec(self, index: int, row_start: int,
+                    row_end: int) -> ShardSpec:
+        if row_end <= row_start:
+            return ShardSpec(index=index, row_start=row_start,
+                             row_end=row_start, halo_lo=0, halo_hi=0)
+        # the last covered row can exceed row_end - 1: the final
+        # segment a shard owns is padded to a full mrows (its kernels
+        # read x for the padded rows too, guarded by ncols)
+        eff_hi = row_end
+        crsd = self.matrix if isinstance(self.matrix, CRSDMatrix) else None
+        if crsd is not None:
+            for region in crsd.regions:
+                seg_lo, seg_hi = shard_segment_range(
+                    region.start_row, region.num_segments, region.mrows,
+                    row_start, row_end)
+                if seg_hi > seg_lo:
+                    eff_hi = max(
+                        eff_hi, region.start_row + seg_hi * region.mrows)
+        halo_lo = max(0, row_start + self.min_offset)
+        halo_hi = min(self.ncols, eff_hi + self.max_offset)
+        halo_hi = max(halo_hi, halo_lo)
+        scatter_start = scatter_end = 0
+        if crsd is not None and crsd.num_scatter_rows:
+            rowno = np.asarray(crsd.scatter_rowno, dtype=np.int64)
+            scatter_start = int(np.searchsorted(rowno, row_start, "left"))
+            scatter_end = int(np.searchsorted(rowno, row_end, "left"))
+        return ShardSpec(
+            index=index,
+            row_start=row_start,
+            row_end=row_end,
+            halo_lo=halo_lo,
+            halo_hi=halo_hi,
+            scatter_start=scatter_start,
+            scatter_end=scatter_end,
+        )

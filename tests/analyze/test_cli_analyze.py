@@ -41,3 +41,65 @@ class TestAnalyzeCommand:
         assert main(["analyze", "kim1", "--no-local-memory"] + ARGS) == 0
         assert main(["analyze", "kim1", "--nvec", "2"] + ARGS) == 0
         assert main(["analyze", "kim1", "--precision", "single"] + ARGS) == 0
+
+    def test_fused_certification_in_json(self, capsys):
+        assert main(["analyze", "kim1", "--json"] + ARGS) == 0
+        payload = json.loads(capsys.readouterr().out)
+        fused = payload["fused_certification"]
+        assert fused["certified"] is True
+        assert fused["reasons"] == []
+        assert fused["crash"] is None
+
+    def test_fused_crash_is_structured(self, capsys, monkeypatch):
+        """A certifier crash surfaces as a structured entry, not a
+        traceback (and does not fail the analysis)."""
+        import repro.gpu_kernels.fused as fused_mod
+
+        def boom(*a, **k):
+            raise RuntimeError("synthetic certifier crash")
+
+        monkeypatch.setattr(fused_mod, "certify_plan", boom)
+        assert main(["analyze", "kim1", "--json"] + ARGS) == 0
+        fused = json.loads(capsys.readouterr().out)["fused_certification"]
+        assert fused["certified"] is False
+        assert fused["crash"]["type"] == "RuntimeError"
+        assert "synthetic" in fused["crash"]["message"]
+
+
+class TestAnalyzeShards:
+    def test_certified_plan_text_and_exit_zero(self, capsys):
+        assert main(["analyze", "kim1", "--shards", "4"] + ARGS) == 0
+        out = capsys.readouterr().out
+        assert "4-way row-block plan certified" in out
+
+    def test_json_payload(self, capsys):
+        assert main(["analyze", "wang3", "--shards", "2", "--json"]
+                    + ARGS) == 0
+        payload = json.loads(capsys.readouterr().out)
+        cert = payload["shard_certification"]
+        assert cert["ok"] is True
+        assert cert["plan"]["num_shards"] == 2
+        assert len(cert["per_shard_traces"]) == 2
+        assert isinstance(cert["halo_reread_transactions"], int)
+
+    def test_unplannable_request_exits_two(self, capsys):
+        assert main(["analyze", "kim1", "--shards", "0"] + ARGS) == 2
+        assert "num_shards" in capsys.readouterr().err
+
+    def test_declined_prover_exits_nonzero(self, capsys, monkeypatch):
+        """A violated prover must fail the command — a declined plan is
+        never reported as success."""
+        import repro.analyze as analyze_mod
+        from repro.analyze.report import Finding
+        from repro.analyze.sharding import ShardCertificate
+
+        declined = ShardCertificate(
+            ok=False, num_shards=4,
+            findings=[Finding("shard-halo", "error", "shard 1",
+                              "synthetic decline")])
+        monkeypatch.setattr(analyze_mod, "certify_shard_plan",
+                            lambda *a, **k: declined)
+        assert main(["analyze", "kim1", "--shards", "4"] + ARGS) == 1
+        out = capsys.readouterr().out
+        assert "DECLINED" in out
+        assert "shard-halo" in out

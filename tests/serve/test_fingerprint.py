@@ -125,6 +125,59 @@ class TestSplitFingerprints:
         assert value_fingerprint(a) == value_fingerprint(b)
 
 
+class TestSplitEdgeCases:
+    """Pattern/value split behaviour on the canonicalisation edges:
+    duplicate submissions and empty matrices."""
+
+    def test_duplicate_submission_lands_on_canonical_split(self):
+        """Explicit duplicates that sum to a plain matrix's entries
+        produce the *same* pattern and value hashes as the plain
+        submission — the split sees canonical triplets only."""
+        rows = np.array([0, 1, 2])
+        cols = np.array([1, 0, 2])
+        vals = np.array([4.0, 6.0, 8.0])
+        plain = COOMatrix(rows, cols, vals, (3, 3))
+        dup = COOMatrix(np.concatenate([rows, rows]),
+                        np.concatenate([cols, cols]),
+                        np.concatenate([vals * 0.5, vals * 0.5]), (3, 3))
+        a, b = fingerprints(plain), fingerprints(dup)
+        assert a.pattern == b.pattern
+        assert a.values == b.values
+        assert a.combined == b.combined
+
+    def test_duplicate_value_change_keeps_pattern(self):
+        """Changing only the duplicates' values moves the value hash
+        but not the pattern hash (what certificate/pattern caches key
+        on)."""
+        rows = np.array([0, 0, 1])
+        cols = np.array([2, 2, 1])
+        a = COOMatrix(rows, cols, np.array([1.0, 2.0, 3.0]), (2, 3))
+        b = COOMatrix(rows, cols, np.array([2.0, 4.0, 3.0]), (2, 3))
+        assert pattern_fingerprint(a) == pattern_fingerprint(b)
+        assert value_fingerprint(a) != value_fingerprint(b)
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_empty_matrix_split_is_stable(self):
+        empty = COOMatrix.empty((64, 64))
+        fps = fingerprints(empty)
+        for fp in (fps.combined, fps.pattern, fps.values):
+            assert len(fp) == FINGERPRINT_LEN
+            int(fp, 16)
+        again = fingerprints(COOMatrix.empty((64, 64)))
+        assert (fps.combined, fps.pattern, fps.values) == \
+            (again.combined, again.pattern, again.values)
+
+    def test_empty_matrix_shape_distinguishes_pattern(self):
+        a = fingerprints(COOMatrix.empty((64, 64)))
+        b = fingerprints(COOMatrix.empty((64, 96)))
+        assert a.pattern != b.pattern
+        assert a.combined != b.combined
+
+    def test_empty_differs_from_nonempty(self, coo):
+        empty = COOMatrix.empty(coo.shape)
+        assert fingerprints(empty).pattern != fingerprints(coo).pattern
+
+
 class TestSurfacing:
     def test_crsd_repr_carries_fingerprint(self, coo):
         crsd = CRSDMatrix.from_coo(coo, mrows=32)

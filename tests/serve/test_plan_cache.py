@@ -109,6 +109,25 @@ class TestPatternReuse:
         assert r2.plan is not cache.runner(coo, mrows=32).plan
         assert cache.stats.pattern_reuses == 0
 
+    def test_duplicate_submission_reuses_pattern(self, coo):
+        """A value-only update arriving with explicit duplicate COO
+        entries still lands on the canonical pattern fingerprint and
+        adopts the donor's plan — pattern_reuses counts it."""
+        from repro.formats.coo import COOMatrix
+
+        cache = PlanCache()
+        donor = cache.runner(coo, mrows=32)
+        dup = COOMatrix(np.concatenate([coo.rows, coo.rows]),
+                        np.concatenate([coo.cols, coo.cols]),
+                        np.concatenate([coo.vals, coo.vals]),  # sums to 2v
+                        coo.shape)
+        twin = cache.runner(dup, mrows=32)
+        assert twin is not donor
+        assert twin.plan is donor.plan
+        assert cache.stats.pattern_reuses == 1
+        x = np.random.default_rng(7).standard_normal(coo.ncols)
+        assert np.allclose(twin.run(x).y, 2.0 * (coo.todense() @ x))
+
     def test_config_is_part_of_the_pattern_key(self, coo):
         cache = PlanCache()
         cache.runner(coo, mrows=32)

@@ -1,0 +1,155 @@
+"""ShardPlanner: boundary quantisation, halo intervals, validation.
+
+The planner's outputs are pure geometry — row blocks, halo intervals,
+scatter slices — so these tests check the arithmetic directly; whether
+a plan is *correct* is the certifier's job (test_shard_certification).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.crsd import CRSDMatrix, DEFAULT_WAVEFRONT
+from repro.formats.coo import COOMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.shard.plan import ShardPlanError, ShardPlanner
+from tests.conftest import random_diagonal_matrix
+
+
+@pytest.fixture
+def coo(rng):
+    return random_diagonal_matrix(rng, n=256)
+
+
+@pytest.fixture
+def crsd(coo):
+    return CRSDMatrix.from_coo(coo, mrows=32)
+
+
+class TestAutoBoundaries:
+    def test_partition_covers_row_space(self, crsd, coo):
+        for n in (1, 2, 3, 4, 8):
+            plan = ShardPlanner(crsd, coo=coo).plan(n)
+            assert plan.num_shards == n
+            assert plan.shards[0].row_start == 0
+            assert plan.shards[-1].row_end == crsd.nrows
+            for a, b in zip(plan.shards, plan.shards[1:]):
+                assert a.row_end == b.row_start
+
+    def test_boundaries_are_alignment_multiples(self, crsd, coo):
+        plan = ShardPlanner(crsd, coo=coo).plan(4)
+        assert plan.alignment == crsd.mrows
+        for spec in plan.shards[:-1]:
+            assert spec.row_end % crsd.mrows == 0
+
+    def test_halo_interval_tracks_extreme_offsets(self, crsd, coo):
+        offs = coo.diagonal_offsets()
+        plan = ShardPlanner(crsd, coo=coo).plan(4)
+        assert plan.min_offset == int(offs.min())
+        assert plan.max_offset == int(offs.max())
+        for spec in plan.shards:
+            assert spec.halo_lo == max(0, spec.row_start + plan.min_offset)
+            assert spec.halo_lo >= 0 and spec.halo_hi <= crsd.ncols
+            # the halo must at least cover the owned block's own reads
+            assert spec.halo_hi >= min(
+                crsd.ncols, spec.row_end + plan.max_offset)
+
+    def test_padded_tail_widens_the_last_halo(self):
+        """nrows not a multiple of mrows: the final segment is padded,
+        its kernels read x for the padded rows too, and the halo says
+        so."""
+        n = 100  # mrows=32 -> last segment covers rows 96..128
+        r = np.arange(n)
+        coo = COOMatrix(r, r, np.ones(n), (n, 200))
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        plan = ShardPlanner(crsd, coo=coo).plan(2)
+        last = plan.shards[-1]
+        assert last.row_end == n
+        assert last.halo_hi == min(200, 128 + plan.max_offset)
+
+    def test_scatter_rows_sliced_by_block(self, rng):
+        n = 128
+        coo = random_diagonal_matrix(rng, n=n, scatter=6)
+        crsd = CRSDMatrix.from_coo(coo, mrows=32)
+        plan = ShardPlanner(crsd, coo=coo).plan(4)
+        rowno = np.asarray(crsd.scatter_rowno)
+        total = 0
+        for spec in plan.shards:
+            rows = rowno[spec.scatter_start:spec.scatter_end]
+            assert np.all(rows >= spec.row_start)
+            assert np.all(rows < spec.row_end) or rows.size == 0
+            total += rows.size
+        assert total == crsd.num_scatter_rows
+
+
+class TestCustomBoundaries:
+    def test_accepted_when_aligned(self, crsd, coo):
+        plan = ShardPlanner(crsd, coo=coo).plan(3, boundaries=[64, 192])
+        assert [s.row_start for s in plan.shards] == [0, 64, 192]
+
+    def test_empty_interior_shard(self, crsd, coo):
+        plan = ShardPlanner(crsd, coo=coo).plan(3, boundaries=[128, 128])
+        assert plan.shards[1].num_rows == 0
+        assert plan.shards[1].halo_elements == 0
+
+    @pytest.mark.parametrize("num_shards,boundaries,match", [
+        (0, None, "num_shards"),
+        (-2, None, "num_shards"),
+        (3, [64], "expected 2 interior boundaries"),
+        (2, [64, 128], "expected 1 interior"),
+        (2, [-32], "outside"),
+        (2, [512], "outside"),
+        (3, [128, 64], "non-decreasing"),
+        (2, [33], "not aligned"),
+    ])
+    def test_rejected_requests(self, crsd, coo, num_shards, boundaries,
+                               match):
+        planner = ShardPlanner(crsd, coo=coo)
+        with pytest.raises(ShardPlanError, match=match):
+            planner.plan(num_shards, boundaries=boundaries)
+
+    def test_misaligned_boundary_names_the_wavefront(self, crsd, coo):
+        with pytest.raises(ShardPlanError, match="wavefront 32"):
+            ShardPlanner(crsd, coo=coo).plan(2, boundaries=[48])
+
+
+class TestLadderRungs:
+    """The planner covers every degradation-ladder rung — only CRSD
+    plans are certifiable, but halo geometry is format-agnostic."""
+
+    @pytest.mark.parametrize("make", [
+        DIAMatrix.from_coo, ELLMatrix.from_coo, HYBMatrix.from_coo,
+    ])
+    def test_non_crsd_rungs_plan_with_wavefront_alignment(self, coo, make):
+        matrix = make(coo)
+        plan = ShardPlanner(matrix, coo=coo).plan(4)
+        assert plan.format == matrix.name
+        assert plan.alignment == DEFAULT_WAVEFRONT
+        assert plan.shards[-1].row_end == coo.nrows
+
+    def test_empty_matrix_has_zero_width_halo(self):
+        coo = COOMatrix.empty((64, 64))
+        crsd = CRSDMatrix.from_coo(coo, mrows=16, wavefront_size=16)
+        plan = ShardPlanner(crsd, coo=coo).plan(2)
+        assert plan.min_offset == 0 and plan.max_offset == 0
+        for spec in plan.shards:
+            assert spec.halo_elements == spec.num_rows
+
+    def test_alignment_override(self, crsd, coo):
+        plan = ShardPlanner(crsd, coo=coo, alignment=64).plan(2)
+        assert plan.alignment == 64
+        assert plan.shards[0].row_end % 64 == 0
+        with pytest.raises(ShardPlanError, match="positive"):
+            ShardPlanner(crsd, coo=coo, alignment=0)
+
+
+class TestSerialisation:
+    def test_to_dict_is_json_safe(self, crsd, coo):
+        plan = ShardPlanner(crsd, coo=coo).plan(4)
+        payload = json.loads(json.dumps(plan.to_dict()))
+        assert payload["num_shards"] == 4
+        assert len(payload["shards"]) == 4
+        assert payload["shards"][0]["row_start"] == 0
