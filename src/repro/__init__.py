@@ -18,6 +18,7 @@ its evaluation depends on:
 - ``repro.obs``          -- spans, metric registries, profile exporters
 - ``repro.resilience``   -- fault injection, retries, fallback ladder
 - ``repro.serve``        -- plan cache, micro-batching, admission control
+- ``repro.cluster``      -- sharded multi-device serving on certified plans
 - ``repro.cli``          -- ``python -m repro info/bench/serve/loadgen/...``
 
 The package root doubles as the facade (:mod:`repro.api`)::
@@ -59,8 +60,11 @@ __all__ = [
     "InputValidationError",
     # serving entry points
     "serve_session",
+    "Engine",
     "PlanCache",
     "ServeOverloaded",
+    "ClusterEngine",
+    "ReproDeprecationWarning",
     "fingerprint",
 ]
 
@@ -82,8 +86,11 @@ _LAZY = {
     "FaultInjector": "repro.resilience.faults",
     "InputValidationError": "repro.validation",
     "serve_session": "repro.serve",
+    "Engine": "repro.serve.engine",
     "PlanCache": "repro.serve.cache",
     "ServeOverloaded": "repro.serve.admission",
+    "ClusterEngine": "repro.cluster",
+    "ReproDeprecationWarning": "repro.validation",
     "fingerprint": "repro.core.serialize",
 }
 

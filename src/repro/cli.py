@@ -12,6 +12,13 @@ Commands
 ``faultsim`` — chaos-sweep the suite under seeded fault injection
 ``serve``    — serve a request stream against one matrix (micro-batched)
 ``loadgen``  — seeded open-loop load generation over the suite
+``cluster``  — multi-device cluster utilities (``cluster status``)
+
+``serve`` and ``loadgen`` accept ``--devices N`` to route the stream
+through a simulated N-device cluster (consistent-hash placement,
+certified cross-device splits).  Convention: ``--shards`` counts
+row-block shards of one matrix (static analysis), ``--devices`` counts
+cluster devices (serving); ``repro analyze`` accepts either spelling.
 
 Matrices are referenced either by Table V suite name/number
 (``kim1``, ``3``) or by a MatrixMarket file path.
@@ -352,9 +359,10 @@ def cmd_serve(args) -> int:
     Generates ``--requests`` random right-hand sides, submits them with
     seeded Poisson arrivals at ``--rate`` requests per simulated second
     (``--rate 0`` = all at once), and serves them through the
-    micro-batching engine.  Prints per-stream latency percentiles and
-    the batching/cache counters; ``--json`` prints the machine-readable
-    stats.
+    micro-batching engine — or, with ``--devices N``, through a
+    simulated N-device cluster.  Prints per-stream latency percentiles
+    and the batching/cache counters; ``--json`` prints the
+    machine-readable stats.
     """
     import json
 
@@ -362,12 +370,16 @@ def cmd_serve(args) -> int:
     from repro.ocl.executor import executor_mode
 
     executor_mode()  # surface a bad REPRO_EXECUTOR before the event loop
+    if args.split_rows is not None and not args.devices:
+        print("error: --split-rows requires --devices N", file=sys.stderr)
+        return 2
     coo, name = _load_matrix(args.matrix, args.scale)
     session = repro.serve_session(
-        precision=args.precision, mrows=args.mrows,
+        cluster=args.devices, precision=args.precision, mrows=args.mrows,
         max_batch=args.max_batch, max_delay_s=args.max_delay_us * 1e-6,
         max_queue_depth=args.queue_depth, overflow=args.overflow,
-        size_scale=args.scale, keep_y=False)
+        size_scale=args.scale, keep_y=False,
+        split_threshold_rows=args.split_rows)
     rng = np.random.default_rng(args.seed)
     at = 0.0
     for _ in range(args.requests):
@@ -396,6 +408,12 @@ def cmd_serve(args) -> int:
               f"max {served[-1] * 1e6:8.1f} us")
     print(f"  batch histogram {batching['histogram']}")
     print(f"  plan cache {stats['cache']}")
+    cluster = stats.get("cluster")
+    if cluster:
+        print(f"  cluster {cluster['num_devices']} devices "
+              f"({len(cluster['alive'])} alive), "
+              f"{cluster['split_dispatches']} split dispatches, "
+              f"halo {cluster['halo']['total_bytes']} bytes")
     return 0
 
 
@@ -404,18 +422,31 @@ def cmd_loadgen(args) -> int:
 
     Runs a fully deterministic open-loop arrival trace through the
     serving engine and prints (or writes, ``-o``) the byte-reproducible
-    JSON report — same seed, same bytes.  When
+    JSON report — same seed, same bytes.  ``--devices N`` routes the
+    trace through a simulated N-device cluster instead (with
+    ``--tenants`` value-variants per matrix and optional mid-run
+    device loss via ``--fail-device``/``--fail-at-us``).  When
     ``REPRO_SERVE_TRAJECTORY`` (or ``--trajectory``) names a file, the
-    report is also appended to that ``BENCH_serve.json`` history.
+    report is also appended to that ``BENCH_serve.json`` history;
+    cluster runs use ``REPRO_CLUSTER_TRAJECTORY`` /
+    ``BENCH_cluster.json`` with the cluster trajectory schema.
     """
+    import repro
     from repro.ocl.executor import executor_mode
     from repro.serve import AdmissionPolicy, BatchConfig
     from repro.serve.loadgen import (
-        LoadConfig, append_serve_trajectory, report_json, run_loadgen,
-        trajectory_path,
+        CLUSTER_TRAJECTORY_SCHEMA, TRAJECTORY_SCHEMA, LoadConfig,
+        append_serve_trajectory, cluster_trajectory_path, report_json,
+        run_loadgen, trajectory_path,
     )
 
     executor_mode()  # surface a bad REPRO_EXECUTOR before the event loop
+    if args.split_rows is not None and not args.devices:
+        print("error: --split-rows requires --devices N", file=sys.stderr)
+        return 2
+    if args.fail_device is not None and not args.devices:
+        print("error: --fail-device requires --devices N", file=sys.stderr)
+        return 2
     kwargs = {}
     if args.matrices:
         kwargs["matrices"] = tuple(args.matrices.split(","))
@@ -424,23 +455,97 @@ def cmd_loadgen(args) -> int:
         rate_rps=args.rate, pattern=args.pattern,
         burst_size=args.burst_size,
         deadline_s=args.deadline_us * 1e-6 if args.deadline_us else None,
-        precision=args.precision, mrows=args.mrows, **kwargs)
-    report = run_loadgen(
-        config,
-        batch=BatchConfig(max_batch=args.max_batch,
-                          max_delay_s=args.max_delay_us * 1e-6),
-        admission=AdmissionPolicy(max_queue_depth=args.queue_depth,
-                                  overflow=args.overflow))
+        precision=args.precision, mrows=args.mrows,
+        tenants=args.tenants, **kwargs)
+    if args.devices:
+        engine = repro.serve_session(
+            cluster=args.devices, precision=args.precision,
+            mrows=args.mrows, max_batch=args.max_batch,
+            max_delay_s=args.max_delay_us * 1e-6,
+            max_queue_depth=args.queue_depth, overflow=args.overflow,
+            size_scale=args.scale, keep_y="digest",
+            split_threshold_rows=args.split_rows)
+        if args.fail_device is not None:
+            engine.fail_device(args.fail_device,
+                               at_s=args.fail_at_us * 1e-6)
+        report = run_loadgen(config, engine=engine)
+    else:
+        report = run_loadgen(
+            config,
+            batch=BatchConfig(max_batch=args.max_batch,
+                              max_delay_s=args.max_delay_us * 1e-6),
+            admission=AdmissionPolicy(max_queue_depth=args.queue_depth,
+                                      overflow=args.overflow))
     text = report_json(report)
     if args.output:
         Path(args.output).write_text(text)
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(text, end="")
-    trajectory = args.trajectory or trajectory_path()
+    if args.devices:
+        trajectory = args.trajectory or cluster_trajectory_path()
+        schema = CLUSTER_TRAJECTORY_SCHEMA
+    else:
+        trajectory = args.trajectory or trajectory_path()
+        schema = TRAJECTORY_SCHEMA
     if trajectory:
-        append_serve_trajectory(report, trajectory)
+        append_serve_trajectory(report, trajectory, schema=schema)
         print(f"appended trajectory entry: {trajectory}", file=sys.stderr)
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    """``repro cluster status``: placement and load tables.
+
+    Replays a seeded multi-tenant warmup trace through an N-device
+    cluster (deterministic — same options, same tables) and prints
+    where each pattern landed (home device, split fan-out) and what
+    each device did (launches, served requests, cache residency).
+    ``--json`` emits the tables plus the full cluster stats section.
+    """
+    import json
+
+    import repro
+    from repro.ocl.executor import executor_mode
+    from repro.serve.loadgen import LoadConfig, run_loadgen
+
+    executor_mode()  # surface a bad REPRO_EXECUTOR before the event loop
+    engine = repro.serve_session(
+        cluster=args.devices, precision=args.precision, mrows=args.mrows,
+        size_scale=args.scale, keep_y="digest",
+        split_threshold_rows=args.split_rows)
+    kwargs = {}
+    if args.matrices:
+        kwargs["matrices"] = tuple(args.matrices.split(","))
+    config = LoadConfig(
+        seed=args.seed, scale=args.scale, num_requests=args.requests,
+        precision=args.precision, mrows=args.mrows, tenants=args.tenants,
+        **kwargs)
+    run_loadgen(config, engine=engine)
+    placement = engine.placement_table()
+    load = engine.load_table()
+    if args.json:
+        print(json.dumps(
+            {"placement": placement, "load": load,
+             "cluster": engine.stats()["cluster"]},
+            indent=2, sort_keys=True))
+        return 0
+    print(f"cluster: {args.devices} devices, seed {args.seed}, "
+          f"{config.num_requests} warmup requests, "
+          f"{config.tenants} tenant(s)/matrix")
+    print("placement:")
+    print(f"  {'pattern':<18} {'home':>4}  {'split':<5} devices")
+    for row in placement:
+        devs = ",".join(str(d) for d in row["devices"])
+        print(f"  {row['pattern'][:16]:<18} {row['home']:>4}  "
+              f"{str(row['split']):<5} {devs}")
+    print("load:")
+    print(f"  {'device':>6} {'alive':<5} {'launches':>8} "
+          f"{'shard':>6} {'served':>6} {'cached':>6}")
+    for row in load:
+        print(f"  {row['device']:>6} {str(row['alive']):<5} "
+              f"{row['launches']:>8} {row['shard_launches']:>6} "
+              f"{row['served']:>6} {row['cache_entries']:>6}")
     return 0
 
 
@@ -488,10 +593,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="analyze the multi-vector SpMM variant")
     sp.add_argument("--no-local-memory", action="store_true",
                     help="analyze the A1 ablation (no AD tile staging)")
-    sp.add_argument("--shards", type=int, default=None, metavar="N",
+    sp.add_argument("--shards", "--devices", type=int, default=None,
+                    metavar="N", dest="shards",
                     help="additionally certify the N-way row-block "
                          "shard plan (non-zero exit on a violated "
-                         "prover)")
+                         "prover); --devices is an alias — the same "
+                         "plan a --devices N cluster serves")
     sp.add_argument("--json", action="store_true",
                     help="machine-readable findings report")
     sp.set_defaults(fn=cmd_analyze)
@@ -573,6 +680,14 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--deadline-us", type=float, default=None,
                         help="per-request deadline, microseconds "
                              "(default: none)")
+        sp.add_argument("--devices", type=int, default=None, metavar="N",
+                        help="serve through a simulated N-device "
+                             "cluster (default: one engine)")
+        sp.add_argument("--split-rows", type=int, default=None,
+                        metavar="ROWS",
+                        help="with --devices: split matrices of at "
+                             "least ROWS rows across devices on a "
+                             "certified shard plan")
 
     sp = sub.add_parser(
         "serve", help="serve a request stream against one matrix"
@@ -606,12 +721,54 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--burst-size", type=int, default=8,
                     help="arrivals per burst under --pattern burst "
                          "(default 8)")
+    sp.add_argument("--tenants", type=int, default=1,
+                    help="value-variant tenants per suite matrix "
+                         "(default 1)")
+    sp.add_argument("--fail-device", type=int, default=None, metavar="D",
+                    help="with --devices: lose device D mid-run "
+                         "(rebalance + re-serve, zero wrong answers)")
+    sp.add_argument("--fail-at-us", type=float, default=500.0,
+                    help="simulated loss instant for --fail-device, "
+                         "microseconds (default 500)")
     sp.add_argument("-o", "--output", metavar="FILE",
                     help="write the JSON report here instead of stdout")
     sp.add_argument("--trajectory", metavar="FILE", default=None,
                     help="append the report to this BENCH_serve.json "
-                         "(default: $REPRO_SERVE_TRAJECTORY)")
+                         "(default: $REPRO_SERVE_TRAJECTORY; with "
+                         "--devices: BENCH_cluster.json / "
+                         "$REPRO_CLUSTER_TRAJECTORY)")
     sp.set_defaults(fn=cmd_loadgen)
+
+    sp = sub.add_parser(
+        "cluster", help="multi-device cluster utilities"
+    )
+    cluster_sub = sp.add_subparsers(dest="cluster_command", required=True)
+    sp = cluster_sub.add_parser(
+        "status", help="placement/load tables after a seeded warmup"
+    )
+    sp.add_argument("--devices", type=int, default=4, metavar="N",
+                    help="cluster size (default 4)")
+    sp.add_argument("--seed", type=int, default=0,
+                    help="warmup trace seed (default 0)")
+    sp.add_argument("--requests", type=int, default=64,
+                    help="warmup requests (default 64)")
+    sp.add_argument("--matrices", default=None,
+                    help="comma-separated suite names (default: the "
+                         "8-matrix representative subset)")
+    sp.add_argument("--tenants", type=int, default=1,
+                    help="value-variant tenants per matrix (default 1)")
+    sp.add_argument("--scale", type=float, default=0.02,
+                    help="suite generation scale (default 0.02)")
+    sp.add_argument("--mrows", type=int, default=128,
+                    help="CRSD row-segment size (default 128)")
+    sp.add_argument("--precision", choices=["double", "single"],
+                    default="double")
+    sp.add_argument("--split-rows", type=int, default=None, metavar="ROWS",
+                    help="split matrices of at least ROWS rows across "
+                         "devices on a certified shard plan")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable tables + cluster stats")
+    sp.set_defaults(fn=cmd_cluster)
     return p
 
 

@@ -1,0 +1,24 @@
+"""Sharded multi-device serving on certified shard plans.
+
+The cluster layer stacks on :mod:`repro.serve`: ``N`` simulated
+devices (each a ServeEngine + PlanCache + clock), a consistent-hash
+:class:`~repro.cluster.router.ClusterRouter` placing matrices by
+pattern fingerprint, certified row-block splits with
+:class:`~repro.cluster.halo.HaloExchange` byte accounting, and
+rebalancing on simulated device loss.  See ``docs/SERVING.md`` for the
+semantics and :class:`~repro.cluster.engine.ClusterEngine` for the
+entry point (or ``repro.serve_session(cluster=N)`` for the facade).
+"""
+
+from repro.cluster.engine import ClusterEngine, DeviceLoss, SimDevice
+from repro.cluster.halo import HaloExchange, shard_halo_elements
+from repro.cluster.router import ClusterRouter
+
+__all__ = [
+    "ClusterEngine",
+    "ClusterRouter",
+    "DeviceLoss",
+    "HaloExchange",
+    "SimDevice",
+    "shard_halo_elements",
+]

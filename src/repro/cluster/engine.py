@@ -1,0 +1,565 @@
+"""The sharded multi-device serving cluster.
+
+``N`` simulated devices — each a full
+:class:`~repro.serve.engine.ServeEngine` with its own
+:class:`~repro.serve.cache.PlanCache` and clock — behind one
+:class:`~repro.serve.engine.Engine`-shaped facade.  The
+:class:`~repro.cluster.router.ClusterRouter` places every matrix by
+consistent hash over its *pattern* fingerprint; matrices at or above
+``split_threshold_rows`` are split row-block across the ring's next
+distinct devices, but only through a
+:func:`~repro.analyze.sharding.certify_shard_plan` certificate — an
+unprovable plan falls back to whole-matrix serving on the home device,
+never to uncertified shard execution.  Devices share one
+:class:`~repro.serve.cache.ShardCertificateStore`, so a plan is proven
+once cluster-wide and every later activation is a counted cross-device
+reuse.
+
+Split requests ship only the certified ``x`` halo intervals between
+devices (:class:`~repro.cluster.halo.HaloExchange` accounts the bytes
+as obs events); their per-shard partial results reassemble into a
+``y`` that is bit-identical to the single-engine run, because the
+certificate's write-disjointness prover guarantees each row is owned
+by exactly one shard.
+
+Device loss (:meth:`ClusterEngine.fail_device`, fault kinds shared
+with :mod:`repro.resilience`) is an epoch boundary in the one global
+discrete-event loop: every live engine drains up to the loss instant,
+the dead device's unexecuted work is evacuated, its patterns re-place
+over the surviving ring (re-certifying through the shared store), and
+affected split requests are cancelled everywhere and re-dispatched
+whole — completed work keeps its results, lost work is re-served,
+nothing is served wrong.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.halo import HaloExchange
+from repro.cluster.router import ClusterRouter
+from repro.obs import recorder as _obs
+from repro.ocl.device import DeviceSpec, TESLA_C2050
+from repro.resilience.faults import FAULT_KINDS
+from repro.serve.admission import AdmissionPolicy
+from repro.serve.batcher import BatchConfig
+from repro.serve.cache import PlanCache, ShardCertificateStore
+from repro.serve.clock import FOREVER
+from repro.serve.engine import ServedResult, ServeEngine
+
+__all__ = ["ClusterEngine", "DeviceLoss", "SimDevice"]
+
+
+@dataclass
+class DeviceLoss:
+    """A scheduled simulated device loss (one resilience fault kind)."""
+
+    device: int
+    at_s: float
+    kind: str = "device_oom"
+    applied: bool = False
+
+
+@dataclass
+class SimDevice:
+    """One simulated device: its engine plus placement-load counters."""
+
+    index: int
+    engine: ServeEngine
+    #: cluster requests currently homed here (unsplit) / shards hosted
+    homed_patterns: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.engine.alive
+
+
+@dataclass
+class _Placement:
+    """Where one pattern lives right now."""
+
+    pattern: str
+    home: int
+    split: bool = False
+    num_shards: int = 0
+    shard_devices: Tuple[int, ...] = ()
+    cert: Any = None
+
+
+@dataclass
+class _Inflight:
+    """One dispatched split request awaiting its shard partials."""
+
+    rid: int
+    fps: Any
+    matrix: Any
+    x: np.ndarray
+    arrival_s: float
+    deadline_abs: Optional[float]
+    specs: Tuple
+    num_shards: int
+    #: shard index -> device index serving it
+    expected: Dict[int, int] = field(default_factory=dict)
+    partials: Dict[int, ServedResult] = field(default_factory=dict)
+
+
+class ClusterEngine:
+    """N simulated serving devices behind the ``Engine`` protocol.
+
+    Parameters mirror :class:`~repro.serve.engine.ServeEngine` (every
+    device shares the execution configuration) plus the cluster knobs:
+
+    ``split_threshold_rows``
+        Matrices with at least this many rows are split across devices
+        (``None`` — the default — never splits).
+    ``split_ways``
+        Shard count for split matrices (``None`` = one shard per live
+        device).
+    ``cache_capacity`` / ``vnodes``
+        Per-device :class:`~repro.serve.cache.PlanCache` capacity and
+        consistent-hash virtual nodes per device.
+    """
+
+    report_schema = "repro-cluster-report/v1"
+
+    def __init__(
+        self,
+        num_devices: int,
+        *,
+        device: DeviceSpec = TESLA_C2050,
+        precision: str = "double",
+        mrows: int = 128,
+        use_local_memory: bool = True,
+        batch: Optional[BatchConfig] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        prepare_cost_s: float = 0.0,
+        size_scale: float = 1.0,
+        keep_y=True,
+        split_threshold_rows: Optional[int] = None,
+        split_ways: Optional[int] = None,
+        cache_capacity: int = 64,
+        vnodes: int = 64,
+        cert_store: Optional[ShardCertificateStore] = None,
+    ):
+        if num_devices < 1:
+            raise ValueError(
+                f"num_devices must be >= 1, got {num_devices}")
+        self.num_devices = int(num_devices)
+        self.device_spec = device
+        self.precision = precision
+        self.mrows = int(mrows)
+        self.use_local_memory = bool(use_local_memory)
+        self.keep_y = keep_y
+        self.split_threshold_rows = split_threshold_rows
+        self.split_ways = split_ways
+        self.cert_store = (cert_store if cert_store is not None
+                           else ShardCertificateStore())
+        self.router = ClusterRouter(self.num_devices, vnodes=vnodes)
+        self.halo = HaloExchange(precision)
+        self.devices = [
+            SimDevice(i, ServeEngine(
+                device=device, precision=precision, mrows=mrows,
+                use_local_memory=use_local_memory, batch=batch,
+                admission=admission,
+                cache=PlanCache(capacity=cache_capacity,
+                                cert_store=self.cert_store),
+                prepare_cost_s=prepare_cost_s, size_scale=size_scale,
+                keep_y=keep_y))
+            for i in range(self.num_devices)
+        ]
+
+        self._next_id = 0
+        #: (arrival, rid, fps, matrix, x, deadline_rel, resilience)
+        self._arrivals: List[Tuple] = []
+        self._losses: List[DeviceLoss] = []
+        self._placements: Dict[str, _Placement] = {}
+        #: (device index, device-level rid) -> cluster rid (unsplit)
+        self._submap: Dict[Tuple[int, int], int] = {}
+        self._inflight: Dict[int, _Inflight] = {}
+        self.rebalances: List[Dict[str, Any]] = []
+        self.split_dispatches = 0
+        self.split_declines = 0
+        self.results: List[ServedResult] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The cluster's simulated time: the farthest device clock."""
+        return max(d.engine.clock.now for d in self.devices)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        matrix,
+        x: np.ndarray,
+        *,
+        at: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        resilience=None,
+    ) -> int:
+        """Enqueue one request; returns its cluster-level id.
+
+        Same contract as :meth:`ServeEngine.submit`; routing happens
+        inside :meth:`run`, at the arrival instant, against the ring
+        as it exists then.
+        """
+        from repro.core.serialize import fingerprints
+
+        fps = fingerprints(matrix)
+        arrival = self.now if at is None else max(float(at), 0.0)
+        rid = self._next_id
+        self._next_id += 1
+        self._arrivals.append(
+            (arrival, rid, fps, matrix, x, deadline_s, resilience))
+        return rid
+
+    def fail_device(self, device: int, at_s: float,
+                    kind: str = "device_oom") -> None:
+        """Schedule losing ``device`` at simulated instant ``at_s``.
+
+        ``kind`` must be one of the :mod:`repro.resilience` fault
+        categories (:data:`~repro.resilience.faults.FAULT_KINDS`) — the
+        cluster reuses the chaos taxonomy so incident reports and
+        rebalance records speak the same language.
+        """
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; expected one of "
+                f"{FAULT_KINDS}")
+        if not 0 <= int(device) < self.num_devices:
+            raise ValueError(f"no such device: {device}")
+        self._losses.append(
+            DeviceLoss(device=int(device), at_s=float(at_s), kind=kind))
+
+    # ------------------------------------------------------------------
+    # the global event loop
+    # ------------------------------------------------------------------
+    def run(self, until: float = FOREVER) -> List[ServedResult]:
+        """Drain the cluster up to ``until`` (default: everything).
+
+        One deterministic discrete-event loop: scheduled device losses
+        cut the timeline into epochs; within an epoch arrivals dispatch
+        to their routed devices (in arrival order) and every live
+        engine drains to the epoch boundary, then the loss applies —
+        evacuation, ring removal, re-placement, re-dispatch — and the
+        next epoch begins.  Results arrive in deterministic completion
+        order with cluster-level request ids.
+        """
+        drained: List[ServedResult] = []
+        arrivals = sorted(self._arrivals, key=lambda a: (a[0], a[1]))
+        if until == FOREVER:
+            self._arrivals = []
+        else:
+            self._arrivals = [a for a in arrivals if a[0] > until]
+            arrivals = [a for a in arrivals if a[0] <= until]
+        losses = sorted(
+            (loss for loss in self._losses
+             if not loss.applied and loss.at_s <= until),
+            key=lambda f: (f.at_s, f.device))
+        i, n = 0, len(arrivals)
+        for event in [*losses, None]:
+            bound = until if event is None else event.at_s
+            while i < n and arrivals[i][0] <= bound:
+                self._dispatch(*arrivals[i])
+                i += 1
+            for dev in self.devices:
+                if dev.alive:
+                    self._collect(dev, dev.engine.run(until=bound),
+                                  drained)
+            if event is not None:
+                event.applied = True
+                self._apply_loss(event, drained)
+        self.results.extend(drained)
+        return drained
+
+    # ------------------------------------------------------------------
+    # routing + dispatch
+    # ------------------------------------------------------------------
+    def _placement_for(self, fps, matrix) -> _Placement:
+        placement = self._placements.get(fps.pattern)
+        if placement is not None:
+            return placement
+        home = self.router.place(fps.pattern)
+        placement = _Placement(pattern=fps.pattern, home=home)
+        nrows = int(getattr(matrix, "nrows", None)
+                    or np.asarray(matrix).shape[0])
+        want = (self.split_threshold_rows is not None
+                and nrows >= self.split_threshold_rows
+                and self.router.num_alive >= 2)
+        if want:
+            k = min(self.split_ways or self.router.num_alive,
+                    self.router.num_alive)
+            if k >= 2:
+                cert = self.devices[home].engine.cache.shard_certificate(
+                    matrix, k, device=self.device_spec,
+                    precision=self.precision, mrows=self.mrows,
+                    use_local_memory=self.use_local_memory)
+                if cert.ok:
+                    placement.split = True
+                    placement.num_shards = k
+                    placement.shard_devices = self.router.successors(
+                        fps.pattern, k)
+                    placement.cert = cert
+                else:
+                    # unprovable plan: serve whole on the home device,
+                    # never uncertified shards
+                    self.split_declines += 1
+                    self._event("cluster.split_decline",
+                                pattern=fps.pattern, num_shards=k)
+        self._placements[fps.pattern] = placement
+        self.devices[home].homed_patterns += 1
+        self._event("cluster.place", pattern=fps.pattern, home=home,
+                    split=placement.split,
+                    num_shards=placement.num_shards)
+        return placement
+
+    def _dispatch(self, at, rid, fps, matrix, x, deadline_rel,
+                  resilience) -> None:
+        placement = self._placement_for(fps, matrix)
+        if placement.split and resilience is None:
+            self._dispatch_split(placement, at, rid, fps, matrix, x,
+                                 deadline_rel)
+            return
+        engine = self.devices[placement.home].engine
+        drid = engine.submit(matrix, x, at=at, deadline_s=deadline_rel,
+                             resilience=resilience)
+        self._submap[(placement.home, drid)] = rid
+
+    def _dispatch_split(self, placement: _Placement, at, rid, fps,
+                        matrix, x, deadline_rel) -> None:
+        cert = placement.cert
+        self.halo.ship(cert, pattern=fps.pattern)
+        info = _Inflight(
+            rid=rid, fps=fps, matrix=matrix, x=x, arrival_s=at,
+            deadline_abs=(None if deadline_rel is None
+                          else at + float(deadline_rel)),
+            specs=cert.shard_plan.shards,
+            num_shards=placement.num_shards)
+        for spec in cert.shard_plan.shards:
+            if not spec.num_rows:
+                continue
+            dev_idx = placement.shard_devices[spec.index]
+            self.devices[dev_idx].engine.submit_shard(
+                matrix, x, num_shards=placement.num_shards,
+                shard_index=spec.index, at=at, parent_id=rid)
+            info.expected[spec.index] = dev_idx
+        self._inflight[rid] = info
+        self.split_dispatches += 1
+
+    # ------------------------------------------------------------------
+    # result collection + reassembly
+    # ------------------------------------------------------------------
+    def _collect(self, dev: SimDevice, results: List[ServedResult],
+                 out: List[ServedResult]) -> None:
+        for r in results:
+            if r.parent_id is not None and r.shard_index is not None:
+                self._absorb_partial(r, out)
+            else:
+                rid = self._submap.pop((dev.index, r.request_id))
+                out.append(dataclasses.replace(r, request_id=rid))
+
+    def _absorb_partial(self, r: ServedResult,
+                        out: List[ServedResult]) -> None:
+        info = self._inflight.get(r.parent_id)
+        if info is None:
+            return  # parent re-dispatched after a loss: stale partial
+        info.partials[r.shard_index] = r
+        if set(info.partials) != set(info.expected):
+            return
+        out.append(self._assemble(info))
+        del self._inflight[info.rid]
+
+    def _assemble(self, info: _Inflight) -> ServedResult:
+        import hashlib
+
+        nrows = info.specs[-1].row_end
+        first = next(iter(info.partials.values()))
+        y = np.zeros(nrows, dtype=first.y.dtype)
+        for idx, part in info.partials.items():
+            spec = info.specs[idx]
+            y[spec.row_start:spec.row_end] = part.y
+        start = min(p.start_s for p in info.partials.values())
+        finish = max(p.finish_s for p in info.partials.values())
+        met = (None if info.deadline_abs is None
+               else finish <= info.deadline_abs)
+        y_digest = None
+        if self.keep_y == "digest":
+            y_digest = hashlib.sha256(
+                np.ascontiguousarray(y).tobytes()).digest()
+            y = None
+        elif not self.keep_y:
+            y = None
+        return ServedResult(
+            request_id=info.rid, fingerprint=info.fps.combined,
+            status="served", arrival_s=info.arrival_s, start_s=start,
+            finish_s=finish, latency_s=finish - info.arrival_s,
+            batch_size=len(info.partials), batched=False,
+            deadline_met=met, y=y, y_digest=y_digest)
+
+    # ------------------------------------------------------------------
+    # device loss + rebalancing
+    # ------------------------------------------------------------------
+    def _apply_loss(self, event: DeviceLoss,
+                    out: List[ServedResult]) -> None:
+        dev = self.devices[event.device]
+        if not dev.alive:
+            return  # already dead (duplicate schedule)
+        evacuated = dev.engine.evacuate()
+        self.router.remove(event.device)
+        self._event("cluster.device_loss", device=event.device,
+                    kind=event.kind, at_s=event.at_s,
+                    evacuated=len(evacuated))
+        # every placement that touched the dead device re-places on the
+        # surviving ring (consistent hashing moves nothing else)
+        dead_patterns = [
+            p for p, pl in self._placements.items()
+            if pl.home == event.device
+            or event.device in pl.shard_devices]
+        for p in dead_patterns:
+            del self._placements[p]
+        # split requests with any shard on the dead device restart
+        # whole: cancel their surviving sub-requests everywhere, drop
+        # the partials, re-dispatch under the new placement
+        affected = sorted(
+            rid for rid, info in self._inflight.items()
+            if event.device in info.expected.values())
+        affected_set = set(affected)
+        if affected_set:
+            for d in self.devices:
+                if d.alive:
+                    d.engine.cancel_where(
+                        lambda req: req.parent_id in affected_set)
+        moved = 0
+        for rid in affected:
+            info = self._inflight.pop(rid)
+            arrival = max(info.arrival_s, event.at_s)
+            deadline_rel = (None if info.deadline_abs is None
+                            else info.deadline_abs - arrival)
+            self._dispatch(arrival, rid, info.fps, info.matrix, info.x,
+                           deadline_rel, None)
+            moved += 1
+        # unsplit work stranded on the dead device re-homes; shard
+        # sub-requests of affected parents were already re-dispatched
+        # through their parent above
+        from repro.core.serialize import MatrixFingerprints
+
+        for req in evacuated:
+            if req.parent_id is not None:
+                continue
+            rid = self._submap.pop((event.device, req.id))
+            arrival = max(req.arrival_s, event.at_s)
+            deadline_rel = (None if req.deadline_s is None
+                            else req.deadline_s - arrival)
+            fps = MatrixFingerprints(
+                combined=req.entry.fingerprint,
+                pattern=req.entry.pattern_fingerprint, values="")
+            self._dispatch(arrival, rid, fps, req.entry.coo, req.x,
+                           deadline_rel, req.resilience)
+            moved += 1
+        self.rebalances.append({
+            "at_s": event.at_s,
+            "device": event.device,
+            "kind": event.kind,
+            "moved_requests": moved,
+            "replaced_patterns": len(dead_patterns),
+            "alive": list(self.router.alive),
+        })
+        self._event("cluster.rebalance", device=event.device,
+                    moved=moved, patterns=len(dead_patterns))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def placement_table(self) -> List[Dict[str, Any]]:
+        """Current placements, one row per pattern (for the CLI)."""
+        rows = []
+        for pattern in sorted(self._placements):
+            pl = self._placements[pattern]
+            rows.append({
+                "pattern": pattern,
+                "home": pl.home,
+                "split": pl.split,
+                "num_shards": pl.num_shards,
+                "devices": list(pl.shard_devices) or [pl.home],
+            })
+        return rows
+
+    def load_table(self) -> List[Dict[str, Any]]:
+        """Per-device load summary (for the CLI)."""
+        rows = []
+        for d in self.devices:
+            e = d.engine
+            rows.append({
+                "device": d.index,
+                "alive": d.alive,
+                "clock_s": e.clock.now,
+                "launches": (e.spmm_launches + e.spmv_launches
+                             + e.shard_launches),
+                "shard_launches": e.shard_launches,
+                "served": sum(1 for r in e.results if r.served),
+                "cache_entries": len(e.cache),
+            })
+        return rows
+
+    def stats(self) -> Dict[str, Any]:
+        """Cluster counters plus per-device engine stats (JSON-safe).
+
+        The aggregate ``admission`` / ``batching`` / ``cache`` sections
+        sum the per-device counters so cluster reports read like
+        single-engine ones; the ``cluster`` section carries placement,
+        halo, certificate-store and rebalance accounting.
+        """
+        per_device = [d.engine.stats() for d in self.devices]
+
+        def summed(section: str) -> Dict[str, Any]:
+            agg: Dict[str, Any] = {}
+            for dstats in per_device:
+                for k, v in dstats[section].items():
+                    if isinstance(v, bool) or not isinstance(
+                            v, (int, float)):
+                        agg.setdefault(k, v)
+                    else:
+                        agg[k] = agg.get(k, 0) + v
+            return agg
+
+        batching = summed("batching")
+        batching["histogram"] = {}
+        for dstats in per_device:
+            for k, v in dstats["batching"]["histogram"].items():
+                batching["histogram"][k] = (
+                    batching["histogram"].get(k, 0) + v)
+        batching["histogram"] = dict(sorted(batching["histogram"].items()))
+        cache = summed("cache")
+        lookups = cache.get("hits", 0) + cache.get("misses", 0)
+        cache["hit_rate"] = cache.get("hits", 0) / lookups if lookups else 0.0
+        return {
+            "clock_s": self.now,
+            "admission": summed("admission"),
+            "batching": batching,
+            "cache": cache,
+            "cluster": {
+                "num_devices": self.num_devices,
+                "alive": list(self.router.alive),
+                "router": self.router.to_dict(),
+                "placements": len(self._placements),
+                "split_dispatches": self.split_dispatches,
+                "split_declines": self.split_declines,
+                "halo": self.halo.to_dict(),
+                "cert_store": self.cert_store.to_dict(),
+                "rebalances": self.rebalances,
+            },
+            "devices": per_device,
+        }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _event(name: str, **attrs) -> None:
+        sess = _obs.ACTIVE
+        if sess is not None:
+            sess.record_event(name, category="cluster", **attrs)

@@ -1,0 +1,123 @@
+"""Consistent-hash placement of matrices onto simulated devices.
+
+The router owns the *where* of cluster serving: every matrix pattern
+hashes onto a ring of virtual nodes, the first virtual node at or
+after the pattern's point names the home device, and the next distinct
+devices along the ring host the shards of a split matrix.  Consistent
+hashing is what makes device loss cheap — removing a device deletes
+only its own virtual nodes, so exactly the patterns it hosted move and
+every other placement is untouched (the rebalancing invariant
+``tests/cluster/test_router.py`` pins).
+
+Everything is derived from SHA-256 over stable strings, so placement
+is deterministic across processes and platforms — a requirement for
+the byte-reproducible ``BENCH_cluster.json`` trajectories.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Tuple
+
+__all__ = ["ClusterRouter"]
+
+
+def _point(label: str) -> int:
+    """The ring position of ``label`` (64-bit slice of SHA-256)."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big")
+
+
+class ClusterRouter:
+    """A consistent-hash ring over the cluster's live devices.
+
+    Parameters
+    ----------
+    num_devices:
+        Devices ``0 .. num_devices-1``, all initially alive.
+    vnodes:
+        Virtual nodes per device.  More virtual nodes flatten the load
+        split at the cost of a larger ring; 64 keeps the per-device
+        share within a few percent of even for the suite's pattern
+        counts.
+    """
+
+    def __init__(self, num_devices: int, vnodes: int = 64):
+        if num_devices < 1:
+            raise ValueError(
+                f"num_devices must be >= 1, got {num_devices}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._alive = set(range(int(num_devices)))
+        self._build_ring()
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> Tuple[int, ...]:
+        """Live device indices, ascending."""
+        return tuple(sorted(self._alive))
+
+    @property
+    def num_alive(self) -> int:
+        return len(self._alive)
+
+    def _build_ring(self) -> None:
+        ring: List[Tuple[int, int]] = []
+        for dev in sorted(self._alive):
+            for v in range(self.vnodes):
+                ring.append((_point(f"device{dev}/vnode{v}"), dev))
+        ring.sort()
+        self._ring = ring
+        self._points = [p for p, _ in ring]
+
+    # ------------------------------------------------------------------
+    def place(self, key: str) -> int:
+        """The home device of ``key`` (a pattern fingerprint)."""
+        if not self._ring:
+            raise RuntimeError("no live devices left to place on")
+        i = bisect.bisect_right(self._points, _point("key:" + key))
+        return self._ring[i % len(self._ring)][1]
+
+    def successors(self, key: str, count: int) -> Tuple[int, ...]:
+        """``count`` distinct devices for ``key``, walking the ring
+        from its home (the home device is always first)."""
+        if not self._ring:
+            raise RuntimeError("no live devices left to place on")
+        count = min(int(count), len(self._alive))
+        start = bisect.bisect_right(self._points, _point("key:" + key))
+        picked: List[int] = []
+        seen = set()
+        for step in range(len(self._ring)):
+            dev = self._ring[(start + step) % len(self._ring)][1]
+            if dev not in seen:
+                seen.add(dev)
+                picked.append(dev)
+                if len(picked) == count:
+                    break
+        return tuple(picked)
+
+    def remove(self, device: int) -> None:
+        """Take ``device`` off the ring (device loss).  Only keys it
+        hosted re-place; everything else keeps its home."""
+        if device not in self._alive:
+            raise ValueError(f"device {device} is not alive")
+        if len(self._alive) == 1:
+            raise RuntimeError(
+                "cannot remove the last live device of the cluster")
+        self._alive.discard(device)
+        self._build_ring()
+
+    # ------------------------------------------------------------------
+    def table(self, keys) -> Dict[str, int]:
+        """Current ``key -> home device`` mapping for ``keys``."""
+        return {k: self.place(k) for k in keys}
+
+    def to_dict(self) -> Dict[str, object]:
+        """Ring shape and liveness as a JSON-safe dict (cluster stats)."""
+        return {
+            "alive": list(self.alive),
+            "vnodes": self.vnodes,
+            "ring_size": len(self._ring),
+        }

@@ -83,6 +83,15 @@ class Request:
     deadline_s: Optional[float] = None
     resilience: Optional[Any] = None
     batchable: bool = True
+    #: set on a cluster-internal sub-request serving one row-block of a
+    #: split matrix: the shard index / total shard count of the
+    #: certified plan, and the cluster-level id of the parent request
+    shard_index: Optional[int] = None
+    shard_count: Optional[int] = None
+    parent_id: Optional[int] = None
+    #: admission already happened upstream (the cluster router admits a
+    #: split request once, not once per shard)
+    preadmitted: bool = False
 
 
 class MicroBatcher:
@@ -105,6 +114,24 @@ class MicroBatcher:
         """Remove and return the oldest queued request (drop-oldest
         overflow)."""
         return self._pending.popleft()
+
+    def drain_all(self) -> List[Request]:
+        """Remove and return every queued request in FIFO order (device
+        evacuation)."""
+        items = list(self._pending)
+        self._pending.clear()
+        return items
+
+    def cancel_where(self, predicate) -> List[Request]:
+        """Remove and return every queued request matching
+        ``predicate`` (cluster-side cancellation of a re-placed
+        request's surviving sub-requests)."""
+        cancelled = [r for r in self._pending if predicate(r)]
+        if cancelled:
+            dead = {r.id for r in cancelled}
+            self._pending = deque(
+                r for r in self._pending if r.id not in dead)
+        return cancelled
 
     def drain_expired(self, now: float) -> List[Request]:
         """Remove and return every queued request whose deadline has

@@ -22,14 +22,16 @@ reports as kernel launches.
 
 from __future__ import annotations
 
+import itertools
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.obs import recorder as _obs
 from repro.ocl.device import DeviceSpec, TESLA_C2050
 
-__all__ = ["CacheStats", "PlanEntry", "PlanCache", "default_cache",
+__all__ = ["CacheStats", "PlanEntry", "PlanCache",
+           "ShardCertificateStore", "default_cache",
            "reset_default_cache"]
 
 
@@ -43,6 +45,10 @@ class CacheStats:
     #: runner misses that still reused a same-pattern donor's plan,
     #: codelets and fused state (only the value buffers were rebuilt)
     pattern_reuses: int = 0
+    #: shard-certificate hits served from a *shared*
+    #: :class:`ShardCertificateStore` where the certificate was proven
+    #: by a different cache (another cluster device)
+    cert_reuses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -60,7 +66,72 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "pattern_reuses": self.pattern_reuses,
+            "cert_reuses": self.cert_reuses,
             "hit_rate": self.hit_rate,
+        }
+
+
+#: distinguishes the caches sharing one certificate store (never
+#: recycled, unlike ``id()``)
+_CACHE_TOKENS = itertools.count()
+
+
+class ShardCertificateStore:
+    """Shared, read-only-after-insert map of shard certificates.
+
+    Certification is pure in the *pattern*: the provers never read
+    matrix values, so a certificate proven once is valid for every
+    same-pattern matrix on every device.  Cluster devices therefore
+    share one store — keyed by (pattern fingerprint, row-block
+    boundaries, execution config) — and the first cache to prove a
+    plan publishes it; later caches (usually other devices) get a hit
+    and count it as cross-device reuse.  Entries are never mutated
+    after insert; only a cache that privately owns its store may
+    :meth:`prune` orphans on eviction.
+    """
+
+    def __init__(self):
+        #: key -> (certificate, token of the cache that proved it)
+        self._certs: Dict[Tuple, Tuple[Any, int]] = {}
+        self.cross_device_reuses = 0
+
+    def __len__(self) -> int:
+        return len(self._certs)
+
+    def get(self, key: Tuple, token: int):
+        """The certificate under ``key`` (or ``None``) plus whether the
+        hit crossed caches — proven by a cache other than ``token``."""
+        rec = self._certs.get(key)
+        if rec is None:
+            return None, False
+        cert, owner = rec
+        cross = owner != token
+        if cross:
+            self.cross_device_reuses += 1
+        return cert, cross
+
+    def put(self, key: Tuple, cert, token: int) -> None:
+        """Publish ``cert`` under ``key`` (first prover wins; the store
+        is read-only after insert)."""
+        self._certs.setdefault(key, (cert, token))
+
+    def prune(self, live_patterns: Iterable[str]) -> None:
+        """Drop certificates whose pattern is not in ``live_patterns``
+        (private per-cache stores only — shared stores are never
+        pruned, other devices may still hold the pattern)."""
+        live = set(live_patterns)
+        self._certs = {k: v for k, v in self._certs.items()
+                       if k[0] in live}
+
+    def clear(self) -> None:
+        """Drop every certificate (private-store reset)."""
+        self._certs.clear()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Residency and reuse counters as a JSON-safe dict."""
+        return {
+            "certificates": len(self._certs),
+            "cross_device_reuses": self.cross_device_reuses,
         }
 
 
@@ -106,7 +177,8 @@ class PlanCache:
         entry (and all its prepared runners) is evicted beyond that.
     """
 
-    def __init__(self, capacity: int = 16):
+    def __init__(self, capacity: int = 16,
+                 cert_store: Optional[ShardCertificateStore] = None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
@@ -114,10 +186,14 @@ class PlanCache:
         #: (pattern fp, runner key) -> donor runner whose plan/codelets
         #: a same-pattern new-values matrix adopts instead of rebuilding
         self._pattern_runners: Dict[Tuple, Any] = {}
-        #: (pattern fp, shard config) -> certified ShardCertificate;
-        #: pattern-keyed because the shard provers never read values —
-        #: a same-pattern new-values matrix inherits the certificate
-        self._shard_certs: Dict[Tuple, Any] = {}
+        #: shard certificates are pattern-keyed (the provers never read
+        #: values) and live in a :class:`ShardCertificateStore` — a
+        #: private one per cache by default, or a shared one passed by
+        #: the cluster so devices inherit each other's proofs
+        self._private_store = cert_store is None
+        self.cert_store = (cert_store if cert_store is not None
+                           else ShardCertificateStore())
+        self._cert_token = next(_CACHE_TOKENS)
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -135,10 +211,12 @@ class PlanCache:
         return tuple(self._entries)
 
     def clear(self) -> None:
-        """Drop every entry (counters are kept)."""
+        """Drop every entry (counters are kept; a shared certificate
+        store is left alone — other devices may still use it)."""
         self._entries.clear()
         self._pattern_runners.clear()
-        self._shard_certs.clear()
+        if self._private_store:
+            self.cert_store.clear()
 
     def entry(self, matrix) -> PlanEntry:
         """The (possibly new) entry for ``matrix``, LRU-touched.
@@ -173,14 +251,13 @@ class PlanCache:
                 if id(v) not in dead}
             self._event("plan_cache.evict", fingerprint=fp,
                         runners=entry.num_runners)
-        if evicted:
+        if evicted and self._private_store:
             # shard certificates live while any resident entry still
             # shares the pattern; prune the orphans with the eviction
-            live = {e.pattern_fingerprint
-                    for e in self._entries.values()}
-            self._shard_certs = {
-                k: v for k, v in self._shard_certs.items()
-                if k[0] in live}
+            # (shared stores are never pruned: other devices' entries
+            # may still reference the pattern)
+            self.cert_store.prune(
+                e.pattern_fingerprint for e in self._entries.values())
 
     # ------------------------------------------------------------------
     # prepared artifacts
@@ -273,46 +350,128 @@ class PlanCache:
         precision: str = "double",
         mrows: int = 128,
         use_local_memory: bool = True,
+        boundaries: Optional[Sequence[int]] = None,
     ):
         """Memoised shard-plan certification for ``matrix``.
 
-        Plans the wavefront-aligned ``num_shards``-way row-block split
-        and runs :func:`repro.analyze.sharding.certify_shard_plan` over
-        it, memoising the resulting
-        :class:`~repro.analyze.sharding.ShardCertificate` under the
-        *pattern* fingerprint — the provers never read matrix values,
-        so a same-pattern new-values matrix (the serving steady state)
-        inherits the certificate, and the future cluster router gets
-        its certified plans for free.  Declined certificates are cached
-        too: re-asking cannot make an unprovable plan provable.
+        Plans the wavefront-aligned row-block split (``boundaries``
+        defaults to the alignment-quantised even split) and runs
+        :func:`repro.analyze.sharding.certify_shard_plan` over it,
+        memoising the resulting
+        :class:`~repro.analyze.sharding.ShardCertificate` in the
+        :class:`ShardCertificateStore` under the *pattern* fingerprint
+        and boundary rows — the provers never read matrix values, so a
+        same-pattern new-values matrix (the serving steady state)
+        inherits the certificate, and cluster devices sharing the store
+        inherit each other's proofs (counted in
+        :attr:`CacheStats.cert_reuses`).  Declined certificates are
+        cached too: re-asking cannot make an unprovable plan provable.
         """
-        from repro.analyze.sharding import certify_shard_plan
-        from repro.core.crsd import CRSDMatrix, compatible_wavefront
-        from repro.shard.plan import ShardPlanner
+        return self.shard_certificate_for(
+            self.entry(matrix), num_shards, device=device,
+            precision=precision, mrows=mrows,
+            use_local_memory=use_local_memory, boundaries=boundaries)
 
-        entry = self.entry(matrix)
-        key = (entry.pattern_fingerprint, int(num_shards), device,
-               precision, int(mrows), bool(use_local_memory))
-        cert = self._shard_certs.get(key)
+    def shard_certificate_for(
+        self,
+        entry: PlanEntry,
+        num_shards: int,
+        *,
+        device: DeviceSpec = TESLA_C2050,
+        precision: str = "double",
+        mrows: int = 128,
+        use_local_memory: bool = True,
+        boundaries: Optional[Sequence[int]] = None,
+    ):
+        """:meth:`shard_certificate` for an already-resolved entry
+        (the cluster's hot path — no re-fingerprinting)."""
+        from repro.analyze.sharding import certify_shard_plan
+        from repro.shard.plan import ShardPlanner, auto_boundaries
+
+        if boundaries is None:
+            cuts = auto_boundaries(int(entry.coo.nrows), int(mrows),
+                                   int(num_shards))
+        else:
+            cuts = [int(b) for b in boundaries]
+        key = (entry.pattern_fingerprint, tuple(cuts), int(num_shards),
+               device, precision, int(mrows), bool(use_local_memory))
+        cert, cross = self.cert_store.get(key, self._cert_token)
         if cert is not None:
+            if cross:
+                self.stats.cert_reuses += 1
             self._hit("shard_plan", entry.fingerprint,
-                      num_shards=int(num_shards))
+                      num_shards=int(num_shards), cross_device=cross)
             return cert
         self._miss("shard_plan", entry.fingerprint,
                    num_shards=int(num_shards))
+        crsd = self._crsd_for(entry, mrows)
+        shard_plan = ShardPlanner(crsd, coo=entry.coo).plan(
+            int(num_shards), boundaries=boundaries)
+        cert = certify_shard_plan(
+            crsd, shard_plan, device=device, precision=precision,
+            use_local_memory=use_local_memory)
+        self.cert_store.put(key, cert, self._cert_token)
+        return cert
+
+    def shard_runner_for(
+        self,
+        entry: PlanEntry,
+        *,
+        num_shards: int,
+        shard_index: int,
+        device: DeviceSpec = TESLA_C2050,
+        precision: str = "double",
+        mrows: int = 128,
+        use_local_memory: bool = True,
+    ):
+        """A *prepared* single-shard
+        :class:`~repro.shard.executor.ShardedSpMV` runner (cached).
+
+        The cluster's per-device execution path: the device serving
+        shard ``shard_index`` of a split matrix activates it only
+        through the certificate — :meth:`shard_certificate_for` is
+        consulted first (a store hit on another device's proof counts
+        as cross-device reuse), and an unprovable plan raises
+        :class:`~repro.shard.plan.ShardPlanError` instead of running.
+        """
+        from repro.shard.executor import ShardedSpMV
+        from repro.shard.plan import ShardPlanError
+
+        key = ("shard", device, precision, bool(use_local_memory),
+               int(mrows), int(num_shards), int(shard_index))
+        runner = entry._runners.get(key)
+        if runner is not None:
+            self._hit("shard_runner", entry.fingerprint,
+                      shard=int(shard_index))
+            return runner
+        cert = self.shard_certificate_for(
+            entry, num_shards, device=device, precision=precision,
+            mrows=mrows, use_local_memory=use_local_memory)
+        if not cert.ok:
+            raise ShardPlanError(
+                "refusing to activate an uncertified shard plan: "
+                + ("; ".join(cert.reasons) or "no certificate"))
+        self._miss("shard_runner", entry.fingerprint,
+                   shard=int(shard_index))
+        runner = ShardedSpMV(
+            self._crsd_for(entry, mrows), cert,
+            shards=(int(shard_index),), device=device,
+            precision=precision)
+        runner.prepare()
+        entry._runners[key] = runner
+        return runner
+
+    def _crsd_for(self, entry: PlanEntry, mrows: int):
+        """The (possibly new) CRSD build of ``entry`` for ``mrows``."""
+        from repro.core.crsd import CRSDMatrix, compatible_wavefront
+
         crsd = entry._crsd.get(int(mrows))
         if crsd is None:
             crsd = CRSDMatrix.from_coo(
                 entry.coo, mrows=mrows,
                 wavefront_size=compatible_wavefront(mrows))
             entry._crsd[int(mrows)] = crsd
-        shard_plan = ShardPlanner(crsd, coo=entry.coo).plan(
-            int(num_shards))
-        cert = certify_shard_plan(
-            crsd, shard_plan, device=device, precision=precision,
-            use_local_memory=use_local_memory)
-        self._shard_certs[key] = cert
-        return cert
+        return crsd
 
     def tune(self, matrix, **kwargs):
         """Memoised :func:`repro.core.autotune.tune` for ``matrix``.

@@ -27,8 +27,19 @@ Usage (the ``repro.serve_session()`` facade wraps exactly this)::
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -40,7 +51,36 @@ from repro.serve.batcher import BatchConfig, MicroBatcher, Request
 from repro.serve.cache import PlanCache
 from repro.serve.clock import FOREVER, SimulatedClock
 
-__all__ = ["ServeEngine", "ServedResult"]
+__all__ = ["Engine", "ServeEngine", "ServedResult"]
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """The serving surface shared by :class:`ServeEngine` and
+    :class:`~repro.cluster.engine.ClusterEngine`.
+
+    LoadGenerator, the CLI and the tests program against exactly this
+    protocol, so single-device and cluster serving are interchangeable:
+    :meth:`submit` enqueues one request and returns its id,
+    :meth:`run` drains the stream up to a simulated instant (the
+    default ``FOREVER`` drains everything), :meth:`stats` reports
+    JSON-safe counters.
+    """
+
+    def submit(self, matrix, x: np.ndarray, *,
+               at: Optional[float] = None,
+               deadline_s: Optional[float] = None,
+               resilience=None) -> int:
+        """Enqueue one request; returns its request id."""
+        ...
+
+    def run(self, until: float = FOREVER) -> List["ServedResult"]:
+        """Drain the stream up to ``until`` simulated seconds."""
+        ...
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-safe serving counters."""
+        ...
 
 
 @dataclass
@@ -65,6 +105,13 @@ class ServedResult:
     deadline_met: Optional[bool] = None
     y: Optional[np.ndarray] = None
     resilience: Optional[Any] = None
+    #: sha256 of the served ``y`` bytes when the engine runs in
+    #: ``keep_y="digest"`` mode (``y`` itself is dropped)
+    y_digest: Optional[bytes] = None
+    #: set on a cluster shard sub-result: the cluster-level parent
+    #: request id and the shard index this partial ``y`` covers
+    parent_id: Optional[int] = None
+    shard_index: Optional[int] = None
 
     @property
     def served(self) -> bool:
@@ -109,7 +156,7 @@ class ServeEngine:
         cache: Optional[PlanCache] = None,
         prepare_cost_s: float = 0.0,
         size_scale: float = 1.0,
-        keep_y: bool = True,
+        keep_y: Union[bool, str] = True,
     ):
         self.device = device
         self.precision = precision
@@ -122,15 +169,27 @@ class ServeEngine:
         self.batcher = MicroBatcher(self.batch_config)
         self.prepare_cost_s = float(prepare_cost_s)
         self.size_scale = float(size_scale)
-        self.keep_y = bool(keep_y)
+        if keep_y not in (True, False, "digest"):
+            raise ValueError(
+                f"keep_y must be True, False or 'digest', got {keep_y!r}")
+        self.keep_y = keep_y
+        #: cleared by :meth:`evacuate` when the simulated device is
+        #: lost; a dead engine refuses further submissions and runs
+        self.alive = True
 
         self._arrivals: List[Tuple[float, int, Request]] = []
         self._next_id = 0
+        #: the simulated instant the device frees from its last launch
+        #: (persists across bounded :meth:`run` calls: an in-flight
+        #: launch completes past ``until``, the next epoch waits for it)
+        self._busy_until = 0.0
         #: SpMM launch sizes -> count (per-request-SpMV launches under
         #: size 1)
         self.batch_histogram: Dict[int, int] = {}
         self.spmm_launches = 0
         self.spmv_launches = 0
+        #: single-shard launches of split matrices (cluster serving)
+        self.shard_launches = 0
         #: summed KernelTrace counters over every launch this engine ran
         self.counter_totals: Dict[str, int] = {}
         self.results: List[ServedResult] = []
@@ -159,6 +218,7 @@ class ServeEngine:
         from repro.resilience.policy import Policy
         from repro.validation import validate_vector
 
+        self._require_alive()
         entry = self.cache.entry(matrix)
         x = np.ascontiguousarray(
             validate_vector(x, entry.coo.ncols), dtype=np.float64)
@@ -182,17 +242,84 @@ class ServeEngine:
         self._arrivals.append((arrival, rid, req))
         return rid
 
+    def submit_shard(
+        self,
+        matrix,
+        x: np.ndarray,
+        *,
+        num_shards: int,
+        shard_index: int,
+        at: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        parent_id: Optional[int] = None,
+    ) -> int:
+        """Enqueue one shard of a split matrix (cluster-internal).
+
+        The request executes only the certified row-block
+        ``shard_index`` of the ``num_shards``-way plan; its result
+        carries the partial ``y`` rows plus ``parent_id`` so the
+        cluster can reassemble.  Shard sub-requests are pre-admitted
+        (the router admitted the parent once) and never batched.
+        """
+        from repro.validation import validate_vector
+
+        self._require_alive()
+        entry = self.cache.entry(matrix)
+        x = np.ascontiguousarray(
+            validate_vector(x, entry.coo.ncols), dtype=np.float64)
+        arrival = self.clock.now if at is None else max(float(at),
+                                                       self.clock.now)
+        rid = self._next_id
+        self._next_id += 1
+        req = Request(
+            id=rid,
+            key=(entry.fingerprint, self.precision, "shard",
+                 int(num_shards), int(shard_index)),
+            entry=entry,
+            x=x,
+            arrival_s=arrival,
+            deadline_s=None if deadline_s is None
+            else arrival + float(deadline_s),
+            batchable=False,
+            shard_index=int(shard_index),
+            shard_count=int(num_shards),
+            parent_id=parent_id,
+            preadmitted=True,
+        )
+        self._arrivals.append((arrival, rid, req))
+        return rid
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise RuntimeError(
+                "this simulated device was lost (evacuated); "
+                "submit to a live engine")
+
     # ------------------------------------------------------------------
     # the event loop
     # ------------------------------------------------------------------
-    def run(self) -> List[ServedResult]:
-        """Drain every submitted arrival; returns this drain's results
-        in completion order (also appended to :attr:`results`)."""
-        arrivals = sorted(self._arrivals, key=lambda a: (a[0], a[1]))
-        self._arrivals = []
+    def run(self, until: float = FOREVER) -> List[ServedResult]:
+        """Drain submitted arrivals; returns this drain's results in
+        completion order (also appended to :attr:`results`).
+
+        ``until`` bounds the epoch: only arrivals at or before that
+        simulated instant are consumed, no launch *starts* after it,
+        and queued work plus later arrivals stay for the next call (an
+        in-flight launch completes past ``until`` — the device stays
+        busy into the next epoch).  The default ``FOREVER`` drains
+        everything, exactly the single-engine behaviour.
+        """
+        self._require_alive()
+        final = until == FOREVER
+        pending = sorted(self._arrivals, key=lambda a: (a[0], a[1]))
+        if final:
+            arrivals, self._arrivals = pending, []
+        else:
+            arrivals = [a for a in pending if a[0] <= until]
+            self._arrivals = [a for a in pending if a[0] > until]
         drained: List[ServedResult] = []
         i, n = 0, len(arrivals)
-        busy_until = self.clock.now
+        busy_until = max(self.clock.now, self._busy_until)
         with maybe_span("serve.run", "serve", requests=n):
             while i < n or self.batcher.depth:
                 now = self.clock.now
@@ -203,7 +330,8 @@ class ServeEngine:
                     self.controller.record_expired()
                     drained.append(self._terminal(req, "expired"))
                 if now >= busy_until and self.batcher.depth:
-                    group = self.batcher.form_batch(now, flush=(i >= n))
+                    group = self.batcher.form_batch(
+                        now, flush=(final and i >= n))
                     if group is not None:
                         busy_until = self._execute(group, now, drained)
                         continue
@@ -216,14 +344,50 @@ class ServeEngine:
                     else:
                         t_next = min(t_next,
                                      self.batcher.next_forced_launch_s())
-                if t_next is FOREVER:  # nothing left to wait for
-                    break
+                if t_next is FOREVER or t_next > until:
+                    break  # nothing more can happen in this epoch
                 self.clock.advance_to(max(t_next, now))
+        self._busy_until = busy_until
         self.results.extend(drained)
         return drained
 
     # ------------------------------------------------------------------
+    # device loss (cluster rebalancing)
+    # ------------------------------------------------------------------
+    def evacuate(self) -> List[Request]:
+        """Simulate losing this device: mark it dead and hand back
+        every request that has not executed yet — the queued batcher
+        FIFO first, then unconsumed arrivals, both in deterministic
+        order — for the cluster to re-place.  Work that already
+        finished keeps its results; a dead engine refuses further
+        submissions."""
+        self.alive = False
+        queued = self.batcher.drain_all()
+        future = [a[2] for a in sorted(self._arrivals,
+                                       key=lambda a: (a[0], a[1]))]
+        self._arrivals = []
+        return queued + future
+
+    def cancel_where(self, predicate: Callable[[Request], bool]
+                     ) -> List[Request]:
+        """Remove and return every not-yet-executed request matching
+        ``predicate`` (queued or still arriving) — the cluster cancels
+        a re-placed split request's surviving sub-requests with this."""
+        cancelled = self.batcher.cancel_where(predicate)
+        keep: List[Tuple[float, int, Request]] = []
+        for a in self._arrivals:
+            if predicate(a[2]):
+                cancelled.append(a[2])
+            else:
+                keep.append(a)
+        self._arrivals = keep
+        return cancelled
+
+    # ------------------------------------------------------------------
     def _admit(self, req: Request, drained: List[ServedResult]) -> None:
+        if req.preadmitted:
+            self.batcher.push(req)
+            return
         verdict = self.controller.admit(self.batcher.depth)
         if verdict == "reject":
             drained.append(self._terminal(req, "rejected"))
@@ -236,7 +400,8 @@ class ServeEngine:
     def _terminal(self, req: Request, status: str) -> ServedResult:
         return ServedResult(
             request_id=req.id, fingerprint=req.key[0], status=status,
-            arrival_s=req.arrival_s)
+            arrival_s=req.arrival_s, parent_id=req.parent_id,
+            shard_index=req.shard_index)
 
     # ------------------------------------------------------------------
     # execution
@@ -245,7 +410,9 @@ class ServeEngine:
                  drained: List[ServedResult]) -> float:
         """Run one launch group starting at ``now``; returns the
         simulated instant the device frees."""
-        if group[0].resilience is not None:
+        if group[0].shard_index is not None:
+            finish = self._execute_shard_request(group[0], now, drained)
+        elif group[0].resilience is not None:
             finish = self._execute_resilient(group[0], now, drained)
         elif len(group) >= self.batch_config.min_spmm:
             finish = self._execute_spmm(group, now, drained)
@@ -313,6 +480,44 @@ class ServeEngine:
                 resilience=run.resilience))
         return t
 
+    def _execute_shard_request(self, req: Request, now: float,
+                               drained: List[ServedResult]) -> float:
+        """One certified row-block shard of a split matrix.
+
+        The runner comes through
+        :meth:`~repro.serve.cache.PlanCache.shard_runner_for`, which
+        activates the shard only after the certificate store vouches
+        for the plan.  The result's ``y`` is the shard's partial rows
+        (always kept, whatever ``keep_y`` says — the cluster needs them
+        to reassemble); service time is the shard's own traced cost
+        with its own launch count.
+        """
+        misses0 = self.cache.stats.misses
+        runner = self.cache.shard_runner_for(
+            req.entry, num_shards=req.shard_count,
+            shard_index=req.shard_index, device=self.device,
+            precision=self.precision, mrows=self.mrows,
+            use_local_memory=self.use_local_memory)
+        with maybe_span("serve.shard", "serve", fingerprint=req.key[0],
+                        shard=req.shard_index):
+            run = runner.run(req.x, trace=True)
+        self._account(run.trace)
+        subplan = runner.subplans[req.shard_index]
+        launches = 2 if subplan.scatter.num_rows else 1
+        seconds = predict_gpu_time(
+            run.trace, self.device, self.precision,
+            num_launches=launches, size_scale=self.size_scale).total
+        seconds += (self.cache.stats.misses - misses0) \
+            * self.prepare_cost_s
+        finish = now + seconds
+        self.shard_launches += 1
+        self.batch_histogram[1] = self.batch_histogram.get(1, 0) + 1
+        spec = runner.shard_plan.shards[req.shard_index]
+        y_part = run.y[spec.row_start:spec.row_end].copy()
+        drained.append(self._served(
+            req, now, finish, batch_size=1, batched=False, y=y_part))
+        return finish
+
     def _execute_resilient(self, req: Request, now: float,
                            drained: List[ServedResult]) -> float:
         from repro.resilience.engine import resilient_spmv
@@ -367,11 +572,21 @@ class ServeEngine:
             met = finish <= req.deadline_s
             if not met:
                 self.controller.record_deadline_miss()
+        y_digest = None
+        if (y is not None and self.keep_y == "digest"
+                and req.shard_index is None):
+            # large sweeps keep only the bit-exact digest; shard
+            # partials stay intact for the cluster to reassemble
+            y_digest = hashlib.sha256(
+                np.ascontiguousarray(y).tobytes()).digest()
+            y = None
         return ServedResult(
             request_id=req.id, fingerprint=req.key[0], status="served",
             arrival_s=req.arrival_s, start_s=start, finish_s=finish,
             latency_s=finish - req.arrival_s, batch_size=batch_size,
-            batched=batched, deadline_met=met, y=y, resilience=resilience)
+            batched=batched, deadline_met=met, y=y, resilience=resilience,
+            y_digest=y_digest, parent_id=req.parent_id,
+            shard_index=req.shard_index)
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
@@ -386,6 +601,7 @@ class ServeEngine:
                 "min_spmm": self.batch_config.min_spmm,
                 "spmm_launches": self.spmm_launches,
                 "spmv_launches": self.spmv_launches,
+                "shard_launches": self.shard_launches,
                 "histogram": {str(k): v for k, v in
                               sorted(self.batch_histogram.items())},
             },

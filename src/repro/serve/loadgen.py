@@ -26,6 +26,7 @@ import hashlib
 import json
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -37,10 +38,12 @@ from repro.ocl.device import DeviceSpec, TESLA_C2050
 from repro.serve.admission import AdmissionPolicy
 from repro.serve.batcher import BatchConfig
 from repro.serve.cache import PlanCache
-from repro.serve.engine import ServeEngine, ServedResult
+from repro.serve.engine import Engine, ServeEngine, ServedResult
+from repro.validation import ReproDeprecationWarning
 
 __all__ = ["LoadConfig", "LoadReport", "run_loadgen", "report_json",
-           "append_serve_trajectory", "ARRIVAL_PATTERNS"]
+           "append_serve_trajectory", "trajectory_path",
+           "cluster_trajectory_path", "ARRIVAL_PATTERNS"]
 
 #: recognised arrival processes
 ARRIVAL_PATTERNS = ("poisson", "burst")
@@ -49,8 +52,15 @@ ARRIVAL_PATTERNS = ("poisson", "burst")
 #: persistence); the conventional file name is ``BENCH_serve.json``
 TRAJECTORY_ENV = "REPRO_SERVE_TRAJECTORY"
 
+#: environment variable naming the *cluster* trajectory file; the
+#: conventional file name is ``BENCH_cluster.json``
+CLUSTER_TRAJECTORY_ENV = "REPRO_CLUSTER_TRAJECTORY"
+
 #: schema tag of the serve trajectory envelope and its entries
 TRAJECTORY_SCHEMA = "repro-serve-trajectory/v1"
+
+#: schema tag of the cluster trajectory envelope and its entries
+CLUSTER_TRAJECTORY_SCHEMA = "repro-cluster-trajectory/v1"
 
 #: schema tag of one loadgen report
 REPORT_SCHEMA = "repro-serve-report/v1"
@@ -90,6 +100,13 @@ class LoadConfig:
         Group size under ``pattern="burst"``.
     deadline_s:
         Optional per-request relative deadline (simulated seconds).
+    tenants:
+        Value-variants per suite matrix.  Tenant 0 is the base matrix;
+        each further tenant keeps the *pattern* (so plan caches and
+        certificate stores hit across tenants) but rescales the values
+        with its own deterministic stream — the multi-tenant traffic
+        the cluster bench drives (``matrices × tenants`` distinct
+        matrices through one arrival process).
     """
 
     seed: int = 0
@@ -105,6 +122,7 @@ class LoadConfig:
     device: DeviceSpec = TESLA_C2050
     use_local_memory: bool = True
     prepare_cost_s: float = 0.0
+    tenants: int = 1
 
     def __post_init__(self):
         if self.pattern not in ARRIVAL_PATTERNS:
@@ -119,6 +137,8 @@ class LoadConfig:
         if self.burst_size < 1:
             raise ValueError(
                 f"burst_size must be >= 1, got {self.burst_size}")
+        if self.tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {self.tenants}")
 
     def to_dict(self) -> Dict[str, Any]:
         """The config as a JSON-safe dict (embedded in every report)."""
@@ -136,6 +156,7 @@ class LoadConfig:
             "device": self.device.name,
             "use_local_memory": self.use_local_memory,
             "prepare_cost_s": self.prepare_cost_s,
+            "tenants": self.tenants,
         }
 
 
@@ -147,6 +168,7 @@ class LoadReport:
     results: List[ServedResult]
     stats: Dict[str, Any]
     y_checksum: str
+    schema: str = REPORT_SCHEMA
     extra: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -196,7 +218,7 @@ class LoadReport:
             by_status[r.status] = by_status.get(r.status, 0) + 1
         lat = self.latencies
         return {
-            "schema": REPORT_SCHEMA,
+            "schema": self.schema,
             "config": self.config.to_dict(),
             "requests": {
                 "submitted": len(self.results),
@@ -250,50 +272,128 @@ def _arrival_times(config: LoadConfig,
     return np.repeat(instants, config.burst_size)[:n]
 
 
+def _tenant_matrices(config: LoadConfig, specs) -> List:
+    """The multi-tenant matrix population, spec-major order.
+
+    Laid out ``[spec0/t0, spec0/t1, ..., spec1/t0, ...]``.  Tenant 0
+    is the suite matrix itself; tenant ``t >= 1`` keeps the triplet
+    *pattern* (same row/col arrays, hence the same pattern
+    fingerprint) and rescales every value by a per-tenant stream drawn
+    from ``default_rng([seed, spec.number, t])`` — deterministic,
+    order-independent, and never zeroing a nonzero (the factors live
+    in [0.5, 1.5]).
+    """
+    from repro.formats.coo import COOMatrix
+
+    population = []
+    for spec in specs:
+        base = spec.generate(scale=config.scale, seed=config.seed)
+        population.append(base)
+        for t in range(1, config.tenants):
+            trng = np.random.default_rng([config.seed, spec.number, t])
+            factors = trng.uniform(0.5, 1.5, size=base.vals.size)
+            population.append(COOMatrix(
+                base.rows, base.cols, base.vals * factors,
+                (base.nrows, base.ncols)))
+    return population
+
+
+def _fold_checksum(results: List[ServedResult]) -> str:
+    """Fold served results into the report checksum, dropping payloads.
+
+    Folds the per-request ``sha256(y)`` *digest* (not the raw bytes)
+    in request-id order — an engine running with ``keep_y="digest"``
+    contributes the digest it already computed, an engine keeping full
+    payloads contributes the same digest computed here, so the
+    checksum is engine-agnostic while staying memory-bounded for
+    100k-request runs.  Byte-identical checksums still certify
+    bit-identical served vectors.
+    """
+    fold = hashlib.sha256()
+    for r in sorted(results, key=lambda r: r.request_id):
+        if not r.served:
+            continue
+        d = r.y_digest
+        if d is None and r.y is not None:
+            d = hashlib.sha256(np.ascontiguousarray(r.y).tobytes()).digest()
+        if d is not None:
+            fold.update(d)
+        r.y = None  # drop payloads once folded into the checksum
+        r.y_digest = d
+    return fold.hexdigest()[:16]
+
+
 def run_loadgen(
     config: LoadConfig,
-    *,
+    *deprecated_engine,
+    engine: Optional[Engine] = None,
     batch: Optional[BatchConfig] = None,
     admission: Optional[AdmissionPolicy] = None,
     cache: Optional["PlanCache"] = None,
 ) -> LoadReport:
     """Generate the arrival trace and serve it; returns the report.
 
-    The checksum folds every served ``y``'s raw bytes in request-id
-    order, so byte-identical reports mean bit-identical served
-    results.  ``cache`` optionally shares a
-    :class:`~repro.serve.cache.PlanCache` across runs — the warm-cache
-    steady state the throughput benchmarks measure (report *contents*
-    are cache-independent; only wall-clock changes).
+    The checksum folds every served request's ``sha256(y)`` digest in
+    request-id order, so byte-identical reports mean bit-identical
+    served results.  ``engine`` accepts any
+    :class:`~repro.serve.engine.Engine` — a
+    :class:`~repro.serve.engine.ServeEngine` or a
+    :class:`~repro.cluster.engine.ClusterEngine` — and takes over
+    serving (the engine-construction knobs ``batch``/``admission``/
+    ``cache`` then must stay unset); the report's ``schema`` follows
+    the engine's ``report_schema``.  Passing the engine positionally
+    is deprecated (:class:`~repro.validation.ReproDeprecationWarning`)
+    — name it: ``run_loadgen(config, engine=...)``.  ``cache``
+    optionally shares a :class:`~repro.serve.cache.PlanCache` across
+    runs — the warm-cache steady state the throughput benchmarks
+    measure (report *contents* are cache-independent; only wall-clock
+    changes).
     """
+    if deprecated_engine:
+        if len(deprecated_engine) > 1:
+            raise TypeError(
+                f"run_loadgen() takes at most one positional engine, got "
+                f"{len(deprecated_engine)}")
+        if engine is not None:
+            raise TypeError(
+                "run_loadgen() got the engine both positionally and as "
+                "engine=; pass it once, by keyword")
+        warnings.warn(
+            "passing the serving engine to run_loadgen() positionally is "
+            "deprecated; call run_loadgen(config, engine=...) instead",
+            ReproDeprecationWarning, stacklevel=2)
+        engine = deprecated_engine[0]
+    if engine is not None and (batch is not None or admission is not None
+                               or cache is not None):
+        raise TypeError(
+            "run_loadgen() got both an engine and engine-construction "
+            "arguments (batch/admission/cache); configure the engine "
+            "you pass")
+
     specs = _resolve_specs(config.matrices)
     rng = np.random.default_rng(config.seed)
-    matrices = [spec.generate(scale=config.scale, seed=config.seed)
-                for spec in specs]
+    matrices = _tenant_matrices(config, specs)
     times = _arrival_times(config, rng)
     picks = rng.integers(0, len(matrices), size=config.num_requests)
     xs = [np.asarray(rng.standard_normal(matrices[j].ncols))
           for j in picks]
 
-    engine = ServeEngine(
-        device=config.device, precision=config.precision,
-        mrows=config.mrows, use_local_memory=config.use_local_memory,
-        batch=batch, admission=admission, cache=cache,
-        prepare_cost_s=config.prepare_cost_s, size_scale=config.scale,
-        keep_y=True)
+    if engine is None:
+        engine = ServeEngine(
+            device=config.device, precision=config.precision,
+            mrows=config.mrows, use_local_memory=config.use_local_memory,
+            batch=batch, admission=admission, cache=cache,
+            prepare_cost_s=config.prepare_cost_s, size_scale=config.scale,
+            keep_y="digest")
     for at, j, x in zip(times, picks, xs):
         engine.submit(matrices[j], x, at=float(at),
                       deadline_s=config.deadline_s)
     results = engine.run()
 
-    digest = hashlib.sha256()
-    for r in sorted(results, key=lambda r: r.request_id):
-        if r.served and r.y is not None:
-            digest.update(np.ascontiguousarray(r.y).tobytes())
-            r.y = None  # drop payloads once folded into the checksum
     return LoadReport(
         config=config, results=results, stats=engine.stats(),
-        y_checksum=digest.hexdigest()[:16],
+        y_checksum=_fold_checksum(results),
+        schema=getattr(engine, "report_schema", REPORT_SCHEMA),
         extra={"matrix_names": [s.name for s in specs]})
 
 
@@ -304,17 +404,21 @@ def report_json(report: Union[LoadReport, Dict[str, Any]]) -> str:
 
 
 def append_serve_trajectory(report: LoadReport,
-                            path: Union[str, Path]) -> Path:
-    """Append one run's report to the ``BENCH_serve.json`` trajectory.
+                            path: Union[str, Path],
+                            schema: str = TRAJECTORY_SCHEMA) -> Path:
+    """Append one run's report to a serving trajectory file.
 
     Same envelope as the bench trajectory: ``{"schema": ...,
     "entries": [...]}``, created on first use.  The entry is the report
     plus a wall-clock timestamp (the trajectory records *when* history
     was made; the report itself stays timestamp-free so it can be
-    compared byte-for-byte).
+    compared byte-for-byte).  ``schema`` selects the envelope tag —
+    :data:`TRAJECTORY_SCHEMA` for single-engine ``BENCH_serve.json``
+    histories, :data:`CLUSTER_TRAJECTORY_SCHEMA` for the cluster's
+    ``BENCH_cluster.json``.
     """
     path = Path(path)
-    payload: Dict[str, Any] = {"schema": TRAJECTORY_SCHEMA, "entries": []}
+    payload: Dict[str, Any] = {"schema": schema, "entries": []}
     if path.exists():
         try:
             existing = json.loads(path.read_text())
@@ -324,7 +428,7 @@ def append_serve_trajectory(report: LoadReport,
                 existing.get("entries"), list):
             payload = existing
     entry = dict(report.to_dict())
-    entry["schema"] = TRAJECTORY_SCHEMA
+    entry["schema"] = schema
     entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     payload["entries"].append(entry)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -335,3 +439,9 @@ def append_serve_trajectory(report: LoadReport,
 def trajectory_path() -> Optional[str]:
     """The trajectory file named by the environment (or ``None``)."""
     return os.environ.get(TRAJECTORY_ENV) or None
+
+
+def cluster_trajectory_path() -> Optional[str]:
+    """The cluster trajectory file named by the environment (or
+    ``None``); conventionally ``BENCH_cluster.json``."""
+    return os.environ.get(CLUSTER_TRAJECTORY_ENV) or None

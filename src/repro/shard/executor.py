@@ -23,7 +23,7 @@ counters match ``certificate.per_shard_traces`` counter for counter.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -61,7 +61,7 @@ class ShardedSpMV(GPUSpMV):
     name = "crsd_sharded"
 
     def __init__(self, matrix: CRSDMatrix, certificate: ShardCertificate,
-                 **kwargs):
+                 shards: Optional[Sequence[int]] = None, **kwargs):
         kwargs.setdefault("local_size", matrix.mrows)
         super().__init__(**kwargs)
         if not isinstance(matrix, CRSDMatrix):
@@ -80,11 +80,27 @@ class ShardedSpMV(GPUSpMV):
         self.certificate = certificate
         self.shard_plan = certificate.shard_plan
         self.subplans = certificate.subplans
-        # one compiled codelet set per non-empty shard
+        # the shards this runner executes: all of them by default, or a
+        # subset — the cluster gives each device a runner over exactly
+        # the shard indices it owns (write disjointness is certified,
+        # so a subset's rows equal the full run's rows bit for bit)
+        if shards is None:
+            active = tuple(range(len(self.subplans)))
+        else:
+            active = tuple(sorted({int(s) for s in shards}))
+            for s in active:
+                if not 0 <= s < len(self.subplans):
+                    raise ShardPlanError(
+                        f"shard index {s} outside the plan's "
+                        f"{len(self.subplans)} shards")
+        self.active_shards = active
+        active_set = set(active)
+        # one compiled codelet set per non-empty active shard
         self.kernels = [
             generate_python_kernel(sp)
-            if (sp.num_groups or sp.scatter.num_rows) else None
-            for sp in self.subplans
+            if (i in active_set and (sp.num_groups or sp.scatter.num_rows))
+            else None
+            for i, sp in enumerate(self.subplans)
         ]
         # per-shard fused state: None = not built, False = declined
         self._fused_states: List[object] = [None] * len(self.subplans)
@@ -105,10 +121,11 @@ class ShardedSpMV(GPUSpMV):
     def _prepare(self) -> None:
         self._dia_val = self.context.alloc(
             self.matrix.dia_val.astype(self.dtype), "crsd_dia_val")
+        active = set(self.active_shards)
         self._shard_scatter = []
         for spec in self.shard_plan.shards:
             lo, hi = spec.scatter_start, spec.scatter_end
-            if hi <= lo:
+            if hi <= lo or spec.index not in active:
                 self._shard_scatter.append(None)
                 continue
             colval = self.matrix.scatter_colval[lo:hi]
@@ -134,7 +151,8 @@ class ShardedSpMV(GPUSpMV):
             ybuf.data[:] = 0
             mode = executor_mode()
             total = KernelTrace()
-            for i, spec in enumerate(self.shard_plan.shards):
+            for i in self.active_shards:
+                spec = self.shard_plan.shards[i]
                 if self.kernels[i] is None:
                     continue  # empty shard: no work, no launches
                 with maybe_span(f"{self.name}.shard", "op",

@@ -30,7 +30,27 @@ import numpy as np
 from repro.analyze.sharding import shard_segment_range
 from repro.core.crsd import CRSDMatrix, DEFAULT_WAVEFRONT, compatible_wavefront
 
-__all__ = ["ShardPlan", "ShardPlanError", "ShardPlanner", "ShardSpec"]
+__all__ = ["ShardPlan", "ShardPlanError", "ShardPlanner", "ShardSpec",
+           "auto_boundaries"]
+
+
+def auto_boundaries(nrows: int, alignment: int,
+                    num_shards: int) -> List[int]:
+    """The alignment-quantised even-split interior boundaries.
+
+    Pure in ``(nrows, alignment, num_shards)`` — the cluster's
+    certificate store uses exactly these rows as part of its key, so
+    the boundary arithmetic must live in one place.
+    """
+    cuts: List[int] = []
+    prev = 0
+    for i in range(1, num_shards):
+        ideal = i * nrows / num_shards
+        cut = int(round(ideal / alignment)) * alignment
+        cut = min(max(cut, prev), nrows)
+        cuts.append(cut)
+        prev = cut
+    return cuts
 
 
 class ShardPlanError(ValueError):
@@ -177,16 +197,7 @@ class ShardPlanner:
 
     # ------------------------------------------------------------------
     def _auto_boundaries(self, num_shards: int) -> List[int]:
-        a = self.alignment
-        cuts: List[int] = []
-        prev = 0
-        for i in range(1, num_shards):
-            ideal = i * self.nrows / num_shards
-            cut = int(round(ideal / a)) * a
-            cut = min(max(cut, prev), self.nrows)
-            cuts.append(cut)
-            prev = cut
-        return cuts
+        return auto_boundaries(self.nrows, self.alignment, num_shards)
 
     def _validate_boundaries(self, num_shards: int,
                              boundaries: Sequence[int]) -> List[int]:

@@ -1,0 +1,89 @@
+"""Device loss: rebalancing, re-certification, zero wrong answers."""
+
+import numpy as np
+import pytest
+
+from repro.serve import serve_session
+from tests.cluster.test_cluster_engine import (
+    SCALE,
+    _single_engine_ys,
+    _traffic,
+)
+
+MATRICES = ("crystk03", "ecology2", "wang3", "kim1")
+
+
+def _spread_submit(engine, pairs, repeats=3, gap_s=1e-4):
+    """Submit ``repeats`` copies of each pair at spread-out arrivals so
+    a mid-run loss lands between service completions."""
+    rids = []
+    at = 0.0
+    for _ in range(repeats):
+        for coo, x in pairs:
+            rids.append(engine.submit(coo, x, at=at))
+            at += gap_s
+    return rids
+
+
+class TestDeviceLoss:
+    @pytest.mark.parametrize("split", [True, False])
+    def test_loss_serves_bit_identical(self, split):
+        """Mid-run loss of a device completes the sweep with zero
+        wrong answers: every request is served and every served y is
+        bit-identical to the single-engine run — for split serving
+        (shard re-placement + re-certification) and whole-matrix
+        homing (evacuation + re-home) alike."""
+        pairs = _traffic(MATRICES, "double")
+        expected = _single_engine_ys(pairs * 3, "double")
+
+        cluster = serve_session(
+            cluster=3, size_scale=SCALE,
+            split_threshold_rows=1 if split else None)
+        rids = _spread_submit(cluster, pairs)
+        cluster.fail_device(0, at_s=5e-4, kind="device_oom")
+        by_rid = {r.request_id: r for r in cluster.run()}
+
+        assert len(by_rid) == len(rids)
+        for rid, ref in zip(rids, expected):
+            got = by_rid[rid]
+            assert got.served
+            assert np.array_equal(got.y, ref)
+
+        stats = cluster.stats()["cluster"]
+        assert stats["alive"] == [1, 2]
+        (reb,) = stats["rebalances"]
+        assert reb["device"] == 0
+        assert reb["kind"] == "device_oom"
+        assert reb["alive"] == [1, 2]
+
+    def test_dead_device_hosts_nothing_after_loss(self):
+        pairs = _traffic(MATRICES, "double")
+        cluster = serve_session(cluster=3, size_scale=SCALE,
+                                split_threshold_rows=1)
+        _spread_submit(cluster, pairs)
+        cluster.fail_device(1, at_s=5e-4)
+        cluster.run()
+        for row in cluster.placement_table():
+            assert 1 not in row["devices"]
+        load = {row["device"]: row for row in cluster.load_table()}
+        assert load[1]["alive"] is False
+
+    def test_submissions_after_loss_avoid_dead_device(self):
+        pairs = _traffic(("kim1",), "double")
+        cluster = serve_session(cluster=2, size_scale=SCALE)
+        cluster.fail_device(0, at_s=0.0)
+        rid = cluster.submit(*pairs[0], at=1e-3)
+        by_rid = {r.request_id: r for r in cluster.run()}
+        assert by_rid[rid].served
+        assert np.array_equal(by_rid[rid].y,
+                              _single_engine_ys(pairs, "double")[0])
+
+    def test_fault_kind_validated(self):
+        cluster = serve_session(cluster=2)
+        with pytest.raises(ValueError):
+            cluster.fail_device(0, at_s=0.0, kind="cosmic-ray")
+
+    def test_unknown_device_rejected(self):
+        cluster = serve_session(cluster=2)
+        with pytest.raises(ValueError):
+            cluster.fail_device(7, at_s=0.0)

@@ -1,0 +1,70 @@
+"""Consistent-hash router: determinism, stability, removal behaviour."""
+
+import pytest
+
+from repro.cluster.router import ClusterRouter
+
+
+class TestPlacementDeterminism:
+    def test_same_inputs_same_placement(self):
+        keys = [f"pattern{i}" for i in range(64)]
+        a = ClusterRouter(4)
+        b = ClusterRouter(4)
+        assert [a.place(k) for k in keys] == [b.place(k) for k in keys]
+
+    def test_placement_independent_of_query_order(self):
+        keys = [f"pattern{i}" for i in range(32)]
+        r = ClusterRouter(4)
+        forward = {k: r.place(k) for k in keys}
+        backward = {k: r.place(k) for k in reversed(keys)}
+        assert forward == backward
+
+    def test_all_devices_receive_keys(self):
+        """With many keys the 64-vnode ring spreads over every device."""
+        r = ClusterRouter(4)
+        homes = {r.place(f"pattern{i}") for i in range(256)}
+        assert homes == {0, 1, 2, 3}
+
+
+class TestSuccessors:
+    def test_distinct_devices_home_first(self):
+        r = ClusterRouter(4)
+        succ = r.successors("some-pattern", 3)
+        assert len(succ) == 3
+        assert len(set(succ)) == 3
+        assert succ[0] == r.place("some-pattern")
+
+    def test_count_clamped_to_alive(self):
+        r = ClusterRouter(2)
+        assert len(r.successors("k", 5)) == 2
+
+
+class TestRemoval:
+    def test_only_dead_devices_keys_move(self):
+        keys = [f"pattern{i}" for i in range(128)]
+        r = ClusterRouter(4)
+        before = {k: r.place(k) for k in keys}
+        r.remove(2)
+        after = {k: r.place(k) for k in keys}
+        for k in keys:
+            if before[k] != 2:
+                assert after[k] == before[k]
+            else:
+                assert after[k] != 2
+
+    def test_remove_updates_alive(self):
+        r = ClusterRouter(3)
+        r.remove(1)
+        assert r.alive == (0, 2)
+        assert r.num_alive == 2
+
+    def test_remove_dead_device_rejected(self):
+        r = ClusterRouter(3)
+        r.remove(1)
+        with pytest.raises(ValueError):
+            r.remove(1)
+
+    def test_last_device_cannot_be_removed(self):
+        r = ClusterRouter(1)
+        with pytest.raises(RuntimeError):
+            r.remove(0)
