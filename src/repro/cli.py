@@ -373,13 +373,16 @@ def cmd_serve(args) -> int:
     if args.split_rows is not None and not args.devices:
         print("error: --split-rows requires --devices N", file=sys.stderr)
         return 2
+    if args.replicas != 1 and not args.devices:
+        print("error: --replicas requires --devices N", file=sys.stderr)
+        return 2
     coo, name = _load_matrix(args.matrix, args.scale)
     session = repro.serve_session(
         cluster=args.devices, precision=args.precision, mrows=args.mrows,
         max_batch=args.max_batch, max_delay_s=args.max_delay_us * 1e-6,
         max_queue_depth=args.queue_depth, overflow=args.overflow,
         size_scale=args.scale, keep_y=False,
-        split_threshold_rows=args.split_rows)
+        split_threshold_rows=args.split_rows, replicas=args.replicas)
     rng = np.random.default_rng(args.seed)
     at = 0.0
     for _ in range(args.requests):
@@ -447,6 +450,9 @@ def cmd_loadgen(args) -> int:
     if args.fail_device is not None and not args.devices:
         print("error: --fail-device requires --devices N", file=sys.stderr)
         return 2
+    if args.replicas != 1 and not args.devices:
+        print("error: --replicas requires --devices N", file=sys.stderr)
+        return 2
     kwargs = {}
     if args.matrices:
         kwargs["matrices"] = tuple(args.matrices.split(","))
@@ -464,7 +470,7 @@ def cmd_loadgen(args) -> int:
             max_delay_s=args.max_delay_us * 1e-6,
             max_queue_depth=args.queue_depth, overflow=args.overflow,
             size_scale=args.scale, keep_y="digest",
-            split_threshold_rows=args.split_rows)
+            split_threshold_rows=args.split_rows, replicas=args.replicas)
         if args.fail_device is not None:
             engine.fail_device(args.fail_device,
                                at_s=args.fail_at_us * 1e-6)
@@ -513,7 +519,16 @@ def cmd_cluster(args) -> int:
     engine = repro.serve_session(
         cluster=args.devices, precision=args.precision, mrows=args.mrows,
         size_scale=args.scale, keep_y="digest",
-        split_threshold_rows=args.split_rows)
+        split_threshold_rows=args.split_rows, replicas=args.replicas)
+    if args.fail_device is not None:
+        engine.fail_device(args.fail_device, at_s=args.fail_at_us * 1e-6)
+    if args.rejoin_at_us is not None:
+        if args.fail_device is None:
+            print("error: --rejoin-at-us requires --fail-device D",
+                  file=sys.stderr)
+            return 2
+        engine.rejoin_device(args.fail_device,
+                             at_s=args.rejoin_at_us * 1e-6)
     kwargs = {}
     if args.matrices:
         kwargs["matrices"] = tuple(args.matrices.split(","))
@@ -540,12 +555,101 @@ def cmd_cluster(args) -> int:
         print(f"  {row['pattern'][:16]:<18} {row['home']:>4}  "
               f"{str(row['split']):<5} {devs}")
     print("load:")
-    print(f"  {'device':>6} {'alive':<5} {'launches':>8} "
+    print(f"  {'device':>6} {'state':<8} {'launches':>8} "
           f"{'shard':>6} {'served':>6} {'cached':>6}")
     for row in load:
-        print(f"  {row['device']:>6} {str(row['alive']):<5} "
+        print(f"  {row['device']:>6} {row['state']:<8} "
               f"{row['launches']:>8} {row['shard_launches']:>6} "
               f"{row['served']:>6} {row['cache_entries']:>6}")
+    return 0
+
+
+def cmd_cluster_chaos(args) -> int:
+    """``repro cluster chaos``: multi-fault chaos gate.
+
+    Replays one seeded load trace twice — through a single healthy
+    engine (the reference) and through an N-device replicated cluster
+    while a :class:`~repro.resilience.chaos.ChaosSchedule` injects
+    correlated kills, stragglers and flaps mid-run.  The gate passes
+    only when the chaos run's folded ``y`` checksum is bit-identical
+    to the reference and no hedge copy ever diverged — zero wrong
+    answers under faults.  The JSON report is byte-reproducible per
+    seed (same options, same bytes) and is appended to
+    ``BENCH_chaos.json`` when ``REPRO_CHAOS_TRAJECTORY`` (or
+    ``--trajectory``) names a file.  Exit code 1 on gate failure.
+    """
+    import json
+
+    import repro
+    from repro.cluster import HedgePolicy
+    from repro.ocl.executor import executor_mode
+    from repro.resilience.chaos import (
+        ChaosSchedule, default_cluster_schedule,
+    )
+    from repro.serve import AdmissionPolicy
+    from repro.serve.loadgen import (
+        CHAOS_TRAJECTORY_SCHEMA, LoadConfig, append_serve_trajectory,
+        chaos_trajectory_path, report_json, run_loadgen,
+    )
+
+    executor_mode()  # surface a bad REPRO_EXECUTOR before the event loop
+    if args.devices < 2:
+        print("error: chaos needs --devices >= 2 (somewhere to fail "
+              "over to)", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.matrices:
+        kwargs["matrices"] = tuple(args.matrices.split(","))
+    config = LoadConfig(
+        seed=args.seed, scale=args.scale, num_requests=args.requests,
+        precision=args.precision, mrows=args.mrows, tenants=args.tenants,
+        **kwargs)
+    # queue bound sized to the trace so admission never drops requests:
+    # the gate certifies answers, not backpressure.
+    queue_depth = max(64, args.requests)
+    reference = run_loadgen(
+        config, admission=AdmissionPolicy(max_queue_depth=queue_depth))
+    if args.schedule:
+        schedule = ChaosSchedule.from_dict(
+            json.loads(Path(args.schedule).read_text()))
+    else:
+        schedule = default_cluster_schedule(
+            args.devices, seed=args.seed, at_s=args.chaos_at_us * 1e-6)
+    engine = repro.serve_session(
+        cluster=args.devices, precision=args.precision, mrows=args.mrows,
+        max_queue_depth=queue_depth, size_scale=args.scale,
+        keep_y="digest", replicas=args.replicas, hedge=HedgePolicy())
+    report = run_loadgen(config, engine=engine, chaos=schedule)
+    resilience = report.stats.get("cluster", {}).get("resilience", {})
+    divergences = int(resilience.get("hedge_divergences", 0))
+    match = report.y_checksum == reference.y_checksum
+    passed = match and divergences == 0
+    report.extra["chaos_gate"] = {
+        "reference_checksum": reference.y_checksum,
+        "reference_served": len(reference.served),
+        "chaos_served": len(report.served),
+        "checksums_match": match,
+        "hedge_divergences": divergences,
+        "passed": passed,
+    }
+    text = report_json(report)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    trajectory = args.trajectory or chaos_trajectory_path()
+    if trajectory:
+        append_serve_trajectory(report, trajectory,
+                                schema=CHAOS_TRAJECTORY_SCHEMA)
+        print(f"appended trajectory entry: {trajectory}", file=sys.stderr)
+    if not passed:
+        print(f"chaos gate FAILED: checksums_match={match} "
+              f"hedge_divergences={divergences}", file=sys.stderr)
+        return 1
+    print(f"chaos gate passed: {len(report.served)} served, "
+          f"checksum matches the no-fault run "
+          f"({len(schedule.actions)} faults injected)", file=sys.stderr)
     return 0
 
 
@@ -688,6 +792,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --devices: split matrices of at "
                              "least ROWS rows across devices on a "
                              "certified shard plan")
+        sp.add_argument("--replicas", type=int, default=1, metavar="R",
+                        help="with --devices: place each pattern on R "
+                             "ring-successor devices (default 1)")
 
     sp = sub.add_parser(
         "serve", help="serve a request stream against one matrix"
@@ -766,9 +873,54 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--split-rows", type=int, default=None, metavar="ROWS",
                     help="split matrices of at least ROWS rows across "
                          "devices on a certified shard plan")
+    sp.add_argument("--replicas", type=int, default=1, metavar="R",
+                    help="replicated placement factor (default 1)")
+    sp.add_argument("--fail-device", type=int, default=None, metavar="D",
+                    help="lose device D during the warmup trace")
+    sp.add_argument("--fail-at-us", type=float, default=500.0,
+                    help="simulated loss instant for --fail-device, "
+                         "microseconds (default 500)")
+    sp.add_argument("--rejoin-at-us", type=float, default=None,
+                    help="with --fail-device: rejoin it at this instant, "
+                         "microseconds (default: stays dead)")
     sp.add_argument("--json", action="store_true",
                     help="machine-readable tables + cluster stats")
     sp.set_defaults(fn=cmd_cluster)
+
+    sp = cluster_sub.add_parser(
+        "chaos", help="multi-fault chaos run, gated on zero wrong answers"
+    )
+    sp.add_argument("--devices", type=int, default=4, metavar="N",
+                    help="cluster size (default 4)")
+    sp.add_argument("--replicas", type=int, default=2, metavar="R",
+                    help="replicated placement factor (default 2)")
+    sp.add_argument("--seed", type=int, default=0,
+                    help="trace + schedule seed (default 0)")
+    sp.add_argument("--requests", type=int, default=64,
+                    help="requests to generate (default 64)")
+    sp.add_argument("--matrices", default=None,
+                    help="comma-separated suite names (default: the "
+                         "8-matrix representative subset)")
+    sp.add_argument("--tenants", type=int, default=1,
+                    help="value-variant tenants per matrix (default 1)")
+    sp.add_argument("--scale", type=float, default=0.02,
+                    help="suite generation scale (default 0.02)")
+    sp.add_argument("--mrows", type=int, default=128,
+                    help="CRSD row-segment size (default 128)")
+    sp.add_argument("--precision", choices=["double", "single"],
+                    default="double")
+    sp.add_argument("--schedule", metavar="FILE", default=None,
+                    help="JSON ChaosSchedule to inject (default: the "
+                         "seeded kill+straggler+flap schedule)")
+    sp.add_argument("--chaos-at-us", type=float, default=300.0,
+                    help="anchor instant for the default schedule, "
+                         "microseconds (default 300)")
+    sp.add_argument("-o", "--output", metavar="FILE",
+                    help="write the JSON report here instead of stdout")
+    sp.add_argument("--trajectory", metavar="FILE", default=None,
+                    help="append the report to this BENCH_chaos.json "
+                         "(default: $REPRO_CHAOS_TRAJECTORY)")
+    sp.set_defaults(fn=cmd_cluster_chaos)
     return p
 
 

@@ -22,14 +22,33 @@ as obs events); their per-shard partial results reassemble into a
 certificate's write-disjointness prover guarantees each row is owned
 by exactly one shard.
 
-Device loss (:meth:`ClusterEngine.fail_device`, fault kinds shared
-with :mod:`repro.resilience`) is an epoch boundary in the one global
-discrete-event loop: every live engine drains up to the loss instant,
-the dead device's unexecuted work is evacuated, its patterns re-place
-over the surviving ring (re-certifying through the shared store), and
-affected split requests are cancelled everywhere and re-dispatched
-whole — completed work keeps its results, lost work is re-served,
-nothing is served wrong.
+On top of sharding sits the **resilience layer**
+(:mod:`repro.cluster.resilience` holds the policy objects):
+
+- ``replicas=R`` places every unsplit pattern on ``R`` distinct
+  devices (the router's successor walk, home first), fans value
+  variants out to every replica's plan cache, and load-balances reads
+  deterministically (``request id mod live replicas``).
+- A :class:`~repro.cluster.resilience.HedgePolicy` duplicates a
+  request onto further replicas when its primary is straggling,
+  backed up, or would blow the deadline — first completion wins,
+  queued losers are cancelled, completed losers are digest-verified
+  against the winner.
+- ``cluster_admission`` adds a cluster-wide front door
+  (:class:`~repro.serve.admission.ClusterAdmission`) ahead of the
+  per-device queues, with per-tenant fairness and
+  ``shed-to-replica`` overflow.
+
+Device chaos (:meth:`ClusterEngine.fail_device`,
+:meth:`~ClusterEngine.slow_device`, :meth:`~ClusterEngine.rejoin_device`
+— fault kinds shared with :mod:`repro.resilience`) cuts the one global
+discrete-event loop into epochs: every live engine drains up to the
+event instant, then the event applies — loss means evacuation, ring
+removal, re-placement and verified failover re-dispatch (with
+deterministic backoff accounting charged into the served latency);
+rejoin restores the device and moves back only ring-adjacent patterns.
+Completed work keeps its results, lost work is re-served, nothing is
+served wrong.
 """
 
 from __future__ import annotations
@@ -41,26 +60,59 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.cluster.halo import HaloExchange
+from repro.cluster.resilience import (
+    ClusterError,
+    HedgePolicy,
+    ResilienceStats,
+    _HedgeCopy,
+    _HedgeGroup,
+    result_digest,
+)
 from repro.cluster.router import ClusterRouter
 from repro.obs import recorder as _obs
 from repro.ocl.device import DeviceSpec, TESLA_C2050
 from repro.resilience.faults import FAULT_KINDS
-from repro.serve.admission import AdmissionPolicy
+from repro.resilience.policy import Policy
+from repro.serve.admission import (
+    AdmissionPolicy,
+    ClusterAdmission,
+    ClusterAdmissionPolicy,
+)
 from repro.serve.batcher import BatchConfig
 from repro.serve.cache import PlanCache, ShardCertificateStore
 from repro.serve.clock import FOREVER
 from repro.serve.engine import ServedResult, ServeEngine
 
-__all__ = ["ClusterEngine", "DeviceLoss", "SimDevice"]
+__all__ = ["ClusterEngine", "ClusterEvent", "DeviceLoss", "SimDevice"]
 
 
 @dataclass
 class DeviceLoss:
-    """A scheduled simulated device loss (one resilience fault kind)."""
+    """A scheduled simulated device loss (kept for back-compat; the
+    engine now schedules every chaos action as a
+    :class:`ClusterEvent`)."""
 
     device: int
     at_s: float
     kind: str = "device_oom"
+    applied: bool = False
+
+
+#: recognised scheduled-event actions, in no particular order —
+#: simultaneous events apply in scheduling order (``seq``)
+EVENT_ACTIONS = ("fail", "slow_start", "slow_end", "rejoin")
+
+
+@dataclass
+class ClusterEvent:
+    """One scheduled chaos action on the cluster timeline."""
+
+    action: str
+    device: int
+    at_s: float
+    kind: str = ""       # fault taxonomy kind, for "fail"
+    factor: float = 1.0  # service-time multiplier, for "slow_start"
+    seq: int = 0
     applied: bool = False
 
 
@@ -72,10 +124,24 @@ class SimDevice:
     engine: ServeEngine
     #: cluster requests currently homed here (unsplit) / shards hosted
     homed_patterns: int = 0
+    #: the device died and came back with a fresh engine at least once
+    rejoined: bool = False
 
     @property
     def alive(self) -> bool:
         return self.engine.alive
+
+    @property
+    def state(self) -> str:
+        """``dead`` / ``slow`` / ``rejoined`` / ``live`` (the CLI's
+        status column)."""
+        if not self.alive:
+            return "dead"
+        if self.engine.service_scale > 1.0:
+            return "slow"
+        if self.rejoined:
+            return "rejoined"
+        return "live"
 
 
 @dataclass
@@ -88,6 +154,10 @@ class _Placement:
     num_shards: int = 0
     shard_devices: Tuple[int, ...] = ()
     cert: Any = None
+    #: replica devices of an unsplit pattern (home first)
+    replica_devices: Tuple[int, ...] = ()
+    #: combined fingerprints whose values already fanned to replicas
+    fanned: set = field(default_factory=set)
 
 
 @dataclass
@@ -122,6 +192,16 @@ class ClusterEngine:
     ``cache_capacity`` / ``vnodes``
         Per-device :class:`~repro.serve.cache.PlanCache` capacity and
         consistent-hash virtual nodes per device.
+    ``replicas``
+        Distinct devices hosting each unsplit pattern (1 = no
+        replication).
+    ``hedge``
+        A :class:`~repro.cluster.resilience.HedgePolicy` enabling
+        hedged retries to replicas (``None`` = never hedge).
+    ``cluster_admission``
+        A :class:`~repro.serve.admission.ClusterAdmissionPolicy`
+        enabling the cluster-wide front door (``None`` = per-device
+        admission only).
     """
 
     report_schema = "repro-cluster-report/v1"
@@ -144,10 +224,18 @@ class ClusterEngine:
         cache_capacity: int = 64,
         vnodes: int = 64,
         cert_store: Optional[ShardCertificateStore] = None,
+        replicas: int = 1,
+        hedge: Optional[HedgePolicy] = None,
+        cluster_admission: Optional[ClusterAdmissionPolicy] = None,
     ):
         if num_devices < 1:
             raise ValueError(
                 f"num_devices must be >= 1, got {num_devices}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if hedge is not None and not isinstance(hedge, HedgePolicy):
+            raise TypeError(
+                f"hedge must be a HedgePolicy or None, got {hedge!r}")
         self.num_devices = int(num_devices)
         self.device_spec = device
         self.precision = precision
@@ -156,34 +244,68 @@ class ClusterEngine:
         self.keep_y = keep_y
         self.split_threshold_rows = split_threshold_rows
         self.split_ways = split_ways
+        self.replicas = int(replicas)
+        self.hedge = hedge
         self.cert_store = (cert_store if cert_store is not None
                            else ShardCertificateStore())
         self.router = ClusterRouter(self.num_devices, vnodes=vnodes)
         self.halo = HaloExchange(precision)
-        self.devices = [
-            SimDevice(i, ServeEngine(
-                device=device, precision=precision, mrows=mrows,
-                use_local_memory=use_local_memory, batch=batch,
-                admission=admission,
-                cache=PlanCache(capacity=cache_capacity,
-                                cert_store=self.cert_store),
-                prepare_cost_s=prepare_cost_s, size_scale=size_scale,
-                keep_y=keep_y))
-            for i in range(self.num_devices)
-        ]
+        # kept so rejoined/added devices get identically-configured
+        # fresh engines
+        self._batch = batch
+        self._admission_policy = admission
+        self._prepare_cost_s = prepare_cost_s
+        self._size_scale = size_scale
+        self._cache_capacity = cache_capacity
+        self.devices = [SimDevice(i, self._fresh_engine())
+                        for i in range(self.num_devices)]
+
+        self.front_door = (None if cluster_admission is None
+                           else ClusterAdmission(cluster_admission))
+        self.resilience_stats = ResilienceStats()
+        #: the backoff schedule priced into failover re-dispatches
+        self._failover_policy = (hedge.backoff if hedge is not None
+                                 else Policy())
 
         self._next_id = 0
+        self._next_seq = 0
         #: (arrival, rid, fps, matrix, x, deadline_rel, resilience)
         self._arrivals: List[Tuple] = []
-        self._losses: List[DeviceLoss] = []
+        self._events: List[ClusterEvent] = []
         self._placements: Dict[str, _Placement] = {}
         #: (device index, device-level rid) -> cluster rid (unsplit)
         self._submap: Dict[Tuple[int, int], int] = {}
         self._inflight: Dict[int, _Inflight] = {}
+        #: hedged cluster rid -> its pending group
+        self._hedge_groups: Dict[int, _HedgeGroup] = {}
+        #: (device index, device-level rid) -> cluster rid (hedge copy)
+        self._hedge_copies: Dict[Tuple[int, int], int] = {}
+        #: cluster rid -> original arrival (survives failover; served
+        #: latency is always measured from here)
+        self._orig_arrival: Dict[int, float] = {}
+        #: cluster rid -> failover re-dispatches so far
+        self._failover_attempts: Dict[int, int] = {}
+        #: cluster rid -> front-door tenant (combined fingerprint)
+        self._tenant_of: Dict[int, str] = {}
+        #: dispatched-not-terminal requests, cluster-wide
+        self._inflight_count = 0
+        #: device index -> outstanding cluster dispatches (the hedge
+        #: queue-depth trigger and shed-to-replica target read this)
+        self._outstanding: Dict[int, int] = {}
         self.rebalances: List[Dict[str, Any]] = []
         self.split_dispatches = 0
         self.split_declines = 0
         self.results: List[ServedResult] = []
+
+    def _fresh_engine(self) -> ServeEngine:
+        return ServeEngine(
+            device=self.device_spec, precision=self.precision,
+            mrows=self.mrows, use_local_memory=self.use_local_memory,
+            batch=self._batch, admission=self._admission_policy,
+            cache=PlanCache(capacity=self._cache_capacity,
+                            cert_store=self.cert_store),
+            prepare_cost_s=self._prepare_cost_s,
+            size_scale=self._size_scale, keep_y=self.keep_y)
 
     # ------------------------------------------------------------------
     @property
@@ -219,6 +341,26 @@ class ClusterEngine:
             (arrival, rid, fps, matrix, x, deadline_s, resilience))
         return rid
 
+    # ------------------------------------------------------------------
+    # chaos scheduling
+    # ------------------------------------------------------------------
+    def _schedule(self, action: str, device: int, at_s: float,
+                  **kw) -> None:
+        self._events.append(ClusterEvent(
+            action=action, device=device, at_s=float(at_s),
+            seq=self._next_seq, **kw))
+        self._next_seq += 1
+
+    def _check_device(self, device) -> int:
+        device = int(device)
+        if not 0 <= device < len(self.devices):
+            raise ClusterError(f"no such device: {device}")
+        return device
+
+    def _pending(self, action: str, device: int) -> bool:
+        return any(e.action == action and e.device == device
+                   and not e.applied for e in self._events)
+
     def fail_device(self, device: int, at_s: float,
                     kind: str = "device_oom") -> None:
         """Schedule losing ``device`` at simulated instant ``at_s``.
@@ -226,16 +368,75 @@ class ClusterEngine:
         ``kind`` must be one of the :mod:`repro.resilience` fault
         categories (:data:`~repro.resilience.faults.FAULT_KINDS`) — the
         cluster reuses the chaos taxonomy so incident reports and
-        rebalance records speak the same language.
+        rebalance records speak the same language.  Raises
+        :class:`~repro.cluster.resilience.ClusterError` for an unknown
+        device index or a device that is already dead (with no rejoin
+        pending) — before any state is touched.
         """
         if kind not in FAULT_KINDS:
             raise ValueError(
                 f"unknown fault kind {kind!r}; expected one of "
                 f"{FAULT_KINDS}")
-        if not 0 <= int(device) < self.num_devices:
-            raise ValueError(f"no such device: {device}")
-        self._losses.append(
-            DeviceLoss(device=int(device), at_s=float(at_s), kind=kind))
+        device = self._check_device(device)
+        if not self.devices[device].alive \
+                and not self._pending("rejoin", device):
+            raise ClusterError(
+                f"device {device} is already dead and has no rejoin "
+                f"scheduled")
+        self._schedule("fail", device, at_s, kind=kind)
+
+    def slow_device(self, device: int, at_s: float, *,
+                    duration_s: float, factor: float = 4.0) -> None:
+        """Schedule a straggler window on ``device``: every launch
+        starting in ``[at_s, at_s + duration_s)`` takes ``factor``
+        times its predicted service time."""
+        device = self._check_device(device)
+        if duration_s <= 0:
+            raise ValueError(
+                f"duration_s must be > 0, got {duration_s}")
+        if factor <= 1.0:
+            raise ValueError(
+                f"factor must be > 1 to slow a device, got {factor}")
+        self._schedule("slow_start", device, at_s, factor=float(factor))
+        self._schedule("slow_end", device, at_s + float(duration_s))
+
+    def rejoin_device(self, device: int, at_s: float) -> None:
+        """Schedule a dead (or about-to-die) ``device`` to rejoin at
+        ``at_s`` with a fresh engine.  Only patterns whose placement
+        actually changes under the restored ring are invalidated — the
+        incremental re-placement invariant, in reverse."""
+        device = self._check_device(device)
+        if self.devices[device].alive \
+                and not self._pending("fail", device):
+            raise ClusterError(
+                f"device {device} is alive and has no failure "
+                f"scheduled; nothing to rejoin")
+        self._schedule("rejoin", device, at_s)
+
+    def add_device(self, device: Optional[int] = None) -> int:
+        """Immediately add a brand-new device (``device=None``: the
+        next index) or restore a dead one.  Raises
+        :class:`~repro.cluster.resilience.ClusterError` for an
+        already-alive or out-of-range index — before any router state
+        is touched."""
+        if device is None:
+            device = len(self.devices)
+        device = int(device)
+        if not 0 <= device <= len(self.devices):
+            raise ClusterError(
+                f"cannot add device {device}: cluster devices are "
+                f"0..{len(self.devices) - 1}")
+        if device == len(self.devices):
+            self.devices.append(SimDevice(device, self._fresh_engine()))
+            self.num_devices += 1
+        elif self.devices[device].alive:
+            raise ClusterError(f"device {device} is already alive")
+        else:
+            self.devices[device].engine = self._fresh_engine()
+            self.devices[device].rejoined = True
+            self.devices[device].homed_patterns = 0
+        self._join_ring(device, self.now)
+        return device
 
     # ------------------------------------------------------------------
     # the global event loop
@@ -243,13 +444,14 @@ class ClusterEngine:
     def run(self, until: float = FOREVER) -> List[ServedResult]:
         """Drain the cluster up to ``until`` (default: everything).
 
-        One deterministic discrete-event loop: scheduled device losses
+        One deterministic discrete-event loop: scheduled chaos events
         cut the timeline into epochs; within an epoch arrivals dispatch
-        to their routed devices (in arrival order) and every live
-        engine drains to the epoch boundary, then the loss applies —
-        evacuation, ring removal, re-placement, re-dispatch — and the
-        next epoch begins.  Results arrive in deterministic completion
-        order with cluster-level request ids.
+        to their routed devices (in arrival order), every live engine
+        drains to the epoch boundary, and hedged requests resolve
+        (first completion wins, losers cancelled or verified), then the
+        event applies — loss, straggler window edge, or rejoin — and
+        the next epoch begins.  Results arrive in deterministic
+        completion order with cluster-level request ids.
         """
         drained: List[ServedResult] = []
         arrivals = sorted(self._arrivals, key=lambda a: (a[0], a[1]))
@@ -258,23 +460,31 @@ class ClusterEngine:
         else:
             self._arrivals = [a for a in arrivals if a[0] > until]
             arrivals = [a for a in arrivals if a[0] <= until]
-        losses = sorted(
-            (loss for loss in self._losses
-             if not loss.applied and loss.at_s <= until),
-            key=lambda f: (f.at_s, f.device))
+        events = sorted(
+            (e for e in self._events
+             if not e.applied and e.at_s <= until),
+            key=lambda e: (e.at_s, e.seq))
         i, n = 0, len(arrivals)
-        for event in [*losses, None]:
+        for event in [*events, None]:
             bound = until if event is None else event.at_s
             while i < n and arrivals[i][0] <= bound:
-                self._dispatch(*arrivals[i])
+                a = arrivals[i]
+                self._dispatch(a[0], a[1], a[2], a[3], a[4], a[5], a[6],
+                               drained)
                 i += 1
             for dev in self.devices:
                 if dev.alive:
                     self._collect(dev, dev.engine.run(until=bound),
                                   drained)
+            self._resolve_hedges(drained)
             if event is not None:
                 event.applied = True
-                self._apply_loss(event, drained)
+                if event.action == "fail":
+                    self._apply_loss(event, drained)
+                elif event.action == "rejoin":
+                    self._apply_rejoin(event)
+                else:
+                    self._apply_slow(event)
         self.results.extend(drained)
         return drained
 
@@ -312,24 +522,133 @@ class ClusterEngine:
                     self.split_declines += 1
                     self._event("cluster.split_decline",
                                 pattern=fps.pattern, num_shards=k)
+        if not placement.split:
+            placement.replica_devices = self.router.successors(
+                fps.pattern, self.replicas)
         self._placements[fps.pattern] = placement
         self.devices[home].homed_patterns += 1
         self._event("cluster.place", pattern=fps.pattern, home=home,
                     split=placement.split,
-                    num_shards=placement.num_shards)
+                    num_shards=placement.num_shards,
+                    replicas=list(placement.replica_devices))
         return placement
 
     def _dispatch(self, at, rid, fps, matrix, x, deadline_rel,
-                  resilience) -> None:
+                  resilience, out: List[ServedResult], *,
+                  fresh: bool = True) -> None:
         placement = self._placement_for(fps, matrix)
+        shed = False
+        if fresh:
+            self._orig_arrival[rid] = at
+            if self.front_door is not None:
+                tenant = fps.combined
+                verdict = self.front_door.admit(
+                    tenant, self._inflight_count)
+                if verdict == "reject":
+                    self._event("cluster.shed", request=rid,
+                                tenant=tenant, action="reject")
+                    out.append(ServedResult(
+                        request_id=rid, fingerprint=fps.combined,
+                        status="rejected", arrival_s=at, start_s=at,
+                        finish_s=at))
+                    self._orig_arrival.pop(rid, None)
+                    return
+                shed = verdict == "shed-to-replica"
+                if shed:
+                    self._event("cluster.shed", request=rid,
+                                tenant=tenant,
+                                action="shed-to-replica")
+                self._tenant_of[rid] = tenant
+                self._inflight_count += 1
         if placement.split and resilience is None:
             self._dispatch_split(placement, at, rid, fps, matrix, x,
                                  deadline_rel)
             return
-        engine = self.devices[placement.home].engine
-        drid = engine.submit(matrix, x, at=at, deadline_s=deadline_rel,
-                             resilience=resilience)
-        self._submap[(placement.home, drid)] = rid
+        replicas = [d for d in placement.replica_devices
+                    if self.devices[d].alive] or [placement.home]
+        self._fan_out_values(placement, fps, matrix, replicas)
+        if shed:
+            # overflow redirection: least-loaded live replica
+            target = min(replicas,
+                         key=lambda d: (self._outstanding.get(d, 0), d))
+        else:
+            # deterministic read balancing across live replicas
+            target = replicas[rid % len(replicas)]
+        if (self.hedge is not None and resilience is None and not shed
+                and len(replicas) > 1):
+            reason = self._hedge_trigger(target, at, deadline_rel)
+            if reason is not None:
+                self._dispatch_hedged(placement, at, rid, fps, matrix,
+                                      x, deadline_rel, target, replicas,
+                                      reason)
+                return
+        drid = self.devices[target].engine.submit(
+            matrix, x, at=at, deadline_s=deadline_rel,
+            resilience=resilience)
+        self._submap[(target, drid)] = rid
+        self._outstanding[target] = \
+            self._outstanding.get(target, 0) + 1
+
+    def _fan_out_values(self, placement: _Placement, fps, matrix,
+                        replicas: List[int]) -> None:
+        """Warm every replica's plan cache with this value variant so a
+        failover or hedge never pays a cold prepare."""
+        if len(replicas) < 2 or fps.combined in placement.fanned:
+            return
+        for d in replicas:
+            if d == placement.home:
+                continue
+            self.devices[d].engine.cache.entry(matrix)
+            self.resilience_stats.value_fanouts += 1
+        placement.fanned.add(fps.combined)
+
+    def _hedge_trigger(self, device: int, at: float,
+                       deadline_rel) -> Optional[str]:
+        """Why this dispatch should hedge, or ``None``."""
+        h = self.hedge
+        eng = self.devices[device].engine
+        if eng.service_scale >= h.slow_threshold:
+            return "slow"
+        backlog = max(0.0, eng.busy_until - at)
+        if h.timeout_s is not None and backlog > h.timeout_s:
+            return "timeout"
+        if (h.deadline_fraction is not None and deadline_rel is not None
+                and backlog > h.deadline_fraction * float(deadline_rel)):
+            return "deadline"
+        if (h.queue_depth is not None
+                and self._outstanding.get(device, 0) >= h.queue_depth):
+            return "queue"
+        return None
+
+    def _dispatch_hedged(self, placement: _Placement, at, rid, fps,
+                         matrix, x, deadline_rel, target: int,
+                         replicas: List[int], reason: str) -> None:
+        group = _HedgeGroup(rid=rid, fps=fps, matrix=matrix, x=x,
+                            arrival_s=at, deadline_rel=deadline_rel)
+        self._hedge_groups[rid] = group
+        drid = self.devices[target].engine.submit(
+            matrix, x, at=at, deadline_s=deadline_rel)
+        self._submap[(target, drid)] = rid
+        self._hedge_copies[(target, drid)] = rid
+        group.copies.append(_HedgeCopy(target, drid, 0))
+        self._outstanding[target] = \
+            self._outstanding.get(target, 0) + 1
+        others = [d for d in replicas if d != target]
+        for k, dev_idx in enumerate(
+                others[:min(self.hedge.max_hedges, len(others))], 1):
+            delay = self.hedge.backoff.backoff_s(k)
+            hdrid = self.devices[dev_idx].engine.submit(
+                matrix, x, at=at + delay, deadline_s=deadline_rel)
+            self._submap[(dev_idx, hdrid)] = rid
+            self._hedge_copies[(dev_idx, hdrid)] = rid
+            group.copies.append(_HedgeCopy(dev_idx, hdrid, k))
+            self._outstanding[dev_idx] = \
+                self._outstanding.get(dev_idx, 0) + 1
+            self.resilience_stats.hedges += 1
+            self.resilience_stats.hedge_backoff_s += delay
+            self._event("cluster.hedge", request=rid, primary=target,
+                        hedge=dev_idx, attempt=k, backoff_s=delay,
+                        reason=reason)
 
     def _dispatch_split(self, placement: _Placement, at, rid, fps,
                         matrix, x, deadline_rel) -> None:
@@ -355,14 +674,48 @@ class ClusterEngine:
     # ------------------------------------------------------------------
     # result collection + reassembly
     # ------------------------------------------------------------------
+    def _finish(self, out: List[ServedResult],
+                result: ServedResult) -> None:
+        """Emit one terminal cluster result, releasing every piece of
+        per-request bookkeeping (front door, in-flight count)."""
+        self._orig_arrival.pop(result.request_id, None)
+        self._failover_attempts.pop(result.request_id, None)
+        tenant = self._tenant_of.pop(result.request_id, None)
+        if tenant is not None:
+            self._inflight_count = max(0, self._inflight_count - 1)
+            if self.front_door is not None:
+                self.front_door.release(tenant)
+        out.append(result)
+
+    def _retimed(self, r: ServedResult, rid: int) -> ServedResult:
+        """Measure served latency from the *original* arrival, so
+        failover downtime, re-dispatch backoff and hedge delay all show
+        up in the percentiles."""
+        orig = self._orig_arrival.get(rid)
+        if orig is None or orig == r.arrival_s or not r.served:
+            return r
+        return dataclasses.replace(
+            r, arrival_s=orig, latency_s=r.finish_s - orig)
+
     def _collect(self, dev: SimDevice, results: List[ServedResult],
                  out: List[ServedResult]) -> None:
         for r in results:
             if r.parent_id is not None and r.shard_index is not None:
                 self._absorb_partial(r, out)
-            else:
-                rid = self._submap.pop((dev.index, r.request_id))
-                out.append(dataclasses.replace(r, request_id=rid))
+                continue
+            key = (dev.index, r.request_id)
+            rid = self._submap.pop(key)
+            self._outstanding[dev.index] = max(
+                0, self._outstanding.get(dev.index, 0) - 1)
+            if key in self._hedge_copies:
+                del self._hedge_copies[key]
+                group = self._hedge_groups[rid]
+                copy = group.copy_for(dev.index, r.request_id)
+                group.completed.append(
+                    (r.finish_s, dev.index, copy.attempt, r))
+                continue
+            self._finish(out, self._retimed(
+                dataclasses.replace(r, request_id=rid), rid))
 
     def _absorb_partial(self, r: ServedResult,
                         out: List[ServedResult]) -> None:
@@ -372,8 +725,9 @@ class ClusterEngine:
         info.partials[r.shard_index] = r
         if set(info.partials) != set(info.expected):
             return
-        out.append(self._assemble(info))
+        assembled = self._assemble(info)
         del self._inflight[info.rid]
+        self._finish(out, self._retimed(assembled, info.rid))
 
     def _assemble(self, info: _Inflight) -> ServedResult:
         import hashlib
@@ -403,15 +757,78 @@ class ClusterEngine:
             deadline_met=met, y=y, y_digest=y_digest)
 
     # ------------------------------------------------------------------
+    # hedge resolution
+    # ------------------------------------------------------------------
+    def _resolve_hedges(self, out: List[ServedResult]) -> None:
+        """First completion wins: emit the winner, cancel still-queued
+        losers, digest-verify losers that already executed.  Called at
+        every epoch boundary, after all live engines drained."""
+        ready = sorted(rid for rid, g in self._hedge_groups.items()
+                       if g.completed)
+        for rid in ready:
+            group = self._hedge_groups.pop(rid)
+            # served completions beat terminal ones (an expired copy
+            # must not outrank a served one), then earliest finish,
+            # then lowest device index — fully deterministic
+            group.completed.sort(
+                key=lambda t: (not t[3].served, t[0], t[1]))
+            win_f, win_dev, win_attempt, win_r = group.completed[0]
+            if win_attempt > 0:
+                self.resilience_stats.hedge_wins += 1
+            win_digest = result_digest(win_r)
+            for _, dev_idx, attempt, r in group.completed[1:]:
+                self.resilience_stats.hedge_wasted += 1
+                digest = result_digest(r)
+                if digest is None or win_digest is None:
+                    continue
+                if digest == win_digest:
+                    self.resilience_stats.hedge_verified += 1
+                else:
+                    self.resilience_stats.hedge_divergences += 1
+                    self._event("cluster.hedge_divergence",
+                                request=rid, winner=win_dev,
+                                loser=dev_idx)
+            done = {(d, a) for _, d, a, _ in group.completed}
+            for c in group.copies:
+                if (c.device, c.attempt) in done:
+                    continue
+                self._submap.pop((c.device, c.device_rid), None)
+                self._hedge_copies.pop((c.device, c.device_rid), None)
+                self._outstanding[c.device] = max(
+                    0, self._outstanding.get(c.device, 0) - 1)
+                dev = self.devices[c.device]
+                if dev.alive and dev.engine.cancel_where(
+                        lambda req, _rid=c.device_rid: req.id == _rid):
+                    self.resilience_stats.hedge_cancelled += 1
+            self._finish(out, self._retimed(
+                dataclasses.replace(win_r, request_id=rid), rid))
+
+    # ------------------------------------------------------------------
     # device loss + rebalancing
     # ------------------------------------------------------------------
-    def _apply_loss(self, event: DeviceLoss,
+    def _charge_failover(self, rid: int, device: int, at_s: float,
+                         base_arrival: float, *,
+                         split: bool) -> float:
+        """Account one failover re-dispatch; returns the re-dispatch
+        arrival (original position on the timeline, plus downtime,
+        plus deterministic backoff)."""
+        attempt = self._failover_attempts.get(rid, 0) + 1
+        self._failover_attempts[rid] = attempt
+        backoff = self._failover_policy.backoff_s(attempt)
+        self.resilience_stats.failovers += 1
+        self.resilience_stats.failover_backoff_s += backoff
+        self._event("cluster.failover", request=rid, device=device,
+                    attempt=attempt, backoff_s=backoff, split=split)
+        return max(base_arrival, at_s) + backoff
+
+    def _apply_loss(self, event: ClusterEvent,
                     out: List[ServedResult]) -> None:
         dev = self.devices[event.device]
         if not dev.alive:
             return  # already dead (duplicate schedule)
         evacuated = dev.engine.evacuate()
         self.router.remove(event.device)
+        self._outstanding[event.device] = 0
         self._event("cluster.device_loss", device=event.device,
                     kind=event.kind, at_s=event.at_s,
                     evacuated=len(evacuated))
@@ -420,7 +837,8 @@ class ClusterEngine:
         dead_patterns = [
             p for p, pl in self._placements.items()
             if pl.home == event.device
-            or event.device in pl.shard_devices]
+            or event.device in pl.shard_devices
+            or event.device in pl.replica_devices]
         for p in dead_patterns:
             del self._placements[p]
         # split requests with any shard on the dead device restart
@@ -438,29 +856,64 @@ class ClusterEngine:
         moved = 0
         for rid in affected:
             info = self._inflight.pop(rid)
-            arrival = max(info.arrival_s, event.at_s)
+            arrival = self._charge_failover(
+                rid, event.device, event.at_s, info.arrival_s,
+                split=True)
             deadline_rel = (None if info.deadline_abs is None
                             else info.deadline_abs - arrival)
             self._dispatch(arrival, rid, info.fps, info.matrix, info.x,
-                           deadline_rel, None)
+                           deadline_rel, None, out, fresh=False)
             moved += 1
-        # unsplit work stranded on the dead device re-homes; shard
-        # sub-requests of affected parents were already re-dispatched
-        # through their parent above
+        # unsplit work stranded on the dead device: hedge copies fall
+        # out of their group (survivor copies keep racing), everything
+        # else re-homes through verified failover; shard sub-requests
+        # of affected parents were already re-dispatched above
         from repro.core.serialize import MatrixFingerprints
 
+        stranded_hedges = set()
         for req in evacuated:
             if req.parent_id is not None:
                 continue
-            rid = self._submap.pop((event.device, req.id))
-            arrival = max(req.arrival_s, event.at_s)
+            key = (event.device, req.id)
+            if key in self._hedge_copies:
+                rid = self._hedge_copies.pop(key)
+                self._submap.pop(key, None)
+                group = self._hedge_groups[rid]
+                group.copies = [
+                    c for c in group.copies
+                    if (c.device, c.device_rid) != key]
+                stranded_hedges.add(rid)
+                continue
+            rid = self._submap.pop(key)
+            arrival = self._charge_failover(
+                rid, event.device, event.at_s, req.arrival_s,
+                split=False)
             deadline_rel = (None if req.deadline_s is None
                             else req.deadline_s - arrival)
             fps = MatrixFingerprints(
                 combined=req.entry.fingerprint,
                 pattern=req.entry.pattern_fingerprint, values="")
             self._dispatch(arrival, rid, fps, req.entry.coo, req.x,
-                           deadline_rel, req.resilience)
+                           deadline_rel, req.resilience, out,
+                           fresh=False)
+            moved += 1
+        # a hedged request that lost *every* copy to the dead device
+        # restarts whole (its group had no survivors to race)
+        for rid in sorted(stranded_hedges):
+            group = self._hedge_groups[rid]
+            if group.completed or group.copies:
+                continue
+            del self._hedge_groups[rid]
+            arrival = self._charge_failover(
+                rid, event.device, event.at_s, group.arrival_s,
+                split=False)
+            deadline_rel = (
+                None if group.deadline_rel is None
+                else group.arrival_s + float(group.deadline_rel)
+                - arrival)
+            self._dispatch(arrival, rid, group.fps, group.matrix,
+                           group.x, deadline_rel, None, out,
+                           fresh=False)
             moved += 1
         self.rebalances.append({
             "at_s": event.at_s,
@@ -472,6 +925,67 @@ class ClusterEngine:
         })
         self._event("cluster.rebalance", device=event.device,
                     moved=moved, patterns=len(dead_patterns))
+
+    # ------------------------------------------------------------------
+    # device rejoin + straggler windows
+    # ------------------------------------------------------------------
+    def _apply_rejoin(self, event: ClusterEvent) -> None:
+        dev = self.devices[event.device]
+        if dev.alive:
+            return  # already back (duplicate schedule)
+        dev.engine = self._fresh_engine()
+        dev.rejoined = True
+        dev.homed_patterns = 0
+        self._join_ring(event.device, event.at_s)
+
+    def _join_ring(self, device: int, at_s: float) -> None:
+        """Put ``device`` back on the ring and invalidate exactly the
+        placements the restored ring moves — every one of which must
+        touch the (re)joined device, the invariant the rebalance
+        record's ``ring_adjacent_only`` attests."""
+        self.router.add(device)
+        moved: List[str] = []
+        adjacent = True
+        for pattern in sorted(self._placements):
+            pl = self._placements[pattern]
+            home = self.router.place(pattern)
+            if pl.split:
+                devs = self.router.successors(pattern, pl.num_shards)
+                current = (pl.home, pl.shard_devices)
+            else:
+                devs = self.router.successors(pattern, self.replicas)
+                current = (pl.home, pl.replica_devices)
+            if (home, devs) != current:
+                moved.append(pattern)
+                if device != home and device not in devs:
+                    adjacent = False
+        for p in moved:
+            del self._placements[p]
+        self.rebalances.append({
+            "at_s": at_s,
+            "device": device,
+            "kind": "rejoin",
+            "moved_requests": 0,
+            "replaced_patterns": len(moved),
+            "ring_adjacent_only": adjacent,
+            "alive": list(self.router.alive),
+        })
+        self._event("cluster.rejoin", device=device, at_s=at_s,
+                    moved_patterns=len(moved))
+
+    def _apply_slow(self, event: ClusterEvent) -> None:
+        dev = self.devices[event.device]
+        if not dev.alive:
+            return  # straggler window on a dead device: nothing to do
+        if event.action == "slow_start":
+            dev.engine.service_scale = event.factor
+            self._event("cluster.slow", device=event.device,
+                        factor=event.factor, at_s=event.at_s,
+                        phase="start")
+        else:
+            dev.engine.service_scale = 1.0
+            self._event("cluster.slow", device=event.device,
+                        factor=1.0, at_s=event.at_s, phase="end")
 
     # ------------------------------------------------------------------
     # introspection
@@ -486,7 +1000,9 @@ class ClusterEngine:
                 "home": pl.home,
                 "split": pl.split,
                 "num_shards": pl.num_shards,
-                "devices": list(pl.shard_devices) or [pl.home],
+                "devices": (list(pl.shard_devices)
+                            or list(pl.replica_devices)
+                            or [pl.home]),
             })
         return rows
 
@@ -498,6 +1014,7 @@ class ClusterEngine:
             rows.append({
                 "device": d.index,
                 "alive": d.alive,
+                "state": d.state,
                 "clock_s": e.clock.now,
                 "launches": (e.spmm_launches + e.spmv_launches
                              + e.shard_launches),
@@ -513,7 +1030,8 @@ class ClusterEngine:
         The aggregate ``admission`` / ``batching`` / ``cache`` sections
         sum the per-device counters so cluster reports read like
         single-engine ones; the ``cluster`` section carries placement,
-        halo, certificate-store and rebalance accounting.
+        halo, certificate-store, rebalance and resilience accounting
+        (plus the front-door ``admission_tier`` when configured).
         """
         per_device = [d.engine.stats() for d in self.devices]
 
@@ -548,11 +1066,16 @@ class ClusterEngine:
                 "alive": list(self.router.alive),
                 "router": self.router.to_dict(),
                 "placements": len(self._placements),
+                "replicas": self.replicas,
                 "split_dispatches": self.split_dispatches,
                 "split_declines": self.split_declines,
                 "halo": self.halo.to_dict(),
                 "cert_store": self.cert_store.to_dict(),
                 "rebalances": self.rebalances,
+                "resilience": self.resilience_stats.to_dict(),
+                "admission_tier": (
+                    None if self.front_door is None
+                    else self.front_door.to_dict()),
             },
             "devices": per_device,
         }

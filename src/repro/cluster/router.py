@@ -109,6 +109,19 @@ class ClusterRouter:
         self._alive.discard(device)
         self._build_ring()
 
+    def add(self, device: int) -> None:
+        """Put ``device`` (back) on the ring (device addition or
+        rejoin).  Its virtual nodes reclaim exactly the arcs they owned
+        before, so only ring-adjacent keys move back — the same
+        incremental invariant as :meth:`remove`, in reverse."""
+        device = int(device)
+        if device < 0:
+            raise ValueError(f"device index must be >= 0, got {device}")
+        if device in self._alive:
+            raise ValueError(f"device {device} is already alive")
+        self._alive.add(device)
+        self._build_ring()
+
     # ------------------------------------------------------------------
     def table(self, keys) -> Dict[str, int]:
         """Current ``key -> home device`` mapping for ``keys``."""

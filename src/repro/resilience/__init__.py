@@ -39,6 +39,9 @@ Public names resolve lazily (PEP 562) so the runtime hooks can import
 
 __all__ = [
     "DEFAULT_LADDER",
+    "ChaosAction",
+    "ChaosSchedule",
+    "FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",
     "FaultSpec",
@@ -47,6 +50,7 @@ __all__ = [
     "ResilienceExhausted",
     "active",
     "chaos_sweep",
+    "default_cluster_schedule",
     "inject",
     "ladder_for",
     "resilient_spmv",
@@ -55,6 +59,9 @@ __all__ = [
 #: lazily-resolved public attribute -> defining module
 _LAZY = {
     "DEFAULT_LADDER": "repro.resilience.engine",
+    "ChaosAction": "repro.resilience.chaos",
+    "ChaosSchedule": "repro.resilience.chaos",
+    "FAULT_KINDS": "repro.resilience.faults",
     "FaultEvent": "repro.resilience.faults",
     "FaultInjector": "repro.resilience.faults",
     "FaultSpec": "repro.resilience.faults",
@@ -63,6 +70,7 @@ _LAZY = {
     "ResilienceExhausted": "repro.resilience.policy",
     "active": "repro.resilience.faults",
     "chaos_sweep": "repro.resilience.chaos",
+    "default_cluster_schedule": "repro.resilience.chaos",
     "inject": "repro.resilience.faults",
     "ladder_for": "repro.resilience.engine",
     "resilient_spmv": "repro.resilience.engine",

@@ -30,13 +30,153 @@ from repro.resilience.policy import Policy, ResilienceExhausted
 
 __all__ = [
     "CHAOS_SCHEMA",
+    "ChaosAction",
     "ChaosReport",
+    "ChaosSchedule",
     "chaos_sweep",
     "default_chaos_specs",
+    "default_cluster_schedule",
 ]
 
 #: schema tag of the ``repro faultsim`` JSON report
 CHAOS_SCHEMA = "repro-faultsim/v1"
+
+#: chaos-action kinds a :class:`ChaosSchedule` may carry: the
+#: structural device kills, plus the cluster-level straggler and flap
+SCHEDULE_KINDS = ("device_oom", "local_oom", "launch", "device_slow",
+                  "device_flap")
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One scheduled cluster fault.
+
+    ``device_oom`` / ``local_oom`` / ``launch`` kill ``device`` at
+    ``at_s`` permanently (the kill *kind* is the incident label).
+    ``device_slow`` multiplies the device's service times by
+    ``factor`` for ``duration_s`` simulated seconds (a straggler).
+    ``device_flap`` kills the device at ``at_s`` and rejoins it — a
+    fresh engine on the same ring index — ``duration_s`` later.
+    """
+
+    kind: str
+    device: int
+    at_s: float
+    duration_s: float = 0.0
+    factor: float = 4.0
+
+    def __post_init__(self):
+        if self.kind not in SCHEDULE_KINDS:
+            raise ValueError(
+                f"unknown chaos action kind {self.kind!r}; expected one "
+                f"of {SCHEDULE_KINDS}")
+        if self.at_s < 0:
+            raise ValueError(f"at_s must be >= 0, got {self.at_s}")
+        if self.kind in ("device_slow", "device_flap") \
+                and self.duration_s <= 0:
+            raise ValueError(
+                f"{self.kind} needs duration_s > 0, got {self.duration_s}")
+        if self.kind == "device_slow" and self.factor <= 1.0:
+            raise ValueError(
+                f"device_slow needs factor > 1, got {self.factor}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe action payload (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "device": self.device,
+            "at_s": self.at_s,
+            "duration_s": self.duration_s,
+            "factor": self.factor,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ChaosAction":
+        return cls(
+            kind=payload["kind"], device=int(payload["device"]),
+            at_s=float(payload["at_s"]),
+            duration_s=float(payload.get("duration_s", 0.0)),
+            factor=float(payload.get("factor", 4.0)))
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A correlated multi-device fault sequence for one cluster run.
+
+    The schedule is declarative and engine-agnostic: :meth:`apply`
+    translates every action into the cluster engine's scheduling calls
+    (``fail_device`` / ``slow_device`` / ``rejoin_device``), which the
+    engine's event loop then applies as epoch boundaries in
+    deterministic order.  ``to_dict``/``from_dict`` round-trip the
+    schedule through the chaos report JSON byte-stably.
+    """
+
+    actions: Tuple[ChaosAction, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "actions", tuple(self.actions))
+        for a in self.actions:
+            if not isinstance(a, ChaosAction):
+                raise TypeError(
+                    f"actions must be ChaosAction, got {type(a)}")
+
+    def apply(self, engine) -> None:
+        """Schedule every action on a cluster engine (anything with
+        the ``fail_device`` / ``slow_device`` / ``rejoin_device``
+        scheduling surface)."""
+        for a in self.actions:
+            if a.kind == "device_slow":
+                engine.slow_device(a.device, at_s=a.at_s,
+                                   duration_s=a.duration_s,
+                                   factor=a.factor)
+            elif a.kind == "device_flap":
+                engine.fail_device(a.device, at_s=a.at_s,
+                                   kind="device_flap")
+                engine.rejoin_device(a.device,
+                                     at_s=a.at_s + a.duration_s)
+            else:
+                engine.fail_device(a.device, at_s=a.at_s, kind=a.kind)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe schedule payload (inverse of :meth:`from_dict`)."""
+        return {"actions": [a.to_dict() for a in self.actions]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ChaosSchedule":
+        return cls(actions=tuple(
+            ChaosAction.from_dict(a) for a in payload["actions"]))
+
+
+def default_cluster_schedule(
+    num_devices: int,
+    *,
+    seed: int = 0,
+    at_s: float = 3e-4,
+) -> ChaosSchedule:
+    """The standard correlated multi-fault plan: one straggler, one
+    permanent kill, one flap — on distinct devices, offsets derived
+    arithmetically from ``seed`` (hash-free, deterministic).
+
+    On clusters too small to keep a quorum through a kill *and* a flap
+    (fewer than 3 devices) the permanent kill is dropped; the flap
+    still exercises loss + rejoin.
+    """
+    if num_devices < 2:
+        raise ValueError(
+            f"a chaos schedule needs >= 2 devices, got {num_devices}")
+    slow = seed % num_devices
+    flap = (slow + 1) % num_devices
+    actions = [
+        ChaosAction("device_slow", slow, at_s=at_s,
+                    duration_s=6.0 * at_s, factor=8.0),
+        ChaosAction("device_flap", flap, at_s=2.0 * at_s,
+                    duration_s=2.0 * at_s),
+    ]
+    if num_devices >= 3:
+        kill = (slow + 2) % num_devices
+        actions.append(
+            ChaosAction("device_oom", kill, at_s=1.5 * at_s))
+    return ChaosSchedule(actions=tuple(actions))
 
 
 def default_chaos_specs() -> Tuple[FaultSpec, ...]:

@@ -41,6 +41,7 @@ from repro.ocl.errors import DeviceMemoryError, LaunchError, LocalMemoryError
 
 __all__ = [
     "FAULT_KINDS",
+    "INJECTABLE_FAULT_KINDS",
     "SOFT_PAYLOADS",
     "FaultSpec",
     "FaultEvent",
@@ -51,8 +52,19 @@ __all__ = [
 ]
 
 #: recognised fault kinds; structural kinds raise the matching
-#: simulated-runtime error, ``soft`` corrupts the launch's result
-FAULT_KINDS = ("device_oom", "local_oom", "launch", "soft")
+#: simulated-runtime error, ``soft`` corrupts the launch's result,
+#: and the cluster-level kinds (``device_slow`` — a straggler
+#: service-time multiplier, ``device_flap`` — a kill followed by a
+#: rejoin) describe whole-device chaos actions scheduled through
+#: :class:`~repro.resilience.chaos.ChaosSchedule` rather than
+#: injected at runtime sites
+FAULT_KINDS = ("device_oom", "local_oom", "launch", "soft",
+               "device_slow", "device_flap")
+
+#: the subset of :data:`FAULT_KINDS` a :class:`FaultSpec` may inject
+#: at alloc/launch/phase sites (cluster-level kinds are not
+#: site-injectable)
+INJECTABLE_FAULT_KINDS = ("device_oom", "local_oom", "launch", "soft")
 
 #: soft-fault corruptions: poison one element with NaN, negate it, or
 #: nudge it by one part in 2^20 (a "silent" bit-level corruption)
@@ -102,6 +114,11 @@ class FaultSpec:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; expected one of "
                 f"{FAULT_KINDS}")
+        if self.kind not in INJECTABLE_FAULT_KINDS:
+            raise ValueError(
+                f"fault kind {self.kind!r} is cluster-level; schedule "
+                f"it through repro.resilience.ChaosSchedule, not a "
+                f"site-injected FaultSpec")
         if self.payload not in SOFT_PAYLOADS:
             raise ValueError(
                 f"unknown soft payload {self.payload!r}; expected one of "

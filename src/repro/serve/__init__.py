@@ -38,9 +38,12 @@ from typing import Optional, Union
 
 from repro.ocl.device import DeviceSpec, TESLA_C2050
 from repro.serve.admission import (
+    CLUSTER_OVERFLOW_POLICIES,
     OVERFLOW_POLICIES,
     AdmissionController,
     AdmissionPolicy,
+    ClusterAdmission,
+    ClusterAdmissionPolicy,
     ServeOverloaded,
 )
 from repro.serve.batcher import BatchConfig, MicroBatcher, Request
@@ -58,6 +61,7 @@ from repro.serve.loadgen import (
     LoadConfig,
     LoadReport,
     append_serve_trajectory,
+    chaos_trajectory_path,
     cluster_trajectory_path,
     report_json,
     run_loadgen,
@@ -68,7 +72,10 @@ __all__ = [
     "AdmissionController",
     "AdmissionPolicy",
     "BatchConfig",
+    "CLUSTER_OVERFLOW_POLICIES",
     "CacheStats",
+    "ClusterAdmission",
+    "ClusterAdmissionPolicy",
     "Engine",
     "FOREVER",
     "LoadConfig",
@@ -84,6 +91,7 @@ __all__ = [
     "ShardCertificateStore",
     "SimulatedClock",
     "append_serve_trajectory",
+    "chaos_trajectory_path",
     "cluster_trajectory_path",
     "default_cache",
     "report_json",
@@ -113,6 +121,9 @@ def serve_session(
     split_threshold_rows: Optional[int] = None,
     split_ways: Optional[int] = None,
     cache_capacity: int = 64,
+    replicas: int = 1,
+    hedge=None,
+    cluster_admission=None,
 ) -> Engine:
     """Open a serving session (the ``repro.serve_session`` facade).
 
@@ -121,9 +132,13 @@ def serve_session(
     stream, read ``stats()``.  With ``cluster=N`` the session is a
     :class:`~repro.cluster.engine.ClusterEngine` over ``N`` simulated
     devices — same submit/run/stats surface, plus consistent-hash
-    placement and (when ``split_threshold_rows`` is set) certified
-    row-block splitting of large matrices across devices.  Without it,
-    a single :class:`ServeEngine`.
+    placement, (when ``split_threshold_rows`` is set) certified
+    row-block splitting of large matrices across devices, and the
+    resilience knobs: ``replicas=R`` replicated placement, ``hedge=``
+    a :class:`~repro.cluster.resilience.HedgePolicy` for hedged
+    retries, ``cluster_admission=`` a :class:`ClusterAdmissionPolicy`
+    for the cluster-wide front door.  Without ``cluster``, a single
+    :class:`ServeEngine`.
 
     ``cache`` defaults to a session-private :class:`PlanCache`; pass
     :func:`default_cache` 's return to share prepared artifacts with
@@ -159,11 +174,18 @@ def serve_session(
             split_threshold_rows=split_threshold_rows,
             split_ways=split_ways,
             cache_capacity=cache_capacity,
+            replicas=replicas,
+            hedge=hedge,
+            cluster_admission=cluster_admission,
         )
     if split_threshold_rows is not None or split_ways is not None:
         raise ValueError(
             "split_threshold_rows/split_ways shard requests across "
             "cluster devices; pass cluster=N to open a cluster session")
+    if replicas != 1 or hedge is not None or cluster_admission is not None:
+        raise ValueError(
+            "replicas/hedge/cluster_admission are cluster resilience "
+            "knobs; pass cluster=N to open a cluster session")
     return ServeEngine(
         device=device,
         precision=precision,

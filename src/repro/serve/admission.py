@@ -15,6 +15,14 @@ Deadline accounting is part of admission too: a queued request whose
 deadline has already expired by the time the batcher would launch it is
 dropped (``expired``) rather than wasting a launch, and every served
 request records whether it met its deadline.
+
+The cluster adds a second, *front-door* tier ahead of the per-device
+queues: :class:`ClusterAdmission` bounds cluster-wide in-flight work,
+keeps per-tenant fairness counters, and on overflow either rejects the
+arrival outright (``reject-new``) or sheds it sideways to the
+least-loaded replica of its pattern (``shed-to-replica``) — load is
+redirected, not dropped, as long as the tenant is within its fair
+share.
 """
 
 from __future__ import annotations
@@ -23,10 +31,14 @@ from dataclasses import dataclass
 from typing import Any, Dict
 
 __all__ = ["AdmissionPolicy", "AdmissionController", "ServeOverloaded",
-           "OVERFLOW_POLICIES"]
+           "OVERFLOW_POLICIES", "ClusterAdmissionPolicy",
+           "ClusterAdmission", "CLUSTER_OVERFLOW_POLICIES"]
 
 #: recognised queue-overflow policies
 OVERFLOW_POLICIES = ("reject-new", "drop-oldest")
+
+#: recognised cluster front-door overflow policies
+CLUSTER_OVERFLOW_POLICIES = ("reject-new", "shed-to-replica")
 
 
 class ServeOverloaded(RuntimeError):
@@ -124,4 +136,112 @@ class AdmissionController:
             "shed": self.shed,
             "expired": self.expired,
             "deadline_misses": self.deadline_misses,
+        }
+
+
+@dataclass(frozen=True)
+class ClusterAdmissionPolicy:
+    """The cluster front door's bounds and overflow behaviour.
+
+    Parameters
+    ----------
+    max_inflight:
+        Maximum requests dispatched but not yet terminal across the
+        whole cluster (per-device queues still apply their own
+        :class:`AdmissionPolicy` underneath).
+    overflow:
+        ``"reject-new"`` — an arrival over the bound is rejected at the
+        front door; ``"shed-to-replica"`` — the arrival is admitted but
+        routed to the least-loaded live replica of its pattern instead
+        of the deterministic read-balance choice (load redirection, not
+        loss).
+    fairness:
+        When true, a tenant already holding at least its fair share
+        (``max_inflight / active tenants``) of in-flight work is
+        rejected at overflow even under ``shed-to-replica`` — one hot
+        tenant cannot starve the rest.
+    """
+
+    max_inflight: int = 256
+    overflow: str = "reject-new"
+    fairness: bool = True
+
+    def __post_init__(self):
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.overflow not in CLUSTER_OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown cluster overflow policy {self.overflow!r}; "
+                f"expected one of {CLUSTER_OVERFLOW_POLICIES}")
+
+
+class ClusterAdmission:
+    """The cluster-level front door ahead of the per-device queues.
+
+    Judges every cluster arrival against the cluster-wide in-flight
+    bound and keeps per-tenant fairness counters (a *tenant* is one
+    matrix identity — the combined fingerprint — so value-variant
+    tenants of one pattern are counted separately).  The engine calls
+    :meth:`admit` at the arrival instant and :meth:`release` when the
+    request reaches any terminal state.
+    """
+
+    def __init__(self, policy: ClusterAdmissionPolicy):
+        self.policy = policy
+        self.accepted = 0
+        self.rejected = 0
+        self.shed_to_replica = 0
+        #: tenant -> {"accepted", "rejected", "shed_to_replica",
+        #: "inflight"} (insertion-ordered, hence deterministic)
+        self.tenants: Dict[str, Dict[str, int]] = {}
+
+    def _tenant(self, tenant: str) -> Dict[str, int]:
+        return self.tenants.setdefault(
+            tenant, {"accepted": 0, "rejected": 0,
+                     "shed_to_replica": 0, "inflight": 0})
+
+    def fair_share(self) -> float:
+        """One tenant's fair share of the in-flight budget right now."""
+        return self.policy.max_inflight / max(1, len(self.tenants))
+
+    def admit(self, tenant: str, inflight: int) -> str:
+        """Judge one arrival: ``"accept"``, ``"shed-to-replica"`` or
+        ``"reject"``.  ``inflight`` is the cluster-wide count of
+        dispatched-not-terminal requests."""
+        t = self._tenant(tenant)
+        if inflight < self.policy.max_inflight:
+            self.accepted += 1
+            t["accepted"] += 1
+            t["inflight"] += 1
+            return "accept"
+        over_share = (self.policy.fairness
+                      and t["inflight"] >= max(1.0, self.fair_share()))
+        if self.policy.overflow == "shed-to-replica" and not over_share:
+            self.shed_to_replica += 1
+            t["shed_to_replica"] += 1
+            t["inflight"] += 1
+            return "shed-to-replica"
+        self.rejected += 1
+        t["rejected"] += 1
+        return "reject"
+
+    def release(self, tenant: str) -> None:
+        """A previously admitted request of ``tenant`` reached a
+        terminal state."""
+        t = self.tenants.get(tenant)
+        if t is not None and t["inflight"] > 0:
+            t["inflight"] -= 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Policy, totals and per-tenant counters, JSON-safe."""
+        return {
+            "max_inflight": self.policy.max_inflight,
+            "overflow": self.policy.overflow,
+            "fairness": self.policy.fairness,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "shed_to_replica": self.shed_to_replica,
+            "tenants": len(self.tenants),
+            "per_tenant": {k: dict(v) for k, v in self.tenants.items()},
         }

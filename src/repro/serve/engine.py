@@ -176,6 +176,10 @@ class ServeEngine:
         #: cleared by :meth:`evacuate` when the simulated device is
         #: lost; a dead engine refuses further submissions and runs
         self.alive = True
+        #: straggler multiplier on every service time (``device_slow``
+        #: chaos actions set it > 1 for a window; backoff accounting is
+        #: never scaled — only compute is)
+        self.service_scale = 1.0
 
         self._arrivals: List[Tuple[float, int, Request]] = []
         self._next_id = 0
@@ -420,12 +424,19 @@ class ServeEngine:
             finish = self._execute_spmv(group, now, drained)
         return finish
 
+    @property
+    def busy_until(self) -> float:
+        """The simulated instant the device frees from its last
+        launch (the cluster's hedge triggers read it)."""
+        return self._busy_until
+
     def _service_seconds(self, trace, crsd, misses: int) -> float:
         launches = 2 if crsd.num_scatter_rows else 1
         seconds = predict_gpu_time(
             trace, self.device, self.precision, num_launches=launches,
             size_scale=self.size_scale).total
-        return seconds + misses * self.prepare_cost_s
+        return (seconds + misses * self.prepare_cost_s) \
+            * self.service_scale
 
     def _account(self, trace) -> None:
         for k, v in dataclasses.asdict(trace).items():
@@ -509,7 +520,7 @@ class ServeEngine:
             num_launches=launches, size_scale=self.size_scale).total
         seconds += (self.cache.stats.misses - misses0) \
             * self.prepare_cost_s
-        finish = now + seconds
+        finish = now + seconds * self.service_scale
         self.shard_launches += 1
         self.batch_histogram[1] = self.batch_histogram.get(1, 0) + 1
         spec = runner.shard_plan.shards[req.shard_index]
@@ -552,7 +563,7 @@ class ServeEngine:
                 launches = 2
         seconds = predict_gpu_time(
             run.trace, self.device, self.precision, num_launches=launches,
-            size_scale=self.size_scale).total
+            size_scale=self.size_scale).total * self.service_scale
         if report is not None:
             seconds += report.total_backoff_s
         finish = now + seconds

@@ -43,7 +43,8 @@ from repro.validation import ReproDeprecationWarning
 
 __all__ = ["LoadConfig", "LoadReport", "run_loadgen", "report_json",
            "append_serve_trajectory", "trajectory_path",
-           "cluster_trajectory_path", "ARRIVAL_PATTERNS"]
+           "cluster_trajectory_path", "chaos_trajectory_path",
+           "ARRIVAL_PATTERNS"]
 
 #: recognised arrival processes
 ARRIVAL_PATTERNS = ("poisson", "burst")
@@ -61,6 +62,13 @@ TRAJECTORY_SCHEMA = "repro-serve-trajectory/v1"
 
 #: schema tag of the cluster trajectory envelope and its entries
 CLUSTER_TRAJECTORY_SCHEMA = "repro-cluster-trajectory/v1"
+
+#: environment variable naming the chaos trajectory file; the
+#: conventional file name is ``BENCH_chaos.json``
+CHAOS_TRAJECTORY_ENV = "REPRO_CHAOS_TRAJECTORY"
+
+#: schema tag of the cluster-chaos trajectory envelope and its entries
+CHAOS_TRAJECTORY_SCHEMA = "repro-cluster-chaos-trajectory/v1"
 
 #: schema tag of one loadgen report
 REPORT_SCHEMA = "repro-serve-report/v1"
@@ -330,6 +338,7 @@ def run_loadgen(
     batch: Optional[BatchConfig] = None,
     admission: Optional[AdmissionPolicy] = None,
     cache: Optional["PlanCache"] = None,
+    chaos=None,
 ) -> LoadReport:
     """Generate the arrival trace and serve it; returns the report.
 
@@ -347,7 +356,11 @@ def run_loadgen(
     optionally shares a :class:`~repro.serve.cache.PlanCache` across
     runs — the warm-cache steady state the throughput benchmarks
     measure (report *contents* are cache-independent; only wall-clock
-    changes).
+    changes).  ``chaos`` optionally applies a
+    :class:`~repro.resilience.chaos.ChaosSchedule` — a correlated
+    multi-device fault sequence — before serving; it requires a
+    cluster engine (anything with the ``fail_device`` scheduling
+    surface) and the schedule is recorded in the report.
     """
     if deprecated_engine:
         if len(deprecated_engine) > 1:
@@ -385,6 +398,15 @@ def run_loadgen(
             batch=batch, admission=admission, cache=cache,
             prepare_cost_s=config.prepare_cost_s, size_scale=config.scale,
             keep_y="digest")
+    extra: Dict[str, Any] = {"matrix_names": [s.name for s in specs]}
+    if chaos is not None:
+        if not hasattr(engine, "fail_device"):
+            raise TypeError(
+                "chaos= needs a cluster engine (fail_device/"
+                "slow_device/rejoin_device scheduling surface); pass "
+                "engine=serve_session(cluster=N, ...)")
+        chaos.apply(engine)
+        extra["chaos_schedule"] = chaos.to_dict()
     for at, j, x in zip(times, picks, xs):
         engine.submit(matrices[j], x, at=float(at),
                       deadline_s=config.deadline_s)
@@ -394,7 +416,7 @@ def run_loadgen(
         config=config, results=results, stats=engine.stats(),
         y_checksum=_fold_checksum(results),
         schema=getattr(engine, "report_schema", REPORT_SCHEMA),
-        extra={"matrix_names": [s.name for s in specs]})
+        extra=extra)
 
 
 def report_json(report: Union[LoadReport, Dict[str, Any]]) -> str:
@@ -445,3 +467,9 @@ def cluster_trajectory_path() -> Optional[str]:
     """The cluster trajectory file named by the environment (or
     ``None``); conventionally ``BENCH_cluster.json``."""
     return os.environ.get(CLUSTER_TRAJECTORY_ENV) or None
+
+
+def chaos_trajectory_path() -> Optional[str]:
+    """The cluster-chaos trajectory file named by the environment (or
+    ``None``); conventionally ``BENCH_chaos.json``."""
+    return os.environ.get(CHAOS_TRAJECTORY_ENV) or None

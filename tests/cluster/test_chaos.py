@@ -1,0 +1,207 @@
+"""Multi-fault chaos: schedules, stragglers, flapping, the gate."""
+
+import json
+
+import pytest
+
+import repro
+from repro.resilience.chaos import (
+    SCHEDULE_KINDS,
+    ChaosAction,
+    ChaosSchedule,
+    default_cluster_schedule,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    INJECTABLE_FAULT_KINDS,
+    FaultSpec,
+)
+from repro.serve import LoadConfig, report_json, run_loadgen, serve_session
+from tests.cluster.test_cluster_engine import SCALE, _traffic
+
+MATRICES = ("crystk03", "ecology2", "wang3", "kim1")
+
+
+class TestFaultVocabulary:
+    def test_cluster_kinds_recognised_but_not_injectable(self):
+        assert "device_slow" in FAULT_KINDS
+        assert "device_flap" in FAULT_KINDS
+        assert "device_slow" not in INJECTABLE_FAULT_KINDS
+        assert "device_flap" not in INJECTABLE_FAULT_KINDS
+
+    def test_faultspec_rejects_cluster_level_kinds(self):
+        for kind in ("device_slow", "device_flap"):
+            with pytest.raises(ValueError, match="ChaosSchedule"):
+                FaultSpec(site="launch:*", kind=kind, probability=1.0)
+
+    def test_fail_device_accepts_flap_kind(self):
+        cluster = serve_session(cluster=2, size_scale=SCALE)
+        cluster.fail_device(0, at_s=0.0, kind="device_flap")
+        cluster.run()
+        assert cluster.devices[0].state == "dead"
+
+
+class TestChaosSchedule:
+    def test_action_validation_and_roundtrip(self):
+        action = ChaosAction(kind="device_slow", device=1, at_s=1e-4,
+                             duration_s=2e-4, factor=8.0)
+        assert ChaosAction.from_dict(action.to_dict()) == action
+        with pytest.raises(ValueError, match="kind"):
+            ChaosAction(kind="cosmic-ray", device=0, at_s=0.0)
+        schedule = ChaosSchedule(actions=(action,))
+        assert ChaosSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_default_schedule_is_seed_deterministic(self):
+        a = default_cluster_schedule(4, seed=7)
+        b = default_cluster_schedule(4, seed=7)
+        assert a == b
+        kinds = {act.kind for act in a.actions}
+        assert "device_slow" in kinds and "device_flap" in kinds
+        assert "device_oom" in kinds  # >= 3 devices adds a hard kill
+        assert {act.kind for act in a.actions} <= set(SCHEDULE_KINDS)
+        assert default_cluster_schedule(4, seed=1) != a
+
+    def test_default_schedule_needs_a_failover_target(self):
+        with pytest.raises(ValueError):
+            default_cluster_schedule(1)
+
+    def test_apply_requires_a_cluster_engine(self):
+        config = LoadConfig(seed=0, scale=SCALE, num_requests=4,
+                            matrices=MATRICES)
+        with pytest.raises(TypeError, match="cluster"):
+            run_loadgen(config,
+                        chaos=default_cluster_schedule(2, seed=0))
+
+
+class TestStraggler:
+    def test_slow_window_scales_service_and_recovers(self):
+        pairs = _traffic(("kim1",), "double")
+
+        def finish(slow):
+            cluster = serve_session(cluster=2, size_scale=SCALE)
+            if slow:
+                cluster.slow_device(0, at_s=0.0, duration_s=1.0,
+                                    factor=16.0)
+                cluster.slow_device(1, at_s=0.0, duration_s=1.0,
+                                    factor=16.0)
+            rid = cluster.submit(*pairs[0], at=1e-5)
+            with repro.observe() as sess:
+                by_rid = {r.request_id: r for r in cluster.run()}
+            return cluster, sess, by_rid[rid]
+
+        _, _, fast = finish(slow=False)
+        cluster, sess, slow = finish(slow=True)
+        assert slow.served and fast.served
+        assert slow.latency_s > fast.latency_s
+        events = [s for s in sess.spans if s.name == "cluster.slow"]
+        phases = [(e.attrs["device"], e.attrs["phase"]) for e in events]
+        assert (0, "start") in phases and (0, "end") in phases
+        for dev in cluster.devices:  # windows closed: scale restored
+            assert dev.engine.service_scale == 1.0
+
+
+class TestFlapAndRejoin:
+    def test_flap_rejoins_with_ring_adjacent_moves_only(self):
+        """A flapped device dies, rejoins with a fresh engine, and the
+        restored ring moves only ring-adjacent patterns (the
+        incremental re-placement invariant, pinned)."""
+        pairs = _traffic(MATRICES, "double")
+        cluster = serve_session(cluster=3, size_scale=SCALE)
+        at = 0.0
+        for _ in range(4):
+            for coo, x in pairs:
+                cluster.submit(coo, x, at=at)
+                at += 1e-4
+        cluster.fail_device(1, at_s=3e-4, kind="device_flap")
+        cluster.rejoin_device(1, at_s=9e-4)
+        with repro.observe() as sess:
+            results = cluster.run()
+        assert all(r.served for r in results)
+
+        stats = cluster.stats()["cluster"]
+        kinds = [r["kind"] for r in stats["rebalances"]]
+        assert kinds == ["device_flap", "rejoin"]
+        rejoin = stats["rebalances"][1]
+        assert rejoin["ring_adjacent_only"] is True
+        assert rejoin["moved_requests"] == 0
+        assert sorted(stats["alive"]) == [0, 1, 2]
+        assert cluster.devices[1].state == "rejoined"
+        assert [s.attrs["device"] for s in sess.spans
+                if s.name == "cluster.rejoin"] == [1]
+
+    def test_rejoined_device_serves_new_traffic(self):
+        pairs = _traffic(("kim1", "wang3"), "double")
+        cluster = serve_session(cluster=2, size_scale=SCALE)
+        cluster.fail_device(0, at_s=0.0, kind="device_flap")
+        cluster.rejoin_device(0, at_s=1e-4)
+        cluster.run()
+        rids = [cluster.submit(coo, x, at=1e-3) for coo, x in pairs]
+        by_rid = {r.request_id: r for r in cluster.run()}
+        assert all(by_rid[rid].served for rid in rids)
+        served = {row["device"]: row["served"]
+                  for row in cluster.load_table()}
+        assert sum(served.values()) == len(rids)
+
+    def test_state_column_in_load_table(self):
+        cluster = serve_session(cluster=3, size_scale=SCALE)
+        cluster.fail_device(0, at_s=0.0)
+        cluster.fail_device(1, at_s=0.0, kind="device_flap")
+        cluster.rejoin_device(1, at_s=1e-4)
+        cluster.run()
+        states = {row["device"]: row["state"]
+                  for row in cluster.load_table()}
+        assert states == {0: "dead", 1: "rejoined", 2: "live"}
+
+
+class TestChaosGate:
+    def _config(self):
+        return LoadConfig(seed=3, scale=0.01, num_requests=24,
+                          matrices=MATRICES)
+
+    def _chaos_report(self):
+        engine = serve_session(cluster=4, size_scale=0.01,
+                               keep_y="digest", replicas=2)
+        return run_loadgen(self._config(), engine=engine,
+                           chaos=default_cluster_schedule(
+                               4, seed=3, at_s=1e-4))
+
+    def test_zero_wrong_answers_under_multi_fault_schedule(self):
+        reference = run_loadgen(self._config())
+        report = self._chaos_report()
+        assert len(report.served) == len(reference.served) == 24
+        assert report.y_checksum == reference.y_checksum
+        res = report.stats["cluster"]["resilience"]
+        assert res["hedge_divergences"] == 0
+        assert report.extra["chaos_schedule"] == \
+            default_cluster_schedule(4, seed=3, at_s=1e-4).to_dict()
+
+    def test_report_byte_reproducible(self):
+        a = report_json(self._chaos_report())
+        b = report_json(self._chaos_report())
+        assert a == b
+        payload = json.loads(a)
+        assert payload["chaos_schedule"]["actions"]
+        assert payload["cluster"]["rebalances"]
+
+
+class TestChaosCli:
+    def test_cluster_chaos_gate_passes_and_is_byte_stable(self, tmp_path):
+        from repro.cli import main
+
+        argv = ["cluster", "chaos", "--devices", "3", "--replicas", "2",
+                "--seed", "5", "--requests", "16", "--scale", "0.01",
+                "--chaos-at-us", "100",
+                "--matrices", ",".join(MATRICES)]
+        out1, out2 = tmp_path / "a.json", tmp_path / "b.json"
+        traj = tmp_path / "BENCH_chaos.json"
+        assert main(argv + ["-o", str(out1),
+                            "--trajectory", str(traj)]) == 0
+        assert main(argv + ["-o", str(out2)]) == 0
+        assert out1.read_bytes() == out2.read_bytes()
+        payload = json.loads(out1.read_text())
+        gate = payload["chaos_gate"]
+        assert gate["passed"] and gate["checksums_match"]
+        assert payload["y_checksum"] == gate["reference_checksum"]
+        history = json.loads(traj.read_text())
+        assert history["schema"] == "repro-cluster-chaos-trajectory/v1"
+        assert len(history["entries"]) == 1

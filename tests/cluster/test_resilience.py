@@ -1,0 +1,391 @@
+"""Cluster resilience: replication, verified failover, hedged retries,
+the cluster admission tier, and the typed guard surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cluster import ClusterError, ClusterRouter, HedgePolicy
+from repro.resilience.engine import Policy
+from repro.serve import (
+    ClusterAdmission,
+    ClusterAdmissionPolicy,
+    serve_session,
+)
+from tests.cluster.test_cluster_engine import (
+    SCALE,
+    _single_engine_ys,
+    _traffic,
+)
+
+MATRICES = ("crystk03", "ecology2", "wang3", "kim1")
+
+
+class TestReplicatedPlacement:
+    def test_replicas_land_on_distinct_ring_successors(self):
+        pairs = _traffic(MATRICES, "double")
+        cluster = serve_session(cluster=4, size_scale=SCALE, replicas=2)
+        for coo, x in pairs:
+            cluster.submit(coo, x, at=0.0)
+        cluster.run()
+        table = cluster.placement_table()
+        assert len(table) == len(MATRICES)
+        for row in table:
+            assert len(row["devices"]) == 2
+            assert len(set(row["devices"])) == 2
+            assert row["home"] == row["devices"][0]
+            # replicas are the ring successors of the home
+            expected = cluster.router.successors(row["pattern"], 2)
+            assert tuple(row["devices"]) == tuple(expected)
+        assert cluster.stats()["cluster"]["replicas"] == 2
+
+    def test_value_updates_fan_out_to_all_replicas(self):
+        """Every pattern's values are pushed to each replica once, so
+        a read landing on a replica never finds it cold."""
+        pairs = _traffic(MATRICES, "double")
+        cluster = serve_session(cluster=4, size_scale=SCALE, replicas=3)
+        for coo, x in pairs:
+            cluster.submit(coo, x, at=0.0)
+        cluster.run()
+        res = cluster.stats()["cluster"]["resilience"]
+        # replicas-1 fan-outs per distinct matrix identity
+        assert res["value_fanouts"] == len(MATRICES) * 2
+        for row in cluster.placement_table():
+            for dev in row["devices"]:
+                # every replica holds a prepared plan — never cold
+                assert len(cluster.devices[dev].engine.cache) > 0
+
+    def test_reads_load_balance_deterministically(self):
+        """Same-matrix reads alternate across the live replica set by
+        request id — both replicas serve, and a rerun routes every
+        request identically."""
+        pairs = _traffic(("kim1",), "double")
+
+        def run_once():
+            cluster = serve_session(cluster=4, size_scale=SCALE,
+                                    replicas=2)
+            at = 0.0
+            for _ in range(6):
+                cluster.submit(*pairs[0], at=at)
+                at += 2e-4
+            cluster.run()
+            served = {row["device"]: row["served"]
+                      for row in cluster.load_table()}
+            replicas = tuple(cluster.placement_table()[0]["devices"])
+            return served, replicas
+
+        served_a, replicas_a = run_once()
+        served_b, replicas_b = run_once()
+        assert served_a == served_b and replicas_a == replicas_b
+        assert served_a[replicas_a[0]] == 3
+        assert served_a[replicas_a[1]] == 3
+
+    def test_replicated_serving_bit_identical(self):
+        pairs = _traffic(MATRICES, "double")
+        expected = _single_engine_ys(pairs, "double")
+        cluster = serve_session(cluster=3, size_scale=SCALE, replicas=2)
+        rids = [cluster.submit(coo, x, at=0.0) for coo, x in pairs]
+        by_rid = {r.request_id: r for r in cluster.run()}
+        for rid, ref in zip(rids, expected):
+            assert by_rid[rid].served
+            assert np.array_equal(by_rid[rid].y, ref)
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError, match="replicas"):
+            serve_session(cluster=2, replicas=0)
+        with pytest.raises(ValueError, match="cluster"):
+            serve_session(replicas=2)
+
+
+class TestVerifiedFailover:
+    def test_failover_bit_identity_events_reconcile(self):
+        """Killing a home device mid-run serves everything from the
+        replicas, bit-identical — and the obs event stream reconciles
+        exactly with the resilience counters."""
+        pairs = _traffic(MATRICES, "double")
+        expected = _single_engine_ys(pairs * 3, "double")
+        cluster = serve_session(cluster=3, size_scale=SCALE, replicas=2)
+        rids = []
+        at = 0.0
+        for _ in range(3):
+            for coo, x in pairs:
+                rids.append(cluster.submit(coo, x, at=at))
+                at += 1e-4
+        cluster.fail_device(0, at_s=5e-4, kind="device_oom")
+        with repro.observe() as sess:
+            by_rid = {r.request_id: r for r in cluster.run()}
+
+        assert len(by_rid) == len(rids)
+        for rid, ref in zip(rids, expected):
+            assert by_rid[rid].served
+            assert np.array_equal(by_rid[rid].y, ref)
+
+        res = cluster.stats()["cluster"]["resilience"]
+        events = [s for s in sess.spans if s.name == "cluster.failover"]
+        assert len(events) == res["failovers"]
+        assert sum(e.attrs["backoff_s"] for e in events) == \
+            pytest.approx(res["failover_backoff_s"])
+        for e in events:
+            assert 1 <= e.attrs["attempt"] <= Policy().max_attempts
+
+    def test_failover_backoff_lands_in_latency(self):
+        """A request evacuated off a dead home keeps its *original*
+        arrival in the report, so the failover backoff and downtime
+        are visible in its latency (not hidden by retiming)."""
+        from repro.core.serialize import fingerprints
+
+        pairs = _traffic(("kim1",), "double")
+        cluster = serve_session(cluster=2, size_scale=SCALE, replicas=2)
+        rid = cluster.submit(*pairs[0], at=0.0)
+        home = cluster.router.place(fingerprints(pairs[0][0]).pattern)
+        cluster.fail_device(home, at_s=0.0)
+        with repro.observe() as sess:
+            (result,) = [r for r in cluster.run()
+                         if r.request_id == rid]
+        events = [s for s in sess.spans if s.name == "cluster.failover"]
+        assert len(events) == 1 and events[0].attrs["request"] == rid
+        backoff = events[0].attrs["backoff_s"]
+        assert backoff == Policy().backoff_s(1) > 0.0
+        assert result.served
+        assert result.arrival_s == 0.0
+        assert result.latency_s == pytest.approx(result.finish_s)
+        assert result.latency_s >= backoff
+
+    def test_failover_attempts_bounded_by_policy(self):
+        res_stats = None
+        pairs = _traffic(MATRICES, "double")
+        cluster = serve_session(cluster=4, size_scale=SCALE, replicas=3)
+        at = 0.0
+        for _ in range(3):
+            for coo, x in pairs:
+                cluster.submit(coo, x, at=at)
+                at += 1e-4
+        cluster.fail_device(0, at_s=2e-4)
+        cluster.fail_device(1, at_s=6e-4)
+        with repro.observe() as sess:
+            results = cluster.run()
+        res_stats = cluster.stats()["cluster"]["resilience"]
+        assert all(r.served for r in results)
+        for e in (s for s in sess.spans if s.name == "cluster.failover"):
+            assert e.attrs["attempt"] <= Policy().max_attempts
+        assert res_stats["failovers"] == len(
+            [s for s in sess.spans if s.name == "cluster.failover"])
+
+
+class TestGuards:
+    """Satellite: typed ClusterError on bad fail/rejoin/add targets."""
+
+    def _cluster(self):
+        return serve_session(cluster=2, size_scale=SCALE)
+
+    def test_cluster_error_is_value_error(self):
+        assert issubclass(ClusterError, ValueError)
+
+    def test_fail_unknown_device(self):
+        with pytest.raises(ClusterError, match="no such device: 7"):
+            self._cluster().fail_device(7, at_s=0.0)
+        with pytest.raises(ClusterError):
+            self._cluster().fail_device(-1, at_s=0.0)
+
+    def test_fail_already_dead_device(self):
+        cluster = self._cluster()
+        cluster.fail_device(0, at_s=0.0)
+        cluster.run()
+        with pytest.raises(ClusterError, match="already dead"):
+            cluster.fail_device(0, at_s=1e-3)
+
+    def test_fail_dead_device_with_pending_rejoin_ok(self):
+        cluster = self._cluster()
+        cluster.fail_device(0, at_s=0.0)
+        cluster.run()
+        cluster.rejoin_device(0, at_s=1e-3)
+        cluster.fail_device(0, at_s=2e-3)  # flap again: legal
+
+    def test_fail_unknown_kind(self):
+        with pytest.raises(ValueError, match="cosmic-ray"):
+            self._cluster().fail_device(0, at_s=0.0, kind="cosmic-ray")
+
+    def test_add_alive_device(self):
+        with pytest.raises(ClusterError, match="already alive"):
+            self._cluster().add_device(1)
+
+    def test_add_out_of_range_device(self):
+        with pytest.raises(ClusterError, match="cannot add"):
+            self._cluster().add_device(9)
+
+    def test_rejoin_alive_device(self):
+        with pytest.raises(ClusterError, match="alive"):
+            self._cluster().rejoin_device(1, at_s=1e-3)
+
+    def test_add_device_restores_dead_one(self):
+        pairs = _traffic(("kim1",), "double")
+        cluster = self._cluster()
+        cluster.fail_device(0, at_s=0.0)
+        cluster.run()
+        assert cluster.devices[0].state == "dead"
+        cluster.add_device(0)
+        assert cluster.devices[0].state == "rejoined"
+        rid = cluster.submit(*pairs[0], at=1e-3)
+        by_rid = {r.request_id: r for r in cluster.run()}
+        assert by_rid[rid].served
+
+    def test_add_brand_new_device_grows_ring(self):
+        cluster = self._cluster()
+        new = cluster.add_device()
+        assert new == 2
+        assert cluster.num_devices == 3
+        assert sorted(cluster.router.alive) == [0, 1, 2]
+
+
+class TestHedgedRetries:
+    def _hedged_run(self):
+        pairs = _traffic(MATRICES, "double")
+        hedge = HedgePolicy(queue_depth=1,
+                            backoff=Policy(max_attempts=3))
+        cluster = serve_session(cluster=4, size_scale=SCALE,
+                                replicas=2, hedge=hedge)
+        rids = []
+        for _ in range(4):
+            for coo, x in pairs:
+                rids.append(cluster.submit(coo, x, at=0.0))
+        with repro.observe() as sess:
+            by_rid = {r.request_id: r for r in cluster.run()}
+        return cluster, sess, rids, by_rid, hedge
+
+    def test_hedges_bounded_by_policy_attempts(self):
+        cluster, sess, rids, by_rid, hedge = self._hedged_run()
+        events = [s for s in sess.spans if s.name == "cluster.hedge"]
+        assert events, "expected hedging under a deep backlog"
+        per_request = {}
+        for e in events:
+            per_request[e.attrs["request"]] = \
+                per_request.get(e.attrs["request"], 0) + 1
+            assert e.attrs["reason"] in ("slow", "timeout", "deadline",
+                                         "queue")
+        assert hedge.max_hedges == hedge.backoff.max_attempts - 1
+        for rid, n in per_request.items():
+            assert n <= hedge.max_hedges
+
+    def test_hedge_counters_reconcile_with_events(self):
+        cluster, sess, rids, by_rid, hedge = self._hedged_run()
+        res = cluster.stats()["cluster"]["resilience"]
+        events = [s for s in sess.spans if s.name == "cluster.hedge"]
+        assert res["hedges"] == len(events)
+        assert sum(e.attrs["backoff_s"] for e in events) == \
+            pytest.approx(res["hedge_backoff_s"])
+        # fault-free run: every hedge copy either wins, is cancelled
+        # while queued, or completes wasted (and is digest-verified)
+        assert res["hedge_cancelled"] + res["hedge_wasted"] \
+            == res["hedges"]
+        assert res["hedge_wins"] <= res["hedges"]
+        assert res["hedge_verified"] <= res["hedge_wasted"]
+        assert res["hedge_divergences"] == 0
+
+    def test_hedged_serving_bit_identical_and_deterministic(self):
+        pairs = _traffic(MATRICES, "double")
+        expected = _single_engine_ys(pairs * 4, "double")
+        _, _, rids, by_rid, _ = self._hedged_run()
+        for rid, ref in zip(rids, expected):
+            assert by_rid[rid].served
+            assert np.array_equal(by_rid[rid].y, ref)
+        cluster2, _, rids2, by_rid2, _ = self._hedged_run()
+        assert [(r, by_rid[r].finish_s, by_rid[r].status)
+                for r in rids] == \
+            [(r, by_rid2[r].finish_s, by_rid2[r].status)
+             for r in rids2]
+        res2 = cluster2.stats()["cluster"]["resilience"]
+        assert res2["hedge_divergences"] == 0
+
+
+class TestClusterAdmissionTier:
+    def test_reject_new_over_the_inflight_bound(self):
+        door = ClusterAdmission(ClusterAdmissionPolicy(
+            max_inflight=2, overflow="reject-new", fairness=False))
+        assert door.admit("a", 0) == "accept"
+        assert door.admit("a", 1) == "accept"
+        assert door.admit("a", 2) == "reject"
+        assert (door.accepted, door.rejected) == (2, 1)
+        door.release("a")
+        assert door.admit("a", 1) == "accept"
+
+    def test_shed_to_replica_redirects_instead_of_dropping(self):
+        door = ClusterAdmission(ClusterAdmissionPolicy(
+            max_inflight=1, overflow="shed-to-replica", fairness=False))
+        assert door.admit("a", 0) == "accept"
+        assert door.admit("a", 1) == "shed-to-replica"
+        assert door.shed_to_replica == 1 and door.rejected == 0
+
+    def test_fairness_rejects_over_share_tenant(self):
+        """A tenant already holding its fair share is rejected at
+        overflow even under shed-to-replica; an under-share tenant is
+        still shed sideways."""
+        door = ClusterAdmission(ClusterAdmissionPolicy(
+            max_inflight=4, overflow="shed-to-replica", fairness=True))
+        for _ in range(4):
+            assert door.admit("hog", 0) == "accept"
+        door.admit("meek", 3)  # register the second tenant
+        assert door.fair_share() == 2.0
+        assert door.admit("hog", 4) == "reject"
+        assert door.admit("meek", 4) == "shed-to-replica"
+        t = door.to_dict()["per_tenant"]
+        assert t["hog"]["rejected"] == 1
+        assert t["meek"]["shed_to_replica"] == 1
+
+    def test_front_door_on_the_cluster(self):
+        """Over the cluster-wide bound, arrivals are rejected at the
+        front door with a terminal result, the counters conserve
+        arrivals, and obs records each shed decision."""
+        pairs = _traffic(MATRICES, "double")
+        cluster = serve_session(
+            cluster=2, size_scale=SCALE,
+            cluster_admission=ClusterAdmissionPolicy(
+                max_inflight=2, overflow="reject-new", fairness=False))
+        rids = []
+        with repro.observe() as sess:
+            for _ in range(3):
+                for coo, x in pairs:
+                    rids.append(cluster.submit(coo, x, at=0.0))
+            by_rid = {r.request_id: r for r in cluster.run()}
+        tier = cluster.stats()["cluster"]["admission_tier"]
+        statuses = [by_rid[r].status for r in rids]
+        assert tier["rejected"] == statuses.count("rejected") > 0
+        assert tier["accepted"] == statuses.count("served")
+        assert tier["accepted"] + tier["rejected"] == len(rids)
+        sheds = [s for s in sess.spans if s.name == "cluster.shed"]
+        assert len(sheds) == tier["rejected"]
+        assert all(s.attrs["action"] == "reject" for s in sheds)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="overflow"):
+            ClusterAdmissionPolicy(overflow="drop-oldest")
+        with pytest.raises(ValueError, match="max_inflight"):
+            ClusterAdmissionPolicy(max_inflight=0)
+
+
+class TestRouterAdd:
+    def test_add_restores_exact_prior_placement(self):
+        """remove(d) then add(d) is an identity on the mapping — the
+        incremental invariant in both directions."""
+        router = ClusterRouter(4)
+        keys = [f"pat{i:03d}" for i in range(200)]
+        before = {k: router.place(k) for k in keys}
+        router.remove(2)
+        router.add(2)
+        assert {k: router.place(k) for k in keys} == before
+
+    def test_add_new_device_moves_only_ring_adjacent_keys(self):
+        router = ClusterRouter(3)
+        keys = [f"pat{i:03d}" for i in range(200)]
+        before = {k: router.place(k) for k in keys}
+        router.add(3)
+        after = {k: router.place(k) for k in keys}
+        moved = {k for k in keys if before[k] != after[k]}
+        assert moved, "a new device should claim some keys"
+        assert all(after[k] == 3 for k in moved)
+
+    def test_add_guards(self):
+        router = ClusterRouter(2)
+        with pytest.raises(ValueError, match="already alive"):
+            router.add(1)
+        with pytest.raises(ValueError, match=">= 0"):
+            router.add(-1)

@@ -1,0 +1,97 @@
+"""Drop-oldest × deadline expiry: disjoint counters, conserved arrivals.
+
+A queued request can reach two terminal fates at nearly the same
+instant — shed by a drop-oldest arrival, or expired because its
+deadline passed while it waited.  These tests pin that each request
+gets exactly one fate, the admission counters stay disjoint (a shed
+victim is never *also* counted expired), and all counters sum back to
+the arrival count.
+"""
+
+import numpy as np
+
+from repro.matrices.suite23 import get_spec
+from repro.serve import serve_session
+
+SCALE = 0.01
+PREPARE = 1e-3  # long first launch: keeps later arrivals queued
+
+
+def _pair(seed=0):
+    coo = get_spec("kim1").generate(scale=SCALE, seed=0)
+    rng = np.random.default_rng(seed)
+    return coo, rng.standard_normal(coo.ncols)
+
+
+def _engine():
+    return serve_session(max_batch=1, max_queue_depth=1,
+                         overflow="drop-oldest", size_scale=SCALE,
+                         prepare_cost_s=PREPARE)
+
+
+class TestDropOldestDeadlineExpiry:
+    def test_shed_victim_not_double_counted_as_expired(self):
+        """An expired-in-queue request shed by a drop-oldest arrival
+        counts once — shed — even though its deadline had already
+        passed when the verdict landed."""
+        coo, x = _pair()
+        engine = _engine()
+        engine.submit(coo, x, at=0.0)               # occupies the device
+        victim = engine.submit(coo, x, at=1e-6, deadline_s=2e-6)
+        engine.submit(coo, x, at=1e-5)              # full queue: sheds
+        by_rid = {r.request_id: r for r in engine.run()}
+
+        assert by_rid[victim].status == "shed"
+        counters = engine.controller.to_dict()
+        assert counters["shed"] == 1
+        assert counters["expired"] == 0
+        assert counters["rejected"] == 0
+        assert counters["accepted"] == 3
+
+    def test_unshed_expired_request_counts_expired(self):
+        """Without the shedding arrival the same victim expires —
+        the two counters cover the two fates, never both."""
+        coo, x = _pair()
+        engine = _engine()
+        engine.submit(coo, x, at=0.0)
+        victim = engine.submit(coo, x, at=1e-6, deadline_s=2e-6)
+        by_rid = {r.request_id: r for r in engine.run()}
+
+        assert by_rid[victim].status == "expired"
+        counters = engine.controller.to_dict()
+        assert counters["expired"] == 1
+        assert counters["shed"] == 0
+        assert counters["accepted"] == 2
+
+    def test_counters_disjoint_and_sum_to_arrivals(self):
+        """Under a mixed stream every arrival lands in exactly one of
+        served / shed / expired / rejected, results carry one terminal
+        record per request, and the controller's counters reconcile."""
+        coo, x = _pair()
+        engine = serve_session(max_batch=1, max_queue_depth=2,
+                               overflow="drop-oldest", size_scale=SCALE,
+                               prepare_cost_s=PREPARE)
+        n = 10
+        rids = [engine.submit(coo, x, at=i * 2e-6,
+                              deadline_s=(5e-6 if i % 3 == 0 else None))
+                for i in range(n)]
+        results = engine.run()
+
+        assert sorted(r.request_id for r in results) == sorted(rids)
+        by_status = {}
+        for r in results:
+            by_status[r.status] = by_status.get(r.status, 0) + 1
+        assert sum(by_status.values()) == n
+        assert set(by_status) <= {"served", "shed", "expired",
+                                  "rejected"}
+        assert by_status.get("shed", 0) > 0
+        assert by_status.get("expired", 0) > 0
+
+        counters = engine.controller.to_dict()
+        assert counters["accepted"] + counters["rejected"] == n
+        assert counters["shed"] == by_status.get("shed", 0)
+        assert counters["expired"] == by_status.get("expired", 0)
+        assert counters["rejected"] == by_status.get("rejected", 0)
+        assert counters["accepted"] == \
+            by_status.get("served", 0) + counters["shed"] \
+            + counters["expired"]
