@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Block operators + symmetric CRSD: solve a 2x2 KKT system.
+
+Builds the saddle-like SPD system
+
+        [ H   Bt ] [x1]   [b1]
+        [ B   C  ] [x2] = [b2]
+
+from the seeded ``kkt_blocks`` generator, serves the symmetric
+diagonal blocks H and C through the half-storage ``SymCrsdSpMV``
+runner (the coupling band B/Bt stays a host-served COO block), solves
+with Jacobi-preconditioned CG over the composed ``BlockOperator``,
+prints the per-block observability breakdown, and closes with the
+halved-DRAM-bytes roofline comparison of the symmetric carrier against
+the full CRSD slab.
+
+Run:  PYTHONPATH=src python examples/block_quickstart.py
+"""
+
+import numpy as np
+
+from repro.blockop import BlockOperator
+from repro.core.crsd import CRSDMatrix
+from repro.core.symcrsd import SymCRSDMatrix
+from repro.gpu_kernels import CrsdSpMV, SymCrsdSpMV
+from repro.matrices.generators import kkt_blocks
+from repro.obs.metrics import derive_metrics
+from repro.obs.recorder import ProfileSession, observe
+from repro.ocl.device import TESLA_C2050
+from repro.perf.costmodel import predict_gpu_time
+from repro.perf.roofline import render_roofline, roofline_point
+from repro.solvers.preconditioned import pcg
+
+
+def main():
+    rng = np.random.default_rng(2011)
+    n1, n2 = 512, 256
+
+    # ---- assemble the block system ------------------------------------
+    h, bt, b, c = kkt_blocks(n1, n2, rng, halfwidth=7,
+                             coupling_halfwidth=2)
+    sym_h = SymCRSDMatrix.from_coo(h, mrows=64)
+    sym_c = SymCRSDMatrix.from_coo(c, mrows=64)
+    kkt = BlockOperator([
+        [SymCrsdSpMV(sym_h), bt],
+        [b, SymCrsdSpMV(sym_c)],
+    ])
+    print(f"KKT operator: grid {kkt.grid_shape}, shape {kkt.shape}, "
+          f"row sizes {kkt.row_sizes}")
+    print(f"  H: {sym_h!r}")
+    print(f"  C: {sym_c!r}")
+
+    # ---- solve with preconditioned CG ---------------------------------
+    rhs = rng.standard_normal(n1 + n2)
+    sess = ProfileSession("kkt-pcg")
+    with observe(session=sess):
+        res = pcg(kkt, rhs, tol=1e-10, maxiter=500)
+    print(f"\npcg: converged={res.converged} in {res.iterations} "
+          f"iterations, final residual {res.history[-1]:.3e}")
+    print("per-block SpMV counts:",
+          {f"({i},{j})": n for (i, j), n in sorted(kkt.spmv_counts.items())})
+
+    # ---- per-block observability breakdown ----------------------------
+    per_block = {}
+    for sp in sess.spans:
+        if sp.name != "blockop.block":
+            continue
+        key = (sp.attrs["i"], sp.attrs["j"])
+        cnt, tot = per_block.get(key, (0, 0.0))
+        per_block[key] = (cnt + 1, tot + max(sp.duration, 0.0))
+    print("\nper-block spans (count, total wall seconds):")
+    for (i, j), (cnt, tot) in sorted(per_block.items()):
+        print(f"  block ({i},{j}): {cnt:4d} spans, {tot * 1e3:8.2f} ms")
+
+    # ---- halved bytes: symmetric vs full carrier on H -----------------
+    full_h = CRSDMatrix.from_coo(h, mrows=64)
+    x = rng.standard_normal(n1)
+    run_full = CrsdSpMV(full_h).run(x)
+    run_sym = SymCrsdSpMV(sym_h).run(x)
+    assert np.array_equal(run_sym.y, run_full.y), "bit-identity broken!"
+
+    device = TESLA_C2050
+    m_full = derive_metrics(run_full.trace, device, nnz=h.nnz)
+    m_sym = derive_metrics(run_sym.trace, device, nnz=h.nnz)
+    red = 1.0 - m_sym["dram_bytes"] / m_full["dram_bytes"]
+    print(f"\nDRAM bytes on H ({h.nnz:,} nnz): "
+          f"full {m_full['dram_bytes']:,.0f} -> "
+          f"sym {m_sym['dram_bytes']:,.0f}  ({red:.1%} fewer)")
+
+    bd_full = predict_gpu_time(run_full.trace, device)
+    bd_sym = predict_gpu_time(run_sym.trace, device)
+    points = [
+        roofline_point("crsd(H)", run_full.trace, bd_full.total, device,
+                       useful_flops=2 * h.nnz),
+        roofline_point("sym_crsd(H)", run_sym.trace, bd_sym.total, device,
+                       useful_flops=2 * h.nnz),
+    ]
+    print()
+    print(render_roofline(points))
+    bw_red = 1.0 - bd_sym.bandwidth_time / bd_full.bandwidth_time
+    print(f"\nbandwidth-term time: full {bd_full.bandwidth_time * 1e6:.1f} us"
+          f" -> sym {bd_sym.bandwidth_time * 1e6:.1f} us "
+          f"({bw_red:.1%} less DRAM pressure); the halved slab lifts the "
+          f"roofline ceiling from "
+          f"{points[0].ceiling_gflops():.1f} to "
+          f"{points[1].ceiling_gflops():.1f} GFLOPS at this size "
+          f"(binding cost-model term: full {bd_full.bound!r} -> "
+          f"sym {bd_sym.bound!r}).")
+
+
+if __name__ == "__main__":
+    main()

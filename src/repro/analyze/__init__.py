@@ -34,6 +34,12 @@ from repro.analyze.report import (
     Finding,
     KernelAnalysisError,
 )
+from repro.analyze.symmetric import (
+    analyze_sym_matrix,
+    analyze_sym_plan,
+    build_sym_model,
+    predict_trace_l2,
+)
 from repro.analyze.sharding import (
     ShardCertificate,
     build_shard_subplan,
@@ -53,7 +59,10 @@ __all__ = [
     "ShardCertificate",
     "analyze_matrix",
     "analyze_plan",
+    "analyze_sym_matrix",
+    "analyze_sym_plan",
     "build_model",
+    "build_sym_model",
     "build_shard_subplan",
     "certify_shard_plan",
     "check_batch_safety",
@@ -62,6 +71,7 @@ __all__ = [
     "check_divergence",
     "check_localmem",
     "predict_trace",
+    "predict_trace_l2",
     "required_local_bytes",
     "shard_segment_range",
 ]

@@ -1,0 +1,26 @@
+"""Block-structured operator composition over the SpMV serving paths.
+
+Multi-physics and KKT-style systems are block matrices whose blocks are
+individually diagonal-sparse; this package composes per-block carriers
+(or GPU runners) into one linear operator the Krylov solvers consume,
+without ever materialising the assembled matrix:
+
+- :class:`~repro.blockop.vector.BlockVector` — a partition-aware vector
+  converting losslessly to/from the flat solver view;
+- :class:`~repro.blockop.operator.BlockOperator` — an R×C block grid
+  whose ``matvec`` serves every block through its own path (generated
+  CRSD codelets, symmetric half-storage kernels, host references) and
+  aggregates per-block obs spans and device trace counters;
+- :func:`~repro.blockop.operator.block_diag` /
+  :func:`~repro.blockop.operator.from_blocks` — constructors.
+"""
+
+from repro.blockop.operator import BlockOperator, block_diag, from_blocks
+from repro.blockop.vector import BlockVector
+
+__all__ = [
+    "BlockOperator",
+    "BlockVector",
+    "block_diag",
+    "from_blocks",
+]

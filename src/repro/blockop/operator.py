@@ -1,0 +1,247 @@
+"""Block-structured linear operators over the library's SpMV carriers.
+
+A :class:`BlockOperator` is an R×C grid of blocks — each ``None`` (a
+zero block) or anything :func:`~repro.solvers.operator.as_operator`
+accepts: a sparse carrier (COO/CRSD/symmetric CRSD), a dense array, a
+GPU kernel runner, or an :class:`~repro.solvers.operator.SpMVOperator`.
+Its ``matvec`` routes every block product through the child's own
+serving path (so CRSD blocks run the generated codelets and a
+runner-backed block accumulates device traces), slices the flat ``x``
+by column offsets and accumulates the flat ``y`` by row offsets; each
+block product runs inside its own obs span tagged with the grid
+coordinates, so a recorded session shows per-block cost directly.
+
+``run`` additionally merges the children's :class:`KernelTrace`
+counters (runner-backed blocks only) into one aggregate trace — the
+block-level analogue of a single kernel run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.blockop.vector import BlockVector
+from repro.obs.recorder import maybe_span
+from repro.ocl.trace import KernelTrace
+from repro.solvers.operator import SpMVOperator, as_operator
+
+
+class BlockOperator:
+    """A block matrix whose blocks are independently-served operators.
+
+    Parameters
+    ----------
+    grid:
+        Nested sequence (R rows × C columns) of blocks; ``None`` means
+        a zero block.  Every row needs at least one non-``None`` block
+        and so does every column (otherwise that slice's extent would
+        be unknowable), and all blocks of one row/column must agree on
+        their row/column count.
+    """
+
+    def __init__(self, grid: Sequence[Sequence[object]]):
+        self._children: List[List[Optional[object]]] = [list(r) for r in grid]
+        if not self._children or not self._children[0]:
+            raise ValueError("a BlockOperator needs at least one block")
+        ncols_grid = len(self._children[0])
+        if any(len(r) != ncols_grid for r in self._children):
+            raise ValueError("grid rows have differing lengths")
+        self._ops: List[List[Optional[SpMVOperator]]] = [
+            [None if b is None else as_operator(b) for b in row]
+            for row in self._children
+        ]
+        self.row_sizes = self._extents(rows=True)
+        self.col_sizes = self._extents(rows=False)
+        #: block matvec invocations of this operator
+        self.matvec_count = 0
+
+    def _extents(self, rows: bool) -> Tuple[int, ...]:
+        n_outer = len(self._ops) if rows else len(self._ops[0])
+        sizes = []
+        for k in range(n_outer):
+            line = (self._ops[k] if rows
+                    else [r[k] for r in self._ops])
+            extents = {op.shape[0 if rows else 1]
+                       for op in line if op is not None}
+            kind = "row" if rows else "column"
+            if not extents:
+                raise ValueError(
+                    f"block {kind} {k} is entirely zero blocks; its "
+                    "extent is unknowable — pass an explicit block")
+            if len(extents) > 1:
+                raise ValueError(
+                    f"block {kind} {k} has inconsistent extents "
+                    f"{sorted(extents)}")
+            sizes.append(extents.pop())
+        return tuple(sizes)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        return (len(self._ops), len(self._ops[0]))
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (sum(self.row_sizes), sum(self.col_sizes))
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def block(self, i: int, j: int) -> Optional[SpMVOperator]:
+        """The coerced operator at grid position (i, j), or ``None``."""
+        return self._ops[i][j]
+
+    def child(self, i: int, j: int) -> Optional[object]:
+        """The original (uncoerced) block at grid position (i, j)."""
+        return self._children[i][j]
+
+    @property
+    def row_offsets(self) -> Tuple[int, ...]:
+        out = [0]
+        for s in self.row_sizes:
+            out.append(out[-1] + s)
+        return tuple(out)
+
+    @property
+    def col_offsets(self) -> Tuple[int, ...]:
+        out = [0]
+        for s in self.col_sizes:
+            out.append(out[-1] + s)
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def matvec(self, x: Union[np.ndarray, BlockVector]) -> np.ndarray:
+        """Flat ``y = A @ x``; accepts a flat vector or a BlockVector."""
+        if isinstance(x, BlockVector):
+            if x.sizes != self.col_sizes:
+                raise ValueError(
+                    f"x partition {x.sizes} does not match operator "
+                    f"column sizes {self.col_sizes}")
+            bx = x
+        else:
+            bx = BlockVector.from_flat(np.asarray(x), self.col_sizes)
+        self.matvec_count += 1
+        y = np.zeros(self.nrows, dtype=np.result_type(
+            np.float64, *(b.dtype for b in bx)))
+        ro = self.row_offsets
+        for i, row in enumerate(self._ops):
+            for j, op in enumerate(row):
+                if op is None:
+                    continue
+                with maybe_span("blockop.block", "op", i=i, j=j,
+                                nrows=op.shape[0], ncols=op.shape[1]):
+                    y[ro[i]:ro[i + 1]] += op(bx[j])
+        return y
+
+    __call__ = matvec
+
+    def block_matvec(self, x: BlockVector) -> BlockVector:
+        """``A @ x`` returned in the row partition."""
+        return BlockVector.from_flat(self.matvec(x), self.row_sizes)
+
+    def run(self, x: Union[np.ndarray, BlockVector], trace: bool = True):
+        """``matvec`` plus an aggregate :class:`KernelTrace` merged from
+        every runner-backed block (children exposing ``.run``); blocks
+        served on the host contribute no counters."""
+        from repro.gpu_kernels.base import SpMVRun
+
+        if isinstance(x, BlockVector):
+            bx = x
+        else:
+            bx = BlockVector.from_flat(np.asarray(x), self.col_sizes)
+        self.matvec_count += 1
+        y = np.zeros(self.nrows, dtype=np.float64)
+        tr = KernelTrace()
+        ro = self.row_offsets
+        for i, row in enumerate(self._children):
+            for j, child in enumerate(row):
+                if child is None:
+                    continue
+                with maybe_span("blockop.block", "op", i=i, j=j):
+                    if hasattr(child, "run") and hasattr(child, "nrows"):
+                        blk = child.run(bx[j], trace=trace)
+                        self._ops[i][j].spmv_count += 1
+                        y[ro[i]:ro[i + 1]] += blk.y
+                        tr.merge(blk.trace)
+                    else:
+                        y[ro[i]:ro[i + 1]] += self._ops[i][j](bx[j])
+        return SpMVRun(y=y, trace=tr)
+
+    # ------------------------------------------------------------------
+    # solver surface
+    # ------------------------------------------------------------------
+    def diagonal(self) -> np.ndarray:
+        """The main diagonal, composed from the diagonal blocks.
+
+        Defined for square block layouts (``row_sizes == col_sizes``):
+        every main-diagonal entry then falls inside a diagonal block, a
+        missing diagonal block contributes zeros.
+        """
+        if self.row_sizes != self.col_sizes:
+            raise ValueError(
+                f"diagonal() needs a square block layout, got row sizes "
+                f"{self.row_sizes} vs column sizes {self.col_sizes}")
+        parts = []
+        for k in range(len(self._ops)):
+            op = self._ops[k][k] if k < len(self._ops[0]) else None
+            if op is None:
+                parts.append(np.zeros(self.row_sizes[k], dtype=np.float64))
+            else:
+                parts.append(np.asarray(op.diagonal(), dtype=np.float64))
+        return np.concatenate(parts)
+
+    @property
+    def spmv_counts(self) -> dict:
+        """Per-block SpMV invocation counts, keyed by grid position."""
+        return {
+            (i, j): op.spmv_count
+            for i, row in enumerate(self._ops)
+            for j, op in enumerate(row)
+            if op is not None
+        }
+
+    @property
+    def spmv_count(self) -> int:
+        """Total SpMV invocations across all blocks."""
+        return sum(self.spmv_counts.values())
+
+    def reset_count(self) -> None:
+        """Zero this operator's and every block's invocation counters."""
+        self.matvec_count = 0
+        for row in self._ops:
+            for op in row:
+                if op is not None:
+                    op.reset_count()
+
+    def __repr__(self) -> str:
+        r, c = self.grid_shape
+        return (f"<BlockOperator {r}x{c} blocks, shape={self.shape}, "
+                f"zero_blocks={sum(op is None for row in self._ops for op in row)}>")
+
+
+def from_blocks(grid: Sequence[Sequence[object]]) -> BlockOperator:
+    """Build a :class:`BlockOperator` from a nested block grid."""
+    return BlockOperator(grid)
+
+
+def block_diag(*blocks: object) -> BlockOperator:
+    """Block-diagonal operator: ``blocks[k]`` at grid position (k, k),
+    zero blocks elsewhere (the sparse analogue of a dense block_diag)."""
+    if not blocks:
+        raise ValueError("block_diag needs at least one block")
+    n = len(blocks)
+    grid: List[List[Optional[object]]] = [
+        [blocks[i] if i == j else None for j in range(n)] for i in range(n)
+    ]
+    return BlockOperator(grid)

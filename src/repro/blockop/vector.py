@@ -1,0 +1,136 @@
+"""Block-partitioned vectors.
+
+A :class:`BlockVector` is a list of 1-D numpy blocks with a fixed
+partition; it converts losslessly to and from the flat concatenated
+vector the solvers and kernels operate on.  Arithmetic is blockwise and
+returns new :class:`BlockVector` instances with the same partition, so
+solver updates can be written either on the flat view or per block.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+class BlockVector:
+    """An ordered partition of a vector into named-by-position blocks."""
+
+    def __init__(self, blocks: Iterable[np.ndarray]):
+        self._blocks: List[np.ndarray] = []
+        for i, b in enumerate(blocks):
+            arr = np.asarray(b)
+            if arr.ndim != 1:
+                raise ValueError(
+                    f"block {i} must be 1-D, got shape {arr.shape}")
+            self._blocks.append(arr)
+        if not self._blocks:
+            raise ValueError("a BlockVector needs at least one block")
+
+    # ------------------------------------------------------------------
+    # construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_flat(cls, flat: np.ndarray,
+                  sizes: Sequence[int]) -> "BlockVector":
+        """Partition ``flat`` into blocks of the given sizes."""
+        flat = np.asarray(flat)
+        if flat.ndim != 1:
+            raise ValueError(f"flat vector must be 1-D, got {flat.shape}")
+        sizes = [int(s) for s in sizes]
+        if flat.size != sum(sizes):
+            raise ValueError(
+                f"flat vector has {flat.size} entries, partition wants "
+                f"{sum(sizes)}")
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        return cls([flat[offsets[i]:offsets[i + 1]].copy()
+                    for i in range(len(sizes))])
+
+    @classmethod
+    def zeros(cls, sizes: Sequence[int], dtype=np.float64) -> "BlockVector":
+        return cls([np.zeros(int(s), dtype=dtype) for s in sizes])
+
+    def flatten(self) -> np.ndarray:
+        """The flat concatenated vector (always a fresh array)."""
+        return np.concatenate(self._blocks)
+
+    def copy(self) -> "BlockVector":
+        """Deep copy (every block copied)."""
+        return BlockVector([b.copy() for b in self._blocks])
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        return tuple(b.size for b in self._blocks)
+
+    @property
+    def offsets(self) -> Tuple[int, ...]:
+        """Flat start offset of every block (plus the total at the end)."""
+        out = [0]
+        for b in self._blocks:
+            out.append(out[-1] + b.size)
+        return tuple(out)
+
+    @property
+    def size(self) -> int:
+        return sum(b.size for b in self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self):
+        return iter(self._blocks)
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        return self._blocks[i]
+
+    def __setitem__(self, i: int, value: np.ndarray) -> None:
+        value = np.asarray(value)
+        if value.shape != self._blocks[i].shape:
+            raise ValueError(
+                f"block {i} has size {self._blocks[i].size}, assigned "
+                f"value has shape {value.shape}")
+        self._blocks[i] = value
+
+    def _same_partition(self, other: "BlockVector") -> None:
+        if self.sizes != other.sizes:
+            raise ValueError(
+                f"block partitions differ: {self.sizes} vs {other.sizes}")
+
+    # ------------------------------------------------------------------
+    # blockwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "BlockVector") -> "BlockVector":
+        self._same_partition(other)
+        return BlockVector([a + b for a, b in zip(self, other)])
+
+    def __sub__(self, other: "BlockVector") -> "BlockVector":
+        self._same_partition(other)
+        return BlockVector([a - b for a, b in zip(self, other)])
+
+    def __mul__(self, scalar: float) -> "BlockVector":
+        return BlockVector([b * scalar for b in self._blocks])
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "BlockVector":
+        return BlockVector([-b for b in self._blocks])
+
+    def dot(self, other: "BlockVector") -> float:
+        """Inner product, accumulated blockwise."""
+        self._same_partition(other)
+        return float(sum(float(np.dot(a, b)) for a, b in zip(self, other)))
+
+    def norm(self) -> float:
+        """Euclidean norm of the flat vector."""
+        return float(np.sqrt(self.dot(self)))
+
+    def __repr__(self) -> str:
+        return f"<BlockVector sizes={self.sizes}>"

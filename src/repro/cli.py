@@ -166,6 +166,8 @@ def cmd_analyze(args) -> int:
         coo, mrows=args.mrows,
         wavefront_size=compatible_wavefront(args.mrows),
     )
+    if getattr(args, "sym", False):
+        return _analyze_sym(args, coo, crsd, name)
     report = analyze_matrix(
         crsd,
         precision=args.precision,
@@ -221,6 +223,40 @@ def cmd_analyze(args) -> int:
     if shard_cert is not None and not shard_cert.ok:
         code = max(code, 1)
     return code
+
+
+def _analyze_sym(args, coo, crsd, name: str) -> int:
+    """``repro analyze --sym``: analyze the symmetric half-storage
+    codelets (requires an exactly symmetric, scatter-free matrix)."""
+    import json
+
+    from repro.analyze.symmetric import analyze_sym_matrix
+    from repro.core.symcrsd import SymCRSDError, SymCRSDMatrix
+
+    if args.shards is not None or args.nvec != 1:
+        print("error: --sym does not combine with --shards/--nvec",
+              file=sys.stderr)
+        return 2
+    try:
+        sym = SymCRSDMatrix.from_crsd(crsd, coo=coo)
+    except SymCRSDError as exc:
+        print(f"error: {name}: {exc}", file=sys.stderr)
+        return 2
+    report = analyze_sym_matrix(sym, precision=args.precision)
+    if args.json:
+        payload = report.to_dict()
+        payload["matrix"] = name
+        payload["symmetric"] = {
+            "stored_elements": sym.stored_elements,
+            "full_slab_elements": crsd.dia_val.size,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{name} (symmetric half storage): {report.summary()}")
+        print(f"  stored slots: {sym.stored_elements} of "
+              f"{crsd.dia_val.size} "
+              f"({sym.stored_elements / max(1, crsd.dia_val.size):.0%})")
+    return report.exit_code
 
 
 def cmd_convert(args) -> int:
@@ -697,6 +733,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="analyze the multi-vector SpMM variant")
     sp.add_argument("--no-local-memory", action="store_true",
                     help="analyze the A1 ablation (no AD tile staging)")
+    sp.add_argument("--sym", action="store_true",
+                    help="analyze the symmetric half-storage codelets "
+                         "(matrix must be exactly symmetric and "
+                         "scatter-free)")
     sp.add_argument("--shards", "--devices", type=int, default=None,
                     metavar="N", dest="shards",
                     help="additionally certify the N-way row-block "

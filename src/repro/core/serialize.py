@@ -65,16 +65,22 @@ def fingerprints(matrix) -> MatrixFingerprints:
     accepted carrier formats)."""
     from repro.api import _as_coo
 
+    # carriers whose *serving identity* differs from the mathematical
+    # matrix (e.g. the symmetric half carrier, whose cached plans and
+    # codelets are not interchangeable with the full pattern's) declare
+    # a variant tag folded into every hash — read off the original
+    # object, before the COO coercion erases it
+    variant = bytes(getattr(matrix, "fingerprint_variant", b""))
     coo = _as_coo(matrix)
     shape = np.asarray([coo.nrows, coo.ncols], dtype=np.int64).tobytes()
     rows = np.ascontiguousarray(coo.rows, dtype=np.int64).tobytes()
     cols = np.ascontiguousarray(coo.cols, dtype=np.int64).tobytes()
     vals = np.ascontiguousarray(coo.vals, dtype=np.float64).tobytes()
     combined = hashlib.sha256(
-        FINGERPRINT_DOMAIN + shape + rows + cols + vals)
+        FINGERPRINT_DOMAIN + variant + shape + rows + cols + vals)
     pattern = hashlib.sha256(
-        PATTERN_FINGERPRINT_DOMAIN + shape + rows + cols)
-    values = hashlib.sha256(VALUE_FINGERPRINT_DOMAIN + vals)
+        PATTERN_FINGERPRINT_DOMAIN + variant + shape + rows + cols)
+    values = hashlib.sha256(VALUE_FINGERPRINT_DOMAIN + variant + vals)
     return MatrixFingerprints(
         combined=combined.hexdigest()[:FINGERPRINT_LEN],
         pattern=pattern.hexdigest()[:FINGERPRINT_LEN],

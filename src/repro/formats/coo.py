@@ -129,6 +129,21 @@ class COOMatrix(SparseFormat):
         """Per-entry diagonal offset (parallel to the triplet arrays)."""
         return self.cols.astype(np.int64) - self.rows.astype(np.int64)
 
+    def transpose(self) -> "COOMatrix":
+        """The transpose ``A^T`` (canonicalised like any COO build)."""
+        return COOMatrix(self.cols, self.rows, self.vals,
+                         (self.ncols, self.nrows))
+
+    def is_symmetric(self, tol: float = 0.0) -> bool:
+        """Exact (or toleranced) ``A == A^T``.
+
+        ``tol=0.0`` demands bit-equal stored values — the precondition
+        the symmetric CRSD carrier needs for bit-identical serving.
+        """
+        if self.nrows != self.ncols:
+            return False
+        return self.transpose().equals(self, tol=tol)
+
     def equals(self, other: "COOMatrix", tol: float = 0.0) -> bool:
         """Exact (or toleranced) structural + numerical equality."""
         if self.shape != other.shape or self.nnz != other.nnz:

@@ -27,6 +27,7 @@ from repro.gpu_kernels.csr import CsrScalarSpMV, CsrVectorSpMV
 from repro.gpu_kernels.coo import CooSpMV
 from repro.gpu_kernels.hyb import HybSpMV
 from repro.gpu_kernels.crsd_runner import CrsdSpMM, CrsdSpMV
+from repro.gpu_kernels.sym_runner import SymCrsdSpMV
 
 __all__ = [
     "GPUSpMV",
@@ -39,4 +40,5 @@ __all__ = [
     "HybSpMV",
     "CrsdSpMV",
     "CrsdSpMM",
+    "SymCrsdSpMV",
 ]

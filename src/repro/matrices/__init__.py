@@ -18,6 +18,9 @@ from repro.matrices.generators import (
     banded_patterns,
     inject_dense_rows,
     sprinkle_scatter,
+    symmetric_banded,
+    symmetric_diagonals,
+    kkt_blocks,
     merge,
 )
 from repro.matrices.suite23 import MatrixSpec, SUITE, get_spec, generate
@@ -32,6 +35,9 @@ __all__ = [
     "banded_patterns",
     "inject_dense_rows",
     "sprinkle_scatter",
+    "symmetric_banded",
+    "symmetric_diagonals",
+    "kkt_blocks",
     "merge",
     "MatrixSpec",
     "SUITE",

@@ -120,6 +120,111 @@ def banded(n: int, halfwidth: int, rng: np.random.Generator) -> COOMatrix:
 
 
 # ----------------------------------------------------------------------
+# symmetric matrices (the SymCRSD / CG-family fixtures)
+# ----------------------------------------------------------------------
+
+def symmetric_diagonals(
+    n: int,
+    offsets: Sequence[int],
+    rng: np.random.Generator,
+    spd: bool = True,
+) -> COOMatrix:
+    """Exactly symmetric diagonal matrix: each stored offset ``o > 0``
+    places bit-equal values at ``(r, r+o)`` and ``(r+o, r)``.
+
+    ``offsets`` are the non-negative diagonals to populate (0 is always
+    added).  With ``spd=True`` the main diagonal is ``1 + sum |row|``,
+    making the matrix strictly diagonally dominant with a positive
+    diagonal — the CG/PCG and Jacobi preconditions — while keeping the
+    off-diagonal values seeded-random.
+    """
+    offs = sorted({int(o) for o in offsets if int(o) > 0})
+    rows_l: List[np.ndarray] = []
+    cols_l: List[np.ndarray] = []
+    vals_l: List[np.ndarray] = []
+    for off in offs:
+        if off >= n:
+            continue
+        r = np.arange(0, n - off, dtype=np.int64)
+        v = _values(rng, r.size)
+        rows_l.extend([r, r + off])
+        cols_l.extend([r + off, r])
+        vals_l.extend([v, v])
+    row_abs = np.zeros(n)
+    if rows_l:
+        np.add.at(row_abs, np.concatenate(rows_l),
+                  np.abs(np.concatenate(vals_l)))
+    d = 1.0 + row_abs if spd else np.abs(_values(rng, n)) + 0.5
+    r0 = np.arange(n, dtype=np.int64)
+    rows_l.append(r0)
+    cols_l.append(r0)
+    vals_l.append(d)
+    return COOMatrix(np.concatenate(rows_l), np.concatenate(cols_l),
+                     np.concatenate(vals_l), (n, n))
+
+
+def symmetric_banded(
+    n: int, halfwidth: int, rng: np.random.Generator, spd: bool = True
+) -> COOMatrix:
+    """Exactly symmetric dense band with |offset| <= halfwidth (the
+    SymCRSD half-storage showcase: one mirror-closed AD pattern)."""
+    return symmetric_diagonals(n, range(1, halfwidth + 1), rng, spd=spd)
+
+
+def kkt_blocks(
+    n1: int,
+    n2: int,
+    rng: np.random.Generator,
+    halfwidth: int = 7,
+    coupling_halfwidth: int = 2,
+) -> Tuple[COOMatrix, COOMatrix, COOMatrix, COOMatrix]:
+    """Blocks of a KKT-style symmetric 2×2 system, grid order
+    ``[[H, B^T], [B, C]]``.
+
+    ``H`` (n1×n1) and ``C`` (n2×n2) are symmetric bands; ``B`` (n2×n1)
+    is a rectangular coupling band and ``B^T`` its bit-exact transpose.
+    The diagonals of H and C are lifted to ``1 + sum |row|`` *including*
+    the coupling rows/columns, so the assembled block matrix is strictly
+    diagonally dominant with a positive diagonal — symmetric positive
+    definite, hence a valid PCG/Jacobi fixture (a regularised KKT
+    system, not a saddle point).
+    """
+    h_off = symmetric_diagonals(n1, range(1, halfwidth + 1), rng, spd=False)
+    c_off = symmetric_diagonals(n2, range(1, halfwidth + 1), rng, spd=False)
+
+    rows_l: List[np.ndarray] = []
+    cols_l: List[np.ndarray] = []
+    for off in range(-coupling_halfwidth, coupling_halfwidth + 1):
+        r = np.arange(max(0, -off), min(n2, n1 - off), dtype=np.int64)
+        rows_l.append(r)
+        cols_l.append(r + off)
+    b_rows = np.concatenate(rows_l)
+    b_cols = np.concatenate(cols_l)
+    b = COOMatrix(b_rows, b_cols, _values(rng, b_rows.size), (n2, n1))
+
+    def _lift(core: COOMatrix, extra_abs: np.ndarray) -> COOMatrix:
+        n = core.nrows
+        off_diag = core.rows != core.cols
+        row_abs = np.zeros(n)
+        np.add.at(row_abs, core.rows[off_diag], np.abs(core.vals[off_diag]))
+        d = 1.0 + row_abs + extra_abs
+        rows = np.concatenate([core.rows[off_diag],
+                               np.arange(n, dtype=np.int64)])
+        cols = np.concatenate([core.cols[off_diag],
+                               np.arange(n, dtype=np.int64)])
+        vals = np.concatenate([core.vals[off_diag], d])
+        return COOMatrix(rows, cols, vals, (n, n))
+
+    col_abs_b = np.zeros(n1)
+    np.add.at(col_abs_b, b.cols, np.abs(b.vals))
+    row_abs_b = np.zeros(n2)
+    np.add.at(row_abs_b, b.rows, np.abs(b.vals))
+    h = _lift(h_off, col_abs_b)
+    c = _lift(c_off, row_abs_b)
+    return h, b.transpose(), b, c
+
+
+# ----------------------------------------------------------------------
 # explicit diagonals with occupancy sections (astrophysics s*/us*)
 # ----------------------------------------------------------------------
 

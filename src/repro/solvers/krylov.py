@@ -53,13 +53,18 @@ class SolveResult:
     breakdown: Optional[str] = None
 
 
-def _prepare(a, b: np.ndarray, x0: Optional[np.ndarray]):
+def _prepare(a, b: np.ndarray, x0: Optional[np.ndarray],
+             check_symmetry: bool = False):
     op = as_operator(a)
     b = np.asarray(b, dtype=np.float64)
     if b.ndim != 1 or b.size != op.nrows:
         raise ValueError(f"b must have length {op.nrows}, got shape {b.shape}")
     if op.nrows != op.ncols:
         raise ValueError("iterative solvers need a square system")
+    if check_symmetry:
+        from repro.validation import validate_symmetric
+
+        validate_symmetric(a, op)
     x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64)
     if x.shape != b.shape:
         raise ValueError("x0 must match b")
@@ -83,6 +88,7 @@ def cg(
     tol: float = 1e-10,
     maxiter: int = 1000,
     guard: GuardArg = True,
+    check_symmetry: bool = True,
 ) -> SolveResult:
     """Conjugate gradients for symmetric positive-definite systems.
 
@@ -91,9 +97,13 @@ def cg(
     ``||r|| <= tol * max(1, ||b||)``.  ``guard`` enables breakdown
     detection with checkpointed restart (see
     :mod:`repro.solvers.guards`); healthy solves are bit-identical with
-    the guard on or off.
+    the guard on or off.  ``check_symmetry`` validates the CG
+    symmetry precondition up front
+    (:func:`~repro.validation.validate_symmetric`) and raises a typed
+    :class:`~repro.validation.InputValidationError` instead of silently
+    diverging; experts solving a known-symmetric system can opt out.
     """
-    op, b, x = _prepare(a, b, x0)
+    op, b, x = _prepare(a, b, x0, check_symmetry=check_symmetry)
     start_count = op.spmv_count
     target = tol * max(1.0, float(np.linalg.norm(b)))
     r = b - op(x)

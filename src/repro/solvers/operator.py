@@ -42,6 +42,13 @@ class SpMVOperator:
         self.spmv_count = 0
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
+        from repro.validation import InputValidationError
+
+        x = np.asarray(x)
+        if x.ndim != 1 or x.size != self.ncols:
+            raise InputValidationError(
+                f"operator of shape {self.shape} takes x of shape "
+                f"({self.ncols},), got {x.shape}")
         self.spmv_count += 1
         with maybe_span("operator.matvec", "op", index=self.spmv_count):
             return self._apply(x)
@@ -72,14 +79,19 @@ class SpMVOperator:
 def as_operator(a: Union[SparseFormat, "np.ndarray", SpMVOperator, object]) -> SpMVOperator:
     """Coerce a matrix carrier into an :class:`SpMVOperator`.
 
-    Accepts: an :class:`SpMVOperator` (returned as is), any
-    :class:`~repro.formats.base.SparseFormat` (including
-    :class:`~repro.core.crsd.CRSDMatrix`), a GPU kernel runner
-    (anything with ``.run(x)`` returning an object with ``.y``), or a
-    dense 2-D ndarray.
+    Accepts: an :class:`SpMVOperator` (returned as is), a
+    :class:`~repro.blockop.operator.BlockOperator` (flat matvec and
+    composed diagonal), any :class:`~repro.formats.base.SparseFormat`
+    (including :class:`~repro.core.crsd.CRSDMatrix`), a GPU kernel
+    runner (anything with ``.run(x)`` returning an object with ``.y``),
+    or a dense 2-D ndarray.
     """
+    from repro.blockop.operator import BlockOperator
+
     if isinstance(a, SpMVOperator):
         return a
+    if isinstance(a, BlockOperator):
+        return SpMVOperator(a.matvec, a.shape, a.diagonal)
     if isinstance(a, SparseFormat):
         def diag():
             coo = a.to_coo()

@@ -27,6 +27,7 @@ def pcg(
     tol: float = 1e-10,
     maxiter: int = 1000,
     guard: GuardArg = True,
+    check_symmetry: bool = True,
 ) -> SolveResult:
     """Preconditioned CG.
 
@@ -34,6 +35,10 @@ def pcg(
     selects Jacobi from the operator's diagonal.  Reduces to plain CG
     when ``M = I``.  ``guard`` enables breakdown detection with
     checkpointed restart (:mod:`repro.solvers.guards`).
+    ``check_symmetry`` validates the symmetry precondition up front
+    (:func:`~repro.validation.validate_symmetric`); raises a typed
+    :class:`~repro.validation.InputValidationError` on a non-symmetric
+    system, with the flag as the expert opt-out.
     """
     op = as_operator(a)
     b = np.asarray(b, dtype=np.float64)
@@ -41,6 +46,10 @@ def pcg(
         raise ValueError("PCG needs a square system")
     if b.size != op.nrows:
         raise ValueError(f"b must have length {op.nrows}")
+    if check_symmetry:
+        from repro.validation import validate_symmetric
+
+        validate_symmetric(a, op)
     if preconditioner is None:
         d = op.diagonal()
         if np.any(d <= 0.0):

@@ -13,7 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["InputValidationError", "ReproDeprecationWarning",
-           "validate_matrix", "validate_vector", "validate_batch"]
+           "validate_matrix", "validate_vector", "validate_batch",
+           "validate_symmetric"]
 
 
 class InputValidationError(ValueError):
@@ -98,6 +99,65 @@ def validate_batch(X, ncols: int, nvec=None, name: str = "X") -> np.ndarray:
         raise InputValidationError(
             f"{name} contains {bad} non-finite (NaN/Inf) entries")
     return arr
+
+
+def validate_symmetric(a, op=None, samples: int = 1, tol: float = 1e-8,
+                       seed: int = 0) -> None:
+    """Validate that a system matrix is symmetric, for the CG family.
+
+    CG and PCG silently return garbage on non-symmetric systems; this
+    check fails them up front with a typed
+    :class:`InputValidationError` instead.  Explicit carriers are
+    checked exactly: a dense array via ``A == A^T`` (within ``tol``), a
+    :class:`~repro.formats.base.SparseFormat` via the canonical COO's
+    :meth:`~repro.formats.coo.COOMatrix.is_symmetric` (bit-exact — the
+    same precondition the symmetric CRSD carrier enforces).  Opaque
+    operators (GPU runners, :class:`~repro.blockop.operator.BlockOperator`,
+    callables) are checked statistically: ``samples`` random pairs must
+    satisfy ``x·(A·y) == y·(A·x)`` to relative tolerance ``tol`` — two
+    extra SpMVs per sample, which a solver runs *before* it starts
+    counting.
+    """
+    from repro.formats.base import SparseFormat
+
+    if isinstance(a, np.ndarray) and a.ndim == 2:
+        if a.shape[0] != a.shape[1]:
+            raise InputValidationError(
+                f"matrix of shape {a.shape} cannot be symmetric")
+        if not np.allclose(a, a.T, rtol=tol, atol=tol):
+            raise InputValidationError(
+                "matrix is not symmetric (A != A^T); CG-family solvers "
+                "require a symmetric system — use bicgstab, or pass "
+                "check_symmetry=False if you know better")
+        return
+    if isinstance(a, SparseFormat):
+        coo = a.to_coo()
+        if coo.nrows != coo.ncols or not coo.is_symmetric(tol=0.0):
+            raise InputValidationError(
+                "matrix is not exactly symmetric (pattern or stored "
+                "values do not mirror); CG-family solvers require a "
+                "symmetric system — use bicgstab, or pass "
+                "check_symmetry=False if you know better")
+        return
+    if op is None:
+        from repro.solvers.operator import as_operator
+
+        op = as_operator(a)
+    if op.nrows != op.ncols:
+        raise InputValidationError(
+            f"operator of shape {op.shape} cannot be symmetric")
+    rng = np.random.default_rng(seed)
+    for _ in range(max(1, int(samples))):
+        x = rng.standard_normal(op.ncols)
+        y = rng.standard_normal(op.ncols)
+        left = float(x @ op(y))
+        right = float(y @ op(x))
+        if abs(left - right) > tol * max(1.0, abs(left), abs(right)):
+            raise InputValidationError(
+                f"operator failed the sampled symmetry identity: "
+                f"x·(A·y)={left:.9e} vs y·(A·x)={right:.9e}; CG-family "
+                "solvers require a symmetric system — use bicgstab, or "
+                "pass check_symmetry=False if you know better")
 
 
 def validate_matrix(matrix) -> None:

@@ -1,0 +1,186 @@
+"""BlockOperator: routing, extent validation, trace merging, solves."""
+
+import numpy as np
+import pytest
+
+from repro.blockop import BlockOperator, BlockVector, block_diag, from_blocks
+from repro.core.symcrsd import SymCRSDMatrix
+from repro.formats.coo import COOMatrix
+from repro.gpu_kernels import SymCrsdSpMV
+from repro.matrices import generators as gen
+from repro.obs.recorder import ProfileSession, observe
+from repro.solvers.operator import as_operator
+from repro.solvers.preconditioned import pcg
+from repro.validation import InputValidationError
+
+
+@pytest.fixture
+def nprng():
+    return np.random.default_rng(5)
+
+
+def kkt_operator(nprng, n1=128, n2=64):
+    h, bt, b, c = gen.kkt_blocks(n1, n2, nprng, halfwidth=3,
+                                 coupling_halfwidth=1)
+    op = BlockOperator([[h, bt], [b, c]])
+    dense = np.block([[h.todense(), bt.todense()],
+                      [b.todense(), c.todense()]])
+    return op, dense
+
+
+class TestStructure:
+    def test_shapes_and_offsets(self, nprng):
+        op, _ = kkt_operator(nprng)
+        assert op.grid_shape == (2, 2)
+        assert op.shape == (192, 192)
+        assert op.row_sizes == (128, 64)
+        assert op.row_offsets == (0, 128, 192)
+
+    def test_inconsistent_extent_rejected(self, nprng):
+        h = gen.symmetric_banded(128, 2, nprng)
+        wrong = gen.symmetric_banded(96, 2, nprng)
+        with pytest.raises(ValueError, match="inconsistent extents"):
+            BlockOperator([[h], [wrong]])
+
+    def test_all_zero_row_rejected(self, nprng):
+        h = gen.symmetric_banded(64, 1, nprng)
+        with pytest.raises(ValueError, match="entirely zero"):
+            BlockOperator([[h, None], [None, None]])
+
+    def test_ragged_grid_rejected(self, nprng):
+        h = gen.symmetric_banded(64, 1, nprng)
+        with pytest.raises(ValueError, match="differing lengths"):
+            BlockOperator([[h, None], [h]])
+
+
+class TestMatvec:
+    def test_matches_assembled_dense(self, nprng):
+        op, dense = kkt_operator(nprng)
+        x = nprng.standard_normal(192)
+        assert np.allclose(op.matvec(x), dense @ x)
+
+    def test_zero_blocks_contribute_nothing(self, nprng):
+        h = gen.symmetric_banded(64, 2, nprng)
+        c = gen.symmetric_banded(32, 1, nprng)
+        op = block_diag(h, c)
+        x = nprng.standard_normal(96)
+        expected = np.concatenate([h.todense() @ x[:64],
+                                   c.todense() @ x[64:]])
+        assert np.allclose(op(x), expected)
+
+    def test_accepts_block_vector(self, nprng):
+        op, dense = kkt_operator(nprng)
+        x = nprng.standard_normal(192)
+        bx = BlockVector.from_flat(x, op.col_sizes)
+        assert np.array_equal(op.matvec(bx), op.matvec(x))
+        by = op.block_matvec(bx)
+        assert by.sizes == op.row_sizes
+        assert np.allclose(by.flatten(), dense @ x)
+
+    def test_wrong_partition_rejected(self, nprng):
+        op, _ = kkt_operator(nprng)
+        bad = BlockVector.zeros([96, 96])
+        with pytest.raises(ValueError, match="does not match"):
+            op.matvec(bad)
+
+    def test_mixed_block_kinds(self, nprng):
+        """COO, dense ndarray and a GPU runner can share one grid."""
+        h_coo = gen.symmetric_banded(64, 2, nprng)
+        c_dense = np.diag(nprng.standard_normal(32) + 4.0)
+        b = COOMatrix(np.arange(32), np.arange(32),
+                      nprng.standard_normal(32), (32, 64))
+        runner = SymCrsdSpMV(SymCRSDMatrix.from_coo(
+            gen.symmetric_banded(64, 2, nprng), mrows=32))
+        op = BlockOperator([[h_coo, None, None],
+                            [b, c_dense, None],
+                            [None, None, runner]])
+        x = nprng.standard_normal(160)
+        dense = np.zeros((160, 160))
+        dense[:64, :64] = h_coo.todense()
+        dense[64:96, :64] = b.todense()
+        dense[64:96, 64:96] = c_dense
+        dense[96:, 96:] = runner.matrix.to_coo().todense()
+        assert np.allclose(op(x), dense @ x)
+
+
+class TestRunAndCounters:
+    def test_run_merges_runner_traces(self, nprng):
+        def mk(n, k):
+            return SymCrsdSpMV(SymCRSDMatrix.from_coo(
+                gen.symmetric_banded(n, k, nprng), mrows=32))
+
+        a, b = mk(64, 2), mk(96, 3)
+        op = block_diag(a, b)
+        x = nprng.standard_normal(160)
+        run = op.run(x)
+        ta = a.run(x[:64]).trace
+        tb = b.run(x[64:]).trace
+        assert run.trace.global_load_transactions == (
+            ta.global_load_transactions + tb.global_load_transactions)
+        assert run.trace.flops == ta.flops + tb.flops
+        assert np.array_equal(run.y[:64], a.run(x[:64]).y)
+
+    def test_per_block_spmv_counts(self, nprng):
+        op, _ = kkt_operator(nprng, n1=64, n2=32)
+        x = nprng.standard_normal(96)
+        op.matvec(x)
+        op.matvec(x)
+        assert op.spmv_counts == {(0, 0): 2, (0, 1): 2,
+                                  (1, 0): 2, (1, 1): 2}
+        assert op.spmv_count == 8
+        assert op.matvec_count == 2
+        op.reset_count()
+        assert op.spmv_count == 0 and op.matvec_count == 0
+
+    def test_per_block_obs_spans(self, nprng):
+        op, _ = kkt_operator(nprng, n1=64, n2=32)
+        sess = ProfileSession("blocks")
+        with observe(session=sess):
+            op.matvec(nprng.standard_normal(96))
+        block_spans = [sp for sp in sess.spans
+                       if sp.name == "blockop.block"]
+        coords = {(sp.attrs["i"], sp.attrs["j"]) for sp in block_spans}
+        assert coords == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+class TestSolverSurface:
+    def test_diagonal_composed(self, nprng):
+        op, dense = kkt_operator(nprng)
+        assert np.allclose(op.diagonal(), np.diag(dense))
+
+    def test_diagonal_zero_block_contributes_zeros(self, nprng):
+        h = gen.symmetric_banded(64, 1, nprng)
+        b = COOMatrix(np.arange(32), np.arange(32),
+                      np.ones(32), (32, 64))
+        op = BlockOperator([[None, b.transpose()], [b, None]])
+        assert np.array_equal(op.diagonal(), np.zeros(96))
+
+    def test_as_operator_accepts_block_operator(self, nprng):
+        op, dense = kkt_operator(nprng, n1=64, n2=32)
+        wrapped = as_operator(op)
+        x = nprng.standard_normal(96)
+        assert np.allclose(wrapped(x), dense @ x)
+        assert wrapped.shape == (96, 96)
+
+    def test_pcg_solves_kkt_block_operator(self, nprng):
+        op, dense = kkt_operator(nprng, n1=64, n2=32)
+        b = nprng.standard_normal(96)
+        res = pcg(op, b, tol=1e-10, maxiter=400)
+        assert res.converged
+        assert np.allclose(dense @ res.x, b, atol=1e-7)
+        # every diagonal and coupling block was exercised each iteration
+        counts = op.spmv_counts
+        assert len(counts) == 4
+        assert len(set(counts.values())) == 1
+
+    def test_shape_guard_via_operator(self, nprng):
+        op, _ = kkt_operator(nprng, n1=64, n2=32)
+        wrapped = as_operator(op)
+        with pytest.raises(InputValidationError):
+            wrapped(np.zeros(95))
+
+
+def test_from_blocks_equals_constructor(nprng):
+    h = gen.symmetric_banded(64, 1, nprng)
+    assert np.allclose(from_blocks([[h]]).matvec(np.ones(64)),
+                       BlockOperator([[h]]).matvec(np.ones(64)))

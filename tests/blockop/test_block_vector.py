@@ -1,0 +1,74 @@
+"""BlockVector: lossless partition round trips and blockwise algebra."""
+
+import numpy as np
+import pytest
+
+from repro.blockop import BlockVector
+
+
+@pytest.fixture
+def nprng():
+    return np.random.default_rng(3)
+
+
+def test_round_trip(nprng):
+    flat = nprng.standard_normal(10)
+    bv = BlockVector.from_flat(flat, [4, 6])
+    assert bv.sizes == (4, 6)
+    assert bv.offsets == (0, 4, 10)
+    assert np.array_equal(bv.flatten(), flat)
+
+
+def test_from_flat_size_mismatch(nprng):
+    with pytest.raises(ValueError, match="partition wants"):
+        BlockVector.from_flat(nprng.standard_normal(9), [4, 6])
+
+
+def test_blocks_must_be_1d():
+    with pytest.raises(ValueError, match="1-D"):
+        BlockVector([np.zeros((2, 2))])
+    with pytest.raises(ValueError, match="at least one"):
+        BlockVector([])
+
+
+def test_zeros():
+    bv = BlockVector.zeros([3, 5])
+    assert bv.size == 8
+    assert np.array_equal(bv.flatten(), np.zeros(8))
+
+
+def test_copy_is_deep(nprng):
+    bv = BlockVector.from_flat(nprng.standard_normal(6), [3, 3])
+    cp = bv.copy()
+    cp[0][0] = 123.0
+    assert bv[0][0] != 123.0
+
+
+def test_arithmetic_matches_flat(nprng):
+    a = nprng.standard_normal(12)
+    b = nprng.standard_normal(12)
+    ba = BlockVector.from_flat(a, [5, 7])
+    bb = BlockVector.from_flat(b, [5, 7])
+    assert np.array_equal((ba + bb).flatten(), a + b)
+    assert np.array_equal((ba - bb).flatten(), a - b)
+    assert np.array_equal((2.5 * ba).flatten(), 2.5 * a)
+    assert np.array_equal((-ba).flatten(), -a)
+    assert ba.dot(bb) == pytest.approx(float(a @ b))
+    assert ba.norm() == pytest.approx(float(np.linalg.norm(a)))
+
+
+def test_partition_mismatch_raises(nprng):
+    ba = BlockVector.from_flat(nprng.standard_normal(10), [4, 6])
+    bb = BlockVector.from_flat(nprng.standard_normal(10), [5, 5])
+    with pytest.raises(ValueError, match="partitions differ"):
+        ba + bb
+    with pytest.raises(ValueError, match="partitions differ"):
+        ba.dot(bb)
+
+
+def test_setitem_shape_guard(nprng):
+    bv = BlockVector.from_flat(nprng.standard_normal(10), [4, 6])
+    bv[0] = np.ones(4)
+    assert np.array_equal(bv[0], np.ones(4))
+    with pytest.raises(ValueError, match="assigned"):
+        bv[0] = np.ones(5)

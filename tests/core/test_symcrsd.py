@@ -1,0 +1,118 @@
+"""Symmetric CRSD half carrier: bit-identity and refusal contracts.
+
+The carrier stores only the offsets >= 0 of each region slab; every
+derived artefact (host matvec, re-expanded full slab, COO round trip,
+fingerprints) must be *bit-equal* to the full carrier's — not merely
+close — or :class:`SymCRSDError` must refuse the matrix up front.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.crsd import CRSDMatrix
+from repro.core.serialize import fingerprints
+from repro.core.symcrsd import SymCRSDError, SymCRSDMatrix
+from repro.formats.coo import COOMatrix
+from repro.matrices import generators as gen
+
+
+@pytest.fixture
+def nprng():
+    return np.random.default_rng(42)
+
+
+def sym_cases(nprng):
+    """The symmetric generator set shared by the differential tests."""
+    return {
+        "banded_k7": gen.symmetric_banded(384, 7, nprng),
+        "banded_k3": gen.symmetric_banded(200, 3, nprng),
+        "gapped": gen.symmetric_diagonals(320, [1, 4, 9], nprng),
+        "indefinite": gen.symmetric_diagonals(256, [2, 5], nprng, spd=False),
+    }
+
+
+class TestBitIdentity:
+    def test_host_matvec_bit_identical(self, nprng):
+        for name, coo in sym_cases(nprng).items():
+            full = CRSDMatrix.from_coo(coo, mrows=32)
+            sym = SymCRSDMatrix.from_crsd(full, coo=coo)
+            x = nprng.standard_normal(coo.shape[1])
+            assert np.array_equal(sym.matvec(x), full.matvec(x)), name
+
+    def test_to_crsd_slab_bit_equal(self, nprng):
+        coo = gen.symmetric_banded(256, 5, nprng)
+        full = CRSDMatrix.from_coo(coo, mrows=32)
+        sym = SymCRSDMatrix.from_crsd(full, coo=coo)
+        back = sym.to_crsd()
+        assert np.array_equal(back.dia_val, full.dia_val)
+        assert back.regions == full.regions
+
+    def test_to_coo_round_trip(self, nprng):
+        coo = gen.symmetric_diagonals(224, [1, 3, 8], nprng)
+        sym = SymCRSDMatrix.from_coo(coo, mrows=32)
+        assert np.array_equal(sym.to_coo().todense(), coo.todense())
+
+    def test_diagonal(self, nprng):
+        coo = gen.symmetric_banded(128, 4, nprng)
+        sym = SymCRSDMatrix.from_coo(coo, mrows=32)
+        assert np.array_equal(sym.diagonal(), coo.todense().diagonal())
+
+    def test_half_storage(self, nprng):
+        coo = gen.symmetric_banded(512, 7, nprng)
+        full = CRSDMatrix.from_coo(coo, mrows=64)
+        sym = SymCRSDMatrix.from_crsd(full, coo=coo)
+        # band of halfwidth k: full slab stores 2k+1 diagonals, the
+        # half carrier k+1 of them.
+        assert sym.stored_elements * 2 > full.dia_val.size
+        assert sym.stored_elements < 0.6 * full.dia_val.size
+
+
+class TestRefusals:
+    def test_rejects_asymmetric_values(self, nprng):
+        coo = gen.symmetric_banded(96, 2, nprng)
+        vals = coo.vals.copy()
+        vals[np.flatnonzero(coo.rows != coo.cols)[0]] *= 2.0
+        skew = COOMatrix(coo.rows, coo.cols, vals, coo.shape)
+        with pytest.raises(SymCRSDError, match="not exactly symmetric"):
+            SymCRSDMatrix.from_coo(skew, mrows=32)
+
+    def test_rejects_scatter_rows(self, nprng):
+        coo = gen.symmetric_banded(128, 2, nprng)
+        # one far off-band mirror pair lands both entries in scatter
+        rows = np.concatenate([coo.rows, [3, 97]])
+        cols = np.concatenate([coo.cols, [97, 3]])
+        vals = np.concatenate([coo.vals, [1.25, 1.25]])
+        scat = COOMatrix(rows, cols, vals, coo.shape)
+        full = CRSDMatrix.from_coo(scat, mrows=32)
+        if full.num_scatter_rows == 0:
+            pytest.skip("build absorbed the outliers into a region")
+        with pytest.raises(SymCRSDError, match="scatter rows"):
+            SymCRSDMatrix.from_crsd(full, coo=scat)
+
+    def test_rejects_rectangular(self):
+        coo = COOMatrix(np.array([0]), np.array([0]), np.array([1.0]),
+                        (64, 65))
+        full = CRSDMatrix.from_coo(coo, mrows=32)
+        with pytest.raises(SymCRSDError, match="square"):
+            SymCRSDMatrix.from_crsd(full)
+
+
+class TestFingerprints:
+    def test_sym_carrier_never_collides_with_full(self, nprng):
+        """Cached plans/codelets of the half carrier are not
+        interchangeable with the full pattern's, so every hash —
+        including the pattern hash — must differ."""
+        coo = gen.symmetric_banded(160, 3, nprng)
+        full = CRSDMatrix.from_coo(coo, mrows=32)
+        sym = SymCRSDMatrix.from_crsd(full, coo=coo)
+        fp_full = fingerprints(full)
+        fp_sym = fingerprints(sym)
+        assert fp_sym.combined != fp_full.combined
+        assert fp_sym.pattern != fp_full.pattern
+        assert fp_sym.values != fp_full.values
+
+    def test_sym_fingerprint_deterministic(self, nprng):
+        coo = gen.symmetric_banded(160, 3, nprng)
+        a = SymCRSDMatrix.from_coo(coo, mrows=32)
+        b = SymCRSDMatrix.from_coo(coo, mrows=32)
+        assert fingerprints(a) == fingerprints(b)

@@ -141,3 +141,49 @@ class TestPerturbations:
         m = gen.merge((10, 10), a, b)
         assert m.nnz == 10
         assert np.allclose(m.vals, a.vals + b.vals)
+
+
+class TestSymmetricGenerators:
+    def test_symmetric_diagonals_exact_mirror(self, nprng):
+        m = gen.symmetric_diagonals(128, [1, 4, 9], nprng)
+        assert m.is_symmetric(tol=0.0)
+        dense = m.todense()
+        # stored offsets only: +/-1, +/-4, +/-9 and the main diagonal
+        offs = {int(o) for o in np.unique(m.cols - m.rows)}
+        assert offs == {-9, -4, -1, 0, 1, 4, 9}
+        # bit-equal mirrors, not merely close
+        assert np.array_equal(dense, dense.T)
+
+    def test_symmetric_diagonals_spd(self, nprng):
+        m = gen.symmetric_diagonals(96, [2, 5], nprng)
+        dense = m.todense()
+        offdiag = np.abs(dense - np.diag(np.diag(dense))).sum(axis=1)
+        assert (np.diag(dense) > offdiag).all()  # strict dominance
+
+    def test_symmetric_diagonals_indefinite(self, nprng):
+        m = gen.symmetric_diagonals(96, [2, 5], nprng, spd=False)
+        assert m.is_symmetric(tol=0.0)
+
+    def test_symmetric_banded(self, nprng):
+        m = gen.symmetric_banded(128, 7, nprng)
+        assert m.is_symmetric(tol=0.0)
+        assert np.abs(m.cols - m.rows).max() == 7
+        assert m.nnz == 128 * 15 - 2 * sum(range(1, 8))
+
+    def test_symmetric_deterministic(self):
+        a = gen.symmetric_banded(64, 3, np.random.default_rng(9))
+        b = gen.symmetric_banded(64, 3, np.random.default_rng(9))
+        assert np.array_equal(a.vals, b.vals)
+
+    def test_kkt_blocks(self, nprng):
+        h, bt, b, c = gen.kkt_blocks(96, 48, nprng)
+        assert h.shape == (96, 96) and c.shape == (48, 48)
+        assert b.shape == (48, 96) and bt.shape == (96, 48)
+        assert h.is_symmetric(tol=0.0) and c.is_symmetric(tol=0.0)
+        # the coupling blocks are exact transposes of each other
+        assert np.array_equal(bt.todense(), b.todense().T)
+        # the assembled KKT system is symmetric positive definite
+        kkt = np.block([[h.todense(), bt.todense()],
+                        [b.todense(), c.todense()]])
+        assert np.array_equal(kkt, kkt.T)
+        assert np.linalg.eigvalsh(kkt).min() > 0

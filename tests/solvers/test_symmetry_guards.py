@@ -1,0 +1,103 @@
+"""Input validation on the solver surface: operand shapes and the
+cg/pcg symmetry precondition."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.matrices import generators as gen
+from repro.solvers.krylov import bicgstab, cg
+from repro.solvers.operator import SpMVOperator, as_operator
+from repro.solvers.preconditioned import pcg
+from repro.validation import InputValidationError, validate_symmetric
+
+
+@pytest.fixture
+def nprng():
+    return np.random.default_rng(11)
+
+
+def skew_banded(nprng, n=64):
+    """A clearly non-symmetric band matrix (still diagonally dominant
+    so bicgstab converges on it)."""
+    coo = gen.symmetric_banded(n, 2, nprng)
+    vals = coo.vals.copy()
+    vals[coo.rows > coo.cols] *= 3.0
+    return COOMatrix(coo.rows, coo.cols, vals, coo.shape)
+
+
+class TestShapeGuard:
+    def test_operator_rejects_wrong_length(self, nprng):
+        op = as_operator(gen.symmetric_banded(64, 2, nprng))
+        with pytest.raises(InputValidationError, match="64"):
+            op(np.zeros(63))
+
+    def test_operator_rejects_matrix_operand(self, nprng):
+        op = as_operator(gen.symmetric_banded(64, 2, nprng))
+        with pytest.raises(InputValidationError, match="got"):
+            op(np.zeros((64, 1)))
+
+    def test_custom_operator_checked_too(self):
+        op = SpMVOperator(lambda x: x, (8, 8))
+        assert np.array_equal(op(np.ones(8)), np.ones(8))
+        with pytest.raises(InputValidationError):
+            op(np.ones(9))
+
+
+class TestValidateSymmetric:
+    def test_dense_exact(self, nprng):
+        a = nprng.standard_normal((8, 8))
+        validate_symmetric(a + a.T)
+        with pytest.raises(InputValidationError, match="symmetric"):
+            validate_symmetric(a + a.T + 1e-6 * np.eye(8, k=1))
+
+    def test_sparse_exact(self, nprng):
+        validate_symmetric(gen.symmetric_banded(64, 3, nprng))
+        with pytest.raises(InputValidationError):
+            validate_symmetric(skew_banded(nprng))
+
+    def test_opaque_operator_sampled(self, nprng):
+        sym = gen.symmetric_banded(64, 2, nprng)
+        dense = sym.todense()
+        validate_symmetric(SpMVOperator(lambda x: dense @ x, (64, 64)))
+        skew = skew_banded(nprng).todense()
+        with pytest.raises(InputValidationError, match="bicgstab"):
+            validate_symmetric(
+                SpMVOperator(lambda x: skew @ x, (64, 64)))
+
+
+class TestSolverGate:
+    def test_cg_rejects_asymmetric(self, nprng):
+        a = skew_banded(nprng)
+        b = np.ones(64)
+        with pytest.raises(InputValidationError, match="check_symmetry"):
+            cg(a, b)
+
+    def test_cg_opt_out_still_runs(self, nprng):
+        a = skew_banded(nprng)
+        res = cg(a, np.ones(64), check_symmetry=False, maxiter=5)
+        assert res.iterations >= 1
+
+    def test_pcg_rejects_asymmetric(self, nprng):
+        with pytest.raises(InputValidationError):
+            pcg(skew_banded(nprng), np.ones(64))
+
+    def test_pcg_opt_out_still_runs(self, nprng):
+        res = pcg(skew_banded(nprng), np.ones(64),
+                  check_symmetry=False, maxiter=5)
+        assert res.iterations >= 1
+
+    def test_bicgstab_never_gated(self, nprng):
+        res = bicgstab(skew_banded(nprng), np.ones(64), tol=1e-10)
+        assert res.converged
+
+    def test_cg_accepts_symmetric_and_counts_unchanged(self, nprng):
+        """Validation must not consume solver-visible SpMV
+        invocations."""
+        a = gen.symmetric_banded(64, 2, nprng)
+        b = np.ones(64)
+        gated = cg(a, b, tol=1e-10)
+        ungated = cg(a, b, tol=1e-10, check_symmetry=False)
+        assert gated.converged and ungated.converged
+        assert gated.spmv_count == ungated.spmv_count
+        assert np.array_equal(gated.x, ungated.x)
